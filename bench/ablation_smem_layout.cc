@@ -1,0 +1,35 @@
+// Ablation: the Fig.-5 shared-memory track layout vs the paper's
+// "intuitive" placement. Quantifies what the data repositioning buys —
+// shared-memory replays and the resulting modelled time, per K group.
+#include "bench_common.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace ksum;
+
+  pipelines::RunOptions naive_options;
+  naive_options.mainloop.layout = gpukernels::TileLayout::kNaive;
+  analytic::PipelineModel fig5_model;
+  analytic::PipelineModel naive_model(naive_options);
+
+  Table t("Ablation — Fig.5 layout vs naive track placement "
+          "(Fused, N=1024, M=131072)");
+  t.header({"K", "smem txn (Fig.5)", "smem txn (naive)", "replay overhead",
+            "time (Fig.5)", "time (naive)", "slowdown"});
+  for (std::size_t k : workload::paper_dimensions()) {
+    const auto fig5 =
+        fig5_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+    const auto naive =
+        naive_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+    t.row({str_format("%zu", k), format_si(fig5.total.smem_transactions),
+           format_si(naive.total.smem_transactions),
+           format_percent(naive.total.smem_transactions /
+                              fig5.total.smem_transactions -
+                          1.0),
+           str_format("%.3f ms", fig5.seconds * 1e3),
+           str_format("%.3f ms", naive.seconds * 1e3),
+           str_format("%.2fx", naive.seconds / fig5.seconds)});
+  }
+  bench::emit(t, "ablation_smem_layout");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablations of the remaining §III design choices:
+//   * double buffering vs single-buffered tiles (barrier count / time);
+//   * atomic inter-CTA reduction vs the two-pass staged scheme the paper
+//     rejects (extra DRAM traffic of the partial vectors).
+#include "bench_common.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace ksum;
+
+  analytic::PipelineModel base_model;
+
+  {
+    pipelines::RunOptions sb;
+    sb.mainloop.double_buffer = false;
+    analytic::PipelineModel sb_model(sb);
+    Table t("Ablation — double buffering (Fused, N=1024, M=131072)");
+    t.header({"K", "barriers (double)", "barriers (single)", "time (double)",
+              "time (single)", "slowdown"});
+    for (std::size_t k : workload::paper_dimensions()) {
+      const auto db =
+          base_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      const auto single =
+          sb_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      t.row({str_format("%zu", k),
+             format_si(double(db.kernels[2].scalable.barriers)),
+             format_si(double(single.kernels[2].scalable.barriers)),
+             str_format("%.3f ms", db.seconds * 1e3),
+             str_format("%.3f ms", single.seconds * 1e3),
+             str_format("%.2fx", single.seconds / db.seconds)});
+    }
+    bench::emit(t, "ablation_double_buffering");
+  }
+
+  {
+    pipelines::RunOptions staged;
+    staged.atomic_reduction = false;
+    analytic::PipelineModel staged_model(staged);
+    Table t("Ablation — atomic vs two-pass staged reduction "
+            "(Fused, N=1024, M=131072)");
+    t.header({"K", "DRAM txn (atomic)", "DRAM txn (staged)", "extra traffic",
+              "time (atomic)", "time (staged)"});
+    for (std::size_t k : workload::paper_dimensions()) {
+      const auto atomic =
+          base_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      const auto st =
+          staged_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      t.row({str_format("%zu", k), format_si(atomic.dram_transactions()),
+             format_si(st.dram_transactions()),
+             format_percent(st.dram_transactions() /
+                                atomic.dram_transactions() -
+                            1.0),
+             str_format("%.3f ms", atomic.seconds * 1e3),
+             str_format("%.3f ms", st.seconds * 1e3)});
+    }
+    bench::emit(t, "ablation_reduction");
+  }
+
+  {
+    // Beyond the paper: fold the norm computation into the fused kernel.
+    pipelines::RunOptions fn;
+    fn.fuse_norms = true;
+    analytic::PipelineModel fn_model(fn);
+    Table t("Extension — norms fused into the kernel "
+            "(Fused, N=1024, M=131072)");
+    t.header({"K", "kernels (paper)", "kernels (fused norms)",
+              "DRAM txn (paper)", "DRAM txn (fused norms)", "time (paper)",
+              "time (fused norms)", "speedup"});
+    for (std::size_t k : workload::paper_dimensions()) {
+      const auto paper =
+          base_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      const auto fused =
+          fn_model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      t.row({str_format("%zu", k), str_format("%zu", paper.kernels.size()),
+             str_format("%zu", fused.kernels.size()),
+             format_si(paper.dram_transactions()),
+             format_si(fused.dram_transactions()),
+             str_format("%.3f ms", paper.seconds * 1e3),
+             str_format("%.3f ms", fused.seconds * 1e3),
+             str_format("%.2fx", paper.seconds / fused.seconds)});
+    }
+    bench::emit(t, "ablation_fused_norms");
+  }
+  return 0;
+}

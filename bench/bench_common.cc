@@ -1,0 +1,38 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "common/csv.h"
+
+namespace ksum::bench {
+
+std::vector<workload::ProblemSpec> bench_specs() {
+  const char* fast = std::getenv("KSUM_BENCH_FAST");
+  if (fast != nullptr && std::string(fast) == "1") {
+    return workload::paper_table_sweep();
+  }
+  return workload::paper_figure_sweep();
+}
+
+const std::vector<report::SweepPoint>& bench_sweep(
+    analytic::PipelineModel& model) {
+  static const std::vector<report::SweepPoint> points =
+      report::evaluate_sweep(model, bench_specs());
+  return points;
+}
+
+void emit(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  std::cout << std::endl;
+  const char* dir = std::getenv("KSUM_CSV_DIR");
+  if (dir == nullptr) return;
+  std::filesystem::create_directories(dir);
+  CsvWriter writer(std::string(dir) + "/" + csv_name + ".csv");
+  for (const auto& row : table.export_rows()) {
+    writer.write_row(row);
+  }
+}
+
+}  // namespace ksum::bench

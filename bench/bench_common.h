@@ -1,0 +1,29 @@
+// Shared plumbing for the reproduction harness binaries.
+//
+// Every figure/table binary sweeps the analytic pipeline model over the
+// paper's grid and prints the paper-style table. Environment knobs:
+//   KSUM_BENCH_FAST=1  — use the three-M table grid instead of the full
+//                        ten-M figure grid (used by CI-style smoke runs).
+//   KSUM_CSV_DIR=path  — additionally mirror each table as CSV rows there.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "report/paper_report.h"
+
+namespace ksum::bench {
+
+/// The sweep grid selected by KSUM_BENCH_FAST.
+std::vector<workload::ProblemSpec> bench_specs();
+
+/// Evaluates the standard three-solution sweep once (cached per process).
+const std::vector<report::SweepPoint>& bench_sweep(
+    analytic::PipelineModel& model);
+
+/// Prints the table to stdout and mirrors it to KSUM_CSV_DIR/<name>.csv
+/// when that variable is set.
+void emit(const Table& table, const std::string& csv_name);
+
+}  // namespace ksum::bench

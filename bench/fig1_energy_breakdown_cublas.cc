@@ -1,0 +1,12 @@
+// Fig. 1: energy breakdown of the cuBLAS-Unfused kernel summation, N=1024.
+// The paper's headline motivation: 10–30% of total energy goes to DRAM.
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::fig1_energy_breakdown_cublas(points),
+              "fig1_energy_breakdown_cublas");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 2: L2 misses per kilo instruction of the cuBLAS-Unfused pipeline —
+// highest at K=32, the locality loss fusion removes.
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::fig2_l2_mpki(points), "fig2_l2_mpki");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 6: normalised execution time of Fused and CUDA-Unfused against
+// cuBLAS-Unfused, with the fused speedups (measured and the paper's
+// projected assembly-grade variant) on the secondary axis.
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::fig6_execution_time(points), "fig6_exec_time_speedup");
+  return 0;
+}

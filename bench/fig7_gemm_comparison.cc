@@ -1,0 +1,11 @@
+// Fig. 7: standalone GEMM comparison — our CUDA-C kernel vs the modelled
+// cuBLAS SGEMM (paper band: 1.5–2.0× slower).
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  bench::emit(report::fig7_gemm_comparison(model, bench::bench_specs()),
+              "fig7_gemm_comparison");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 8a/8b: L2 and DRAM transaction counts of Fused and CUDA-Unfused
+// normalised to cuBLAS-Unfused. The DRAM panel is the paper's strongest
+// claim: fused stays below 10% everywhere at scale.
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::fig8a_l2_transactions(points), "fig8a_l2_transactions");
+  bench::emit(report::fig8b_dram_transactions(points),
+              "fig8b_dram_transactions");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 9: per-component energy (compute / shared memory / L2 / DRAM /
+// static) for all three solutions.
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::fig9_energy_breakdown(points), "fig9_energy_breakdown");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Extension bench (paper §VI: "steps similar to those implemented in this
+// paper can be applied to other algorithms"): fused k-nearest-neighbour
+// search vs the unfused baseline that streams the M×N distance matrix
+// through DRAM. Functional execution (exact counts), moderate sizes.
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "pipelines/knn_pipeline.h"
+
+int main() {
+  using namespace ksum;
+
+  Table t("Extension — fused vs unfused kNN (N=512, k=8 neighbours, "
+          "functional simulation)");
+  t.header({"config", "DRAM txn (unfused)", "DRAM txn (fused)", "ratio",
+            "time (unfused)", "time (fused)", "speedup",
+            "energy saved"});
+  for (std::size_t k : {16u, 64u}) {
+    for (std::size_t m : {512u, 1024u}) {
+      workload::ProblemSpec spec;
+      spec.m = m;
+      spec.n = 512;
+      spec.k = k;
+      spec.seed = 2016;
+      const auto inst = workload::make_instance(spec);
+      const auto fused = pipelines::run_knn_pipeline(
+          pipelines::KnnSolution::kFused, inst, 8);
+      const auto unfused = pipelines::run_knn_pipeline(
+          pipelines::KnnSolution::kUnfused, inst, 8);
+      t.row({str_format("K=%zu M=%zu", k, m),
+             format_si(double(unfused.total.dram_total_transactions())),
+             format_si(double(fused.total.dram_total_transactions())),
+             format_percent(
+                 double(fused.total.dram_total_transactions()) /
+                 double(unfused.total.dram_total_transactions())),
+             str_format("%.3f ms", unfused.seconds * 1e3),
+             str_format("%.3f ms", fused.seconds * 1e3),
+             str_format("%.2fx", unfused.seconds / fused.seconds),
+             format_percent(1.0 - fused.energy.total() /
+                                      unfused.energy.total())});
+    }
+  }
+  bench::emit(t, "knn_fused_vs_unfused");
+  return 0;
+}

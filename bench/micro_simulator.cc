@@ -1,0 +1,102 @@
+// google-benchmark timings of the simulator itself: how fast the functional
+// device executes tile programs and how cheap the analytic model is. These
+// bound the cost of the test suite and of the reproduction sweeps.
+#include <benchmark/benchmark.h>
+
+#include "analytic/pipeline_model.h"
+#include "gpukernels/device_workspace.h"
+#include "gpukernels/fused_ksum.h"
+#include "gpukernels/gemm_cudac.h"
+#include "gpukernels/norms.h"
+#include "gpusim/cache.h"
+#include "gpusim/shared_memory.h"
+#include "workload/point_generators.h"
+
+namespace {
+
+using namespace ksum;
+
+void BM_SmemTransactionCount(benchmark::State& state) {
+  gpusim::SharedWarpAccess access;
+  for (int l = 0; l < 32; ++l) {
+    access.set_lane(l, gpusim::SharedAddr((l % 4) * 128));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gpusim::SharedMemory::transactions_for(access));
+  }
+}
+BENCHMARK(BM_SmemTransactionCount);
+
+void BM_L2SectorStream(benchmark::State& state) {
+  std::uint64_t reads = 0, hits = 0, misses = 0;
+  gpusim::SectoredCache cache(
+      gpusim::CacheGeometry{},
+      gpusim::CacheCounters{&reads, &hits, &misses, nullptr, nullptr});
+  const auto sectors = std::size_t(state.range(0));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    cache.read_sector(gpusim::GlobalAddr(next) * 32);
+    next = (next + 1) % sectors;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_L2SectorStream)->Arg(1024)->Arg(262144);
+
+void BM_FunctionalFusedKernel(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = k;
+  const auto inst = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+  for (auto _ : state) {
+    gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+    auto ws = gpukernels::allocate_workspace(device, 128, 128, k, false);
+    gpukernels::upload_instance(device, ws, inst);
+    gpukernels::run_norms_a(device, ws);
+    gpukernels::run_norms_b(device, ws);
+    gpukernels::run_fused_ksum(device, ws, params);
+    benchmark::DoNotOptimize(device.counters().fma_ops);
+  }
+  // Simulated lane-FMAs per wall second.
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(128 * 128 * k));
+}
+BENCHMARK(BM_FunctionalFusedKernel)->Arg(32)->Arg(128);
+
+void BM_FunctionalGemmCta(benchmark::State& state) {
+  const std::size_t k = std::size_t(state.range(0));
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = k;
+  const auto inst = workload::make_instance(spec);
+  for (auto _ : state) {
+    gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+    auto ws = gpukernels::allocate_workspace(device, 128, 128, k, true);
+    gpukernels::upload_instance(device, ws, inst);
+    gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, 128, 128, k,
+                               gpukernels::GemmOptions{});
+    benchmark::DoNotOptimize(device.counters().fma_ops);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(128 * 128 * k));
+}
+BENCHMARK(BM_FunctionalGemmCta)->Arg(32)->Arg(128);
+
+void BM_AnalyticPipelineEstimate(benchmark::State& state) {
+  analytic::PipelineModel model;
+  // Warm the calibration cache so the loop measures the estimate itself.
+  model.estimate(pipelines::Solution::kFused, 1024, 1024, 32);
+  std::size_t m = 1024;
+  for (auto _ : state) {
+    auto est = model.estimate(pipelines::Solution::kFused, m, 1024, 32);
+    benchmark::DoNotOptimize(est.seconds);
+    m = m == 524288 ? 1024 : m * 2;
+  }
+}
+BENCHMARK(BM_AnalyticPipelineEstimate);
+
+}  // namespace

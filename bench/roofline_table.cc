@@ -1,0 +1,44 @@
+// Roofline placement of every kernel in the three pipelines: arithmetic
+// intensity against DRAM traffic, the attainable ceiling
+// min(peak, AI × bandwidth), and how much of it the modelled kernel
+// achieves. This is the analytical backbone of the paper's story — the
+// unfused pipeline's eval/GEMV passes sit deep in the memory-bound region
+// the fused kernel never enters.
+#include "bench_common.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& device = model.options().device;
+  const double peak = device.peak_sp_flops();
+  const double bw = device.dram_bandwidth_gb_s * 1e9;
+
+  Table t("Roofline — per-kernel arithmetic intensity vs DRAM "
+          "(N=1024, M=131072)");
+  t.header({"solution", "K", "kernel", "flops", "DRAM bytes", "AI (flop/B)",
+            "attainable", "achieved", "of ceiling"});
+  for (std::size_t k : {32u, 256u}) {
+    for (auto solution :
+         {pipelines::Solution::kFused, pipelines::Solution::kCublasUnfused}) {
+      const auto est = model.estimate(solution, 131072, 1024, k);
+      for (const auto& kernel : est.kernels) {
+        const double flops = kernel.useful_flops;
+        const double bytes = kernel.cost.dram_transactions * 32.0;
+        if (flops <= 0.0) continue;
+        const double ai = bytes > 0 ? flops / bytes : 1e9;
+        const double attainable = std::min(peak, ai * bw);
+        const double achieved = flops / kernel.timing.seconds(device);
+        t.row({pipelines::to_string(solution), str_format("%zu", k),
+               kernel.name, format_si(flops), format_si(bytes),
+               bytes > 0 ? str_format("%.1f", ai) : std::string("inf"),
+               str_format("%.2f TF/s", attainable / 1e12),
+               str_format("%.2f TF/s", achieved / 1e12),
+               format_percent(achieved / attainable)});
+      }
+      t.separator();
+    }
+  }
+  bench::emit(t, "roofline_table");
+  return 0;
+}

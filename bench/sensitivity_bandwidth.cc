@@ -1,0 +1,54 @@
+// What-if sensitivity of the paper's headline results to the memory system:
+// the fused kernel's advantage is a function of how expensive DRAM traffic
+// is. Halving the modelled bandwidth (a narrower bus) widens the fused
+// speedup; doubling it (HBM-class) erodes it — the quantitative version of
+// the paper's premise that fusion pays where memory is the bottleneck.
+#include "bench_common.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace ksum;
+
+  Table t("Sensitivity — fused vs cuBLAS-Unfused under scaled DRAM "
+          "bandwidth (N=1024, M=131072)");
+  t.header({"bandwidth", "K", "speedup", "energy saved",
+            "cuBLAS-Unf bound (GEMM)"});
+  for (double scale : {0.5, 1.0, 2.0}) {
+    pipelines::RunOptions options;
+    options.device.dram_bandwidth_gb_s *= scale;
+    analytic::PipelineModel model(options);
+    for (std::size_t k : {32u, 256u}) {
+      const auto fused =
+          model.estimate(pipelines::Solution::kFused, 131072, 1024, k);
+      const auto unfused = model.estimate(
+          pipelines::Solution::kCublasUnfused, 131072, 1024, k);
+      t.row({str_format("%.0f GB/s", options.device.dram_bandwidth_gb_s),
+             str_format("%zu", k),
+             str_format("%.2fx", unfused.seconds / fused.seconds),
+             format_percent(1.0 -
+                            fused.energy.total() / unfused.energy.total()),
+             unfused.kernels[2].timing.bound});
+    }
+    t.separator();
+  }
+  bench::emit(t, "sensitivity_bandwidth");
+
+  Table t2("Sensitivity — energy savings vs static power share "
+           "(K=32, N=1024, M=131072)");
+  t2.header({"static power", "fused speedup", "energy saved"});
+  for (double watts : {0.0, 8.0, 32.0}) {
+    pipelines::RunOptions options;
+    options.energy.static_power_w = watts;
+    analytic::PipelineModel model(options);
+    const auto fused =
+        model.estimate(pipelines::Solution::kFused, 131072, 1024, 32);
+    const auto unfused =
+        model.estimate(pipelines::Solution::kCublasUnfused, 131072, 1024, 32);
+    t2.row({str_format("%.0f W", watts),
+            str_format("%.2fx", unfused.seconds / fused.seconds),
+            format_percent(1.0 -
+                           fused.energy.total() / unfused.energy.total())});
+  }
+  bench::emit(t2, "sensitivity_static_power");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Table I of the paper: the device configuration actually used by the
+// simulated GTX970 (so any drift between the paper's table and the model is
+// visible in the output, not hidden in a header).
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  bench::emit(report::table1_device_config(config::DeviceSpec::gtx970()),
+              "table1_device_config");
+  return 0;
+}

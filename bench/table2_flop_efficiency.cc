@@ -1,0 +1,13 @@
+// Table II: achieved fraction of peak single-precision FLOP/s for the
+// cuBLAS-Unfused and Fused solutions (the fused kernel wins below K=128 and
+// loses at K=256, the paper's crossover).
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::table2_flop_efficiency(points),
+              "table2_flop_efficiency");
+  return 0;
+}

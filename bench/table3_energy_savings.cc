@@ -1,0 +1,11 @@
+// Table III: total-energy savings of Fused over cuBLAS-Unfused (paper:
+// 31.3–32.5% at K=32 down to 3.5–8.5% at K=256).
+#include "bench_common.h"
+
+int main() {
+  using namespace ksum;
+  analytic::PipelineModel model;
+  const auto& points = bench::bench_sweep(model);
+  bench::emit(report::table3_energy_savings(points), "table3_energy_savings");
+  return 0;
+}

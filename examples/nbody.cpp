@@ -1,0 +1,76 @@
+// Direct N-body potential evaluation — the computational-physics workload
+// from the paper's introduction. The gravitational potential at a body i is
+//   Φ(α_i) = −G · Σ_j  m_j / (‖α_i − β_j‖ + ε)
+// i.e. a kernel summation with the softened reciprocal-distance (Laplace)
+// kernel, masses as weights.
+//
+// The example evaluates the potential induced by a clustered particle set
+// on a separate set of tracer points (3-D, embedded in the K=8 tile
+// granularity with zero-padded coordinates), validates against the exact
+// host oracle, and reports the simulated-device cost.
+//
+//   build/examples/nbody
+#include <cstdio>
+
+#include "blas/vector_ops.h"
+#include "pipelines/solver.h"
+#include "workload/weights.h"
+
+int main() {
+  using namespace ksum;
+
+  // 3-D particles; the tile pipeline wants K a multiple of 8, so the points
+  // carry five zero coordinates — the distance is unaffected.
+  workload::ProblemSpec spec;
+  spec.m = 2048;  // tracer points where the potential is evaluated
+  spec.n = 1024;  // massive particles
+  spec.k = 8;
+  spec.distribution = workload::Distribution::kGaussianMixture;
+  spec.seed = 99;
+  workload::Instance instance = workload::make_instance(spec);
+  for (std::size_t i = 0; i < spec.m; ++i) {
+    for (std::size_t d = 3; d < spec.k; ++d) instance.a.at(i, d) = 0.0f;
+  }
+  for (std::size_t j = 0; j < spec.n; ++j) {
+    for (std::size_t d = 3; d < spec.k; ++d) instance.b.at(d, j) = 0.0f;
+  }
+  // Masses: positive, spread over two decades.
+  Rng rng(5);
+  for (float& w : instance.w) w = rng.uniform(0.01f, 1.0f);
+
+  core::KernelParams params;
+  params.type = core::KernelType::kLaplace3d;
+  params.softening = 1e-2f;  // Plummer softening
+
+  const auto fused =
+      pipelines::solve(instance, params, pipelines::Backend::kSimFused);
+  const auto oracle =
+      pipelines::solve(instance, params, pipelines::Backend::kCpuDirect);
+  const double err =
+      blas::max_rel_diff(fused.v.span(), oracle.v.span(), 1e-3);
+
+  double total_mass = 0.0;
+  for (float w : instance.w) total_mass += double(w);
+  double mean_phi = 0.0;
+  for (float v : fused.v) mean_phi += double(v);
+  mean_phi /= double(fused.v.size());
+
+  std::printf("N-body potential: %zu particles (total mass %.1f) on %zu "
+              "tracers\n",
+              spec.n, total_mass, spec.m);
+  std::printf("mean potential      : %.4f  (softening %.0e)\n", mean_phi,
+              double(params.softening));
+  std::printf("max relative error  : %.2e vs exact summation\n", err);
+  std::printf("simulated time      : %.3f ms, energy %.4f J\n",
+              fused.report->seconds * 1e3, fused.report->energy.total());
+
+  // The classic trade: direct summation is exact but O(M·N); the paper's
+  // fused kernel makes the constant small on GPU-class hardware.
+  const auto unfused = pipelines::solve(
+      instance, params, pipelines::Backend::kSimCublasUnfused);
+  std::printf("fused vs unfused    : %.2fx faster, %.1f%% energy saved\n",
+              unfused.report->seconds / fused.report->seconds,
+              100.0 * (1.0 - fused.report->energy.total() /
+                                 unfused.report->energy.total()));
+  return err < 1e-2 ? 0 : 1;
+}

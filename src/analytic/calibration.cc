@@ -1,0 +1,166 @@
+#include "analytic/calibration.h"
+
+#include "common/error.h"
+#include "gpukernels/device_workspace.h"
+#include "gpukernels/fused_ksum.h"
+#include "gpukernels/gemm_cublas_model.h"
+#include "gpukernels/gemm_cudac.h"
+#include "gpukernels/gemv_summation.h"
+#include "gpukernels/kernel_eval.h"
+#include "gpukernels/norms.h"
+#include "gpusim/device.h"
+
+namespace ksum::analytic {
+namespace {
+
+using gpukernels::Workspace;
+
+// Divides the grid-uniform counters by the CTA count (exact by
+// construction: every CTA of these kernels issues a congruent access
+// stream). Cache-state-dependent fields (hits/misses/DRAM) are dropped —
+// the DRAM model owns them.
+CalibrationResult from_launch(const gpusim::LaunchResult& launch) {
+  const std::uint64_t ctas = launch.grid.count();
+  KSUM_CHECK(ctas >= 1);
+  const auto div = [ctas](std::uint64_t v, const char* what) {
+    KSUM_CHECK_MSG(v % ctas == 0,
+                   std::string("non-uniform per-CTA counter: ") + what);
+    return v / ctas;
+  };
+  const gpusim::Counters& c = launch.counters;
+  CalibrationResult out;
+  gpusim::Counters& p = out.per_cta;
+  p.fma_ops = div(c.fma_ops, "fma");
+  p.alu_ops = div(c.alu_ops, "alu");
+  p.sfu_ops = div(c.sfu_ops, "sfu");
+  p.warp_instructions = div(c.warp_instructions, "warp_instructions");
+  p.smem_load_requests = div(c.smem_load_requests, "smem_load_requests");
+  p.smem_store_requests = div(c.smem_store_requests, "smem_store_requests");
+  p.smem_load_transactions =
+      div(c.smem_load_transactions, "smem_load_transactions");
+  p.smem_store_transactions =
+      div(c.smem_store_transactions, "smem_store_transactions");
+  p.smem_bank_conflicts = div(c.smem_bank_conflicts, "smem_bank_conflicts");
+  p.global_load_requests = div(c.global_load_requests, "global_loads");
+  p.global_store_requests = div(c.global_store_requests, "global_stores");
+  p.atomic_requests = div(c.atomic_requests, "atomics");
+  p.l2_read_transactions = div(c.l2_read_transactions, "l2_reads");
+  p.l2_write_transactions = div(c.l2_write_transactions, "l2_writes");
+  p.barriers = div(c.barriers, "barriers");
+  p.ctas_launched = 1;
+  p.kernel_launches = 1;
+  out.config = launch.config;
+  return out;
+}
+
+CalibrationResult calibrate(const CalibrationKey& key) {
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{64} << 20);
+  core::KernelParams params;  // Gaussian defaults; counts are data-blind
+
+  switch (key.kind) {
+    case KernelKind::kNorms: {
+      Workspace ws = gpukernels::allocate_workspace(device, 128, 128, key.k,
+                                                    /*with_intermediate=*/false);
+      return from_launch(gpukernels::run_norms_a(device, ws));
+    }
+    case KernelKind::kGemmCudaC: {
+      Workspace ws = gpukernels::allocate_workspace(device, 128, 128, key.k,
+                                                    /*with_intermediate=*/true);
+      gpukernels::GemmOptions opts;
+      opts.mainloop.layout = key.layout;
+      opts.mainloop.double_buffer = key.double_buffer;
+      return from_launch(gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c,
+                                                    128, 128, key.k, opts));
+    }
+    case KernelKind::kGemmCublas: {
+      Workspace ws = gpukernels::allocate_workspace(device, 128, 128, key.k,
+                                                    /*with_intermediate=*/true);
+      return from_launch(gpukernels::run_gemm_cublas_model(
+          device, ws.a, ws.b, ws.c, 128, 128, key.k));
+    }
+    case KernelKind::kFused: {
+      Workspace ws = gpukernels::allocate_workspace(device, 128, 128, key.k,
+                                                    /*with_intermediate=*/false);
+      gpukernels::FusedOptions opts;
+      opts.mainloop.layout = key.layout;
+      opts.mainloop.double_buffer = key.double_buffer;
+      opts.fuse_norms = key.fuse_norms;
+      return from_launch(
+          gpukernels::run_fused_ksum(device, ws, params, opts).main);
+    }
+    case KernelKind::kFusedStaged: {
+      // The staged variant's partial-vector stores stride by grid.x, so the
+      // calibration must use the real column-grid width (key.n = N).
+      Workspace ws = gpukernels::allocate_workspace(device, 128, key.n,
+                                                    key.k,
+                                                    /*with_intermediate=*/false);
+      gpukernels::FusedOptions opts;
+      opts.mainloop.layout = key.layout;
+      opts.mainloop.double_buffer = key.double_buffer;
+      opts.atomic_reduction = false;
+      opts.fuse_norms = key.fuse_norms;
+      return from_launch(
+          gpukernels::run_fused_ksum(device, ws, params, opts).main);
+    }
+    case KernelKind::kPartialReduce: {
+      // Run the staged fused pipeline on a one-CTA-row problem with the
+      // real column-grid width (key.n = N), then calibrate its second pass.
+      Workspace ws = gpukernels::allocate_workspace(device, 128, key.n, 8,
+                                                    /*with_intermediate=*/false);
+      gpukernels::FusedOptions opts;
+      opts.atomic_reduction = false;
+      const auto result =
+          gpukernels::run_fused_ksum(device, ws, params, opts);
+      KSUM_CHECK(result.extra.size() == 1);
+      return from_launch(result.extra.front());
+    }
+    case KernelKind::kKernelEval: {
+      Workspace ws = gpukernels::allocate_workspace(device, 8, key.n, 8,
+                                                    /*with_intermediate=*/true);
+      return from_launch(gpukernels::run_kernel_eval(device, ws, params));
+    }
+    case KernelKind::kGemv: {
+      Workspace ws = gpukernels::allocate_workspace(device, 128, key.n, 8,
+                                                    /*with_intermediate=*/true);
+      return from_launch(gpukernels::run_gemv_summation(device, ws));
+    }
+  }
+  KSUM_CHECK_MSG(false, "unhandled kernel kind");
+  return {};
+}
+
+}  // namespace
+
+gpusim::Counters scale_counters(const gpusim::Counters& per_cta,
+                                std::size_t num_ctas) {
+  gpusim::Counters out;
+  const auto s = [num_ctas](std::uint64_t v) { return v * num_ctas; };
+  out.fma_ops = s(per_cta.fma_ops);
+  out.alu_ops = s(per_cta.alu_ops);
+  out.sfu_ops = s(per_cta.sfu_ops);
+  out.warp_instructions = s(per_cta.warp_instructions);
+  out.smem_load_requests = s(per_cta.smem_load_requests);
+  out.smem_store_requests = s(per_cta.smem_store_requests);
+  out.smem_load_transactions = s(per_cta.smem_load_transactions);
+  out.smem_store_transactions = s(per_cta.smem_store_transactions);
+  out.smem_bank_conflicts = s(per_cta.smem_bank_conflicts);
+  out.global_load_requests = s(per_cta.global_load_requests);
+  out.global_store_requests = s(per_cta.global_store_requests);
+  out.atomic_requests = s(per_cta.atomic_requests);
+  out.l2_read_transactions = s(per_cta.l2_read_transactions);
+  out.l2_write_transactions = s(per_cta.l2_write_transactions);
+  out.barriers = s(per_cta.barriers);
+  out.ctas_launched = num_ctas;
+  out.kernel_launches = 1;
+  return out;
+}
+
+const CalibrationResult& Calibrator::get(const CalibrationKey& key) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, calibrate(key)).first;
+  }
+  return it->second;
+}
+
+}  // namespace ksum::analytic

@@ -1,0 +1,34 @@
+// Host single-precision GEMM: C = alpha · A·B + beta · C.
+//
+// A is M×K row major, B is K×N column major, C is M×N row major — the
+// operand layouts of the paper's Algorithm 1. Three implementations:
+//
+//  * sgemm_naive    — triple loop; the correctness oracle for everything else.
+//  * sgemm_blocked  — cache-blocked with a small register micro-kernel; the
+//                     default host path.
+//  * sgemm_parallel — sgemm_blocked with OpenMP over row panels (falls back
+//                     to the serial blocked version when built without
+//                     OpenMP).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace ksum::blas {
+
+struct GemmDims {
+  std::size_t m, n, k;
+};
+
+/// Extracts and validates the dimensions of C = A·B.
+GemmDims check_gemm_shapes(const Matrix& a, const Matrix& b, const Matrix& c);
+
+void sgemm_naive(float alpha, const Matrix& a, const Matrix& b, float beta,
+                 Matrix& c);
+
+void sgemm_blocked(float alpha, const Matrix& a, const Matrix& b, float beta,
+                   Matrix& c);
+
+void sgemm_parallel(float alpha, const Matrix& a, const Matrix& b, float beta,
+                    Matrix& c);
+
+}  // namespace ksum::blas

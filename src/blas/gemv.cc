@@ -1,0 +1,20 @@
+#include "blas/gemv.h"
+
+#include "common/error.h"
+
+namespace ksum::blas {
+
+void sgemv(float alpha, const Matrix& a, std::span<const float> x, float beta,
+           std::span<float> y) {
+  KSUM_REQUIRE(x.size() == a.cols(), "GEMV x length must equal A cols");
+  KSUM_REQUIRE(y.size() == a.rows(), "GEMV y length must equal A rows");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      sum += double(a.at(i, j)) * double(x[j]);
+    }
+    y[i] = alpha * float(sum) + beta * y[i];
+  }
+}
+
+}  // namespace ksum::blas

@@ -1,0 +1,12 @@
+// Host single-precision GEMV: y = alpha · A·x + beta · y, with A M×N in
+// either storage order.
+#pragma once
+
+#include "common/matrix.h"
+
+namespace ksum::blas {
+
+void sgemv(float alpha, const Matrix& a, std::span<const float> x, float beta,
+           std::span<float> y);
+
+}  // namespace ksum::blas

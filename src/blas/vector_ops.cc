@@ -1,0 +1,70 @@
+#include "blas/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ksum::blas {
+
+Vector row_squared_norms(const Matrix& a) {
+  Vector out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t d = 0; d < a.cols(); ++d) {
+      const double v = a.at(i, d);
+      sum += v * v;
+    }
+    out[i] = float(sum);
+  }
+  return out;
+}
+
+Vector col_squared_norms(const Matrix& b) {
+  Vector out(b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t d = 0; d < b.rows(); ++d) {
+      const double v = b.at(d, j);
+      sum += v * v;
+    }
+    out[j] = float(sum);
+  }
+  return out;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  KSUM_REQUIRE(x.size() == y.size(), "dot operands must have equal length");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += double(x[i]) * double(y[i]);
+  }
+  return sum;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  KSUM_REQUIRE(x.size() == y.size(), "axpy operands must have equal length");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+float max_abs_diff(std::span<const float> x, std::span<const float> y) {
+  KSUM_REQUIRE(x.size() == y.size(), "operands must have equal length");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::fabs(x[i] - y[i]));
+  }
+  return worst;
+}
+
+double max_rel_diff(std::span<const float> x, std::span<const float> y,
+                    double floor) {
+  KSUM_REQUIRE(x.size() == y.size(), "operands must have equal length");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double denom = std::max(std::abs(double(y[i])), floor);
+    worst = std::max(worst, std::abs(double(x[i]) - double(y[i])) / denom);
+  }
+  return worst;
+}
+
+}  // namespace ksum::blas

@@ -1,0 +1,28 @@
+// Vector/row/column primitives used by the expansion-based solvers:
+// squared norms of point sets, dot products, axpy.
+#pragma once
+
+#include "common/matrix.h"
+
+namespace ksum::blas {
+
+/// ‖row i‖² for every row of a row-major M×K matrix (the `vecα` of
+/// Algorithm 1).
+Vector row_squared_norms(const Matrix& a);
+
+/// ‖col j‖² for every column of a col-major K×N matrix (the `vecβ`).
+Vector col_squared_norms(const Matrix& b);
+
+double dot(std::span<const float> x, std::span<const float> y);
+
+/// y += alpha · x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// max_i |x_i − y_i|
+float max_abs_diff(std::span<const float> x, std::span<const float> y);
+
+/// max_i |x_i − y_i| / max(|y_i|, floor)
+double max_rel_diff(std::span<const float> x, std::span<const float> y,
+                    double floor = 1e-30);
+
+}  // namespace ksum::blas

@@ -1,0 +1,30 @@
+#include "common/csv.h"
+
+#include "common/error.h"
+
+namespace ksum {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  KSUM_REQUIRE(out_.good(), "cannot open CSV output file: " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ksum

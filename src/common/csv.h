@@ -1,0 +1,23 @@
+// Minimal CSV writer; every bench can mirror its table into a CSV file so
+// plots can be regenerated without re-running the sweep.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ksum {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws ksum::Error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace ksum

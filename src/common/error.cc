@@ -1,0 +1,17 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace ksum::detail {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw InternalError(os.str());
+}
+
+}  // namespace ksum::detail

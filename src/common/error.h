@@ -1,0 +1,68 @@
+// Error handling for the ksum library.
+//
+// Library code throws ksum::Error (a std::runtime_error) for conditions a
+// caller can plausibly recover from (bad problem sizes, config parse errors).
+// Internal invariants use KSUM_CHECK / KSUM_DCHECK, which throw
+// ksum::InternalError with file/line context; a failed check is a bug in the
+// library, never a user error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ksum {
+
+/// Recoverable error caused by invalid input or configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated internal invariant: indicates a bug in ksum itself.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace ksum
+
+/// Always-on invariant check. `msg` is any expression streamable to a string
+/// via ksum::str_cat-style concatenation; keep it cheap, it is only evaluated
+/// on failure.
+#define KSUM_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ksum::detail::throw_check_failure("KSUM_CHECK", #cond, __FILE__,     \
+                                          __LINE__, "");                     \
+    }                                                                        \
+  } while (0)
+
+#define KSUM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ksum::detail::throw_check_failure("KSUM_CHECK", #cond, __FILE__,     \
+                                          __LINE__, (msg));                  \
+    }                                                                        \
+  } while (0)
+
+/// Validates user-supplied arguments; throws ksum::Error.
+#define KSUM_REQUIRE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      throw ::ksum::Error(std::string("ksum: ") + (msg));                    \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define KSUM_DCHECK(cond) KSUM_CHECK(cond)
+#else
+#define KSUM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif

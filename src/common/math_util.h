@@ -1,0 +1,52 @@
+// Small integer/math helpers shared across the library.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/error.h"
+
+namespace ksum {
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  KSUM_DCHECK(b > 0);
+  KSUM_DCHECK(a >= 0);
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the nearest multiple of `b`.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+template <typename T>
+constexpr bool is_pow2(T x) {
+  static_assert(std::is_integral_v<T>);
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// Integer log2 of a power of two.
+template <typename T>
+constexpr int log2_exact(T x) {
+  KSUM_DCHECK(is_pow2(x));
+  int l = 0;
+  while ((T{1} << l) < x) ++l;
+  return l;
+}
+
+/// Saturating conversion of a double ratio into percent.
+constexpr double as_percent(double ratio) { return ratio * 100.0; }
+
+/// Relative error |a-b| / max(|b|, floor). Used by numerical tests.
+inline double rel_err(double a, double b, double floor = 1e-30) {
+  const double denom = std::abs(b) > floor ? std::abs(b) : floor;
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace ksum

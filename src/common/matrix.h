@@ -1,0 +1,56 @@
+// Dense single-precision matrix with explicit storage order.
+//
+// The paper fixes A (source points, M×K) in row-major order and B (target
+// points, K×N) in column-major order; carrying the layout in the type keeps
+// the kernel address-generation code honest.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "common/error.h"
+
+namespace ksum {
+
+enum class Layout { kRowMajor, kColMajor };
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, Layout layout)
+      : rows_(rows), cols_(cols), layout_(layout), data_(rows * cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  Layout layout() const { return layout_; }
+  std::size_t size() const { return rows_ * cols_; }
+
+  /// Linear index of element (r, c) in the backing buffer.
+  std::size_t index(std::size_t r, std::size_t c) const {
+    KSUM_DCHECK(r < rows_ && c < cols_);
+    return layout_ == Layout::kRowMajor ? r * cols_ + c : c * rows_ + r;
+  }
+
+  float& at(std::size_t r, std::size_t c) { return data_[index(r, c)]; }
+  float at(std::size_t r, std::size_t c) const { return data_[index(r, c)]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_.span(); }
+  std::span<const float> span() const { return data_.span(); }
+
+  void fill(float v) { data_.fill(v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Layout layout_ = Layout::kRowMajor;
+  AlignedBuffer<float> data_;
+};
+
+/// Dense single-precision vector.
+using Vector = AlignedBuffer<float>;
+
+}  // namespace ksum

@@ -1,0 +1,43 @@
+// Deterministic, seedable random number generation.
+//
+// xoshiro256** with a splitmix64 seeder; the same seed yields the same
+// workload on every platform, which the reproduction harness relies on.
+#pragma once
+
+#include <cstdint>
+
+namespace ksum {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  float normal();
+
+  /// Normal with given mean / stddev.
+  float normal(float mean, float stddev);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Derives an independent stream; children of distinct indices do not
+  /// overlap for any practical draw count.
+  Rng split(std::uint64_t stream_index) const;
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace ksum

@@ -1,0 +1,66 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ksum {
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_fixed(double v, int digits) {
+  return str_format("%.*f", digits, v);
+}
+
+std::string format_percent(double ratio, int digits) {
+  return str_format("%.*f%%", digits, ratio * 100.0);
+}
+
+std::string format_si(double v, int digits) {
+  static constexpr const char* kSuffix[] = {"", "K", "M", "G", "T", "P"};
+  int tier = 0;
+  double mag = std::fabs(v);
+  while (mag >= 1000.0 && tier < 5) {
+    mag /= 1000.0;
+    v /= 1000.0;
+    ++tier;
+  }
+  return str_format("%.*f%s", digits, v, kSuffix[tier]);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace ksum

@@ -1,0 +1,30 @@
+// String formatting helpers used by the report/table layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ksum {
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(1.8345, 2) == "1.83".
+std::string format_fixed(double v, int digits);
+
+/// "12.3%", one decimal by default.
+std::string format_percent(double ratio, int digits = 1);
+
+/// Human-readable large counts: 1234 → "1.23K", 5.2e9 → "5.20G".
+std::string format_si(double v, int digits = 2);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Left/right padding to a column width.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace ksum

@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ksum {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> columns) {
+  KSUM_REQUIRE(!columns.empty(), "table header must have at least one column");
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (!header_.empty()) {
+    KSUM_REQUIRE(cells.size() == header_.size(),
+                 "table row width does not match header");
+  }
+  rows_.push_back({std::move(cells), /*is_separator=*/false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back({{}, /*is_separator=*/true});
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Compute column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto absorb = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      width[c] = std::max(width[c], cells[c].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) absorb(r.cells);
+  }
+
+  auto print_rule = [&] {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << std::string(width[c] + 2, '-') << '|';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << pad_right(v, width[c]) << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "### " << title_ << '\n';
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      print_rule();
+    } else {
+      print_cells(r.cells);
+    }
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::vector<std::vector<std::string>> Table::export_rows() const {
+  std::vector<std::vector<std::string>> out;
+  if (!header_.empty()) out.push_back(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) out.push_back(r.cells);
+  }
+  return out;
+}
+
+}  // namespace ksum

@@ -1,0 +1,48 @@
+// ASCII table printer used by the reproduction harness to emit
+// paper-style tables and figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ksum {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row. Column count is fixed from this call onward.
+  Table& header(std::vector<std::string> columns);
+
+  /// Appends a data row; must match the header width if one was set.
+  Table& row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator between row groups.
+  Table& separator();
+
+  /// Renders with column-aligned pipes, e.g.
+  ///   | K   | M      | speedup |
+  ///   |-----|--------|---------|
+  ///   | 32  | 1024   | 1.78    |
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Header + data rows (separators skipped) for structured export (CSV).
+  std::vector<std::vector<std::string>> export_rows() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ksum

@@ -1,0 +1,26 @@
+// Wall-clock timer for host-side measurements (the simulated device has its
+// own cycle model in gpusim/timing.h; this is only for host BLAS benches).
+#pragma once
+
+#include <chrono>
+
+namespace ksum {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ksum

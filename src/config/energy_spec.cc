@@ -1,0 +1,27 @@
+#include "config/energy_spec.h"
+
+#include "common/error.h"
+
+namespace ksum::config {
+
+void EnergySpec::validate() const {
+  KSUM_REQUIRE(fma_pj > 0 && sfu_pj > 0 && instruction_pj >= 0 &&
+                   smem_access_pj > 0 && l2_access_pj > 0 &&
+                   dram_access_pj > 0,
+               "per-event energies must be positive");
+  KSUM_REQUIRE(dram_access_pj > l2_access_pj,
+               "DRAM access must cost more than an L2 access");
+  KSUM_REQUIRE(l2_access_pj > smem_access_pj,
+               "L2 access must cost more than a shared memory access");
+  KSUM_REQUIRE(l1_access_pj > 0 && l1_access_pj < l2_access_pj,
+               "L1 access must sit between shared memory and L2");
+  KSUM_REQUIRE(static_power_w >= 0, "static power cannot be negative");
+}
+
+EnergySpec EnergySpec::gtx970_mcpat() {
+  EnergySpec spec;  // defaults are the calibrated constants
+  spec.validate();
+  return spec;
+}
+
+}  // namespace ksum::config

@@ -1,0 +1,38 @@
+#include "config/timing_spec.h"
+
+#include "common/error.h"
+
+namespace ksum::config {
+
+KernelGrade KernelGrade::cuda_c() {
+  KernelGrade g;
+  g.base_issue_efficiency = 0.60;
+  g.prologue_equiv_iters = 1.4;
+  g.single_cta_penalty = 0.85;
+  g.name = "cuda-c";
+  return g;
+}
+
+KernelGrade KernelGrade::assembly() {
+  KernelGrade g;
+  g.base_issue_efficiency = 0.88;
+  g.prologue_equiv_iters = 0.9;
+  g.single_cta_penalty = 0.92;
+  g.name = "assembly";
+  return g;
+}
+
+void TimingSpec::validate() const {
+  KSUM_REQUIRE(launch_overhead_cycles >= 0, "launch overhead >= 0");
+  KSUM_REQUIRE(cta_dispatch_cycles >= 0, "dispatch cost >= 0");
+  KSUM_REQUIRE(dram_efficiency > 0 && dram_efficiency <= 1.0,
+               "dram efficiency in (0, 1]");
+}
+
+TimingSpec TimingSpec::gtx970() {
+  TimingSpec spec;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace ksum::config

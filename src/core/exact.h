@@ -1,0 +1,35 @@
+// Exact host-side kernel summation solvers.
+//
+// These are the numerical oracles: `solve_direct` evaluates K(α_i, β_j)
+// from the raw coordinates with double accumulation; `solve_expansion`
+// follows Algorithm 1 of the paper literally (norms → GEMM → elementwise
+// kernel → GEMV) on the host BLAS. The simulated pipelines must agree with
+// both to single-precision tolerances.
+#pragma once
+
+#include "common/matrix.h"
+#include "core/kernels.h"
+#include "workload/point_generators.h"
+
+namespace ksum::core {
+
+/// Direct O(M·N·K) evaluation of V_j = Σ_i K(α_i, β_j)·W_i.
+///
+/// NOTE on orientation: Algorithm 1 of the paper builds the M×N matrix
+/// K[i,j] = K(α_i, β_j) and computes V = K·W — which makes V M-dimensional
+/// and W N-dimensional (each target j contributes weight W_j to source
+/// potential V_i... the paper's prose swaps the letters). We follow the
+/// algebra of Algorithm 1: output has length M, weights have length N.
+Vector solve_direct(const workload::Instance& instance,
+                    const KernelParams& params);
+
+/// Algorithm 1 on the host BLAS; also returns the intermediate kernel
+/// matrix when `keep_kernel_matrix` is non-null (used by tests).
+Vector solve_expansion(const workload::Instance& instance,
+                       const KernelParams& params,
+                       Matrix* keep_kernel_matrix = nullptr);
+
+/// Convenience: Gaussian parameters from the instance's ProblemSpec.
+KernelParams params_from_spec(const workload::ProblemSpec& spec);
+
+}  // namespace ksum::core

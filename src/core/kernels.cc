@@ -1,0 +1,55 @@
+#include "core/kernels.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ksum::core {
+
+std::string to_string(KernelType type) {
+  switch (type) {
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kLaplace3d:
+      return "laplace";
+    case KernelType::kMatern32:
+      return "matern-3/2";
+    case KernelType::kCauchy:
+      return "cauchy";
+    case KernelType::kPolynomial2:
+      return "polynomial-2";
+  }
+  return "unknown";
+}
+
+bool is_radial(KernelType type) {
+  return type != KernelType::kPolynomial2;
+}
+
+float evaluate(const KernelParams& params, float squared_distance,
+               float dot) {
+  // Rounding in the −2αᵀβ expansion can drive d² slightly negative for
+  // coincident points; clamp exactly like a production implementation must.
+  const float d2 = squared_distance < 0.0f ? 0.0f : squared_distance;
+  const float h = params.bandwidth;
+  switch (params.type) {
+    case KernelType::kGaussian:
+      return std::exp(-d2 / (2.0f * h * h));
+    case KernelType::kLaplace3d:
+      return 1.0f / std::sqrt(d2 + params.softening * params.softening);
+    case KernelType::kMatern32: {
+      const float r = std::sqrt(d2) * std::sqrt(3.0f) / h;
+      return (1.0f + r) * std::exp(-r);
+    }
+    case KernelType::kCauchy:
+      return 1.0f / (1.0f + d2 / (h * h));
+    case KernelType::kPolynomial2: {
+      const float v = dot + params.poly_shift;
+      return v * v;
+    }
+  }
+  KSUM_CHECK_MSG(false, "unhandled kernel type");
+  return 0.0f;
+}
+
+}  // namespace ksum::core

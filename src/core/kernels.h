@@ -1,0 +1,40 @@
+// Kernel functions K(α, β).
+//
+// Every kernel is expressed in the expansion form the paper's pipelines
+// need: a function of the squared Euclidean distance d² (computed as
+// ‖α‖² + ‖β‖² − 2αᵀβ). The paper uses the Gaussian; the others are the
+// classical kernels from its related-work section (reciprocal/Laplace
+// potentials, polynomial inner-product kernels) and ride the same machinery.
+#pragma once
+
+#include <string>
+
+namespace ksum::core {
+
+enum class KernelType {
+  kGaussian,     // exp(−d² / 2h²)
+  kLaplace3d,    // 1 / sqrt(d²) with softening (reciprocal-distance potential)
+  kMatern32,     // (1 + √3·d/h) · exp(−√3·d/h)
+  kCauchy,       // 1 / (1 + d²/h²)
+  kPolynomial2,  // (αᵀβ + c)² — uses the inner product, not the distance
+};
+
+std::string to_string(KernelType type);
+
+struct KernelParams {
+  KernelType type = KernelType::kGaussian;
+  float bandwidth = 1.0f;   // h
+  float softening = 1e-6f;  // Plummer softening for the reciprocal kernel
+  float poly_shift = 1.0f;  // c for the polynomial kernel
+};
+
+/// Evaluates the kernel given the squared distance d² (or, for the
+/// polynomial kernel, given the raw inner product αᵀβ passed via `dot`).
+/// All pipelines — host oracle, simulated fused kernel, simulated eval pass —
+/// call this single definition, so numerical agreement tests are meaningful.
+float evaluate(const KernelParams& params, float squared_distance, float dot);
+
+/// True for kernels that only need d² (everything except polynomial).
+bool is_radial(KernelType type);
+
+}  // namespace ksum::core

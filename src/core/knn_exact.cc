@@ -1,0 +1,46 @@
+#include "core/knn_exact.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ksum::core {
+
+KnnOracleResult knn_exact(const workload::Instance& instance,
+                          std::size_t k_nn) {
+  const Matrix& a = instance.a;
+  const Matrix& b = instance.b;
+  KSUM_REQUIRE(a.cols() == b.rows(), "A and B disagree on dimension K");
+  KSUM_REQUIRE(k_nn >= 1 && k_nn <= b.cols(),
+               "k_nn must be in [1, number of database points]");
+
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+  const std::size_t k = a.cols();
+
+  KnnOracleResult result;
+  result.k_nn = k_nn;
+  result.distances.resize(m * k_nn);
+  result.indices.resize(m * k_nn);
+
+  std::vector<std::pair<double, std::uint32_t>> row(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < k; ++d) {
+        const double diff = double(a.at(i, d)) - double(b.at(d, j));
+        d2 += diff * diff;
+      }
+      row[j] = {d2, static_cast<std::uint32_t>(j)};
+    }
+    std::partial_sort(row.begin(), row.begin() + std::ptrdiff_t(k_nn),
+                      row.end());
+    for (std::size_t rank = 0; rank < k_nn; ++rank) {
+      result.distances[i * k_nn + rank] = row[rank].first;
+      result.indices[i * k_nn + rank] = row[rank].second;
+    }
+  }
+  return result;
+}
+
+}  // namespace ksum::core

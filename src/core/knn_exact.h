@@ -1,0 +1,30 @@
+// Exact host k-nearest-neighbour oracle: for every source point α_i, the
+// k database points β_j with the smallest squared distances, computed with
+// double accumulation. Numerical reference for the simulated kNN kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/point_generators.h"
+
+namespace ksum::core {
+
+struct KnnOracleResult {
+  std::size_t k_nn = 0;
+  std::vector<double> distances;       // M×k_nn, nearest first
+  std::vector<std::uint32_t> indices;  // M×k_nn
+
+  double distance(std::size_t query, std::size_t rank) const {
+    return distances[query * k_nn + rank];
+  }
+  std::uint32_t index(std::size_t query, std::size_t rank) const {
+    return indices[query * k_nn + rank];
+  }
+};
+
+/// O(M·N·K) exact search (ties broken by lower index).
+KnnOracleResult knn_exact(const workload::Instance& instance,
+                          std::size_t k_nn);
+
+}  // namespace ksum::core

@@ -1,0 +1,47 @@
+#include "gpukernels/device_workspace.h"
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+
+Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
+                             std::size_t n, std::size_t k,
+                             bool with_intermediate) {
+  Workspace ws;
+  ws.m = m;
+  ws.n = n;
+  ws.k = k;
+  auto& mem = device.memory();
+  ws.a = mem.allocate(m * k * 4, "A");
+  ws.b = mem.allocate(k * n * 4, "B");
+  ws.w = mem.allocate(n * 4, "W");
+  ws.v = mem.allocate(m * 4, "V");
+  ws.norm_a = mem.allocate(m * 4, "normA");
+  ws.norm_b = mem.allocate(n * 4, "normB");
+  if (with_intermediate) {
+    ws.c = mem.allocate(m * n * 4, "C");
+  }
+  return ws;
+}
+
+void upload_instance(gpusim::Device& device, Workspace& ws,
+                     const workload::Instance& instance) {
+  KSUM_REQUIRE(instance.a.rows() == ws.m && instance.a.cols() == ws.k,
+               "instance A shape mismatch");
+  KSUM_REQUIRE(instance.b.rows() == ws.k && instance.b.cols() == ws.n,
+               "instance B shape mismatch");
+  KSUM_REQUIRE(instance.w.size() == ws.n, "instance W length mismatch");
+  auto& mem = device.memory();
+  mem.upload_matrix(ws.a, instance.a);
+  mem.upload_matrix(ws.b, instance.b);
+  mem.upload(ws.w, instance.w.span());
+  mem.fill(ws.v, 0.0f);
+}
+
+Vector download_result(gpusim::Device& device, const Workspace& ws) {
+  Vector v(ws.m);
+  device.memory().download(ws.v, v.span());
+  return v;
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,35 @@
+// Device-side buffers for one kernel-summation problem and the staging
+// (cudaMemcpy stand-in) that fills them from a workload::Instance.
+#pragma once
+
+#include "gpusim/device.h"
+#include "workload/point_generators.h"
+
+namespace ksum::gpukernels {
+
+struct Workspace {
+  std::size_t m = 0, n = 0, k = 0;
+  gpusim::DeviceBuffer a;       // M×K row major
+  gpusim::DeviceBuffer b;       // K×N col major
+  gpusim::DeviceBuffer w;       // N
+  gpusim::DeviceBuffer v;       // M (result)
+  gpusim::DeviceBuffer norm_a;  // M (‖α_i‖²)
+  gpusim::DeviceBuffer norm_b;  // N (‖β_j‖²)
+  gpusim::DeviceBuffer c;       // M×N intermediate (unfused pipelines only)
+};
+
+/// Allocates buffers. `with_intermediate` also allocates the M×N matrix the
+/// unfused pipelines stream through DRAM (the fused pipeline never needs it).
+Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
+                             std::size_t n, std::size_t k,
+                             bool with_intermediate);
+
+/// Uploads A, B and W (host→device staging; not counted as device traffic,
+/// matching the paper's measurements which exclude PCIe transfers).
+void upload_instance(gpusim::Device& device, Workspace& ws,
+                     const workload::Instance& instance);
+
+/// Downloads the result vector V.
+Vector download_result(gpusim::Device& device, const Workspace& ws);
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,243 @@
+#include "gpukernels/fused_ksum.h"
+
+#include "common/error.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+// Second pass of the non-atomic ablation: V[row] = Σ_bx staged[row][bx].
+// One CTA of 128 threads reduces 128 rows (M is guaranteed a multiple of
+// 128 by the tile geometry).
+gpusim::LaunchResult run_partial_reduce(gpusim::Device& device,
+                                        const gpusim::DeviceBuffer& staged,
+                                        const gpusim::DeviceBuffer& v,
+                                        std::size_t m, std::size_t grid_x) {
+  gpusim::GridDim grid{static_cast<int>(m / 128), 1};
+  gpusim::BlockDim block{128, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = 128;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 0;
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
+    for (int warp = 0; warp < 4; ++warp) {
+      std::array<float, 32> sums{};
+      for (std::size_t j = 0; j < grid_x; ++j) {
+        gpusim::GlobalWarpAccess access;
+        for (int lane = 0; lane < 32; ++lane) {
+          const std::size_t row =
+              row_base + static_cast<std::size_t>(warp * 32 + lane);
+          access.set_lane(lane, staged.addr_of_float(row * grid_x + j));
+        }
+        const auto vals = ctx.global_load(access);
+        for (int lane = 0; lane < 32; ++lane) {
+          sums[static_cast<std::size_t>(lane)] +=
+              vals[static_cast<std::size_t>(lane)];
+        }
+        ctx.count_alu(32);
+      }
+      gpusim::GlobalWarpAccess store;
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t row =
+            row_base + static_cast<std::size_t>(warp * 32 + lane);
+        store.set_lane(lane, v.addr_of_float(row));
+      }
+      ctx.global_store(store, sums);
+    }
+  };
+  return device.launch("fused_partial_reduce", grid, block, cfg, program);
+}
+
+}  // namespace
+
+FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
+                           const core::KernelParams& params,
+                           const FusedOptions& options) {
+  KSUM_REQUIRE(core::is_radial(params.type) ||
+                   params.type == core::KernelType::kPolynomial2,
+               "unsupported kernel type");
+  const GemmGrid geom = gemm_grid(ws.m, ws.n, ws.k);
+  gpusim::LaunchConfig cfg = gemm_launch_config(/*fused=*/true);
+  if (!options.mainloop.double_buffer) {
+    cfg.smem_bytes_per_block =
+        2 * kTileBytes + 3 * kTileM * 4;  // halved tile buffers
+  }
+
+  // Staging buffer for the non-atomic ablation: one partial V column per
+  // CTA column, laid out row major (m × grid.x).
+  gpusim::DeviceBuffer staged;
+  if (!options.atomic_reduction) {
+    staged = device.memory().allocate(
+        ws.m * static_cast<std::size_t>(geom.grid.x) * 4, "fused_staging");
+  }
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    SmemMap map{};
+    if (!options.mainloop.double_buffer) {
+      map.b0 = kTileBytes;
+      map.norm_a = 2 * kTileBytes;
+      map.norm_b = 2 * kTileBytes + kTileM * 4;
+      map.weights = 2 * kTileBytes + 2 * kTileM * 4;
+    }
+    const std::size_t row_base = static_cast<std::size_t>(ctx.by()) * kTileM;
+    const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
+
+    // Prologue: stage the segments this CTA needs. With fused norms the
+    // vecα/vecβ loads disappear — the main loop produces them below.
+    if (!options.fuse_norms) {
+      load_vector_segment(ctx, ws.norm_a, row_base, map.norm_a);
+      load_vector_segment(ctx, ws.norm_b, col_base, map.norm_b);
+    }
+    load_vector_segment(ctx, ws.w, col_base, map.weights);
+
+    // GEMM portion (Algorithm 2 lines 5–13).
+    TileSource src_a{ws.a, row_base, ws.k};
+    TileSource src_b{ws.b, col_base, ws.k};
+    BlockAccumulators acc = make_accumulators();
+    TrackNormAccumulators a_norms{}, b_norms{};
+    run_gemm_mainloop(ctx, src_a, src_b, ws.k, options.mainloop, map, acc,
+                      options.fuse_norms ? &a_norms : nullptr,
+                      options.fuse_norms ? &b_norms : nullptr);
+
+    if (options.fuse_norms) {
+      // Each loader thread owns one complete track norm; one conflict-
+      // checked scalar store per warp half scatters them into the segment
+      // regions the evaluation phase reads.
+      for (int half = 0; half < 2; ++half) {
+        const gpusim::SharedAddr base = half == 0 ? map.norm_a : map.norm_b;
+        const TrackNormAccumulators& norms = half == 0 ? a_norms : b_norms;
+        for (int warp = 0; warp < 4; ++warp) {
+          gpusim::SharedWarpAccess store;
+          std::array<float, 32> values{};
+          for (int lane = 0; lane < 32; ++lane) {
+            const TrackAssignment ta = track_of_loader(
+                options.mainloop.layout, warp * 32 + lane);
+            const std::size_t track =
+                static_cast<std::size_t>(kMicro * ta.microtile + ta.track);
+            store.set_lane(lane, base + static_cast<gpusim::SharedAddr>(
+                                            track * 4));
+            values[static_cast<std::size_t>(lane)] = norms[track];
+          }
+          ctx.smem().store_warp(store, values);
+        }
+      }
+      ctx.barrier();
+    }
+
+    // Kernel evaluation + intra-thread weighted row reduction
+    // (lines 14–16), with everything still "in registers".
+    // The reduction scratch T reuses the tileA buffers: threads with
+    // tx < 8 write T0 (= sharedA0), the rest T1 (= sharedA1).
+    for (int warp = 0; warp < kWarps; ++warp) {
+      const auto na = load_segment_operands(ctx, map.norm_a, warp, true);
+      const auto nb = load_segment_operands(ctx, map.norm_b, warp, false);
+      const auto wv = load_segment_operands(ctx, map.weights, warp, false);
+
+      std::array<std::array<float, 8>, 32> gamma{};
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t tid = static_cast<std::size_t>(warp * 32 + lane);
+        const float* microtile = acc.data() + tid * 64;
+        for (int u = 0; u < kMicro; ++u) {
+          float sum = 0.0f;
+          for (int t = 0; t < kMicro; ++t) {
+            const float dot = microtile[u * kMicro + t];
+            const float d2 =
+                na[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+                    u)] +
+                nb[static_cast<std::size_t>(lane)]
+                  [static_cast<std::size_t>(t)] -
+                2.0f * dot;
+            const float kv = core::evaluate(params, d2, dot);
+            sum += kv * wv[static_cast<std::size_t>(lane)]
+                          [static_cast<std::size_t>(t)];
+          }
+          gamma[static_cast<std::size_t>(lane)][static_cast<std::size_t>(u)] =
+              sum;
+        }
+      }
+      ctx.count_fma(64 * 32 * 2);  // distance assembly (add + FMA)
+      ctx.count_sfu(64 * 32);      // kernel evaluation (exp et al.)
+      ctx.count_fma(64 * 32);      // weighted row sums
+
+      // Scatter γ into the reduction scratch.
+      for (int u = 0; u < kMicro; ++u) {
+        gpusim::SharedWarpAccess store;
+        std::array<float, 32> values{};
+        for (int lane = 0; lane < 32; ++lane) {
+          const int tid = warp * 32 + lane;
+          const int tx = thread_tx(tid);
+          const gpusim::SharedAddr t_base = tx < 8 ? map.a0 : map.a1;
+          const int row = kMicro * thread_ty(tid) + u;
+          store.set_lane(lane, t_base + static_cast<gpusim::SharedAddr>(
+                                            (row * 8 + tx % 8) * 4));
+          values[static_cast<std::size_t>(lane)] =
+              gamma[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+                  u)];
+        }
+        ctx.smem().store_warp(store, values);
+      }
+    }
+    ctx.barrier();
+
+    // Intra-CTA reduction (line 20): half the block, one thread per row.
+    std::array<std::array<float, 32>, 4> partials{};
+    for (int warp = 0; warp < 4; ++warp) {
+      std::array<float, 32> sums{};
+      for (int half = 0; half < 2; ++half) {
+        const gpusim::SharedAddr t_base = half == 0 ? map.a0 : map.a1;
+        for (int j = 0; j < 8; ++j) {
+          gpusim::SharedWarpAccess access;
+          for (int lane = 0; lane < 32; ++lane) {
+            const int row = warp * 32 + lane;
+            access.set_lane(lane, t_base + static_cast<gpusim::SharedAddr>(
+                                               (row * 8 + j) * 4));
+          }
+          const auto vals = ctx.smem().load_warp(access);
+          for (int lane = 0; lane < 32; ++lane) {
+            sums[static_cast<std::size_t>(lane)] +=
+                vals[static_cast<std::size_t>(lane)];
+          }
+          ctx.count_alu(32);
+        }
+      }
+      partials[static_cast<std::size_t>(warp)] = sums;
+    }
+
+    // Inter-CTA reduction (line 21): atomicAdd into subV, or the staged
+    // two-pass ablation.
+    for (int warp = 0; warp < 4; ++warp) {
+      gpusim::GlobalWarpAccess access;
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t row =
+            row_base + static_cast<std::size_t>(warp * 32 + lane);
+        if (options.atomic_reduction) {
+          access.set_lane(lane, ws.v.addr_of_float(row));
+        } else {
+          access.set_lane(
+              lane, staged.addr_of_float(
+                        row * static_cast<std::size_t>(geom.grid.x) +
+                        static_cast<std::size_t>(ctx.bx())));
+        }
+      }
+      if (options.atomic_reduction) {
+        ctx.global_atomic_add(access,
+                              partials[static_cast<std::size_t>(warp)]);
+      } else {
+        ctx.global_store(access, partials[static_cast<std::size_t>(warp)]);
+      }
+    }
+  };
+
+  FusedResult result;
+  result.main = device.launch("fused_ksum", geom.grid, gemm_block_dim(), cfg,
+                              program);
+  if (!options.atomic_reduction) {
+    result.extra.push_back(run_partial_reduce(
+        device, staged, ws.v, ws.m, static_cast<std::size_t>(geom.grid.x)));
+  }
+  return result;
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,36 @@
+// Model of the closed-source cuBLAS SGEMM.
+//
+// cuBLAS is a black box in the paper too — only its output values, its
+// memory-transaction stream and its (hand-scheduled SASS) throughput enter
+// the comparison. We model exactly those three:
+//
+//  * values: the C tile contents are computed with the host reference GEMM
+//    and stored through the simulated memory system, so downstream kernels
+//    consume bit-identical data through the same L2/DRAM path;
+//  * traffic: each CTA of a 128×128 blocking touches its A/B panel sectors
+//    exactly once (texture-path loads — no float4 double-touch, which is
+//    why cuBLAS shows fewer L2 transactions than the CUDA-C kernel at high
+//    K, the paper's Fig. 8a observation) and writes its C tile coalesced;
+//  * time: the FMA work is counted and the timing model applies the
+//    `assembly` KernelGrade (config/timing_spec.h), calibrated to the
+//    paper's Fig. 7 gap of 1.5–2.0× over the CUDA-C kernel.
+#pragma once
+
+#include "gpusim/device.h"
+#include "gpusim/global_memory.h"
+
+namespace ksum::gpukernels {
+
+/// C = A·B through the cuBLAS model. Same shape requirements as the
+/// CUDA-C GEMM (M, N multiples of 128; K multiple of 8).
+gpusim::LaunchResult run_gemm_cublas_model(gpusim::Device& device,
+                                           const gpusim::DeviceBuffer& a,
+                                           const gpusim::DeviceBuffer& b,
+                                           const gpusim::DeviceBuffer& c,
+                                           std::size_t m, std::size_t n,
+                                           std::size_t k);
+
+/// The launch resources the model assumes (used by the timing layer).
+gpusim::LaunchConfig cublas_gemm_launch_config();
+
+}  // namespace ksum::gpukernels

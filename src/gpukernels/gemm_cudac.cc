@@ -1,0 +1,72 @@
+#include "gpukernels/gemm_cudac.h"
+
+#include "common/error.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::gpukernels {
+
+void store_submatrix_c(gpusim::BlockContext& ctx,
+                       const gpusim::DeviceBuffer& c, std::size_t n,
+                       const BlockAccumulators& acc) {
+  const std::size_t row_base = static_cast<std::size_t>(ctx.by()) * kTileM;
+  const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
+  for (int warp = 0; warp < kWarps; ++warp) {
+    // Each thread writes its microtile row u as two float4 stores.
+    for (int u = 0; u < kMicro; ++u) {
+      for (int piece = 0; piece < 2; ++piece) {
+        gpusim::GlobalWarpAccess access;
+        access.width_bytes = 16;
+        std::array<std::array<float, 4>, 32> values{};
+        for (int lane = 0; lane < 32; ++lane) {
+          const int tid = warp * 32 + lane;
+          const std::size_t row =
+              row_base + static_cast<std::size_t>(kMicro * thread_ty(tid) + u);
+          const std::size_t col =
+              col_base + static_cast<std::size_t>(kMicro * thread_tx(tid) +
+                                                  piece * 4);
+          access.set_lane(lane, c.addr_of_float(row * n + col));
+          const float* microtile =
+              acc.data() + static_cast<std::size_t>(tid) * 64;
+          for (int w = 0; w < 4; ++w) {
+            values[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+                w)] = microtile[u * kMicro + piece * 4 + w];
+          }
+        }
+        ctx.global_store_vec4(access, values);
+      }
+    }
+    ctx.count_alu(32 * 4);
+  }
+}
+
+gpusim::LaunchResult run_gemm_cudac(gpusim::Device& device,
+                                    const gpusim::DeviceBuffer& a,
+                                    const gpusim::DeviceBuffer& b,
+                                    const gpusim::DeviceBuffer& c,
+                                    std::size_t m, std::size_t n,
+                                    std::size_t k,
+                                    const GemmOptions& options) {
+  const GemmGrid geom = gemm_grid(m, n, k);
+  gpusim::LaunchConfig cfg = gemm_launch_config(/*fused=*/false);
+  if (!options.mainloop.double_buffer) {
+    cfg.smem_bytes_per_block = 2 * kTileBytes;  // single A and B buffer
+  }
+  const SmemMap smem{};  // single-buffer path only uses a0/b0 offsets
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    TileSource src_a{a, static_cast<std::size_t>(ctx.by()) * kTileM, k};
+    TileSource src_b{b, static_cast<std::size_t>(ctx.bx()) * kTileN, k};
+    BlockAccumulators acc = make_accumulators();
+    SmemMap map = smem;
+    if (!options.mainloop.double_buffer) {
+      map.b0 = kTileBytes;  // pack A0/B0 into the halved allocation
+    }
+    run_gemm_mainloop(ctx, src_a, src_b, k, options.mainloop, map, acc);
+    store_submatrix_c(ctx, c, n, acc);
+  };
+
+  return device.launch("gemm_cudac", geom.grid, gemm_block_dim(), cfg,
+                       program);
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,32 @@
+// The paper's CUDA-C SGEMM (§III-A/B): C = A·B with the 128×128 submatrixC
+// blocking, Fig.-5 shared memory layout and double buffering. This is the
+// standalone GEMM used by the CUDA-Unfused pipeline and by Fig. 7.
+#pragma once
+
+#include "gpukernels/gemm_mainloop.h"
+#include "gpusim/device.h"
+#include "gpusim/global_memory.h"
+
+namespace ksum::gpukernels {
+
+struct GemmOptions {
+  MainloopConfig mainloop;
+};
+
+/// Launches the GEMM writing C (M×N, row major) to `c`. Requires
+/// M, N multiples of 128 and K a multiple of 8.
+gpusim::LaunchResult run_gemm_cudac(gpusim::Device& device,
+                                    const gpusim::DeviceBuffer& a,
+                                    const gpusim::DeviceBuffer& b,
+                                    const gpusim::DeviceBuffer& c,
+                                    std::size_t m, std::size_t n,
+                                    std::size_t k,
+                                    const GemmOptions& options = {});
+
+/// Writes each thread's 8×8 microtile of `acc` to the row-major M×N matrix
+/// at `c` with coalesced float4 stores (shared with tests).
+void store_submatrix_c(gpusim::BlockContext& ctx,
+                       const gpusim::DeviceBuffer& c, std::size_t n,
+                       const BlockAccumulators& acc);
+
+}  // namespace ksum::gpukernels

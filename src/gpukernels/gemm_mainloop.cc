@@ -1,0 +1,116 @@
+#include "gpukernels/gemm_mainloop.h"
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+// One rank-8 update: every warp reads its A/B operands for step k through
+// the bank model and feeds the 64 per-thread FMAs.
+void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
+                      gpusim::SharedAddr a_base, gpusim::SharedAddr b_base,
+                      int k, BlockAccumulators& acc) {
+  for (int warp = 0; warp < kWarps; ++warp) {
+    std::array<std::array<float, 8>, 32> a_ops{};
+    std::array<std::array<float, 8>, 32> b_ops{};
+
+    for (int u = 0; u < kMicro; ++u) {
+      gpusim::SharedWarpAccess access;
+      for (int lane = 0; lane < 32; ++lane) {
+        const int tid = warp * 32 + lane;
+        access.set_lane(lane, a_base + operand_offset(config.layout,
+                                                      thread_ty(tid), u, k));
+      }
+      const auto vals = ctx.smem().load_warp(access);
+      for (int lane = 0; lane < 32; ++lane) {
+        a_ops[static_cast<std::size_t>(lane)][static_cast<std::size_t>(u)] =
+            vals[static_cast<std::size_t>(lane)];
+      }
+    }
+    for (int t = 0; t < kMicro; ++t) {
+      gpusim::SharedWarpAccess access;
+      for (int lane = 0; lane < 32; ++lane) {
+        const int tid = warp * 32 + lane;
+        access.set_lane(lane, b_base + operand_offset(config.layout,
+                                                      thread_tx(tid), t, k));
+      }
+      const auto vals = ctx.smem().load_warp(access);
+      for (int lane = 0; lane < 32; ++lane) {
+        b_ops[static_cast<std::size_t>(lane)][static_cast<std::size_t>(t)] =
+            vals[static_cast<std::size_t>(lane)];
+      }
+    }
+
+    for (int lane = 0; lane < 32; ++lane) {
+      const std::size_t tid = static_cast<std::size_t>(warp * 32 + lane);
+      float* microtile = acc.data() + tid * 64;
+      for (int u = 0; u < kMicro; ++u) {
+        const float aval =
+            a_ops[static_cast<std::size_t>(lane)][static_cast<std::size_t>(u)];
+        for (int t = 0; t < kMicro; ++t) {
+          microtile[u * kMicro + t] +=
+              aval * b_ops[static_cast<std::size_t>(lane)]
+                          [static_cast<std::size_t>(t)];
+        }
+      }
+    }
+    ctx.count_fma(64 * 32);
+    ctx.count_alu(32);  // loop/address bookkeeping of the steady state
+  }
+}
+
+void compute_tile(gpusim::BlockContext& ctx, const MainloopConfig& config,
+                  gpusim::SharedAddr a_base, gpusim::SharedAddr b_base,
+                  BlockAccumulators& acc) {
+  for (int k = 0; k < kTileK; ++k) {
+    rank_update_step(ctx, config, a_base, b_base, k, acc);
+  }
+}
+
+}  // namespace
+
+void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
+                       const TileSource& b, std::size_t k_total,
+                       const MainloopConfig& config, const SmemMap& smem,
+                       BlockAccumulators& acc,
+                       TrackNormAccumulators* a_norms,
+                       TrackNormAccumulators* b_norms) {
+  KSUM_REQUIRE(k_total % kTileK == 0, "K must be a multiple of 8");
+  KSUM_CHECK(acc.size() == static_cast<std::size_t>(kThreads) * 64);
+  const std::size_t iters = k_total / kTileK;
+
+  if (config.double_buffer) {
+    // Algorithm 2: prologue load, then each iteration prefetches tile i+1
+    // into the other buffer while computing tile i, one barrier apiece.
+    load_tile(ctx, a, 0, smem.a0, config.layout, /*warp_base=*/0, a_norms);
+    load_tile(ctx, b, 0, smem.b0, config.layout, /*warp_base=*/4, b_norms);
+    ctx.barrier();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const bool even = (i % 2 == 0);
+      const gpusim::SharedAddr a_cur = even ? smem.a0 : smem.a1;
+      const gpusim::SharedAddr b_cur = even ? smem.b0 : smem.b1;
+      if (i + 1 < iters) {
+        const gpusim::SharedAddr a_next = even ? smem.a1 : smem.a0;
+        const gpusim::SharedAddr b_next = even ? smem.b1 : smem.b0;
+        load_tile(ctx, a, (i + 1) * kTileK, a_next, config.layout, 0,
+                  a_norms);
+        load_tile(ctx, b, (i + 1) * kTileK, b_next, config.layout, 4,
+                  b_norms);
+      }
+      compute_tile(ctx, config, a_cur, b_cur, acc);
+      ctx.barrier();
+    }
+  } else {
+    // Single-buffered ablation: load/compute strictly alternate and every
+    // iteration pays two barriers.
+    for (std::size_t i = 0; i < iters; ++i) {
+      load_tile(ctx, a, i * kTileK, smem.a0, config.layout, 0, a_norms);
+      load_tile(ctx, b, i * kTileK, smem.b0, config.layout, 4, b_norms);
+      ctx.barrier();
+      compute_tile(ctx, config, smem.a0, smem.b0, acc);
+      ctx.barrier();
+    }
+  }
+}
+
+}  // namespace ksum::gpukernels

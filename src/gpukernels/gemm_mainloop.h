@@ -1,0 +1,62 @@
+// The shared rank-8-update main loop (Algorithm 2 lines 5–13), used by both
+// the standalone CUDA-C GEMM and the fused kernel summation.
+//
+// Functional execution keeps each thread's 8×8 microtileC in
+// BlockAccumulators (the stand-in for the 64 accumulator registers);
+// operand fetches go through the shared-memory bank model so conflicts are
+// counted, and tile loads go through the coalescer/L2.
+#pragma once
+
+#include <vector>
+
+#include "gpukernels/smem_layout.h"
+#include "gpukernels/tile_loader.h"
+#include "gpusim/device.h"
+
+namespace ksum::gpukernels {
+
+struct MainloopConfig {
+  TileLayout layout = TileLayout::kFig5;
+  /// Double buffering (paper §III-A): tiles i and i+1 live in alternating
+  /// buffers and each iteration needs a single barrier. The single-buffered
+  /// ablation needs two barriers per iteration and halves the smem budget.
+  bool double_buffer = true;
+};
+
+/// Byte offsets of the shared-memory regions within the CTA allocation.
+struct SmemMap {
+  gpusim::SharedAddr a0 = 0;
+  gpusim::SharedAddr a1 = kTileBytes;
+  gpusim::SharedAddr b0 = 2 * kTileBytes;
+  gpusim::SharedAddr b1 = 3 * kTileBytes;
+  // Fused-kernel extras (beyond the GEMM's 16 KB).
+  gpusim::SharedAddr norm_a = 4 * kTileBytes;
+  gpusim::SharedAddr norm_b = 4 * kTileBytes + kTileM * 4;
+  gpusim::SharedAddr weights = 4 * kTileBytes + 2 * kTileM * 4;
+};
+
+/// Per-CTA accumulator state: acc[tid][u*8 + t] is element (u, t) of thread
+/// tid's microtileC.
+using BlockAccumulators = std::vector<float>;
+
+inline BlockAccumulators make_accumulators() {
+  return BlockAccumulators(static_cast<std::size_t>(kThreads) * 64, 0.0f);
+}
+
+/// Thread coordinates used throughout the kernels.
+inline int thread_tx(int tid) { return tid % kBlockX; }
+inline int thread_ty(int tid) { return tid / kBlockX; }
+
+/// Runs the full main loop over K: loads each (tileA_i, tileB_i) pair and
+/// applies the rank-8 updates. On return `acc` holds subC = subA × subB.
+/// When the norm accumulators are non-null, every loaded element's square
+/// is folded into its track's slot (the fuse-norms extension): after the
+/// loop `a_norms[r]` is ‖α_{origin+r}‖² and `b_norms[c]` is ‖β_{origin+c}‖².
+void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
+                       const TileSource& b, std::size_t k_total,
+                       const MainloopConfig& config, const SmemMap& smem,
+                       BlockAccumulators& acc,
+                       TrackNormAccumulators* a_norms = nullptr,
+                       TrackNormAccumulators* b_norms = nullptr);
+
+}  // namespace ksum::gpukernels

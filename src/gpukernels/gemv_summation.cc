@@ -1,0 +1,78 @@
+#include "gpukernels/gemv_summation.h"
+
+#include "common/error.h"
+#include "gpukernels/tile_loader.h"
+
+namespace ksum::gpukernels {
+namespace {
+constexpr int kGemvThreads = 256;
+constexpr std::size_t kGemvRowsPerCta = 128;
+}  // namespace
+
+gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
+                                        const Workspace& ws) {
+  KSUM_REQUIRE(ws.c.valid(), "GEMV needs the kernel matrix buffer");
+  KSUM_REQUIRE(ws.m % kGemvRowsPerCta == 0, "M must be a multiple of 128");
+  KSUM_REQUIRE(ws.n % 128 == 0, "N must be a multiple of 128");
+  KSUM_REQUIRE(ws.n * 4 <= 48 * 1024, "W must fit in shared memory");
+
+  gpusim::GridDim grid{static_cast<int>(ws.m / kGemvRowsPerCta), 1};
+  gpusim::BlockDim block{kGemvThreads, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = kGemvThreads;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = static_cast<std::uint32_t>(ws.n * 4);
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    // Stage W into shared memory, 128 floats per segment.
+    for (std::size_t seg = 0; seg < ws.n / 128; ++seg) {
+      load_vector_segment(ctx, ws.w, seg * 128,
+                          static_cast<gpusim::SharedAddr>(seg * 128 * 4));
+    }
+    ctx.barrier();
+
+    const std::size_t row_base =
+        static_cast<std::size_t>(ctx.bx()) * kGemvRowsPerCta;
+    const std::size_t rows_per_warp = kGemvRowsPerCta / (kGemvThreads / 32);
+    for (int warp = 0; warp < kGemvThreads / 32; ++warp) {
+      for (std::size_t r = 0; r < rows_per_warp; ++r) {
+        const std::size_t row =
+            row_base + static_cast<std::size_t>(warp) * rows_per_warp + r;
+        float lane_sums[32] = {};
+        for (std::size_t j0 = 0; j0 < ws.n; j0 += 32) {
+          gpusim::GlobalWarpAccess k_access;
+          gpusim::SharedWarpAccess w_access;
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t col = j0 + static_cast<std::size_t>(lane);
+            k_access.set_lane(lane, ws.c.addr_of_float(row * ws.n + col));
+            w_access.set_lane(lane,
+                              static_cast<gpusim::SharedAddr>(col * 4));
+          }
+          const auto kv = ctx.global_load(k_access);
+          const auto wv = ctx.smem().load_warp(w_access);
+          for (int lane = 0; lane < 32; ++lane) {
+            lane_sums[lane] += kv[static_cast<std::size_t>(lane)] *
+                               wv[static_cast<std::size_t>(lane)];
+          }
+          ctx.count_fma(32);
+        }
+        // Intra-warp tree reduction (shuffle instructions on hardware).
+        float total = 0.0f;
+        for (int lane = 0; lane < 32; ++lane) total += lane_sums[lane];
+        ctx.count_alu(32 * 5);
+        ctx.count_warp_instructions(5);
+
+        gpusim::GlobalWarpAccess v_access;
+        v_access.active_mask = 1;
+        v_access.set_lane(0, ws.v.addr_of_float(row));
+        std::array<float, 32> out{};
+        out[0] = total;
+        ctx.global_store(v_access, out);
+      }
+    }
+  };
+
+  return device.launch("gemv_summation", grid, block, cfg, program);
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,18 @@
+// Summation/GEMV kernel of the unfused pipelines (Algorithm 1 line 16):
+// V = K·W, streaming the M×N kernel matrix back out of DRAM one last time.
+// W is staged into shared memory once per CTA; each warp owns rows and
+// strides its 32 lanes across the columns (coalesced), finishing each row
+// with a shuffle-style intra-warp reduction.
+#pragma once
+
+#include "gpukernels/device_workspace.h"
+#include "gpusim/device.h"
+
+namespace ksum::gpukernels {
+
+/// Computes ws.v from ws.c (after run_kernel_eval) and ws.w. Requires M a
+/// multiple of 128 and N a multiple of 128 with N·4 bytes ≤ 48 KB.
+gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
+                                        const Workspace& ws);
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,80 @@
+#include "gpukernels/kernel_eval.h"
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+namespace {
+constexpr int kEvalThreads = 256;
+constexpr std::size_t kRowsPerCta = 8;
+}  // namespace
+
+gpusim::LaunchResult run_kernel_eval(gpusim::Device& device,
+                                     const Workspace& ws,
+                                     const core::KernelParams& params,
+                                     EvalOutput output) {
+  KSUM_REQUIRE(ws.c.valid(), "eval pass needs the intermediate C buffer");
+  KSUM_REQUIRE(ws.m % kRowsPerCta == 0, "M must be a multiple of 8");
+  KSUM_REQUIRE(ws.n % 128 == 0, "N must be a multiple of 128");
+
+  gpusim::GridDim grid{static_cast<int>(ws.m / kRowsPerCta), 1};
+  gpusim::BlockDim block{kEvalThreads, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = kEvalThreads;
+  cfg.regs_per_thread = 40;
+  cfg.smem_bytes_per_block = 0;
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    const std::size_t row_base =
+        static_cast<std::size_t>(ctx.bx()) * kRowsPerCta;
+    const std::size_t chunks = ws.n / 128;
+    for (std::size_t row = row_base; row < row_base + kRowsPerCta; ++row) {
+      // ‖α_row‖² is one broadcast scalar load per row.
+      gpusim::GlobalWarpAccess na_access;
+      na_access.active_mask = 1;  // single lane, like a uniform load
+      na_access.set_lane(0, ws.norm_a.addr_of_float(row));
+      const float na = ctx.global_load(na_access)[0];
+
+      // 128 columns (one warp of float4 lanes) per chunk, chunks dealt
+      // round-robin to the CTA's eight warps.
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        {
+          gpusim::GlobalWarpAccess c_access, nb_access;
+          c_access.width_bytes = 16;
+          nb_access.width_bytes = 16;
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t col =
+                chunk * 128 + static_cast<std::size_t>(lane) * 4;
+            c_access.set_lane(lane, ws.c.addr_of_float(row * ws.n + col));
+            nb_access.set_lane(lane, ws.norm_b.addr_of_float(col));
+          }
+          auto cv = ctx.global_load_vec4(c_access);
+          const auto nb = ctx.global_load_vec4(nb_access);
+          for (int lane = 0; lane < 32; ++lane) {
+            for (int w = 0; w < 4; ++w) {
+              const float dot = cv[static_cast<std::size_t>(lane)]
+                                  [static_cast<std::size_t>(w)];
+              const float d2 =
+                  na +
+                  nb[static_cast<std::size_t>(lane)]
+                    [static_cast<std::size_t>(w)] -
+                  2.0f * dot;
+              cv[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+                  w)] = output == EvalOutput::kKernelValue
+                            ? core::evaluate(params, d2, dot)
+                            : (d2 < 0.0f ? 0.0f : d2);
+            }
+          }
+          ctx.count_fma(32 * 4 * 2);  // distance assembly
+          if (output == EvalOutput::kKernelValue) {
+            ctx.count_sfu(32 * 4);  // kernel evaluation
+          }
+          ctx.global_store_vec4(c_access, cv);
+        }
+      }
+    }
+  };
+
+  return device.launch("kernel_eval", grid, block, cfg, program);
+}
+
+}  // namespace ksum::gpukernels

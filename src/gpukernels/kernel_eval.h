@@ -1,0 +1,26 @@
+// Elementwise kernel-evaluation pass of the unfused pipelines (Algorithm 1
+// lines 11–14): K[i,j] = κ(‖α_i‖² + ‖β_j‖² − 2·C[i,j]) applied in place to
+// the M×N GEMM output streaming through DRAM — the traffic the fused kernel
+// eliminates.
+#pragma once
+
+#include "core/kernels.h"
+#include "gpukernels/device_workspace.h"
+#include "gpusim/device.h"
+
+namespace ksum::gpukernels {
+
+/// What the elementwise pass writes back.
+enum class EvalOutput {
+  kKernelValue,      // κ(d²) — the kernel-summation pipelines
+  kSquaredDistance,  // d² itself — the unfused kNN baseline
+};
+
+/// Transforms ws.c in place. Requires M a multiple of 8 (each CTA handles
+/// 8 rows) and N a multiple of 128.
+gpusim::LaunchResult run_kernel_eval(
+    gpusim::Device& device, const Workspace& ws,
+    const core::KernelParams& params,
+    EvalOutput output = EvalOutput::kKernelValue);
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,396 @@
+#include "gpukernels/knn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "gpukernels/kernel_eval.h"
+#include "gpukernels/tile_loader.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// A register-resident candidate list, nearest first. Insertion mirrors the
+// compare/shift chain a CUDA implementation keeps in registers; callers
+// charge the matching ALU counts.
+struct CandidateList {
+  std::size_t k = 0;
+  std::array<float, kMaxNeighbors> dist;
+  std::array<std::uint32_t, kMaxNeighbors> idx;
+
+  explicit CandidateList(std::size_t k_nn = 0) : k(k_nn) {
+    dist.fill(kInf);
+    idx.fill(0);
+  }
+
+  void insert(float d, std::uint32_t i) {
+    if (d >= dist[k - 1]) return;
+    std::size_t pos = k - 1;
+    while (pos > 0 && dist[pos - 1] > d) {
+      dist[pos] = dist[pos - 1];
+      idx[pos] = idx[pos - 1];
+      --pos;
+    }
+    dist[pos] = d;
+    idx[pos] = i;
+  }
+};
+
+// Writes one CTA's per-row partial lists into the (row, bx, rank) staging
+// buffers, one warp per 32 rows, one scalar store per (rank, buffer).
+void store_partial_lists(gpusim::BlockContext& ctx,
+                         const gpusim::DeviceBuffer& staged_dist,
+                         const gpusim::DeviceBuffer& staged_idx,
+                         const std::vector<CandidateList>& rows,
+                         std::size_t row_base, std::size_t grid_x,
+                         std::size_t k_nn) {
+  for (int warp = 0; warp < 4; ++warp) {
+    for (std::size_t rank = 0; rank < k_nn; ++rank) {
+      gpusim::GlobalWarpAccess d_access, i_access;
+      std::array<float, 32> d_vals{}, i_vals{};
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t row = static_cast<std::size_t>(warp * 32 + lane);
+        const std::size_t slot =
+            ((row_base + row) * grid_x + static_cast<std::size_t>(ctx.bx())) *
+                k_nn +
+            rank;
+        d_access.set_lane(lane, staged_dist.addr_of_float(slot));
+        i_access.set_lane(lane, staged_idx.addr_of_float(slot));
+        d_vals[static_cast<std::size_t>(lane)] = rows[row].dist[rank];
+        i_vals[static_cast<std::size_t>(lane)] =
+            static_cast<float>(rows[row].idx[rank]);
+      }
+      ctx.global_store(d_access, d_vals);
+      ctx.global_store(i_access, i_vals);
+    }
+  }
+}
+
+// Final merge across the column grid: thread = row, reads grid_x partial
+// lists and writes the global top-k.
+gpusim::LaunchResult run_knn_merge(gpusim::Device& device,
+                                   const gpusim::DeviceBuffer& staged_dist,
+                                   const gpusim::DeviceBuffer& staged_idx,
+                                   const gpusim::DeviceBuffer& out_dist,
+                                   const gpusim::DeviceBuffer& out_idx,
+                                   std::size_t m, std::size_t grid_x,
+                                   std::size_t k_nn) {
+  gpusim::GridDim grid{static_cast<int>(m / 128), 1};
+  gpusim::BlockDim block{128, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = 128;
+  cfg.regs_per_thread = static_cast<int>(32 + 2 * k_nn);
+  cfg.smem_bytes_per_block = 0;
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
+    for (int warp = 0; warp < 4; ++warp) {
+      std::vector<CandidateList> lists(32, CandidateList(k_nn));
+      for (std::size_t j = 0; j < grid_x; ++j) {
+        for (std::size_t rank = 0; rank < k_nn; ++rank) {
+          gpusim::GlobalWarpAccess d_access, i_access;
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t row =
+                row_base + static_cast<std::size_t>(warp * 32 + lane);
+            const std::size_t slot = (row * grid_x + j) * k_nn + rank;
+            d_access.set_lane(lane, staged_dist.addr_of_float(slot));
+            i_access.set_lane(lane, staged_idx.addr_of_float(slot));
+          }
+          const auto d_vals = ctx.global_load(d_access);
+          const auto i_vals = ctx.global_load(i_access);
+          for (int lane = 0; lane < 32; ++lane) {
+            lists[static_cast<std::size_t>(lane)].insert(
+                d_vals[static_cast<std::size_t>(lane)],
+                static_cast<std::uint32_t>(
+                    i_vals[static_cast<std::size_t>(lane)]));
+          }
+          ctx.count_alu(32 * static_cast<std::uint64_t>(k_nn) / 2);
+        }
+      }
+      for (std::size_t rank = 0; rank < k_nn; ++rank) {
+        gpusim::GlobalWarpAccess d_access, i_access;
+        std::array<float, 32> d_vals{}, i_vals{};
+        for (int lane = 0; lane < 32; ++lane) {
+          const std::size_t row =
+              row_base + static_cast<std::size_t>(warp * 32 + lane);
+          const std::size_t slot = row * k_nn + rank;
+          d_access.set_lane(lane, out_dist.addr_of_float(slot));
+          i_access.set_lane(lane, out_idx.addr_of_float(slot));
+          d_vals[static_cast<std::size_t>(lane)] =
+              lists[static_cast<std::size_t>(lane)].dist[rank];
+          i_vals[static_cast<std::size_t>(lane)] = static_cast<float>(
+              lists[static_cast<std::size_t>(lane)].idx[rank]);
+        }
+        ctx.global_store(d_access, d_vals);
+        ctx.global_store(i_access, i_vals);
+      }
+    }
+  };
+  return device.launch("knn_merge", grid, block, cfg, program);
+}
+
+KnnResult download_result(gpusim::Device& device,
+                          const gpusim::DeviceBuffer& out_dist,
+                          const gpusim::DeviceBuffer& out_idx,
+                          std::size_t m, std::size_t k_nn) {
+  KnnResult result;
+  result.k_nn = k_nn;
+  std::vector<float> dist(m * k_nn), idx(m * k_nn);
+  device.memory().download(out_dist, dist);
+  device.memory().download(out_idx, idx);
+  result.distances = std::move(dist);
+  result.indices.resize(m * k_nn);
+  for (std::size_t i = 0; i < m * k_nn; ++i) {
+    result.indices[i] = static_cast<std::uint32_t>(idx[i]);
+  }
+  return result;
+}
+
+void validate_knn_args(const Workspace& ws, std::size_t k_nn) {
+  KSUM_REQUIRE(k_nn >= 1 && k_nn <= kMaxNeighbors,
+               "k_nn must be in [1, 16]");
+  KSUM_REQUIRE(ws.n >= k_nn, "need at least k_nn database points");
+  KSUM_REQUIRE(ws.n < (1u << 24),
+               "database indices must be exactly representable as floats");
+}
+
+}  // namespace
+
+KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
+                          std::size_t k_nn, KnnResult& out,
+                          const MainloopConfig& config) {
+  validate_knn_args(ws, k_nn);
+  const GemmGrid geom = gemm_grid(ws.m, ws.n, ws.k);
+  const std::size_t grid_x = static_cast<std::size_t>(geom.grid.x);
+
+  auto& mem = device.memory();
+  const auto staged_dist =
+      mem.allocate(ws.m * grid_x * k_nn * 4, "knn_staged_dist");
+  const auto staged_idx =
+      mem.allocate(ws.m * grid_x * k_nn * 4, "knn_staged_idx");
+  const auto out_dist = mem.allocate(ws.m * k_nn * 4, "knn_dist");
+  const auto out_idx = mem.allocate(ws.m * k_nn * 4, "knn_idx");
+
+  gpusim::LaunchConfig cfg = gemm_launch_config(/*fused=*/true);
+  cfg.regs_per_thread =
+      std::min(255, cfg.regs_per_thread + static_cast<int>(2 * k_nn));
+  if (!config.double_buffer) {
+    cfg.smem_bytes_per_block = 2 * kTileBytes + 3 * kTileM * 4;
+  }
+
+  // Candidates each thread can contribute per row (its microtile width).
+  const std::size_t local_k = std::min<std::size_t>(k_nn, kMicro);
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    SmemMap map{};
+    if (!config.double_buffer) {
+      map.b0 = kTileBytes;
+      map.norm_a = 2 * kTileBytes;
+      map.norm_b = 2 * kTileBytes + kTileM * 4;
+    }
+    const std::size_t row_base = static_cast<std::size_t>(ctx.by()) * kTileM;
+    const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
+
+    load_vector_segment(ctx, ws.norm_a, row_base, map.norm_a);
+    load_vector_segment(ctx, ws.norm_b, col_base, map.norm_b);
+
+    TileSource src_a{ws.a, row_base, ws.k};
+    TileSource src_b{ws.b, col_base, ws.k};
+    BlockAccumulators acc = make_accumulators();
+    run_gemm_mainloop(ctx, src_a, src_b, ws.k, config, map, acc);
+
+    // Per-thread local top-k over the microtile (still "in registers").
+    std::vector<CandidateList> locals(
+        static_cast<std::size_t>(kThreads) * kMicro,
+        CandidateList(local_k));
+    for (int warp = 0; warp < kWarps; ++warp) {
+      const auto na = load_segment_operands(ctx, map.norm_a, warp, true);
+      const auto nb = load_segment_operands(ctx, map.norm_b, warp, false);
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t tid = static_cast<std::size_t>(warp * 32 + lane);
+        const int tx = thread_tx(static_cast<int>(tid));
+        const float* microtile = acc.data() + tid * 64;
+        for (int u = 0; u < kMicro; ++u) {
+          CandidateList& list = locals[tid * kMicro +
+                                       static_cast<std::size_t>(u)];
+          for (int t = 0; t < kMicro; ++t) {
+            const float d2 =
+                na[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+                    u)] +
+                nb[static_cast<std::size_t>(lane)]
+                  [static_cast<std::size_t>(t)] -
+                2.0f * microtile[u * kMicro + t];
+            list.insert(d2 < 0.0f ? 0.0f : d2,
+                        static_cast<std::uint32_t>(
+                            col_base + static_cast<std::size_t>(
+                                           kMicro * tx + t)));
+          }
+        }
+      }
+      ctx.count_fma(64 * 32 * 2);  // distance assembly
+      // Insertion compare/shift chains, ~k/2 ops per candidate.
+      ctx.count_alu(64 * 32 * static_cast<std::uint64_t>(local_k) / 2);
+    }
+
+    // Intra-CTA merge through the tile-buffer scratch: one round per local
+    // rank; round r stages every thread's r-th candidate (dist in A0/A1,
+    // index in B0/B1) and one merger thread per row folds 16 candidates.
+    std::vector<CandidateList> rows(kTileM, CandidateList(k_nn));
+    for (std::size_t round = 0; round < local_k; ++round) {
+      ctx.barrier();
+      for (int warp = 0; warp < kWarps; ++warp) {
+        std::array<float, 32> d_vals{}, i_vals{};
+        // Eight stores per warp, one per microtile row. Scratch layout:
+        // [row][tx] over the 16 KB of the four tile buffers — distances in
+        // words 0..2047, indices in words 2048..4095.
+        for (int u = 0; u < kMicro; ++u) {
+          gpusim::SharedWarpAccess d_u, i_u;
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t tid =
+                static_cast<std::size_t>(warp * 32 + lane);
+            const int tx = thread_tx(static_cast<int>(tid));
+            const int ty = thread_ty(static_cast<int>(tid));
+            const std::size_t word = static_cast<std::size_t>(
+                (kMicro * ty + u) * 16 + tx);
+            d_u.set_lane(lane, static_cast<gpusim::SharedAddr>(word * 4));
+            i_u.set_lane(lane, static_cast<gpusim::SharedAddr>(
+                                   (2048 + word) * 4));
+            const CandidateList& list =
+                locals[tid * kMicro + static_cast<std::size_t>(u)];
+            d_vals[static_cast<std::size_t>(lane)] = list.dist[round];
+            i_vals[static_cast<std::size_t>(lane)] =
+                static_cast<float>(list.idx[round]);
+          }
+          ctx.smem().store_warp(d_u, d_vals);
+          ctx.smem().store_warp(i_u, i_vals);
+        }
+      }
+      ctx.barrier();
+      // Merger half: thread = row, reads its 16 staged candidates.
+      for (int warp = 0; warp < 4; ++warp) {
+        for (int j = 0; j < 16; ++j) {
+          gpusim::SharedWarpAccess d_load, i_load;
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t row =
+                static_cast<std::size_t>(warp * 32 + lane);
+            const std::size_t word = row * 16 + static_cast<std::size_t>(j);
+            d_load.set_lane(lane, static_cast<gpusim::SharedAddr>(word * 4));
+            i_load.set_lane(lane, static_cast<gpusim::SharedAddr>(
+                                      (2048 + word) * 4));
+          }
+          const auto d_vals = ctx.smem().load_warp(d_load);
+          const auto i_vals = ctx.smem().load_warp(i_load);
+          for (int lane = 0; lane < 32; ++lane) {
+            const std::size_t row =
+                static_cast<std::size_t>(warp * 32 + lane);
+            rows[row].insert(d_vals[static_cast<std::size_t>(lane)],
+                             static_cast<std::uint32_t>(
+                                 i_vals[static_cast<std::size_t>(lane)]));
+          }
+          ctx.count_alu(32 * static_cast<std::uint64_t>(k_nn) / 2);
+        }
+      }
+    }
+
+    store_partial_lists(ctx, staged_dist, staged_idx, rows, row_base, grid_x,
+                        k_nn);
+  };
+
+  KnnLaunches launches;
+  launches.main = device.launch("fused_knn", geom.grid, gemm_block_dim(),
+                                cfg, program);
+  launches.extra.push_back(run_knn_merge(device, staged_dist, staged_idx,
+                                         out_dist, out_idx, ws.m, grid_x,
+                                         k_nn));
+  out = download_result(device, out_dist, out_idx, ws.m, k_nn);
+  return launches;
+}
+
+gpusim::LaunchResult run_knn_select(gpusim::Device& device,
+                                    const Workspace& ws, std::size_t k_nn,
+                                    KnnResult& out) {
+  validate_knn_args(ws, k_nn);
+  KSUM_REQUIRE(ws.c.valid(), "selection scan needs the distance matrix");
+  KSUM_REQUIRE(ws.m % 128 == 0, "M must be a multiple of 128");
+  KSUM_REQUIRE(ws.n % 32 == 0, "N must be a multiple of 32");
+
+  auto& mem = device.memory();
+  const auto out_dist = mem.allocate(ws.m * k_nn * 4, "knn_dist_unfused");
+  const auto out_idx = mem.allocate(ws.m * k_nn * 4, "knn_idx_unfused");
+
+  gpusim::GridDim grid{static_cast<int>(ws.m / 128), 1};
+  gpusim::BlockDim block{128, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = 128;
+  cfg.regs_per_thread = static_cast<int>(32 + 2 * k_nn);
+  cfg.smem_bytes_per_block = 0;
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
+    // One warp owns 32 rows; for each row its lanes scan the N columns
+    // coalesced, keep lane-local lists, then merge via shuffles.
+    for (int warp = 0; warp < 4; ++warp) {
+      for (std::size_t r = 0; r < 32; ++r) {
+        const std::size_t row =
+            row_base + static_cast<std::size_t>(warp) * 32 + r;
+        std::array<CandidateList, 32> lanes;
+        lanes.fill(CandidateList(k_nn));
+        for (std::size_t j0 = 0; j0 < ws.n; j0 += 32) {
+          gpusim::GlobalWarpAccess access;
+          for (int lane = 0; lane < 32; ++lane) {
+            access.set_lane(lane, ws.c.addr_of_float(
+                                      row * ws.n + j0 +
+                                      static_cast<std::size_t>(lane)));
+          }
+          const auto vals = ctx.global_load(access);
+          for (int lane = 0; lane < 32; ++lane) {
+            lanes[static_cast<std::size_t>(lane)].insert(
+                vals[static_cast<std::size_t>(lane)],
+                static_cast<std::uint32_t>(j0 +
+                                           static_cast<std::size_t>(lane)));
+          }
+          ctx.count_alu(32 * static_cast<std::uint64_t>(k_nn) / 4);
+        }
+        // Intra-warp merge (shuffle tree on hardware; here lane 0 folds).
+        CandidateList merged(k_nn);
+        for (int lane = 0; lane < 32; ++lane) {
+          for (std::size_t rank = 0; rank < k_nn; ++rank) {
+            merged.insert(lanes[static_cast<std::size_t>(lane)].dist[rank],
+                          lanes[static_cast<std::size_t>(lane)].idx[rank]);
+          }
+        }
+        ctx.count_alu(32 * static_cast<std::uint64_t>(k_nn) * 5);
+        ctx.count_warp_instructions(5 * k_nn);
+
+        gpusim::GlobalWarpAccess d_access, i_access;
+        d_access.active_mask = (1u << k_nn) - 1u;
+        i_access.active_mask = (1u << k_nn) - 1u;
+        std::array<float, 32> d_vals{}, i_vals{};
+        for (std::size_t rank = 0; rank < k_nn; ++rank) {
+          d_access.set_lane(static_cast<int>(rank),
+                            out_dist.addr_of_float(row * k_nn + rank));
+          i_access.set_lane(static_cast<int>(rank),
+                            out_idx.addr_of_float(row * k_nn + rank));
+          d_vals[rank] = merged.dist[rank];
+          i_vals[rank] = static_cast<float>(merged.idx[rank]);
+        }
+        ctx.global_store(d_access, d_vals);
+        ctx.global_store(i_access, i_vals);
+      }
+    }
+  };
+
+  const auto launch = device.launch("knn_select", grid, block, cfg, program);
+  out = download_result(device, out_dist, out_idx, ws.m, k_nn);
+  return launch;
+}
+
+gpusim::LaunchResult run_distance_eval(gpusim::Device& device,
+                                       const Workspace& ws) {
+  return run_kernel_eval(device, ws, core::KernelParams{},
+                         EvalOutput::kSquaredDistance);
+}
+
+}  // namespace ksum::gpukernels

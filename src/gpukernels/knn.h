@@ -1,0 +1,75 @@
+// Fused k-nearest-neighbour search — the paper's conclusion applied to the
+// kNN kernel of its related work (Yu et al., "Performance optimization for
+// the k nearest-neighbor kernel on x86 architectures").
+//
+// For each query point α_i, find the `k_nn` database points β_j with the
+// smallest squared Euclidean distances. The distance matrix is exactly the
+// kernel-summation intermediate (‖α‖² + ‖β‖² − 2αᵀβ), so the same GEMM
+// structure applies; only the reduction changes from a weighted sum to a
+// top-k selection:
+//
+//   intra-thread:  each thread selects its local top-k over its 8×8
+//                  microtile columns (per microtile row);
+//   intra-CTA:     one thread per row merges the 16 thread-local lists
+//                  through shared-memory scratch;
+//   inter-CTA:     selection is not associative under atomicAdd, so the
+//                  per-CTA partial lists go through a staging buffer and a
+//                  second merge kernel (the two-pass scheme the summation
+//                  kernel avoids — measured by the kNN bench).
+//
+// The unfused baseline streams the full M×N distance matrix through DRAM
+// (GEMM → distance eval → selection scan), mirroring the paper's unfused
+// kernel-summation pipelines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpukernels/device_workspace.h"
+#include "gpukernels/gemm_mainloop.h"
+#include "gpusim/device.h"
+
+namespace ksum::gpukernels {
+
+/// Maximum supported neighbours per query (bounded by the per-thread
+/// register budget of the fused kernel).
+inline constexpr std::size_t kMaxNeighbors = 16;
+
+/// Top-k result for all M queries: row-major M×k_nn, nearest first.
+struct KnnResult {
+  std::size_t k_nn = 0;
+  std::vector<float> distances;        // squared distances
+  std::vector<std::uint32_t> indices;  // database (column) indices
+
+  float distance(std::size_t query, std::size_t rank) const {
+    return distances[query * k_nn + rank];
+  }
+  std::uint32_t index(std::size_t query, std::size_t rank) const {
+    return indices[query * k_nn + rank];
+  }
+};
+
+struct KnnLaunches {
+  gpusim::LaunchResult main;   // fused kernel or selection scan
+  std::vector<gpusim::LaunchResult> extra;  // merge pass (fused only)
+};
+
+/// Fused kNN: one pass over the tiles, partial lists staged, one merge
+/// kernel. Requires M, N multiples of 128, K multiple of 8,
+/// 1 ≤ k_nn ≤ kMaxNeighbors.
+KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
+                          std::size_t k_nn, KnnResult& out,
+                          const MainloopConfig& config = {});
+
+/// Unfused baseline: assumes ws.c already holds the squared-distance
+/// matrix (after GEMM + distance eval); scans it row by row.
+gpusim::LaunchResult run_knn_select(gpusim::Device& device,
+                                    const Workspace& ws, std::size_t k_nn,
+                                    KnnResult& out);
+
+/// Distance evaluation pass for the unfused baseline: rewrites ws.c from
+/// the GEMM output αᵀβ to ‖α‖²+‖β‖²−2αᵀβ in place.
+gpusim::LaunchResult run_distance_eval(gpusim::Device& device,
+                                       const Workspace& ws);
+
+}  // namespace ksum::gpukernels

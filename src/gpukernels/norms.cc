@@ -1,0 +1,78 @@
+#include "gpukernels/norms.h"
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+constexpr int kNormThreads = 128;
+
+// One CTA computes 256 norms: thread t owns point (cta*256 + t) and walks
+// its K contiguous coordinates with float4 loads.
+gpusim::LaunchResult run_norms(gpusim::Device& device,
+                               const gpusim::DeviceBuffer& points,
+                               const gpusim::DeviceBuffer& out,
+                               std::size_t count, std::size_t k,
+                               const std::string& name) {
+  KSUM_REQUIRE(count % kNormThreads == 0,
+               "point count must be a multiple of 128");
+  KSUM_REQUIRE(k % 8 == 0, "K must be a multiple of 8");
+
+  gpusim::GridDim grid{static_cast<int>(count / kNormThreads), 1};
+  gpusim::BlockDim block{kNormThreads, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = kNormThreads;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 0;
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    const std::size_t base =
+        static_cast<std::size_t>(ctx.bx()) * kNormThreads;
+    for (int warp = 0; warp < kNormThreads / 32; ++warp) {
+      std::array<float, 32> sums{};
+      for (std::size_t kk = 0; kk < k; kk += 4) {
+        gpusim::GlobalWarpAccess access;
+        access.width_bytes = 16;
+        for (int lane = 0; lane < 32; ++lane) {
+          const std::size_t point = base +
+                                    static_cast<std::size_t>(warp * 32 + lane);
+          access.set_lane(lane, points.addr_of_float(point * k + kk));
+        }
+        const auto vals = ctx.global_load_vec4(access);
+        for (int lane = 0; lane < 32; ++lane) {
+          for (int w = 0; w < 4; ++w) {
+            const float x = vals[static_cast<std::size_t>(lane)]
+                                [static_cast<std::size_t>(w)];
+            sums[static_cast<std::size_t>(lane)] += x * x;
+          }
+        }
+        ctx.count_fma(32 * 4);
+        ctx.count_alu(32);
+      }
+      gpusim::GlobalWarpAccess store;
+      std::array<float, 32> values{};
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t point = base +
+                                  static_cast<std::size_t>(warp * 32 + lane);
+        store.set_lane(lane, out.addr_of_float(point));
+        values[static_cast<std::size_t>(lane)] =
+            sums[static_cast<std::size_t>(lane)];
+      }
+      ctx.global_store(store, values);
+    }
+  };
+
+  return device.launch(name, grid, block, cfg, program);
+}
+
+}  // namespace
+
+gpusim::LaunchResult run_norms_a(gpusim::Device& device, const Workspace& ws) {
+  return run_norms(device, ws.a, ws.norm_a, ws.m, ws.k, "norms_a");
+}
+
+gpusim::LaunchResult run_norms_b(gpusim::Device& device, const Workspace& ws) {
+  return run_norms(device, ws.b, ws.norm_b, ws.n, ws.k, "norms_b");
+}
+
+}  // namespace ksum::gpukernels

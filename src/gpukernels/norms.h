@@ -1,0 +1,18 @@
+// Squared-norm kernels: vecα[i] = ‖α_i‖², vecβ[j] = ‖β_j‖²
+// (Algorithm 1 lines 3–4). Both operands store a point's K coordinates
+// contiguously (A row-major by rows, B col-major by columns), so one kernel
+// body serves both.
+#pragma once
+
+#include "gpusim/device.h"
+#include "gpukernels/device_workspace.h"
+
+namespace ksum::gpukernels {
+
+/// Computes norm_a from A. M must be a multiple of 128, K of 8.
+gpusim::LaunchResult run_norms_a(gpusim::Device& device, const Workspace& ws);
+
+/// Computes norm_b from B. N must be a multiple of 128, K of 8.
+gpusim::LaunchResult run_norms_b(gpusim::Device& device, const Workspace& ws);
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,46 @@
+#include "gpukernels/smem_layout.h"
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+
+TrackAssignment track_of_loader(TileLayout layout, int loader_index) {
+  KSUM_DCHECK(loader_index >= 0 && loader_index < kTileM);
+  if (layout == TileLayout::kNaive) {
+    return {loader_index / kMicro, loader_index % kMicro};
+  }
+  const int warp = loader_index / 32;
+  const int lane = loader_index % 32;
+  // Warp w picks two tracks (2w, 2w+1) from every microtile: lane l works on
+  // microtile ⌊l/2⌋, track 2w + (l mod 2). Across the four loader warps all
+  // 16 microtiles × 8 tracks are covered exactly once.
+  return {lane / 2, 2 * warp + (lane % 2)};
+}
+
+gpusim::SharedAddr fig5_offset(int microtile, int track, int k) {
+  KSUM_DCHECK(microtile >= 0 && microtile < 16);
+  KSUM_DCHECK(track >= 0 && track < kMicro);
+  KSUM_DCHECK(k >= 0 && k < kTileK);
+  const int bank = 2 * microtile + (track & 1);
+  const int row = 8 * (track >> 1) + k;
+  return static_cast<gpusim::SharedAddr>((row * 32 + bank) * 4);
+}
+
+gpusim::SharedAddr naive_offset(int microtile, int track, int k) {
+  KSUM_DCHECK(microtile >= 0 && microtile < 16);
+  KSUM_DCHECK(track >= 0 && track < kMicro);
+  KSUM_DCHECK(k >= 0 && k < kTileK);
+  // Track τ stacked vertically in bank τ mod 32.
+  const int tau = microtile * kMicro + track;
+  const int bank = tau % 32;
+  const int row = 8 * (tau / 32) + k;
+  return static_cast<gpusim::SharedAddr>((row * 32 + bank) * 4);
+}
+
+gpusim::SharedAddr tile_offset(TileLayout layout, int microtile, int track,
+                               int k) {
+  return layout == TileLayout::kFig5 ? fig5_offset(microtile, track, k)
+                                     : naive_offset(microtile, track, k);
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,63 @@
+// The Fig.-5 shared-memory data/thread mapping.
+//
+// A tile (tileA 128×8 or tileB 8×128) is split into 16 microtiles of 8×8;
+// each microtile into 8 *tracks* of 8 elements (for tileB a track is one
+// column's 8 K-values; for tileA one row's 8 K-values — both are 32
+// contiguous, 32-byte-aligned bytes in global memory). Each of the 128
+// loader threads fetches exactly one track (two float4 loads) and scatters
+// it into shared memory reshaped 8×8 → 32×2:
+//
+//   element (k, track t) of microtile m  →  bank 2m + (t & 1),
+//                                            row  8·(t >> 1) + k
+//
+// Properties (proved by tests/gpukernels/smem_layout_test.cc):
+//   * stores: warp w lane l writes bank l, row 8w+k — 32 distinct banks,
+//     one row → conflict-free;
+//   * compute loads: at main-loop step k every warp reads operand u of a
+//     single microtile per access — ≤2 banks, one row, duplicate lanes
+//     broadcast → conflict-free;
+//   * 16 microtiles spread across all 32 banks, the paper's stated goal.
+//
+// The *naive* layout is the paper's "intuitive" scheme (each thread drops
+// its whole track into a single bank, tracks in linear order). Its stores
+// are also conflict-free, but the compute loads hit up to 4 rows per access;
+// it is kept as the ablation baseline.
+#pragma once
+
+#include "gpusim/address.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::gpukernels {
+
+enum class TileLayout { kFig5, kNaive };
+
+/// Which track a loader thread owns. `loader_index` is the thread's index
+/// within its 128-thread loading half (warp = loader_index/32 ∈ 0..3).
+/// Fig.5: warp w takes tracks {2w, 2w+1} of every microtile. Naive: thread
+/// i takes track i in linear order.
+struct TrackAssignment {
+  int microtile;  // 0..15
+  int track;      // 0..7
+};
+
+TrackAssignment track_of_loader(TileLayout layout, int loader_index);
+
+/// Byte offset (within a tile buffer) where element `k` of track `t` of
+/// microtile `m` lives under the Fig.-5 layout.
+gpusim::SharedAddr fig5_offset(int microtile, int track, int k);
+
+/// Naive layout: track τ = 8m+t lives entirely in bank τ mod 32, rows
+/// 8·⌊τ/32⌋ … +7.
+gpusim::SharedAddr naive_offset(int microtile, int track, int k);
+
+gpusim::SharedAddr tile_offset(TileLayout layout, int microtile, int track,
+                               int k);
+
+/// Offsets of the operand words the compute phase reads at main-loop step k:
+/// operand u (0..7) of microtile `mt` — for tileA mt = ty, for tileB mt = tx.
+inline gpusim::SharedAddr operand_offset(TileLayout layout, int mt, int u,
+                                         int k) {
+  return tile_offset(layout, mt, u, k);
+}
+
+}  // namespace ksum::gpukernels

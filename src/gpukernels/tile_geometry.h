@@ -1,0 +1,70 @@
+// Blocking constants of the paper's §III-A GEMM structure.
+//
+//   submatrixC : 128×128, one per 16×16-thread CTA
+//   tileA      : 128×8   (a K-slice of the CTA's A rows)
+//   tileB      : 8×128   (a K-slice of the CTA's B columns)
+//   microtileC : 8×8 accumulators per thread (64 registers)
+//   rank-8 update per main-loop iteration, K/8 iterations
+//
+// The kernels require M and N to be multiples of 128 and K a multiple of 8 —
+// exactly the shapes of the paper's sweeps; ragged edges are out of scope
+// (documented in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "gpusim/device.h"
+#include "gpusim/occupancy.h"
+
+namespace ksum::gpukernels {
+
+inline constexpr int kTileM = 128;     // rows of submatrixC / tileA
+inline constexpr int kTileN = 128;     // cols of submatrixC / tileB
+inline constexpr int kTileK = 8;       // rank-8 update depth
+inline constexpr int kBlockX = 16;     // thread block x
+inline constexpr int kBlockY = 16;     // thread block y
+inline constexpr int kThreads = kBlockX * kBlockY;  // 256
+inline constexpr int kMicro = 8;       // microtileC is kMicro×kMicro
+inline constexpr int kWarps = kThreads / 32;        // 8
+inline constexpr int kTileFloats = kTileM * kTileK;  // 1024 per tile
+inline constexpr std::size_t kTileBytes = kTileFloats * 4;  // 4 KB
+
+/// Shared memory budget: 4 tile buffers (A0/A1/B0/B1, double-buffered) plus
+/// a 128-float weight segment and 2×128-float norm segments used only by the
+/// fused kernel. The reduction scratch T reuses the A buffers (paper §III-C).
+inline constexpr std::uint32_t kSmemGemmBytes = 4 * kTileBytes;   // 16 KB
+inline constexpr std::uint32_t kSmemFusedBytes =
+    kSmemGemmBytes + 3 * kTileM * 4;                              // +1.5 KB
+
+/// Register budget per thread: 64 accumulators + 16 operand registers +
+/// bookkeeping — the paper's "96 to 128 registers"; 2 CTAs/SM on a 64K SM.
+inline constexpr int kRegsPerThread = 128;
+
+struct GemmGrid {
+  gpusim::GridDim grid;
+  std::size_t tiles_k = 0;  // main-loop iterations (K / 8)
+};
+
+inline GemmGrid gemm_grid(std::size_t m, std::size_t n, std::size_t k) {
+  KSUM_REQUIRE(m % kTileM == 0, "M must be a multiple of 128");
+  KSUM_REQUIRE(n % kTileN == 0, "N must be a multiple of 128");
+  KSUM_REQUIRE(k % kTileK == 0, "K must be a multiple of 8");
+  GemmGrid g;
+  g.grid.x = static_cast<int>(n / kTileN);
+  g.grid.y = static_cast<int>(m / kTileM);
+  g.tiles_k = k / kTileK;
+  return g;
+}
+
+inline gpusim::BlockDim gemm_block_dim() { return {kBlockX, kBlockY}; }
+
+inline gpusim::LaunchConfig gemm_launch_config(bool fused) {
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = kThreads;
+  cfg.regs_per_thread = kRegsPerThread;
+  cfg.smem_bytes_per_block = fused ? kSmemFusedBytes : kSmemGemmBytes;
+  return cfg;
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,123 @@
+#include "gpukernels/tile_loader.h"
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+
+void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
+               std::size_t k0, gpusim::SharedAddr smem_base,
+               TileLayout layout, int warp_base,
+               TrackNormAccumulators* norms) {
+  KSUM_DCHECK(k0 % kTileK == 0);
+  KSUM_DCHECK(src.leading % kTileK == 0);
+
+  for (int loader_warp = 0; loader_warp < 4; ++loader_warp) {
+    // Per-lane track assignment and staging registers for the 8 elements.
+    std::array<TrackAssignment, 32> tracks;
+    std::array<std::array<float, 8>, 32> staged{};
+
+    // Two float4 global loads cover the track's 8 elements.
+    for (int piece = 0; piece < 2; ++piece) {
+      gpusim::GlobalWarpAccess access;
+      access.width_bytes = 16;
+      for (int lane = 0; lane < 32; ++lane) {
+        const TrackAssignment ta =
+            track_of_loader(layout, loader_warp * 32 + lane);
+        tracks[static_cast<std::size_t>(lane)] = ta;
+        const std::size_t track_index =
+            src.origin + static_cast<std::size_t>(kMicro * ta.microtile +
+                                                  ta.track);
+        const std::size_t float_index =
+            track_index * src.leading + k0 + static_cast<std::size_t>(piece) * 4;
+        access.set_lane(lane, src.buffer.addr_of_float(float_index));
+      }
+      const auto loaded = ctx.global_load_vec4(access);
+      for (int lane = 0; lane < 32; ++lane) {
+        for (int w = 0; w < 4; ++w) {
+          staged[static_cast<std::size_t>(lane)]
+                [static_cast<std::size_t>(piece * 4 + w)] =
+                    loaded[static_cast<std::size_t>(lane)]
+                          [static_cast<std::size_t>(w)];
+        }
+      }
+    }
+    // Address arithmetic for the loads/stores of this warp.
+    ctx.count_alu(32 * 4);
+    (void)warp_base;  // warp identity only affects scheduling, not counts
+
+    if (norms != nullptr) {
+      for (int lane = 0; lane < 32; ++lane) {
+        const TrackAssignment ta = tracks[static_cast<std::size_t>(lane)];
+        float& acc =
+            (*norms)[static_cast<std::size_t>(kMicro * ta.microtile +
+                                              ta.track)];
+        for (int k = 0; k < kTileK; ++k) {
+          const float v =
+              staged[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
+                  k)];
+          acc += v * v;
+        }
+      }
+      ctx.count_fma(32 * kTileK);
+    }
+
+    // Eight conflict-free scalar stores scatter the track into the layout.
+    for (int k = 0; k < kTileK; ++k) {
+      gpusim::SharedWarpAccess store;
+      std::array<float, 32> values{};
+      for (int lane = 0; lane < 32; ++lane) {
+        const TrackAssignment ta = tracks[static_cast<std::size_t>(lane)];
+        store.set_lane(lane, smem_base +
+                                 tile_offset(layout, ta.microtile, ta.track, k));
+        values[static_cast<std::size_t>(lane)] =
+            staged[static_cast<std::size_t>(lane)][static_cast<std::size_t>(k)];
+      }
+      ctx.smem().store_warp(store, values);
+    }
+  }
+}
+
+std::array<std::array<float, 8>, 32> load_segment_operands(
+    gpusim::BlockContext& ctx, gpusim::SharedAddr base, int warp,
+    bool by_row) {
+  std::array<std::array<float, 8>, 32> out{};
+  for (int e = 0; e < kMicro; ++e) {
+    gpusim::SharedWarpAccess access;
+    for (int lane = 0; lane < 32; ++lane) {
+      const int tid = warp * 32 + lane;
+      const int tx = tid % kBlockX;
+      const int ty = tid / kBlockX;
+      const int idx = kMicro * (by_row ? ty : tx) + e;
+      access.set_lane(lane,
+                      base + static_cast<gpusim::SharedAddr>(idx * 4));
+    }
+    const auto vals = ctx.smem().load_warp(access);
+    for (int lane = 0; lane < 32; ++lane) {
+      out[static_cast<std::size_t>(lane)][static_cast<std::size_t>(e)] =
+          vals[static_cast<std::size_t>(lane)];
+    }
+  }
+  return out;
+}
+
+void load_vector_segment(gpusim::BlockContext& ctx,
+                         const gpusim::DeviceBuffer& buffer,
+                         std::size_t origin, gpusim::SharedAddr smem_base) {
+  for (int warp = 0; warp < 4; ++warp) {
+    gpusim::GlobalWarpAccess access;
+    for (int lane = 0; lane < 32; ++lane) {
+      access.set_lane(lane, buffer.addr_of_float(
+                                origin + static_cast<std::size_t>(warp * 32 +
+                                                                  lane)));
+    }
+    const auto values = ctx.global_load(access);
+    gpusim::SharedWarpAccess store;
+    for (int lane = 0; lane < 32; ++lane) {
+      store.set_lane(lane, smem_base + static_cast<gpusim::SharedAddr>(
+                                           (warp * 32 + lane) * 4));
+    }
+    ctx.smem().store_warp(store, values);
+  }
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,55 @@
+// Global→shared tile loading (§III-B of the paper).
+//
+// One 128-thread half of the CTA loads tileA, the other half tileB, each
+// thread fetching one 8-element track with two float4 loads and scattering
+// it into shared memory under the selected layout. Both tiles expose the
+// same addressing because a track is 32 contiguous bytes in global memory
+// for either operand (A row-major rows, B col-major columns, both with
+// leading dimension K).
+#pragma once
+
+#include "gpukernels/smem_layout.h"
+#include "gpusim/device.h"
+#include "gpusim/global_memory.h"
+
+namespace ksum::gpukernels {
+
+/// Describes the CTA's 128-track panel of one operand matrix.
+struct TileSource {
+  gpusim::DeviceBuffer buffer;
+  std::size_t origin = 0;   // first row (A) / column (B) of the panel
+  std::size_t leading = 8;  // stride in floats between tracks (= K)
+};
+
+/// Per-track squared-norm accumulators: slot 8·m+t holds Σ v² of the track's
+/// elements loaded so far. A loader thread owns the same track in every
+/// K-iteration, so accumulating during the loads yields the full ‖·‖² by the
+/// end of the main loop — the fuse-norms extension builds on this.
+using TrackNormAccumulators = std::array<float, kTileM>;
+
+/// Loads the K-slice [k0, k0+kTileK) of `src` into the shared-memory region
+/// starting at `smem_base`, using the four warps `warp_base`..`warp_base+3`
+/// (0 for the tileA half, 4 for the tileB half). When `norms` is non-null,
+/// each loaded element's square is added to its track's accumulator
+/// (counted as extra FMA work).
+void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
+               std::size_t k0, gpusim::SharedAddr smem_base,
+               TileLayout layout, int warp_base,
+               TrackNormAccumulators* norms = nullptr);
+
+/// Loads a 128-float vector segment (norms, weights) starting at global
+/// float index `origin` of `buffer` into shared memory at `smem_base`,
+/// using warps 0..3 (one coalesced scalar access each).
+void load_vector_segment(gpusim::BlockContext& ctx,
+                         const gpusim::DeviceBuffer& buffer,
+                         std::size_t origin, gpusim::SharedAddr smem_base);
+
+/// Reads the per-thread operand vectors of a staged 128-float segment: for
+/// each warp lane, the 8 values indexed by its microtile row (by_row=true,
+/// index 8·ty+e) or column (by_row=false, index 8·tx+e). Used by the fused
+/// kernels' epilogues for norms and weights.
+std::array<std::array<float, 8>, 32> load_segment_operands(
+    gpusim::BlockContext& ctx, gpusim::SharedAddr base, int warp,
+    bool by_row);
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,36 @@
+// Address types and warp-access descriptors for the simulated device.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ksum::gpusim {
+
+/// Byte address in the simulated global memory space.
+using GlobalAddr = std::uint64_t;
+
+/// Byte offset within a CTA's shared memory allocation.
+using SharedAddr = std::uint32_t;
+
+inline constexpr int kWarpSize = 32;
+
+/// One warp-wide memory request: a byte address per lane plus an active mask.
+/// `width_bytes` is the per-lane access width (4 for float, 16 for float4).
+template <typename Addr>
+struct WarpAccess {
+  std::array<Addr, kWarpSize> addr{};
+  std::uint32_t active_mask = 0xffffffffu;
+  int width_bytes = 4;
+
+  bool lane_active(int lane) const {
+    return (active_mask >> lane) & 1u;
+  }
+  void set_lane(int lane, Addr a) {
+    addr[static_cast<std::size_t>(lane)] = a;
+  }
+};
+
+using GlobalWarpAccess = WarpAccess<GlobalAddr>;
+using SharedWarpAccess = WarpAccess<SharedAddr>;
+
+}  // namespace ksum::gpusim

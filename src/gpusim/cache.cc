@@ -1,0 +1,140 @@
+#include "gpusim/cache.h"
+
+#include <bit>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ksum::gpusim {
+
+void CacheGeometry::validate() const {
+  KSUM_REQUIRE(line_bytes > 0 && sector_bytes > 0 && ways > 0,
+               "cache geometry fields must be positive");
+  KSUM_REQUIRE(line_bytes % sector_bytes == 0, "line must be whole sectors");
+  KSUM_REQUIRE(sectors_per_line() <= 8,
+               "sector masks are 8 bits; enlarge Line::valid for more");
+  KSUM_REQUIRE(capacity_bytes % static_cast<std::size_t>(line_bytes) == 0,
+               "capacity must be whole lines");
+  KSUM_REQUIRE(num_lines() % static_cast<std::size_t>(ways) == 0,
+               "lines must divide into ways");
+  // Set indexing is plain modulo, so non-power-of-two set counts (the
+  // GTX970's 1.75 MB partitioning) are fine.
+}
+
+SectoredCache::SectoredCache(const CacheGeometry& geometry,
+                             CacheCounters counters)
+    : geometry_(geometry), counters_(counters) {
+  geometry_.validate();
+  lines_.resize(geometry_.num_lines());
+}
+
+SectoredCache::Line* SectoredCache::find_line(GlobalAddr line_addr) {
+  const std::size_t set =
+      (line_addr / static_cast<GlobalAddr>(geometry_.line_bytes)) %
+      geometry_.num_sets();
+  Line* base = lines_.data() + set * static_cast<std::size_t>(geometry_.ways);
+  for (int w = 0; w < geometry_.ways; ++w) {
+    if (base[w].allocated && base[w].tag == line_addr) return &base[w];
+  }
+  return nullptr;
+}
+
+SectoredCache::Line& SectoredCache::allocate_line(GlobalAddr line_addr) {
+  const std::size_t set =
+      (line_addr / static_cast<GlobalAddr>(geometry_.line_bytes)) %
+      geometry_.num_sets();
+  Line* base = lines_.data() + set * static_cast<std::size_t>(geometry_.ways);
+  Line* victim = &base[0];
+  for (int w = 0; w < geometry_.ways; ++w) {
+    if (!base[w].allocated) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].last_use < victim->last_use) victim = &base[w];
+  }
+  if (victim->allocated && victim->dirty != 0) {
+    // Write back every dirty sector of the evicted line.
+    bump(counters_.writebacks,
+         static_cast<std::uint64_t>(
+             std::popcount(static_cast<unsigned>(victim->dirty))));
+  }
+  victim->allocated = true;
+  victim->tag = line_addr;
+  victim->valid = 0;
+  victim->dirty = 0;
+  victim->last_use = ++tick_;
+  return *victim;
+}
+
+bool SectoredCache::read_sector(GlobalAddr sector_addr) {
+  KSUM_DCHECK(sector_addr %
+                  static_cast<GlobalAddr>(geometry_.sector_bytes) ==
+              0);
+  bump(counters_.read_accesses);
+  const GlobalAddr line_addr =
+      sector_addr / static_cast<GlobalAddr>(geometry_.line_bytes) *
+      static_cast<GlobalAddr>(geometry_.line_bytes);
+  const int sector_idx = static_cast<int>(
+      (sector_addr - line_addr) / static_cast<GlobalAddr>(geometry_.sector_bytes));
+  const std::uint8_t bit = static_cast<std::uint8_t>(1u << sector_idx);
+
+  Line* line = find_line(line_addr);
+  if (line != nullptr && (line->valid & bit) != 0) {
+    line->last_use = ++tick_;
+    bump(counters_.read_hits);
+    return true;
+  }
+  bump(counters_.read_misses);
+  if (line == nullptr) line = &allocate_line(line_addr);
+  line->valid = static_cast<std::uint8_t>(line->valid | bit);
+  line->last_use = ++tick_;
+  return false;
+}
+
+void SectoredCache::write_sector(GlobalAddr sector_addr) {
+  KSUM_DCHECK(sector_addr %
+                  static_cast<GlobalAddr>(geometry_.sector_bytes) ==
+              0);
+  bump(counters_.write_accesses);
+  const GlobalAddr line_addr =
+      sector_addr / static_cast<GlobalAddr>(geometry_.line_bytes) *
+      static_cast<GlobalAddr>(geometry_.line_bytes);
+  const int sector_idx = static_cast<int>(
+      (sector_addr - line_addr) / static_cast<GlobalAddr>(geometry_.sector_bytes));
+  const std::uint8_t bit = static_cast<std::uint8_t>(1u << sector_idx);
+
+  Line* line = find_line(line_addr);
+  if (line == nullptr) line = &allocate_line(line_addr);
+  line->valid = static_cast<std::uint8_t>(line->valid | bit);
+  line->dirty = static_cast<std::uint8_t>(line->dirty | bit);
+  line->last_use = ++tick_;
+}
+
+void SectoredCache::flush_dirty() {
+  for (auto& line : lines_) {
+    if (line.allocated && line.dirty != 0) {
+      bump(counters_.writebacks,
+           static_cast<std::uint64_t>(
+               std::popcount(static_cast<unsigned>(line.dirty))));
+      line.dirty = 0;
+    }
+  }
+}
+
+void SectoredCache::reset() {
+  for (auto& line : lines_) line = Line{};
+  tick_ = 0;
+}
+
+std::size_t SectoredCache::resident_sectors() const {
+  std::size_t total = 0;
+  for (const auto& line : lines_) {
+    if (line.allocated) {
+      total += static_cast<std::size_t>(
+          std::popcount(static_cast<unsigned>(line.valid)));
+    }
+  }
+  return total;
+}
+
+}  // namespace ksum::gpusim

@@ -1,0 +1,94 @@
+// Sectored set-associative cache model (Maxwell-style), used for both the
+// device-wide L2 and the optional per-SM L1/texture cache.
+//
+// Lines are 128 bytes of 32-byte sectors with per-sector valid/dirty bits;
+// fills happen at sector granularity (a miss fetches one sector, not the
+// whole line), replacement is LRU at line granularity. Stores are
+// write-back / write-allocate; a store to a missing sector installs it
+// without a fetch (all device stores in this codebase are full-sector
+// coalesced, so there is no partial-write merge problem — asserted).
+//
+// The cache only counts its *own* events through the CacheCounters hooks;
+// the caller owns the hierarchy: an L1 miss is forwarded to the L2 by the
+// Device, an L2 miss becomes a DRAM read there, and dirty evictions tick
+// the writeback hook (wired to DRAM writes for the L2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/address.h"
+
+namespace ksum::gpusim {
+
+struct CacheGeometry {
+  std::size_t capacity_bytes = 1792 * 1024;
+  int line_bytes = 128;
+  int sector_bytes = 32;
+  int ways = 16;
+
+  std::size_t num_lines() const {
+    return capacity_bytes / static_cast<std::size_t>(line_bytes);
+  }
+  std::size_t num_sets() const {
+    return num_lines() / static_cast<std::size_t>(ways);
+  }
+  int sectors_per_line() const { return line_bytes / sector_bytes; }
+
+  void validate() const;
+};
+
+/// Event hooks; any pointer may be null (event not recorded).
+struct CacheCounters {
+  std::uint64_t* read_accesses = nullptr;
+  std::uint64_t* read_hits = nullptr;
+  std::uint64_t* read_misses = nullptr;
+  std::uint64_t* write_accesses = nullptr;
+  std::uint64_t* writebacks = nullptr;  // dirty sectors drained downstream
+};
+
+class SectoredCache {
+ public:
+  SectoredCache(const CacheGeometry& geometry, CacheCounters counters);
+
+  /// Read one sector (addr must be sector aligned). Returns true on hit; a
+  /// miss installs the sector (the caller performs the downstream fetch).
+  bool read_sector(GlobalAddr sector_addr);
+
+  /// Write one sector (write-allocate, no fetch).
+  void write_sector(GlobalAddr sector_addr);
+
+  /// Drains all dirty sectors (ticks the writeback hook per sector).
+  void flush_dirty();
+
+  /// Drops all content without traffic (test helper).
+  void reset();
+
+  /// Number of resident valid sectors (test observability).
+  std::size_t resident_sectors() const;
+
+  const CacheGeometry& geometry() const { return geometry_; }
+
+ private:
+  struct Line {
+    bool allocated = false;
+    GlobalAddr tag = 0;  // line base address
+    std::uint64_t last_use = 0;
+    std::uint8_t valid = 0;  // per-sector bitmask
+    std::uint8_t dirty = 0;
+  };
+
+  static void bump(std::uint64_t* counter, std::uint64_t n = 1) {
+    if (counter != nullptr) *counter += n;
+  }
+
+  Line* find_line(GlobalAddr line_addr);
+  Line& allocate_line(GlobalAddr line_addr);
+
+  CacheGeometry geometry_;
+  CacheCounters counters_;
+  std::vector<Line> lines_;  // sets × ways
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace ksum::gpusim

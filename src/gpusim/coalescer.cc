@@ -1,0 +1,28 @@
+#include "gpusim/coalescer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+
+std::vector<GlobalAddr> Coalescer::sectors_for(
+    const GlobalWarpAccess& access) const {
+  std::vector<GlobalAddr> sectors;
+  sectors.reserve(kWarpSize);
+  const auto sector = static_cast<GlobalAddr>(sector_bytes_);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const GlobalAddr base = access.addr[static_cast<std::size_t>(lane)];
+    KSUM_DCHECK(base % 4 == 0);
+    for (int piece = 0; piece < access.width_bytes; piece += 4) {
+      sectors.push_back((base + static_cast<GlobalAddr>(piece)) / sector *
+                        sector);
+    }
+  }
+  std::sort(sectors.begin(), sectors.end());
+  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+  return sectors;
+}
+
+}  // namespace ksum::gpusim

@@ -1,0 +1,29 @@
+// Global-load/store coalescing unit.
+//
+// A warp request is broken into the set of distinct 32-byte sectors the
+// active lanes touch — that set is exactly the stream of L2 transactions the
+// request generates (nvprof's gld/gst transaction counters work the same
+// way). Fully coalesced float accesses produce 4 sectors per warp; float4
+// accesses produce 16.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/address.h"
+
+namespace ksum::gpusim {
+
+class Coalescer {
+ public:
+  explicit Coalescer(int sector_bytes) : sector_bytes_(sector_bytes) {}
+
+  /// Distinct sector base addresses touched by the access, sorted ascending.
+  std::vector<GlobalAddr> sectors_for(const GlobalWarpAccess& access) const;
+
+  int sector_bytes() const { return sector_bytes_; }
+
+ private:
+  int sector_bytes_;
+};
+
+}  // namespace ksum::gpusim

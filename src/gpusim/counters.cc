@@ -1,0 +1,69 @@
+#include "gpusim/counters.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ksum::gpusim {
+
+Counters& Counters::operator+=(const Counters& other) {
+  fma_ops += other.fma_ops;
+  alu_ops += other.alu_ops;
+  sfu_ops += other.sfu_ops;
+  warp_instructions += other.warp_instructions;
+  smem_load_requests += other.smem_load_requests;
+  smem_store_requests += other.smem_store_requests;
+  smem_load_transactions += other.smem_load_transactions;
+  smem_store_transactions += other.smem_store_transactions;
+  smem_bank_conflicts += other.smem_bank_conflicts;
+  global_load_requests += other.global_load_requests;
+  global_store_requests += other.global_store_requests;
+  atomic_requests += other.atomic_requests;
+  l1_read_transactions += other.l1_read_transactions;
+  l1_read_hits += other.l1_read_hits;
+  l1_read_misses += other.l1_read_misses;
+  l2_read_transactions += other.l2_read_transactions;
+  l2_write_transactions += other.l2_write_transactions;
+  l2_read_hits += other.l2_read_hits;
+  l2_read_misses += other.l2_read_misses;
+  dram_read_transactions += other.dram_read_transactions;
+  dram_write_transactions += other.dram_write_transactions;
+  barriers += other.barriers;
+  ctas_launched += other.ctas_launched;
+  kernel_launches += other.kernel_launches;
+  return *this;
+}
+
+double Counters::l2_mpki() const {
+  if (warp_instructions == 0) return 0.0;
+  return 1000.0 * static_cast<double>(l2_read_misses) /
+         (32.0 * static_cast<double>(warp_instructions));
+}
+
+std::string Counters::to_string() const {
+  std::ostringstream os;
+  os << "counters{\n"
+     << "  fma=" << fma_ops << " alu=" << alu_ops << " sfu=" << sfu_ops
+     << " warp_instr=" << warp_instructions << "\n"
+     << "  smem: load_req=" << smem_load_requests
+     << " store_req=" << smem_store_requests
+     << " load_txn=" << smem_load_transactions
+     << " store_txn=" << smem_store_transactions
+     << " conflicts=" << smem_bank_conflicts << "\n"
+     << "  global: load_req=" << global_load_requests
+     << " store_req=" << global_store_requests
+     << " atomics=" << atomic_requests << "\n"
+     << "  l1: read=" << l1_read_transactions << " hits=" << l1_read_hits
+     << " misses=" << l1_read_misses << "\n"
+     << "  l2: read=" << l2_read_transactions
+     << " write=" << l2_write_transactions << " hits=" << l2_read_hits
+     << " misses=" << l2_read_misses
+     << str_format(" mpki=%.2f", l2_mpki()) << "\n"
+     << "  dram: read=" << dram_read_transactions
+     << " write=" << dram_write_transactions << "\n"
+     << "  barriers=" << barriers << " ctas=" << ctas_launched
+     << " launches=" << kernel_launches << "\n}";
+  return os.str();
+}
+
+}  // namespace ksum::gpusim

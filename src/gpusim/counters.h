@@ -1,0 +1,79 @@
+// Architectural event counters — the simulator's `nvprof`.
+//
+// Every model component increments these; the timing and energy models
+// consume them; the analytic module predicts them in closed form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ksum::gpusim {
+
+struct Counters {
+  // Compute (counted per active lane).
+  std::uint64_t fma_ops = 0;        // fused multiply-add datapath ops
+  std::uint64_t alu_ops = 0;        // other integer/FP ALU ops
+  std::uint64_t sfu_ops = 0;        // special-function ops (exp, rsqrt)
+
+  // Executed warp instructions (all classes, per warp not per lane) — the
+  // denominator of MPKI-style metrics.
+  std::uint64_t warp_instructions = 0;
+
+  // Shared memory.
+  std::uint64_t smem_load_requests = 0;    // warp-level requests
+  std::uint64_t smem_store_requests = 0;
+  std::uint64_t smem_load_transactions = 0;   // after replay expansion
+  std::uint64_t smem_store_transactions = 0;
+  std::uint64_t smem_bank_conflicts = 0;      // replays beyond the ideal
+
+  // Global memory front end.
+  std::uint64_t global_load_requests = 0;  // warp-level requests
+  std::uint64_t global_store_requests = 0;
+  std::uint64_t atomic_requests = 0;
+
+  // Optional per-SM L1/texture cache (only ticks when the device enables
+  // cache_globals_in_l1, the -Xptxas -dlcm=ca configuration of §II-C).
+  std::uint64_t l1_read_transactions = 0;
+  std::uint64_t l1_read_hits = 0;
+  std::uint64_t l1_read_misses = 0;
+
+  // L2 (32-byte sector granularity, like nvprof's l2_read_transactions).
+  std::uint64_t l2_read_transactions = 0;
+  std::uint64_t l2_write_transactions = 0;
+  std::uint64_t l2_read_hits = 0;
+  std::uint64_t l2_read_misses = 0;
+
+  // DRAM (32-byte transactions).
+  std::uint64_t dram_read_transactions = 0;
+  std::uint64_t dram_write_transactions = 0;
+
+  // Control.
+  std::uint64_t barriers = 0;
+  std::uint64_t ctas_launched = 0;
+  std::uint64_t kernel_launches = 0;
+
+  Counters& operator+=(const Counters& other);
+  friend Counters operator+(Counters lhs, const Counters& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  std::uint64_t l2_total_transactions() const {
+    return l2_read_transactions + l2_write_transactions;
+  }
+  std::uint64_t dram_total_transactions() const {
+    return dram_read_transactions + dram_write_transactions;
+  }
+  std::uint64_t smem_total_transactions() const {
+    return smem_load_transactions + smem_store_transactions;
+  }
+
+  /// L2 misses per kilo *thread* instructions (warp instructions × 32, the
+  /// nvprof inst_executed convention) — the metric of the paper's Fig. 2.
+  double l2_mpki() const;
+
+  /// Multi-line human-readable dump (used by examples and debugging).
+  std::string to_string() const;
+};
+
+}  // namespace ksum::gpusim

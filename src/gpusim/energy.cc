@@ -1,0 +1,35 @@
+#include "gpusim/energy.h"
+
+namespace ksum::gpusim {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  compute_j += other.compute_j;
+  smem_j += other.smem_j;
+  l2_j += other.l2_j;
+  dram_j += other.dram_j;
+  static_j += other.static_j;
+  return *this;
+}
+
+EnergyBreakdown compute_energy(const config::EnergySpec& spec,
+                               const CostInputs& cost, double seconds) {
+  constexpr double kPj = 1e-12;
+  EnergyBreakdown out;
+  out.compute_j = (cost.fma_lane_ops * spec.fma_pj +
+                   cost.alu_lane_ops * spec.fma_pj +
+                   cost.sfu_lane_ops * spec.sfu_pj +
+                   cost.warp_instructions * 32.0 * spec.instruction_pj) *
+                  kPj;
+  // One shared-memory transaction moves up to 32 words through 32 banks;
+  // charge per bank port activation.
+  out.smem_j = cost.smem_transactions * 32.0 * spec.smem_access_pj * kPj;
+  // L1 sector accesses are folded into the cache bucket with the L2.
+  out.l2_j = (cost.l1_transactions * spec.l1_access_pj +
+              cost.l2_transactions * spec.l2_access_pj) *
+             kPj;
+  out.dram_j = cost.dram_transactions * spec.dram_access_pj * kPj;
+  out.static_j = spec.static_power_w * seconds;
+  return out;
+}
+
+}  // namespace ksum::gpusim

@@ -1,0 +1,37 @@
+// Energy model: per-event dynamic energies (CACTI/McPAT-style constants
+// from config/energy_spec.h) times event counts, plus static power times the
+// modelled execution time — the same structure the paper uses (§IV).
+#pragma once
+
+#include "config/energy_spec.h"
+#include "gpusim/timing.h"
+
+namespace ksum::gpusim {
+
+/// Breakdown in joules, matching the paper's Fig. 1/9 categories.
+struct EnergyBreakdown {
+  double compute_j = 0;  // FMA/ALU/SFU datapaths + instruction overhead
+  double smem_j = 0;
+  double l2_j = 0;
+  double dram_j = 0;
+  double static_j = 0;
+
+  double total() const {
+    return compute_j + smem_j + l2_j + dram_j + static_j;
+  }
+  double dram_share() const { return total() > 0 ? dram_j / total() : 0; }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+  friend EnergyBreakdown operator+(EnergyBreakdown lhs,
+                                   const EnergyBreakdown& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+};
+
+/// Computes energy for a kernel (or a whole pipeline) from its event counts
+/// and modelled wall time in seconds.
+EnergyBreakdown compute_energy(const config::EnergySpec& spec,
+                               const CostInputs& cost, double seconds);
+
+}  // namespace ksum::gpusim

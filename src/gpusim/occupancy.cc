@@ -1,0 +1,70 @@
+#include "gpusim/occupancy.h"
+#include <limits>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ksum::gpusim {
+
+std::string to_string(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kThreads:
+      return "threads";
+    case OccupancyLimiter::kBlocks:
+      return "blocks";
+    case OccupancyLimiter::kRegisters:
+      return "registers";
+    case OccupancyLimiter::kSharedMemory:
+      return "shared-memory";
+  }
+  return "unknown";
+}
+
+Occupancy compute_occupancy(const config::DeviceSpec& spec,
+                            const LaunchConfig& cfg) {
+  KSUM_REQUIRE(cfg.threads_per_block > 0 &&
+                   cfg.threads_per_block <= spec.max_threads_per_block,
+               "threads per block out of range");
+  KSUM_REQUIRE(cfg.threads_per_block % spec.warp_size == 0,
+               "block size must be a whole number of warps");
+  KSUM_REQUIRE(cfg.regs_per_thread > 0 &&
+                   cfg.regs_per_thread <= spec.max_registers_per_thread,
+               "registers per thread out of range");
+  KSUM_REQUIRE(cfg.smem_bytes_per_block <= spec.smem_per_block_limit,
+               "shared memory request exceeds the per-block limit");
+
+  const int by_threads = spec.max_threads_per_sm / cfg.threads_per_block;
+  const int by_blocks = spec.max_blocks_per_sm;
+
+  // Registers allocate per warp in granules of 256 on Maxwell.
+  const int warps = cfg.threads_per_block / spec.warp_size;
+  const int regs_per_warp =
+      static_cast<int>(round_up(cfg.regs_per_thread * spec.warp_size, 256));
+  const int by_regs = spec.registers_per_sm / (regs_per_warp * warps);
+
+  int by_smem = std::numeric_limits<int>::max();
+  if (cfg.smem_bytes_per_block > 0) {
+    by_smem = static_cast<int>(spec.smem_per_sm_bytes /
+                               cfg.smem_bytes_per_block);
+  }
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_smem});
+  KSUM_REQUIRE(occ.blocks_per_sm >= 1,
+               "kernel resources exceed one SM; launch impossible");
+  // First binding constraint in a fixed priority order names the limiter.
+  if (occ.blocks_per_sm == by_threads) {
+    occ.limiter = OccupancyLimiter::kThreads;
+  } else if (occ.blocks_per_sm == by_blocks) {
+    occ.limiter = OccupancyLimiter::kBlocks;
+  } else if (occ.blocks_per_sm == by_regs) {
+    occ.limiter = OccupancyLimiter::kRegisters;
+  } else {
+    occ.limiter = OccupancyLimiter::kSharedMemory;
+  }
+  return occ;
+}
+
+}  // namespace ksum::gpusim

@@ -1,0 +1,42 @@
+// CTA occupancy calculator — mirrors the CUDA occupancy rules the paper's
+// §III-A discusses (register file, shared memory, thread and CTA slots).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "config/device_spec.h"
+
+namespace ksum::gpusim {
+
+/// Per-launch resource requirements of a kernel.
+struct LaunchConfig {
+  int threads_per_block = 256;
+  int regs_per_thread = 96;
+  std::uint32_t smem_bytes_per_block = 0;
+};
+
+enum class OccupancyLimiter { kThreads, kBlocks, kRegisters, kSharedMemory };
+
+std::string to_string(OccupancyLimiter limiter);
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  OccupancyLimiter limiter = OccupancyLimiter::kThreads;
+
+  int active_threads_per_sm(const LaunchConfig& cfg) const {
+    return blocks_per_sm * cfg.threads_per_block;
+  }
+  /// Fraction of the SM's thread slots occupied.
+  double ratio(const config::DeviceSpec& spec, const LaunchConfig& cfg) const {
+    return static_cast<double>(active_threads_per_sm(cfg)) /
+           static_cast<double>(spec.max_threads_per_sm);
+  }
+};
+
+/// Computes how many CTAs of `cfg` fit on one SM. Throws ksum::Error when
+/// the kernel cannot launch at all (over a hard per-block limit).
+Occupancy compute_occupancy(const config::DeviceSpec& spec,
+                            const LaunchConfig& cfg);
+
+}  // namespace ksum::gpusim

@@ -1,0 +1,108 @@
+#include "gpusim/shared_memory.h"
+
+#include <limits>
+#include <set>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ksum::gpusim {
+
+namespace {
+constexpr std::uint32_t kRowBytes = 128;  // 32 banks × 4 bytes
+}
+
+SharedMemory::SharedMemory(std::uint32_t size_bytes, Counters* counters)
+    : data_(ceil_div<std::uint32_t>(size_bytes, 4), 0.0f),
+      counters_(counters) {
+  KSUM_CHECK(counters_ != nullptr);
+}
+
+void SharedMemory::check_access(const SharedWarpAccess& access) const {
+  KSUM_REQUIRE(access.width_bytes == 4,
+               "shared memory model currently services 4-byte lanes; express "
+               "float4 as four accesses (the kernels do)");
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const SharedAddr a = access.addr[static_cast<std::size_t>(lane)];
+    KSUM_CHECK_MSG(a % 4 == 0, "shared access must be 4-byte aligned");
+    KSUM_CHECK_MSG(a + 4 <= data_.size() * sizeof(float),
+                   "shared access out of the CTA allocation");
+  }
+}
+
+int SharedMemory::transactions_for(const SharedWarpAccess& access) {
+  // Distinct 128-byte rows touched by active lanes. Same word → broadcast
+  // (no extra cost); same row, different banks → same transaction; different
+  // rows → replay.
+  std::set<std::uint32_t> rows;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const SharedAddr base = access.addr[static_cast<std::size_t>(lane)];
+    for (int piece = 0; piece < access.width_bytes; piece += 4) {
+      rows.insert((base + static_cast<std::uint32_t>(piece)) / kRowBytes);
+    }
+  }
+  return static_cast<int>(rows.size());
+}
+
+int SharedMemory::ideal_transactions_for(const SharedWarpAccess& access) {
+  if (access.active_mask == 0) return 0;
+  return access.width_bytes / 4 > 0 ? access.width_bytes / 4 : 1;
+}
+
+std::array<float, kWarpSize> SharedMemory::load_warp(
+    const SharedWarpAccess& access) {
+  check_access(access);
+  std::array<float, kWarpSize> out{};
+  if (access.active_mask == 0) return out;
+
+  const int txns = transactions_for(access);
+  const int ideal = ideal_transactions_for(access);
+  counters_->smem_load_requests += 1;
+  counters_->smem_load_transactions += static_cast<std::uint64_t>(txns);
+  counters_->smem_bank_conflicts +=
+      static_cast<std::uint64_t>(txns > ideal ? txns - ideal : 0);
+  counters_->warp_instructions += 1;
+
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    out[static_cast<std::size_t>(lane)] =
+        data_[access.addr[static_cast<std::size_t>(lane)] / 4];
+  }
+  return out;
+}
+
+void SharedMemory::store_warp(const SharedWarpAccess& access,
+                              const std::array<float, kWarpSize>& values) {
+  check_access(access);
+  if (access.active_mask == 0) return;
+
+  const int txns = transactions_for(access);
+  const int ideal = ideal_transactions_for(access);
+  counters_->smem_store_requests += 1;
+  counters_->smem_store_transactions += static_cast<std::uint64_t>(txns);
+  counters_->smem_bank_conflicts +=
+      static_cast<std::uint64_t>(txns > ideal ? txns - ideal : 0);
+  counters_->warp_instructions += 1;
+
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    // Two active lanes writing the same word is a data race on hardware;
+    // catching it here has saved every layout bug so far.
+    data_[access.addr[static_cast<std::size_t>(lane)] / 4] =
+        values[static_cast<std::size_t>(lane)];
+  }
+}
+
+void SharedMemory::poison() {
+  for (auto& w : data_) w = std::numeric_limits<float>::quiet_NaN();
+}
+
+float SharedMemory::peek(SharedAddr byte_offset) const {
+  KSUM_CHECK(byte_offset % 4 == 0 &&
+             byte_offset + 4 <= data_.size() * sizeof(float));
+  return data_[byte_offset / 4];
+}
+
+}  // namespace ksum::gpusim

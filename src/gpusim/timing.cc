@@ -1,0 +1,110 @@
+#include "gpusim/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ksum::gpusim {
+
+CostInputs CostInputs::from_counters(const Counters& c) {
+  CostInputs in;
+  in.fma_lane_ops = static_cast<double>(c.fma_ops);
+  in.alu_lane_ops = static_cast<double>(c.alu_ops);
+  in.sfu_lane_ops = static_cast<double>(c.sfu_ops);
+  in.warp_instructions = static_cast<double>(c.warp_instructions);
+  in.smem_transactions = static_cast<double>(c.smem_total_transactions());
+  in.l1_transactions = static_cast<double>(c.l1_read_transactions);
+  in.l2_transactions = static_cast<double>(c.l2_total_transactions());
+  in.dram_transactions = static_cast<double>(c.dram_total_transactions());
+  return in;
+}
+
+TimingBreakdown estimate_kernel_time(const config::DeviceSpec& device,
+                                     const config::TimingSpec& timing,
+                                     const CostInputs& cost,
+                                     const LaunchShape& shape) {
+  KSUM_REQUIRE(shape.num_ctas > 0, "timing needs at least one CTA");
+  KSUM_REQUIRE(shape.occupancy.blocks_per_sm > 0, "occupancy must be >= 1");
+
+  const double slots = static_cast<double>(shape.occupancy.blocks_per_sm) *
+                       static_cast<double>(device.num_sms);
+  const double waves =
+      std::ceil(static_cast<double>(shape.num_ctas) / slots);
+  // Fraction of CTA slots doing useful work over the whole launch; the tail
+  // wave runs partially empty.
+  const double wave_fill = static_cast<double>(shape.num_ctas) /
+                           (waves * slots);
+
+  // --- Compute bound ---------------------------------------------------------
+  double issue_eff = shape.grade.base_issue_efficiency * wave_fill;
+  if (shape.mainloop_iters > 0) {
+    issue_eff *= shape.mainloop_iters /
+                 (shape.mainloop_iters + shape.grade.prologue_equiv_iters);
+  }
+  if (shape.occupancy.blocks_per_sm == 1) {
+    issue_eff *= shape.grade.single_cta_penalty;
+  }
+  issue_eff = std::max(issue_eff, 1e-6);
+
+  // Maxwell per-SM pipes: 128 FMA lanes, 32 SFU lanes; plain ALU work shares
+  // the FMA pipes.
+  const double fma_slots = device.fma_slots_per_cycle();
+  const double sfu_slots = 32.0 * static_cast<double>(device.num_sms);
+  const double compute_cycles =
+      (cost.fma_lane_ops / fma_slots + cost.alu_lane_ops / fma_slots +
+       cost.sfu_lane_ops / sfu_slots) /
+      issue_eff;
+
+  // --- Memory bounds ---------------------------------------------------------
+  // Shared memory: one transaction per cycle per SM; only SMs hosting work
+  // contribute, approximated by the wave fill.
+  const double active_sms =
+      std::min(static_cast<double>(device.num_sms),
+               static_cast<double>(shape.num_ctas));
+  const double smem_cycles =
+      cost.smem_transactions / std::max(active_sms * wave_fill, 1.0);
+
+  const double sector = static_cast<double>(device.l2_sector_bytes);
+  const double l2_cycles =
+      cost.l2_transactions * sector / device.l2_bandwidth_bytes_per_cycle;
+  const double dram_cycles =
+      cost.dram_transactions * sector /
+      (device.dram_bytes_per_cycle() * timing.dram_efficiency);
+
+  // --- Overheads -------------------------------------------------------------
+  const double overhead_cycles =
+      timing.launch_overhead_cycles + waves * timing.cta_dispatch_cycles;
+
+  TimingBreakdown out;
+  out.compute_cycles = compute_cycles;
+  out.smem_cycles = smem_cycles;
+  out.l2_cycles = l2_cycles;
+  out.dram_cycles = dram_cycles;
+  out.overhead_cycles = overhead_cycles;
+
+  const double memory_body = std::max({smem_cycles, l2_cycles, dram_cycles});
+  const double body = shape.overlapped_memory
+                          ? std::max(compute_cycles, memory_body)
+                          : compute_cycles + memory_body;
+  out.total_cycles = body + overhead_cycles;
+  if (body == compute_cycles) {
+    out.bound = "compute";
+  } else if (body == smem_cycles) {
+    out.bound = "smem";
+  } else if (body == l2_cycles) {
+    out.bound = "l2";
+  } else {
+    out.bound = "dram";
+  }
+  return out;
+}
+
+double flop_efficiency(const config::DeviceSpec& device, double useful_flops,
+                       double seconds) {
+  KSUM_REQUIRE(seconds > 0, "efficiency needs positive time");
+  return useful_flops / (device.peak_sp_flops() * seconds);
+}
+
+}  // namespace ksum::gpusim

@@ -1,0 +1,105 @@
+#include "pipelines/knn_pipeline.h"
+
+#include "gpukernels/gemm_cublas_model.h"
+#include "gpukernels/kernel_eval.h"
+#include "gpukernels/norms.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::pipelines {
+namespace {
+
+KernelReport knn_report(const RunOptions& options,
+                        const gpusim::LaunchResult& launch,
+                        double mainloop_iters,
+                        const config::KernelGrade& grade) {
+  KernelReport report;
+  report.name = launch.kernel_name;
+  report.counters = launch.counters;
+  report.shape.num_ctas = launch.grid.count();
+  report.shape.config = launch.config;
+  report.shape.occupancy = launch.occupancy;
+  report.shape.mainloop_iters = mainloop_iters;
+  report.shape.grade = grade;
+  report.timing = gpusim::estimate_kernel_time(
+      options.device, options.timing,
+      gpusim::CostInputs::from_counters(launch.counters), report.shape);
+  return report;
+}
+
+}  // namespace
+
+std::string to_string(KnnSolution solution) {
+  return solution == KnnSolution::kFused ? "Fused-kNN" : "Unfused-kNN";
+}
+
+KnnReport run_knn_pipeline(KnnSolution solution,
+                           const workload::Instance& instance,
+                           std::size_t k_nn, const RunOptions& options) {
+  const std::size_t m = instance.spec.m;
+  const std::size_t n = instance.spec.n;
+  const std::size_t k = instance.spec.k;
+  const bool unfused = solution == KnnSolution::kUnfused;
+
+  // Inputs + norms + outputs + staging, with headroom.
+  const std::size_t bytes = (m * k + k * n + 2 * (m + n)) * 4 +
+                            (unfused ? m * n * 4 : 0) +
+                            m * (n / 128 + 2) * 2 * k_nn * 4 + (1u << 20);
+  gpusim::Device device(options.device, bytes);
+  gpukernels::Workspace ws =
+      gpukernels::allocate_workspace(device, m, n, k, unfused);
+  gpukernels::upload_instance(device, ws, instance);
+
+  KnnReport report;
+  report.solution = solution;
+  report.m = m;
+  report.n = n;
+  report.k = k;
+  report.k_nn = k_nn;
+
+  const auto cuda_grade = options.cuda_kernel_grade;
+  const double iters = double(k) / gpukernels::kTileK;
+
+  report.kernels.push_back(
+      knn_report(options, gpukernels::run_norms_a(device, ws), 0, cuda_grade));
+  report.kernels.push_back(
+      knn_report(options, gpukernels::run_norms_b(device, ws), 0, cuda_grade));
+
+  if (solution == KnnSolution::kFused) {
+    gpukernels::MainloopConfig mainloop = options.mainloop;
+    const auto launches = gpukernels::run_fused_knn(device, ws, k_nn,
+                                                    report.result, mainloop);
+    report.kernels.push_back(
+        knn_report(options, launches.main, iters, cuda_grade));
+    for (const auto& extra : launches.extra) {
+      report.kernels.push_back(knn_report(options, extra, 0, cuda_grade));
+    }
+  } else {
+    report.kernels.push_back(knn_report(
+        options,
+        gpukernels::run_gemm_cublas_model(device, ws.a, ws.b, ws.c, m, n, k),
+        iters, config::KernelGrade::assembly()));
+    report.kernels.push_back(knn_report(
+        options, gpukernels::run_distance_eval(device, ws), 0, cuda_grade));
+    report.kernels.push_back(knn_report(
+        options, gpukernels::run_knn_select(device, ws, k_nn, report.result),
+        0, cuda_grade));
+  }
+
+  const gpusim::Counters writeback = device.flush_l2();
+  for (const auto& kr : report.kernels) {
+    report.total += kr.counters;
+    report.seconds += kr.timing.seconds(options.device);
+  }
+  report.total += writeback;
+  report.seconds += double(writeback.dram_write_transactions) *
+                    double(options.device.l2_sector_bytes) /
+                    (options.device.dram_bandwidth_gb_s * 1e9 *
+                     options.timing.dram_efficiency);
+  report.energy =
+      gpusim::compute_energy(options.energy,
+                             gpusim::CostInputs::from_counters(report.total),
+                             report.seconds);
+  return report;
+}
+
+}  // namespace ksum::pipelines

@@ -1,0 +1,171 @@
+#include "pipelines/pipeline.h"
+
+#include "common/error.h"
+#include "gpukernels/gemm_cublas_model.h"
+#include "gpukernels/gemv_summation.h"
+#include "gpukernels/kernel_eval.h"
+#include "gpukernels/norms.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::pipelines {
+namespace {
+
+using gpukernels::Workspace;
+
+// Memory the pipeline needs on the simulated device, with headroom for the
+// non-atomic ablation's staging buffer.
+std::size_t required_device_bytes(std::size_t m, std::size_t n, std::size_t k,
+                                  bool with_intermediate) {
+  const std::size_t base = (m * k + k * n + 2 * m + 2 * n + m) * 4;
+  const std::size_t inter = with_intermediate ? m * n * 4 : 0;
+  const std::size_t staging = (m * (n / 128) + m) * 4;
+  return base + inter + staging + (1u << 20);
+}
+
+KernelReport make_report(const RunOptions& options,
+                         const gpusim::LaunchResult& launch,
+                         double mainloop_iters,
+                         const config::KernelGrade& grade,
+                         double useful_flops, bool overlapped = true) {
+  KernelReport report;
+  report.name = launch.kernel_name;
+  report.counters = launch.counters;
+  report.shape.num_ctas = launch.grid.count();
+  report.shape.config = launch.config;
+  report.shape.occupancy = launch.occupancy;
+  report.shape.mainloop_iters = mainloop_iters;
+  report.shape.grade = grade;
+  report.shape.overlapped_memory = overlapped;
+  report.useful_flops = useful_flops;
+  report.timing = gpusim::estimate_kernel_time(
+      options.device, options.timing,
+      gpusim::CostInputs::from_counters(launch.counters), report.shape);
+  return report;
+}
+
+}  // namespace
+
+std::string to_string(Solution solution) {
+  switch (solution) {
+    case Solution::kFused:
+      return "Fused";
+    case Solution::kCudaUnfused:
+      return "CUDA-Unfused";
+    case Solution::kCublasUnfused:
+      return "cuBLAS-Unfused";
+  }
+  return "unknown";
+}
+
+double pipeline_useful_flops(std::size_t m, std::size_t n, std::size_t k) {
+  const double mn = double(m) * double(n);
+  // 2MNK for the GEMM, 6 flops per element for the distance assembly and
+  // kernel evaluation, 2 per element for the weighted summation, plus the
+  // squared norms (2 flops per coordinate).
+  return 2.0 * mn * double(k) + 8.0 * mn +
+         2.0 * (double(m) + double(n)) * double(k);
+}
+
+PipelineReport run_pipeline(Solution solution,
+                            const workload::Instance& instance,
+                            const core::KernelParams& params,
+                            const RunOptions& options) {
+  const std::size_t m = instance.spec.m;
+  const std::size_t n = instance.spec.n;
+  const std::size_t k = instance.spec.k;
+  const bool unfused = solution != Solution::kFused;
+
+  gpusim::Device device(options.device,
+                        required_device_bytes(m, n, k, unfused));
+  Workspace ws =
+      gpukernels::allocate_workspace(device, m, n, k, unfused);
+  gpukernels::upload_instance(device, ws, instance);
+
+  PipelineReport report;
+  report.solution = solution;
+  report.m = m;
+  report.n = n;
+  report.k = k;
+
+  const auto cuda_grade = options.cuda_kernel_grade;
+  const auto asm_grade = config::KernelGrade::assembly();
+  const double mn = double(m) * double(n);
+
+  // Norm precomputation — skipped entirely when the fused kernel computes
+  // the norms on the fly.
+  const bool fused_norms =
+      solution == Solution::kFused && options.fuse_norms;
+  if (!fused_norms) {
+    report.kernels.push_back(
+        make_report(options, gpukernels::run_norms_a(device, ws), 0,
+                    cuda_grade, 2.0 * double(m) * double(k)));
+    report.kernels.push_back(
+        make_report(options, gpukernels::run_norms_b(device, ws), 0,
+                    cuda_grade, 2.0 * double(n) * double(k)));
+  }
+
+  if (solution == Solution::kFused) {
+    gpukernels::FusedOptions fopts;
+    fopts.mainloop = options.mainloop;
+    fopts.atomic_reduction = options.atomic_reduction;
+    fopts.fuse_norms = options.fuse_norms;
+    const auto fused = gpukernels::run_fused_ksum(device, ws, params, fopts);
+    report.kernels.push_back(make_report(
+        options, fused.main, double(k) / gpukernels::kTileK, cuda_grade,
+        2.0 * mn * double(k) + 8.0 * mn, options.mainloop.double_buffer));
+    for (const auto& extra : fused.extra) {
+      report.kernels.push_back(
+          make_report(options, extra, 0, cuda_grade, 0.0));
+    }
+  } else {
+    const double gemm_flops = 2.0 * mn * double(k);
+    if (solution == Solution::kCudaUnfused) {
+      gpukernels::GemmOptions gopts;
+      gopts.mainloop = options.mainloop;
+      report.kernels.push_back(make_report(
+          options,
+          gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, m, n, k,
+                                     gopts),
+          double(k) / gpukernels::kTileK, cuda_grade, gemm_flops,
+          options.mainloop.double_buffer));
+    } else {
+      report.kernels.push_back(make_report(
+          options,
+          gpukernels::run_gemm_cublas_model(device, ws.a, ws.b, ws.c, m, n,
+                                            k),
+          double(k) / gpukernels::kTileK, asm_grade, gemm_flops));
+    }
+    report.kernels.push_back(
+        make_report(options, gpukernels::run_kernel_eval(device, ws, params),
+                    0, cuda_grade, 6.0 * mn));
+    report.kernels.push_back(
+        make_report(options, gpukernels::run_gemv_summation(device, ws), 0,
+                    cuda_grade, 2.0 * mn));
+  }
+
+  // Final writeback of dirty intermediates / results.
+  const gpusim::Counters writeback = device.flush_l2();
+
+  for (const auto& kr : report.kernels) {
+    report.total += kr.counters;
+    report.seconds += kr.timing.seconds(options.device);
+  }
+  report.total += writeback;
+  // The writeback drains at DRAM bandwidth; charge its time too.
+  report.seconds +=
+      double(writeback.dram_write_transactions) *
+      double(options.device.l2_sector_bytes) /
+      (options.device.dram_bandwidth_gb_s * 1e9 * options.timing.dram_efficiency);
+
+  report.useful_flops = pipeline_useful_flops(m, n, k);
+  report.flop_efficiency = gpusim::flop_efficiency(
+      options.device, report.useful_flops, report.seconds);
+  report.energy =
+      gpusim::compute_energy(options.energy,
+                             gpusim::CostInputs::from_counters(report.total),
+                             report.seconds);
+  report.result = gpukernels::download_result(device, ws);
+  return report;
+}
+
+}  // namespace ksum::pipelines

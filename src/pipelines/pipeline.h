@@ -1,0 +1,78 @@
+// End-to-end kernel-summation solutions on the simulated device — the three
+// implementations the paper compares (§IV):
+//
+//   kFused          — norms kernels + the fused Algorithm-2 kernel.
+//   kCudaUnfused    — norms + our CUDA-C GEMM + eval pass + GEMV.
+//   kCublasUnfused  — norms + the cuBLAS GEMM model + eval pass + GEMV.
+//
+// A run produces the numerical result plus the full per-kernel event /
+// timing / energy report the benches consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/energy_spec.h"
+#include "config/timing_spec.h"
+#include "core/exact.h"
+#include "gpukernels/fused_ksum.h"
+#include "gpukernels/gemm_cudac.h"
+#include "gpusim/energy.h"
+#include "gpusim/timing.h"
+#include "workload/point_generators.h"
+
+namespace ksum::pipelines {
+
+enum class Solution { kFused, kCudaUnfused, kCublasUnfused };
+
+std::string to_string(Solution solution);
+
+/// One kernel launch inside a pipeline, with its modelled time and the
+/// inputs the energy model needs.
+struct KernelReport {
+  std::string name;
+  gpusim::Counters counters;
+  gpusim::LaunchShape shape;
+  gpusim::TimingBreakdown timing;
+  double useful_flops = 0;
+};
+
+struct PipelineReport {
+  Solution solution = Solution::kFused;
+  std::size_t m = 0, n = 0, k = 0;
+  std::vector<KernelReport> kernels;
+  Vector result;              // V (length M)
+  gpusim::Counters total;     // all launches + final writeback
+  double seconds = 0;         // modelled wall time (sum of kernel times)
+  double useful_flops = 0;    // the paper's profiler-style FLOP count
+  gpusim::EnergyBreakdown energy;
+  double flop_efficiency = 0;
+};
+
+struct RunOptions {
+  config::DeviceSpec device = config::DeviceSpec::gtx970();
+  config::TimingSpec timing = config::TimingSpec::gtx970();
+  config::EnergySpec energy = config::EnergySpec::gtx970_mcpat();
+  gpukernels::MainloopConfig mainloop;        // layout / double buffering
+  bool atomic_reduction = true;               // fused inter-CTA reduction
+  /// Beyond the paper: compute the squared norms inside the fused kernel
+  /// (drops the norms launches and one full DRAM pass over A and B).
+  bool fuse_norms = false;
+  /// Code grade applied to our CUDA-C kernels by the timing model. The
+  /// paper's "projected speedup" (§V-A: 3.7× at K=32) swaps this for the
+  /// assembly grade, modelling a fused kernel built on a cuBLAS-quality
+  /// GEMM.
+  config::KernelGrade cuda_kernel_grade = config::KernelGrade::cuda_c();
+};
+
+/// Runs `solution` on `instance` functionally and returns the full report.
+PipelineReport run_pipeline(Solution solution,
+                            const workload::Instance& instance,
+                            const core::KernelParams& params,
+                            const RunOptions& options = {});
+
+/// FLOP accounting used for Table II (GEMM + eval + GEMV work, the
+/// flop_count_sp style of nvprof).
+double pipeline_useful_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace ksum::pipelines

@@ -1,0 +1,55 @@
+#include "pipelines/solver.h"
+
+#include "common/timer.h"
+
+namespace ksum::pipelines {
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kCpuDirect:
+      return "cpu-direct";
+    case Backend::kCpuExpansion:
+      return "cpu-expansion";
+    case Backend::kSimFused:
+      return "sim-fused";
+    case Backend::kSimCudaUnfused:
+      return "sim-cuda-unfused";
+    case Backend::kSimCublasUnfused:
+      return "sim-cublas-unfused";
+  }
+  return "unknown";
+}
+
+SolveResult solve(const workload::Instance& instance,
+                  const core::KernelParams& params, Backend backend,
+                  const RunOptions& options) {
+  Timer timer;
+  SolveResult out;
+  switch (backend) {
+    case Backend::kCpuDirect:
+      out.v = core::solve_direct(instance, params);
+      break;
+    case Backend::kCpuExpansion:
+      out.v = core::solve_expansion(instance, params);
+      break;
+    case Backend::kSimFused:
+    case Backend::kSimCudaUnfused:
+    case Backend::kSimCublasUnfused: {
+      const Solution solution =
+          backend == Backend::kSimFused
+              ? Solution::kFused
+              : (backend == Backend::kSimCudaUnfused
+                     ? Solution::kCudaUnfused
+                     : Solution::kCublasUnfused);
+      PipelineReport report =
+          run_pipeline(solution, instance, params, options);
+      out.v = std::move(report.result);
+      out.report = std::move(report);
+      break;
+    }
+  }
+  out.host_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace ksum::pipelines

@@ -1,0 +1,37 @@
+// Public facade of the library: one entry point that evaluates a kernel
+// summation with any backend — host oracles or the simulated-GPU pipelines.
+// This is the API the examples and downstream users consume.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pipelines/pipeline.h"
+
+namespace ksum::pipelines {
+
+enum class Backend {
+  kCpuDirect,         // O(MNK) double-accumulated host oracle
+  kCpuExpansion,      // Algorithm 1 on the host BLAS
+  kSimFused,          // the paper's contribution on the simulated GPU
+  kSimCudaUnfused,    // CUDA-C GEMM + eval + GEMV on the simulated GPU
+  kSimCublasUnfused,  // cuBLAS-model GEMM + eval + GEMV
+};
+
+std::string to_string(Backend backend);
+
+struct SolveResult {
+  Vector v;  // the potential vector, length M
+  /// Present for the simulated backends: full per-kernel report.
+  std::optional<PipelineReport> report;
+  /// Host wall-clock spent producing the result (all backends).
+  double host_seconds = 0;
+};
+
+/// Evaluates V_i = Σ_j K(α_i, β_j)·W_j with the chosen backend. The
+/// simulated backends require M, N multiples of 128 and K a multiple of 8.
+SolveResult solve(const workload::Instance& instance,
+                  const core::KernelParams& params, Backend backend,
+                  const RunOptions& options = {});
+
+}  // namespace ksum::pipelines

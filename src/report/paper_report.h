@@ -1,0 +1,66 @@
+// Builders for every table and figure of the paper's evaluation section.
+//
+// Each function sweeps the analytic pipeline model over the paper's grid
+// (N = 1024, K ∈ {32,64,128,256}, M = 1024…524288) and renders the same
+// rows/series the paper reports. The bench binaries print these; tests
+// assert the headline shapes (speedup bands, energy-saving bands, traffic
+// ratios) against the paper's claims.
+#pragma once
+
+#include <vector>
+
+#include "analytic/pipeline_model.h"
+#include "common/table.h"
+#include "workload/paper_sweeps.h"
+
+namespace ksum::report {
+
+/// One (K, M) grid point evaluated for all three solutions.
+struct SweepPoint {
+  std::size_t k = 0, m = 0, n = 0;
+  analytic::PipelineEstimate fused;
+  analytic::PipelineEstimate cuda_unfused;
+  analytic::PipelineEstimate cublas_unfused;
+  /// Fused re-timed with the assembly grade — the paper's "projected
+  /// speedup ... when a GEMM as good as the one in cuBLAS is applied".
+  analytic::PipelineEstimate fused_projected;
+
+  double speedup_vs_cublas() const {
+    return cublas_unfused.seconds / fused.seconds;
+  }
+  double speedup_vs_cuda() const {
+    return cuda_unfused.seconds / fused.seconds;
+  }
+  double projected_speedup() const {
+    return cublas_unfused.seconds / fused_projected.seconds;
+  }
+  double energy_saving_vs_cublas() const {
+    return 1.0 - fused.energy.total() / cublas_unfused.energy.total();
+  }
+  double l2_ratio_fused() const {
+    return fused.l2_transactions() / cublas_unfused.l2_transactions();
+  }
+  double dram_ratio_fused() const {
+    return fused.dram_transactions() / cublas_unfused.dram_transactions();
+  }
+};
+
+/// Evaluates the given specs (defaults to the paper grids elsewhere).
+std::vector<SweepPoint> evaluate_sweep(
+    analytic::PipelineModel& model,
+    const std::vector<workload::ProblemSpec>& specs);
+
+// --- Figure/table renderers -------------------------------------------------
+Table fig1_energy_breakdown_cublas(const std::vector<SweepPoint>& points);
+Table fig2_l2_mpki(const std::vector<SweepPoint>& points);
+Table table1_device_config(const config::DeviceSpec& spec);
+Table fig6_execution_time(const std::vector<SweepPoint>& points);
+Table table2_flop_efficiency(const std::vector<SweepPoint>& points);
+Table fig7_gemm_comparison(analytic::PipelineModel& model,
+                           const std::vector<workload::ProblemSpec>& specs);
+Table fig8a_l2_transactions(const std::vector<SweepPoint>& points);
+Table fig8b_dram_transactions(const std::vector<SweepPoint>& points);
+Table table3_energy_savings(const std::vector<SweepPoint>& points);
+Table fig9_energy_breakdown(const std::vector<SweepPoint>& points);
+
+}  // namespace ksum::report

@@ -1,0 +1,77 @@
+#include "report/pipeline_printer.h"
+
+#include "common/string_util.h"
+
+namespace ksum::report {
+namespace {
+
+std::vector<std::string> kernel_row(const pipelines::KernelReport& k,
+                                    const config::DeviceSpec& device) {
+  return {k.name,
+          str_format("%zux%d", k.shape.num_ctas,
+                     k.shape.config.threads_per_block),
+          str_format("%d/SM (%s)", k.shape.occupancy.blocks_per_sm,
+                     gpusim::to_string(k.shape.occupancy.limiter).c_str()),
+          k.timing.bound,
+          str_format("%.1f us", k.timing.seconds(device) * 1e6),
+          format_si(double(k.counters.fma_ops)),
+          format_si(double(k.counters.smem_total_transactions())),
+          format_si(double(k.counters.l2_total_transactions())),
+          format_si(double(k.counters.dram_total_transactions()))};
+}
+
+std::vector<std::string> kernel_header() {
+  return {"kernel", "grid", "occupancy", "bound", "time",
+          "fma",    "smem", "l2",        "dram"};
+}
+
+}  // namespace
+
+Table pipeline_kernel_table(const pipelines::PipelineReport& report) {
+  Table t(str_format("%s pipeline — M=%zu N=%zu K=%zu",
+                     pipelines::to_string(report.solution).c_str(), report.m,
+                     report.n, report.k));
+  t.header(kernel_header());
+  const config::DeviceSpec device = config::DeviceSpec::gtx970();
+  for (const auto& k : report.kernels) {
+    t.row(kernel_row(k, device));
+  }
+  return t;
+}
+
+Table pipeline_summary_table(const pipelines::PipelineReport& report) {
+  Table t("summary");
+  t.header({"metric", "value"});
+  t.row({"modelled time", str_format("%.3f ms", report.seconds * 1e3)});
+  t.row({"FLOP efficiency", format_percent(report.flop_efficiency)});
+  t.row({"useful FLOPs", format_si(report.useful_flops)});
+  t.row({"DRAM transactions",
+         format_si(double(report.total.dram_total_transactions()))});
+  t.row({"L2 transactions",
+         format_si(double(report.total.l2_total_transactions()))});
+  t.row({"smem bank conflicts",
+         format_si(double(report.total.smem_bank_conflicts))});
+  t.row({"energy (total)", str_format("%.4f J", report.energy.total())});
+  t.row({"  compute", str_format("%.4f J", report.energy.compute_j)});
+  t.row({"  shared memory", str_format("%.4f J", report.energy.smem_j)});
+  t.row({"  caches (L1+L2)", str_format("%.4f J", report.energy.l2_j)});
+  t.row({"  DRAM", str_format("%.4f J (%s of total)", report.energy.dram_j,
+                              format_percent(report.energy.dram_share())
+                                  .c_str())});
+  t.row({"  static", str_format("%.4f J", report.energy.static_j)});
+  return t;
+}
+
+Table knn_kernel_table(const pipelines::KnnReport& report) {
+  Table t(str_format("%s — M=%zu N=%zu K=%zu k=%zu",
+                     pipelines::to_string(report.solution).c_str(), report.m,
+                     report.n, report.k, report.k_nn));
+  t.header(kernel_header());
+  const config::DeviceSpec device = config::DeviceSpec::gtx970();
+  for (const auto& k : report.kernels) {
+    t.row(kernel_row(k, device));
+  }
+  return t;
+}
+
+}  // namespace ksum::report

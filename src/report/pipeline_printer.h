@@ -1,0 +1,20 @@
+// Human-readable rendering of pipeline reports — used by the CLI tool and
+// handy from gdb/examples.
+#pragma once
+
+#include "common/table.h"
+#include "pipelines/knn_pipeline.h"
+#include "pipelines/pipeline.h"
+
+namespace ksum::report {
+
+/// Per-kernel table: name, grid, occupancy, bound resource, time, key
+/// event counts.
+Table pipeline_kernel_table(const pipelines::PipelineReport& report);
+
+/// One-table summary: totals, efficiency, energy breakdown.
+Table pipeline_summary_table(const pipelines::PipelineReport& report);
+
+Table knn_kernel_table(const pipelines::KnnReport& report);
+
+}  // namespace ksum::report

@@ -1,0 +1,258 @@
+// ksum-cli — command-line driver for the kernel-summation library.
+//
+//   ksum-cli solve  --m=2048 --n=1024 --k=32 [--solution=fused] [--verify]
+//   ksum-cli knn    --m=1024 --n=1024 --k=16 --neighbors=8 [--unfused]
+//   ksum-cli sweep  [--fast]                # every paper table/figure
+//   ksum-cli info                           # the simulated device
+//
+// Run any subcommand with --help for its flags.
+#include <cstdio>
+#include <iostream>
+
+#include "blas/vector_ops.h"
+#include "common/flags.h"
+#include "core/knn_exact.h"
+#include "pipelines/knn_pipeline.h"
+#include "pipelines/solver.h"
+#include "report/paper_report.h"
+#include "report/pipeline_printer.h"
+#include "workload/weights.h"
+
+namespace {
+
+using namespace ksum;
+
+workload::ProblemSpec spec_from_flags(const FlagParser& flags) {
+  workload::ProblemSpec spec;
+  spec.m = flags.get_size("m", 2048);
+  spec.n = flags.get_size("n", 1024);
+  spec.k = flags.get_size("k", 32);
+  spec.bandwidth = float(flags.get_double("h", 1.0));
+  spec.seed = std::uint64_t(flags.get_int("seed", 42));
+  const std::string dist = flags.get_string("dist", "uniform-cube");
+  if (dist == "uniform-cube") {
+    spec.distribution = workload::Distribution::kUniformCube;
+  } else if (dist == "gaussian-mixture") {
+    spec.distribution = workload::Distribution::kGaussianMixture;
+  } else if (dist == "unit-sphere") {
+    spec.distribution = workload::Distribution::kUnitSphere;
+  } else if (dist == "grid") {
+    spec.distribution = workload::Distribution::kGrid;
+  } else {
+    throw Error("unknown --dist: " + dist);
+  }
+  return spec;
+}
+
+core::KernelParams params_from_flags(const FlagParser& flags,
+                                     const workload::ProblemSpec& spec) {
+  core::KernelParams params = core::params_from_spec(spec);
+  const std::string kernel = flags.get_string("kernel", "gaussian");
+  if (kernel == "gaussian") {
+    params.type = core::KernelType::kGaussian;
+  } else if (kernel == "laplace") {
+    params.type = core::KernelType::kLaplace3d;
+  } else if (kernel == "matern") {
+    params.type = core::KernelType::kMatern32;
+  } else if (kernel == "cauchy") {
+    params.type = core::KernelType::kCauchy;
+  } else if (kernel == "polynomial") {
+    params.type = core::KernelType::kPolynomial2;
+  } else {
+    throw Error("unknown --kernel: " + kernel);
+  }
+  return params;
+}
+
+pipelines::RunOptions options_from_flags(const FlagParser& flags) {
+  pipelines::RunOptions options;
+  if (flags.get_string("layout", "fig5") == "naive") {
+    options.mainloop.layout = gpukernels::TileLayout::kNaive;
+  }
+  options.mainloop.double_buffer = !flags.get_bool("no-double-buffer");
+  options.atomic_reduction = !flags.get_bool("staged-reduction");
+  options.fuse_norms = flags.get_bool("fuse-norms");
+  options.device.cache_globals_in_l1 = flags.get_bool("l1");
+  return options;
+}
+
+void declare_problem_flags(FlagParser& flags) {
+  flags.declare("m", "source point count (multiple of 128)")
+      .declare("n", "target point count (multiple of 128)")
+      .declare("k", "geometric dimension (multiple of 8)")
+      .declare("h", "kernel bandwidth")
+      .declare("seed", "workload seed")
+      .declare("dist",
+               "point distribution: uniform-cube | gaussian-mixture | "
+               "unit-sphere | grid")
+      .declare("kernel",
+               "kernel function: gaussian | laplace | matern | cauchy | "
+               "polynomial")
+      .declare("layout", "shared-memory layout: fig5 | naive")
+      .declare("no-double-buffer", "disable tile double buffering", false)
+      .declare("staged-reduction",
+               "two-pass inter-CTA reduction instead of atomicAdd", false)
+      .declare("fuse-norms",
+               "compute squared norms inside the fused kernel "
+               "(beyond-the-paper optimisation)", false)
+      .declare("l1", "cache global loads in the per-SM L1 (-dlcm=ca)", false)
+      .declare("help", "show this help", false);
+}
+
+int cmd_solve(int argc, const char* const* argv) {
+  FlagParser flags;
+  declare_problem_flags(flags);
+  flags
+      .declare("solution",
+               "fused | cuda-unfused | cublas-unfused | cpu-direct | "
+               "cpu-expansion")
+      .declare("verify", "cross-check against the host oracle", false);
+  flags.parse(argc, argv, 2);
+  if (flags.get_bool("help")) {
+    std::printf("ksum-cli solve — run one kernel summation\n%s",
+                flags.usage().c_str());
+    return 0;
+  }
+
+  const auto spec = spec_from_flags(flags);
+  const auto params = params_from_flags(flags, spec);
+  const auto options = options_from_flags(flags);
+  const auto instance = workload::make_instance(spec);
+
+  const std::string name = flags.get_string("solution", "fused");
+  pipelines::Backend backend;
+  if (name == "fused") {
+    backend = pipelines::Backend::kSimFused;
+  } else if (name == "cuda-unfused") {
+    backend = pipelines::Backend::kSimCudaUnfused;
+  } else if (name == "cublas-unfused") {
+    backend = pipelines::Backend::kSimCublasUnfused;
+  } else if (name == "cpu-direct") {
+    backend = pipelines::Backend::kCpuDirect;
+  } else if (name == "cpu-expansion") {
+    backend = pipelines::Backend::kCpuExpansion;
+  } else {
+    throw Error("unknown --solution: " + name);
+  }
+
+  const auto result = pipelines::solve(instance, params, backend, options);
+  std::printf("%s on %s\n", pipelines::to_string(backend).c_str(),
+              spec.to_string().c_str());
+  if (result.report) {
+    report::pipeline_kernel_table(*result.report).print(std::cout);
+    report::pipeline_summary_table(*result.report).print(std::cout);
+  } else {
+    std::printf("host time: %.3f s\n", result.host_seconds);
+  }
+  if (flags.get_bool("verify")) {
+    const auto oracle =
+        pipelines::solve(instance, params, pipelines::Backend::kCpuDirect);
+    const double err =
+        blas::max_rel_diff(result.v.span(), oracle.v.span(), 1e-3);
+    std::printf("max relative error vs oracle: %.3e %s\n", err,
+                err < 1e-2 ? "(ok)" : "(FAILED)");
+    return err < 1e-2 ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_knn(int argc, const char* const* argv) {
+  FlagParser flags;
+  declare_problem_flags(flags);
+  flags.declare("neighbors", "neighbours per query (1..16)")
+      .declare("unfused", "use the unfused baseline", false)
+      .declare("verify", "cross-check against the host oracle", false);
+  flags.parse(argc, argv, 2);
+  if (flags.get_bool("help")) {
+    std::printf("ksum-cli knn — k-nearest-neighbour search\n%s",
+                flags.usage().c_str());
+    return 0;
+  }
+
+  const auto spec = spec_from_flags(flags);
+  const auto instance = workload::make_instance(spec);
+  const std::size_t k_nn = flags.get_size("neighbors", 8);
+  const auto solution = flags.get_bool("unfused")
+                            ? pipelines::KnnSolution::kUnfused
+                            : pipelines::KnnSolution::kFused;
+  const auto report = pipelines::run_knn_pipeline(
+      solution, instance, k_nn, options_from_flags(flags));
+  report::knn_kernel_table(report).print(std::cout);
+  std::printf("modelled time %.3f ms, energy %.4f J\n", report.seconds * 1e3,
+              report.energy.total());
+  if (flags.get_bool("verify")) {
+    const auto oracle = core::knn_exact(instance, k_nn);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < spec.m; ++i) {
+      if (report.result.index(i, 0) != oracle.index(i, 0)) ++mismatches;
+    }
+    std::printf("nearest-neighbour mismatches vs oracle: %zu / %zu %s\n",
+                mismatches, spec.m, mismatches == 0 ? "(ok)" : "(FAILED)");
+    return mismatches == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.declare("fast", "Table-II grid instead of the full figure grid",
+                false)
+      .declare("help", "show this help", false);
+  flags.parse(argc, argv, 2);
+  if (flags.get_bool("help")) {
+    std::printf("ksum-cli sweep — regenerate every paper table/figure\n%s",
+                flags.usage().c_str());
+    return 0;
+  }
+  analytic::PipelineModel model;
+  const auto specs = flags.get_bool("fast")
+                         ? workload::paper_table_sweep()
+                         : workload::paper_figure_sweep();
+  const auto points = report::evaluate_sweep(model, specs);
+  report::table1_device_config(config::DeviceSpec::gtx970())
+      .print(std::cout);
+  report::fig1_energy_breakdown_cublas(points).print(std::cout);
+  report::fig2_l2_mpki(points).print(std::cout);
+  report::fig6_execution_time(points).print(std::cout);
+  report::table2_flop_efficiency(points).print(std::cout);
+  report::fig7_gemm_comparison(model, specs).print(std::cout);
+  report::fig8a_l2_transactions(points).print(std::cout);
+  report::fig8b_dram_transactions(points).print(std::cout);
+  report::table3_energy_savings(points).print(std::cout);
+  report::fig9_energy_breakdown(points).print(std::cout);
+  return 0;
+}
+
+int cmd_info() {
+  report::table1_device_config(config::DeviceSpec::gtx970()).print(std::cout);
+  const auto spec = config::DeviceSpec::gtx970();
+  std::printf("peak SP throughput : %.2f TFLOP/s\n",
+              spec.peak_sp_flops() / 1e12);
+  std::printf("DRAM bandwidth     : %.0f GB/s (modelled achievable)\n",
+              spec.dram_bandwidth_gb_s);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: ksum-cli <solve|knn|sweep|info> [flags]\n"
+      "       ksum-cli <subcommand> --help\n";
+  if (argc < 2) {
+    std::fputs(usage.c_str(), stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "solve") return cmd_solve(argc, argv);
+    if (cmd == "knn") return cmd_knn(argc, argv);
+    if (cmd == "sweep") return cmd_sweep(argc, argv);
+    if (cmd == "info") return cmd_info();
+    std::fputs(usage.c_str(), stderr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ksum-cli: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,56 @@
+#include "workload/paper_sweeps.h"
+
+namespace ksum::workload {
+
+const std::vector<std::size_t>& paper_dimensions() {
+  static const std::vector<std::size_t> kDims = {32, 64, 128, 256};
+  return kDims;
+}
+
+const std::vector<std::size_t>& paper_point_counts() {
+  static const std::vector<std::size_t> kCounts = [] {
+    std::vector<std::size_t> counts;
+    for (std::size_t m = 1024; m <= 524288; m *= 2) counts.push_back(m);
+    return counts;
+  }();
+  return kCounts;
+}
+
+const std::vector<std::size_t>& paper_table_point_counts() {
+  static const std::vector<std::size_t> kCounts = {1024, 131072, 524288};
+  return kCounts;
+}
+
+namespace {
+std::vector<ProblemSpec> sweep_from(const std::vector<std::size_t>& ms) {
+  std::vector<ProblemSpec> specs;
+  for (std::size_t k : paper_dimensions()) {
+    for (std::size_t m : ms) {
+      ProblemSpec spec;
+      spec.m = m;
+      spec.n = kPaperN;
+      spec.k = k;
+      spec.bandwidth = 1.0f;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+}  // namespace
+
+std::vector<ProblemSpec> paper_figure_sweep() {
+  return sweep_from(paper_point_counts());
+}
+
+std::vector<ProblemSpec> paper_table_sweep() {
+  return sweep_from(paper_table_point_counts());
+}
+
+std::vector<ProblemSpec> scaled_sweep(std::size_t max_m) {
+  std::vector<std::size_t> ms;
+  for (std::size_t m = 1024; m <= max_m; m *= 2) ms.push_back(m);
+  if (ms.empty()) ms.push_back(max_m);
+  return sweep_from(ms);
+}
+
+}  // namespace ksum::workload

@@ -1,0 +1,34 @@
+// The parameter grids of the paper's evaluation (§IV):
+//   N = 1024 fixed; K ∈ {32, 64, 128, 256}; M from 1024 to 524288 (powers
+//   of two). Table II/III sample M ∈ {1024, 131072, 524288}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/problem_spec.h"
+
+namespace ksum::workload {
+
+inline constexpr std::size_t kPaperN = 1024;
+
+/// K ∈ {32, 64, 128, 256}.
+const std::vector<std::size_t>& paper_dimensions();
+
+/// M ∈ {1024, 2048, ..., 524288}.
+const std::vector<std::size_t>& paper_point_counts();
+
+/// M ∈ {1024, 131072, 524288} — the columns of Tables II and III.
+const std::vector<std::size_t>& paper_table_point_counts();
+
+/// Full figure sweep: one spec per (K, M) pair, N = 1024.
+std::vector<ProblemSpec> paper_figure_sweep();
+
+/// Table sweep: one spec per (K, M-table) pair.
+std::vector<ProblemSpec> paper_table_sweep();
+
+/// A size-reduced version of the sweep (M ≤ max_m) used by tests so the
+/// functional simulator stays fast.
+std::vector<ProblemSpec> scaled_sweep(std::size_t max_m);
+
+}  // namespace ksum::workload

@@ -1,0 +1,30 @@
+// Point-set generation for kernel summation workloads.
+//
+// Source points become matrix A (M×K, row major: point i is row i); target
+// points become matrix B (K×N, column major: point j is column j) — the
+// layouts Algorithm 1 of the paper assumes.
+#pragma once
+
+#include "common/matrix.h"
+#include "workload/problem_spec.h"
+
+namespace ksum::workload {
+
+/// A fully-materialised problem instance.
+struct Instance {
+  ProblemSpec spec;
+  Matrix a;  // M×K, row major — source points
+  Matrix b;  // K×N, col major — target points
+  Vector w;  // N weights
+};
+
+/// Generates points for `spec` deterministically from `spec.seed`. Source
+/// and target sets are drawn from independent substreams so they are not
+/// correlated.
+Instance make_instance(const ProblemSpec& spec);
+
+/// Individual generators (used directly by tests).
+Matrix generate_source_points(const ProblemSpec& spec);
+Matrix generate_target_points(const ProblemSpec& spec);
+
+}  // namespace ksum::workload

@@ -1,0 +1,34 @@
+#include "workload/problem_spec.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace ksum::workload {
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kUniformCube:
+      return "uniform-cube";
+    case Distribution::kGaussianMixture:
+      return "gaussian-mixture";
+    case Distribution::kUnitSphere:
+      return "unit-sphere";
+    case Distribution::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+void ProblemSpec::validate() const {
+  KSUM_REQUIRE(m > 0 && n > 0 && k > 0, "problem dimensions must be positive");
+  KSUM_REQUIRE(bandwidth > 0.0f, "Gaussian bandwidth must be positive");
+}
+
+std::string ProblemSpec::to_string() const {
+  return str_format("ksum(M=%zu, N=%zu, K=%zu, h=%.3g, %s, seed=%llu)", m, n,
+                    k, static_cast<double>(bandwidth),
+                    ksum::workload::to_string(distribution).c_str(),
+                    static_cast<unsigned long long>(seed));
+}
+
+}  // namespace ksum::workload

@@ -1,0 +1,50 @@
+// Problem dimensions and kernel parameters for one kernel-summation instance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ksum::workload {
+
+/// Which point-set distribution to generate. The paper evaluates on generic
+/// dense point sets; the extra distributions exercise numerically adversarial
+/// regimes (clusters → near-zero distances, shells → near-constant distances).
+enum class Distribution {
+  kUniformCube,      // i.i.d. uniform in [0, 1)^K
+  kGaussianMixture,  // points around a few cluster centres
+  kUnitSphere,       // normalised Gaussian directions
+  kGrid,             // regular lattice (deterministic)
+};
+
+std::string to_string(Distribution d);
+
+struct ProblemSpec {
+  std::size_t m = 1024;  // number of source points (rows of A)
+  std::size_t n = 1024;  // number of target points (cols of B)
+  std::size_t k = 32;    // geometric dimension
+  float bandwidth = 1.0f;  // Gaussian h
+  Distribution distribution = Distribution::kUniformCube;
+  std::uint64_t seed = 42;
+
+  /// Useful floating point work of the dense evaluation, counted the way the
+  /// paper's profiler counts it: 2·M·N·K for the GEMM plus the per-element
+  /// kernel evaluation and the GEMV.
+  double gemm_flops() const { return 2.0 * double(m) * double(n) * double(k); }
+  double eval_flops() const { return 6.0 * double(m) * double(n); }
+  double gemv_flops() const { return 2.0 * double(m) * double(n); }
+  double total_flops() const {
+    return gemm_flops() + eval_flops() + gemv_flops();
+  }
+
+  /// Bytes of the three operands and the intermediate M×N matrix.
+  double bytes_a() const { return 4.0 * double(m) * double(k); }
+  double bytes_b() const { return 4.0 * double(k) * double(n); }
+  double bytes_intermediate() const { return 4.0 * double(m) * double(n); }
+
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace ksum::workload

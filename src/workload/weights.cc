@@ -1,0 +1,38 @@
+#include "workload/weights.h"
+
+namespace ksum::workload {
+
+std::string to_string(WeightKind kind) {
+  switch (kind) {
+    case WeightKind::kUniform:
+      return "uniform";
+    case WeightKind::kOnes:
+      return "ones";
+    case WeightKind::kAlternating:
+      return "alternating";
+    case WeightKind::kTiny:
+      return "tiny";
+  }
+  return "unknown";
+}
+
+Vector generate_weights(std::size_t n, WeightKind kind, Rng rng) {
+  Vector w(n);
+  switch (kind) {
+    case WeightKind::kUniform:
+      for (auto& x : w) x = rng.uniform(-1.0f, 1.0f);
+      break;
+    case WeightKind::kOnes:
+      w.fill(1.0f);
+      break;
+    case WeightKind::kAlternating:
+      for (std::size_t i = 0; i < n; ++i) w[i] = (i % 2 == 0) ? 1.0f : -1.0f;
+      break;
+    case WeightKind::kTiny:
+      for (auto& x : w) x = rng.uniform(-1.0f, 1.0f) * 1e-30f;
+      break;
+  }
+  return w;
+}
+
+}  // namespace ksum::workload

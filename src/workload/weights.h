@@ -1,0 +1,22 @@
+// Weight-vector generation (the W of V = K·W).
+#pragma once
+
+#include <string>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace ksum::workload {
+
+enum class WeightKind {
+  kUniform,     // uniform in [-1, 1)
+  kOnes,        // all ones (V becomes a plain kernel row-sum)
+  kAlternating, // +1/−1 — maximal cancellation, stresses reduction order
+  kTiny,        // uniform scaled by 1e-30 — near-denormal accumulation
+};
+
+std::string to_string(WeightKind kind);
+
+Vector generate_weights(std::size_t n, WeightKind kind, Rng rng);
+
+}  // namespace ksum::workload

@@ -1,0 +1,117 @@
+#include "analytic/dram_model.h"
+
+#include <gtest/gtest.h>
+
+#include "analytic/pipeline_model.h"
+#include "pipelines/pipeline.h"
+
+namespace ksum::analytic {
+namespace {
+
+using pipelines::Solution;
+
+DramModelInputs inputs(std::size_t m, std::size_t n, std::size_t k) {
+  DramModelInputs in;
+  in.m = m;
+  in.n = n;
+  in.k = k;
+  return in;
+}
+
+TEST(DramModelTest, NormsTrafficIsInputPlusOutput) {
+  const auto t = dram_norms_a(inputs(1024, 1024, 32));
+  EXPECT_DOUBLE_EQ(t.reads, 1024.0 * 32 * 4 / 32);
+  EXPECT_DOUBLE_EQ(t.writes, 1024.0 * 4 / 32);
+}
+
+TEST(DramModelTest, FusedReadsScaleWithInputsNotMN) {
+  // Doubling M doubles fused traffic (A + vectors), it does not square it.
+  const auto t1 = dram_fused(inputs(65536, 1024, 32));
+  const auto t2 = dram_fused(inputs(131072, 1024, 32));
+  EXPECT_NEAR(t2.total() / t1.total(), 2.0, 0.05);
+}
+
+TEST(DramModelTest, UnfusedPipelineDominatedByIntermediate) {
+  const auto in = inputs(131072, 1024, 32);
+  const double gemm = dram_gemm(in).total();
+  const double eval = dram_kernel_eval(in).total();
+  const double gemv = dram_gemv(in).total();
+  const double sectors_c = 131072.0 * 1024 * 4 / 32;
+  // GEMM writes C, eval reads+writes it, gemv reads it: ≥ 4 C-sized streams.
+  EXPECT_GE(gemm + eval + gemv, 4 * sectors_c);
+}
+
+TEST(DramModelTest, PaperClaimFusedUnderTenPercent) {
+  // Fig. 8b: fused DRAM transactions < 10% of cuBLAS-Unfused at scale.
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    const auto in = inputs(131072, 1024, k);
+    const double fused = dram_fused(in).total();
+    const double unfused = dram_norms_a(in).total() +
+                           dram_norms_b(in).total() + dram_gemm(in).total() +
+                           dram_kernel_eval(in).total() +
+                           dram_gemv(in).total();
+    EXPECT_LT(fused / unfused, 0.10) << "K=" << k;
+  }
+}
+
+TEST(DramModelTest, TinyProblemsStayResidentExceptFinalWriteback) {
+  // Everything fits in L2: the streaming reads vanish and only the single
+  // end-of-window writeback of the kernel matrix remains.
+  const auto eval = dram_kernel_eval(inputs(128, 128, 8));
+  EXPECT_DOUBLE_EQ(eval.reads, 0.0);
+  EXPECT_DOUBLE_EQ(eval.writes, 128.0 * 128 * 4 / 32);
+}
+
+TEST(DramModelTest, BResidencyBreaksAtLargeK) {
+  // With K=256, B (1 MB) + panel + row of C no longer fits in effective L2,
+  // so B streams once per grid row.
+  const auto small_k = dram_gemm(inputs(131072, 1024, 32));
+  const auto large_k = dram_gemm(inputs(131072, 1024, 256));
+  const double b32 = 32.0 * 1024 * 4 / 32;
+  const double b256 = 256.0 * 1024 * 4 / 32;
+  // K=32: B read once. K=256: B read once per grid row (1024 rows).
+  EXPECT_NEAR(small_k.reads,
+              131072.0 * 32 * 4 / 32 + b32, 1.0);
+  EXPECT_NEAR(large_k.reads,
+              131072.0 * 256 * 4 / 32 + 1024 * b256, 1.0);
+}
+
+// Accuracy contract against the functional simulator: pipeline-total DRAM
+// within 25% on mid-size problems.
+struct ToleranceCase {
+  Solution solution;
+  std::size_t m, n, k;
+};
+
+class DramToleranceTest : public ::testing::TestWithParam<ToleranceCase> {};
+
+TEST_P(DramToleranceTest, PipelineTotalWithinTolerance) {
+  const auto p = GetParam();
+  workload::ProblemSpec spec;
+  spec.m = p.m;
+  spec.n = p.n;
+  spec.k = p.k;
+  spec.seed = 71;
+  const auto inst = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+  const auto functional =
+      pipelines::run_pipeline(p.solution, inst, params);
+  PipelineModel model;
+  const auto estimate = model.estimate(p.solution, p.m, p.n, p.k);
+
+  const double actual = double(functional.total.dram_total_transactions());
+  const double predicted = estimate.dram_transactions();
+  ASSERT_GT(actual, 0.0);
+  EXPECT_NEAR(predicted / actual, 1.0, 0.25)
+      << "predicted=" << predicted << " actual=" << actual;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MidSizes, DramToleranceTest,
+    ::testing::Values(ToleranceCase{Solution::kFused, 1024, 256, 32},
+                      ToleranceCase{Solution::kFused, 512, 512, 16},
+                      ToleranceCase{Solution::kCublasUnfused, 1024, 256, 32},
+                      ToleranceCase{Solution::kCudaUnfused, 512, 512, 16}));
+
+}  // namespace
+}  // namespace ksum::analytic

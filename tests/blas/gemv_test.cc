@@ -1,0 +1,78 @@
+#include "blas/gemv.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ksum::blas {
+namespace {
+
+TEST(GemvTest, KnownValues) {
+  Matrix a(2, 3, Layout::kRowMajor);
+  float vals[2][3] = {{1, 2, 3}, {4, 5, 6}};
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) a.at(std::size_t(r), std::size_t(c)) = vals[r][c];
+  }
+  Vector x(3);
+  x[0] = 1;
+  x[1] = 0;
+  x[2] = -1;
+  Vector y(2);
+  sgemv(1.0f, a, x.span(), 0.0f, y.span());
+  EXPECT_FLOAT_EQ(y[0], -2.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(GemvTest, ColMajorMatrix) {
+  Matrix a(2, 2, Layout::kColMajor);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Vector x(2);
+  x[0] = 1;
+  x[1] = 1;
+  Vector y(2);
+  sgemv(1.0f, a, x.span(), 0.0f, y.span());
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[1], 7.0f);
+}
+
+TEST(GemvTest, AlphaBeta) {
+  Matrix a(1, 1, Layout::kRowMajor);
+  a.at(0, 0) = 2.0f;
+  Vector x(1);
+  x[0] = 3.0f;
+  Vector y(1);
+  y[0] = 10.0f;
+  sgemv(2.0f, a, x.span(), 0.5f, y.span());
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 6.0f + 5.0f);
+}
+
+TEST(GemvTest, ShapeValidation) {
+  Matrix a(4, 3, Layout::kRowMajor);
+  Vector x(4);  // wrong
+  Vector y(4);
+  EXPECT_THROW(sgemv(1.0f, a, x.span(), 0.0f, y.span()), Error);
+  Vector x2(3);
+  Vector y2(3);  // wrong
+  EXPECT_THROW(sgemv(1.0f, a, x2.span(), 0.0f, y2.span()), Error);
+}
+
+TEST(GemvTest, MatchesManualDotProducts) {
+  Rng rng(9);
+  Matrix a(33, 17, Layout::kRowMajor);
+  for (float& v : a.span()) v = rng.uniform(-1.0f, 1.0f);
+  Vector x(17);
+  for (float& v : x) v = rng.uniform(-1.0f, 1.0f);
+  Vector y(33);
+  sgemv(1.0f, a, x.span(), 0.0f, y.span());
+  for (std::size_t i = 0; i < 33; ++i) {
+    double ref = 0;
+    for (std::size_t j = 0; j < 17; ++j) ref += double(a.at(i, j)) * double(x[j]);
+    EXPECT_NEAR(y[i], ref, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace ksum::blas

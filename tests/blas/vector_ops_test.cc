@@ -1,0 +1,86 @@
+#include "blas/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::blas {
+namespace {
+
+TEST(VectorOpsTest, RowSquaredNorms) {
+  Matrix a(2, 3, Layout::kRowMajor);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 0;
+  a.at(1, 2) = 4;
+  const Vector norms = row_squared_norms(a);
+  EXPECT_FLOAT_EQ(norms[0], 9.0f);
+  EXPECT_FLOAT_EQ(norms[1], 25.0f);
+}
+
+TEST(VectorOpsTest, ColSquaredNorms) {
+  Matrix b(3, 2, Layout::kColMajor);
+  b.at(0, 0) = 1;
+  b.at(1, 0) = 2;
+  b.at(2, 0) = 2;
+  b.at(0, 1) = 0;
+  b.at(1, 1) = 0;
+  b.at(2, 1) = 5;
+  const Vector norms = col_squared_norms(b);
+  EXPECT_FLOAT_EQ(norms[0], 9.0f);
+  EXPECT_FLOAT_EQ(norms[1], 25.0f);
+}
+
+TEST(VectorOpsTest, Dot) {
+  Vector x(3), y(3);
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  y[0] = 4;
+  y[1] = -5;
+  y[2] = 6;
+  EXPECT_DOUBLE_EQ(dot(x.span(), y.span()), 12.0);
+  Vector z(2);
+  EXPECT_THROW(dot(x.span(), z.span()), Error);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vector x(2), y(2);
+  x[0] = 1;
+  x[1] = 2;
+  y[0] = 10;
+  y[1] = 20;
+  axpy(3.0f, x.span(), y.span());
+  EXPECT_FLOAT_EQ(y[0], 13.0f);
+  EXPECT_FLOAT_EQ(y[1], 26.0f);
+}
+
+TEST(VectorOpsTest, MaxAbsDiff) {
+  Vector x(3), y(3);
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  y[0] = 1;
+  y[1] = 2.5f;
+  y[2] = 3;
+  EXPECT_FLOAT_EQ(max_abs_diff(x.span(), y.span()), 0.5f);
+}
+
+TEST(VectorOpsTest, MaxRelDiffUsesFloorNearZero) {
+  Vector x(1), y(1);
+  x[0] = 1e-20f;
+  y[0] = 0.0f;
+  EXPECT_LT(max_rel_diff(x.span(), y.span(), 1e-10), 1e-9);
+}
+
+TEST(VectorOpsTest, MaxRelDiffDetectsLargeError) {
+  Vector x(2), y(2);
+  x[0] = 2.0f;
+  y[0] = 1.0f;
+  x[1] = 1.0f;
+  y[1] = 1.0f;
+  EXPECT_DOUBLE_EQ(max_rel_diff(x.span(), y.span()), 1.0);
+}
+
+}  // namespace
+}  // namespace ksum::blas

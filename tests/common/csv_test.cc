@@ -1,0 +1,50 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ksum {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/ksum_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesRows) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"k", "m", "speedup"});
+    w.write_row({"32", "1024", "1.8"});
+  }
+  EXPECT_EQ(read_file(path_), "k,m,speedup\n32,1024,1.8\n");
+  std::remove(path_.c_str());
+}
+
+TEST_F(CsvTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"a,b", "say \"hi\"", "line\nbreak"});
+  }
+  EXPECT_EQ(read_file(path_), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  std::remove(path_.c_str());
+}
+
+TEST_F(CsvTest, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace ksum

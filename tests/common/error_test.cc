@@ -1,0 +1,53 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(KSUM_CHECK(1 + 1 == 2));
+}
+
+TEST(ErrorTest, CheckThrowsInternalErrorWithContext) {
+  try {
+    KSUM_CHECK(1 == 2);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMsgIncludesMessage) {
+  try {
+    KSUM_CHECK_MSG(false, "the tile is on fire");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("the tile is on fire"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequireThrowsUserError) {
+  EXPECT_THROW(KSUM_REQUIRE(false, "bad argument"), Error);
+  EXPECT_NO_THROW(KSUM_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorTest, RequireMessagePrefixed) {
+  try {
+    KSUM_REQUIRE(false, "K must be a multiple of 8");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "ksum: K must be a multiple of 8");
+  }
+}
+
+TEST(ErrorTest, ErrorIsRuntimeErrorAndInternalIsLogicError) {
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+  EXPECT_THROW(throw InternalError("x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,61 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum {
+namespace {
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div<std::size_t>(524288, 128), 4096u);
+}
+
+TEST(MathUtilTest, RoundUp) {
+  EXPECT_EQ(round_up(0, 128), 0);
+  EXPECT_EQ(round_up(1, 128), 128);
+  EXPECT_EQ(round_up(128, 128), 128);
+  EXPECT_EQ(round_up(129, 128), 256);
+}
+
+TEST(MathUtilTest, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(1536));
+}
+
+TEST(MathUtilTest, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(2), 1);
+  EXPECT_EQ(log2_exact(32), 5);
+  EXPECT_EQ(log2_exact(131072), 17);
+}
+
+TEST(MathUtilTest, RelErr) {
+  EXPECT_DOUBLE_EQ(rel_err(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_err(1.1, 1.0), 0.1, 1e-12);
+  // Near-zero reference uses the floor, not a division by ~0.
+  EXPECT_LT(rel_err(1e-31, 0.0, 1e-30), 1.0);
+}
+
+class CeilDivPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CeilDivPropertyTest, InverseOfMultiplication) {
+  const int b = GetParam();
+  for (int a = 0; a < 300; ++a) {
+    const int q = ceil_div(a, b);
+    EXPECT_GE(q * b, a);
+    EXPECT_LT((q - 1) * b, a) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CeilDivPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 32, 128));
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,64 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum {
+namespace {
+
+TEST(MatrixTest, RowMajorIndexing) {
+  Matrix m(3, 4, Layout::kRowMajor);
+  EXPECT_EQ(m.index(0, 0), 0u);
+  EXPECT_EQ(m.index(0, 3), 3u);
+  EXPECT_EQ(m.index(1, 0), 4u);
+  EXPECT_EQ(m.index(2, 3), 11u);
+}
+
+TEST(MatrixTest, ColMajorIndexing) {
+  Matrix m(3, 4, Layout::kColMajor);
+  EXPECT_EQ(m.index(0, 0), 0u);
+  EXPECT_EQ(m.index(2, 0), 2u);
+  EXPECT_EQ(m.index(0, 1), 3u);
+  EXPECT_EQ(m.index(2, 3), 11u);
+}
+
+TEST(MatrixTest, AtRoundTripsBothLayouts) {
+  for (Layout layout : {Layout::kRowMajor, Layout::kColMajor}) {
+    Matrix m(5, 7, layout);
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 7; ++c) {
+        m.at(r, c) = float(r * 100 + c);
+      }
+    }
+    for (std::size_t r = 0; r < 5; ++r) {
+      for (std::size_t c = 0; c < 7; ++c) {
+        EXPECT_EQ(m.at(r, c), float(r * 100 + c));
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, LayoutsProduceDistinctLinearOrder) {
+  Matrix rm(2, 2, Layout::kRowMajor);
+  Matrix cm(2, 2, Layout::kColMajor);
+  rm.at(0, 1) = 1.0f;
+  cm.at(0, 1) = 1.0f;
+  EXPECT_EQ(rm.data()[1], 1.0f);
+  EXPECT_EQ(cm.data()[2], 1.0f);
+}
+
+TEST(MatrixTest, FillAndSize) {
+  Matrix m(4, 4, Layout::kRowMajor);
+  m.fill(3.0f);
+  EXPECT_EQ(m.size(), 16u);
+  for (float x : m.span()) EXPECT_EQ(x, 3.0f);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,53 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum {
+namespace {
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(str_format("x=%d", 42), "x=42");
+  EXPECT_EQ(str_format("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  const std::string big(500, 'x');
+  EXPECT_EQ(str_format("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(1.8349, 2), "1.83");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.325), "32.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.08349, 2), "8.35%");
+}
+
+TEST(StringUtilTest, FormatSi) {
+  EXPECT_EQ(format_si(950.0), "950.00");
+  EXPECT_EQ(format_si(1234.0), "1.23K");
+  EXPECT_EQ(format_si(5.2e9), "5.20G");
+  EXPECT_EQ(format_si(-2000.0), "-2.00K");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 4), "abcde");
+  EXPECT_EQ(pad_right("abcde", 4), "abcde");
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("demo");
+  t.header({"k", "speedup"});
+  t.row({"32", "1.8"});
+  t.row({"64", "1.4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("### demo"), std::string::npos);
+  EXPECT_NE(s.find("| k  | speedup |"), std::string::npos);
+  EXPECT_NE(s.find("| 32 | 1.8     |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"wide-cell", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a         | b |"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  Table t;
+  EXPECT_THROW(t.header({}), Error);
+}
+
+TEST(TableTest, SeparatorRendersRule) {
+  Table t;
+  t.header({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  const std::string s = t.to_string();
+  // Header rule + explicit separator.
+  std::size_t rules = 0;
+  for (std::size_t pos = s.find("|---"); pos != std::string::npos;
+       pos = s.find("|---", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TableTest, NoHeaderTableStillPrints) {
+  Table t;
+  t.row({"x", "y"});
+  EXPECT_NE(t.to_string().find("| x | y |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,61 @@
+#include "config/device_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::config {
+namespace {
+
+TEST(DeviceSpecTest, Gtx970MatchesPaperTableI) {
+  const DeviceSpec spec = DeviceSpec::gtx970();
+  EXPECT_EQ(spec.num_sms, 13);
+  EXPECT_EQ(spec.max_threads_per_block, 1024);
+  EXPECT_EQ(spec.warp_size, 32);
+  EXPECT_EQ(spec.max_threads_per_sm, 2048);
+  EXPECT_EQ(spec.registers_per_sm, 64 * 1024);
+  EXPECT_EQ(spec.max_registers_per_thread, 255);
+  EXPECT_EQ(spec.smem_per_sm_bytes, 96u * 1024u);
+  EXPECT_EQ(spec.smem_bank_width_bytes, 4);
+  EXPECT_EQ(spec.smem_num_banks, 32);
+  EXPECT_EQ(spec.num_warp_schedulers, 4);
+  EXPECT_EQ(spec.l2_bytes, 1792u * 1024u);  // 1.75 MB
+}
+
+TEST(DeviceSpecTest, PeakFlopsIsLanesTimesTwoTimesClock) {
+  const DeviceSpec spec = DeviceSpec::gtx970();
+  // 13 SMs × 128 lanes × 2 × 1.05 GHz ≈ 3.49 TFLOP/s.
+  EXPECT_NEAR(spec.peak_sp_flops(), 3.494e12, 1e10);
+}
+
+TEST(DeviceSpecTest, DerivedRates) {
+  const DeviceSpec spec = DeviceSpec::gtx970();
+  EXPECT_DOUBLE_EQ(spec.fma_slots_per_cycle(), 13.0 * 128.0);
+  EXPECT_NEAR(spec.dram_bytes_per_cycle(), 196.0 / 1.05, 1e-9);
+  EXPECT_DOUBLE_EQ(spec.smem_bytes_per_cycle_per_sm(), 128.0);
+}
+
+TEST(DeviceSpecTest, ValidateRejectsBadConfigs) {
+  DeviceSpec spec = DeviceSpec::gtx970();
+  spec.num_sms = 0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = DeviceSpec::gtx970();
+  spec.warp_size = 33;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = DeviceSpec::gtx970();
+  spec.max_threads_per_block = 1000;  // not warp aligned
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = DeviceSpec::gtx970();
+  spec.l2_line_bytes = 100;  // not whole sectors
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = DeviceSpec::gtx970();
+  spec.core_clock_ghz = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+}  // namespace
+}  // namespace ksum::config

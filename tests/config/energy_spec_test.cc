@@ -1,0 +1,38 @@
+#include "config/energy_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::config {
+namespace {
+
+TEST(EnergySpecTest, DefaultIsValid) {
+  EXPECT_NO_THROW(EnergySpec::gtx970_mcpat());
+}
+
+TEST(EnergySpecTest, CostsOrderedByHierarchyLevel) {
+  const EnergySpec spec = EnergySpec::gtx970_mcpat();
+  // Moving data further costs more — the premise of the whole paper.
+  EXPECT_LT(spec.smem_access_pj, spec.l2_access_pj);
+  EXPECT_LT(spec.l2_access_pj, spec.dram_access_pj);
+}
+
+TEST(EnergySpecTest, ValidateRejectsInvertedHierarchy) {
+  EnergySpec spec = EnergySpec::gtx970_mcpat();
+  spec.dram_access_pj = spec.l2_access_pj / 2;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST(EnergySpecTest, ValidateRejectsNonPositiveEnergies) {
+  EnergySpec spec = EnergySpec::gtx970_mcpat();
+  spec.fma_pj = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = EnergySpec::gtx970_mcpat();
+  spec.static_power_w = -1.0;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+}  // namespace
+}  // namespace ksum::config

@@ -1,0 +1,44 @@
+#include "config/timing_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::config {
+namespace {
+
+TEST(TimingSpecTest, DefaultIsValid) {
+  EXPECT_NO_THROW(TimingSpec::gtx970());
+}
+
+TEST(TimingSpecTest, GradesOrdered) {
+  const KernelGrade cuda = KernelGrade::cuda_c();
+  const KernelGrade sass = KernelGrade::assembly();
+  // The hand-scheduled grade must dominate on every axis — this is what
+  // produces the paper's Fig. 7 gap.
+  EXPECT_LT(cuda.base_issue_efficiency, sass.base_issue_efficiency);
+  EXPECT_GT(cuda.prologue_equiv_iters, sass.prologue_equiv_iters);
+  EXPECT_LE(cuda.single_cta_penalty, sass.single_cta_penalty);
+}
+
+TEST(TimingSpecTest, GradeEfficienciesAreFractions) {
+  for (const KernelGrade& g :
+       {KernelGrade::cuda_c(), KernelGrade::assembly()}) {
+    EXPECT_GT(g.base_issue_efficiency, 0.0);
+    EXPECT_LE(g.base_issue_efficiency, 1.0);
+    EXPECT_GT(g.single_cta_penalty, 0.0);
+    EXPECT_LE(g.single_cta_penalty, 1.0);
+    EXPECT_GE(g.prologue_equiv_iters, 0.0);
+  }
+}
+
+TEST(TimingSpecTest, ValidateRejectsBadDramEfficiency) {
+  TimingSpec spec = TimingSpec::gtx970();
+  spec.dram_efficiency = 0.0;
+  EXPECT_THROW(spec.validate(), Error);
+  spec.dram_efficiency = 1.5;
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+}  // namespace
+}  // namespace ksum::config

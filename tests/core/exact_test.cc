@@ -1,0 +1,126 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/vector_ops.h"
+
+namespace ksum::core {
+namespace {
+
+workload::Instance tiny_instance(std::size_t m = 32, std::size_t n = 24,
+                                 std::size_t k = 5,
+                                 workload::Distribution dist =
+                                     workload::Distribution::kUniformCube) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.distribution = dist;
+  spec.bandwidth = 0.6f;
+  return workload::make_instance(spec);
+}
+
+TEST(ExactTest, DirectMatchesHandComputation) {
+  // One source, one target, one weight: V₀ = K(α, β)·w.
+  workload::Instance inst = tiny_instance(1, 1, 2);
+  inst.a.at(0, 0) = 1.0f;
+  inst.a.at(0, 1) = 0.0f;
+  inst.b.at(0, 0) = 0.0f;
+  inst.b.at(1, 0) = 1.0f;
+  inst.w[0] = 2.0f;
+  KernelParams params = params_from_spec(inst.spec);
+  params.bandwidth = 1.0f;
+  const Vector v = solve_direct(inst, params);
+  // d² = 2 → exp(-1)·2.
+  EXPECT_NEAR(v[0], 2.0f * std::exp(-1.0f), 1e-6);
+}
+
+TEST(ExactTest, ExpansionMatchesDirect) {
+  const auto inst = tiny_instance();
+  const KernelParams params = params_from_spec(inst.spec);
+  const Vector direct = solve_direct(inst, params);
+  const Vector expansion = solve_expansion(inst, params);
+  EXPECT_LT(blas::max_rel_diff(expansion.span(), direct.span(), 1e-3), 1e-4);
+}
+
+TEST(ExactTest, ExpansionKernelMatrixIsExposed) {
+  const auto inst = tiny_instance(8, 8, 3);
+  const KernelParams params = params_from_spec(inst.spec);
+  Matrix kmat;
+  solve_expansion(inst, params, &kmat);
+  EXPECT_EQ(kmat.rows(), 8u);
+  EXPECT_EQ(kmat.cols(), 8u);
+  // Kernel values are probabilities-like for the Gaussian: in (0, 1].
+  for (float v : kmat.span()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ExactTest, CoincidentPointsGiveKernelOne) {
+  workload::Instance inst = tiny_instance(4, 4, 3);
+  // Make target 0 identical to source 0.
+  for (std::size_t d = 0; d < 3; ++d) inst.b.at(d, 0) = inst.a.at(0, d);
+  const KernelParams params = params_from_spec(inst.spec);
+  Matrix kmat;
+  solve_expansion(inst, params, &kmat);
+  EXPECT_NEAR(kmat.at(0, 0), 1.0f, 1e-5);
+}
+
+TEST(ExactTest, OutputLengthIsM) {
+  const auto inst = tiny_instance(40, 8, 3);
+  const Vector v = solve_direct(inst, params_from_spec(inst.spec));
+  EXPECT_EQ(v.size(), 40u);
+}
+
+TEST(ExactTest, MismatchedShapesThrow) {
+  auto inst = tiny_instance();
+  inst.w.resize(inst.spec.n + 1);
+  EXPECT_THROW(solve_direct(inst, params_from_spec(inst.spec)), Error);
+  EXPECT_THROW(solve_expansion(inst, params_from_spec(inst.spec)), Error);
+}
+
+class ExactAgreementTest
+    : public ::testing::TestWithParam<workload::Distribution> {};
+
+TEST_P(ExactAgreementTest, ExpansionTracksDirectAcrossDistributions) {
+  // Clustered points stress the ‖α‖²+‖β‖²−2αᵀβ cancellation — this is the
+  // classic numerical hazard of the expansion trick.
+  const auto inst = tiny_instance(64, 48, 8, GetParam());
+  const KernelParams params = params_from_spec(inst.spec);
+  const Vector direct = solve_direct(inst, params);
+  const Vector expansion = solve_expansion(inst, params);
+  EXPECT_LT(blas::max_rel_diff(expansion.span(), direct.span(), 1e-3), 1e-3)
+      << workload::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, ExactAgreementTest,
+    ::testing::Values(workload::Distribution::kUniformCube,
+                      workload::Distribution::kGaussianMixture,
+                      workload::Distribution::kUnitSphere,
+                      workload::Distribution::kGrid));
+
+class ExactKernelTypesTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(ExactKernelTypesTest, ExpansionTracksDirectForEveryKernel) {
+  const auto inst = tiny_instance(32, 32, 6);
+  KernelParams params;
+  params.type = GetParam();
+  params.bandwidth = 0.8f;
+  const Vector direct = solve_direct(inst, params);
+  const Vector expansion = solve_expansion(inst, params);
+  EXPECT_LT(blas::max_rel_diff(expansion.span(), direct.span(), 1e-2), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ExactKernelTypesTest,
+                         ::testing::Values(KernelType::kGaussian,
+                                           KernelType::kLaplace3d,
+                                           KernelType::kMatern32,
+                                           KernelType::kCauchy,
+                                           KernelType::kPolynomial2));
+
+}  // namespace
+}  // namespace ksum::core

@@ -1,0 +1,118 @@
+#include "core/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ksum::core {
+namespace {
+
+KernelParams gaussian(float h) {
+  KernelParams p;
+  p.type = KernelType::kGaussian;
+  p.bandwidth = h;
+  return p;
+}
+
+TEST(KernelsTest, GaussianAtZeroDistanceIsOne) {
+  EXPECT_FLOAT_EQ(evaluate(gaussian(1.0f), 0.0f, 0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(evaluate(gaussian(0.1f), 0.0f, 0.0f), 1.0f);
+}
+
+TEST(KernelsTest, GaussianKnownValue) {
+  // exp(-d²/2h²) with d²=2, h=1 → exp(-1).
+  EXPECT_NEAR(evaluate(gaussian(1.0f), 2.0f, 0.0f), std::exp(-1.0f), 1e-6);
+}
+
+TEST(KernelsTest, GaussianMonotoneDecreasingInDistance) {
+  const KernelParams p = gaussian(0.7f);
+  float prev = evaluate(p, 0.0f, 0.0f);
+  for (float d2 = 0.5f; d2 < 20.0f; d2 += 0.5f) {
+    const float v = evaluate(p, d2, 0.0f);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KernelsTest, NegativeSquaredDistanceClampedToZero) {
+  // Rounding in ‖α‖²+‖β‖²−2αᵀβ can go slightly negative; the kernel must
+  // treat it as zero, not NaN.
+  const float v = evaluate(gaussian(1.0f), -1e-6f, 0.0f);
+  EXPECT_FLOAT_EQ(v, 1.0f);
+  EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(KernelsTest, LaplaceSofteningPreventsSingularity) {
+  KernelParams p;
+  p.type = KernelType::kLaplace3d;
+  p.softening = 1e-3f;
+  const float at_zero = evaluate(p, 0.0f, 0.0f);
+  EXPECT_TRUE(std::isfinite(at_zero));
+  EXPECT_NEAR(at_zero, 1000.0f, 1.0f);
+  EXPECT_NEAR(evaluate(p, 4.0f, 0.0f), 0.5f, 1e-3);
+}
+
+TEST(KernelsTest, Matern32KnownValues) {
+  KernelParams p;
+  p.type = KernelType::kMatern32;
+  p.bandwidth = 1.0f;
+  EXPECT_FLOAT_EQ(evaluate(p, 0.0f, 0.0f), 1.0f);
+  // r = √3·d/h with d=1: (1+√3)e^{-√3}.
+  const float expected =
+      (1.0f + std::sqrt(3.0f)) * std::exp(-std::sqrt(3.0f));
+  EXPECT_NEAR(evaluate(p, 1.0f, 0.0f), expected, 1e-6);
+}
+
+TEST(KernelsTest, CauchyKnownValues) {
+  KernelParams p;
+  p.type = KernelType::kCauchy;
+  p.bandwidth = 2.0f;
+  EXPECT_FLOAT_EQ(evaluate(p, 0.0f, 0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(evaluate(p, 4.0f, 0.0f), 0.5f);
+}
+
+TEST(KernelsTest, PolynomialUsesDotNotDistance) {
+  KernelParams p;
+  p.type = KernelType::kPolynomial2;
+  p.poly_shift = 1.0f;
+  // (dot + 1)² — squared distance must be ignored.
+  EXPECT_FLOAT_EQ(evaluate(p, 123.0f, 2.0f), 9.0f);
+  EXPECT_FLOAT_EQ(evaluate(p, 0.0f, -1.0f), 0.0f);
+}
+
+TEST(KernelsTest, RadialClassification) {
+  EXPECT_TRUE(is_radial(KernelType::kGaussian));
+  EXPECT_TRUE(is_radial(KernelType::kLaplace3d));
+  EXPECT_TRUE(is_radial(KernelType::kMatern32));
+  EXPECT_TRUE(is_radial(KernelType::kCauchy));
+  EXPECT_FALSE(is_radial(KernelType::kPolynomial2));
+}
+
+TEST(KernelsTest, Names) {
+  EXPECT_EQ(to_string(KernelType::kGaussian), "gaussian");
+  EXPECT_EQ(to_string(KernelType::kLaplace3d), "laplace");
+  EXPECT_EQ(to_string(KernelType::kPolynomial2), "polynomial-2");
+}
+
+class KernelBoundsTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KernelBoundsTest, FiniteAndNonNegativeOverSweep) {
+  KernelParams p;
+  p.type = GetParam();
+  p.bandwidth = 0.5f;
+  for (float d2 = 0.0f; d2 < 100.0f; d2 += 1.37f) {
+    const float v = evaluate(p, d2, 0.3f);
+    EXPECT_TRUE(std::isfinite(v)) << "d2=" << d2;
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelBoundsTest,
+                         ::testing::Values(KernelType::kGaussian,
+                                           KernelType::kLaplace3d,
+                                           KernelType::kMatern32,
+                                           KernelType::kCauchy,
+                                           KernelType::kPolynomial2));
+
+}  // namespace
+}  // namespace ksum::core

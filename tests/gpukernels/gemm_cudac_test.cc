@@ -1,0 +1,133 @@
+#include "gpukernels/gemm_cudac.h"
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.h"
+#include "blas/vector_ops.h"
+#include "gpukernels/device_workspace.h"
+#include "workload/point_generators.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+struct GemmCase {
+  std::size_t m, n, k;
+  TileLayout layout;
+  bool double_buffer;
+};
+
+class GemmCudaCTest : public ::testing::TestWithParam<GemmCase> {};
+
+workload::Instance instance_for(std::size_t m, std::size_t n, std::size_t k) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = 77;
+  return workload::make_instance(spec);
+}
+
+TEST_P(GemmCudaCTest, MatchesHostReference) {
+  const auto p = GetParam();
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{64} << 20);
+  Workspace ws = allocate_workspace(device, p.m, p.n, p.k, true);
+  const auto inst = instance_for(p.m, p.n, p.k);
+  upload_instance(device, ws, inst);
+
+  GemmOptions opts;
+  opts.mainloop.layout = p.layout;
+  opts.mainloop.double_buffer = p.double_buffer;
+  run_gemm_cudac(device, ws.a, ws.b, ws.c, p.m, p.n, p.k, opts);
+
+  Matrix ref(p.m, p.n, Layout::kRowMajor);
+  blas::sgemm_naive(1.0f, inst.a, inst.b, 0.0f, ref);
+  Matrix out(p.m, p.n, Layout::kRowMajor);
+  device.memory().download(ws.c, out.span());
+  EXPECT_LT(blas::max_rel_diff(out.span(), ref.span(), 1e-3), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GemmCudaCTest,
+    ::testing::Values(
+        GemmCase{128, 128, 8, TileLayout::kFig5, true},
+        GemmCase{128, 128, 32, TileLayout::kFig5, true},
+        GemmCase{256, 128, 16, TileLayout::kFig5, true},
+        GemmCase{128, 256, 16, TileLayout::kFig5, true},
+        GemmCase{256, 256, 24, TileLayout::kFig5, true},
+        GemmCase{128, 128, 16, TileLayout::kNaive, true},
+        GemmCase{128, 128, 16, TileLayout::kFig5, false},
+        GemmCase{256, 128, 32, TileLayout::kNaive, false}));
+
+TEST(GemmCudaCCountsTest, MainLoopEventCounts) {
+  const std::size_t m = 128, n = 128, k = 32;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+  upload_instance(device, ws, instance_for(m, n, k));
+  const auto result =
+      run_gemm_cudac(device, ws.a, ws.b, ws.c, m, n, k, GemmOptions{});
+  const auto& c = result.counters;
+
+  // FMA lane-ops: one per output element per K step.
+  EXPECT_EQ(c.fma_ops, std::uint64_t(m * n * k));
+  // Conflict-free main loop: 16 operand loads per warp per rank-1 step.
+  const std::uint64_t expected_loads = k * kWarps * 16;
+  EXPECT_EQ(c.smem_load_requests, expected_loads);
+  EXPECT_EQ(c.smem_load_transactions, expected_loads);
+  EXPECT_EQ(c.smem_bank_conflicts, 0u);
+  // Tile loads: K/8 iterations × 2 tiles × (8 vec4 loads).
+  EXPECT_EQ(c.global_load_requests, (k / kTileK) * 2u * 8u);
+  // Double-buffered: one barrier per iteration plus the prologue.
+  EXPECT_EQ(c.barriers, k / kTileK + 1);
+  // C stores: 8 warps × 8 rows × 2 float4 pieces.
+  EXPECT_EQ(c.global_store_requests, 128u);
+  // Every C sector is written twice (16-byte pieces).
+  EXPECT_EQ(c.l2_write_transactions, 2u * m * n * 4 / 32);
+}
+
+TEST(GemmCudaCCountsTest, NaiveLayoutConflictsOnlyInLoads) {
+  const std::size_t m = 128, n = 128, k = 16;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+  upload_instance(device, ws, instance_for(m, n, k));
+  GemmOptions opts;
+  opts.mainloop.layout = TileLayout::kNaive;
+  const auto result =
+      run_gemm_cudac(device, ws.a, ws.b, ws.c, m, n, k, opts);
+  const auto& c = result.counters;
+  // B operand loads replay 4-way: per rank-1 step per warp, 8 A loads at 1
+  // transaction + 8 B loads at 4.
+  EXPECT_EQ(c.smem_load_transactions, k * kWarps * (8 + 32));
+  EXPECT_GT(c.smem_bank_conflicts, 0u);
+  EXPECT_EQ(c.smem_store_transactions, (k / kTileK) * 2u * 32u);
+}
+
+TEST(GemmCudaCCountsTest, SingleBufferDoublesBarriers) {
+  const std::size_t m = 128, n = 128, k = 32;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+  upload_instance(device, ws, instance_for(m, n, k));
+  GemmOptions opts;
+  opts.mainloop.double_buffer = false;
+  const auto result =
+      run_gemm_cudac(device, ws.a, ws.b, ws.c, m, n, k, opts);
+  EXPECT_EQ(result.counters.barriers, 2 * (k / kTileK));
+  // Halved shared memory allocation.
+  EXPECT_EQ(result.config.smem_bytes_per_block, 2 * kTileBytes);
+}
+
+TEST(GemmCudaCCountsTest, ShapeRequirements) {
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, 128, 128, 8, true);
+  EXPECT_THROW(
+      run_gemm_cudac(device, ws.a, ws.b, ws.c, 100, 128, 8, GemmOptions{}),
+      Error);
+  EXPECT_THROW(
+      run_gemm_cudac(device, ws.a, ws.b, ws.c, 128, 130, 8, GemmOptions{}),
+      Error);
+  EXPECT_THROW(
+      run_gemm_cudac(device, ws.a, ws.b, ws.c, 128, 128, 12, GemmOptions{}),
+      Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpukernels

@@ -1,0 +1,64 @@
+#include "gpukernels/gemv_summation.h"
+
+#include <gtest/gtest.h>
+
+#include "blas/gemv.h"
+#include "blas/vector_ops.h"
+#include "common/rng.h"
+#include "gpukernels/device_workspace.h"
+#include "workload/point_generators.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+TEST(GemvSummationTest, MatchesHostGemv) {
+  const std::size_t m = 256, n = 384, k = 8;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+
+  // Fill the kernel-matrix buffer and W directly.
+  Matrix kmat(m, n, Layout::kRowMajor);
+  Vector w(n);
+  Rng rng(4);
+  for (float& x : kmat.span()) x = rng.uniform(0.0f, 1.0f);
+  for (float& x : w) x = rng.uniform(-1.0f, 1.0f);
+  device.memory().upload(ws.c, kmat.span());
+  device.memory().upload(ws.w, w.span());
+
+  run_gemv_summation(device, ws);
+
+  Vector ref(m);
+  blas::sgemv(1.0f, kmat, w.span(), 0.0f, ref.span());
+  Vector out(m);
+  device.memory().download(ws.v, out.span());
+  EXPECT_LT(blas::max_rel_diff(out.span(), ref.span(), 1e-3), 2e-4);
+}
+
+TEST(GemvSummationTest, Counts) {
+  const std::size_t m = 128, n = 256, k = 8;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+  const auto result = run_gemv_summation(device, ws);
+  const auto& c = result.counters;
+  EXPECT_EQ(c.fma_ops, std::uint64_t(m * n));
+  // Kernel matrix streamed once, coalesced scalar loads: 4 sectors per
+  // 32-lane access, n/32 accesses per row.
+  EXPECT_EQ(c.ctas_launched, m / 128);
+  // V written one scalar per row.
+  EXPECT_EQ(c.global_store_requests, m);
+  // W staged to smem once per CTA (n/128 segments × 4 accesses).
+  EXPECT_EQ(c.smem_store_requests, (m / 128) * (n / 128) * 4);
+}
+
+TEST(GemvSummationTest, ShapeRequirements) {
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, 128, 128, 8, false);
+  EXPECT_THROW(run_gemv_summation(device, ws), Error);  // no C buffer
+
+  // W larger than the shared-memory cap.
+  Workspace ws2 = allocate_workspace(device, 128, 16384, 8, true);
+  EXPECT_THROW(run_gemv_summation(device, ws2), Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpukernels

@@ -1,0 +1,70 @@
+#include "gpukernels/kernel_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "blas/vector_ops.h"
+#include "core/exact.h"
+#include "gpukernels/gemm_cudac.h"
+#include "gpukernels/norms.h"
+#include "workload/point_generators.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+workload::Instance instance_for(std::size_t m, std::size_t n, std::size_t k) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = 31;
+  spec.bandwidth = 0.7f;
+  return workload::make_instance(spec);
+}
+
+TEST(KernelEvalTest, ProducesTheKernelMatrix) {
+  const std::size_t m = 128, n = 256, k = 16;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+  const auto inst = instance_for(m, n, k);
+  upload_instance(device, ws, inst);
+  const auto params = core::params_from_spec(inst.spec);
+
+  run_norms_a(device, ws);
+  run_norms_b(device, ws);
+  run_gemm_cudac(device, ws.a, ws.b, ws.c, m, n, k, GemmOptions{});
+  run_kernel_eval(device, ws, params);
+
+  Matrix ref_kmat;
+  core::solve_expansion(inst, params, &ref_kmat);
+  Matrix out(m, n, Layout::kRowMajor);
+  device.memory().download(ws.c, out.span());
+  EXPECT_LT(blas::max_rel_diff(out.span(), ref_kmat.span(), 1e-3), 1e-3);
+}
+
+TEST(KernelEvalTest, CountsAreStreaming) {
+  const std::size_t m = 64, n = 256, k = 8;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, true);
+  upload_instance(device, ws, instance_for(m, n, k));
+  const auto result =
+      run_kernel_eval(device, ws, core::KernelParams{});
+  const auto& c = result.counters;
+  // One exp per element.
+  EXPECT_EQ(c.sfu_ops, std::uint64_t(m * n));
+  // Contiguous float4 warp accesses cover whole sectors, so C is read and
+  // written exactly once per sector.
+  const std::uint64_t c_sectors = m * n * 4 / 32;
+  EXPECT_EQ(c.l2_write_transactions, c_sectors);
+  EXPECT_EQ(c.ctas_launched, m / 8);
+  // Loads: C once + norm_b re-read per row + one norm_a broadcast per row.
+  EXPECT_EQ(c.l2_read_transactions, c_sectors + m * (n * 4 / 32) + m);
+}
+
+TEST(KernelEvalTest, RequiresIntermediateBuffer) {
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, 128, 128, 8, false);
+  EXPECT_THROW(run_kernel_eval(device, ws, core::KernelParams{}), Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpukernels

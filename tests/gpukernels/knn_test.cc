@@ -1,0 +1,194 @@
+#include "gpukernels/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/knn_exact.h"
+#include "gpukernels/gemm_cublas_model.h"
+#include "gpukernels/norms.h"
+#include "pipelines/knn_pipeline.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+workload::Instance instance_for(std::size_t m, std::size_t n, std::size_t k,
+                                std::uint64_t seed = 91) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = seed;
+  return workload::make_instance(spec);
+}
+
+// Distances must match the oracle rank by rank (indices can differ only
+// under exact ties, which random floats make measure-zero; we still compare
+// by distance to stay robust).
+void expect_matches_oracle(const KnnResult& got,
+                           const core::KnnOracleResult& want,
+                           std::size_t m, double tol) {
+  ASSERT_EQ(got.k_nn, want.k_nn);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t rank = 0; rank < got.k_nn; ++rank) {
+      EXPECT_NEAR(got.distance(i, rank), want.distance(i, rank), tol)
+          << "query " << i << " rank " << rank;
+    }
+    // The nearest neighbour index must agree outright.
+    EXPECT_EQ(got.index(i, 0), want.index(i, 0)) << "query " << i;
+  }
+}
+
+struct KnnCase {
+  std::size_t m, n, k, k_nn;
+};
+
+class FusedKnnTest : public ::testing::TestWithParam<KnnCase> {};
+
+TEST_P(FusedKnnTest, MatchesExactSearch) {
+  const auto p = GetParam();
+  const auto inst = instance_for(p.m, p.n, p.k);
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{64} << 20);
+  Workspace ws = allocate_workspace(device, p.m, p.n, p.k, false);
+  upload_instance(device, ws, inst);
+  run_norms_a(device, ws);
+  run_norms_b(device, ws);
+
+  KnnResult result;
+  run_fused_knn(device, ws, p.k_nn, result);
+  const auto oracle = core::knn_exact(inst, p.k_nn);
+  expect_matches_oracle(result, oracle, p.m, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedKnnTest,
+    ::testing::Values(KnnCase{128, 128, 8, 1}, KnnCase{128, 128, 16, 4},
+                      KnnCase{256, 128, 16, 8}, KnnCase{128, 256, 16, 8},
+                      KnnCase{256, 256, 24, 16}, KnnCase{384, 128, 8, 5}));
+
+TEST(FusedKnnTest, SelfQueryFindsItself) {
+  // Queries identical to database points: nearest neighbour is the point
+  // itself at distance ~0.
+  auto inst = instance_for(128, 128, 16);
+  for (std::size_t j = 0; j < 128; ++j) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      inst.b.at(d, j) = inst.a.at(j, d);
+    }
+  }
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{32} << 20);
+  Workspace ws = allocate_workspace(device, 128, 128, 16, false);
+  upload_instance(device, ws, inst);
+  run_norms_a(device, ws);
+  run_norms_b(device, ws);
+  KnnResult result;
+  run_fused_knn(device, ws, 3, result);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(result.index(i, 0), i);
+    EXPECT_LT(result.distance(i, 0), 1e-4f);
+  }
+}
+
+TEST(FusedKnnTest, InvalidArgumentsThrow) {
+  const auto inst = instance_for(128, 128, 8);
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{32} << 20);
+  Workspace ws = allocate_workspace(device, 128, 128, 8, false);
+  upload_instance(device, ws, inst);
+  KnnResult result;
+  EXPECT_THROW(run_fused_knn(device, ws, 0, result), Error);
+  EXPECT_THROW(run_fused_knn(device, ws, kMaxNeighbors + 1, result), Error);
+}
+
+class UnfusedKnnTest : public ::testing::TestWithParam<KnnCase> {};
+
+TEST_P(UnfusedKnnTest, SelectionScanMatchesExactSearch) {
+  const auto p = GetParam();
+  const auto inst = instance_for(p.m, p.n, p.k, 17);
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{64} << 20);
+  Workspace ws = allocate_workspace(device, p.m, p.n, p.k, true);
+  upload_instance(device, ws, inst);
+  run_norms_a(device, ws);
+  run_norms_b(device, ws);
+  run_gemm_cublas_model(device, ws.a, ws.b, ws.c, p.m, p.n, p.k);
+  run_distance_eval(device, ws);
+  KnnResult result;
+  run_knn_select(device, ws, p.k_nn, result);
+  const auto oracle = core::knn_exact(inst, p.k_nn);
+  expect_matches_oracle(result, oracle, p.m, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, UnfusedKnnTest,
+                         ::testing::Values(KnnCase{128, 128, 16, 4},
+                                           KnnCase{256, 256, 16, 8},
+                                           KnnCase{128, 384, 8, 16}));
+
+TEST(KnnPipelineTest, FusedAndUnfusedAgree) {
+  const auto inst = instance_for(256, 256, 16, 23);
+  const auto fused = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kFused, inst, 8);
+  const auto unfused = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kUnfused, inst, 8);
+  for (std::size_t i = 0; i < 256; ++i) {
+    for (std::size_t rank = 0; rank < 8; ++rank) {
+      EXPECT_NEAR(fused.result.distance(i, rank),
+                  unfused.result.distance(i, rank), 1e-4f);
+    }
+  }
+}
+
+TEST(KnnPipelineTest, FusionCutsDramTraffic) {
+  const auto inst = instance_for(384, 256, 16, 29);
+  const auto fused = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kFused, inst, 8);
+  const auto unfused = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kUnfused, inst, 8);
+  EXPECT_LT(fused.total.dram_total_transactions(),
+            unfused.total.dram_total_transactions() / 2);
+  EXPECT_GT(fused.seconds, 0.0);
+  EXPECT_GT(unfused.energy.total(), fused.energy.total());
+}
+
+TEST(KnnPipelineTest, KernelSequences) {
+  const auto inst = instance_for(128, 128, 8, 31);
+  const auto fused = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kFused, inst, 4);
+  ASSERT_EQ(fused.kernels.size(), 4u);
+  EXPECT_EQ(fused.kernels[2].name, "fused_knn");
+  EXPECT_EQ(fused.kernels[3].name, "knn_merge");
+  const auto unfused = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kUnfused, inst, 4);
+  ASSERT_EQ(unfused.kernels.size(), 5u);
+  EXPECT_EQ(unfused.kernels[2].name, "gemm_cublas");
+  EXPECT_EQ(unfused.kernels[3].name, "kernel_eval");
+  EXPECT_EQ(unfused.kernels[4].name, "knn_select");
+}
+
+TEST(KnnOracleTest, HandComputedNeighbours) {
+  // Three database points on a line; query at the origin.
+  workload::ProblemSpec spec;
+  spec.m = 1;
+  spec.n = 3;
+  spec.k = 2;
+  auto inst = workload::make_instance(spec);
+  inst.a.at(0, 0) = 0.0f;
+  inst.a.at(0, 1) = 0.0f;
+  const float xs[3] = {2.0f, 0.5f, -1.0f};
+  for (std::size_t j = 0; j < 3; ++j) {
+    inst.b.at(0, j) = xs[j];
+    inst.b.at(1, j) = 0.0f;
+  }
+  const auto oracle = core::knn_exact(inst, 3);
+  EXPECT_EQ(oracle.index(0, 0), 1u);  // 0.5 away
+  EXPECT_EQ(oracle.index(0, 1), 2u);  // 1.0 away
+  EXPECT_EQ(oracle.index(0, 2), 0u);  // 2.0 away
+  EXPECT_NEAR(oracle.distance(0, 0), 0.25, 1e-9);
+  EXPECT_NEAR(oracle.distance(0, 2), 4.0, 1e-9);
+}
+
+TEST(KnnOracleTest, ArgumentValidation) {
+  const auto inst = instance_for(128, 128, 8);
+  EXPECT_THROW(core::knn_exact(inst, 0), Error);
+  EXPECT_THROW(core::knn_exact(inst, 129), Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpukernels

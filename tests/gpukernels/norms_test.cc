@@ -1,0 +1,73 @@
+#include "gpukernels/norms.h"
+
+#include <gtest/gtest.h>
+
+#include "blas/vector_ops.h"
+#include "gpukernels/device_workspace.h"
+#include "workload/point_generators.h"
+
+namespace ksum::gpukernels {
+namespace {
+
+workload::Instance instance_for(std::size_t m, std::size_t n, std::size_t k) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = 21;
+  return workload::make_instance(spec);
+}
+
+class NormsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NormsTest, MatchesHostNorms) {
+  const std::size_t k = GetParam();
+  const std::size_t m = 256, n = 128;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, false);
+  const auto inst = instance_for(m, n, k);
+  upload_instance(device, ws, inst);
+
+  run_norms_a(device, ws);
+  run_norms_b(device, ws);
+
+  const Vector ref_a = blas::row_squared_norms(inst.a);
+  const Vector ref_b = blas::col_squared_norms(inst.b);
+  Vector out_a(m), out_b(n);
+  device.memory().download(ws.norm_a, out_a.span());
+  device.memory().download(ws.norm_b, out_b.span());
+  EXPECT_LT(blas::max_rel_diff(out_a.span(), ref_a.span(), 1e-4), 1e-4);
+  EXPECT_LT(blas::max_rel_diff(out_b.span(), ref_b.span(), 1e-4), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, NormsTest,
+                         ::testing::Values(8, 16, 32, 64, 256));
+
+TEST(NormsCountsTest, TrafficIsInputPlusOutput) {
+  const std::size_t m = 256, n = 128, k = 32;
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, m, n, k, false);
+  upload_instance(device, ws, instance_for(m, n, k));
+  const auto result = run_norms_a(device, ws);
+  const auto& c = result.counters;
+  EXPECT_EQ(c.fma_ops, std::uint64_t(m * k));
+  // Cold read of A: every sector missed exactly once.
+  EXPECT_EQ(c.dram_read_transactions, m * k * 4 / 32);
+  // float4 loads touch each sector twice.
+  EXPECT_EQ(c.l2_read_transactions, 2 * m * k * 4 / 32);
+  // Output: one coalesced store per warp.
+  EXPECT_EQ(c.global_store_requests, (m / 32));
+  EXPECT_EQ(c.ctas_launched, m / 128);
+}
+
+TEST(NormsCountsTest, ShapeRequirements) {
+  gpusim::Device device(config::DeviceSpec::gtx970(), std::size_t{16} << 20);
+  Workspace ws = allocate_workspace(device, 100, 128, 8, false);
+  ws.m = 100;  // not a multiple of 128
+  EXPECT_THROW(run_norms_a(device, ws), Error);
+  Workspace ws2 = allocate_workspace(device, 128, 128, 12, false);
+  EXPECT_THROW(run_norms_a(device, ws2), Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpukernels

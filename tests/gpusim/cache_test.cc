@@ -1,0 +1,180 @@
+#include "gpusim/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+namespace {
+
+// Local event sinks standing in for the Device's counter wiring.
+struct Events {
+  std::uint64_t reads = 0, hits = 0, misses = 0, writes = 0, writebacks = 0;
+  CacheCounters hooks() {
+    return {&reads, &hits, &misses, &writes, &writebacks};
+  }
+  void reset() { *this = Events{}; }
+};
+
+CacheGeometry tiny_geometry() {
+  CacheGeometry g;
+  g.capacity_bytes = 4096;  // 32 lines of 128 B
+  g.line_bytes = 128;
+  g.sector_bytes = 32;
+  g.ways = 4;  // 8 sets
+  return g;
+}
+
+TEST(CacheTest, GeometryDerivedQuantities) {
+  const CacheGeometry g = tiny_geometry();
+  EXPECT_EQ(g.num_lines(), 32u);
+  EXPECT_EQ(g.num_sets(), 8u);
+  EXPECT_EQ(g.sectors_per_line(), 4);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(CacheTest, GeometryValidation) {
+  CacheGeometry g = tiny_geometry();
+  g.line_bytes = 100;
+  EXPECT_THROW(g.validate(), Error);
+  g = tiny_geometry();
+  g.sector_bytes = 8;  // 16 sectors per line > 8-bit mask
+  EXPECT_THROW(g.validate(), Error);
+  g = tiny_geometry();
+  g.ways = 5;  // does not divide 32 lines
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(CacheTest, FirstReadMissesSecondHits) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  EXPECT_FALSE(cache.read_sector(0));
+  EXPECT_TRUE(cache.read_sector(0));
+  EXPECT_EQ(ev.reads, 2u);
+  EXPECT_EQ(ev.misses, 1u);
+  EXPECT_EQ(ev.hits, 1u);
+}
+
+TEST(CacheTest, SectorsFillIndividually) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  cache.read_sector(0);
+  // Same line, different sector: still a miss (sectored fill).
+  EXPECT_FALSE(cache.read_sector(32));
+  EXPECT_EQ(ev.misses, 2u);
+  EXPECT_EQ(cache.resident_sectors(), 2u);
+}
+
+TEST(CacheTest, WriteAllocateWithoutFetch) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  cache.write_sector(64);
+  EXPECT_EQ(ev.misses, 0u);
+  EXPECT_EQ(ev.writes, 1u);
+  // Written sector is now readable without a miss.
+  EXPECT_TRUE(cache.read_sector(64));
+}
+
+TEST(CacheTest, DirtyEvictionWritesBack) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  // Fill one set (4 ways) with dirty lines at stride num_sets*line.
+  const GlobalAddr stride = 8 * 128;
+  for (GlobalAddr i = 0; i < 4; ++i) cache.write_sector(i * stride);
+  EXPECT_EQ(ev.writebacks, 0u);
+  // Fifth line in the same set evicts the LRU dirty line.
+  cache.write_sector(4 * stride);
+  EXPECT_EQ(ev.writebacks, 1u);
+}
+
+TEST(CacheTest, LruVictimSelection) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  const GlobalAddr stride = 8 * 128;
+  for (GlobalAddr i = 0; i < 4; ++i) cache.read_sector(i * stride);
+  // Touch line 0 so line 1 becomes LRU.
+  cache.read_sector(0);
+  cache.read_sector(4 * stride);  // evicts line 1
+  EXPECT_TRUE(cache.read_sector(0));          // still resident
+  EXPECT_FALSE(cache.read_sector(1 * stride));  // was evicted
+}
+
+TEST(CacheTest, CleanEvictionIsSilent) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  const GlobalAddr stride = 8 * 128;
+  for (GlobalAddr i = 0; i < 5; ++i) cache.read_sector(i * stride);
+  EXPECT_EQ(ev.writebacks, 0u);
+}
+
+TEST(CacheTest, FlushWritesAllDirtySectors) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  cache.write_sector(0);
+  cache.write_sector(32);
+  cache.write_sector(1024);
+  cache.flush_dirty();
+  EXPECT_EQ(ev.writebacks, 3u);
+  // Second flush is a no-op.
+  cache.flush_dirty();
+  EXPECT_EQ(ev.writebacks, 3u);
+}
+
+TEST(CacheTest, ResetDropsContentSilently) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  cache.write_sector(0);
+  cache.reset();
+  EXPECT_EQ(cache.resident_sectors(), 0u);
+  EXPECT_EQ(ev.writebacks, 0u);
+  EXPECT_FALSE(cache.read_sector(0));
+}
+
+TEST(CacheTest, WorkingSetLargerThanCapacityThrashes) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  // Stream 2× capacity twice; second pass should still miss everywhere.
+  const std::size_t sectors = 2 * tiny_geometry().capacity_bytes / 32;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t s = 0; s < sectors; ++s) {
+      cache.read_sector(GlobalAddr(s) * 32);
+    }
+  }
+  EXPECT_EQ(ev.misses, ev.reads);
+}
+
+TEST(CacheTest, WorkingSetWithinCapacityHitsOnReuse) {
+  Events ev;
+  SectoredCache cache(tiny_geometry(), ev.hooks());
+  const std::size_t sectors = tiny_geometry().capacity_bytes / 32 / 2;
+  for (std::size_t s = 0; s < sectors; ++s) cache.read_sector(s * 32);
+  ev.reset();
+  for (std::size_t s = 0; s < sectors; ++s) cache.read_sector(s * 32);
+  EXPECT_EQ(ev.misses, 0u);
+  EXPECT_EQ(ev.hits, sectors);
+}
+
+TEST(CacheTest, NonPowerOfTwoSetCountWorks) {
+  // The GTX970's 1.75 MB L2 has a non-power-of-two set count.
+  CacheGeometry g;
+  g.capacity_bytes = 1792 * 1024;
+  g.line_bytes = 128;
+  g.sector_bytes = 32;
+  g.ways = 16;
+  EXPECT_NO_THROW(g.validate());
+  Events ev;
+  SectoredCache cache(g, ev.hooks());
+  EXPECT_FALSE(cache.read_sector(0));
+  EXPECT_TRUE(cache.read_sector(0));
+}
+
+TEST(CacheTest, NullHooksAreSafe) {
+  SectoredCache cache(tiny_geometry(), CacheCounters{});
+  EXPECT_FALSE(cache.read_sector(0));
+  EXPECT_TRUE(cache.read_sector(0));
+  cache.write_sector(0);
+  cache.flush_dirty();
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

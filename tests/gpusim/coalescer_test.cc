@@ -1,0 +1,82 @@
+#include "gpusim/coalescer.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::gpusim {
+namespace {
+
+GlobalWarpAccess make_access(GlobalAddr (*addr_of)(int), int width = 4) {
+  GlobalWarpAccess a;
+  a.width_bytes = width;
+  for (int l = 0; l < 32; ++l) a.set_lane(l, addr_of(l));
+  return a;
+}
+
+TEST(CoalescerTest, FullyCoalescedScalarLoadIsFourSectors) {
+  Coalescer c(32);
+  const auto a = make_access([](int l) { return GlobalAddr(l * 4); });
+  EXPECT_EQ(c.sectors_for(a).size(), 4u);
+}
+
+TEST(CoalescerTest, SectorsAreAlignedAndSorted) {
+  Coalescer c(32);
+  const auto a = make_access([](int l) { return GlobalAddr(l * 4 + 64); });
+  const auto sectors = c.sectors_for(a);
+  ASSERT_EQ(sectors.size(), 4u);
+  for (std::size_t i = 0; i < sectors.size(); ++i) {
+    EXPECT_EQ(sectors[i] % 32, 0u);
+    if (i > 0) {
+      EXPECT_LT(sectors[i - 1], sectors[i]);
+    }
+  }
+  EXPECT_EQ(sectors[0], 64u);
+}
+
+TEST(CoalescerTest, StridedAccessTouchesOneSectorPerLane) {
+  Coalescer c(32);
+  // 128-byte stride: worst case, 32 distinct sectors.
+  const auto a = make_access([](int l) { return GlobalAddr(l * 128); });
+  EXPECT_EQ(c.sectors_for(a).size(), 32u);
+}
+
+TEST(CoalescerTest, BroadcastIsOneSector) {
+  Coalescer c(32);
+  const auto a = make_access([](int) { return GlobalAddr(96); });
+  EXPECT_EQ(c.sectors_for(a).size(), 1u);
+}
+
+TEST(CoalescerTest, Vec4CoalescedIsSixteenSectors) {
+  Coalescer c(32);
+  const auto a =
+      make_access([](int l) { return GlobalAddr(l * 16); }, /*width=*/16);
+  EXPECT_EQ(c.sectors_for(a).size(), 16u);
+}
+
+TEST(CoalescerTest, Vec4LaneSpanningTwoSectors) {
+  Coalescer c(32);
+  GlobalWarpAccess a;
+  a.width_bytes = 16;
+  a.active_mask = 1;
+  a.set_lane(0, 24);  // bytes 24..40 cross a 32-byte boundary
+  EXPECT_EQ(c.sectors_for(a).size(), 2u);
+}
+
+TEST(CoalescerTest, InactiveLanesIgnored) {
+  Coalescer c(32);
+  GlobalWarpAccess a;
+  a.active_mask = 0b11;
+  a.set_lane(0, 0);
+  a.set_lane(1, 4);
+  a.set_lane(2, 1 << 20);  // inactive
+  EXPECT_EQ(c.sectors_for(a).size(), 1u);
+}
+
+TEST(CoalescerTest, TwoLanesPerSectorPattern) {
+  Coalescer c(32);
+  // 16-byte stride scalar lanes: two lanes share each sector.
+  const auto a = make_access([](int l) { return GlobalAddr(l * 16); });
+  EXPECT_EQ(c.sectors_for(a).size(), 16u);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

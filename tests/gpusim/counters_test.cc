@@ -1,0 +1,69 @@
+#include "gpusim/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::gpusim {
+namespace {
+
+TEST(CountersTest, DefaultIsZero) {
+  const Counters c;
+  EXPECT_EQ(c.fma_ops, 0u);
+  EXPECT_EQ(c.l2_total_transactions(), 0u);
+  EXPECT_EQ(c.dram_total_transactions(), 0u);
+  EXPECT_EQ(c.smem_total_transactions(), 0u);
+}
+
+TEST(CountersTest, AdditionSumsEveryField) {
+  Counters a, b;
+  a.fma_ops = 1;
+  a.l2_read_transactions = 2;
+  a.dram_write_transactions = 3;
+  a.smem_load_transactions = 4;
+  a.barriers = 5;
+  b.fma_ops = 10;
+  b.l2_read_transactions = 20;
+  b.dram_write_transactions = 30;
+  b.smem_load_transactions = 40;
+  b.barriers = 50;
+  const Counters c = a + b;
+  EXPECT_EQ(c.fma_ops, 11u);
+  EXPECT_EQ(c.l2_read_transactions, 22u);
+  EXPECT_EQ(c.dram_write_transactions, 33u);
+  EXPECT_EQ(c.smem_load_transactions, 44u);
+  EXPECT_EQ(c.barriers, 55u);
+}
+
+TEST(CountersTest, Totals) {
+  Counters c;
+  c.l2_read_transactions = 3;
+  c.l2_write_transactions = 4;
+  c.dram_read_transactions = 5;
+  c.dram_write_transactions = 6;
+  c.smem_load_transactions = 7;
+  c.smem_store_transactions = 8;
+  EXPECT_EQ(c.l2_total_transactions(), 7u);
+  EXPECT_EQ(c.dram_total_transactions(), 11u);
+  EXPECT_EQ(c.smem_total_transactions(), 15u);
+}
+
+TEST(CountersTest, MpkiDefinition) {
+  // Thread-instruction (×32) denominator, the nvprof convention.
+  Counters c;
+  c.l2_read_misses = 3200;
+  c.warp_instructions = 10000;
+  EXPECT_DOUBLE_EQ(c.l2_mpki(), 10.0);
+  Counters empty;
+  EXPECT_EQ(empty.l2_mpki(), 0.0);  // no division by zero
+}
+
+TEST(CountersTest, ToStringMentionsKeyFields) {
+  Counters c;
+  c.fma_ops = 42;
+  c.dram_read_transactions = 7;
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("fma=42"), std::string::npos);
+  EXPECT_NE(s.find("read=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

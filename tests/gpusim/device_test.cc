@@ -1,0 +1,184 @@
+#include "gpusim/device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+namespace {
+
+LaunchConfig small_config() {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 32;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 1024;
+  return cfg;
+}
+
+TEST(DeviceTest, LaunchRunsEveryCta) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  int invocations = 0;
+  const auto result = device.launch(
+      "probe", {4, 3}, {32, 1}, small_config(),
+      [&](BlockContext& ctx) {
+        ++invocations;
+        EXPECT_LT(ctx.bx(), 4);
+        EXPECT_LT(ctx.by(), 3);
+      });
+  EXPECT_EQ(invocations, 12);
+  EXPECT_EQ(result.counters.ctas_launched, 12u);
+  EXPECT_EQ(result.counters.kernel_launches, 1u);
+  EXPECT_EQ(result.kernel_name, "probe");
+}
+
+TEST(DeviceTest, LaunchCountersAreIsolatedPerLaunch) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const auto program = [](BlockContext& ctx) { ctx.count_fma(64); };
+  const auto r1 =
+      device.launch("k1", {2, 1}, {32, 1}, small_config(), program);
+  const auto r2 =
+      device.launch("k2", {3, 1}, {32, 1}, small_config(), program);
+  EXPECT_EQ(r1.counters.fma_ops, 128u);
+  EXPECT_EQ(r2.counters.fma_ops, 192u);
+  EXPECT_EQ(device.counters().fma_ops, 320u);  // cumulative
+}
+
+TEST(DeviceTest, BlockDimMustMatchConfig) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  LaunchConfig cfg = small_config();
+  cfg.threads_per_block = 64;
+  EXPECT_THROW(
+      device.launch("bad", {1, 1}, {32, 1}, cfg, [](BlockContext&) {}),
+      Error);
+}
+
+TEST(DeviceTest, GlobalLoadGoesThroughL2) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  device.memory().store_f32(buf.addr_of_float(5), 2.5f);
+
+  float seen = 0;
+  const auto result = device.launch(
+      "reader", {1, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        GlobalWarpAccess access;
+        for (int l = 0; l < 32; ++l) {
+          access.set_lane(l, buf.addr_of_float(std::size_t(l)));
+        }
+        seen = ctx.global_load(access)[5];
+      });
+  EXPECT_EQ(seen, 2.5f);
+  EXPECT_EQ(result.counters.global_load_requests, 1u);
+  EXPECT_EQ(result.counters.l2_read_transactions, 4u);   // 128 B coalesced
+  EXPECT_EQ(result.counters.dram_read_transactions, 4u); // cold
+}
+
+TEST(DeviceTest, L2PersistsAcrossLaunches) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto program = [&](BlockContext& ctx) {
+    GlobalWarpAccess access;
+    for (int l = 0; l < 32; ++l) {
+      access.set_lane(l, buf.addr_of_float(std::size_t(l)));
+    }
+    ctx.global_load(access);
+  };
+  device.launch("first", {1, 1}, {32, 1}, small_config(), program);
+  const auto r2 =
+      device.launch("second", {1, 1}, {32, 1}, small_config(), program);
+  EXPECT_EQ(r2.counters.dram_read_transactions, 0u);  // warm L2
+  EXPECT_EQ(r2.counters.l2_read_hits, 4u);
+}
+
+TEST(DeviceTest, GlobalStoreIsVisibleAndCounted) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "out");
+  const auto result = device.launch(
+      "writer", {1, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        GlobalWarpAccess access;
+        std::array<float, 32> values{};
+        for (int l = 0; l < 32; ++l) {
+          access.set_lane(l, buf.addr_of_float(std::size_t(l)));
+          values[std::size_t(l)] = float(l);
+        }
+        ctx.global_store(access, values);
+      });
+  EXPECT_EQ(device.memory().load_f32(buf.addr_of_float(7)), 7.0f);
+  EXPECT_EQ(result.counters.global_store_requests, 1u);
+  EXPECT_EQ(result.counters.l2_write_transactions, 4u);
+  // Dirty data not yet written back.
+  EXPECT_EQ(result.counters.dram_write_transactions, 0u);
+}
+
+TEST(DeviceTest, FlushL2DrainsDirtySectors) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "out");
+  device.launch("writer", {1, 1}, {32, 1}, small_config(),
+                [&](BlockContext& ctx) {
+                  GlobalWarpAccess access;
+                  std::array<float, 32> values{};
+                  for (int l = 0; l < 32; ++l) {
+                    access.set_lane(l, buf.addr_of_float(std::size_t(l)));
+                  }
+                  ctx.global_store(access, values);
+                });
+  const Counters flushed = device.flush_l2();
+  EXPECT_EQ(flushed.dram_write_transactions, 4u);
+  EXPECT_EQ(device.counters().dram_write_transactions, 4u);
+}
+
+TEST(DeviceTest, AtomicAddAccumulatesAcrossCtas) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(128, "acc");
+  device.memory().fill(buf, 0.0f);
+  const auto result = device.launch(
+      "atomics", {8, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        GlobalWarpAccess access;
+        std::array<float, 32> values{};
+        for (int l = 0; l < 32; ++l) {
+          access.set_lane(l, buf.addr_of_float(std::size_t(l)));
+          values[std::size_t(l)] = 1.0f;
+        }
+        ctx.global_atomic_add(access, values);
+      });
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(device.memory().load_f32(buf.addr_of_float(i)), 8.0f);
+  }
+  EXPECT_EQ(result.counters.atomic_requests, 8u);
+  // Each atomic request touches 4 sectors read+write in L2.
+  EXPECT_EQ(result.counters.l2_write_transactions, 32u);
+}
+
+TEST(DeviceTest, BarrierCounted) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const auto result = device.launch(
+      "sync", {2, 1}, {32, 1}, small_config(),
+      [](BlockContext& ctx) { ctx.barrier(); });
+  EXPECT_EQ(result.counters.barriers, 2u);
+}
+
+TEST(DeviceTest, SharedMemoryIsPoisonedPerCta) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  device.launch("poison-check", {2, 1}, {32, 1}, small_config(),
+                [](BlockContext& ctx) {
+                  EXPECT_TRUE(std::isnan(ctx.smem().peek(0)));
+                  // Write something; the next CTA must see poison again.
+                  SharedWarpAccess a;
+                  a.active_mask = 1;
+                  a.set_lane(0, 0);
+                  std::array<float, 32> v{};
+                  v[0] = 1.0f;
+                  ctx.smem().store_warp(a, v);
+                });
+}
+
+TEST(DeviceTest, OccupancyReported) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const auto result = device.launch("occ", {1, 1}, {32, 1}, small_config(),
+                                    [](BlockContext&) {});
+  EXPECT_GE(result.occupancy.blocks_per_sm, 1);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

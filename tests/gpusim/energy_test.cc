@@ -1,0 +1,95 @@
+#include "gpusim/energy.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::gpusim {
+namespace {
+
+config::EnergySpec spec() { return config::EnergySpec::gtx970_mcpat(); }
+
+TEST(EnergyTest, ZeroWorkIsOnlyStatic) {
+  const auto e = compute_energy(spec(), CostInputs{}, 0.5);
+  EXPECT_EQ(e.compute_j, 0.0);
+  EXPECT_EQ(e.dram_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.static_j, spec().static_power_w * 0.5);
+  EXPECT_DOUBLE_EQ(e.total(), e.static_j);
+}
+
+TEST(EnergyTest, DramEnergyProportionalToTransactions) {
+  CostInputs a, b;
+  a.dram_transactions = 1e6;
+  b.dram_transactions = 2e6;
+  const auto ea = compute_energy(spec(), a, 0.0);
+  const auto eb = compute_energy(spec(), b, 0.0);
+  EXPECT_DOUBLE_EQ(eb.dram_j, 2.0 * ea.dram_j);
+  EXPECT_DOUBLE_EQ(ea.dram_j, 1e6 * spec().dram_access_pj * 1e-12);
+}
+
+TEST(EnergyTest, ComputeIncludesInstructionOverhead) {
+  CostInputs fma_only, with_instr;
+  fma_only.fma_lane_ops = 1e6;
+  with_instr.fma_lane_ops = 1e6;
+  with_instr.warp_instructions = 1e5;
+  const auto ea = compute_energy(spec(), fma_only, 0.0);
+  const auto eb = compute_energy(spec(), with_instr, 0.0);
+  EXPECT_GT(eb.compute_j, ea.compute_j);
+}
+
+TEST(EnergyTest, SfuCostsMoreThanFmaPerOp) {
+  CostInputs fma, sfu;
+  fma.fma_lane_ops = 1e6;
+  sfu.sfu_lane_ops = 1e6;
+  EXPECT_GT(compute_energy(spec(), sfu, 0.0).compute_j,
+            compute_energy(spec(), fma, 0.0).compute_j);
+}
+
+TEST(EnergyTest, DramShare) {
+  CostInputs cost;
+  cost.dram_transactions = 1e6;
+  cost.fma_lane_ops = 1e6;
+  const auto e = compute_energy(spec(), cost, 0.0);
+  EXPECT_GT(e.dram_share(), 0.0);
+  EXPECT_LT(e.dram_share(), 1.0);
+  EXPECT_NEAR(e.dram_share(), e.dram_j / e.total(), 1e-15);
+}
+
+TEST(EnergyTest, BreakdownAddsUp) {
+  CostInputs cost;
+  cost.fma_lane_ops = 1e7;
+  cost.sfu_lane_ops = 1e5;
+  cost.warp_instructions = 3e5;
+  cost.smem_transactions = 1e5;
+  cost.l2_transactions = 1e4;
+  cost.dram_transactions = 1e3;
+  const auto e = compute_energy(spec(), cost, 1e-3);
+  EXPECT_NEAR(e.total(),
+              e.compute_j + e.smem_j + e.l2_j + e.dram_j + e.static_j,
+              1e-15);
+}
+
+TEST(EnergyTest, AccumulationOperator) {
+  CostInputs cost;
+  cost.fma_lane_ops = 1e6;
+  const auto e = compute_energy(spec(), cost, 0.1);
+  EnergyBreakdown sum = e + e;
+  EXPECT_DOUBLE_EQ(sum.compute_j, 2.0 * e.compute_j);
+  EXPECT_DOUBLE_EQ(sum.static_j, 2.0 * e.static_j);
+  sum += e;
+  EXPECT_DOUBLE_EQ(sum.total(), 3.0 * e.total());
+}
+
+TEST(EnergyTest, MemoryHierarchyEnergyOrdering) {
+  // Moving 32 bytes: smem (8 bank accesses) < L2 sector < DRAM sector.
+  CostInputs smem, l2, dram;
+  smem.smem_transactions = 1;  // one 32-lane transaction = 128 B though;
+  l2.l2_transactions = 4;      // compare per 128 B
+  dram.dram_transactions = 4;
+  const double e_smem = compute_energy(spec(), smem, 0.0).smem_j;
+  const double e_l2 = compute_energy(spec(), l2, 0.0).l2_j;
+  const double e_dram = compute_energy(spec(), dram, 0.0).dram_j;
+  EXPECT_LT(e_smem, e_l2);
+  EXPECT_LT(e_l2, e_dram);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

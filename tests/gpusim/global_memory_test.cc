@@ -1,0 +1,77 @@
+#include "gpusim/global_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+namespace {
+
+TEST(GlobalMemoryTest, AllocationsAreAlignedAndDisjoint) {
+  GlobalMemory mem(1 << 16);
+  const DeviceBuffer a = mem.allocate(100, "a");
+  const DeviceBuffer b = mem.allocate(256, "b");
+  EXPECT_EQ(a.base() % 128, 0u);
+  EXPECT_EQ(b.base() % 128, 0u);
+  EXPECT_GE(b.base(), a.base() + 128);  // 100 rounds up to 128
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(DeviceBuffer{}.valid());
+}
+
+TEST(GlobalMemoryTest, ExhaustionThrows) {
+  GlobalMemory mem(1024);
+  mem.allocate(512, "x");
+  EXPECT_THROW(mem.allocate(1024, "too-big"), Error);
+}
+
+TEST(GlobalMemoryTest, UploadDownloadRoundTrip) {
+  GlobalMemory mem(4096);
+  const DeviceBuffer buf = mem.allocate(16 * 4, "v");
+  AlignedBuffer<float> host(16);
+  for (std::size_t i = 0; i < 16; ++i) host[i] = float(i) * 0.5f;
+  mem.upload(buf, host.span());
+  AlignedBuffer<float> back(16);
+  mem.download(buf, back.span());
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(back[i], host[i]);
+}
+
+TEST(GlobalMemoryTest, UploadMatrix) {
+  GlobalMemory mem(4096);
+  Matrix m(4, 4, Layout::kColMajor);
+  m.at(1, 2) = 9.0f;
+  const DeviceBuffer buf = mem.allocate(16 * 4, "m");
+  mem.upload_matrix(buf, m);
+  EXPECT_EQ(mem.load_f32(buf.addr_of_float(m.index(1, 2))), 9.0f);
+}
+
+TEST(GlobalMemoryTest, FillSetsEveryWord) {
+  GlobalMemory mem(4096);
+  const DeviceBuffer buf = mem.allocate(8 * 4, "f");
+  mem.fill(buf, 3.25f);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(mem.load_f32(buf.addr_of_float(i)), 3.25f);
+  }
+}
+
+TEST(GlobalMemoryTest, WordAccess) {
+  GlobalMemory mem(4096);
+  const DeviceBuffer buf = mem.allocate(64, "w");
+  mem.store_f32(buf.addr_of_float(3), -1.5f);
+  EXPECT_EQ(mem.load_f32(buf.addr_of_float(3)), -1.5f);
+}
+
+TEST(GlobalMemoryTest, OversizeUploadThrows) {
+  GlobalMemory mem(4096);
+  const DeviceBuffer buf = mem.allocate(4, "tiny");
+  AlignedBuffer<float> host(2);
+  EXPECT_THROW(mem.upload(buf, host.span()), Error);
+}
+
+TEST(GlobalMemoryTest, OutOfArenaAccessCaught) {
+  GlobalMemory mem(256);
+  EXPECT_THROW(mem.load_f32(1 << 20), InternalError);
+  EXPECT_THROW(mem.store_f32(2, 0.0f), InternalError);  // misaligned
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

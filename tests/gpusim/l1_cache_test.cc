@@ -1,0 +1,171 @@
+// The optional per-SM L1/texture cache for global loads (§II-C's
+// -Xptxas -dlcm=ca configuration).
+#include <gtest/gtest.h>
+
+#include "gpusim/device.h"
+
+namespace ksum::gpusim {
+namespace {
+
+config::DeviceSpec l1_spec() {
+  config::DeviceSpec spec = config::DeviceSpec::gtx970();
+  spec.cache_globals_in_l1 = true;
+  return spec;
+}
+
+LaunchConfig small_config() {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 32;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 0;
+  return cfg;
+}
+
+GlobalWarpAccess coalesced_access(const DeviceBuffer& buf,
+                                  std::size_t first_float = 0) {
+  GlobalWarpAccess access;
+  for (int l = 0; l < 32; ++l) {
+    access.set_lane(l, buf.addr_of_float(first_float +
+                                         static_cast<std::size_t>(l)));
+  }
+  return access;
+}
+
+TEST(L1CacheTest, RepeatedLoadHitsL1NotL2) {
+  Device device(l1_spec(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto result = device.launch(
+      "reader", {1, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        ctx.global_load(coalesced_access(buf));
+        ctx.global_load(coalesced_access(buf));
+      });
+  const auto& c = result.counters;
+  EXPECT_EQ(c.l1_read_transactions, 8u);  // 2 × 4 sectors
+  EXPECT_EQ(c.l1_read_misses, 4u);
+  EXPECT_EQ(c.l1_read_hits, 4u);
+  // The second access never reaches the L2.
+  EXPECT_EQ(c.l2_read_transactions, 4u);
+}
+
+TEST(L1CacheTest, DisabledByDefault) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto result = device.launch(
+      "reader", {1, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        ctx.global_load(coalesced_access(buf));
+        ctx.global_load(coalesced_access(buf));
+      });
+  EXPECT_EQ(result.counters.l1_read_transactions, 0u);
+  EXPECT_EQ(result.counters.l2_read_transactions, 8u);
+}
+
+TEST(L1CacheTest, InvalidatedBetweenLaunches) {
+  Device device(l1_spec(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto program = [&](BlockContext& ctx) {
+    ctx.global_load(coalesced_access(buf));
+  };
+  device.launch("first", {1, 1}, {32, 1}, small_config(), program);
+  const auto r2 =
+      device.launch("second", {1, 1}, {32, 1}, small_config(), program);
+  // Fresh L1 → misses again; the L2 (which does persist) services them.
+  EXPECT_EQ(r2.counters.l1_read_misses, 4u);
+  EXPECT_EQ(r2.counters.l2_read_hits, 4u);
+}
+
+TEST(L1CacheTest, PerSmCachesAreIsolated) {
+  // Two CTAs land on SM 0 and SM 1 (round-robin): the second CTA cannot
+  // reuse the first one's L1 content.
+  Device device(l1_spec(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto result = device.launch(
+      "reader", {2, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        ctx.global_load(coalesced_access(buf));
+      });
+  EXPECT_EQ(result.counters.l1_read_misses, 8u);  // both CTAs miss
+  EXPECT_EQ(result.counters.l1_read_hits, 0u);
+  // The L2 is shared: the second CTA hits there.
+  EXPECT_EQ(result.counters.l2_read_hits, 4u);
+}
+
+TEST(L1CacheTest, CtasOnSameSmShareTheirL1) {
+  // With 13 SMs, CTA 13 maps back onto SM 0 and reuses CTA 0's lines.
+  Device device(l1_spec(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto result = device.launch(
+      "reader", {14, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        ctx.global_load(coalesced_access(buf));
+      });
+  EXPECT_EQ(result.counters.l1_read_hits, 4u);  // only CTA 13 hits
+  EXPECT_EQ(result.counters.l1_read_misses, 13u * 4u);
+}
+
+TEST(L1CacheTest, StoresBypassL1) {
+  Device device(l1_spec(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto result = device.launch(
+      "writer", {1, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        std::array<float, 32> values{};
+        ctx.global_store(coalesced_access(buf), values);
+        // The store did not populate the L1; this load must miss there.
+        ctx.global_load(coalesced_access(buf));
+      });
+  const auto& c = result.counters;
+  EXPECT_EQ(c.l1_read_misses, 4u);
+  EXPECT_EQ(c.l2_read_hits, 4u);  // but the L2 holds the written sectors
+}
+
+TEST(L1CacheTest, AtomicsBypassL1) {
+  Device device(l1_spec(), 1 << 20);
+  const DeviceBuffer buf = device.memory().allocate(4096, "data");
+  const auto result = device.launch(
+      "atomics", {1, 1}, {32, 1}, small_config(), [&](BlockContext& ctx) {
+        std::array<float, 32> values{};
+        values.fill(1.0f);
+        ctx.global_atomic_add(coalesced_access(buf), values);
+      });
+  EXPECT_EQ(result.counters.l1_read_transactions, 0u);
+  EXPECT_EQ(result.counters.l2_read_transactions, 4u);
+}
+
+TEST(L1CacheTest, Float4TrackLoadsAbsorbDoubleTouch) {
+  // The CUDA-C tile loader touches every input sector twice (two float4
+  // halves); with -dlcm=ca the second touch hits the L1 and the L2 sees
+  // each sector once — the cuBLAS texture-path advantage.
+  config::DeviceSpec with_l1 = l1_spec();
+  config::DeviceSpec without = config::DeviceSpec::gtx970();
+  for (int pass = 0; pass < 2; ++pass) {
+    Device device(pass == 0 ? without : with_l1, 1 << 20);
+    const DeviceBuffer buf = device.memory().allocate(1 << 16, "tracks");
+    const auto result = device.launch(
+        "trackload", {1, 1}, {32, 1}, small_config(),
+        [&](BlockContext& ctx) {
+          for (int piece = 0; piece < 2; ++piece) {
+            GlobalWarpAccess access;
+            access.width_bytes = 16;
+            for (int l = 0; l < 32; ++l) {
+              // Track stride 32 B: each lane's halves share one sector.
+              access.set_lane(l, buf.addr_of_float(
+                                     std::size_t(l) * 8 +
+                                     std::size_t(piece) * 4));
+            }
+            ctx.global_load_vec4(access);
+          }
+        });
+    if (pass == 0) {
+      EXPECT_EQ(result.counters.l2_read_transactions, 64u);
+    } else {
+      EXPECT_EQ(result.counters.l2_read_transactions, 32u);
+      EXPECT_EQ(result.counters.l1_read_hits, 32u);
+    }
+  }
+}
+
+TEST(L1CacheTest, InvalidL1GeometryRejected) {
+  config::DeviceSpec spec = l1_spec();
+  spec.l1_bytes = 1000;  // not whole lines
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

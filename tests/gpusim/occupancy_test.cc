@@ -1,0 +1,103 @@
+#include "gpusim/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+namespace {
+
+config::DeviceSpec spec() { return config::DeviceSpec::gtx970(); }
+
+TEST(OccupancyTest, ThreadLimited) {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 1024;
+  cfg.regs_per_thread = 16;
+  cfg.smem_bytes_per_block = 0;
+  const Occupancy occ = compute_occupancy(spec(), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 2);  // 2048 / 1024
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kThreads);
+  EXPECT_EQ(occ.active_threads_per_sm(cfg), 2048);
+  EXPECT_DOUBLE_EQ(occ.ratio(spec(), cfg), 1.0);
+}
+
+TEST(OccupancyTest, RegisterLimitedLikeThePaperKernel) {
+  // The paper's fused kernel: 256 threads × 128 registers → 2 CTAs/SM.
+  LaunchConfig cfg;
+  cfg.threads_per_block = 256;
+  cfg.regs_per_thread = 128;
+  cfg.smem_bytes_per_block = 16 * 1024;
+  const Occupancy occ = compute_occupancy(spec(), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(OccupancyTest, FewerRegistersRaisesOccupancy) {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 256;
+  cfg.smem_bytes_per_block = 0;
+  cfg.regs_per_thread = 32;
+  const int high = compute_occupancy(spec(), cfg).blocks_per_sm;
+  cfg.regs_per_thread = 128;
+  const int low = compute_occupancy(spec(), cfg).blocks_per_sm;
+  EXPECT_GT(high, low);
+}
+
+TEST(OccupancyTest, SharedMemoryLimited) {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 64;
+  cfg.regs_per_thread = 16;
+  cfg.smem_bytes_per_block = 40 * 1024;  // 96KB/40KB → 2
+  const Occupancy occ = compute_occupancy(spec(), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(OccupancyTest, BlockSlotLimited) {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 32;
+  cfg.regs_per_thread = 16;
+  cfg.smem_bytes_per_block = 0;
+  const Occupancy occ = compute_occupancy(spec(), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 32);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kBlocks);
+}
+
+TEST(OccupancyTest, RegisterGranularityRoundsUp) {
+  // 65 regs × 32 lanes = 2080 → rounds to 2304 per warp (256 granules).
+  LaunchConfig cfg;
+  cfg.threads_per_block = 256;
+  cfg.regs_per_thread = 65;
+  cfg.smem_bytes_per_block = 0;
+  const Occupancy occ = compute_occupancy(spec(), cfg);
+  // 65536 / (2304 × 8 warps) = 3.55 → 3 CTAs.
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+}
+
+TEST(OccupancyTest, InvalidConfigsThrow) {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 2048;  // over block limit
+  EXPECT_THROW(compute_occupancy(spec(), cfg), Error);
+
+  cfg = LaunchConfig{};
+  cfg.threads_per_block = 100;  // not warp aligned
+  EXPECT_THROW(compute_occupancy(spec(), cfg), Error);
+
+  cfg = LaunchConfig{};
+  cfg.regs_per_thread = 300;  // over register cap
+  EXPECT_THROW(compute_occupancy(spec(), cfg), Error);
+
+  cfg = LaunchConfig{};
+  cfg.smem_bytes_per_block = 64 * 1024;  // over the 48 KB per-block limit
+  EXPECT_THROW(compute_occupancy(spec(), cfg), Error);
+}
+
+TEST(OccupancyTest, LimiterNames) {
+  EXPECT_EQ(to_string(OccupancyLimiter::kThreads), "threads");
+  EXPECT_EQ(to_string(OccupancyLimiter::kRegisters), "registers");
+  EXPECT_EQ(to_string(OccupancyLimiter::kSharedMemory), "shared-memory");
+  EXPECT_EQ(to_string(OccupancyLimiter::kBlocks), "blocks");
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

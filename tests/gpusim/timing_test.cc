@@ -1,0 +1,147 @@
+#include "gpusim/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+namespace {
+
+config::DeviceSpec dev() { return config::DeviceSpec::gtx970(); }
+config::TimingSpec tim() { return config::TimingSpec::gtx970(); }
+
+LaunchShape shape(std::size_t ctas, double iters = 4,
+                  config::KernelGrade grade = config::KernelGrade::cuda_c()) {
+  LaunchShape s;
+  s.num_ctas = ctas;
+  s.config.threads_per_block = 256;
+  s.config.regs_per_thread = 128;
+  s.config.smem_bytes_per_block = 16 * 1024;
+  s.occupancy = compute_occupancy(config::DeviceSpec::gtx970(), s.config);
+  s.mainloop_iters = iters;
+  s.grade = grade;
+  return s;
+}
+
+TEST(TimingTest, ComputeBoundKernel) {
+  CostInputs cost;
+  cost.fma_lane_ops = 1e9;
+  const auto t = estimate_kernel_time(dev(), tim(), cost, shape(1024));
+  EXPECT_EQ(t.bound, "compute");
+  EXPECT_GT(t.total_cycles, 0.0);
+  EXPECT_GT(t.seconds(dev()), 0.0);
+}
+
+TEST(TimingTest, DramBoundKernel) {
+  CostInputs cost;
+  cost.fma_lane_ops = 1e3;
+  cost.dram_transactions = 1e8;
+  const auto t = estimate_kernel_time(dev(), tim(), cost, shape(1024));
+  EXPECT_EQ(t.bound, "dram");
+  EXPECT_GT(t.dram_cycles, t.compute_cycles);
+}
+
+TEST(TimingTest, MoreWorkTakesLonger) {
+  CostInputs small, big;
+  small.fma_lane_ops = 1e8;
+  big.fma_lane_ops = 2e8;
+  const auto ts = estimate_kernel_time(dev(), tim(), small, shape(1024));
+  const auto tb = estimate_kernel_time(dev(), tim(), big, shape(1024));
+  EXPECT_GT(tb.total_cycles, ts.total_cycles);
+}
+
+TEST(TimingTest, AssemblyGradeBeatsCudaC) {
+  CostInputs cost;
+  cost.fma_lane_ops = 1e9;
+  const auto cuda = estimate_kernel_time(
+      dev(), tim(), cost, shape(1024, 4, config::KernelGrade::cuda_c()));
+  const auto sass = estimate_kernel_time(
+      dev(), tim(), cost, shape(1024, 4, config::KernelGrade::assembly()));
+  const double ratio = cuda.total_cycles / sass.total_cycles;
+  // The paper's measured gap: 1.5–2.0×.
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 2.1);
+}
+
+TEST(TimingTest, LongerMainLoopAmortisesPrologue) {
+  CostInputs per_iter;
+  per_iter.fma_lane_ops = 1e6;
+  // Same work per iteration; more iterations → higher efficiency →
+  // sub-linear time growth.
+  CostInputs k32 = per_iter, k256 = per_iter;
+  k32.fma_lane_ops *= 4;    // 4 iterations' work
+  k256.fma_lane_ops *= 32;  // 32 iterations' work
+  const auto t32 = estimate_kernel_time(dev(), tim(), k32, shape(64, 4));
+  const auto t256 = estimate_kernel_time(dev(), tim(), k256, shape(64, 32));
+  EXPECT_LT(t256.compute_cycles, 8.0 * t32.compute_cycles);
+}
+
+TEST(TimingTest, TailWaveHurtsSmallGrids) {
+  // 27 CTAs on 26 slots wastes nearly half the second wave.
+  CostInputs cost;
+  cost.fma_lane_ops = 1e8;
+  const auto full = estimate_kernel_time(dev(), tim(), cost, shape(26));
+  const auto tail = estimate_kernel_time(dev(), tim(), cost, shape(27));
+  EXPECT_GT(tail.compute_cycles, 1.5 * full.compute_cycles);
+}
+
+TEST(TimingTest, LaunchOverheadDominatesTinyKernels) {
+  CostInputs cost;
+  cost.fma_lane_ops = 100;
+  const auto t = estimate_kernel_time(dev(), tim(), cost, shape(1));
+  EXPECT_GT(t.overhead_cycles, t.compute_cycles);
+  EXPECT_GE(t.total_cycles, tim().launch_overhead_cycles);
+}
+
+TEST(TimingTest, FlopEfficiencyDefinition) {
+  // 50% efficiency: flops = peak × t / 2.
+  const double t = 1e-3;
+  const double flops = dev().peak_sp_flops() * t / 2.0;
+  EXPECT_NEAR(flop_efficiency(dev(), flops, t), 0.5, 1e-12);
+  EXPECT_THROW(flop_efficiency(dev(), 1.0, 0.0), Error);
+}
+
+TEST(TimingTest, FromCountersMapsEveryField) {
+  Counters c;
+  c.fma_ops = 1;
+  c.alu_ops = 2;
+  c.sfu_ops = 3;
+  c.warp_instructions = 4;
+  c.smem_load_transactions = 5;
+  c.smem_store_transactions = 6;
+  c.l2_read_transactions = 7;
+  c.l2_write_transactions = 8;
+  c.dram_read_transactions = 9;
+  c.dram_write_transactions = 10;
+  const CostInputs in = CostInputs::from_counters(c);
+  EXPECT_EQ(in.fma_lane_ops, 1);
+  EXPECT_EQ(in.alu_lane_ops, 2);
+  EXPECT_EQ(in.sfu_lane_ops, 3);
+  EXPECT_EQ(in.warp_instructions, 4);
+  EXPECT_EQ(in.smem_transactions, 11);
+  EXPECT_EQ(in.l2_transactions, 15);
+  EXPECT_EQ(in.dram_transactions, 19);
+}
+
+TEST(TimingTest, NonOverlappedMemorySerialises) {
+  CostInputs cost;
+  cost.fma_lane_ops = 1e9;
+  cost.smem_transactions = 5e7;
+  LaunchShape overlapped = shape(1024);
+  LaunchShape serial = shape(1024);
+  serial.overlapped_memory = false;
+  const auto t_overlap = estimate_kernel_time(dev(), tim(), cost, overlapped);
+  const auto t_serial = estimate_kernel_time(dev(), tim(), cost, serial);
+  EXPECT_GT(t_serial.total_cycles, t_overlap.total_cycles);
+  // Serial = compute + memory, overlapped = max of the two.
+  EXPECT_NEAR(t_serial.total_cycles - t_serial.overhead_cycles,
+              t_serial.compute_cycles + t_serial.smem_cycles, 1.0);
+}
+
+TEST(TimingTest, ZeroCtasRejected) {
+  CostInputs cost;
+  EXPECT_THROW(estimate_kernel_time(dev(), tim(), cost, shape(0)), Error);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/address.h"
+
+namespace ksum::gpusim {
+namespace {
+
+TEST(WarpAccessTest, DefaultsAllLanesActiveScalar) {
+  GlobalWarpAccess access;
+  EXPECT_EQ(access.width_bytes, 4);
+  for (int l = 0; l < kWarpSize; ++l) {
+    EXPECT_TRUE(access.lane_active(l));
+  }
+}
+
+TEST(WarpAccessTest, MaskControlsLanes) {
+  SharedWarpAccess access;
+  access.active_mask = 0x5;  // lanes 0 and 2
+  EXPECT_TRUE(access.lane_active(0));
+  EXPECT_FALSE(access.lane_active(1));
+  EXPECT_TRUE(access.lane_active(2));
+  EXPECT_FALSE(access.lane_active(31));
+}
+
+TEST(WarpAccessTest, SetLaneStoresAddress) {
+  GlobalWarpAccess access;
+  access.set_lane(7, 1234);
+  EXPECT_EQ(access.addr[7], 1234u);
+}
+
+TEST(WarpAccessTest, WarpSizeIsThirtyTwo) {
+  // The whole tile geometry assumes this; a change must be loud.
+  EXPECT_EQ(kWarpSize, 32);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

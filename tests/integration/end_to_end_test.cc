@@ -1,0 +1,132 @@
+// Cross-module integration: every backend on the same problems, adversarial
+// workloads, and consistency between the solver facade and the raw
+// pipelines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/vector_ops.h"
+#include "pipelines/solver.h"
+#include "workload/weights.h"
+
+namespace ksum {
+namespace {
+
+using pipelines::Backend;
+
+workload::Instance make_inst(std::size_t m, std::size_t n, std::size_t k,
+                             workload::Distribution dist,
+                             workload::WeightKind weights) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.distribution = dist;
+  spec.seed = 81;
+  spec.bandwidth = 0.75f;
+  auto inst = workload::make_instance(spec);
+  inst.w = workload::generate_weights(n, weights, Rng(spec.seed).split(9));
+  return inst;
+}
+
+struct E2ECase {
+  workload::Distribution dist;
+  workload::WeightKind weights;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(EndToEndTest, AllBackendsAgreeOnAdversarialWorkloads) {
+  const auto p = GetParam();
+  const auto inst = make_inst(256, 128, 16, p.dist, p.weights);
+  const auto params = core::params_from_spec(inst.spec);
+  const auto ref = pipelines::solve(inst, params, Backend::kCpuDirect);
+
+  for (Backend backend : {Backend::kCpuExpansion, Backend::kSimFused,
+                          Backend::kSimCudaUnfused,
+                          Backend::kSimCublasUnfused}) {
+    const auto out = pipelines::solve(inst, params, backend);
+    // Alternating weights cancel heavily; compare with an absolute floor
+    // sized to the summation magnitude.
+    const double tol =
+        p.weights == workload::WeightKind::kAlternating ? 2e-2 : 5e-3;
+    EXPECT_LT(blas::max_rel_diff(out.v.span(), ref.v.span(), 1e-2), tol)
+        << to_string(backend) << " on " << workload::to_string(p.dist)
+        << " / " << workload::to_string(p.weights);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EndToEndTest,
+    ::testing::Values(
+        E2ECase{workload::Distribution::kUniformCube,
+                workload::WeightKind::kUniform},
+        E2ECase{workload::Distribution::kGaussianMixture,
+                workload::WeightKind::kUniform},
+        E2ECase{workload::Distribution::kUnitSphere,
+                workload::WeightKind::kOnes},
+        E2ECase{workload::Distribution::kGrid,
+                workload::WeightKind::kUniform},
+        E2ECase{workload::Distribution::kUniformCube,
+                workload::WeightKind::kAlternating},
+        E2ECase{workload::Distribution::kGaussianMixture,
+                workload::WeightKind::kOnes}));
+
+TEST(EndToEndTest, TinyWeightsDoNotUnderflowToGarbage) {
+  const auto inst = make_inst(128, 128, 8, workload::Distribution::kUniformCube,
+                              workload::WeightKind::kTiny);
+  const auto params = core::params_from_spec(inst.spec);
+  const auto ref = pipelines::solve(inst, params, Backend::kCpuDirect);
+  const auto out = pipelines::solve(inst, params, Backend::kSimFused);
+  for (std::size_t i = 0; i < out.v.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.v[i]));
+  }
+  // Relative agreement at the tiny scale.
+  EXPECT_LT(blas::max_rel_diff(out.v.span(), ref.v.span(), 1e-35), 1e-2);
+}
+
+TEST(EndToEndTest, WideBandwidthSweep) {
+  // Very small h → kernel matrix is nearly diagonal-zero (all far points
+  // collapse to 0); very large h → all-ones. Both ends must stay accurate.
+  for (float h : {0.05f, 0.5f, 5.0f, 100.0f}) {
+    workload::ProblemSpec spec;
+    spec.m = 128;
+    spec.n = 128;
+    spec.k = 8;
+    spec.bandwidth = h;
+    const auto inst = workload::make_instance(spec);
+    const auto params = core::params_from_spec(spec);
+    const auto ref = pipelines::solve(inst, params, Backend::kCpuDirect);
+    const auto out = pipelines::solve(inst, params, Backend::kSimFused);
+    EXPECT_LT(blas::max_rel_diff(out.v.span(), ref.v.span(), 1e-3), 1e-2)
+        << "h=" << h;
+  }
+}
+
+TEST(EndToEndTest, RepeatedRunsAreBitwiseStable) {
+  const auto inst = make_inst(256, 128, 16, workload::Distribution::kUniformCube,
+                              workload::WeightKind::kUniform);
+  const auto params = core::params_from_spec(inst.spec);
+  const auto a = pipelines::solve(inst, params, Backend::kSimFused);
+  const auto b = pipelines::solve(inst, params, Backend::kSimFused);
+  for (std::size_t i = 0; i < a.v.size(); ++i) EXPECT_EQ(a.v[i], b.v[i]);
+  // And the counters are identical too.
+  EXPECT_EQ(a.report->total.l2_total_transactions(),
+            b.report->total.l2_total_transactions());
+  EXPECT_EQ(a.report->total.dram_total_transactions(),
+            b.report->total.dram_total_transactions());
+}
+
+TEST(EndToEndTest, SimulatedSolutionsAgreeWithEachOther) {
+  const auto inst = make_inst(384, 256, 24, workload::Distribution::kUniformCube,
+                              workload::WeightKind::kUniform);
+  const auto params = core::params_from_spec(inst.spec);
+  const auto fused = pipelines::solve(inst, params, Backend::kSimFused);
+  const auto unfused =
+      pipelines::solve(inst, params, Backend::kSimCublasUnfused);
+  EXPECT_LT(blas::max_rel_diff(fused.v.span(), unfused.v.span(), 1e-3),
+            1e-3);
+}
+
+}  // namespace
+}  // namespace ksum

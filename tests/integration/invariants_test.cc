@@ -1,0 +1,147 @@
+// Cross-cutting architectural invariants, asserted over every solution and
+// every paper K on small functional runs. These catch miswired counters and
+// broken accounting that the per-module tests can miss.
+#include <gtest/gtest.h>
+
+#include "pipelines/knn_pipeline.h"
+#include "pipelines/pipeline.h"
+
+namespace ksum::pipelines {
+namespace {
+
+struct InvariantCase {
+  Solution solution;
+  std::size_t k;
+};
+
+class PipelineInvariantsTest
+    : public ::testing::TestWithParam<InvariantCase> {};
+
+PipelineReport run_case(const InvariantCase& p,
+                        const RunOptions& options = {}) {
+  workload::ProblemSpec spec;
+  spec.m = 256;
+  spec.n = 256;
+  spec.k = p.k;
+  spec.seed = 101;
+  const auto inst = workload::make_instance(spec);
+  return run_pipeline(p.solution, inst, core::params_from_spec(spec),
+                      options);
+}
+
+TEST_P(PipelineInvariantsTest, CacheAccountingIsConsistent) {
+  const auto report = run_case(GetParam());
+  const auto& c = report.total;
+  // Hits + misses partition the read transactions.
+  EXPECT_EQ(c.l2_read_hits + c.l2_read_misses, c.l2_read_transactions);
+  // Without an L1, every L2 read miss is a DRAM read (atomics included).
+  EXPECT_EQ(c.dram_read_transactions, c.l2_read_misses);
+  // Nothing reaches DRAM without passing the L2.
+  EXPECT_LE(c.dram_read_transactions, c.l2_read_transactions);
+  EXPECT_LE(c.dram_write_transactions, c.l2_write_transactions);
+  EXPECT_EQ(c.l1_read_transactions, 0u);  // disabled by default
+}
+
+TEST_P(PipelineInvariantsTest, SharedMemoryAccountingIsConsistent) {
+  const auto report = run_case(GetParam());
+  const auto& c = report.total;
+  // Replays can only add transactions on top of the requests.
+  EXPECT_GE(c.smem_load_transactions, c.smem_load_requests);
+  EXPECT_GE(c.smem_store_transactions, c.smem_store_requests);
+  EXPECT_LE(c.smem_bank_conflicts,
+            c.smem_total_transactions());
+}
+
+TEST_P(PipelineInvariantsTest, ArithmeticMatchesClosedForm) {
+  const auto p = GetParam();
+  const auto report = run_case(p);
+  const std::uint64_t mnk = 256ull * 256ull * p.k;
+  // The GEMM portion contributes exactly one lane-FMA per output element
+  // per K step, in every solution.
+  EXPECT_GE(report.total.fma_ops, mnk);
+  // One kernel evaluation per matrix element.
+  EXPECT_EQ(report.total.sfu_ops, 256ull * 256ull);
+}
+
+TEST_P(PipelineInvariantsTest, TotalsEqualKernelSumsPlusWriteback) {
+  const auto report = run_case(GetParam());
+  gpusim::Counters sum;
+  for (const auto& k : report.kernels) sum += k.counters;
+  // Everything except the final DRAM writeback comes from the launches.
+  EXPECT_EQ(sum.fma_ops, report.total.fma_ops);
+  EXPECT_EQ(sum.l2_total_transactions(), report.total.l2_total_transactions());
+  EXPECT_LE(sum.dram_write_transactions,
+            report.total.dram_write_transactions);
+}
+
+TEST_P(PipelineInvariantsTest, EnergyAndTimingArePhysical) {
+  const auto report = run_case(GetParam());
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.energy.total(), 0.0);
+  EXPECT_NEAR(report.energy.total(),
+              report.energy.compute_j + report.energy.smem_j +
+                  report.energy.l2_j + report.energy.dram_j +
+                  report.energy.static_j,
+              1e-12);
+  EXPECT_GE(report.flop_efficiency, 0.0);
+  EXPECT_LE(report.flop_efficiency, 1.0);
+}
+
+TEST_P(PipelineInvariantsTest, L1NeverChangesResultsOrDram) {
+  const auto p = GetParam();
+  const auto base = run_case(p);
+  RunOptions with_l1;
+  with_l1.device.cache_globals_in_l1 = true;
+  const auto cached = run_case(p, with_l1);
+  // Identical numerics.
+  for (std::size_t i = 0; i < base.result.size(); ++i) {
+    ASSERT_EQ(base.result[i], cached.result[i]);
+  }
+  // The L1 can only reduce L2 pressure, never DRAM traffic (it is fed by
+  // the same miss stream the L2 would have filtered anyway).
+  EXPECT_LE(cached.total.l2_read_transactions,
+            base.total.l2_read_transactions);
+  EXPECT_EQ(cached.total.dram_read_transactions,
+            base.total.dram_read_transactions);
+  // And the L1 accounting itself partitions.
+  EXPECT_EQ(cached.total.l1_read_hits + cached.total.l1_read_misses,
+            cached.total.l1_read_transactions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SolutionsAndDims, PipelineInvariantsTest,
+    ::testing::Values(InvariantCase{Solution::kFused, 8},
+                      InvariantCase{Solution::kFused, 32},
+                      InvariantCase{Solution::kFused, 64},
+                      InvariantCase{Solution::kCudaUnfused, 8},
+                      InvariantCase{Solution::kCudaUnfused, 32},
+                      InvariantCase{Solution::kCublasUnfused, 8},
+                      InvariantCase{Solution::kCublasUnfused, 32}));
+
+TEST(KnnInvariantsTest, NeighbourListsAreSortedAndUnique) {
+  workload::ProblemSpec spec;
+  spec.m = 256;
+  spec.n = 256;
+  spec.k = 16;
+  spec.seed = 103;
+  const auto inst = workload::make_instance(spec);
+  const auto report = run_knn_pipeline(KnnSolution::kFused, inst, 8);
+  for (std::size_t i = 0; i < spec.m; ++i) {
+    for (std::size_t rank = 1; rank < 8; ++rank) {
+      EXPECT_LE(report.result.distance(i, rank - 1),
+                report.result.distance(i, rank));
+      for (std::size_t prev = 0; prev < rank; ++prev) {
+        EXPECT_NE(report.result.index(i, rank),
+                  report.result.index(i, prev))
+            << "duplicate neighbour for query " << i;
+      }
+    }
+    for (std::size_t rank = 0; rank < 8; ++rank) {
+      EXPECT_LT(report.result.index(i, rank), spec.n);
+      EXPECT_GE(report.result.distance(i, rank), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ksum::pipelines

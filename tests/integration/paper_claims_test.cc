@@ -1,0 +1,182 @@
+// The paper's headline claims, asserted against the analytic model at the
+// paper's own scales. These are the acceptance tests of the reproduction:
+// if a refactor breaks a shape, this suite names the violated claim.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "report/paper_report.h"
+
+namespace ksum::report {
+namespace {
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    analytic::PipelineModel model;
+    points_ =
+        new std::vector<SweepPoint>(evaluate_sweep(
+            model, workload::paper_table_sweep()));
+  }
+  static void TearDownTestSuite() {
+    delete points_;
+    points_ = nullptr;
+  }
+
+  static const SweepPoint& at(std::size_t k, std::size_t m) {
+    for (const auto& p : *points_) {
+      if (p.k == k && p.m == m) return p;
+    }
+    throw std::runtime_error("missing sweep point");
+  }
+
+  static std::vector<SweepPoint>* points_;
+};
+
+std::vector<SweepPoint>* PaperClaims::points_ = nullptr;
+
+TEST_F(PaperClaims, SpeedupUpTo1p8AtK32) {
+  // §V-A: "Fused approach beats cuBLAS-Unfused by up to 1.8X ... largest
+  // speedup happens in the group of K=32".
+  const double s = at(32, 524288).speedup_vs_cublas();
+  EXPECT_GT(s, 1.5);
+  EXPECT_LT(s, 2.2);
+}
+
+TEST_F(PaperClaims, SpeedupDecreasesWithK) {
+  double prev = 1e9;
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    const double s = at(k, 131072).speedup_vs_cublas();
+    EXPECT_LT(s, prev) << "K=" << k;
+    prev = s;
+  }
+}
+
+TEST_F(PaperClaims, FusedLosesAtHighK) {
+  // "As dimension K increases the performance degradation due to our
+  // inferior CUDA-C GEMM outweighs the benefits of fused computation."
+  EXPECT_LT(at(256, 131072).speedup_vs_cublas(), 1.0);
+  EXPECT_GT(at(32, 131072).speedup_vs_cublas(), 1.0);
+  EXPECT_GT(at(64, 131072).speedup_vs_cublas(), 1.0);
+}
+
+TEST_F(PaperClaims, FusedAlwaysBeatsCudaUnfused) {
+  // Fig. 6: "Fused shows much better performance than CUDA-Unfused in all
+  // problem sizes", ~1.5× at K=256.
+  for (const auto& p : *points_) {
+    EXPECT_GT(p.speedup_vs_cuda(), 1.15)
+        << "K=" << p.k << " M=" << p.m;
+  }
+  EXPECT_GT(at(256, 131072).speedup_vs_cuda(), 1.2);
+}
+
+TEST_F(PaperClaims, ProjectedSpeedupExceedsMeasured) {
+  // The paper's 3.7× claim is a projection with a cuBLAS-grade GEMM; our
+  // model puts it near 3× — assert the band, not the point.
+  const double proj = at(32, 524288).projected_speedup();
+  EXPECT_GT(proj, 2.4);
+  EXPECT_LT(proj, 4.2);
+}
+
+TEST_F(PaperClaims, CudaCGemmSlowdownBand) {
+  // Fig. 7: "the CUDA-C GEMM is between 1.5X and 2.0X slower than cuBLAS".
+  analytic::PipelineModel model;
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    const auto ours = model.estimate_gemm_only(false, 131072, 1024, k);
+    const auto theirs = model.estimate_gemm_only(true, 131072, 1024, k);
+    const auto& dev = model.options().device;
+    const double slowdown =
+        ours.timing.seconds(dev) / theirs.timing.seconds(dev);
+    EXPECT_GE(slowdown, 1.4) << "K=" << k;
+    EXPECT_LE(slowdown, 2.1) << "K=" << k;
+  }
+}
+
+TEST_F(PaperClaims, FusedDramTransactionsUnderTenPercent) {
+  // Fig. 8b: "the number of DRAM transactions in Fused is less than 10% of
+  // cuBLAS-Unfused in all problem sizes" (large-M grid points).
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    EXPECT_LT(at(k, 131072).dram_ratio_fused(), 0.10) << "K=" << k;
+    EXPECT_LT(at(k, 524288).dram_ratio_fused(), 0.10) << "K=" << k;
+  }
+}
+
+TEST_F(PaperClaims, FusedL2TransactionsUnderFiftyPercentAtLowK) {
+  // Fig. 8a: under 50% "in most cases", with high-K exceptions.
+  for (std::size_t m : {131072u, 524288u}) {
+    EXPECT_LT(at(32, m).l2_ratio_fused(), 0.50);
+    EXPECT_LT(at(64, m).l2_ratio_fused(), 0.50);
+    EXPECT_GT(at(256, m).l2_ratio_fused(), 0.50);  // the exception regime
+  }
+}
+
+TEST_F(PaperClaims, EnergySavingsBandsOfTableIII) {
+  // Table III: 31.3–32.5% at K=32 down to 3.5–8.5% at K=256, always
+  // positive; we assert generous bands around the paper's values.
+  for (std::size_t m : {1024u, 131072u, 524288u}) {
+    EXPECT_GT(at(32, m).energy_saving_vs_cublas(), 0.25);
+    EXPECT_LT(at(32, m).energy_saving_vs_cublas(), 0.45);
+    EXPECT_GT(at(256, m).energy_saving_vs_cublas(), 0.0);
+    EXPECT_LT(at(256, m).energy_saving_vs_cublas(), 0.12);
+  }
+}
+
+TEST_F(PaperClaims, EnergySavingsDecreaseWithK) {
+  double prev = 1.0;
+  for (std::size_t k : {32u, 64u, 128u, 256u}) {
+    const double s = at(k, 131072).energy_saving_vs_cublas();
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST_F(PaperClaims, FusedSavesMostDramEnergy) {
+  // §V-C: "the Fused approach saves more than 80% of the DRAM access
+  // energy in all test configurations".
+  for (const auto& p : *points_) {
+    if (p.m < 131072) continue;  // paper-scale points
+    const double saving = 1.0 - p.fused.energy.dram_j /
+                                    p.cublas_unfused.energy.dram_j;
+    EXPECT_GT(saving, 0.80) << "K=" << p.k << " M=" << p.m;
+  }
+}
+
+TEST_F(PaperClaims, CublasUnfusedDramShareInBand) {
+  // Fig. 1: "around 10% to 30% of total energy is spent on DRAM accesses";
+  // our model sits in a slightly wider 5–35% band across the grid.
+  for (const auto& p : *points_) {
+    const double share = p.cublas_unfused.energy.dram_share();
+    EXPECT_GT(share, 0.05) << "K=" << p.k << " M=" << p.m;
+    EXPECT_LT(share, 0.35) << "K=" << p.k << " M=" << p.m;
+  }
+}
+
+TEST_F(PaperClaims, FlopEfficiencyCrossover) {
+  // Table II: fused wins at K ≤ 64, cuBLAS wins at K=256.
+  for (std::size_t m : {1024u, 131072u, 524288u}) {
+    EXPECT_GT(at(32, m).fused.flop_efficiency,
+              at(32, m).cublas_unfused.flop_efficiency);
+    EXPECT_GT(at(64, m).fused.flop_efficiency,
+              at(64, m).cublas_unfused.flop_efficiency);
+    EXPECT_LT(at(256, m).fused.flop_efficiency,
+              at(256, m).cublas_unfused.flop_efficiency);
+  }
+}
+
+TEST_F(PaperClaims, L2MpkiHighestAtK32) {
+  // Fig. 2: the K=32 group shows the highest L2 MPKI.
+  auto mpki = [&](std::size_t k) {
+    const auto& est = at(k, 131072).cublas_unfused;
+    double misses = 0;
+    for (const auto& kest : est.kernels) {
+      misses += kest.cost.dram_transactions;
+    }
+    return 1000.0 * misses / est.total.warp_instructions;
+  };
+  EXPECT_GT(mpki(32), mpki(64));
+  EXPECT_GT(mpki(64), mpki(128));
+  EXPECT_GT(mpki(128), mpki(256));
+}
+
+}  // namespace
+}  // namespace ksum::report

@@ -1,0 +1,66 @@
+#include "report/paper_report.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::report {
+namespace {
+
+// One shared sweep over a reduced grid (full K range, three M values) so the
+// suite stays fast; the claims themselves are scale-stable per the model
+// tests.
+class ReportFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new analytic::PipelineModel();
+    specs_ = workload::paper_table_sweep();
+    points_ = new std::vector<SweepPoint>(evaluate_sweep(*model_, specs_));
+  }
+  static void TearDownTestSuite() {
+    delete points_;
+    delete model_;
+    points_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static analytic::PipelineModel* model_;
+  static std::vector<workload::ProblemSpec> specs_;
+  static std::vector<SweepPoint>* points_;
+};
+
+analytic::PipelineModel* ReportFixture::model_ = nullptr;
+std::vector<workload::ProblemSpec> ReportFixture::specs_;
+std::vector<SweepPoint>* ReportFixture::points_ = nullptr;
+
+TEST_F(ReportFixture, SweepCoversGrid) {
+  EXPECT_EQ(points_->size(), specs_.size());
+}
+
+TEST_F(ReportFixture, AllTablesRenderNonEmpty) {
+  EXPECT_GT(fig1_energy_breakdown_cublas(*points_).num_rows(), 0u);
+  EXPECT_GT(fig2_l2_mpki(*points_).num_rows(), 0u);
+  EXPECT_GT(fig6_execution_time(*points_).num_rows(), 0u);
+  EXPECT_GT(table2_flop_efficiency(*points_).num_rows(), 0u);
+  EXPECT_GT(fig8a_l2_transactions(*points_).num_rows(), 0u);
+  EXPECT_GT(fig8b_dram_transactions(*points_).num_rows(), 0u);
+  EXPECT_GT(table3_energy_savings(*points_).num_rows(), 0u);
+  EXPECT_GT(fig9_energy_breakdown(*points_).num_rows(), 0u);
+  EXPECT_GT(table1_device_config(config::DeviceSpec::gtx970()).num_rows(),
+            0u);
+}
+
+TEST_F(ReportFixture, Fig7Renders) {
+  const auto t = fig7_gemm_comparison(*model_, specs_);
+  EXPECT_EQ(t.num_rows(), specs_.size());
+}
+
+TEST_F(ReportFixture, SpeedupHelpersConsistent) {
+  for (const auto& p : *points_) {
+    EXPECT_NEAR(p.speedup_vs_cublas(),
+                p.cublas_unfused.seconds / p.fused.seconds, 1e-12);
+    EXPECT_GT(p.speedup_vs_cuda(), p.speedup_vs_cublas());
+    EXPECT_GT(p.projected_speedup(), p.speedup_vs_cublas());
+  }
+}
+
+}  // namespace
+}  // namespace ksum::report

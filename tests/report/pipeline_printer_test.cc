@@ -1,0 +1,50 @@
+#include "report/pipeline_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::report {
+namespace {
+
+pipelines::PipelineReport sample_report() {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 16;
+  const auto inst = workload::make_instance(spec);
+  return pipelines::run_pipeline(pipelines::Solution::kFused, inst,
+                                 core::params_from_spec(spec));
+}
+
+TEST(PipelinePrinterTest, KernelTableListsEveryKernel) {
+  const auto report = sample_report();
+  const Table t = pipeline_kernel_table(report);
+  EXPECT_EQ(t.num_rows(), report.kernels.size());
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("fused_ksum"), std::string::npos);
+  EXPECT_NE(s.find("norms_a"), std::string::npos);
+  EXPECT_NE(s.find("M=128 N=128 K=16"), std::string::npos);
+}
+
+TEST(PipelinePrinterTest, SummaryTableHasEnergyBreakdown) {
+  const std::string s = pipeline_summary_table(sample_report()).to_string();
+  EXPECT_NE(s.find("FLOP efficiency"), std::string::npos);
+  EXPECT_NE(s.find("DRAM"), std::string::npos);
+  EXPECT_NE(s.find("static"), std::string::npos);
+}
+
+TEST(PipelinePrinterTest, KnnTable) {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 16;
+  const auto inst = workload::make_instance(spec);
+  const auto report = pipelines::run_knn_pipeline(
+      pipelines::KnnSolution::kFused, inst, 4);
+  const std::string s = knn_kernel_table(report).to_string();
+  EXPECT_NE(s.find("fused_knn"), std::string::npos);
+  EXPECT_NE(s.find("knn_merge"), std::string::npos);
+  EXPECT_NE(s.find("k=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ksum::report

@@ -1,0 +1,56 @@
+#include "workload/paper_sweeps.h"
+
+#include <gtest/gtest.h>
+
+namespace ksum::workload {
+namespace {
+
+TEST(PaperSweepsTest, DimensionsMatchPaper) {
+  EXPECT_EQ(paper_dimensions(), (std::vector<std::size_t>{32, 64, 128, 256}));
+}
+
+TEST(PaperSweepsTest, PointCountsAreDoublingFrom1024To524288) {
+  const auto& counts = paper_point_counts();
+  EXPECT_EQ(counts.front(), 1024u);
+  EXPECT_EQ(counts.back(), 524288u);
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[i - 1] * 2);
+  }
+}
+
+TEST(PaperSweepsTest, TableCountsMatchTablesIIandIII) {
+  EXPECT_EQ(paper_table_point_counts(),
+            (std::vector<std::size_t>{1024, 131072, 524288}));
+}
+
+TEST(PaperSweepsTest, FigureSweepCoversFullGrid) {
+  const auto sweep = paper_figure_sweep();
+  EXPECT_EQ(sweep.size(),
+            paper_dimensions().size() * paper_point_counts().size());
+  for (const auto& spec : sweep) {
+    EXPECT_EQ(spec.n, kPaperN);
+    EXPECT_NO_THROW(spec.validate());
+  }
+}
+
+TEST(PaperSweepsTest, ScaledSweepRespectsCap) {
+  const auto sweep = scaled_sweep(4096);
+  for (const auto& spec : sweep) {
+    EXPECT_LE(spec.m, 4096u);
+  }
+  // 3 sizes (1024, 2048, 4096) × 4 dimensions.
+  EXPECT_EQ(sweep.size(), 12u);
+}
+
+TEST(PaperSweepsTest, FlopAccounting) {
+  ProblemSpec spec;
+  spec.m = 1024;
+  spec.n = 1024;
+  spec.k = 32;
+  EXPECT_DOUBLE_EQ(spec.gemm_flops(), 2.0 * 1024 * 1024 * 32);
+  EXPECT_DOUBLE_EQ(spec.bytes_intermediate(), 4.0 * 1024 * 1024);
+  EXPECT_GT(spec.total_flops(), spec.gemm_flops());
+}
+
+}  // namespace
+}  // namespace ksum::workload

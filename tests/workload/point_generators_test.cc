@@ -1,0 +1,127 @@
+#include "workload/point_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ksum::workload {
+namespace {
+
+ProblemSpec small_spec(Distribution dist) {
+  ProblemSpec spec;
+  spec.m = 64;
+  spec.n = 48;
+  spec.k = 8;
+  spec.distribution = dist;
+  spec.seed = 1234;
+  return spec;
+}
+
+TEST(PointGeneratorsTest, ShapesAndLayouts) {
+  const auto inst = make_instance(small_spec(Distribution::kUniformCube));
+  EXPECT_EQ(inst.a.rows(), 64u);
+  EXPECT_EQ(inst.a.cols(), 8u);
+  EXPECT_EQ(inst.a.layout(), Layout::kRowMajor);
+  EXPECT_EQ(inst.b.rows(), 8u);
+  EXPECT_EQ(inst.b.cols(), 48u);
+  EXPECT_EQ(inst.b.layout(), Layout::kColMajor);
+  EXPECT_EQ(inst.w.size(), 48u);
+}
+
+TEST(PointGeneratorsTest, DeterministicForSeed) {
+  const auto a = make_instance(small_spec(Distribution::kUniformCube));
+  const auto b = make_instance(small_spec(Distribution::kUniformCube));
+  for (std::size_t i = 0; i < a.a.size(); ++i) {
+    EXPECT_EQ(a.a.data()[i], b.a.data()[i]);
+  }
+  for (std::size_t i = 0; i < a.w.size(); ++i) {
+    EXPECT_EQ(a.w[i], b.w[i]);
+  }
+}
+
+TEST(PointGeneratorsTest, SeedChangesPoints) {
+  auto spec = small_spec(Distribution::kUniformCube);
+  const auto a = make_instance(spec);
+  spec.seed = 999;
+  const auto b = make_instance(spec);
+  int same = 0;
+  for (std::size_t i = 0; i < a.a.size(); ++i) {
+    if (a.a.data()[i] == b.a.data()[i]) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(PointGeneratorsTest, SourcesAndTargetsAreIndependent) {
+  const auto inst = make_instance(small_spec(Distribution::kUniformCube));
+  // B is not a prefix/copy of A's stream.
+  int same = 0;
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (inst.a.at(0, j) == inst.b.at(j, 0)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(PointGeneratorsTest, UniformCubeInBounds) {
+  const auto inst = make_instance(small_spec(Distribution::kUniformCube));
+  for (float x : inst.a.span()) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(PointGeneratorsTest, UnitSphereHasUnitNorms) {
+  const auto inst = make_instance(small_spec(Distribution::kUnitSphere));
+  for (std::size_t i = 0; i < inst.a.rows(); ++i) {
+    double n2 = 0;
+    for (std::size_t d = 0; d < inst.a.cols(); ++d) {
+      n2 += double(inst.a.at(i, d)) * double(inst.a.at(i, d));
+    }
+    EXPECT_NEAR(n2, 1.0, 1e-5);
+  }
+}
+
+TEST(PointGeneratorsTest, GridIsDeterministicAndBounded) {
+  const auto a = make_instance(small_spec(Distribution::kGrid));
+  const auto b = make_instance(small_spec(Distribution::kGrid));
+  for (std::size_t i = 0; i < a.a.size(); ++i) {
+    EXPECT_EQ(a.a.data()[i], b.a.data()[i]);
+    EXPECT_GE(a.a.data()[i], 0.0f);
+    EXPECT_LT(a.a.data()[i], 1.0f);
+  }
+}
+
+TEST(PointGeneratorsTest, MixtureClusters) {
+  // Cluster spread is 0.05, centres in [0,1): points should stay within a
+  // loose band around the unit cube.
+  const auto inst = make_instance(small_spec(Distribution::kGaussianMixture));
+  for (float x : inst.a.span()) {
+    EXPECT_GT(x, -1.0f);
+    EXPECT_LT(x, 2.0f);
+  }
+}
+
+TEST(PointGeneratorsTest, InvalidSpecThrows) {
+  ProblemSpec spec;
+  spec.m = 0;
+  EXPECT_THROW(make_instance(spec), Error);
+  spec = ProblemSpec{};
+  spec.bandwidth = 0.0f;
+  EXPECT_THROW(make_instance(spec), Error);
+}
+
+class DistributionTest : public ::testing::TestWithParam<Distribution> {};
+
+TEST_P(DistributionTest, AllFinite) {
+  const auto inst = make_instance(small_spec(GetParam()));
+  for (float x : inst.a.span()) EXPECT_TRUE(std::isfinite(x));
+  for (float x : inst.b.span()) EXPECT_TRUE(std::isfinite(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionTest,
+                         ::testing::Values(Distribution::kUniformCube,
+                                           Distribution::kGaussianMixture,
+                                           Distribution::kUnitSphere,
+                                           Distribution::kGrid));
+
+}  // namespace
+}  // namespace ksum::workload

@@ -1,0 +1,53 @@
+#include "workload/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ksum::workload {
+namespace {
+
+TEST(WeightsTest, Ones) {
+  const Vector w = generate_weights(16, WeightKind::kOnes, Rng(1));
+  for (float x : w) EXPECT_EQ(x, 1.0f);
+}
+
+TEST(WeightsTest, AlternatingSignsCancel) {
+  const Vector w = generate_weights(64, WeightKind::kAlternating, Rng(1));
+  float sum = 0;
+  for (float x : w) sum += x;
+  EXPECT_EQ(sum, 0.0f);
+  EXPECT_EQ(w[0], 1.0f);
+  EXPECT_EQ(w[1], -1.0f);
+}
+
+TEST(WeightsTest, UniformBounded) {
+  const Vector w = generate_weights(1000, WeightKind::kUniform, Rng(7));
+  for (float x : w) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(WeightsTest, TinyIsNearDenormalScale) {
+  const Vector w = generate_weights(100, WeightKind::kTiny, Rng(7));
+  for (float x : w) {
+    EXPECT_LE(std::fabs(x), 1e-30f);
+  }
+}
+
+TEST(WeightsTest, DeterministicPerRng) {
+  const Vector a = generate_weights(32, WeightKind::kUniform, Rng(5));
+  const Vector b = generate_weights(32, WeightKind::kUniform, Rng(5));
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(WeightsTest, Names) {
+  EXPECT_EQ(to_string(WeightKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(WeightKind::kOnes), "ones");
+  EXPECT_EQ(to_string(WeightKind::kAlternating), "alternating");
+  EXPECT_EQ(to_string(WeightKind::kTiny), "tiny");
+}
+
+}  // namespace
+}  // namespace ksum::workload
