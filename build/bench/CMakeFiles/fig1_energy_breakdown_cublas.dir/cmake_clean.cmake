@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_energy_breakdown_cublas.dir/fig1_energy_breakdown_cublas.cc.o"
+  "CMakeFiles/fig1_energy_breakdown_cublas.dir/fig1_energy_breakdown_cublas.cc.o.d"
+  "fig1_energy_breakdown_cublas"
+  "fig1_energy_breakdown_cublas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_energy_breakdown_cublas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

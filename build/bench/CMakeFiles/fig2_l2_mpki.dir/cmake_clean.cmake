@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_l2_mpki.dir/fig2_l2_mpki.cc.o"
+  "CMakeFiles/fig2_l2_mpki.dir/fig2_l2_mpki.cc.o.d"
+  "fig2_l2_mpki"
+  "fig2_l2_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_l2_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

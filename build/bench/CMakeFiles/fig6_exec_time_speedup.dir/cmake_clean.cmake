@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_exec_time_speedup.dir/fig6_exec_time_speedup.cc.o"
+  "CMakeFiles/fig6_exec_time_speedup.dir/fig6_exec_time_speedup.cc.o.d"
+  "fig6_exec_time_speedup"
+  "fig6_exec_time_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_exec_time_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gemm_comparison.dir/fig7_gemm_comparison.cc.o"
+  "CMakeFiles/fig7_gemm_comparison.dir/fig7_gemm_comparison.cc.o.d"
+  "fig7_gemm_comparison"
+  "fig7_gemm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gemm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memory_transactions.dir/fig8_memory_transactions.cc.o"
+  "CMakeFiles/fig8_memory_transactions.dir/fig8_memory_transactions.cc.o.d"
+  "fig8_memory_transactions"
+  "fig8_memory_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memory_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

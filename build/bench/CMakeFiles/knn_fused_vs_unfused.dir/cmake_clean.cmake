@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_fused_vs_unfused.dir/knn_fused_vs_unfused.cc.o"
+  "CMakeFiles/knn_fused_vs_unfused.dir/knn_fused_vs_unfused.cc.o.d"
+  "knn_fused_vs_unfused"
+  "knn_fused_vs_unfused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_fused_vs_unfused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

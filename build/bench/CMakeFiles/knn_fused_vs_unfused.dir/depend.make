@@ -1,0 +1,2 @@
+# Empty dependencies file for knn_fused_vs_unfused.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ksum_bench_common.dir/bench_common.cc.o.d"
+  "libksum_bench_common.a"
+  "libksum_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

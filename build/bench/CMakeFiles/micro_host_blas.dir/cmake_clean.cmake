@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_host_blas.dir/micro_host_blas.cc.o"
+  "CMakeFiles/micro_host_blas.dir/micro_host_blas.cc.o.d"
+  "micro_host_blas"
+  "micro_host_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_host_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

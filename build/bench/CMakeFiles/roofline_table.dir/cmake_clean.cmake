@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_table.dir/roofline_table.cc.o"
+  "CMakeFiles/roofline_table.dir/roofline_table.cc.o.d"
+  "roofline_table"
+  "roofline_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_bandwidth.dir/sensitivity_bandwidth.cc.o"
+  "CMakeFiles/sensitivity_bandwidth.dir/sensitivity_bandwidth.cc.o.d"
+  "sensitivity_bandwidth"
+  "sensitivity_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

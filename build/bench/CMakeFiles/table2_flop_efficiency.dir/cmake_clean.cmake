@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_flop_efficiency.dir/table2_flop_efficiency.cc.o"
+  "CMakeFiles/table2_flop_efficiency.dir/table2_flop_efficiency.cc.o.d"
+  "table2_flop_efficiency"
+  "table2_flop_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_flop_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kde.dir/kde.cpp.o"
+  "CMakeFiles/kde.dir/kde.cpp.o.d"
+  "kde"
+  "kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

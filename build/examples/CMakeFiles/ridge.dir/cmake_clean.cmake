@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridge.dir/ridge.cpp.o"
+  "CMakeFiles/ridge.dir/ridge.cpp.o.d"
+  "ridge"
+  "ridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

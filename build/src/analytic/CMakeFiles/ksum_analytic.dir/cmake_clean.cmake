@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_analytic.dir/calibration.cc.o"
+  "CMakeFiles/ksum_analytic.dir/calibration.cc.o.d"
+  "CMakeFiles/ksum_analytic.dir/dram_model.cc.o"
+  "CMakeFiles/ksum_analytic.dir/dram_model.cc.o.d"
+  "CMakeFiles/ksum_analytic.dir/pipeline_model.cc.o"
+  "CMakeFiles/ksum_analytic.dir/pipeline_model.cc.o.d"
+  "libksum_analytic.a"
+  "libksum_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cc" "src/blas/CMakeFiles/ksum_blas.dir/gemm.cc.o" "gcc" "src/blas/CMakeFiles/ksum_blas.dir/gemm.cc.o.d"
+  "/root/repo/src/blas/gemv.cc" "src/blas/CMakeFiles/ksum_blas.dir/gemv.cc.o" "gcc" "src/blas/CMakeFiles/ksum_blas.dir/gemv.cc.o.d"
+  "/root/repo/src/blas/vector_ops.cc" "src/blas/CMakeFiles/ksum_blas.dir/vector_ops.cc.o" "gcc" "src/blas/CMakeFiles/ksum_blas.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_blas.dir/gemm.cc.o"
+  "CMakeFiles/ksum_blas.dir/gemm.cc.o.d"
+  "CMakeFiles/ksum_blas.dir/gemv.cc.o"
+  "CMakeFiles/ksum_blas.dir/gemv.cc.o.d"
+  "CMakeFiles/ksum_blas.dir/vector_ops.cc.o"
+  "CMakeFiles/ksum_blas.dir/vector_ops.cc.o.d"
+  "libksum_blas.a"
+  "libksum_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_common.dir/csv.cc.o"
+  "CMakeFiles/ksum_common.dir/csv.cc.o.d"
+  "CMakeFiles/ksum_common.dir/error.cc.o"
+  "CMakeFiles/ksum_common.dir/error.cc.o.d"
+  "CMakeFiles/ksum_common.dir/flags.cc.o"
+  "CMakeFiles/ksum_common.dir/flags.cc.o.d"
+  "CMakeFiles/ksum_common.dir/rng.cc.o"
+  "CMakeFiles/ksum_common.dir/rng.cc.o.d"
+  "CMakeFiles/ksum_common.dir/string_util.cc.o"
+  "CMakeFiles/ksum_common.dir/string_util.cc.o.d"
+  "CMakeFiles/ksum_common.dir/table.cc.o"
+  "CMakeFiles/ksum_common.dir/table.cc.o.d"
+  "libksum_common.a"
+  "libksum_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

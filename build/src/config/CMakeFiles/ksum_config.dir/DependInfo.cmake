@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/device_spec.cc" "src/config/CMakeFiles/ksum_config.dir/device_spec.cc.o" "gcc" "src/config/CMakeFiles/ksum_config.dir/device_spec.cc.o.d"
+  "/root/repo/src/config/energy_spec.cc" "src/config/CMakeFiles/ksum_config.dir/energy_spec.cc.o" "gcc" "src/config/CMakeFiles/ksum_config.dir/energy_spec.cc.o.d"
+  "/root/repo/src/config/timing_spec.cc" "src/config/CMakeFiles/ksum_config.dir/timing_spec.cc.o" "gcc" "src/config/CMakeFiles/ksum_config.dir/timing_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

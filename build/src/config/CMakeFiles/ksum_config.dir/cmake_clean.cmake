@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_config.dir/device_spec.cc.o"
+  "CMakeFiles/ksum_config.dir/device_spec.cc.o.d"
+  "CMakeFiles/ksum_config.dir/energy_spec.cc.o"
+  "CMakeFiles/ksum_config.dir/energy_spec.cc.o.d"
+  "CMakeFiles/ksum_config.dir/timing_spec.cc.o"
+  "CMakeFiles/ksum_config.dir/timing_spec.cc.o.d"
+  "libksum_config.a"
+  "libksum_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exact.cc" "src/core/CMakeFiles/ksum_core.dir/exact.cc.o" "gcc" "src/core/CMakeFiles/ksum_core.dir/exact.cc.o.d"
+  "/root/repo/src/core/kernels.cc" "src/core/CMakeFiles/ksum_core.dir/kernels.cc.o" "gcc" "src/core/CMakeFiles/ksum_core.dir/kernels.cc.o.d"
+  "/root/repo/src/core/knn_exact.cc" "src/core/CMakeFiles/ksum_core.dir/knn_exact.cc.o" "gcc" "src/core/CMakeFiles/ksum_core.dir/knn_exact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/ksum_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ksum_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

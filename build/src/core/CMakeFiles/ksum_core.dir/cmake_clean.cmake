@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_core.dir/exact.cc.o"
+  "CMakeFiles/ksum_core.dir/exact.cc.o.d"
+  "CMakeFiles/ksum_core.dir/kernels.cc.o"
+  "CMakeFiles/ksum_core.dir/kernels.cc.o.d"
+  "CMakeFiles/ksum_core.dir/knn_exact.cc.o"
+  "CMakeFiles/ksum_core.dir/knn_exact.cc.o.d"
+  "libksum_core.a"
+  "libksum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libksum_core.a"
+)

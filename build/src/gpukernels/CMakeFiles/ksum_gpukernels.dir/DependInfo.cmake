@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpukernels/device_workspace.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/device_workspace.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/device_workspace.cc.o.d"
+  "/root/repo/src/gpukernels/fused_ksum.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/fused_ksum.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/fused_ksum.cc.o.d"
+  "/root/repo/src/gpukernels/gemm_cublas_model.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemm_cublas_model.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemm_cublas_model.cc.o.d"
+  "/root/repo/src/gpukernels/gemm_cudac.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemm_cudac.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemm_cudac.cc.o.d"
+  "/root/repo/src/gpukernels/gemm_mainloop.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemm_mainloop.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemm_mainloop.cc.o.d"
+  "/root/repo/src/gpukernels/gemv_summation.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemv_summation.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/gemv_summation.cc.o.d"
+  "/root/repo/src/gpukernels/kernel_eval.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/kernel_eval.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/kernel_eval.cc.o.d"
+  "/root/repo/src/gpukernels/knn.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/knn.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/knn.cc.o.d"
+  "/root/repo/src/gpukernels/norms.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/norms.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/norms.cc.o.d"
+  "/root/repo/src/gpukernels/smem_layout.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/smem_layout.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/smem_layout.cc.o.d"
+  "/root/repo/src/gpukernels/tile_loader.cc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/tile_loader.cc.o" "gcc" "src/gpukernels/CMakeFiles/ksum_gpukernels.dir/tile_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/ksum_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ksum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/ksum_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ksum_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ksum_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_gpukernels.dir/device_workspace.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/device_workspace.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/fused_ksum.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/fused_ksum.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/gemm_cublas_model.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/gemm_cublas_model.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/gemm_cudac.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/gemm_cudac.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/gemm_mainloop.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/gemm_mainloop.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/gemv_summation.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/gemv_summation.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/kernel_eval.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/kernel_eval.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/knn.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/knn.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/norms.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/norms.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/smem_layout.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/smem_layout.cc.o.d"
+  "CMakeFiles/ksum_gpukernels.dir/tile_loader.cc.o"
+  "CMakeFiles/ksum_gpukernels.dir/tile_loader.cc.o.d"
+  "libksum_gpukernels.a"
+  "libksum_gpukernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_gpukernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cache.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/cache.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/cache.cc.o.d"
+  "/root/repo/src/gpusim/coalescer.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/coalescer.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/coalescer.cc.o.d"
+  "/root/repo/src/gpusim/counters.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/counters.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/counters.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/energy.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/energy.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/energy.cc.o.d"
+  "/root/repo/src/gpusim/global_memory.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/global_memory.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/global_memory.cc.o.d"
+  "/root/repo/src/gpusim/occupancy.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/occupancy.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/occupancy.cc.o.d"
+  "/root/repo/src/gpusim/shared_memory.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/shared_memory.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/shared_memory.cc.o.d"
+  "/root/repo/src/gpusim/timing.cc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/timing.cc.o" "gcc" "src/gpusim/CMakeFiles/ksum_gpusim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ksum_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

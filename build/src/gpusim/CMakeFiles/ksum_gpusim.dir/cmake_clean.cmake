@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_gpusim.dir/cache.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/cache.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/coalescer.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/coalescer.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/counters.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/counters.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/device.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/energy.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/energy.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/global_memory.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/global_memory.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/occupancy.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/occupancy.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/shared_memory.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/shared_memory.cc.o.d"
+  "CMakeFiles/ksum_gpusim.dir/timing.cc.o"
+  "CMakeFiles/ksum_gpusim.dir/timing.cc.o.d"
+  "libksum_gpusim.a"
+  "libksum_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_pipelines.dir/knn_pipeline.cc.o"
+  "CMakeFiles/ksum_pipelines.dir/knn_pipeline.cc.o.d"
+  "CMakeFiles/ksum_pipelines.dir/pipeline.cc.o"
+  "CMakeFiles/ksum_pipelines.dir/pipeline.cc.o.d"
+  "CMakeFiles/ksum_pipelines.dir/solver.cc.o"
+  "CMakeFiles/ksum_pipelines.dir/solver.cc.o.d"
+  "libksum_pipelines.a"
+  "libksum_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

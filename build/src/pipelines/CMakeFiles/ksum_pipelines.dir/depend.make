@@ -1,0 +1,2 @@
+# Empty dependencies file for ksum_pipelines.
+# This may be replaced when dependencies are built.

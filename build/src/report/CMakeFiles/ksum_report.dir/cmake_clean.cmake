@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_report.dir/paper_report.cc.o"
+  "CMakeFiles/ksum_report.dir/paper_report.cc.o.d"
+  "CMakeFiles/ksum_report.dir/pipeline_printer.cc.o"
+  "CMakeFiles/ksum_report.dir/pipeline_printer.cc.o.d"
+  "libksum_report.a"
+  "libksum_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

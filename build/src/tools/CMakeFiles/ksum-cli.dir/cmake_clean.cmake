@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum-cli.dir/ksum_cli.cc.o"
+  "CMakeFiles/ksum-cli.dir/ksum_cli.cc.o.d"
+  "ksum-cli"
+  "ksum-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/paper_sweeps.cc" "src/workload/CMakeFiles/ksum_workload.dir/paper_sweeps.cc.o" "gcc" "src/workload/CMakeFiles/ksum_workload.dir/paper_sweeps.cc.o.d"
+  "/root/repo/src/workload/point_generators.cc" "src/workload/CMakeFiles/ksum_workload.dir/point_generators.cc.o" "gcc" "src/workload/CMakeFiles/ksum_workload.dir/point_generators.cc.o.d"
+  "/root/repo/src/workload/problem_spec.cc" "src/workload/CMakeFiles/ksum_workload.dir/problem_spec.cc.o" "gcc" "src/workload/CMakeFiles/ksum_workload.dir/problem_spec.cc.o.d"
+  "/root/repo/src/workload/weights.cc" "src/workload/CMakeFiles/ksum_workload.dir/weights.cc.o" "gcc" "src/workload/CMakeFiles/ksum_workload.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

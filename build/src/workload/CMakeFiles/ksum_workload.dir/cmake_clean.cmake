@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksum_workload.dir/paper_sweeps.cc.o"
+  "CMakeFiles/ksum_workload.dir/paper_sweeps.cc.o.d"
+  "CMakeFiles/ksum_workload.dir/point_generators.cc.o"
+  "CMakeFiles/ksum_workload.dir/point_generators.cc.o.d"
+  "CMakeFiles/ksum_workload.dir/problem_spec.cc.o"
+  "CMakeFiles/ksum_workload.dir/problem_spec.cc.o.d"
+  "CMakeFiles/ksum_workload.dir/weights.cc.o"
+  "CMakeFiles/ksum_workload.dir/weights.cc.o.d"
+  "libksum_workload.a"
+  "libksum_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksum_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_tests.dir/analytic/calibration_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/calibration_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/dram_model_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/dram_model_test.cc.o.d"
+  "CMakeFiles/analytic_tests.dir/analytic/pipeline_model_test.cc.o"
+  "CMakeFiles/analytic_tests.dir/analytic/pipeline_model_test.cc.o.d"
+  "analytic_tests"
+  "analytic_tests.pdb"
+  "analytic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

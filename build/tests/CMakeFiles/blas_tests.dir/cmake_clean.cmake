@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_tests.dir/blas/gemm_test.cc.o"
+  "CMakeFiles/blas_tests.dir/blas/gemm_test.cc.o.d"
+  "CMakeFiles/blas_tests.dir/blas/gemv_test.cc.o"
+  "CMakeFiles/blas_tests.dir/blas/gemv_test.cc.o.d"
+  "CMakeFiles/blas_tests.dir/blas/vector_ops_test.cc.o"
+  "CMakeFiles/blas_tests.dir/blas/vector_ops_test.cc.o.d"
+  "blas_tests"
+  "blas_tests.pdb"
+  "blas_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

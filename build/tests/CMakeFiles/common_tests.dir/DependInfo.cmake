@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/aligned_buffer_test.cc" "tests/CMakeFiles/common_tests.dir/common/aligned_buffer_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/aligned_buffer_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/common_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/error_test.cc" "tests/CMakeFiles/common_tests.dir/common/error_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/error_test.cc.o.d"
+  "/root/repo/tests/common/flags_test.cc" "tests/CMakeFiles/common_tests.dir/common/flags_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/flags_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/common_tests.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/matrix_test.cc" "tests/CMakeFiles/common_tests.dir/common/matrix_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/matrix_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/common_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/common_tests.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ksum_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ksum_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipelines/CMakeFiles/ksum_pipelines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpukernels/CMakeFiles/ksum_gpukernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ksum_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ksum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/ksum_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ksum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ksum_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/common/aligned_buffer_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/aligned_buffer_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/csv_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/error_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/error_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/flags_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/flags_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/math_util_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/math_util_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/matrix_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/matrix_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/string_util_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/common/table_test.cc.o"
+  "CMakeFiles/common_tests.dir/common/table_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

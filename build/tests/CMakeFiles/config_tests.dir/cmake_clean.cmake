@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_tests.dir/config/device_spec_test.cc.o"
+  "CMakeFiles/config_tests.dir/config/device_spec_test.cc.o.d"
+  "CMakeFiles/config_tests.dir/config/energy_spec_test.cc.o"
+  "CMakeFiles/config_tests.dir/config/energy_spec_test.cc.o.d"
+  "CMakeFiles/config_tests.dir/config/timing_spec_test.cc.o"
+  "CMakeFiles/config_tests.dir/config/timing_spec_test.cc.o.d"
+  "config_tests"
+  "config_tests.pdb"
+  "config_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

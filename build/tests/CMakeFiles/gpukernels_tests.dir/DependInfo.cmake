@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpukernels/fused_ksum_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/fused_ksum_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/fused_ksum_test.cc.o.d"
+  "/root/repo/tests/gpukernels/gemm_cublas_model_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cublas_model_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cublas_model_test.cc.o.d"
+  "/root/repo/tests/gpukernels/gemm_cudac_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cudac_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cudac_test.cc.o.d"
+  "/root/repo/tests/gpukernels/gemm_mainloop_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_mainloop_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_mainloop_test.cc.o.d"
+  "/root/repo/tests/gpukernels/gemv_summation_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemv_summation_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/gemv_summation_test.cc.o.d"
+  "/root/repo/tests/gpukernels/kernel_eval_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/kernel_eval_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/kernel_eval_test.cc.o.d"
+  "/root/repo/tests/gpukernels/knn_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/knn_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/knn_test.cc.o.d"
+  "/root/repo/tests/gpukernels/norms_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/norms_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/norms_test.cc.o.d"
+  "/root/repo/tests/gpukernels/smem_layout_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/smem_layout_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/smem_layout_test.cc.o.d"
+  "/root/repo/tests/gpukernels/tile_loader_test.cc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/tile_loader_test.cc.o" "gcc" "tests/CMakeFiles/gpukernels_tests.dir/gpukernels/tile_loader_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ksum_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ksum_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipelines/CMakeFiles/ksum_pipelines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpukernels/CMakeFiles/ksum_gpukernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ksum_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ksum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/ksum_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ksum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ksum_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/fused_ksum_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/fused_ksum_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cublas_model_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cublas_model_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cudac_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_cudac_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_mainloop_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemm_mainloop_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemv_summation_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/gemv_summation_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/kernel_eval_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/kernel_eval_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/knn_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/knn_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/norms_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/norms_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/smem_layout_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/smem_layout_test.cc.o.d"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/tile_loader_test.cc.o"
+  "CMakeFiles/gpukernels_tests.dir/gpukernels/tile_loader_test.cc.o.d"
+  "gpukernels_tests"
+  "gpukernels_tests.pdb"
+  "gpukernels_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpukernels_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

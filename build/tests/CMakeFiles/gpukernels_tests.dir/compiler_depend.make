@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpukernels_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpukernels_tests.
+# This may be replaced when dependencies are built.

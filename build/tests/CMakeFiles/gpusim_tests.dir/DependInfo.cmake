@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpusim/cache_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/cache_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/cache_test.cc.o.d"
+  "/root/repo/tests/gpusim/coalescer_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/coalescer_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/coalescer_test.cc.o.d"
+  "/root/repo/tests/gpusim/counters_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/counters_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/counters_test.cc.o.d"
+  "/root/repo/tests/gpusim/device_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/device_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/device_test.cc.o.d"
+  "/root/repo/tests/gpusim/energy_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/energy_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/energy_test.cc.o.d"
+  "/root/repo/tests/gpusim/global_memory_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/global_memory_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/global_memory_test.cc.o.d"
+  "/root/repo/tests/gpusim/l1_cache_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/l1_cache_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/l1_cache_test.cc.o.d"
+  "/root/repo/tests/gpusim/occupancy_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/occupancy_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/occupancy_test.cc.o.d"
+  "/root/repo/tests/gpusim/shared_memory_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/shared_memory_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/shared_memory_test.cc.o.d"
+  "/root/repo/tests/gpusim/timing_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/timing_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/timing_test.cc.o.d"
+  "/root/repo/tests/gpusim/warp_access_test.cc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/warp_access_test.cc.o" "gcc" "tests/CMakeFiles/gpusim_tests.dir/gpusim/warp_access_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ksum_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ksum_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipelines/CMakeFiles/ksum_pipelines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpukernels/CMakeFiles/ksum_gpukernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ksum_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ksum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/ksum_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ksum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ksum_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

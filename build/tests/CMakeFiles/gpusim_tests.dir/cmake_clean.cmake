@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_tests.dir/gpusim/cache_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/cache_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/coalescer_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/coalescer_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/counters_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/counters_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/device_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/device_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/energy_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/energy_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/global_memory_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/global_memory_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/l1_cache_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/l1_cache_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/occupancy_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/occupancy_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/shared_memory_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/shared_memory_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/timing_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/timing_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/warp_access_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/warp_access_test.cc.o.d"
+  "gpusim_tests"
+  "gpusim_tests.pdb"
+  "gpusim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

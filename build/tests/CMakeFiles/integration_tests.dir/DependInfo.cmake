@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/invariants_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/invariants_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/invariants_test.cc.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/paper_claims_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ksum_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ksum_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipelines/CMakeFiles/ksum_pipelines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpukernels/CMakeFiles/ksum_gpukernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ksum_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ksum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/ksum_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ksum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ksum_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ksum_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelines_tests.dir/pipelines/pipeline_test.cc.o"
+  "CMakeFiles/pipelines_tests.dir/pipelines/pipeline_test.cc.o.d"
+  "CMakeFiles/pipelines_tests.dir/pipelines/solver_test.cc.o"
+  "CMakeFiles/pipelines_tests.dir/pipelines/solver_test.cc.o.d"
+  "pipelines_tests"
+  "pipelines_tests.pdb"
+  "pipelines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

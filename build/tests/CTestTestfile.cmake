@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/config_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/blas_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_tests[1]_include.cmake")
+include("/root/repo/build/tests/gpukernels_tests[1]_include.cmake")
+include("/root/repo/build/tests/pipelines_tests[1]_include.cmake")
+include("/root/repo/build/tests/analytic_tests[1]_include.cmake")
+include("/root/repo/build/tests/report_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
