@@ -1,0 +1,209 @@
+// Fault-injection campaign for the ABFT subsystem (docs/ROBUSTNESS.md).
+//
+// Three experiments on a fixed 512×512×16 Gaussian problem:
+//
+//   1. Detection coverage — for every fault site, sweep the injection rate
+//      and run many independently-seeded trials without recovery, counting
+//      how often the checks flag a run that received faults, how many of
+//      the *harmful* faults (result actually wrong vs the exact oracle)
+//      slip through silently, and whether any fault-free trial is flagged
+//      (false positives).
+//   2. Recovery — the same sites through pipelines::solve() with the
+//      detect→retry→fallback policy, verifying the returned result against
+//      the oracle.
+//   3. Overhead — checks on vs off with no injector attached: the modelled
+//      time and energy cost of the second atomic path and (unfused) the
+//      colsum audit pass.
+//
+// Environment: KSUM_BENCH_FAST=1 shrinks the trial counts; KSUM_CSV_DIR
+// mirrors each table as CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "blas/vector_ops.h"
+#include "common/string_util.h"
+#include "core/exact.h"
+#include "pipelines/solver.h"
+#include "robust/fault_plan.h"
+
+namespace {
+
+using namespace ksum;
+
+constexpr std::size_t kM = 512, kN = 512, kK = 16;
+
+// A result further than this from the double-precision oracle is *harmful*
+// corruption (the clean pipelines land around 1e-3).
+constexpr double kHarmTol = 1e-2;
+
+struct SiteSetup {
+  gpusim::FaultSite site;
+  pipelines::Solution solution;  // pipeline that exercises the site
+  double base_rate;              // ≈2 expected faults per run at 1×
+};
+
+workload::Instance make_campaign_instance() {
+  workload::ProblemSpec spec;
+  spec.m = kM;
+  spec.n = kN;
+  spec.k = kK;
+  spec.seed = 2024;
+  return workload::make_instance(spec);
+}
+
+double rel_error(const Vector& v, const Vector& oracle) {
+  return blas::max_rel_diff(v.span(), oracle.span(), 1e-3);
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = std::getenv("KSUM_BENCH_FAST") != nullptr;
+  const int trials = fast ? 8 : 24;
+
+  const auto instance = make_campaign_instance();
+  core::KernelParams params;  // gaussian, h=1
+  const Vector oracle = core::solve_direct(instance, params);
+
+  // The atomic sites only exist in the fused pipeline's inter-CTA
+  // reduction; the global-store site is best exercised by the unfused
+  // pipeline, whose C and V stores are both audited. Base rates are tuned
+  // to ≈2 expected faults per run given each site's opportunity count.
+  const std::vector<SiteSetup> sites = {
+      {gpusim::FaultSite::kSharedMemory, pipelines::Solution::kFused, 2e-5},
+      {gpusim::FaultSite::kGlobalMemory, pipelines::Solution::kCublasUnfused,
+       4e-6},
+      {gpusim::FaultSite::kTileLoad, pipelines::Solution::kFused, 3e-5},
+      {gpusim::FaultSite::kAtomicDrop, pipelines::Solution::kFused, 2.5e-2},
+      {gpusim::FaultSite::kAtomicDouble, pipelines::Solution::kFused,
+       2.5e-2},
+  };
+  const std::vector<double> rate_scales = {1.0, 4.0};
+
+  // ---- 1. Detection coverage ---------------------------------------------
+  Table coverage(
+      str_format("Fault campaign — detection coverage (M=%zu N=%zu K=%zu, "
+                 "%d trials/row)",
+                 kM, kN, kK, trials));
+  coverage.header({"site", "pipeline", "rate", "faulty runs", "detected",
+                   "coverage", "harmful", "silent harm", "false pos"});
+
+  int atomic_faulty = 0, atomic_detected = 0;
+  int clean_flagged = 0;
+  for (const SiteSetup& setup : sites) {
+    for (double scale : rate_scales) {
+      const double rate = setup.base_rate * scale;
+      int faulty = 0, detected = 0, harmful = 0, silent_harm = 0;
+      int false_pos = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        robust::FaultPlan plan(robust::FaultPlanConfig::single_site(
+            std::uint64_t(trial) + 1, setup.site, rate));
+        pipelines::RunOptions options;
+        options.checks.enabled = true;
+        options.fault_injector = &plan;
+        const auto report = pipelines::run_pipeline(setup.solution, instance,
+                                                    params, options);
+        const bool injected = plan.total_injected() > 0;
+        const bool flagged = report.robustness.fault_detected();
+        const bool harmed = rel_error(report.result, oracle) > kHarmTol;
+        if (injected) {
+          ++faulty;
+          if (flagged) ++detected;
+          if (harmed) {
+            ++harmful;
+            if (!flagged) ++silent_harm;
+          }
+        } else if (flagged) {
+          ++false_pos;
+          ++clean_flagged;
+        }
+        const bool atomic_site =
+            setup.site == gpusim::FaultSite::kAtomicDrop ||
+            setup.site == gpusim::FaultSite::kAtomicDouble;
+        if (atomic_site && injected) {
+          ++atomic_faulty;
+          if (flagged) ++atomic_detected;
+        }
+      }
+      coverage.row(
+          {gpusim::to_string(setup.site),
+           pipelines::to_string(setup.solution),
+           str_format("%.1e", rate), str_format("%d", faulty),
+           str_format("%d", detected),
+           faulty > 0 ? format_percent(double(detected) / double(faulty))
+                      : std::string("n/a"),
+           str_format("%d", harmful), str_format("%d", silent_harm),
+           str_format("%d", false_pos)});
+    }
+  }
+  bench::emit(coverage, "fault_campaign_coverage");
+
+  // ---- 2. Recovery through solve() ---------------------------------------
+  Table recovery(
+      "Fault campaign — detect/retry/fallback recovery (fused backend)");
+  recovery.header({"site", "rate", "attempts", "faulty attempts", "fallback",
+                   "outcome", "err vs oracle"});
+  int unrecovered = 0;
+  for (const SiteSetup& setup : sites) {
+    const double rate = setup.base_rate;
+    robust::FaultPlan plan(robust::FaultPlanConfig::single_site(
+        /*seed=*/99, setup.site, rate));
+    pipelines::RunOptions options;
+    options.fault_injector = &plan;
+    options.recovery.enabled = true;
+    const auto backend = setup.solution == pipelines::Solution::kFused
+                             ? pipelines::Backend::kSimFused
+                             : pipelines::Backend::kSimCublasUnfused;
+    const auto result = pipelines::solve(instance, params, backend, options);
+    const double err = rel_error(result.v, oracle);
+    const bool ok = !result.recovery.gave_up && err <= kHarmTol;
+    if (result.recovery.faults_detected > 0 && !ok) ++unrecovered;
+    recovery.row({gpusim::to_string(setup.site), str_format("%.1e", rate),
+                  str_format("%d", result.recovery.attempts),
+                  str_format("%d", result.recovery.faults_detected),
+                  result.recovery.fallback_used ? "yes" : "no",
+                  result.recovery.gave_up
+                      ? "GAVE UP"
+                      : (result.recovery.faults_detected > 0 ? "recovered"
+                                                             : "clean"),
+                  str_format("%.2e%s", err, err <= kHarmTol ? "" : " (BAD)")});
+  }
+  bench::emit(recovery, "fault_campaign_recovery");
+
+  // ---- 3. Checking overhead ----------------------------------------------
+  Table overhead("Fault campaign — ABFT checking overhead (no faults)");
+  overhead.header({"pipeline", "time off", "time on", "overhead",
+                   "energy off", "energy on"});
+  for (const auto solution : {pipelines::Solution::kFused,
+                              pipelines::Solution::kCublasUnfused}) {
+    pipelines::RunOptions off;
+    pipelines::RunOptions on;
+    on.checks.enabled = true;
+    const auto base = pipelines::run_pipeline(solution, instance, params, off);
+    const auto checked =
+        pipelines::run_pipeline(solution, instance, params, on);
+    overhead.row({pipelines::to_string(solution),
+                  str_format("%.3f ms", base.seconds * 1e3),
+                  str_format("%.3f ms", checked.seconds * 1e3),
+                  format_percent(checked.seconds / base.seconds - 1.0),
+                  str_format("%.4f J", base.energy.total()),
+                  str_format("%.4f J", checked.energy.total())});
+  }
+  bench::emit(overhead, "fault_campaign_overhead");
+
+  // ---- Acceptance summary -------------------------------------------------
+  const double atomic_cov =
+      atomic_faulty > 0 ? double(atomic_detected) / double(atomic_faulty)
+                        : 1.0;
+  std::printf(
+      "\natomic-site coverage: %d/%d (%.0f%%), false positives on clean "
+      "runs: %d, unrecovered detected faults: %d\n",
+      atomic_detected, atomic_faulty, atomic_cov * 100.0, clean_flagged,
+      unrecovered);
+  const bool pass = atomic_cov >= 0.9 && clean_flagged == 0 && unrecovered == 0;
+  std::printf("fault campaign: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -26,6 +26,26 @@ bool is_radial(KernelType type) {
   return type != KernelType::kPolynomial2;
 }
 
+void validate(const KernelParams& params) {
+  const bool needs_bandwidth = params.type == KernelType::kGaussian ||
+                               params.type == KernelType::kMatern32 ||
+                               params.type == KernelType::kCauchy;
+  if (needs_bandwidth) {
+    KSUM_REQUIRE(std::isfinite(params.bandwidth) && params.bandwidth > 0.0f,
+                 "kernel bandwidth must be finite and > 0");
+  }
+  KSUM_REQUIRE(std::isfinite(params.softening) && params.softening >= 0.0f,
+               "kernel softening must be finite and >= 0");
+  if (params.type == KernelType::kLaplace3d) {
+    KSUM_REQUIRE(params.softening > 0.0f,
+                 "reciprocal kernel needs softening > 0");
+  }
+  if (params.type == KernelType::kPolynomial2) {
+    KSUM_REQUIRE(std::isfinite(params.poly_shift),
+                 "polynomial shift must be finite");
+  }
+}
+
 float evaluate(const KernelParams& params, float squared_distance,
                float dot) {
   // Rounding in the −2αᵀβ expansion can drive d² slightly negative for

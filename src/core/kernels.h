@@ -37,4 +37,11 @@ float evaluate(const KernelParams& params, float squared_distance, float dot);
 /// True for kernels that only need d² (everything except polynomial).
 bool is_radial(KernelType type);
 
+/// Rejects parameter sets no kernel evaluation can make sense of: the
+/// bandwidth must be finite and positive for the kernels that divide by it,
+/// the softening finite and non-negative (and strictly positive for the
+/// reciprocal kernel, whose value at d²=0 is 1/softening), and the
+/// polynomial shift finite. Throws ksum::Error with the offending field.
+void validate(const KernelParams& params);
+
 }  // namespace ksum::core

@@ -1,0 +1,81 @@
+#include "gpukernels/abft_check.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ksum::gpukernels {
+namespace {
+constexpr int kColsumThreads = 128;
+constexpr std::size_t kColsPerCta = 128;
+}  // namespace
+
+void add_block_checksum(gpusim::BlockContext& ctx, const ChecksumSink& sink,
+                        std::size_t block_index, float sum, float abs_sum) {
+  if (!sink.valid()) return;
+  KSUM_REQUIRE(block_index < sink.blocks, "checksum block index out of range");
+  gpusim::GlobalWarpAccess access;
+  access.active_mask = 0b11;
+  access.set_lane(0, sink.buffer.addr_of_float(block_index));
+  access.set_lane(1, sink.buffer.addr_of_float(sink.blocks + block_index));
+  std::array<float, gpusim::kWarpSize> values{};
+  values[0] = sum;
+  values[1] = abs_sum;
+  ctx.global_atomic_add(access, values);
+}
+
+gpusim::LaunchResult run_abft_colsum(gpusim::Device& device,
+                                     const Workspace& ws) {
+  KSUM_REQUIRE(ws.c.valid(), "colsum audit needs the kernel matrix buffer");
+  KSUM_REQUIRE(ws.colsum_check.valid(), "colsum audit needs its sink buffer");
+  KSUM_REQUIRE(ws.n % kColsPerCta == 0, "N must be a multiple of 128");
+
+  gpusim::GridDim grid{static_cast<int>(ws.n / kColsPerCta), 1};
+  gpusim::BlockDim block{kColsumThreads, 1};
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = kColsumThreads;
+  cfg.regs_per_thread = 24;
+  cfg.smem_bytes_per_block = 0;
+
+  auto program = [&](gpusim::BlockContext& ctx) {
+    const std::size_t col_base =
+        static_cast<std::size_t>(ctx.bx()) * kColsPerCta;
+    // Each warp owns a 32-column group and walks down the rows; consecutive
+    // lanes read consecutive columns, so every row is one coalesced request.
+    for (int warp = 0; warp < kColsumThreads / 32; ++warp) {
+      std::array<float, 32> sums{};
+      std::array<float, 32> abs_sums{};
+      for (std::size_t row = 0; row < ws.m; ++row) {
+        gpusim::GlobalWarpAccess access;
+        for (int lane = 0; lane < 32; ++lane) {
+          const std::size_t col =
+              col_base + static_cast<std::size_t>(warp * 32 + lane);
+          access.set_lane(lane, ws.c.addr_of_float(row * ws.n + col));
+        }
+        const auto vals = ctx.global_load(access);
+        for (int lane = 0; lane < 32; ++lane) {
+          sums[static_cast<std::size_t>(lane)] +=
+              vals[static_cast<std::size_t>(lane)];
+          abs_sums[static_cast<std::size_t>(lane)] +=
+              std::fabs(vals[static_cast<std::size_t>(lane)]);
+        }
+        ctx.count_alu(32 * 2);
+      }
+      gpusim::GlobalWarpAccess sum_store;
+      gpusim::GlobalWarpAccess abs_store;
+      for (int lane = 0; lane < 32; ++lane) {
+        const std::size_t col =
+            col_base + static_cast<std::size_t>(warp * 32 + lane);
+        sum_store.set_lane(lane, ws.colsum_check.addr_of_float(col));
+        abs_store.set_lane(lane,
+                           ws.colsum_check.addr_of_float(ws.n + col));
+      }
+      ctx.global_store(sum_store, sums);
+      ctx.global_store(abs_store, abs_sums);
+    }
+  };
+
+  return device.launch("abft_colsum", grid, block, cfg, program);
+}
+
+}  // namespace ksum::gpukernels

@@ -1,0 +1,40 @@
+// In-kernel ABFT plumbing: the checksum sink the producing kernels write
+// through, and the simulated column-sum kernel that audits the unfused
+// GEMM's intermediate (docs/ROBUSTNESS.md).
+#pragma once
+
+#include "gpukernels/device_workspace.h"
+#include "gpusim/device.h"
+
+namespace ksum::gpukernels {
+
+/// Destination for the Σ-checksum second path. `buffer` holds 2·blocks
+/// floats: [0, blocks) the signed per-row-block sums, [blocks, 2·blocks)
+/// the absolute sums used as the detection tolerance scale. Disabled sinks
+/// make every helper a no-op, so kernels thread it unconditionally.
+struct ChecksumSink {
+  bool enabled = false;
+  gpusim::DeviceBuffer buffer;
+  std::size_t blocks = 0;
+
+  bool valid() const { return enabled && buffer.valid() && blocks > 0; }
+};
+
+/// Atomically folds one CTA's total contribution (`sum`) and absolute
+/// contribution (`abs_sum`) into block `block_index` of the sink — the
+/// "second path" the host-side block-checksum check compares V against.
+/// One 2-lane atomic request; costs are counted like any other access (and
+/// the request is itself an injection opportunity, as on real hardware).
+void add_block_checksum(gpusim::BlockContext& ctx, const ChecksumSink& sink,
+                        std::size_t block_index, float sum, float abs_sum);
+
+/// Simulated audit kernel for the unfused pipelines: reads the whole M×N
+/// intermediate C (row major) and writes per-column signed and absolute
+/// sums into `ws.colsum_check` ([0, N) and [N, 2N)). Launched between the
+/// GEMM and the eval pass, while C still holds AᵀB; the extra pass over C
+/// is exactly the checking overhead the fused pipeline cannot pay (it has
+/// no C), and it is costed through the normal memory hierarchy.
+gpusim::LaunchResult run_abft_colsum(gpusim::Device& device,
+                                     const Workspace& ws);
+
+}  // namespace ksum::gpukernels

@@ -6,7 +6,7 @@ namespace ksum::gpukernels {
 
 Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
                              std::size_t n, std::size_t k,
-                             bool with_intermediate) {
+                             bool with_intermediate, bool with_checksums) {
   Workspace ws;
   ws.m = m;
   ws.n = n;
@@ -20,6 +20,13 @@ Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
   ws.norm_b = mem.allocate(n * 4, "normB");
   if (with_intermediate) {
     ws.c = mem.allocate(m * n * 4, "C");
+  }
+  if (with_checksums) {
+    KSUM_REQUIRE(m % 128 == 0, "M must be a multiple of 128");
+    ws.vsum_check = mem.allocate(2 * (m / 128) * 4, "vsumCheck");
+    if (with_intermediate) {
+      ws.colsum_check = mem.allocate(2 * n * 4, "colsumCheck");
+    }
   }
   return ws;
 }
@@ -36,6 +43,8 @@ void upload_instance(gpusim::Device& device, Workspace& ws,
   mem.upload_matrix(ws.b, instance.b);
   mem.upload(ws.w, instance.w.span());
   mem.fill(ws.v, 0.0f);
+  if (ws.vsum_check.valid()) mem.fill(ws.vsum_check, 0.0f);
+  if (ws.colsum_check.valid()) mem.fill(ws.colsum_check, 0.0f);
 }
 
 Vector download_result(gpusim::Device& device, const Workspace& ws) {

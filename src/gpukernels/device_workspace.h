@@ -16,13 +16,22 @@ struct Workspace {
   gpusim::DeviceBuffer norm_a;  // M (‖α_i‖²)
   gpusim::DeviceBuffer norm_b;  // N (‖β_j‖²)
   gpusim::DeviceBuffer c;       // M×N intermediate (unfused pipelines only)
+
+  // ABFT sinks (allocated only with checksums on; see robust/abft.h).
+  gpusim::DeviceBuffer vsum_check;    // 2·(M/128): [block Σ | block Σ|·|]
+  gpusim::DeviceBuffer colsum_check;  // 2·N: [col Σ of C | col Σ|·|] —
+                                      // only with the intermediate
 };
 
 /// Allocates buffers. `with_intermediate` also allocates the M×N matrix the
 /// unfused pipelines stream through DRAM (the fused pipeline never needs it).
+/// `with_checksums` adds the ABFT sink buffers (vsum_check always,
+/// colsum_check only alongside the intermediate); both are zeroed by
+/// upload_instance.
 Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
                              std::size_t n, std::size_t k,
-                             bool with_intermediate);
+                             bool with_intermediate,
+                             bool with_checksums = false);
 
 /// Uploads A, B and W (host→device staging; not counted as device traffic,
 /// matching the paper's measurements which exclude PCIe transfers).

@@ -1,5 +1,7 @@
 #include "gpukernels/fused_ksum.h"
 
+#include <cmath>
+
 #include "common/error.h"
 #include "gpukernels/tile_geometry.h"
 
@@ -130,6 +132,8 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
     // (lines 14–16), with everything still "in registers".
     // The reduction scratch T reuses the tileA buffers: threads with
     // tx < 8 write T0 (= sharedA0), the rest T1 (= sharedA1).
+    float cta_sum = 0.0f;   // ABFT fork: Σ of this CTA's γ values
+    float cta_abs = 0.0f;   // and Σ of their magnitudes (tolerance scale)
     for (int warp = 0; warp < kWarps; ++warp) {
       const auto na = load_segment_operands(ctx, map.norm_a, warp, true);
       const auto nb = load_segment_operands(ctx, map.norm_b, warp, false);
@@ -160,6 +164,21 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
       ctx.count_fma(64 * 32 * 2);  // distance assembly (add + FMA)
       ctx.count_sfu(64 * 32);      // kernel evaluation (exp et al.)
       ctx.count_fma(64 * 32);      // weighted row sums
+
+      if (options.checksum.valid()) {
+        // Fork the ABFT second path while γ is still in registers — before
+        // the scratch scatter, the CTA reduction, and the atomicAdd, so any
+        // divergence downstream of this point is detectable.
+        for (int lane = 0; lane < 32; ++lane) {
+          for (int u = 0; u < kMicro; ++u) {
+            const float g = gamma[static_cast<std::size_t>(lane)]
+                                 [static_cast<std::size_t>(u)];
+            cta_sum += g;
+            cta_abs += std::fabs(g);
+          }
+        }
+        ctx.count_alu(32 * kMicro * 2);
+      }
 
       // Scatter γ into the reduction scratch.
       for (int u = 0; u < kMicro; ++u) {
@@ -228,6 +247,9 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
         ctx.global_store(access, partials[static_cast<std::size_t>(warp)]);
       }
     }
+
+    add_block_checksum(ctx, options.checksum,
+                       static_cast<std::size_t>(ctx.by()), cta_sum, cta_abs);
   };
 
   FusedResult result;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "core/kernels.h"
+#include "gpukernels/abft_check.h"
 #include "gpukernels/device_workspace.h"
 #include "gpukernels/gemm_mainloop.h"
 #include "gpusim/device.h"
@@ -33,6 +34,13 @@ struct FusedOptions {
   /// vecα/vecβ vectors. Eliminates the two norms kernels — and with them a
   /// full extra DRAM pass over A and B.
   bool fuse_norms = false;
+  /// ABFT second path: when enabled, each CTA forks its total γ contribution
+  /// (signed and absolute) right after kernel evaluation — before the shared
+  /// memory scratch reduction and the inter-CTA atomicAdd — and folds it
+  /// into the per-row-block checksum cells. Anything that diverges between
+  /// that fork and V (scratch bit-flips, dropped/doubled atomics, store
+  /// corruption) shows up as a block-checksum mismatch.
+  ChecksumSink checksum;
 };
 
 struct FusedResult {

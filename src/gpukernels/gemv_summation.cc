@@ -1,5 +1,7 @@
 #include "gpukernels/gemv_summation.h"
 
+#include <cmath>
+
 #include "common/error.h"
 #include "gpukernels/tile_loader.h"
 
@@ -10,7 +12,8 @@ constexpr std::size_t kGemvRowsPerCta = 128;
 }  // namespace
 
 gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
-                                        const Workspace& ws) {
+                                        const Workspace& ws,
+                                        const ChecksumSink& checksum) {
   KSUM_REQUIRE(ws.c.valid(), "GEMV needs the kernel matrix buffer");
   KSUM_REQUIRE(ws.m % kGemvRowsPerCta == 0, "M must be a multiple of 128");
   KSUM_REQUIRE(ws.n % 128 == 0, "N must be a multiple of 128");
@@ -34,6 +37,8 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
     const std::size_t row_base =
         static_cast<std::size_t>(ctx.bx()) * kGemvRowsPerCta;
     const std::size_t rows_per_warp = kGemvRowsPerCta / (kGemvThreads / 32);
+    float cta_sum = 0.0f;  // ABFT fork: Σ of this CTA's row totals
+    float cta_abs = 0.0f;
     for (int warp = 0; warp < kGemvThreads / 32; ++warp) {
       for (std::size_t r = 0; r < rows_per_warp; ++r) {
         const std::size_t row =
@@ -62,6 +67,14 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
         ctx.count_alu(32 * 5);
         ctx.count_warp_instructions(5);
 
+        if (checksum.valid()) {
+          // Fork the ABFT second path on the finished row total, just
+          // before it is committed to V.
+          cta_sum += total;
+          cta_abs += std::fabs(total);
+          ctx.count_alu(2);
+        }
+
         gpusim::GlobalWarpAccess v_access;
         v_access.active_mask = 1;
         v_access.set_lane(0, ws.v.addr_of_float(row));
@@ -70,6 +83,8 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
         ctx.global_store(v_access, out);
       }
     }
+    add_block_checksum(ctx, checksum, static_cast<std::size_t>(ctx.bx()),
+                       cta_sum, cta_abs);
   };
 
   return device.launch("gemv_summation", grid, block, cfg, program);

@@ -5,6 +5,7 @@
 // with a shuffle-style intra-warp reduction.
 #pragma once
 
+#include "gpukernels/abft_check.h"
 #include "gpukernels/device_workspace.h"
 #include "gpusim/device.h"
 
@@ -12,7 +13,11 @@ namespace ksum::gpukernels {
 
 /// Computes ws.v from ws.c (after run_kernel_eval) and ws.w. Requires M a
 /// multiple of 128 and N a multiple of 128 with N·4 bytes ≤ 48 KB.
+/// An enabled `checksum` sink makes each CTA fork its total row-sum
+/// contribution into the per-row-block checksum cells just before the V
+/// stores (the ABFT second path; see robust/abft.h).
 gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
-                                        const Workspace& ws);
+                                        const Workspace& ws,
+                                        const ChecksumSink& checksum = {});
 
 }  // namespace ksum::gpukernels

@@ -34,10 +34,13 @@ void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
       const auto loaded = ctx.global_load_vec4(access);
       for (int lane = 0; lane < 32; ++lane) {
         for (int w = 0; w < 4; ++w) {
+          // Every staged operand element is a kTileLoad injection
+          // opportunity (identity without an attached injector).
           staged[static_cast<std::size_t>(lane)]
                 [static_cast<std::size_t>(piece * 4 + w)] =
-                    loaded[static_cast<std::size_t>(lane)]
-                          [static_cast<std::size_t>(w)];
+                    ctx.filter_fault(gpusim::FaultSite::kTileLoad,
+                                     loaded[static_cast<std::size_t>(lane)]
+                                           [static_cast<std::size_t>(w)]);
         }
       }
     }

@@ -31,6 +31,11 @@ Counters& Counters::operator+=(const Counters& other) {
   barriers += other.barriers;
   ctas_launched += other.ctas_launched;
   kernel_launches += other.kernel_launches;
+  faults_smem_bitflips += other.faults_smem_bitflips;
+  faults_global_bitflips += other.faults_global_bitflips;
+  faults_tile_corruptions += other.faults_tile_corruptions;
+  faults_atomics_dropped += other.faults_atomics_dropped;
+  faults_atomics_doubled += other.faults_atomics_doubled;
   return *this;
 }
 
@@ -62,7 +67,15 @@ std::string Counters::to_string() const {
      << "  dram: read=" << dram_read_transactions
      << " write=" << dram_write_transactions << "\n"
      << "  barriers=" << barriers << " ctas=" << ctas_launched
-     << " launches=" << kernel_launches << "\n}";
+     << " launches=" << kernel_launches << "\n";
+  if (faults_injected_total() != 0) {
+    os << "  faults: smem=" << faults_smem_bitflips
+       << " global=" << faults_global_bitflips
+       << " tile=" << faults_tile_corruptions
+       << " atomic_drop=" << faults_atomics_dropped
+       << " atomic_double=" << faults_atomics_doubled << "\n";
+  }
+  os << "}";
   return os.str();
 }
 

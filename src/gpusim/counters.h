@@ -52,6 +52,15 @@ struct Counters {
   std::uint64_t ctas_launched = 0;
   std::uint64_t kernel_launches = 0;
 
+  // Injected faults, per site (see gpusim/fault_injection.h). Always zero
+  // unless a FaultInjector is attached to the Device; campaigns read these
+  // to know exactly how many faults each run absorbed.
+  std::uint64_t faults_smem_bitflips = 0;
+  std::uint64_t faults_global_bitflips = 0;
+  std::uint64_t faults_tile_corruptions = 0;
+  std::uint64_t faults_atomics_dropped = 0;
+  std::uint64_t faults_atomics_doubled = 0;
+
   Counters& operator+=(const Counters& other);
   friend Counters operator+(Counters lhs, const Counters& rhs) {
     lhs += rhs;
@@ -66,6 +75,11 @@ struct Counters {
   }
   std::uint64_t smem_total_transactions() const {
     return smem_load_transactions + smem_store_transactions;
+  }
+  std::uint64_t faults_injected_total() const {
+    return faults_smem_bitflips + faults_global_bitflips +
+           faults_tile_corruptions + faults_atomics_dropped +
+           faults_atomics_doubled;
   }
 
   /// L2 misses per kilo *thread* instructions (warp instructions × 32, the

@@ -1,5 +1,7 @@
 #include "gpusim/device.h"
 
+#include <bit>
+
 #include "common/error.h"
 
 namespace ksum::gpusim {
@@ -70,7 +72,9 @@ void BlockContext::global_store_vec4(
     for (int w = 0; w < 4; ++w) {
       device_.memory_.store_f32(
           base + static_cast<GlobalAddr>(w) * 4,
-          values[static_cast<std::size_t>(lane)][static_cast<std::size_t>(w)]);
+          filter_fault(FaultSite::kGlobalMemory,
+                       values[static_cast<std::size_t>(lane)]
+                             [static_cast<std::size_t>(w)]));
     }
   }
 }
@@ -85,8 +89,10 @@ void BlockContext::global_store(const GlobalWarpAccess& access,
   }
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
-    device_.memory_.store_f32(access.addr[static_cast<std::size_t>(lane)],
-                              values[static_cast<std::size_t>(lane)]);
+    device_.memory_.store_f32(
+        access.addr[static_cast<std::size_t>(lane)],
+        filter_fault(FaultSite::kGlobalMemory,
+                     values[static_cast<std::size_t>(lane)]));
   }
 }
 
@@ -106,13 +112,52 @@ void BlockContext::global_atomic_add(
     }
     device_.l2_.write_sector(sector);
   }
-  for (int lane = 0; lane < kWarpSize; ++lane) {
-    if (!access.lane_active(lane)) continue;
-    const GlobalAddr addr = access.addr[static_cast<std::size_t>(lane)];
-    device_.memory_.store_f32(
-        addr, device_.memory_.load_f32(addr) +
-                  values[static_cast<std::size_t>(lane)]);
+  // One injection opportunity per warp request: the whole request is lost
+  // or applied twice, modelling a dropped/replayed L2 atomic operation. The
+  // request's traffic was already counted — the fault is functional only.
+  AtomicFate fate = AtomicFate::kApply;
+  if (device_.injector_ != nullptr) {
+    fate = device_.injector_->atomic_fate();
+    if (fate == AtomicFate::kDrop) {
+      counters_.faults_atomics_dropped += 1;
+    } else if (fate == AtomicFate::kDouble) {
+      counters_.faults_atomics_doubled += 1;
+    }
   }
+  if (fate == AtomicFate::kDrop) return;
+  const int applications = fate == AtomicFate::kDouble ? 2 : 1;
+  for (int rep = 0; rep < applications; ++rep) {
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (!access.lane_active(lane)) continue;
+      const GlobalAddr addr = access.addr[static_cast<std::size_t>(lane)];
+      device_.memory_.store_f32(
+          addr, device_.memory_.load_f32(addr) +
+                    values[static_cast<std::size_t>(lane)]);
+    }
+  }
+}
+
+float BlockContext::filter_fault(FaultSite site, float value) {
+  FaultInjector* injector = device_.injector_;
+  if (injector == nullptr) return value;
+  const float out = injector->corrupt_word(site, value);
+  if (std::bit_cast<std::uint32_t>(out) !=
+      std::bit_cast<std::uint32_t>(value)) {
+    switch (site) {
+      case FaultSite::kSharedMemory:
+        counters_.faults_smem_bitflips += 1;
+        break;
+      case FaultSite::kGlobalMemory:
+        counters_.faults_global_bitflips += 1;
+        break;
+      case FaultSite::kTileLoad:
+        counters_.faults_tile_corruptions += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
 }
 
 void BlockContext::barrier() {
@@ -209,7 +254,8 @@ LaunchResult Device::launch(const std::string& name, GridDim grid,
   int cta_linear = 0;
   for (int by = 0; by < grid.y; ++by) {
     for (int bx = 0; bx < grid.x; ++bx) {
-      SharedMemory smem(config.smem_bytes_per_block, &launch_counters_);
+      SharedMemory smem(config.smem_bytes_per_block, &launch_counters_,
+                        injector_);
       smem.poison();
       // Round-robin CTA→SM placement, the scheduler's steady state.
       const int sm_index = cta_linear % spec_.num_sms;

@@ -18,6 +18,7 @@
 #include "gpusim/cache.h"
 #include "gpusim/coalescer.h"
 #include "gpusim/counters.h"
+#include "gpusim/fault_injection.h"
 #include "gpusim/global_memory.h"
 #include "gpusim/occupancy.h"
 #include "gpusim/shared_memory.h"
@@ -94,6 +95,12 @@ class BlockContext {
   /// access by access.
   void count_smem_transactions(std::uint64_t loads, std::uint64_t stores);
 
+  /// Offers `value` to the device's fault injector as one opportunity of
+  /// `site` (identity when no injector is attached). Kernels route loaded
+  /// operands through this to model datapath corruption — see
+  /// gpukernels/tile_loader.cc for the kTileLoad channel.
+  float filter_fault(FaultSite site, float value);
+
  private:
   Device& device_;
   GridDim grid_;
@@ -129,6 +136,13 @@ class Device {
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = Counters{}; }
 
+  /// Attaches (or detaches, with nullptr) a fault injector. The memory and
+  /// atomic datapaths consult it for every stored word and atomic request;
+  /// injected faults tick the `faults_*` counters. The injector must
+  /// outlive the device or be detached first.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// Runs `program` for every CTA of `grid`. Validates `config` against the
   /// device limits (throws ksum::Error if the kernel cannot launch) and
   /// returns the per-launch event counts and occupancy.
@@ -159,6 +173,7 @@ class Device {
   SectoredCache l2_;
   std::vector<SectoredCache> l1s_;  // per SM, when cache_globals_in_l1
   Coalescer coalescer_;
+  FaultInjector* injector_ = nullptr;  // optional, not owned
 };
 
 }  // namespace ksum::gpusim

@@ -1,0 +1,21 @@
+#include "gpusim/fault_injection.h"
+
+namespace ksum::gpusim {
+
+std::string to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSharedMemory:
+      return "smem-bitflip";
+    case FaultSite::kGlobalMemory:
+      return "global-bitflip";
+    case FaultSite::kTileLoad:
+      return "tile-load";
+    case FaultSite::kAtomicDrop:
+      return "atomic-drop";
+    case FaultSite::kAtomicDouble:
+      return "atomic-double";
+  }
+  return "unknown";
+}
+
+}  // namespace ksum::gpusim

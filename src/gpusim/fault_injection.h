@@ -1,0 +1,56 @@
+// Soft-error injection interface honoured by the simulator's datapaths.
+//
+// The fused pipeline's whole point is that the M×N intermediate never
+// reaches DRAM — which also means a single upset in shared memory, an
+// accumulator, or a lost inter-CTA atomicAdd corrupts the final V with no
+// intermediate left to audit. Fault campaigns (docs/ROBUSTNESS.md) attach a
+// FaultInjector to the Device; the memory and atomic paths then offer every
+// word/request as an injection opportunity. The concrete seeded plan lives
+// in src/robust/fault_plan.h so gpusim stays free of policy; a null injector
+// costs nothing on the hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ksum::gpusim {
+
+/// Where a fault strikes. Each site is an independent injection channel with
+/// its own opportunity stream (and its own counter in gpusim::Counters).
+enum class FaultSite : int {
+  kSharedMemory = 0,  // bit flip in a shared-memory word as it is stored
+  kGlobalMemory = 1,  // bit flip in a global word as it is stored (L2/DRAM cell)
+  kTileLoad = 2,      // corrupted operand element in the tile-load datapath
+  kAtomicDrop = 3,    // warp atomicAdd request silently lost
+  kAtomicDouble = 4,  // warp atomicAdd request applied twice
+};
+
+inline constexpr int kNumFaultSites = 5;
+
+std::string to_string(FaultSite site);
+
+/// Fate of one warp-level atomicAdd request.
+enum class AtomicFate { kApply, kDrop, kDouble };
+
+/// Decides, one opportunity at a time, whether a fault strikes.
+/// Implementations must be deterministic functions of their own state so
+/// campaigns replay exactly (see robust::FaultPlan).
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// One word passing through `site`. Returns the (possibly corrupted)
+  /// value; returning `value` bit-identically means no fault.
+  virtual float corrupt_word(FaultSite site, float value) = 0;
+
+  /// Fate of one warp atomicAdd request (consults the kAtomicDrop and
+  /// kAtomicDouble channels).
+  virtual AtomicFate atomic_fate() = 0;
+
+  /// Re-derives the injection streams for retry `attempt` (0 = the original
+  /// run) so a detect→retry loop sees independent fault draws. Cumulative
+  /// injection counts are not reset.
+  virtual void begin_attempt(std::uint64_t attempt) { (void)attempt; }
+};
+
+}  // namespace ksum::gpusim

@@ -1,5 +1,6 @@
 #include "gpusim/shared_memory.h"
 
+#include <bit>
 #include <limits>
 #include <set>
 
@@ -12,9 +13,11 @@ namespace {
 constexpr std::uint32_t kRowBytes = 128;  // 32 banks × 4 bytes
 }
 
-SharedMemory::SharedMemory(std::uint32_t size_bytes, Counters* counters)
+SharedMemory::SharedMemory(std::uint32_t size_bytes, Counters* counters,
+                           FaultInjector* injector)
     : data_(ceil_div<std::uint32_t>(size_bytes, 4), 0.0f),
-      counters_(counters) {
+      counters_(counters),
+      injector_(injector) {
   KSUM_CHECK(counters_ != nullptr);
 }
 
@@ -88,10 +91,19 @@ void SharedMemory::store_warp(const SharedWarpAccess& access,
 
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
+    float value = values[static_cast<std::size_t>(lane)];
+    if (injector_ != nullptr) {
+      const float stored =
+          injector_->corrupt_word(FaultSite::kSharedMemory, value);
+      if (std::bit_cast<std::uint32_t>(stored) !=
+          std::bit_cast<std::uint32_t>(value)) {
+        counters_->faults_smem_bitflips += 1;
+        value = stored;
+      }
+    }
     // Two active lanes writing the same word is a data race on hardware;
     // catching it here has saved every layout bug so far.
-    data_[access.addr[static_cast<std::size_t>(lane)] / 4] =
-        values[static_cast<std::size_t>(lane)];
+    data_[access.addr[static_cast<std::size_t>(lane)] / 4] = value;
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include "gpusim/address.h"
 #include "gpusim/counters.h"
+#include "gpusim/fault_injection.h"
 
 namespace ksum::gpusim {
 
@@ -21,8 +22,10 @@ class SharedMemory {
  public:
   /// `size_bytes` is the CTA's static allocation; contents zero-initialised
   /// (matching CUDA's undefined-but-we-want-determinism; kernels must not
-  /// rely on it and tests poison it).
-  SharedMemory(std::uint32_t size_bytes, Counters* counters);
+  /// rely on it and tests poison it). When `injector` is non-null every
+  /// stored word is an injection opportunity for the kSharedMemory site.
+  SharedMemory(std::uint32_t size_bytes, Counters* counters,
+               FaultInjector* injector = nullptr);
 
   std::uint32_t size_bytes() const {
     return static_cast<std::uint32_t>(data_.size() * sizeof(float));
@@ -54,6 +57,7 @@ class SharedMemory {
 
   std::vector<float> data_;
   Counters* counters_;
+  FaultInjector* injector_;
 };
 
 }  // namespace ksum::gpusim

@@ -1,6 +1,7 @@
 #include "pipelines/pipeline.h"
 
 #include "common/error.h"
+#include "gpukernels/abft_check.h"
 #include "gpukernels/gemm_cublas_model.h"
 #include "gpukernels/gemv_summation.h"
 #include "gpukernels/kernel_eval.h"
@@ -73,13 +74,24 @@ PipelineReport run_pipeline(Solution solution,
   const std::size_t m = instance.spec.m;
   const std::size_t n = instance.spec.n;
   const std::size_t k = instance.spec.k;
+  KSUM_REQUIRE(m > 0 && n > 0 && k > 0,
+               "problem dimensions must be nonzero");
+  core::validate(params);
   const bool unfused = solution != Solution::kFused;
 
   gpusim::Device device(options.device,
                         required_device_bytes(m, n, k, unfused));
-  Workspace ws =
-      gpukernels::allocate_workspace(device, m, n, k, unfused);
+  device.set_fault_injector(options.fault_injector);
+  Workspace ws = gpukernels::allocate_workspace(device, m, n, k, unfused,
+                                                options.checks.enabled);
   gpukernels::upload_instance(device, ws, instance);
+
+  gpukernels::ChecksumSink vsink;
+  if (options.checks.enabled) {
+    vsink.enabled = true;
+    vsink.buffer = ws.vsum_check;
+    vsink.blocks = m / 128;
+  }
 
   PipelineReport report;
   report.solution = solution;
@@ -109,6 +121,7 @@ PipelineReport run_pipeline(Solution solution,
     fopts.mainloop = options.mainloop;
     fopts.atomic_reduction = options.atomic_reduction;
     fopts.fuse_norms = options.fuse_norms;
+    fopts.checksum = vsink;
     const auto fused = gpukernels::run_fused_ksum(device, ws, params, fopts);
     report.kernels.push_back(make_report(
         options, fused.main, double(k) / gpukernels::kTileK, cuda_grade,
@@ -135,11 +148,20 @@ PipelineReport run_pipeline(Solution solution,
                                             k),
           double(k) / gpukernels::kTileK, asm_grade, gemm_flops));
     }
+    if (options.checks.enabled && options.checks.gemm_colsum) {
+      // Audit C = AᵀB while it still exists — the eval pass below
+      // overwrites it in place. Zero useful FLOPs: the pass is pure
+      // checking overhead and the reports show it as such.
+      report.kernels.push_back(
+          make_report(options, gpukernels::run_abft_colsum(device, ws), 0,
+                      cuda_grade, 0.0));
+    }
     report.kernels.push_back(
         make_report(options, gpukernels::run_kernel_eval(device, ws, params),
                     0, cuda_grade, 6.0 * mn));
     report.kernels.push_back(
-        make_report(options, gpukernels::run_gemv_summation(device, ws), 0,
+        make_report(options,
+                    gpukernels::run_gemv_summation(device, ws, vsink), 0,
                     cuda_grade, 2.0 * mn));
   }
 
@@ -165,6 +187,19 @@ PipelineReport run_pipeline(Solution solution,
                              gpusim::CostInputs::from_counters(report.total),
                              report.seconds);
   report.result = gpukernels::download_result(device, ws);
+
+  if (options.checks.enabled) {
+    std::vector<float> block_checksums(2 * (m / 128));
+    device.memory().download(ws.vsum_check, block_checksums);
+    std::vector<float> colsums;
+    if (ws.colsum_check.valid() && options.checks.gemm_colsum) {
+      colsums.resize(2 * n);
+      device.memory().download(ws.colsum_check, colsums);
+    }
+    report.robustness = robust::evaluate_checks(
+        options.checks, instance, params, report.result.span(),
+        block_checksums, colsums);
+  }
   return report;
 }
 

@@ -18,7 +18,10 @@
 #include "gpukernels/fused_ksum.h"
 #include "gpukernels/gemm_cudac.h"
 #include "gpusim/energy.h"
+#include "gpusim/fault_injection.h"
 #include "gpusim/timing.h"
+#include "robust/abft.h"
+#include "robust/recovery.h"
 #include "workload/point_generators.h"
 
 namespace ksum::pipelines {
@@ -47,6 +50,8 @@ struct PipelineReport {
   double useful_flops = 0;    // the paper's profiler-style FLOP count
   gpusim::EnergyBreakdown energy;
   double flop_efficiency = 0;
+  /// Outcome of the ABFT checks (checks_enabled=false when they were off).
+  robust::RobustnessReport robustness;
 };
 
 struct RunOptions {
@@ -63,6 +68,20 @@ struct RunOptions {
   /// assembly grade, modelling a fused kernel built on a cuBLAS-quality
   /// GEMM.
   config::KernelGrade cuda_kernel_grade = config::KernelGrade::cuda_c();
+  /// ABFT checks (robust/abft.h). When enabled the pipelines allocate the
+  /// checksum sinks, fork the second accumulation path inside the kernels,
+  /// run the colsum audit kernel on the unfused solutions, and fill
+  /// PipelineReport::robustness — all of it costed through the normal
+  /// timing/energy models, so the checking overhead is visible.
+  robust::CheckConfig checks;
+  /// Detect→retry→fallback policy applied by solve() around the simulated
+  /// backends (run_pipeline itself executes exactly once). Enabling it
+  /// forces `checks.enabled` inside solve().
+  robust::RecoveryPolicy recovery;
+  /// Optional fault injector attached to the device for the whole run
+  /// (robust/fault_plan.h provides the deterministic implementation). Not
+  /// owned; must outlive the call. nullptr = fault-free execution.
+  gpusim::FaultInjector* fault_injector = nullptr;
 };
 
 /// Runs `solution` on `instance` functionally and returns the full report.

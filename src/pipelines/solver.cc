@@ -1,5 +1,7 @@
 #include "pipelines/solver.h"
 
+#include <cstdint>
+
 #include "common/timer.h"
 
 namespace ksum::pipelines {
@@ -41,8 +43,56 @@ SolveResult solve(const workload::Instance& instance,
               : (backend == Backend::kSimCudaUnfused
                      ? Solution::kCudaUnfused
                      : Solution::kCublasUnfused);
-      PipelineReport report =
-          run_pipeline(solution, instance, params, options);
+
+      RunOptions run_options = options;
+      const robust::RecoveryPolicy& policy = options.recovery;
+      if (policy.enabled) {
+        // Recovery without detection is meaningless — force the checks on.
+        run_options.checks.enabled = true;
+      }
+
+      // Every attempt re-seeds the injector's per-site RNG streams, so a
+      // retry draws an independent fault pattern (and a fault-free replay
+      // of attempt 0 is reproducible by construction).
+      std::uint64_t attempt_id = 0;
+      auto run_once = [&](Solution sol) {
+        if (run_options.fault_injector != nullptr) {
+          run_options.fault_injector->begin_attempt(attempt_id);
+        }
+        ++attempt_id;
+        return run_pipeline(sol, instance, params, run_options);
+      };
+
+      PipelineReport report = run_once(solution);
+      if (policy.enabled && report.robustness.fault_detected()) {
+        out.recovery.faults_detected = 1;
+        for (int r = 0;
+             r < policy.max_retries && report.robustness.fault_detected();
+             ++r) {
+          report = run_once(solution);
+          ++out.recovery.attempts;
+          if (report.robustness.fault_detected()) {
+            ++out.recovery.faults_detected;
+          }
+        }
+        if (report.robustness.fault_detected() &&
+            policy.fallback_to_unfused && solution == Solution::kFused) {
+          // The fused retries are exhausted; switch to the unfused cuBLAS
+          // pipeline (same retry budget), whose intermediate C is audited
+          // by an independent column checksum.
+          out.recovery.fallback_used = true;
+          for (int r = 0;
+               r <= policy.max_retries && report.robustness.fault_detected();
+               ++r) {
+            report = run_once(Solution::kCublasUnfused);
+            ++out.recovery.attempts;
+            if (report.robustness.fault_detected()) {
+              ++out.recovery.faults_detected;
+            }
+          }
+        }
+        out.recovery.gave_up = report.robustness.fault_detected();
+      }
       out.v = std::move(report.result);
       out.report = std::move(report);
       break;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "pipelines/pipeline.h"
+#include "robust/recovery.h"
 
 namespace ksum::pipelines {
 
@@ -22,14 +23,25 @@ std::string to_string(Backend backend);
 
 struct SolveResult {
   Vector v;  // the potential vector, length M
-  /// Present for the simulated backends: full per-kernel report.
+  /// Present for the simulated backends: full per-kernel report (of the
+  /// final attempt, when recovery re-ran the pipeline).
   std::optional<PipelineReport> report;
   /// Host wall-clock spent producing the result (all backends).
   double host_seconds = 0;
+  /// What the detect→retry→fallback policy did (attempts=1, nothing
+  /// detected, when recovery was off or the first run came back clean).
+  robust::RecoveryReport recovery;
 };
 
 /// Evaluates V_i = Σ_j K(α_i, β_j)·W_j with the chosen backend. The
 /// simulated backends require M, N multiples of 128 and K a multiple of 8.
+///
+/// When `options.recovery.enabled`, the simulated backends run under the
+/// detect→retry→fallback policy (robust/recovery.h): the ABFT checks are
+/// forced on, a flagged run is retried with a re-seeded fault-injector
+/// stream, and a fused solution that keeps failing falls back to the
+/// cuBLAS-style unfused pipeline. SolveResult::recovery records the path
+/// taken; `recovery.gave_up` means even the final attempt was flagged.
 SolveResult solve(const workload::Instance& instance,
                   const core::KernelParams& params, Backend backend,
                   const RunOptions& options = {});

@@ -59,6 +59,13 @@ Table pipeline_summary_table(const pipelines::PipelineReport& report) {
                               format_percent(report.energy.dram_share())
                                   .c_str())});
   t.row({"  static", str_format("%.4f J", report.energy.static_j)});
+  if (report.robustness.checks_enabled) {
+    t.row({"ABFT checks", report.robustness.to_string()});
+    const auto faults = report.total.faults_injected_total();
+    if (faults != 0) {
+      t.row({"faults injected", format_si(double(faults))});
+    }
+  }
   return t;
 }
 

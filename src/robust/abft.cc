@@ -1,0 +1,191 @@
+#include "robust/abft.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ksum::robust {
+namespace {
+
+constexpr std::size_t kBlockRows = 128;  // row-block granularity of V
+
+/// Floor added to every tolerance scale so near-zero sums cannot trip a
+/// check on pure rounding noise.
+constexpr double kScaleFloor = 1e-20;
+
+}  // namespace
+
+bool RobustnessReport::fault_detected() const {
+  for (const CheckResult& check : checks) {
+    if (check.applicable && !check.passed) return true;
+  }
+  return false;
+}
+
+std::string RobustnessReport::to_string() const {
+  if (!checks_enabled) return "checks disabled";
+  std::ostringstream os;
+  if (!fault_detected()) {
+    std::size_t applicable = 0;
+    for (const CheckResult& check : checks) {
+      if (check.applicable) ++applicable;
+    }
+    os << "ok (" << applicable << " checks)";
+    return os.str();
+  }
+  os << "FAULT DETECTED:";
+  for (const CheckResult& check : checks) {
+    if (!check.applicable || check.passed) continue;
+    os << " " << check.name << " (metric " << check.metric << " > "
+       << check.threshold << ")";
+  }
+  return os.str();
+}
+
+double kernel_value_bound(const core::KernelParams& params) {
+  switch (params.type) {
+    case core::KernelType::kGaussian:
+    case core::KernelType::kCauchy:
+      return 1.0;
+    case core::KernelType::kMatern32:
+      // (1 + r)·exp(−r) ≤ 1 for r ≥ 0.
+      return 1.0;
+    case core::KernelType::kLaplace3d: {
+      const double soft = static_cast<double>(params.softening);
+      return soft > 0 ? 1.0 / soft : std::numeric_limits<double>::infinity();
+    }
+    case core::KernelType::kPolynomial2:
+      return std::numeric_limits<double>::infinity();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+CheckResult check_finite(std::span<const float> v) {
+  CheckResult result;
+  result.name = "finite";
+  result.threshold = 0;
+  for (float x : v) {
+    if (!std::isfinite(x)) {
+      result.passed = false;
+      result.metric = 1;
+      return result;
+    }
+  }
+  return result;
+}
+
+CheckResult check_kernel_bound(std::span<const float> v,
+                               std::span<const float> w,
+                               const core::KernelParams& params,
+                               double slack) {
+  CheckResult result;
+  result.name = "kernel-bound";
+  const double kmax = kernel_value_bound(params);
+  if (!std::isfinite(kmax)) {
+    result.applicable = false;
+    return result;
+  }
+  double w_mass = 0;
+  for (float x : w) w_mass += std::abs(static_cast<double>(x));
+  const double bound = kmax * w_mass * (1.0 + slack) + kScaleFloor;
+  result.threshold = bound;
+  for (float x : v) {
+    const double mag = std::abs(static_cast<double>(x));
+    result.metric = std::max(result.metric, mag);
+    if (mag > bound) result.passed = false;
+  }
+  return result;
+}
+
+CheckResult check_block_checksums(std::span<const float> v,
+                                  std::span<const float> checksums,
+                                  double rel_tol) {
+  CheckResult result;
+  result.name = "block-checksum";
+  result.threshold = rel_tol;
+  const std::size_t blocks = checksums.size() / 2;
+  KSUM_CHECK_MSG(blocks * kBlockRows == v.size(),
+                 "checksum cells do not cover V");
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double block_sum = 0;
+    for (std::size_t r = 0; r < kBlockRows; ++r) {
+      block_sum += static_cast<double>(v[b * kBlockRows + r]);
+    }
+    const double checksum = static_cast<double>(checksums[b]);
+    const double abs_mass =
+        std::abs(static_cast<double>(checksums[blocks + b]));
+    const double scale = std::max(abs_mass, std::abs(block_sum)) + kScaleFloor;
+    const double discrepancy = std::abs(block_sum - checksum) / scale;
+    // std::max would discard a NaN discrepancy (and report metric 0 for a
+    // failed check); propagate it so the report shows what tripped.
+    result.metric = std::isnan(discrepancy)
+                        ? discrepancy
+                        : std::max(result.metric, discrepancy);
+    if (!(discrepancy <= rel_tol)) result.passed = false;  // NaN fails too
+  }
+  return result;
+}
+
+CheckResult check_gemm_colsums(const workload::Instance& instance,
+                               std::span<const float> colsums,
+                               double rel_tol) {
+  CheckResult result;
+  result.name = "gemm-colsum";
+  result.threshold = rel_tol;
+  const std::size_t m = instance.spec.m;
+  const std::size_t n = instance.spec.n;
+  const std::size_t k = instance.spec.k;
+  KSUM_CHECK_MSG(colsums.size() == 2 * n, "colsum buffer size mismatch");
+
+  // ā = Σ_i α_i, in double — the checksum row of the ABFT-augmented GEMM.
+  // The pipelines store C = AᵀB (the −2 and the norms are applied later, in
+  // the eval pass), so the reference is āᵀβ_j unscaled.
+  std::vector<double> a_colsum(k, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      a_colsum[c] += static_cast<double>(instance.a.at(i, c));
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double ref = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      ref += a_colsum[c] * static_cast<double>(instance.b.at(c, j));
+    }
+    const double measured = static_cast<double>(colsums[j]);
+    const double abs_mass = std::abs(static_cast<double>(colsums[n + j]));
+    const double scale = std::max(abs_mass, std::abs(ref)) + kScaleFloor;
+    const double discrepancy = std::abs(measured - ref) / scale;
+    result.metric = std::isnan(discrepancy)
+                        ? discrepancy
+                        : std::max(result.metric, discrepancy);
+    if (!(discrepancy <= rel_tol)) result.passed = false;
+  }
+  return result;
+}
+
+RobustnessReport evaluate_checks(const CheckConfig& config,
+                                 const workload::Instance& instance,
+                                 const core::KernelParams& params,
+                                 std::span<const float> v,
+                                 std::span<const float> block_checksums,
+                                 std::span<const float> gemm_colsums) {
+  RobustnessReport report;
+  report.checks_enabled = config.enabled;
+  if (!config.enabled) return report;
+  report.checks.push_back(check_finite(v));
+  report.checks.push_back(check_kernel_bound(v, instance.w.span(), params,
+                                             config.bound_slack));
+  if (!block_checksums.empty()) {
+    report.checks.push_back(
+        check_block_checksums(v, block_checksums, config.rel_tol));
+  }
+  if (!gemm_colsums.empty()) {
+    report.checks.push_back(
+        check_gemm_colsums(instance, gemm_colsums, config.rel_tol));
+  }
+  return report;
+}
+
+}  // namespace ksum::robust

@@ -1,0 +1,110 @@
+// Algorithm-based fault tolerance (ABFT) invariants for the kernel-summation
+// pipelines, and the RobustnessReport the pipelines attach to their results.
+//
+// Three families of checks (docs/ROBUSTNESS.md derives the coverage and
+// false-positive bounds):
+//
+//   finite       — no NaN/Inf anywhere in V. Catches exponent-field upsets
+//                  wherever they strike.
+//   bound        — for radial kernels 0 < K(d²) ≤ Kmax, so every potential
+//                  obeys |V_i| ≤ Kmax·Σ_j|W_j|. Catches high-magnitude
+//                  corruption of any origin.
+//   checksums    — the ABFT core. The fused kernel and the GEMV forward
+//                  each CTA's total contribution (and total |contribution|)
+//                  through a second atomic path into per-row-block checksum
+//                  cells; Σ of a V block must match its checksum cell. The
+//                  unfused pipelines additionally verify the GEMM itself:
+//                  column j of C = AᵀB must sum to (Σ_i α_i)ᵀβ_j, with the
+//                  column sums measured by a simulated colsum kernel so the
+//                  checking traffic is costed honestly.
+//
+// All comparisons are tolerance-scaled by the *absolute* mass of the sum
+// being checked, so signed-weight cancellation cannot manufacture false
+// positives.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/kernels.h"
+#include "workload/point_generators.h"
+
+namespace ksum::robust {
+
+struct CheckConfig {
+  /// Master switch; the pipelines skip all ABFT work when false.
+  bool enabled = false;
+  /// Relative tolerance of the checksum comparisons, scaled by the absolute
+  /// sum of the quantity checked. Float re-association noise is below
+  /// ~eps·√ops ≈ 1e-5 for the paper's sizes, so 1e-3 keeps a wide
+  /// false-positive margin while still catching single warp-level faults.
+  double rel_tol = 1e-3;
+  /// Slack on the kernel-value bound check (accounts for rounding in the
+  /// d² expansion near coincident points).
+  double bound_slack = 1e-3;
+  /// Run the GEMM column-checksum pass on the unfused pipelines (adds one
+  /// full read of C — the honest price of auditing an intermediate the
+  /// fused pipeline never materialises).
+  bool gemm_colsum = true;
+};
+
+struct CheckResult {
+  std::string name;
+  bool applicable = true;  // false: skipped (e.g. bound for polynomial)
+  bool passed = true;
+  double metric = 0;     // worst normalised discrepancy observed
+  double threshold = 0;  // limit the metric was compared against
+};
+
+struct RobustnessReport {
+  bool checks_enabled = false;
+  std::vector<CheckResult> checks;
+
+  /// True when any applicable check failed — the signal the solver's
+  /// retry/fallback policy acts on.
+  bool fault_detected() const;
+  /// "ok (4 checks)" or the list of failed checks with their metrics.
+  std::string to_string() const;
+};
+
+/// Largest value the kernel can take (1 for Gaussian/Matérn/Cauchy,
+/// 1/softening for the softened reciprocal). Returns +inf for the
+/// polynomial kernel, whose values are unbounded — the bound check then
+/// reports itself not applicable.
+double kernel_value_bound(const core::KernelParams& params);
+
+// --- Individual invariants (unit-testable; the pipelines call these) -------
+
+CheckResult check_finite(std::span<const float> v);
+
+CheckResult check_kernel_bound(std::span<const float> v,
+                               std::span<const float> w,
+                               const core::KernelParams& params,
+                               double slack);
+
+/// `checksums` holds 2·blocks floats: [0, blocks) the signed per-block
+/// sums accumulated through the second atomic path, [blocks, 2·blocks) the
+/// absolute sums used as the tolerance scale. Block b covers V rows
+/// [128·b, 128·(b+1)).
+CheckResult check_block_checksums(std::span<const float> v,
+                                  std::span<const float> checksums,
+                                  double rel_tol);
+
+/// `colsums` holds 2·N floats measured from C = AᵀB before the eval pass:
+/// [0, N) signed column sums, [N, 2N) absolute column sums. The reference
+/// (Σ_i α_i)ᵀβ_j is recomputed here in double from the instance.
+CheckResult check_gemm_colsums(const workload::Instance& instance,
+                               std::span<const float> colsums,
+                               double rel_tol);
+
+/// Assembles the full report from whichever artefacts a pipeline produced
+/// (pass empty spans for checks that do not apply to it).
+RobustnessReport evaluate_checks(const CheckConfig& config,
+                                 const workload::Instance& instance,
+                                 const core::KernelParams& params,
+                                 std::span<const float> v,
+                                 std::span<const float> block_checksums,
+                                 std::span<const float> gemm_colsums);
+
+}  // namespace ksum::robust

@@ -1,0 +1,150 @@
+#include "robust/fault_plan.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ksum::robust {
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+std::size_t index_of(gpusim::FaultSite site) {
+  const int i = static_cast<int>(site);
+  KSUM_DCHECK(i >= 0 && i < gpusim::kNumFaultSites);
+  return static_cast<std::size_t>(i);
+}
+
+/// Number of clean opportunities before the next fault under rate `p`
+/// (geometric distribution; kNever for p = 0).
+std::uint64_t geometric_gap(Rng& rng, double p) {
+  if (p <= 0.0) return kNever;
+  if (p >= 1.0) return 0;
+  // Guard u away from 0 so log stays finite.
+  const double u = std::max(rng.next_double(), 1e-300);
+  const double gap = std::floor(std::log(u) / std::log1p(-p));
+  if (gap >= 1e18) return kNever;
+  return static_cast<std::uint64_t>(gap);
+}
+
+}  // namespace
+
+FaultPlanConfig FaultPlanConfig::uniform(std::uint64_t seed, double rate) {
+  FaultPlanConfig config;
+  config.seed = seed;
+  config.rates.fill(rate);
+  return config;
+}
+
+FaultPlanConfig FaultPlanConfig::single_site(std::uint64_t seed,
+                                             gpusim::FaultSite site,
+                                             double rate) {
+  FaultPlanConfig config;
+  config.seed = seed;
+  config.rates[index_of(site)] = rate;
+  return config;
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config) : config_(config) {
+  for (double rate : config_.rates) {
+    KSUM_REQUIRE(rate >= 0.0 && rate <= 1.0 && std::isfinite(rate),
+                 "fault rate must be in [0, 1]");
+  }
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    sites_[i].rate = config_.rates[i];
+  }
+  seed_streams(0);
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, double rate_all_sites)
+    : FaultPlan(FaultPlanConfig::uniform(seed, rate_all_sites)) {}
+
+void FaultPlan::seed_streams(std::uint64_t attempt) {
+  // Every (site, attempt) pair gets its own substream: decisions of one
+  // site never perturb another, and every retry draws fresh faults.
+  const Rng root(config_.seed ^ 0x726f627573746b73ULL);
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    SiteState& site = sites_[i];
+    site.rng = root.split(attempt * static_cast<std::uint64_t>(
+                                        gpusim::kNumFaultSites) +
+                          i);
+    site.countdown = geometric_gap(site.rng, site.rate);
+  }
+}
+
+void FaultPlan::begin_attempt(std::uint64_t attempt) {
+  seed_streams(attempt);
+}
+
+bool FaultPlan::draw(gpusim::FaultSite s) {
+  SiteState& site = sites_[index_of(s)];
+  site.opportunities += 1;
+  if (site.countdown == kNever) return false;
+  if (site.countdown > 0) {
+    site.countdown -= 1;
+    return false;
+  }
+  site.countdown = geometric_gap(site.rng, site.rate);
+  site.injected += 1;
+  return true;
+}
+
+float FaultPlan::corrupt_word(gpusim::FaultSite site, float value) {
+  if (!draw(site)) return value;
+  // Flip one uniformly chosen bit of the 32-bit word — sign, exponent and
+  // mantissa upsets are all reachable, like a real SEU.
+  const std::uint32_t bit =
+      static_cast<std::uint32_t>(sites_[index_of(site)].rng.next_below(32));
+  return std::bit_cast<float>(std::bit_cast<std::uint32_t>(value) ^
+                              (std::uint32_t{1} << bit));
+}
+
+gpusim::AtomicFate FaultPlan::atomic_fate() {
+  // Drop wins when both channels fire on the same request (arbitrary but
+  // deterministic); both opportunities are consumed either way.
+  const bool drop = draw(gpusim::FaultSite::kAtomicDrop);
+  const bool twice = draw(gpusim::FaultSite::kAtomicDouble);
+  if (drop) return gpusim::AtomicFate::kDrop;
+  if (twice) return gpusim::AtomicFate::kDouble;
+  return gpusim::AtomicFate::kApply;
+}
+
+std::uint64_t FaultPlan::injected(gpusim::FaultSite site) const {
+  return sites_[index_of(site)].injected;
+}
+
+std::uint64_t FaultPlan::opportunities(gpusim::FaultSite site) const {
+  return sites_[index_of(site)].opportunities;
+}
+
+std::uint64_t FaultPlan::total_injected() const {
+  std::uint64_t total = 0;
+  for (const SiteState& site : sites_) total += site.injected;
+  return total;
+}
+
+void FaultPlan::reset_counts() {
+  for (SiteState& site : sites_) {
+    site.injected = 0;
+    site.opportunities = 0;
+  }
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "fault_plan{seed=" << config_.seed;
+  for (int i = 0; i < gpusim::kNumFaultSites; ++i) {
+    const auto site = static_cast<gpusim::FaultSite>(i);
+    const SiteState& s = sites_[static_cast<std::size_t>(i)];
+    if (s.rate <= 0 && s.injected == 0) continue;
+    os << " " << gpusim::to_string(site) << "=" << s.injected << "/"
+       << s.opportunities;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ksum::robust

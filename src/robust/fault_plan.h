@@ -1,0 +1,76 @@
+// Seeded, deterministic fault-injection plan.
+//
+// A FaultPlan is the concrete gpusim::FaultInjector used by campaigns and
+// the CLI: each fault site gets an independent RNG substream (derived from
+// one seed via Rng::split) and a per-opportunity injection probability. The
+// same seed therefore replays the exact same fault sequence regardless of
+// what the other sites do — campaigns are reproducible bit for bit, and a
+// detect→retry loop re-seeds per attempt to draw independent faults.
+//
+// Injection decisions use geometric skip-sampling (draw the gap to the next
+// fault instead of one Bernoulli per opportunity), so a rate-0 or sparse
+// plan adds almost nothing to the simulator's per-word cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "gpusim/fault_injection.h"
+
+namespace ksum::robust {
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0;
+  /// Per-opportunity injection probability for each gpusim::FaultSite
+  /// (indexed by the enum's value). 0 disables a site.
+  std::array<double, gpusim::kNumFaultSites> rates{};
+
+  /// Convenience: the same rate on every site.
+  static FaultPlanConfig uniform(std::uint64_t seed, double rate);
+  /// Convenience: `rate` on exactly one site, 0 elsewhere.
+  static FaultPlanConfig single_site(std::uint64_t seed,
+                                     gpusim::FaultSite site, double rate);
+};
+
+class FaultPlan final : public gpusim::FaultInjector {
+ public:
+  explicit FaultPlan(const FaultPlanConfig& config);
+  FaultPlan(std::uint64_t seed, double rate_all_sites);
+
+  // gpusim::FaultInjector:
+  float corrupt_word(gpusim::FaultSite site, float value) override;
+  gpusim::AtomicFate atomic_fate() override;
+  /// Re-derives every site's RNG substream for retry `attempt` (attempt 0
+  /// reproduces the construction state). Cumulative counts are kept.
+  void begin_attempt(std::uint64_t attempt) override;
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// Faults injected / opportunities offered since construction, per site.
+  std::uint64_t injected(gpusim::FaultSite site) const;
+  std::uint64_t opportunities(gpusim::FaultSite site) const;
+  std::uint64_t total_injected() const;
+  void reset_counts();
+
+  std::string to_string() const;
+
+ private:
+  struct SiteState {
+    Rng rng{0};
+    double rate = 0;
+    std::uint64_t countdown = 0;  // opportunities until the next fault
+    std::uint64_t injected = 0;
+    std::uint64_t opportunities = 0;
+  };
+
+  void seed_streams(std::uint64_t attempt);
+  /// Consumes one opportunity of `site`; true when a fault strikes now.
+  bool draw(gpusim::FaultSite site);
+
+  FaultPlanConfig config_;
+  std::array<SiteState, gpusim::kNumFaultSites> sites_;
+};
+
+}  // namespace ksum::robust

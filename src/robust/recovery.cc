@@ -1,0 +1,20 @@
+#include "robust/recovery.h"
+
+#include <sstream>
+
+namespace ksum::robust {
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream os;
+  if (faults_detected == 0) {
+    os << "clean (1 attempt)";
+    return os.str();
+  }
+  os << faults_detected << " faulty attempt"
+     << (faults_detected == 1 ? "" : "s") << " of " << attempts;
+  if (fallback_used) os << ", fell back to unfused";
+  os << (gave_up ? ", GAVE UP" : ", recovered");
+  return os.str();
+}
+
+}  // namespace ksum::robust

@@ -1,0 +1,42 @@
+// Detect→retry→fallback policy the solver applies around the simulated
+// pipelines (docs/ROBUSTNESS.md §Recovery).
+//
+// When a run's ABFT checks flag a fault, the solver re-runs the same
+// pipeline up to `max_retries` times, re-seeding the fault injector's RNG
+// streams each attempt so the retry draws independent faults. If every
+// retry is also flagged, it falls back from the fused solution to the
+// cuBLAS-style unfused pipeline (whose intermediate C is independently
+// auditable) and gives that the same retry budget. Only if the fallback is
+// exhausted too does solve() return a result still flagged as faulty.
+#pragma once
+
+#include <string>
+
+namespace ksum::robust {
+
+struct RecoveryPolicy {
+  /// Master switch. Enabling recovery forces the ABFT checks on — there is
+  /// nothing to act on without detection.
+  bool enabled = false;
+  /// Extra runs of the same solution after a detected fault.
+  int max_retries = 2;
+  /// After the retries, switch a fused solution to the unfused cuBLAS
+  /// pipeline (with its own retry budget) instead of giving up.
+  bool fallback_to_unfused = true;
+};
+
+struct RecoveryReport {
+  /// Pipeline executions performed (1 = clean first try).
+  int attempts = 1;
+  /// How many of those were flagged by the ABFT checks.
+  int faults_detected = 0;
+  bool fallback_used = false;
+  /// True when even the last attempt was flagged — the returned result is
+  /// not trustworthy and the caller must treat it as failed.
+  bool gave_up = false;
+
+  bool recovered() const { return faults_detected > 0 && !gave_up; }
+  std::string to_string() const;
+};
+
+}  // namespace ksum::robust

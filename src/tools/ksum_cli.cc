@@ -6,8 +6,12 @@
 //   ksum-cli info                           # the simulated device
 //
 // Run any subcommand with --help for its flags.
+//
+// Exit codes: 0 success; 1 verification failure or unrecovered fault;
+// 2 invalid input or usage (ksum::Error); 3 internal bug (ksum::InternalError).
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "blas/vector_ops.h"
 #include "common/flags.h"
@@ -16,6 +20,7 @@
 #include "pipelines/solver.h"
 #include "report/paper_report.h"
 #include "report/pipeline_printer.h"
+#include "robust/fault_plan.h"
 #include "workload/weights.h"
 
 namespace {
@@ -96,7 +101,35 @@ void declare_problem_flags(FlagParser& flags) {
                "compute squared norms inside the fused kernel "
                "(beyond-the-paper optimisation)", false)
       .declare("l1", "cache global loads in the per-SM L1 (-dlcm=ca)", false)
+      .declare("fault-rate",
+               "per-opportunity fault-injection probability on every site "
+               "(0 = no injection)")
+      .declare("fault-seed", "fault-injection seed")
+      .declare("robust",
+               "enable the ABFT checks and the detect/retry/fallback "
+               "recovery policy", false)
       .declare("help", "show this help", false);
+}
+
+/// Builds the fault injector requested by --fault-rate/--fault-seed (null
+/// when injection is off) and flips on checks/recovery for --robust. The
+/// returned plan owns the injector `options` points at — keep it alive
+/// through the solve.
+std::unique_ptr<robust::FaultPlan> robustness_from_flags(
+    const FlagParser& flags, pipelines::RunOptions& options) {
+  std::unique_ptr<robust::FaultPlan> plan;
+  const double rate = flags.get_double("fault-rate", 0.0);
+  KSUM_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault rate must be in [0, 1]");
+  if (rate > 0.0) {
+    plan = std::make_unique<robust::FaultPlan>(robust::FaultPlanConfig::uniform(
+        std::uint64_t(flags.get_int("fault-seed", 1)), rate));
+    options.fault_injector = plan.get();
+  }
+  if (flags.get_bool("robust")) {
+    options.checks.enabled = true;
+    options.recovery.enabled = true;
+  }
+  return plan;
 }
 
 int cmd_solve(int argc, const char* const* argv) {
@@ -116,7 +149,8 @@ int cmd_solve(int argc, const char* const* argv) {
 
   const auto spec = spec_from_flags(flags);
   const auto params = params_from_flags(flags, spec);
-  const auto options = options_from_flags(flags);
+  auto options = options_from_flags(flags);
+  const auto plan = robustness_from_flags(flags, options);
   const auto instance = workload::make_instance(spec);
 
   const std::string name = flags.get_string("solution", "fused");
@@ -143,6 +177,18 @@ int cmd_solve(int argc, const char* const* argv) {
     report::pipeline_summary_table(*result.report).print(std::cout);
   } else {
     std::printf("host time: %.3f s\n", result.host_seconds);
+  }
+  if (result.report && result.report->robustness.checks_enabled) {
+    std::printf("robustness: %s\n",
+                result.report->robustness.to_string().c_str());
+    std::printf("recovery  : %s\n", result.recovery.to_string().c_str());
+  }
+  if (plan) {
+    std::printf("%s\n", plan->to_string().c_str());
+  }
+  if (result.recovery.gave_up) {
+    std::fprintf(stderr, "ksum-cli: fault detected and not recovered\n");
+    return 1;
   }
   if (flags.get_bool("verify")) {
     const auto oracle =
@@ -238,7 +284,9 @@ int cmd_info() {
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: ksum-cli <solve|knn|sweep|info> [flags]\n"
-      "       ksum-cli <subcommand> --help\n";
+      "       ksum-cli <subcommand> --help\n"
+      "exit codes: 0 ok, 1 verification/recovery failure, 2 invalid input, "
+      "3 internal error\n";
   if (argc < 2) {
     std::fputs(usage.c_str(), stderr);
     return 2;
@@ -251,8 +299,14 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info();
     std::fputs(usage.c_str(), stderr);
     return 2;
+  } catch (const ksum::InternalError& e) {
+    std::fprintf(stderr, "ksum-cli: internal error: %s\n", e.what());
+    return 3;
+  } catch (const ksum::Error& e) {
+    std::fprintf(stderr, "ksum-cli: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ksum-cli: %s\n", e.what());
-    return 1;
+    return 3;
   }
 }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "common/error.h"
 
 namespace ksum::core {
 namespace {
@@ -113,6 +116,53 @@ INSTANTIATE_TEST_SUITE_P(AllKernels, KernelBoundsTest,
                                            KernelType::kMatern32,
                                            KernelType::kCauchy,
                                            KernelType::kPolynomial2));
+
+TEST(KernelValidateTest, AcceptsDefaults) {
+  for (const auto type :
+       {KernelType::kGaussian, KernelType::kLaplace3d, KernelType::kMatern32,
+        KernelType::kCauchy, KernelType::kPolynomial2}) {
+    KernelParams p;
+    p.type = type;
+    EXPECT_NO_THROW(validate(p)) << to_string(type);
+  }
+}
+
+TEST(KernelValidateTest, RejectsBadBandwidth) {
+  KernelParams p;  // gaussian
+  p.bandwidth = 0.0f;
+  EXPECT_THROW(validate(p), Error);
+  p.bandwidth = -1.0f;
+  EXPECT_THROW(validate(p), Error);
+  p.bandwidth = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(validate(p), Error);
+  p.bandwidth = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(validate(p), Error);
+}
+
+TEST(KernelValidateTest, BandwidthIrrelevantForNonRadialUses) {
+  // The reciprocal and polynomial kernels never divide by h; a zero
+  // bandwidth must not reject them.
+  KernelParams p;
+  p.type = KernelType::kLaplace3d;
+  p.bandwidth = 0.0f;
+  EXPECT_NO_THROW(validate(p));
+  p.type = KernelType::kPolynomial2;
+  EXPECT_NO_THROW(validate(p));
+}
+
+TEST(KernelValidateTest, RejectsBadSofteningAndShift) {
+  KernelParams p;
+  p.type = KernelType::kLaplace3d;
+  p.softening = 0.0f;  // 1/d² blows up at coincident points
+  EXPECT_THROW(validate(p), Error);
+  p.softening = -1.0f;
+  EXPECT_THROW(validate(p), Error);
+
+  KernelParams q;
+  q.type = KernelType::kPolynomial2;
+  q.poly_shift = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(validate(q), Error);
+}
 
 }  // namespace
 }  // namespace ksum::core

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
 namespace ksum::gpusim {
 namespace {
 
@@ -31,6 +36,46 @@ TEST(CountersTest, AdditionSumsEveryField) {
   EXPECT_EQ(c.dram_write_transactions, 33u);
   EXPECT_EQ(c.smem_load_transactions, 44u);
   EXPECT_EQ(c.barriers, 55u);
+}
+
+// Counters is a plain bag of uint64_t event counts; operator+= must sum
+// EVERY field, or a newly-added counter silently vanishes from pipeline
+// totals. Rather than enumerate fields (which rots), fill the whole object
+// word by word through memcpy and verify each word doubles.
+TEST(CountersTest, PlusEqualsSumsEveryField) {
+  static_assert(std::is_trivially_copyable_v<Counters>);
+  static_assert(sizeof(Counters) % sizeof(std::uint64_t) == 0,
+                "Counters must stay a pure array of 64-bit counts");
+  constexpr std::size_t kWords = sizeof(Counters) / sizeof(std::uint64_t);
+
+  std::array<std::uint64_t, kWords> raw{};
+  for (std::size_t i = 0; i < kWords; ++i) raw[i] = i + 1;
+  Counters a;
+  std::memcpy(&a, raw.data(), sizeof(a));
+  Counters b;
+  std::memcpy(&b, raw.data(), sizeof(b));
+
+  a += b;
+  std::array<std::uint64_t, kWords> out{};
+  std::memcpy(out.data(), &a, sizeof(a));
+  for (std::size_t i = 0; i < kWords; ++i) {
+    EXPECT_EQ(out[i], 2 * (i + 1))
+        << "64-bit word " << i << " of Counters is not summed by operator+= "
+        << "(newly added field missing from counters.cc?)";
+  }
+}
+
+TEST(CountersTest, FaultTotalsAndToString) {
+  Counters c;
+  EXPECT_EQ(c.faults_injected_total(), 0u);
+  EXPECT_EQ(c.to_string().find("faults"), std::string::npos);
+  c.faults_smem_bitflips = 1;
+  c.faults_global_bitflips = 2;
+  c.faults_tile_corruptions = 3;
+  c.faults_atomics_dropped = 4;
+  c.faults_atomics_doubled = 5;
+  EXPECT_EQ(c.faults_injected_total(), 15u);
+  EXPECT_NE(c.to_string().find("faults"), std::string::npos);
 }
 
 TEST(CountersTest, Totals) {

@@ -1,0 +1,168 @@
+#include "robust/abft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ksum::robust {
+namespace {
+
+workload::Instance small_instance() {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  spec.seed = 5;
+  return workload::make_instance(spec);
+}
+
+TEST(AbftTest, FiniteCheckPassesOnCleanData) {
+  const std::vector<float> v{1.0f, -2.5f, 0.0f};
+  EXPECT_TRUE(check_finite(v).passed);
+}
+
+TEST(AbftTest, FiniteCheckCatchesNanAndInf) {
+  const std::vector<float> with_nan{
+      1.0f, std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_FALSE(check_finite(with_nan).passed);
+  const std::vector<float> with_inf{std::numeric_limits<float>::infinity()};
+  EXPECT_FALSE(check_finite(with_inf).passed);
+}
+
+TEST(AbftTest, KernelValueBoundPerKernel) {
+  core::KernelParams params;
+  params.type = core::KernelType::kGaussian;
+  EXPECT_DOUBLE_EQ(kernel_value_bound(params), 1.0);
+  params.type = core::KernelType::kLaplace3d;
+  params.softening = 0.5f;
+  EXPECT_DOUBLE_EQ(kernel_value_bound(params), 2.0);
+  params.type = core::KernelType::kPolynomial2;
+  EXPECT_FALSE(std::isfinite(kernel_value_bound(params)));
+}
+
+TEST(AbftTest, BoundCheckFlagsImpossiblePotential) {
+  core::KernelParams params;  // gaussian: K ≤ 1
+  const std::vector<float> w{0.5f, -0.5f, 1.0f};  // Σ|W| = 2
+  const std::vector<float> ok{1.9f, -1.9f};
+  EXPECT_TRUE(check_kernel_bound(ok, w, params, 1e-3).passed);
+  const std::vector<float> bad{2.5f};
+  EXPECT_FALSE(check_kernel_bound(bad, w, params, 1e-3).passed);
+}
+
+TEST(AbftTest, BoundCheckNotApplicableForPolynomial) {
+  core::KernelParams params;
+  params.type = core::KernelType::kPolynomial2;
+  const std::vector<float> w{1.0f};
+  const std::vector<float> v{1e20f};
+  const auto result = check_kernel_bound(v, w, params, 1e-3);
+  EXPECT_FALSE(result.applicable);
+}
+
+TEST(AbftTest, BlockChecksumPassesWhenConsistent) {
+  // Two blocks of 128 rows; checksum cells hold the exact block sums.
+  std::vector<float> v(256);
+  std::vector<float> sums(4, 0.0f);  // [2 signed | 2 abs]
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = (i % 3 == 0 ? -1.0f : 1.0f) * float(i % 7) * 0.125f;
+    const std::size_t b = i / 128;
+    sums[b] += v[i];
+    sums[2 + b] += std::fabs(v[i]);
+  }
+  const auto result = check_block_checksums(v, sums, 1e-3);
+  EXPECT_TRUE(result.passed) << result.metric;
+}
+
+TEST(AbftTest, BlockChecksumCatchesSingleBlockDrift) {
+  std::vector<float> v(256, 0.5f);
+  std::vector<float> sums{64.0f, 64.0f, 64.0f, 64.0f};
+  v[200] += 1.0f;  // one row of block 1 corrupted after the fork
+  const auto result = check_block_checksums(v, sums, 1e-3);
+  EXPECT_FALSE(result.passed);
+  EXPECT_GT(result.metric, result.threshold);
+}
+
+TEST(AbftTest, BlockChecksumNanChecksumFails) {
+  std::vector<float> v(128, 1.0f);
+  std::vector<float> sums{std::numeric_limits<float>::quiet_NaN(), 128.0f};
+  EXPECT_FALSE(check_block_checksums(v, sums, 1e-3).passed);
+}
+
+TEST(AbftTest, BlockChecksumToleratesSignedCancellation) {
+  // Block sum ≈ 0 but absolute mass large: a tolerance scaled only by the
+  // signed sum would false-positive on rounding noise; the abs companion
+  // cell must keep this clean.
+  std::vector<float> v(128);
+  float sum = 0.0f, abs_sum = 0.0f;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = (i % 2 == 0 ? 1.0f : -1.0f) * 100.0f;
+    sum += v[i];
+    abs_sum += std::fabs(v[i]);
+  }
+  // Simulate reorder noise in the second path.
+  const std::vector<float> sums{sum + 1e-3f, abs_sum};
+  EXPECT_TRUE(check_block_checksums(v, sums, 1e-3).passed);
+}
+
+TEST(AbftTest, GemmColsumAgreesWithReference) {
+  const auto inst = small_instance();
+  const std::size_t m = inst.spec.m, n = inst.spec.n, k = inst.spec.k;
+  // Measured colsums of C = AᵀB computed directly from the instance.
+  std::vector<float> colsums(2 * n, 0.0f);
+  for (std::size_t j = 0; j < n; ++j) {
+    double sum = 0, abs_sum = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      double dot = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        dot += double(inst.a.at(i, c)) * double(inst.b.at(c, j));
+      }
+      sum += dot;
+      abs_sum += std::fabs(dot);
+    }
+    colsums[j] = float(sum);
+    colsums[n + j] = float(abs_sum);
+  }
+  EXPECT_TRUE(check_gemm_colsums(inst, colsums, 1e-3).passed);
+
+  colsums[n / 2] += 0.5f * colsums[n + n / 2] + 1.0f;
+  EXPECT_FALSE(check_gemm_colsums(inst, colsums, 1e-3).passed);
+}
+
+TEST(AbftTest, EvaluateChecksSkipsMissingArtefacts) {
+  const auto inst = small_instance();
+  core::KernelParams params;
+  const std::vector<float> v(inst.spec.m, 0.1f);
+  CheckConfig config;
+  config.enabled = true;
+  const auto report = evaluate_checks(config, inst, params, v, {}, {});
+  EXPECT_TRUE(report.checks_enabled);
+  EXPECT_EQ(report.checks.size(), 2u);  // finite + bound only
+  EXPECT_FALSE(report.fault_detected());
+}
+
+TEST(AbftTest, DisabledConfigReportsNoChecks) {
+  const auto inst = small_instance();
+  core::KernelParams params;
+  const std::vector<float> v(inst.spec.m, 0.1f);
+  const auto report = evaluate_checks(CheckConfig{}, inst, params, v, {}, {});
+  EXPECT_FALSE(report.checks_enabled);
+  EXPECT_TRUE(report.checks.empty());
+  EXPECT_FALSE(report.fault_detected());
+}
+
+TEST(AbftTest, ReportToStringNamesFailedCheck) {
+  RobustnessReport report;
+  report.checks_enabled = true;
+  CheckResult bad;
+  bad.name = "block-checksum";
+  bad.passed = false;
+  bad.metric = 0.5;
+  bad.threshold = 1e-3;
+  report.checks.push_back(bad);
+  EXPECT_NE(report.to_string().find("block-checksum"), std::string::npos);
+  EXPECT_TRUE(report.fault_detected());
+}
+
+}  // namespace
+}  // namespace ksum::robust

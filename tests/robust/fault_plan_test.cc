@@ -1,0 +1,119 @@
+#include "robust/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace ksum::robust {
+namespace {
+
+using gpusim::AtomicFate;
+using gpusim::FaultSite;
+
+// Replays `n` corrupt_word opportunities of `site` and returns the outputs.
+std::vector<float> replay(FaultPlan& plan, FaultSite site, int n) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(plan.corrupt_word(site, 1.0f));
+  }
+  return out;
+}
+
+TEST(FaultPlanTest, SameSeedReplaysIdentically) {
+  const auto config = FaultPlanConfig::uniform(/*seed=*/7, /*rate=*/0.01);
+  FaultPlan a(config);
+  FaultPlan b(config);
+  EXPECT_EQ(replay(a, FaultSite::kSharedMemory, 4096),
+            replay(b, FaultSite::kSharedMemory, 4096));
+  for (int i = 0; i < 512; ++i) {
+    EXPECT_EQ(static_cast<int>(a.atomic_fate()),
+              static_cast<int>(b.atomic_fate()));
+  }
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  EXPECT_GT(a.total_injected(), 0u);
+}
+
+TEST(FaultPlanTest, BeginAttemptZeroReproducesConstructionState) {
+  const auto config = FaultPlanConfig::uniform(9, 0.02);
+  FaultPlan a(config);
+  const auto first = replay(a, FaultSite::kGlobalMemory, 2048);
+  a.begin_attempt(0);
+  EXPECT_EQ(replay(a, FaultSite::kGlobalMemory, 2048), first);
+}
+
+TEST(FaultPlanTest, DifferentAttemptsDrawDifferentFaults) {
+  const auto config = FaultPlanConfig::uniform(9, 0.02);
+  FaultPlan a(config);
+  const auto attempt0 = replay(a, FaultSite::kGlobalMemory, 4096);
+  a.begin_attempt(1);
+  EXPECT_NE(replay(a, FaultSite::kGlobalMemory, 4096), attempt0);
+}
+
+TEST(FaultPlanTest, SitesDrawIndependentStreams) {
+  // Consuming opportunities on one site must not perturb another site's
+  // sequence — the property that makes single-site campaigns composable.
+  const auto config = FaultPlanConfig::uniform(11, 0.01);
+  FaultPlan undisturbed(config);
+  FaultPlan disturbed(config);
+  (void)replay(disturbed, FaultSite::kTileLoad, 999);
+  EXPECT_EQ(replay(undisturbed, FaultSite::kSharedMemory, 4096),
+            replay(disturbed, FaultSite::kSharedMemory, 4096));
+}
+
+TEST(FaultPlanTest, SingleSiteOnlyFaultsThatSite) {
+  FaultPlan plan(
+      FaultPlanConfig::single_site(3, FaultSite::kSharedMemory, 0.05));
+  for (int i = 0; i < 2048; ++i) {
+    EXPECT_EQ(plan.corrupt_word(FaultSite::kGlobalMemory, 2.0f), 2.0f);
+    EXPECT_EQ(plan.corrupt_word(FaultSite::kTileLoad, 2.0f), 2.0f);
+    EXPECT_EQ(static_cast<int>(plan.atomic_fate()),
+              static_cast<int>(AtomicFate::kApply));
+    (void)plan.corrupt_word(FaultSite::kSharedMemory, 2.0f);
+  }
+  EXPECT_GT(plan.injected(FaultSite::kSharedMemory), 0u);
+  EXPECT_EQ(plan.injected(FaultSite::kGlobalMemory), 0u);
+  EXPECT_EQ(plan.injected(FaultSite::kTileLoad), 0u);
+  EXPECT_EQ(plan.injected(FaultSite::kAtomicDrop), 0u);
+  EXPECT_EQ(plan.injected(FaultSite::kAtomicDouble), 0u);
+}
+
+TEST(FaultPlanTest, CorruptionFlipsExactlyOneBit) {
+  FaultPlan plan(FaultPlanConfig::uniform(17, 1.0));  // fault every word
+  for (int i = 0; i < 64; ++i) {
+    const float in = 3.25f;
+    const float out = plan.corrupt_word(FaultSite::kGlobalMemory, in);
+    const std::uint32_t diff =
+        std::bit_cast<std::uint32_t>(in) ^ std::bit_cast<std::uint32_t>(out);
+    EXPECT_EQ(std::popcount(diff), 1) << "word " << i;
+  }
+  EXPECT_EQ(plan.injected(FaultSite::kGlobalMemory), 64u);
+  EXPECT_EQ(plan.opportunities(FaultSite::kGlobalMemory), 64u);
+}
+
+TEST(FaultPlanTest, RateZeroNeverInjects) {
+  FaultPlan plan(/*seed=*/1, /*rate_all_sites=*/0.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(plan.corrupt_word(FaultSite::kSharedMemory, 1.5f), 1.5f);
+    EXPECT_EQ(static_cast<int>(plan.atomic_fate()),
+              static_cast<int>(AtomicFate::kApply));
+  }
+  EXPECT_EQ(plan.total_injected(), 0u);
+}
+
+TEST(FaultPlanTest, InjectionRateMatchesConfiguredProbability) {
+  const double rate = 0.01;
+  FaultPlan plan(FaultPlanConfig::single_site(
+      23, FaultSite::kSharedMemory, rate));
+  const int n = 200000;
+  (void)replay(plan, FaultSite::kSharedMemory, n);
+  const double observed =
+      double(plan.injected(FaultSite::kSharedMemory)) / double(n);
+  // 2000 expected hits; 5 sigma ≈ ±0.0011.
+  EXPECT_NEAR(observed, rate, 1.2e-3);
+}
+
+}  // namespace
+}  // namespace ksum::robust

@@ -1,0 +1,182 @@
+// End-to-end fault campaign acceptance tests: injected accumulator/atomic
+// faults are detected by the ABFT checks, detection drives the solver's
+// retry/fallback recovery to a correct result, and a fault-free run never
+// false-positives.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "blas/vector_ops.h"
+#include "pipelines/solver.h"
+#include "robust/fault_plan.h"
+
+namespace ksum::robust {
+namespace {
+
+using gpusim::FaultSite;
+using pipelines::run_pipeline;
+using pipelines::RunOptions;
+using pipelines::Solution;
+using pipelines::to_string;
+
+workload::Instance instance_for(std::size_t m, std::size_t n, std::size_t k) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = 77;
+  return workload::make_instance(spec);
+}
+
+double error_vs_oracle(const Vector& v, const workload::Instance& inst,
+                       const core::KernelParams& params) {
+  const Vector oracle = core::solve_direct(inst, params);
+  return blas::max_rel_diff(v.span(), oracle.span(), 1e-3);
+}
+
+TEST(RobustPipelineTest, CleanRunHasNoFalsePositives) {
+  const auto inst = instance_for(256, 256, 16);
+  const auto params = core::params_from_spec(inst.spec);
+  for (const auto solution :
+       {Solution::kFused, Solution::kCudaUnfused, Solution::kCublasUnfused}) {
+    RunOptions options;
+    options.checks.enabled = true;
+    const auto report = run_pipeline(solution, inst, params, options);
+    EXPECT_FALSE(report.robustness.fault_detected())
+        << to_string(solution) << ": " << report.robustness.to_string();
+    EXPECT_EQ(report.total.faults_injected_total(), 0u);
+  }
+}
+
+TEST(RobustPipelineTest, ChecksOffProducesEmptyReport) {
+  const auto inst = instance_for(128, 128, 8);
+  const auto params = core::params_from_spec(inst.spec);
+  const auto report = run_pipeline(Solution::kFused, inst, params);
+  EXPECT_FALSE(report.robustness.checks_enabled);
+  EXPECT_TRUE(report.robustness.checks.empty());
+}
+
+TEST(RobustPipelineTest, ChecksDoNotChangeTheResult) {
+  const auto inst = instance_for(256, 128, 16);
+  const auto params = core::params_from_spec(inst.spec);
+  RunOptions off;
+  RunOptions on;
+  on.checks.enabled = true;
+  for (const auto solution : {Solution::kFused, Solution::kCublasUnfused}) {
+    const auto base = run_pipeline(solution, inst, params, off);
+    const auto checked = run_pipeline(solution, inst, params, on);
+    ASSERT_EQ(base.result.size(), checked.result.size());
+    for (std::size_t i = 0; i < base.result.size(); ++i) {
+      EXPECT_EQ(base.result[i], checked.result[i]) << i;
+    }
+    // ... but the checking work itself must be costed.
+    EXPECT_GT(checked.seconds, base.seconds);
+  }
+}
+
+// Every injected atomic fault (dropped or doubled warp-atomicAdd in the
+// fused reduction) must trip the block checksum — the ≥90% acceptance bar
+// of the fault campaign, here enforced at 100% on a deterministic seed set.
+TEST(RobustPipelineTest, AtomicFaultsAreDetected) {
+  const auto inst = instance_for(256, 256, 16);
+  const auto params = core::params_from_spec(inst.spec);
+  for (const auto site :
+       {FaultSite::kAtomicDrop, FaultSite::kAtomicDouble}) {
+    int faulty = 0, detected = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      FaultPlan plan(FaultPlanConfig::single_site(seed, site, 0.05));
+      RunOptions options;
+      options.checks.enabled = true;
+      options.fault_injector = &plan;
+      const auto report =
+          run_pipeline(Solution::kFused, inst, params, options);
+      if (plan.total_injected() == 0) continue;
+      ++faulty;
+      if (report.robustness.fault_detected()) ++detected;
+    }
+    ASSERT_GT(faulty, 0) << gpusim::to_string(site);
+    EXPECT_EQ(detected, faulty) << gpusim::to_string(site);
+  }
+}
+
+TEST(RobustPipelineTest, GemmCorruptionIsDetectedByColsum) {
+  const auto inst = instance_for(256, 256, 16);
+  const auto params = core::params_from_spec(inst.spec);
+  int faulty = 0, detected = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    // Global-store bit flips land in C (and V); the colsum audit or the
+    // block checksum must notice. A flip in the mantissa tail is smaller
+    // than the tolerance-scaled threshold (by design — it is also smaller
+    // than the float rounding noise), so drive several flips per run to
+    // make each run's detection probability saturate.
+    FaultPlan plan(FaultPlanConfig::single_site(
+        seed, FaultSite::kGlobalMemory, 8e-5));
+    RunOptions options;
+    options.checks.enabled = true;
+    options.fault_injector = &plan;
+    const auto report =
+        run_pipeline(Solution::kCublasUnfused, inst, params, options);
+    if (plan.total_injected() == 0) continue;
+    ++faulty;
+    if (report.robustness.fault_detected()) ++detected;
+  }
+  ASSERT_GT(faulty, 0);
+  // Mantissa-tail flips can stay below tolerance; require strong majority.
+  EXPECT_GE(double(detected), 0.7 * double(faulty));
+}
+
+TEST(RobustPipelineTest, SolverRetriesAndRecovers) {
+  const auto inst = instance_for(256, 256, 16);
+  const auto params = core::params_from_spec(inst.spec);
+  bool saw_recovery = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !saw_recovery; ++seed) {
+    FaultPlan plan(FaultPlanConfig::single_site(
+        seed, FaultSite::kAtomicDrop, 0.05));
+    RunOptions options;
+    options.fault_injector = &plan;
+    options.recovery.enabled = true;
+    const auto result = pipelines::solve(
+        inst, params, pipelines::Backend::kSimFused, options);
+    if (result.recovery.faults_detected == 0) continue;
+    saw_recovery = true;
+    EXPECT_FALSE(result.recovery.gave_up);
+    EXPECT_GT(result.recovery.attempts, 1);
+    EXPECT_LT(error_vs_oracle(result.v, inst, params), 1e-2);
+  }
+  EXPECT_TRUE(saw_recovery) << "no seed produced a detectable fault";
+}
+
+TEST(RobustPipelineTest, RecoveryForcesChecksOn) {
+  const auto inst = instance_for(128, 128, 8);
+  const auto params = core::params_from_spec(inst.spec);
+  RunOptions options;
+  options.recovery.enabled = true;  // checks left disabled on purpose
+  const auto result = pipelines::solve(
+      inst, params, pipelines::Backend::kSimFused, options);
+  ASSERT_TRUE(result.report.has_value());
+  EXPECT_TRUE(result.report->robustness.checks_enabled);
+}
+
+TEST(RobustPipelineTest, FaultCountersSurfaceInPipelineTotals) {
+  const auto inst = instance_for(256, 256, 16);
+  const auto params = core::params_from_spec(inst.spec);
+  FaultPlan plan(FaultPlanConfig::single_site(
+      /*seed=*/4, FaultSite::kSharedMemory, 1e-4));
+  RunOptions options;
+  options.fault_injector = &plan;
+  const auto report = run_pipeline(Solution::kFused, inst, params, options);
+  EXPECT_EQ(report.total.faults_smem_bitflips, plan.total_injected());
+  EXPECT_GT(plan.total_injected(), 0u);
+}
+
+TEST(RobustPipelineTest, RejectsDegenerateInputs) {
+  const auto inst = instance_for(128, 128, 8);
+  core::KernelParams params = core::params_from_spec(inst.spec);
+  params.bandwidth = 0.0f;
+  EXPECT_THROW(run_pipeline(Solution::kFused, inst, params), ksum::Error);
+  params.bandwidth = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(run_pipeline(Solution::kFused, inst, params), ksum::Error);
+}
+
+}  // namespace
+}  // namespace ksum::robust
