@@ -1,0 +1,67 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+namespace ksum::analysis {
+
+AnalysisSession::AnalysisSession(gpusim::Device& device,
+                                 const config::DeviceSpec& spec)
+    : device_(device), occupancy_(spec) {
+  device_.set_access_observer(this);
+}
+
+AnalysisSession::~AnalysisSession() {
+  if (device_.access_observer() == this) {
+    device_.set_access_observer(nullptr);
+  }
+}
+
+void AnalysisSession::on_launch_begin(
+    const gpusim::LaunchObservation& launch) {
+  races_.on_launch_begin(launch);
+  occupancy_.on_launch_begin(launch);
+}
+
+void AnalysisSession::on_cta_begin(int bx, int by) {
+  races_.on_cta_begin(bx, by);
+}
+
+void AnalysisSession::on_barrier(int new_epoch) {
+  races_.on_barrier(new_epoch);
+}
+
+void AnalysisSession::on_shared_access(
+    const gpusim::SharedAccessEvent& event) {
+  races_.on_shared_access(event);
+  bank_conflicts_.on_shared_access(event);
+}
+
+void AnalysisSession::on_global_access(
+    const gpusim::GlobalAccessEvent& event) {
+  races_.on_global_access(event);
+  coalescing_.on_global_access(event);
+}
+
+Diagnostics AnalysisSession::finish() const {
+  Diagnostics all = races_.diagnostics();
+  for (const Diagnostics& part :
+       {bank_conflicts_.diagnostics(), coalescing_.diagnostics(),
+        occupancy_.diagnostics()}) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return all;
+}
+
+void AnalysisSession::reset() {
+  races_.clear();
+  bank_conflicts_.clear();
+  coalescing_.clear();
+  occupancy_.clear();
+}
+
+}  // namespace ksum::analysis

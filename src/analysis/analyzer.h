@@ -1,0 +1,62 @@
+// AnalysisSession — one observer that fans launch events out to all four
+// analyzers (race, bank conflict, coalescing, occupancy) and collects their
+// findings.
+//
+// Usage:
+//   gpusim::Device device(spec, bytes);
+//   analysis::AnalysisSession session(device, spec);
+//   ... run tile programs through the device as usual ...
+//   analysis::Diagnostics findings = session.finish();
+//
+// The session registers itself as the device's access observer on
+// construction and detaches on destruction; observation happens after the
+// performance counters update, so an analyzed run produces bit-identical
+// results and counters to an unanalyzed one.
+#pragma once
+
+#include "analysis/bank_conflict_lint.h"
+#include "analysis/coalescing_lint.h"
+#include "analysis/diagnostics.h"
+#include "analysis/occupancy_check.h"
+#include "analysis/race_detector.h"
+#include "config/device_spec.h"
+#include "gpusim/device.h"
+
+namespace ksum::analysis {
+
+class AnalysisSession : public gpusim::AccessObserver {
+ public:
+  AnalysisSession(gpusim::Device& device, const config::DeviceSpec& spec);
+  ~AnalysisSession() override;
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  // AccessObserver: fan out to the member analyzers.
+  void on_launch_begin(const gpusim::LaunchObservation& launch) override;
+  void on_cta_begin(int bx, int by) override;
+  void on_barrier(int new_epoch) override;
+  void on_shared_access(const gpusim::SharedAccessEvent& event) override;
+  void on_global_access(const gpusim::GlobalAccessEvent& event) override;
+
+  /// All findings from all analyzers, errors first (then warnings, infos);
+  /// stable within a severity class.
+  Diagnostics finish() const;
+
+  /// Drop all recorded state, e.g. between programs of a lint run.
+  void reset();
+
+  const RaceDetector& races() const { return races_; }
+  const BankConflictLint& bank_conflicts() const { return bank_conflicts_; }
+  const CoalescingLint& coalescing() const { return coalescing_; }
+  const OccupancyCheck& occupancy() const { return occupancy_; }
+
+ private:
+  gpusim::Device& device_;
+  RaceDetector races_;
+  BankConflictLint bank_conflicts_;
+  CoalescingLint coalescing_;
+  OccupancyCheck occupancy_;
+};
+
+}  // namespace ksum::analysis

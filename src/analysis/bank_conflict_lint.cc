@@ -1,0 +1,49 @@
+#include "analysis/bank_conflict_lint.h"
+
+#include "gpusim/access_site.h"
+
+namespace ksum::analysis {
+
+void BankConflictLint::on_shared_access(
+    const gpusim::SharedAccessEvent& event) {
+  BankSiteStats& s = stats_[event.access.site];
+  s.requests += 1;
+  s.transactions += static_cast<std::uint64_t>(event.transactions);
+  s.ideal_transactions +=
+      static_cast<std::uint64_t>(event.ideal_transactions);
+  if (event.transactions > s.worst_transactions) {
+    s.worst_transactions = event.transactions;
+  }
+  if (event.kind == gpusim::AccessKind::kLoad) {
+    s.any_load = true;
+  } else {
+    s.any_store = true;
+  }
+}
+
+Diagnostics BankConflictLint::diagnostics() const {
+  Diagnostics out;
+  auto& registry = gpusim::SiteRegistry::instance();
+  for (const auto& [site_id, s] : stats_) {
+    if (s.conflicts() == 0) continue;
+    const gpusim::AccessSite& site = registry.site(site_id);
+    Diagnostic d;
+    d.analyzer = "bank-conflict";
+    d.site = site_id;
+    d.message = "degree-" + std::to_string(s.worst_transactions) +
+                " bank conflict: " + std::to_string(s.requests) +
+                " requests cost " + std::to_string(s.transactions) +
+                " transactions (minimum " +
+                std::to_string(s.ideal_transactions) + ")";
+    if (site.allows(gpusim::kSiteAllowBankConflicts)) {
+      d.severity = Severity::kInfo;
+      d.message += " (suppressed: " + std::string(site.rationale) + ")";
+    } else {
+      d.severity = Severity::kError;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace ksum::analysis

@@ -1,0 +1,51 @@
+// Shared-memory bank-conflict lint.
+//
+// Aggregates the bank model's verdict (transactions vs the minimum possible
+// for the access width) per static access site, and turns any replay into a
+// source-attributed finding: error for unannotated sites, info (with the
+// recorded rationale) for sites that declare the conflict an accepted
+// trade-off via kSiteAllowBankConflicts. The paper's Fig-5 track layout is
+// expected to keep every main-loop site at degree 1 — the ksum-lint run
+// over the registered programs asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/diagnostics.h"
+#include "gpusim/access_observer.h"
+
+namespace ksum::analysis {
+
+struct BankSiteStats {
+  std::uint64_t requests = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t ideal_transactions = 0;
+  int worst_transactions = 0;  // per-request maximum (the conflict degree)
+  bool any_store = false;
+  bool any_load = false;
+
+  std::uint64_t conflicts() const {
+    return transactions - ideal_transactions;
+  }
+};
+
+class BankConflictLint : public gpusim::AccessObserver {
+ public:
+  void on_shared_access(const gpusim::SharedAccessEvent& event) override;
+
+  /// Per-site statistics, ordered by site id (registration order).
+  const std::map<gpusim::SiteId, BankSiteStats>& stats() const {
+    return stats_;
+  }
+
+  /// Findings for every site with replays; clean sites produce nothing.
+  Diagnostics diagnostics() const;
+
+  void clear() { stats_.clear(); }
+
+ private:
+  std::map<gpusim::SiteId, BankSiteStats> stats_;
+};
+
+}  // namespace ksum::analysis

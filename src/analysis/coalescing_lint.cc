@@ -1,0 +1,90 @@
+#include "analysis/coalescing_lint.h"
+
+#include <cstdio>
+
+#include "gpusim/access_site.h"
+
+namespace ksum::analysis {
+
+namespace {
+
+std::string format_ratio(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+double CoalescingSiteStats::sector_efficiency() const {
+  if (distinct_sectors.empty()) return 1.0;
+  return static_cast<double>(distinct_words.size() * 4) /
+         (32.0 * static_cast<double>(distinct_sectors.size()));
+}
+
+double CoalescingSiteStats::replay_factor() const {
+  if (ideal_sectors == 0) return 1.0;
+  return static_cast<double>(sectors) / static_cast<double>(ideal_sectors);
+}
+
+void CoalescingLint::on_global_access(
+    const gpusim::GlobalAccessEvent& event) {
+  const auto& access = event.access;
+  CoalescingSiteStats& s = stats_[access.site];
+  s.requests += 1;
+  s.sectors += static_cast<std::uint64_t>(event.sectors);
+  s.ideal_sectors += static_cast<std::uint64_t>(event.ideal_sectors);
+  if (event.kind == gpusim::AccessKind::kLoad) {
+    s.any_load = true;
+  } else {
+    s.any_store = true;
+  }
+  const auto sector = static_cast<std::uint64_t>(sector_bytes_);
+  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const std::uint64_t base = access.addr[static_cast<std::size_t>(lane)];
+    for (int piece = 0; piece < access.width_bytes; piece += 4) {
+      const std::uint64_t byte = base + static_cast<std::uint64_t>(piece);
+      s.distinct_words.insert(byte / 4);
+      s.distinct_sectors.insert(byte / sector);
+    }
+  }
+}
+
+Diagnostics CoalescingLint::diagnostics() const {
+  Diagnostics out;
+  auto& registry = gpusim::SiteRegistry::instance();
+  for (const auto& [site_id, s] : stats_) {
+    const double efficiency = s.sector_efficiency();
+    const double replay = s.replay_factor();
+    if (efficiency >= 0.999 && replay <= 1.001) continue;
+    const gpusim::AccessSite& site = registry.site(site_id);
+    Diagnostic d;
+    d.analyzer = "coalescing";
+    d.site = site_id;
+    if (efficiency < 0.999) {
+      d.message = "sector efficiency " + format_ratio(efficiency) + ": " +
+                  std::to_string(s.distinct_words.size() * 4) +
+                  " distinct bytes spread over " +
+                  std::to_string(s.distinct_sectors.size()) +
+                  " 32-byte sectors";
+      if (!s.any_load) {
+        d.severity = Severity::kInfo;  // stores write-allocate; not gated
+      } else if (site.allows(gpusim::kSiteAllowUncoalesced)) {
+        d.severity = Severity::kInfo;
+        d.message += " (suppressed: " + std::string(site.rationale) + ")";
+      } else {
+        d.severity = Severity::kError;
+      }
+    } else {
+      d.severity = Severity::kInfo;
+      d.message = "replay factor " + format_ratio(replay) +
+                  " with full sector consumption: strided requests that "
+                  "later requests of this site fill in";
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace ksum::analysis

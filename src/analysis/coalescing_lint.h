@@ -1,0 +1,69 @@
+// Global-memory coalescing lint.
+//
+// Two metrics per static load/store site, both derived from the coalescer's
+// sector decomposition of every warp request:
+//
+//   sector efficiency — distinct bytes the site touched over the launch,
+//     divided by 32 × the distinct sectors it pulled. This is the metric
+//     that gates: a site at 1.0 wastes no DRAM/L2 bandwidth even if single
+//     requests look strided, because later requests of the same site finish
+//     consuming the sectors (the tile loader's two float4 pieces, the kNN
+//     merge's rank sweep).
+//
+//   replay factor — achieved sectors per request over the per-request
+//     minimum. Reported as supporting detail: a high replay factor with
+//     efficiency 1.0 costs L2 request slots, not bandwidth.
+//
+// Load sites below full efficiency are errors (the paper's kernels are
+// designed fully coalesced) unless annotated kSiteAllowUncoalesced; store
+// and atomic sites are reported as info — their sectors are write-allocated
+// in L2 and the kernels' stores are either full-sector or annotated anyway.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "analysis/diagnostics.h"
+#include "gpusim/access_observer.h"
+
+namespace ksum::analysis {
+
+struct CoalescingSiteStats {
+  std::uint64_t requests = 0;
+  std::uint64_t sectors = 0;        // achieved, summed over requests
+  std::uint64_t ideal_sectors = 0;  // per-request minimum, summed
+  bool any_load = false;
+  bool any_store = false;   // includes atomics
+  std::unordered_set<std::uint64_t> distinct_sectors;
+  std::unordered_set<std::uint64_t> distinct_words;
+
+  /// Distinct bytes / (32 B × distinct sectors); 1.0 when no touched
+  /// sector carries unused bytes.
+  double sector_efficiency() const;
+  /// Achieved / minimum sectors per request, aggregated; 1.0 when every
+  /// request is as dense as its byte footprint allows.
+  double replay_factor() const;
+};
+
+class CoalescingLint : public gpusim::AccessObserver {
+ public:
+  explicit CoalescingLint(int sector_bytes = 32)
+      : sector_bytes_(sector_bytes) {}
+
+  void on_global_access(const gpusim::GlobalAccessEvent& event) override;
+
+  const std::map<gpusim::SiteId, CoalescingSiteStats>& stats() const {
+    return stats_;
+  }
+
+  Diagnostics diagnostics() const;
+
+  void clear() { stats_.clear(); }
+
+ private:
+  int sector_bytes_;
+  std::map<gpusim::SiteId, CoalescingSiteStats> stats_;
+};
+
+}  // namespace ksum::analysis

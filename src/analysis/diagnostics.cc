@@ -1,0 +1,41 @@
+#include "analysis/diagnostics.h"
+
+namespace ksum::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  auto& registry = gpusim::SiteRegistry::instance();
+  std::string out =
+      std::string(analysis::to_string(severity)) + "[" + analyzer + "] ";
+  if (site != 0) {
+    const gpusim::AccessSite& s = registry.site(site);
+    out += s.location() + " (" + s.label + "): ";
+  }
+  out += message;
+  if (other_site != 0 && other_site != site) {
+    const gpusim::AccessSite& o = registry.site(other_site);
+    out += " [with " + o.location() + " (" + o.label + ")]";
+  }
+  return out;
+}
+
+std::size_t count_of(const Diagnostics& diags, Severity severity) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+}  // namespace ksum::analysis

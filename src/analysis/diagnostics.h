@@ -1,0 +1,38 @@
+// Diagnostic records produced by the static analyzers.
+//
+// Every finding is attributed to a registered access site (file:line +
+// label) so ksum-lint can point at the kernel source instead of an
+// aggregate counter. Severity kError is what gates CI; suppressed findings
+// (a site annotated with the matching SiteFlags) are downgraded to kInfo
+// but still carry the measurement and the annotation's rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/access_site.h"
+
+namespace ksum::analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string analyzer;        // "race", "bank-conflict", "coalescing", ...
+  gpusim::SiteId site = 0;     // primary site the finding is attributed to
+  gpusim::SiteId other_site = 0;  // second site for pairwise findings (races)
+  std::string message;
+
+  /// "error[race] src/gpukernels/foo.cc:41 (scratch store): ..." — the
+  /// ksum-lint output line.
+  std::string to_string() const;
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// Number of diagnostics at exactly `severity`.
+std::size_t count_of(const Diagnostics& diags, Severity severity);
+
+}  // namespace ksum::analysis

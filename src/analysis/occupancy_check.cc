@@ -1,0 +1,99 @@
+#include "analysis/occupancy_check.h"
+
+#include "common/error.h"
+
+namespace ksum::analysis {
+
+Diagnostics check_tile_resources(const config::DeviceSpec& spec,
+                                 const gpusim::LaunchConfig& config,
+                                 const TileResourceModel& model,
+                                 const std::string& kernel_name) {
+  Diagnostics out;
+  auto error = [&](std::string message) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.analyzer = "occupancy";
+    d.message = std::move(message);
+    out.push_back(std::move(d));
+  };
+
+  const int estimate = model.estimated_regs();
+  if (estimate > kMaxRegsPerThread) {
+    error(kernel_name + ": a " + std::to_string(model.micro) + "x" +
+          std::to_string(model.micro) + " microtile needs about " +
+          std::to_string(estimate) + " registers per thread, over the " +
+          std::to_string(kMaxRegsPerThread) + "-register architectural cap");
+    return out;  // the config checks below would only repeat the story
+  }
+  if (config.regs_per_thread > kMaxRegsPerThread) {
+    error(kernel_name + ": declares " +
+          std::to_string(config.regs_per_thread) +
+          " registers per thread, over the architectural cap of " +
+          std::to_string(kMaxRegsPerThread));
+  }
+  if (config.regs_per_thread < estimate) {
+    error(kernel_name + ": declares " +
+          std::to_string(config.regs_per_thread) +
+          " registers per thread but the " + std::to_string(model.micro) +
+          "x" + std::to_string(model.micro) +
+          " microtile model needs about " + std::to_string(estimate) +
+          " — the compiler would silently spill to local memory");
+  }
+  try {
+    (void)gpusim::compute_occupancy(spec, config);
+  } catch (const ksum::Error& e) {
+    error(kernel_name + ": configuration cannot launch: " + e.what());
+  }
+  return out;
+}
+
+bool is_tile_family(const std::string& kernel_name) {
+  return kernel_name == "gemm_cudac" || kernel_name == "fused_ksum" ||
+         kernel_name == "fused_knn";
+}
+
+bool expects_exact_two_ctas(const std::string& kernel_name) {
+  return kernel_name == "gemm_cudac" || kernel_name == "fused_ksum";
+}
+
+void OccupancyCheck::on_launch_begin(
+    const gpusim::LaunchObservation& launch) {
+  const bool tile = is_tile_family(launch.kernel_name);
+  if (tile) {
+    Diagnostics checked = check_tile_resources(spec_, launch.config,
+                                               TileResourceModel{},
+                                               launch.kernel_name);
+    diagnostics_.insert(diagnostics_.end(), checked.begin(), checked.end());
+  } else if (launch.config.regs_per_thread > kMaxRegsPerThread) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.analyzer = "occupancy";
+    d.message = launch.kernel_name + ": declares " +
+                std::to_string(launch.config.regs_per_thread) +
+                " registers per thread, over the architectural cap of " +
+                std::to_string(kMaxRegsPerThread);
+    diagnostics_.push_back(std::move(d));
+  }
+
+  Diagnostic d;
+  d.analyzer = "occupancy";
+  d.message = launch.kernel_name + ": " +
+              std::to_string(launch.occupancy.blocks_per_sm) +
+              " CTAs/SM (limited by " +
+              gpusim::to_string(launch.occupancy.limiter) + ")";
+  if (tile && expects_exact_two_ctas(launch.kernel_name) &&
+      launch.occupancy.blocks_per_sm != 2) {
+    d.severity = Severity::kError;
+    d.message +=
+        " — the paper pins this kernel at exactly 2 CTAs/SM (§IV)";
+  } else if (tile && (launch.occupancy.blocks_per_sm < 1 ||
+                      launch.occupancy.blocks_per_sm > 2)) {
+    d.severity = Severity::kError;
+    d.message += " — tile-family kernels must stay within 1-2 CTAs/SM";
+  } else {
+    d.severity = Severity::kInfo;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+}  // namespace ksum::analysis

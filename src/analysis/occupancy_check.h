@@ -1,0 +1,75 @@
+// Occupancy and register-budget checker.
+//
+// Recomputes the paper's §IV resource arithmetic from first principles and
+// cross-checks it against what each launch actually declared:
+//
+//   * a TileResourceModel estimates the per-thread register demand of a
+//     microtile×microtile accumulator kernel (micro² accumulators, 2·micro
+//     operand registers, fixed bookkeeping) — a launch that declares fewer
+//     registers than the estimate would silently spill on real hardware;
+//   * every declared config must fit the architectural per-thread cap;
+//   * compute_occupancy must accept the config at all (an unlaunchable
+//     config is an error, not an exception escaping the lint);
+//   * kernels of the paper's 128×128 tile family (gemm_cudac, fused_ksum,
+//     fused_knn) must land at exactly 2 CTAs/SM on the paper's GTX 970 —
+//     the operating point §IV's energy/performance numbers assume.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "config/device_spec.h"
+#include "gpusim/access_observer.h"
+#include "gpusim/occupancy.h"
+
+namespace ksum::analysis {
+
+/// Register-demand model of a microtile accumulator kernel (paper §III-A).
+struct TileResourceModel {
+  int micro = 8;        // microtileC edge: micro² accumulators per thread
+  int bookkeeping = 16;  // loop counters, pointers, predicates
+
+  int estimated_regs() const {
+    return micro * micro + 2 * micro + bookkeeping;
+  }
+};
+
+/// Architectural per-thread register cap (Maxwell and later).
+inline constexpr int kMaxRegsPerThread = 255;
+
+/// Checks one launch configuration against the model. `kernel_name` is used
+/// only for diagnostic text. Pure function of its inputs so negative tests
+/// can probe configs that never reach a Device.
+Diagnostics check_tile_resources(const config::DeviceSpec& spec,
+                                 const gpusim::LaunchConfig& config,
+                                 const TileResourceModel& model,
+                                 const std::string& kernel_name);
+
+/// True for kernels carrying the paper's 128×128 tile / 256-thread shape.
+bool is_tile_family(const std::string& kernel_name);
+
+/// True for the tile-family kernels that run at the paper's 128-register
+/// budget, which §IV pins at exactly 2 CTAs/SM. The fused kNN kernel is
+/// tile-family but spends 2·k_nn extra registers on its neighbour lists, a
+/// documented occupancy trade-off — it only has to stay within 1–2 CTAs/SM.
+bool expects_exact_two_ctas(const std::string& kernel_name);
+
+/// Observer that applies check_tile_resources to every launch it sees and
+/// additionally enforces the 2-CTA/SM operating point for tile-family
+/// kernels (other kernels get an informational occupancy line).
+class OccupancyCheck : public gpusim::AccessObserver {
+ public:
+  explicit OccupancyCheck(const config::DeviceSpec& spec) : spec_(spec) {}
+
+  void on_launch_begin(const gpusim::LaunchObservation& launch) override;
+
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+  void clear() { diagnostics_.clear(); }
+
+ private:
+  config::DeviceSpec spec_;
+  Diagnostics diagnostics_;
+};
+
+}  // namespace ksum::analysis

@@ -1,0 +1,266 @@
+#include "analysis/program_registry.h"
+
+#include "core/kernels.h"
+#include "gpukernels/abft_check.h"
+#include "gpukernels/device_workspace.h"
+#include "gpukernels/fused_ksum.h"
+#include "gpukernels/gemm_cublas_model.h"
+#include "gpukernels/gemm_cudac.h"
+#include "gpukernels/gemv_summation.h"
+#include "gpukernels/kernel_eval.h"
+#include "gpukernels/knn.h"
+#include "gpukernels/norms.h"
+#include "robust/fault_plan.h"
+#include "workload/point_generators.h"
+
+namespace ksum::analysis {
+
+namespace {
+
+using gpukernels::Workspace;
+
+// Two tile rows and columns: big enough for inter-CTA hazards to be
+// observable, small enough that the full registry lints in seconds.
+constexpr std::size_t kM = 256;
+constexpr std::size_t kN = 256;
+constexpr std::size_t kK = 16;
+constexpr std::size_t kKnn = 8;
+
+workload::Instance small_instance() {
+  workload::ProblemSpec spec;
+  spec.m = kM;
+  spec.n = kN;
+  spec.k = kK;
+  spec.bandwidth = 0.8f;
+  spec.seed = 7;
+  return workload::make_instance(spec);
+}
+
+core::KernelParams kernel_params() {
+  core::KernelParams params;
+  params.bandwidth = 0.8f;
+  return params;
+}
+
+Workspace prepare(gpusim::Device& device, bool with_intermediate,
+                  bool with_checksums = false) {
+  Workspace ws = gpukernels::allocate_workspace(device, kM, kN, kK,
+                                                with_intermediate,
+                                                with_checksums);
+  gpukernels::upload_instance(device, ws, small_instance());
+  return ws;
+}
+
+gpukernels::ChecksumSink vsum_sink(const Workspace& ws) {
+  gpukernels::ChecksumSink sink;
+  sink.enabled = true;
+  sink.buffer = ws.vsum_check;
+  sink.blocks = kM / 128;
+  return sink;
+}
+
+gpukernels::FusedOptions fused_options(const ProgramOptions& options) {
+  gpukernels::FusedOptions fopts;
+  fopts.mainloop.layout = options.layout;
+  return fopts;
+}
+
+void run_unfused_tail(gpusim::Device& device, const Workspace& ws,
+                      const gpukernels::ChecksumSink& sink) {
+  gpukernels::run_kernel_eval(device, ws, kernel_params());
+  gpukernels::run_gemv_summation(device, ws, sink);
+}
+
+std::vector<RegisteredProgram> build_registry() {
+  std::vector<RegisteredProgram> programs;
+
+  programs.push_back(
+      {"norms", "squared-norm precomputation kernels (vecα, vecβ)",
+       [](gpusim::Device& device, const ProgramOptions&) {
+         Workspace ws = prepare(device, false);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+       }});
+
+  programs.push_back(
+      {"gemm_cudac", "standalone CUDA-C GEMM, double buffered",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, true);
+         gpukernels::GemmOptions gopts;
+         gopts.mainloop.layout = options.layout;
+         gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, kM, kN, kK,
+                                    gopts);
+       }});
+
+  programs.push_back(
+      {"gemm_cudac_single_buffer",
+       "CUDA-C GEMM with the single-buffered smem ablation",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, true);
+         gpukernels::GemmOptions gopts;
+         gopts.mainloop.layout = options.layout;
+         gopts.mainloop.double_buffer = false;
+         gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, kM, kN, kK,
+                                    gopts);
+       }});
+
+  programs.push_back(
+      {"gemm_cublas_model", "cuBLAS GEMM traffic model",
+       [](gpusim::Device& device, const ProgramOptions&) {
+         Workspace ws = prepare(device, true);
+         gpukernels::run_gemm_cublas_model(device, ws.a, ws.b, ws.c, kM, kN,
+                                           kK);
+       }});
+
+  programs.push_back(
+      {"unfused_ksum",
+       "unfused pipeline: norms, GEMM, eval pass, GEMV summation",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, true);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::GemmOptions gopts;
+         gopts.mainloop.layout = options.layout;
+         gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, kM, kN, kK,
+                                    gopts);
+         run_unfused_tail(device, ws, {});
+       }});
+
+  programs.push_back(
+      {"unfused_ksum_checksum",
+       "unfused pipeline with the ABFT column-sum audit and V checksum fork",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, true, /*with_checksums=*/true);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::GemmOptions gopts;
+         gopts.mainloop.layout = options.layout;
+         gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, kM, kN, kK,
+                                    gopts);
+         gpukernels::run_abft_colsum(device, ws);
+         run_unfused_tail(device, ws, vsum_sink(ws));
+       }});
+
+  programs.push_back(
+      {"fused_ksum", "fused Algorithm-2 kernel, atomic inter-CTA reduction",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::run_fused_ksum(device, ws, kernel_params(),
+                                    fused_options(options));
+       }});
+
+  programs.push_back(
+      {"fused_ksum_staged",
+       "fused kernel with the two-pass staged reduction ablation",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::FusedOptions fopts = fused_options(options);
+         fopts.atomic_reduction = false;
+         gpukernels::run_fused_ksum(device, ws, kernel_params(), fopts);
+       }});
+
+  programs.push_back(
+      {"fused_ksum_fuse_norms",
+       "fused kernel computing the squared norms on the fly",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false);
+         gpukernels::FusedOptions fopts = fused_options(options);
+         fopts.fuse_norms = true;
+         gpukernels::run_fused_ksum(device, ws, kernel_params(), fopts);
+       }});
+
+  programs.push_back(
+      {"fused_ksum_single_buffer",
+       "fused kernel with the single-buffered smem ablation",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::FusedOptions fopts = fused_options(options);
+         fopts.mainloop.double_buffer = false;
+         gpukernels::run_fused_ksum(device, ws, kernel_params(), fopts);
+       }});
+
+  programs.push_back(
+      {"fused_ksum_checksum",
+       "fused kernel forking the ABFT block-checksum second path",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false, /*with_checksums=*/true);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::FusedOptions fopts = fused_options(options);
+         fopts.checksum = vsum_sink(ws);
+         gpukernels::run_fused_ksum(device, ws, kernel_params(), fopts);
+       }});
+
+  programs.push_back(
+      {"fused_ksum_faulted",
+       "fused kernel with checksum fork under a deterministic fault plan "
+       "(exercises the injection datapaths)",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false, /*with_checksums=*/true);
+         robust::FaultPlan plan(
+             robust::FaultPlanConfig::uniform(/*seed=*/11, /*rate=*/1e-4));
+         device.set_fault_injector(&plan);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::FusedOptions fopts = fused_options(options);
+         fopts.checksum = vsum_sink(ws);
+         gpukernels::run_fused_ksum(device, ws, kernel_params(), fopts);
+         device.set_fault_injector(nullptr);
+       }});
+
+  programs.push_back(
+      {"fused_knn", "fused k-nearest-neighbour kernel with merge pass",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, false);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::KnnResult out;
+         gpukernels::MainloopConfig config;
+         config.layout = options.layout;
+         gpukernels::run_fused_knn(device, ws, kKnn, out, config);
+       }});
+
+  programs.push_back(
+      {"unfused_knn",
+       "unfused kNN baseline: GEMM, distance eval, selection scan",
+       [](gpusim::Device& device, const ProgramOptions& options) {
+         Workspace ws = prepare(device, true);
+         gpukernels::run_norms_a(device, ws);
+         gpukernels::run_norms_b(device, ws);
+         gpukernels::GemmOptions gopts;
+         gopts.mainloop.layout = options.layout;
+         gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, kM, kN, kK,
+                                    gopts);
+         gpukernels::run_distance_eval(device, ws);
+         gpukernels::KnnResult out;
+         gpukernels::run_knn_select(device, ws, kKnn, out);
+       }});
+
+  return programs;
+}
+
+}  // namespace
+
+const std::vector<RegisteredProgram>& registered_programs() {
+  static const std::vector<RegisteredProgram> programs = build_registry();
+  return programs;
+}
+
+const RegisteredProgram* find_program(const std::string& name) {
+  for (const RegisteredProgram& program : registered_programs()) {
+    if (program.name == name) return &program;
+  }
+  return nullptr;
+}
+
+std::size_t registry_device_bytes() {
+  return std::size_t{64} << 20;
+}
+
+}  // namespace ksum::analysis

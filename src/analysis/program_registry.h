@@ -1,0 +1,38 @@
+// Registry of analyzable tile programs.
+//
+// Each entry runs one kernel or pipeline configuration on a caller-provided
+// device at a small fixed problem size (256×256, K=16 — two tile columns and
+// rows, so inter-CTA interactions exist while a full lint run stays fast).
+// The ksum-lint tool and the analysis tests iterate this list; adding a
+// kernel to the library means adding it here so the linters see it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpukernels/gemm_mainloop.h"
+#include "gpusim/device.h"
+
+namespace ksum::analysis {
+
+struct ProgramOptions {
+  gpukernels::TileLayout layout = gpukernels::TileLayout::kFig5;
+};
+
+struct RegisteredProgram {
+  std::string name;
+  std::string description;
+  std::function<void(gpusim::Device&, const ProgramOptions&)> run;
+};
+
+/// All registered programs, in a stable order.
+const std::vector<RegisteredProgram>& registered_programs();
+
+/// Looks a program up by name; nullptr when absent.
+const RegisteredProgram* find_program(const std::string& name);
+
+/// Device heap size sufficient for every registered program.
+std::size_t registry_device_bytes();
+
+}  // namespace ksum::analysis

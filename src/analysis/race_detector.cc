@@ -1,0 +1,181 @@
+#include "analysis/race_detector.h"
+
+#include "gpusim/access_site.h"
+
+namespace ksum::analysis {
+
+namespace {
+
+bool either_allows_race(gpusim::SiteId a, gpusim::SiteId b) {
+  auto& registry = gpusim::SiteRegistry::instance();
+  return registry.site(a).allows(gpusim::kSiteAllowRace) ||
+         registry.site(b).allows(gpusim::kSiteAllowRace);
+}
+
+std::string rationale_of(gpusim::SiteId a, gpusim::SiteId b) {
+  auto& registry = gpusim::SiteRegistry::instance();
+  if (registry.site(a).allows(gpusim::kSiteAllowRace)) {
+    return registry.site(a).rationale;
+  }
+  return registry.site(b).rationale;
+}
+
+}  // namespace
+
+void RaceDetector::on_launch_begin(
+    const gpusim::LaunchObservation& launch) {
+  kernel_ = launch.kernel_name;
+  cta_linear_ = -1;
+  launch_writes_.clear();
+}
+
+void RaceDetector::on_cta_begin(int bx, int by) {
+  bx_ = bx;
+  by_ = by;
+  ++cta_linear_;
+  epoch_ = 0;
+  shared_shadow_.clear();
+  global_shadow_.clear();
+}
+
+void RaceDetector::report(const std::string& kind, gpusim::SiteId site,
+                          gpusim::SiteId other_site,
+                          const std::string& detail) {
+  const gpusim::SiteId lo = site < other_site ? site : other_site;
+  const gpusim::SiteId hi = site < other_site ? other_site : site;
+  if (!seen_.insert({kind, lo, hi}).second) return;
+
+  Diagnostic d;
+  d.analyzer = "race";
+  d.site = site;
+  d.other_site = other_site;
+  if (either_allows_race(site, other_site)) {
+    d.severity = Severity::kInfo;
+    d.message = kind + " in " + kernel_ + ": " + detail +
+                " (suppressed: " + rationale_of(site, other_site) + ")";
+  } else {
+    d.severity = Severity::kError;
+    d.message = kind + " in " + kernel_ + ": " + detail;
+  }
+  diagnostics_.push_back(std::move(d));
+}
+
+void RaceDetector::record(WordShadow& shadow, bool is_store, bool is_atomic,
+                          int thread, gpusim::SiteId site,
+                          const char* space) {
+  if (shadow.epoch != epoch_) {
+    shadow = WordShadow{};
+    shadow.epoch = epoch_;
+  }
+  const std::string where = " (CTA " + std::to_string(bx_) + "," +
+                            std::to_string(by_) + ", barrier epoch " +
+                            std::to_string(epoch_) + ")";
+  if (is_store) {
+    if (shadow.store_thread >= 0 && shadow.store_thread != thread &&
+        !(is_atomic && shadow.store_atomic)) {
+      report(std::string("intra-CTA write-write hazard on ") + space, site,
+             shadow.store_site,
+             "threads " + std::to_string(shadow.store_thread) + " and " +
+                 std::to_string(thread) +
+                 " store the same word without an intervening barrier" +
+                 where);
+    }
+    for (const auto& [lt, ls] :
+         {std::pair{shadow.load_thread, shadow.load_site},
+          std::pair{shadow.load_thread2, shadow.load_site2}}) {
+      if (lt >= 0 && lt != thread) {
+        report(std::string("intra-CTA load/store hazard on ") + space, site,
+               ls,
+               "thread " + std::to_string(thread) +
+                   " stores a word thread " + std::to_string(lt) +
+                   " reads in the same barrier epoch" + where);
+        break;
+      }
+    }
+    if (shadow.store_thread < 0 || !is_atomic) {
+      // Prefer remembering a non-atomic store: it conflicts with more.
+      shadow.store_thread = thread;
+      shadow.store_site = site;
+      shadow.store_atomic = is_atomic;
+    }
+  } else {
+    if (shadow.store_thread >= 0 && shadow.store_thread != thread) {
+      report(std::string("intra-CTA load/store hazard on ") + space, site,
+             shadow.store_site,
+             "thread " + std::to_string(thread) +
+                 " reads a word thread " +
+                 std::to_string(shadow.store_thread) +
+                 " stores in the same barrier epoch" + where);
+    }
+    if (shadow.load_thread < 0) {
+      shadow.load_thread = thread;
+      shadow.load_site = site;
+    } else if (shadow.load_thread != thread && shadow.load_thread2 < 0) {
+      shadow.load_thread2 = thread;
+      shadow.load_site2 = site;
+    }
+  }
+}
+
+void RaceDetector::record_launch_write(std::uint64_t word, bool atomic,
+                                       gpusim::SiteId site) {
+  auto [it, inserted] = launch_writes_.emplace(
+      word, LaunchWrite{cta_linear_, site, atomic});
+  if (inserted) return;
+  LaunchWrite& w = it->second;
+  if (w.cta != cta_linear_ && !(atomic && w.atomic)) {
+    report("inter-CTA write-write hazard on global", site, w.site,
+           "CTAs " + std::to_string(w.cta) + " and " +
+               std::to_string(cta_linear_) +
+               " write the same word non-atomically in " + kernel_);
+  }
+  if (!atomic) {
+    w = LaunchWrite{cta_linear_, site, atomic};
+  }
+}
+
+void RaceDetector::on_shared_access(
+    const gpusim::SharedAccessEvent& event) {
+  const auto& access = event.access;
+  const bool is_store = event.kind != gpusim::AccessKind::kLoad;
+  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const std::uint32_t base =
+        access.addr[static_cast<std::size_t>(lane)] / 4;
+    for (int piece = 0; piece < access.width_bytes / 4; ++piece) {
+      record(shared_shadow_[base + static_cast<std::uint32_t>(piece)],
+             is_store, /*is_atomic=*/false, access.thread_of_lane(lane),
+             access.site, "shared");
+    }
+  }
+}
+
+void RaceDetector::on_global_access(
+    const gpusim::GlobalAccessEvent& event) {
+  const auto& access = event.access;
+  const bool is_store = event.kind != gpusim::AccessKind::kLoad;
+  const bool is_atomic = event.kind == gpusim::AccessKind::kAtomicAdd;
+  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const std::uint64_t base =
+        access.addr[static_cast<std::size_t>(lane)] / 4;
+    for (int piece = 0; piece < access.width_bytes / 4; ++piece) {
+      const std::uint64_t word = base + static_cast<std::uint64_t>(piece);
+      record(global_shadow_[word], is_store, is_atomic,
+             access.thread_of_lane(lane), access.site, "global");
+      if (is_store) record_launch_write(word, is_atomic, access.site);
+    }
+  }
+}
+
+void RaceDetector::clear() {
+  shared_shadow_.clear();
+  global_shadow_.clear();
+  launch_writes_.clear();
+  seen_.clear();
+  diagnostics_.clear();
+  epoch_ = 0;
+  cta_linear_ = -1;
+}
+
+}  // namespace ksum::analysis

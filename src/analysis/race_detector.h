@@ -1,0 +1,81 @@
+// Barrier-epoch race detector.
+//
+// Shadow-memory checker over the access stream a Device reports: within a
+// CTA, two accesses to the same word by different threads are ordered only
+// if a barrier separates them, so the shadow is keyed on (word, barrier
+// epoch) and any same-epoch pair with at least one store is a hazard
+// (RAW/WAR/WAW — the stream is unordered within an epoch, so the classes
+// collapse to load/store vs store). Across CTAs nothing orders anything
+// within a launch, so any two non-atomic stores to the same global word
+// from different CTAs are a hazard. atomicAdd requests are exempt against
+// each other (the hardware serialises them) but conflict with plain
+// accesses.
+//
+// Epochs restart at 0 each CTA; the detector tracks them from the
+// on_barrier callbacks. Findings are deduplicated per site pair and
+// downgraded to kInfo when either site carries kSiteAllowRace.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include "analysis/diagnostics.h"
+#include "gpusim/access_observer.h"
+
+namespace ksum::analysis {
+
+class RaceDetector : public gpusim::AccessObserver {
+ public:
+  void on_launch_begin(const gpusim::LaunchObservation& launch) override;
+  void on_cta_begin(int bx, int by) override;
+  void on_barrier(int new_epoch) override { epoch_ = new_epoch; }
+  void on_shared_access(const gpusim::SharedAccessEvent& event) override;
+  void on_global_access(const gpusim::GlobalAccessEvent& event) override;
+
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+  void clear();
+
+ private:
+  // Same-epoch access summary for one word. Two recorded loader threads are
+  // enough: a storing thread must differ from at least one of them if any
+  // cross-thread load/store pair exists.
+  struct WordShadow {
+    int epoch = -1;
+    int store_thread = -1;
+    gpusim::SiteId store_site = 0;
+    bool store_atomic = false;
+    int load_thread = -1;
+    gpusim::SiteId load_site = 0;
+    int load_thread2 = -1;
+    gpusim::SiteId load_site2 = 0;
+  };
+
+  // First writer of a global word in this launch, for the inter-CTA check.
+  struct LaunchWrite {
+    int cta = -1;
+    gpusim::SiteId site = 0;
+    bool atomic = false;
+  };
+
+  void record(WordShadow& shadow, bool is_store, bool is_atomic, int thread,
+              gpusim::SiteId site, const char* space);
+  void record_launch_write(std::uint64_t word, bool atomic,
+                           gpusim::SiteId site);
+  void report(const std::string& kind, gpusim::SiteId site,
+              gpusim::SiteId other_site, const std::string& detail);
+
+  std::string kernel_;
+  int bx_ = 0, by_ = 0;
+  int cta_linear_ = -1;
+  int epoch_ = 0;
+  std::unordered_map<std::uint32_t, WordShadow> shared_shadow_;
+  std::unordered_map<std::uint64_t, WordShadow> global_shadow_;
+  std::unordered_map<std::uint64_t, LaunchWrite> launch_writes_;
+  std::set<std::tuple<std::string, gpusim::SiteId, gpusim::SiteId>> seen_;
+  Diagnostics diagnostics_;
+};
+
+}  // namespace ksum::analysis

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -15,6 +16,8 @@ void add_block_checksum(gpusim::BlockContext& ctx, const ChecksumSink& sink,
   if (!sink.valid()) return;
   KSUM_REQUIRE(block_index < sink.blocks, "checksum block index out of range");
   gpusim::GlobalWarpAccess access;
+  access.site = KSUM_ACCESS_SITE("block checksum atomicAdd (sum, |sum|)");
+  access.warp = 0;
   access.active_mask = 0b11;
   access.set_lane(0, sink.buffer.addr_of_float(block_index));
   access.set_lane(1, sink.buffer.addr_of_float(sink.blocks + block_index));
@@ -47,6 +50,8 @@ gpusim::LaunchResult run_abft_colsum(gpusim::Device& device,
       std::array<float, 32> abs_sums{};
       for (std::size_t row = 0; row < ws.m; ++row) {
         gpusim::GlobalWarpAccess access;
+        access.site = KSUM_ACCESS_SITE("colsum audit row load");
+        access.warp = warp;
         for (int lane = 0; lane < 32; ++lane) {
           const std::size_t col =
               col_base + static_cast<std::size_t>(warp * 32 + lane);
@@ -63,6 +68,10 @@ gpusim::LaunchResult run_abft_colsum(gpusim::Device& device,
       }
       gpusim::GlobalWarpAccess sum_store;
       gpusim::GlobalWarpAccess abs_store;
+      sum_store.site = KSUM_ACCESS_SITE("colsum audit sum store");
+      abs_store.site = KSUM_ACCESS_SITE("colsum audit |sum| store");
+      sum_store.warp = warp;
+      abs_store.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t col =
             col_base + static_cast<std::size_t>(warp * 32 + lane);

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "gpukernels/tile_geometry.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -28,6 +29,11 @@ gpusim::LaunchResult run_partial_reduce(gpusim::Device& device,
       std::array<float, 32> sums{};
       for (std::size_t j = 0; j < grid_x; ++j) {
         gpusim::GlobalWarpAccess access;
+        // Column-j gather over the staging matrix: each request is strided
+        // by grid_x floats, but the j-loop sweeps every column so the site
+        // consumes each touched sector completely.
+        access.site = KSUM_ACCESS_SITE("staged partial-V gather load");
+        access.warp = warp;
         for (int lane = 0; lane < 32; ++lane) {
           const std::size_t row =
               row_base + static_cast<std::size_t>(warp * 32 + lane);
@@ -41,6 +47,8 @@ gpusim::LaunchResult run_partial_reduce(gpusim::Device& device,
         ctx.count_alu(32);
       }
       gpusim::GlobalWarpAccess store;
+      store.site = KSUM_ACCESS_SITE("reduced V store");
+      store.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t row =
             row_base + static_cast<std::size_t>(warp * 32 + lane);
@@ -112,6 +120,12 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
         const TrackNormAccumulators& norms = half == 0 ? a_norms : b_norms;
         for (int warp = 0; warp < 4; ++warp) {
           gpusim::SharedWarpAccess store;
+          store.site = KSUM_ACCESS_SITE_ANNOTATED(
+              "fused norm scatter store",
+              ::ksum::gpusim::kSiteAllowBankConflicts,
+              "tracks of one warp span 4 distinct 128B rows; one-off "
+              "scatter after the main loop (8 stores per launch)");
+          store.warp = half * 4 + warp;
           std::array<float, 32> values{};
           for (int lane = 0; lane < 32; ++lane) {
             const TrackAssignment ta = track_of_loader(
@@ -183,6 +197,12 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
       // Scatter γ into the reduction scratch.
       for (int u = 0; u < kMicro; ++u) {
         gpusim::SharedWarpAccess store;
+        store.site = KSUM_ACCESS_SITE_ANNOTATED(
+            "fused reduction scratch scatter store",
+            ::ksum::gpusim::kSiteAllowBankConflicts,
+            "each request hits 2 microtile rows in each scratch half (4 "
+            "rows total); epilogue traffic, dwarfed by the main loop");
+        store.warp = warp;
         std::array<float, 32> values{};
         for (int lane = 0; lane < 32; ++lane) {
           const int tid = warp * 32 + lane;
@@ -208,6 +228,12 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
         const gpusim::SharedAddr t_base = half == 0 ? map.a0 : map.a1;
         for (int j = 0; j < 8; ++j) {
           gpusim::SharedWarpAccess access;
+          access.site = KSUM_ACCESS_SITE_ANNOTATED(
+              "fused reduction scratch gather load",
+              ::ksum::gpusim::kSiteAllowBankConflicts,
+              "row-per-thread gather strides 32B per lane (8 distinct "
+              "128B rows); epilogue traffic, dwarfed by the main loop");
+          access.warp = warp;
           for (int lane = 0; lane < 32; ++lane) {
             const int row = warp * 32 + lane;
             access.set_lane(lane, t_base + static_cast<gpusim::SharedAddr>(
@@ -228,6 +254,10 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
     // two-pass ablation.
     for (int warp = 0; warp < 4; ++warp) {
       gpusim::GlobalWarpAccess access;
+      access.site = options.atomic_reduction
+                        ? KSUM_ACCESS_SITE("subV atomicAdd")
+                        : KSUM_ACCESS_SITE("staged partial-V store");
+      access.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t row =
             row_base + static_cast<std::size_t>(warp * 32 + lane);

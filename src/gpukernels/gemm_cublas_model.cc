@@ -5,6 +5,7 @@
 #include "common/matrix.h"
 #include "gpukernels/gemm_mainloop.h"
 #include "gpukernels/tile_geometry.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -26,6 +27,10 @@ void touch_panel(gpusim::BlockContext& ctx,
       mask |= 1u << lane;
     }
     access.active_mask = mask;
+    access.site = KSUM_ACCESS_SITE_ANNOTATED(
+        "cublas panel sector probe load", ::ksum::gpusim::kSiteAllowUncoalesced,
+        "bandwidth model reads one word per 32-byte sector as a stand-in for "
+        "the library's coalesced panel loads; traffic is sector-exact");
     (void)ctx.global_load(access);
   }
 }
@@ -87,6 +92,8 @@ gpusim::LaunchResult run_gemm_cublas_model(gpusim::Device& device,
         for (int piece = 0; piece < 2; ++piece) {
           gpusim::GlobalWarpAccess access;
           access.width_bytes = 16;
+          access.site = KSUM_ACCESS_SITE("cublas C tile store (float4)");
+          access.warp = warp;
           std::array<std::array<float, 4>, 32> values{};
           for (int lane = 0; lane < 32; ++lane) {
             const int tid = warp * 32 + lane;

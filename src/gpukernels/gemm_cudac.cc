@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "gpukernels/tile_geometry.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 
@@ -16,6 +17,8 @@ void store_submatrix_c(gpusim::BlockContext& ctx,
       for (int piece = 0; piece < 2; ++piece) {
         gpusim::GlobalWarpAccess access;
         access.width_bytes = 16;
+        access.site = KSUM_ACCESS_SITE("C submatrix store (float4)");
+        access.warp = warp;
         std::array<std::array<float, 4>, 32> values{};
         for (int lane = 0; lane < 32; ++lane) {
           const int tid = warp * 32 + lane;

@@ -1,6 +1,7 @@
 #include "gpukernels/gemm_mainloop.h"
 
 #include "common/error.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -16,6 +17,8 @@ void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
 
     for (int u = 0; u < kMicro; ++u) {
       gpusim::SharedWarpAccess access;
+      access.site = KSUM_ACCESS_SITE("mainloop A operand load");
+      access.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const int tid = warp * 32 + lane;
         access.set_lane(lane, a_base + operand_offset(config.layout,
@@ -29,6 +32,8 @@ void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
     }
     for (int t = 0; t < kMicro; ++t) {
       gpusim::SharedWarpAccess access;
+      access.site = KSUM_ACCESS_SITE("mainloop B operand load");
+      access.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const int tid = warp * 32 + lane;
         access.set_lane(lane, b_base + operand_offset(config.layout,

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "gpukernels/tile_loader.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -46,7 +47,11 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
         float lane_sums[32] = {};
         for (std::size_t j0 = 0; j0 < ws.n; j0 += 32) {
           gpusim::GlobalWarpAccess k_access;
+          k_access.site = KSUM_ACCESS_SITE("gemv kernel-matrix row load");
+          k_access.warp = warp;
           gpusim::SharedWarpAccess w_access;
+          w_access.site = KSUM_ACCESS_SITE("gemv staged weight load");
+          w_access.warp = warp;
           for (int lane = 0; lane < 32; ++lane) {
             const std::size_t col = j0 + static_cast<std::size_t>(lane);
             k_access.set_lane(lane, ws.c.addr_of_float(row * ws.n + col));
@@ -76,6 +81,12 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
         }
 
         gpusim::GlobalWarpAccess v_access;
+        v_access.site = KSUM_ACCESS_SITE_ANNOTATED(
+            "gemv row-total V store (single lane)",
+            ::ksum::gpusim::kSiteAllowUncoalesced,
+            "one 4-byte row total per warp request by construction; 1 of "
+            "8 sector bytes used, negligible next to the N-wide row read");
+        v_access.warp = warp;
         v_access.active_mask = 1;
         v_access.set_lane(0, ws.v.addr_of_float(row));
         std::array<float, 32> out{};

@@ -1,6 +1,7 @@
 #include "gpukernels/kernel_eval.h"
 
 #include "common/error.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -30,6 +31,12 @@ gpusim::LaunchResult run_kernel_eval(gpusim::Device& device,
     for (std::size_t row = row_base; row < row_base + kRowsPerCta; ++row) {
       // ‖α_row‖² is one broadcast scalar load per row.
       gpusim::GlobalWarpAccess na_access;
+      na_access.site = KSUM_ACCESS_SITE_ANNOTATED(
+          "eval row-norm broadcast load",
+          ::ksum::gpusim::kSiteAllowUncoalesced,
+          "one uniform 4-byte scalar per row; 1 request per 128-column "
+          "row sweep, not worth staging");
+      na_access.warp = 0;
       na_access.active_mask = 1;  // single lane, like a uniform load
       na_access.set_lane(0, ws.norm_a.addr_of_float(row));
       const float na = ctx.global_load(na_access)[0];
@@ -41,6 +48,11 @@ gpusim::LaunchResult run_kernel_eval(gpusim::Device& device,
           gpusim::GlobalWarpAccess c_access, nb_access;
           c_access.width_bytes = 16;
           nb_access.width_bytes = 16;
+          c_access.site = KSUM_ACCESS_SITE("eval C chunk load (float4)");
+          nb_access.site =
+              KSUM_ACCESS_SITE("eval column-norm load (float4)");
+          c_access.warp = static_cast<int>(chunk % 8);
+          nb_access.warp = c_access.warp;
           for (int lane = 0; lane < 32; ++lane) {
             const std::size_t col =
                 chunk * 128 + static_cast<std::size_t>(lane) * 4;
@@ -68,6 +80,10 @@ gpusim::LaunchResult run_kernel_eval(gpusim::Device& device,
           if (output == EvalOutput::kKernelValue) {
             ctx.count_sfu(32 * 4);  // kernel evaluation
           }
+          // Same addresses as the load, but a distinct static site so the
+          // analyzers attribute load and store behaviour separately.
+          c_access.site =
+              KSUM_ACCESS_SITE("eval C chunk store (float4, in place)");
           ctx.global_store_vec4(c_access, cv);
         }
       }

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "gpukernels/kernel_eval.h"
 #include "gpukernels/tile_loader.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -49,6 +50,10 @@ void store_partial_lists(gpusim::BlockContext& ctx,
   for (int warp = 0; warp < 4; ++warp) {
     for (std::size_t rank = 0; rank < k_nn; ++rank) {
       gpusim::GlobalWarpAccess d_access, i_access;
+      d_access.site = KSUM_ACCESS_SITE("knn partial distance store");
+      i_access.site = KSUM_ACCESS_SITE("knn partial index store");
+      d_access.warp = warp;
+      i_access.warp = warp;
       std::array<float, 32> d_vals{}, i_vals{};
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t row = static_cast<std::size_t>(warp * 32 + lane);
@@ -91,6 +96,12 @@ gpusim::LaunchResult run_knn_merge(gpusim::Device& device,
       for (std::size_t j = 0; j < grid_x; ++j) {
         for (std::size_t rank = 0; rank < k_nn; ++rank) {
           gpusim::GlobalWarpAccess d_access, i_access;
+          // Rank-strided gathers; the (j, rank) loops sweep every staged
+          // word, so the touched sectors end up fully consumed site-wide.
+          d_access.site = KSUM_ACCESS_SITE("knn merge partial distance load");
+          i_access.site = KSUM_ACCESS_SITE("knn merge partial index load");
+          d_access.warp = warp;
+          i_access.warp = warp;
           for (int lane = 0; lane < 32; ++lane) {
             const std::size_t row =
                 row_base + static_cast<std::size_t>(warp * 32 + lane);
@@ -111,6 +122,10 @@ gpusim::LaunchResult run_knn_merge(gpusim::Device& device,
       }
       for (std::size_t rank = 0; rank < k_nn; ++rank) {
         gpusim::GlobalWarpAccess d_access, i_access;
+        d_access.site = KSUM_ACCESS_SITE("knn merged distance store");
+        i_access.site = KSUM_ACCESS_SITE("knn merged index store");
+        d_access.warp = warp;
+        i_access.warp = warp;
         std::array<float, 32> d_vals{}, i_vals{};
         for (int lane = 0; lane < 32; ++lane) {
           const std::size_t row =
@@ -247,6 +262,18 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
         // words 0..2047, indices in words 2048..4095.
         for (int u = 0; u < kMicro; ++u) {
           gpusim::SharedWarpAccess d_u, i_u;
+          d_u.site = KSUM_ACCESS_SITE_ANNOTATED(
+              "knn scratch distance stage store",
+              ::ksum::gpusim::kSiteAllowBankConflicts,
+              "a warp's two microtile rows land 512B apart (2 distinct "
+              "128B rows); merge-round traffic only");
+          i_u.site = KSUM_ACCESS_SITE_ANNOTATED(
+              "knn scratch index stage store",
+              ::ksum::gpusim::kSiteAllowBankConflicts,
+              "same [row][tx] layout as the distance half, 2 rows per "
+              "request; merge-round traffic only");
+          d_u.warp = warp;
+          i_u.warp = warp;
           for (int lane = 0; lane < 32; ++lane) {
             const std::size_t tid =
                 static_cast<std::size_t>(warp * 32 + lane);
@@ -272,6 +299,17 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
       for (int warp = 0; warp < 4; ++warp) {
         for (int j = 0; j < 16; ++j) {
           gpusim::SharedWarpAccess d_load, i_load;
+          d_load.site = KSUM_ACCESS_SITE_ANNOTATED(
+              "knn merger distance gather load",
+              ::ksum::gpusim::kSiteAllowBankConflicts,
+              "row-per-thread gather strides 64B per lane (16 distinct "
+              "128B rows); merge-round traffic only");
+          i_load.site = KSUM_ACCESS_SITE_ANNOTATED(
+              "knn merger index gather load",
+              ::ksum::gpusim::kSiteAllowBankConflicts,
+              "same stride as the distance half; merge-round traffic only");
+          d_load.warp = warp;
+          i_load.warp = warp;
           for (int lane = 0; lane < 32; ++lane) {
             const std::size_t row =
                 static_cast<std::size_t>(warp * 32 + lane);
@@ -339,6 +377,8 @@ gpusim::LaunchResult run_knn_select(gpusim::Device& device,
         lanes.fill(CandidateList(k_nn));
         for (std::size_t j0 = 0; j0 < ws.n; j0 += 32) {
           gpusim::GlobalWarpAccess access;
+          access.site = KSUM_ACCESS_SITE("knn select distance row load");
+          access.warp = warp;
           for (int lane = 0; lane < 32; ++lane) {
             access.set_lane(lane, ws.c.addr_of_float(
                                       row * ws.n + j0 +
@@ -365,6 +405,10 @@ gpusim::LaunchResult run_knn_select(gpusim::Device& device,
         ctx.count_warp_instructions(5 * k_nn);
 
         gpusim::GlobalWarpAccess d_access, i_access;
+        d_access.site = KSUM_ACCESS_SITE("knn select distance store");
+        i_access.site = KSUM_ACCESS_SITE("knn select index store");
+        d_access.warp = warp;
+        i_access.warp = warp;
         d_access.active_mask = (1u << k_nn) - 1u;
         i_access.active_mask = (1u << k_nn) - 1u;
         std::array<float, 32> d_vals{}, i_vals{};

@@ -1,6 +1,7 @@
 #include "gpukernels/norms.h"
 
 #include "common/error.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 namespace {
@@ -33,6 +34,8 @@ gpusim::LaunchResult run_norms(gpusim::Device& device,
       for (std::size_t kk = 0; kk < k; kk += 4) {
         gpusim::GlobalWarpAccess access;
         access.width_bytes = 16;
+        access.site = KSUM_ACCESS_SITE("norm point coordinate load (float4)");
+        access.warp = warp;
         for (int lane = 0; lane < 32; ++lane) {
           const std::size_t point = base +
                                     static_cast<std::size_t>(warp * 32 + lane);
@@ -50,6 +53,8 @@ gpusim::LaunchResult run_norms(gpusim::Device& device,
         ctx.count_alu(32);
       }
       gpusim::GlobalWarpAccess store;
+      store.site = KSUM_ACCESS_SITE("norm result store");
+      store.warp = warp;
       std::array<float, 32> values{};
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t point = base +

@@ -1,6 +1,7 @@
 #include "gpukernels/tile_loader.h"
 
 #include "common/error.h"
+#include "gpusim/access_site.h"
 
 namespace ksum::gpukernels {
 
@@ -20,6 +21,8 @@ void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
     for (int piece = 0; piece < 2; ++piece) {
       gpusim::GlobalWarpAccess access;
       access.width_bytes = 16;
+      access.site = KSUM_ACCESS_SITE("tile track fetch (float4 piece)");
+      access.warp = warp_base + loader_warp;
       for (int lane = 0; lane < 32; ++lane) {
         const TrackAssignment ta =
             track_of_loader(layout, loader_warp * 32 + lane);
@@ -46,7 +49,6 @@ void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
     }
     // Address arithmetic for the loads/stores of this warp.
     ctx.count_alu(32 * 4);
-    (void)warp_base;  // warp identity only affects scheduling, not counts
 
     if (norms != nullptr) {
       for (int lane = 0; lane < 32; ++lane) {
@@ -67,6 +69,8 @@ void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
     // Eight conflict-free scalar stores scatter the track into the layout.
     for (int k = 0; k < kTileK; ++k) {
       gpusim::SharedWarpAccess store;
+      store.site = KSUM_ACCESS_SITE("tile track scatter store");
+      store.warp = warp_base + loader_warp;
       std::array<float, 32> values{};
       for (int lane = 0; lane < 32; ++lane) {
         const TrackAssignment ta = tracks[static_cast<std::size_t>(lane)];
@@ -86,6 +90,18 @@ std::array<std::array<float, 8>, 32> load_segment_operands(
   std::array<std::array<float, 8>, 32> out{};
   for (int e = 0; e < kMicro; ++e) {
     gpusim::SharedWarpAccess access;
+    // By-row reads touch one 128B row per request (conflict-free); by-column
+    // reads span 16 tx values × 32B = 512B = 4 rows — a degree-4 replay the
+    // fused epilogues accept because the segment is consumed once per tile,
+    // not once per K-iteration.
+    access.site =
+        by_row ? KSUM_ACCESS_SITE("segment operand load (by row)")
+               : KSUM_ACCESS_SITE_ANNOTATED(
+                     "segment operand load (by column)",
+                     ::ksum::gpusim::kSiteAllowBankConflicts,
+                     "4 distinct 128B rows per request; epilogue-only "
+                     "traffic, not worth a padded staging layout");
+    access.warp = warp;
     for (int lane = 0; lane < 32; ++lane) {
       const int tid = warp * 32 + lane;
       const int tx = tid % kBlockX;
@@ -108,6 +124,8 @@ void load_vector_segment(gpusim::BlockContext& ctx,
                          std::size_t origin, gpusim::SharedAddr smem_base) {
   for (int warp = 0; warp < 4; ++warp) {
     gpusim::GlobalWarpAccess access;
+    access.site = KSUM_ACCESS_SITE("vector segment load");
+    access.warp = warp;
     for (int lane = 0; lane < 32; ++lane) {
       access.set_lane(lane, buffer.addr_of_float(
                                 origin + static_cast<std::size_t>(warp * 32 +
@@ -115,6 +133,8 @@ void load_vector_segment(gpusim::BlockContext& ctx,
     }
     const auto values = ctx.global_load(access);
     gpusim::SharedWarpAccess store;
+    store.site = KSUM_ACCESS_SITE("vector segment stage store");
+    store.warp = warp;
     for (int lane = 0; lane < 32; ++lane) {
       store.set_lane(lane, smem_base + static_cast<gpusim::SharedAddr>(
                                            (warp * 32 + lane) * 4));

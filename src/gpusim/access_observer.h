@@ -1,0 +1,84 @@
+// Observation hook for the static-analysis layer.
+//
+// A Device with an attached AccessObserver reports every warp-wide memory
+// request (shared and global), every barrier, and the CTA/launch structure
+// around them — after the request has been serviced and counted, so
+// observation never perturbs functional results, counters, timing, or
+// energy. The analysis subsystem (src/analysis/) builds its race detector
+// and the bank-conflict/coalescing lints on this stream; the simulator
+// itself never depends on an observer being present.
+#pragma once
+
+#include <string>
+
+#include "gpusim/address.h"
+#include "gpusim/occupancy.h"
+
+namespace ksum::gpusim {
+
+enum class AccessKind { kLoad, kStore, kAtomicAdd };
+
+inline const char* to_string(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kLoad:
+      return "load";
+    case AccessKind::kStore:
+      return "store";
+    case AccessKind::kAtomicAdd:
+      return "atomicAdd";
+  }
+  return "?";
+}
+
+/// One serviced shared-memory warp request, with the bank model's verdict.
+struct SharedAccessEvent {
+  const SharedWarpAccess& access;
+  AccessKind kind = AccessKind::kLoad;
+  int transactions = 0;        // after replay expansion (row-select model)
+  int ideal_transactions = 0;  // minimum possible for the access width
+};
+
+/// One serviced global-memory warp request, with the coalescer's verdict.
+struct GlobalAccessEvent {
+  const GlobalWarpAccess& access;
+  AccessKind kind = AccessKind::kLoad;
+  int sectors = 0;        // distinct 32-byte sectors the request touched
+  int ideal_sectors = 0;  // sectors needed if the touched bytes were packed
+};
+
+/// Static facts about a launch, captured before the first CTA runs.
+struct LaunchObservation {
+  std::string kernel_name;
+  int grid_x = 1;
+  int grid_y = 1;
+  int block_threads = 0;
+  LaunchConfig config;
+  Occupancy occupancy;
+};
+
+/// Interface the Device drives. CTAs execute sequentially, so callbacks for
+/// one CTA never interleave with another's; `on_barrier` reports the new
+/// barrier epoch (epochs restart at 0 for each CTA).
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  virtual void on_launch_begin(const LaunchObservation& launch) {
+    (void)launch;
+  }
+  virtual void on_cta_begin(int bx, int by) {
+    (void)bx;
+    (void)by;
+  }
+  virtual void on_barrier(int new_epoch) { (void)new_epoch; }
+  virtual void on_shared_access(const SharedAccessEvent& event) {
+    (void)event;
+  }
+  virtual void on_global_access(const GlobalAccessEvent& event) {
+    (void)event;
+  }
+  virtual void on_cta_end() {}
+  virtual void on_launch_end() {}
+};
+
+}  // namespace ksum::gpusim

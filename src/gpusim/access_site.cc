@@ -1,0 +1,57 @@
+#include "gpusim/access_site.h"
+
+#include <string_view>
+
+#include "common/error.h"
+
+namespace ksum::gpusim {
+
+namespace {
+
+// Trims an absolute __FILE__ down to the repo-relative path so diagnostics
+// stay stable across build directories.
+const char* trim_path(const char* file) {
+  std::string_view view(file);
+  const std::size_t pos = view.rfind("src/");
+  if (pos != std::string_view::npos) return file + pos;
+  const std::size_t tests = view.rfind("tests/");
+  if (tests != std::string_view::npos) return file + tests;
+  const std::size_t slash = view.rfind('/');
+  return slash == std::string_view::npos ? file : file + slash + 1;
+}
+
+}  // namespace
+
+std::string AccessSite::location() const {
+  return std::string(trim_path(file)) + ":" + std::to_string(line);
+}
+
+SiteRegistry::SiteRegistry() {
+  sites_.push_back(AccessSite{0, "", 0, "<untagged>", kSiteNone, ""});
+}
+
+SiteRegistry& SiteRegistry::instance() {
+  static SiteRegistry registry;
+  return registry;
+}
+
+SiteId SiteRegistry::intern(const char* file, int line, const char* label,
+                            std::uint32_t flags, const char* rationale) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(AccessSite{id, file, line, label, flags, rationale});
+  return id;
+}
+
+const AccessSite& SiteRegistry::site(SiteId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  KSUM_CHECK_MSG(id < sites_.size(), "unknown access site id");
+  return sites_[id];
+}
+
+std::size_t SiteRegistry::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sites_.size();
+}
+
+}  // namespace ksum::gpusim

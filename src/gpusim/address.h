@@ -12,21 +12,37 @@ using GlobalAddr = std::uint64_t;
 /// Byte offset within a CTA's shared memory allocation.
 using SharedAddr = std::uint32_t;
 
+/// Identifier of a static access site (a KSUM_ACCESS_SITE expansion in a
+/// kernel body). 0 means "untagged"; see gpusim/access_site.h.
+using SiteId = std::uint32_t;
+
 inline constexpr int kWarpSize = 32;
 
 /// One warp-wide memory request: a byte address per lane plus an active mask.
 /// `width_bytes` is the per-lane access width (4 for float, 16 for float4).
+///
+/// `site` and `warp` exist for the static-analysis layer: `site` attributes
+/// the request to the source line that built it, and `warp` is the issuing
+/// warp's index within the CTA so lane ↦ thread identity survives into the
+/// race detector. Neither affects functional execution or the counters.
 template <typename Addr>
 struct WarpAccess {
   std::array<Addr, kWarpSize> addr{};
   std::uint32_t active_mask = 0xffffffffu;
   int width_bytes = 4;
+  SiteId site = 0;
+  int warp = -1;
 
   bool lane_active(int lane) const {
     return (active_mask >> lane) & 1u;
   }
   void set_lane(int lane, Addr a) {
     addr[static_cast<std::size_t>(lane)] = a;
+  }
+  /// CTA-relative thread id of `lane` (lane itself when the kernel did not
+  /// model a warp index).
+  int thread_of_lane(int lane) const {
+    return (warp < 0 ? 0 : warp * kWarpSize) + lane;
   }
 };
 

@@ -25,4 +25,25 @@ std::vector<GlobalAddr> Coalescer::sectors_for(
   return sectors;
 }
 
+int Coalescer::ideal_sectors_for(const GlobalWarpAccess& access) const {
+  // Distinct words touched (lanes may overlap under broadcast), packed into
+  // as few sectors as arithmetic allows.
+  std::vector<GlobalAddr> words;
+  words.reserve(kWarpSize);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if (!access.lane_active(lane)) continue;
+    const GlobalAddr base = access.addr[static_cast<std::size_t>(lane)];
+    for (int piece = 0; piece < access.width_bytes; piece += 4) {
+      words.push_back((base + static_cast<GlobalAddr>(piece)) / 4);
+    }
+  }
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  if (words.empty()) return 0;
+  const std::size_t bytes = words.size() * 4;
+  return static_cast<int>(
+      (bytes + static_cast<std::size_t>(sector_bytes_) - 1) /
+      static_cast<std::size_t>(sector_bytes_));
+}
+
 }  // namespace ksum::gpusim

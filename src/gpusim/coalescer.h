@@ -20,6 +20,13 @@ class Coalescer {
   /// Distinct sector base addresses touched by the access, sorted ascending.
   std::vector<GlobalAddr> sectors_for(const GlobalWarpAccess& access) const;
 
+  /// Minimum sectors that could service the access if its distinct bytes
+  /// were densely packed — the coalescing lint's per-request ideal. A fully
+  /// coalesced float access needs 4, a float4 access 16; a 128-byte-strided
+  /// scalar access still needs only 4 under this ideal but generates 32
+  /// sectors, which is exactly the gap the lint reports.
+  int ideal_sectors_for(const GlobalWarpAccess& access) const;
+
   int sector_bytes() const { return sector_bytes_; }
 
  private:

@@ -18,6 +18,16 @@ BlockContext::BlockContext(Device& device, GridDim grid, BlockDim block,
       smem_(smem),
       counters_(counters) {}
 
+void BlockContext::notify_global(const GlobalWarpAccess& access,
+                                 AccessKind kind) {
+  AccessObserver* observer = device_.observer_;
+  if (observer == nullptr) return;
+  const int sectors =
+      static_cast<int>(device_.coalescer_.sectors_for(access).size());
+  const int ideal = device_.coalescer_.ideal_sectors_for(access);
+  observer->on_global_access({access, kind, sectors, ideal});
+}
+
 std::array<float, kWarpSize> BlockContext::global_load(
     const GlobalWarpAccess& access) {
   counters_.global_load_requests += 1;
@@ -26,6 +36,7 @@ std::array<float, kWarpSize> BlockContext::global_load(
        device_.coalescer_.sectors_for(access)) {
     device_.read_global_sector(sector, sm_index_);
   }
+  notify_global(access, AccessKind::kLoad);
   std::array<float, kWarpSize> out{};
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
@@ -43,6 +54,7 @@ std::array<std::array<float, 4>, kWarpSize> BlockContext::global_load_vec4(
   for (const GlobalAddr sector : device_.coalescer_.sectors_for(access)) {
     device_.read_global_sector(sector, sm_index_);
   }
+  notify_global(access, AccessKind::kLoad);
   std::array<std::array<float, 4>, kWarpSize> out{};
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
@@ -65,6 +77,7 @@ void BlockContext::global_store_vec4(
   for (const GlobalAddr sector : device_.coalescer_.sectors_for(access)) {
     device_.write_global_sector(sector);
   }
+  notify_global(access, AccessKind::kStore);
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
     const GlobalAddr base = access.addr[static_cast<std::size_t>(lane)];
@@ -87,6 +100,7 @@ void BlockContext::global_store(const GlobalWarpAccess& access,
        device_.coalescer_.sectors_for(access)) {
     device_.write_global_sector(sector);
   }
+  notify_global(access, AccessKind::kStore);
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
     device_.memory_.store_f32(
@@ -112,6 +126,7 @@ void BlockContext::global_atomic_add(
     }
     device_.l2_.write_sector(sector);
   }
+  notify_global(access, AccessKind::kAtomicAdd);
   // One injection opportunity per warp request: the whole request is lost
   // or applied twice, modelling a dropped/replayed L2 atomic operation. The
   // request's traffic was already counted — the fault is functional only.
@@ -164,6 +179,10 @@ void BlockContext::barrier() {
   counters_.barriers += 1;
   counters_.warp_instructions +=
       static_cast<std::uint64_t>(block_.count() / kWarpSize);
+  ++barrier_epoch_;
+  if (device_.observer_ != nullptr) {
+    device_.observer_->on_barrier(barrier_epoch_);
+  }
 }
 
 void BlockContext::count_fma(std::uint64_t lane_ops) {
@@ -251,21 +270,31 @@ LaunchResult Device::launch(const std::string& name, GridDim grid,
   // between launches; there is no coherence with stores).
   for (auto& l1 : l1s_) l1.reset();
 
+  if (observer_ != nullptr) {
+    observer_->on_launch_begin(
+        {name, grid.x, grid.y, block.count(), config, occ});
+  }
+
   int cta_linear = 0;
   for (int by = 0; by < grid.y; ++by) {
     for (int bx = 0; bx < grid.x; ++bx) {
       SharedMemory smem(config.smem_bytes_per_block, &launch_counters_,
                         injector_);
       smem.poison();
+      smem.set_observer(observer_);
       // Round-robin CTA→SM placement, the scheduler's steady state.
       const int sm_index = cta_linear % spec_.num_sms;
       BlockContext ctx(*this, grid, block, bx, by, sm_index, smem,
                        launch_counters_);
+      if (observer_ != nullptr) observer_->on_cta_begin(bx, by);
       program(ctx);
+      if (observer_ != nullptr) observer_->on_cta_end();
       launch_counters_.ctas_launched += 1;
       ++cta_linear;
     }
   }
+
+  if (observer_ != nullptr) observer_->on_launch_end();
 
   LaunchResult result{name, grid, block, config, occ, launch_counters_};
   counters_ += launch_counters_;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "config/device_spec.h"
+#include "gpusim/access_observer.h"
 #include "gpusim/cache.h"
 #include "gpusim/coalescer.h"
 #include "gpusim/counters.h"
@@ -78,8 +79,14 @@ class BlockContext {
 
   // --- Intra-CTA control ----------------------------------------------------
   /// __syncthreads(). Functionally a no-op under sequential execution but
-  /// counted, and used by tests to validate the barrier structure.
+  /// counted, used by tests to validate the barrier structure, and the
+  /// epoch boundary the race detector keys shadow memory on.
   void barrier();
+
+  /// Barrier epoch of this CTA: 0 until the first barrier(), then +1 per
+  /// barrier. The race detector treats two accesses to the same word as
+  /// ordered iff their epochs differ.
+  int barrier_epoch() const { return barrier_epoch_; }
 
   // --- Arithmetic accounting (per active lane) ------------------------------
   void count_fma(std::uint64_t lane_ops);
@@ -102,6 +109,10 @@ class BlockContext {
   float filter_fault(FaultSite site, float value);
 
  private:
+  /// Reports a serviced global request (with achieved/ideal sector counts)
+  /// to the device's observer, if one is attached.
+  void notify_global(const GlobalWarpAccess& access, AccessKind kind);
+
   Device& device_;
   GridDim grid_;
   BlockDim block_;
@@ -110,6 +121,7 @@ class BlockContext {
   int sm_index_;  // which SM hosts this CTA (routes L1 accesses)
   SharedMemory& smem_;
   Counters& counters_;
+  int barrier_epoch_ = 0;
 };
 
 using TileProgram = std::function<void(BlockContext&)>;
@@ -143,6 +155,13 @@ class Device {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attaches (or detaches, with nullptr) the analysis observer. Every
+  /// launch then reports its structure and every serviced memory request —
+  /// see access_observer.h. The observer must outlive the device or be
+  /// detached first; it never changes functional results or counters.
+  void set_access_observer(AccessObserver* observer) { observer_ = observer; }
+  AccessObserver* access_observer() const { return observer_; }
+
   /// Runs `program` for every CTA of `grid`. Validates `config` against the
   /// device limits (throws ksum::Error if the kernel cannot launch) and
   /// returns the per-launch event counts and occupancy.
@@ -173,7 +192,8 @@ class Device {
   SectoredCache l2_;
   std::vector<SectoredCache> l1s_;  // per SM, when cache_globals_in_l1
   Coalescer coalescer_;
-  FaultInjector* injector_ = nullptr;  // optional, not owned
+  FaultInjector* injector_ = nullptr;   // optional, not owned
+  AccessObserver* observer_ = nullptr;  // optional, not owned
 };
 
 }  // namespace ksum::gpusim

@@ -67,6 +67,9 @@ std::array<float, kWarpSize> SharedMemory::load_warp(
   counters_->smem_bank_conflicts +=
       static_cast<std::uint64_t>(txns > ideal ? txns - ideal : 0);
   counters_->warp_instructions += 1;
+  if (observer_ != nullptr) {
+    observer_->on_shared_access({access, AccessKind::kLoad, txns, ideal});
+  }
 
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;
@@ -88,6 +91,9 @@ void SharedMemory::store_warp(const SharedWarpAccess& access,
   counters_->smem_bank_conflicts +=
       static_cast<std::uint64_t>(txns > ideal ? txns - ideal : 0);
   counters_->warp_instructions += 1;
+  if (observer_ != nullptr) {
+    observer_->on_shared_access({access, AccessKind::kStore, txns, ideal});
+  }
 
   for (int lane = 0; lane < kWarpSize; ++lane) {
     if (!access.lane_active(lane)) continue;

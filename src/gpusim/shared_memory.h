@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gpusim/access_observer.h"
 #include "gpusim/address.h"
 #include "gpusim/counters.h"
 #include "gpusim/fault_injection.h"
@@ -52,12 +53,17 @@ class SharedMemory {
 
   float peek(SharedAddr byte_offset) const;
 
+  /// Attaches the analysis observer; events fire after the request has been
+  /// serviced and counted. Null detaches.
+  void set_observer(AccessObserver* observer) { observer_ = observer; }
+
  private:
   void check_access(const SharedWarpAccess& access) const;
 
   std::vector<float> data_;
   Counters* counters_;
   FaultInjector* injector_;
+  AccessObserver* observer_ = nullptr;
 };
 
 }  // namespace ksum::gpusim

@@ -1,0 +1,168 @@
+// ksum-lint — static-analysis driver over the simulated kernels.
+//
+//   ksum-lint [--program=<name>] [--layout=fig5|naive] [--verbose]
+//   ksum-lint --list
+//
+// Runs every registered tile program (or one selected with --program)
+// through the four analyzers — barrier-epoch race detection, shared-memory
+// bank-conflict lint, global-load coalescing lint, and the occupancy /
+// register-budget check — and prints source-attributed findings.
+//
+// Exit codes: 0 clean; 1 findings (errors or warnings); 2 invalid input or
+// usage (ksum::Error); 3 internal bug (ksum::InternalError).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/program_registry.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "config/device_spec.h"
+#include "gpusim/access_site.h"
+
+namespace {
+
+using namespace ksum;
+
+void print_bank_table(const analysis::BankConflictLint& lint) {
+  if (lint.stats().empty()) return;
+  std::printf("  shared-memory sites:\n");
+  std::printf("    %-52s %10s %12s %8s\n", "site", "requests", "transactions",
+              "degree");
+  auto& registry = gpusim::SiteRegistry::instance();
+  for (const auto& [site_id, s] : lint.stats()) {
+    const auto& site = registry.site(site_id);
+    const std::string where =
+        site.location() + " (" + std::string(site.label) + ")";
+    std::printf("    %-52s %10llu %12llu %8d\n", where.c_str(),
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.transactions),
+                s.worst_transactions);
+  }
+}
+
+void print_coalescing_table(const analysis::CoalescingLint& lint) {
+  if (lint.stats().empty()) return;
+  std::printf("  global-memory sites:\n");
+  std::printf("    %-52s %10s %10s %10s\n", "site", "requests", "sectors",
+              "efficiency");
+  auto& registry = gpusim::SiteRegistry::instance();
+  for (const auto& [site_id, s] : lint.stats()) {
+    const auto& site = registry.site(site_id);
+    const std::string where =
+        site.location() + " (" + std::string(site.label) + ")";
+    std::printf("    %-52s %10llu %10llu %9.3f\n", where.c_str(),
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.sectors),
+                s.sector_efficiency());
+  }
+}
+
+struct LintTally {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+};
+
+LintTally lint_program(const analysis::RegisteredProgram& program,
+                       const analysis::ProgramOptions& options,
+                       bool verbose) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, analysis::registry_device_bytes());
+  analysis::AnalysisSession session(device, spec);
+  program.run(device, options);
+  const analysis::Diagnostics findings = session.finish();
+
+  LintTally tally;
+  tally.errors = analysis::count_of(findings, analysis::Severity::kError);
+  tally.warnings =
+      analysis::count_of(findings, analysis::Severity::kWarning);
+  tally.infos = analysis::count_of(findings, analysis::Severity::kInfo);
+
+  std::printf("%s: %s\n", program.name.c_str(),
+              tally.errors + tally.warnings == 0 ? "ok" : "FAILED");
+  for (const auto& d : findings) {
+    if (d.severity == analysis::Severity::kInfo && !verbose) continue;
+    std::printf("  %s\n", d.to_string().c_str());
+  }
+  if (verbose) {
+    print_bank_table(session.bank_conflicts());
+    print_coalescing_table(session.coalescing());
+  }
+  return tally;
+}
+
+int cmd_lint(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.declare("program", "lint only the named program (default: all)");
+  flags.declare("layout", "shared-memory tile layout: fig5 (default), naive");
+  flags.declare("list", "list registered programs and exit", false);
+  flags.declare("verbose",
+                "print info-level findings and per-site statistics", false);
+  flags.declare("help", "show this help", false);
+  flags.parse(argc, argv);
+
+  if (flags.get_bool("help")) {
+    std::printf("usage: ksum-lint [flags]\n%s", flags.usage().c_str());
+    return 0;
+  }
+  if (flags.get_bool("list")) {
+    for (const auto& program : analysis::registered_programs()) {
+      std::printf("%-26s %s\n", program.name.c_str(),
+                  program.description.c_str());
+    }
+    return 0;
+  }
+
+  analysis::ProgramOptions options;
+  const std::string layout = flags.get_string("layout", "fig5");
+  if (layout == "naive") {
+    options.layout = gpukernels::TileLayout::kNaive;
+  } else if (layout != "fig5") {
+    throw Error("unknown --layout: " + layout);
+  }
+
+  std::vector<const analysis::RegisteredProgram*> selected;
+  if (flags.has("program")) {
+    const std::string name = flags.get_string("program", "");
+    const auto* program = analysis::find_program(name);
+    if (program == nullptr) {
+      throw Error("unknown --program: " + name + " (try --list)");
+    }
+    selected.push_back(program);
+  } else {
+    for (const auto& program : analysis::registered_programs()) {
+      selected.push_back(&program);
+    }
+  }
+
+  LintTally total;
+  for (const auto* program : selected) {
+    const LintTally tally =
+        lint_program(*program, options, flags.get_bool("verbose"));
+    total.errors += tally.errors;
+    total.warnings += tally.warnings;
+    total.infos += tally.infos;
+  }
+  std::printf("%zu program(s): %zu error(s), %zu warning(s), %zu note(s)\n",
+              selected.size(), total.errors, total.warnings, total.infos);
+  return total.errors + total.warnings == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return cmd_lint(argc, argv);
+  } catch (const ksum::InternalError& e) {
+    std::fprintf(stderr, "ksum-lint: internal error: %s\n", e.what());
+    return 3;
+  } catch (const ksum::Error& e) {
+    std::fprintf(stderr, "ksum-lint: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ksum-lint: %s\n", e.what());
+    return 3;
+  }
+}

@@ -1,0 +1,115 @@
+// Negative case for the bank-conflict lint: a column-major shared-memory
+// walk serialises into 32 row transactions per request and must be reported
+// with its exact degree; the row-major layout of the same data is clean.
+#include "analysis/bank_conflict_lint.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "config/device_spec.h"
+#include "gpusim/access_site.h"
+#include "gpusim/device.h"
+
+namespace ksum::analysis {
+namespace {
+
+gpusim::LaunchConfig test_config() {
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = 32;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 16 * 1024;
+  return cfg;
+}
+
+TEST(BankConflictLintTest, ColumnMajorStoreReportsDegree32) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch("column_major_stage", {1, 1}, {32, 1}, test_config(),
+                [](gpusim::BlockContext& ctx) {
+                  // Column-major staging of a 32×32 float tile: lane L
+                  // stores column element (L, 0), i.e. byte L·128 — every
+                  // lane in a different 128-byte row.
+                  gpusim::SharedWarpAccess access;
+                  access.site =
+                      KSUM_ACCESS_SITE("column-major tile stage store");
+                  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+                    access.set_lane(
+                        lane, static_cast<gpusim::SharedAddr>(lane * 128));
+                  }
+                  std::array<float, 32> values{};
+                  ctx.smem().store_warp(access, values);
+                });
+
+  const auto& stats = session.bank_conflicts().stats();
+  ASSERT_EQ(stats.size(), 1u);
+  const BankSiteStats& s = stats.begin()->second;
+  EXPECT_EQ(s.requests, 1u);
+  EXPECT_EQ(s.worst_transactions, 32);
+  EXPECT_EQ(s.transactions, 32u);
+  EXPECT_EQ(s.ideal_transactions, 1u);
+
+  const Diagnostics findings = session.bank_conflicts().diagnostics();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  const std::string text = findings[0].to_string();
+  EXPECT_NE(text.find("degree-32 bank conflict"), std::string::npos) << text;
+  EXPECT_NE(text.find("column-major tile stage store"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 requests cost 32 transactions (minimum 1)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(BankConflictLintTest, RowMajorStoreIsConflictFree) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch("row_major_stage", {1, 1}, {32, 1}, test_config(),
+                [](gpusim::BlockContext& ctx) {
+                  gpusim::SharedWarpAccess access;
+                  access.site =
+                      KSUM_ACCESS_SITE("row-major tile stage store");
+                  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+                    access.set_lane(
+                        lane, static_cast<gpusim::SharedAddr>(lane * 4));
+                  }
+                  std::array<float, 32> values{};
+                  ctx.smem().store_warp(access, values);
+                });
+
+  EXPECT_TRUE(session.bank_conflicts().diagnostics().empty());
+}
+
+TEST(BankConflictLintTest, AnnotatedConflictIsSuppressedToInfo) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch(
+      "annotated_stage", {1, 1}, {32, 1}, test_config(),
+      [](gpusim::BlockContext& ctx) {
+        gpusim::SharedWarpAccess access;
+        access.site = KSUM_ACCESS_SITE_ANNOTATED(
+            "reviewed scatter store", ::ksum::gpusim::kSiteAllowBankConflicts,
+            "one-off epilogue scatter");
+        for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+          access.set_lane(lane,
+                          static_cast<gpusim::SharedAddr>(lane * 256));
+        }
+        std::array<float, 32> values{};
+        ctx.smem().store_warp(access, values);
+      });
+
+  const Diagnostics findings = session.bank_conflicts().diagnostics();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+  EXPECT_NE(findings[0].message.find("suppressed: one-off epilogue scatter"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+}  // namespace
+}  // namespace ksum::analysis

@@ -1,0 +1,154 @@
+// Negative case for the coalescing lint: a strided global load that leaves
+// touched sectors mostly unused must be an error with the exact efficiency;
+// unit-stride loads and sector-filling sweeps must pass.
+#include "analysis/coalescing_lint.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "config/device_spec.h"
+#include "gpusim/access_site.h"
+#include "gpusim/device.h"
+
+namespace ksum::analysis {
+namespace {
+
+gpusim::LaunchConfig test_config() {
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = 32;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 0;
+  return cfg;
+}
+
+gpusim::GlobalWarpAccess strided_access(const gpusim::DeviceBuffer& buffer,
+                                        std::size_t stride_floats,
+                                        std::size_t offset_floats,
+                                        gpusim::SiteId site) {
+  gpusim::GlobalWarpAccess access;
+  access.site = site;
+  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    access.set_lane(lane, buffer.addr_of_float(
+                              offset_floats +
+                              static_cast<std::size_t>(lane) * stride_floats));
+  }
+  return access;
+}
+
+TEST(CoalescingLintTest, StridedLoadIsAnError) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(32 * 128, "strided_input");
+  device.memory().fill(buffer, 1.0f);
+  AnalysisSession session(device, spec);
+
+  device.launch("strided_reader", {1, 1}, {32, 1}, test_config(),
+                [&](gpusim::BlockContext& ctx) {
+                  // One float per lane, 128 bytes apart: every request pulls
+                  // 32 sectors to use 4 bytes of each.
+                  (void)ctx.global_load(strided_access(
+                      buffer, 32, 0, KSUM_ACCESS_SITE("strided row load")));
+                });
+
+  const Diagnostics findings = session.coalescing().diagnostics();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  const std::string text = findings[0].to_string();
+  EXPECT_NE(text.find("sector efficiency 0.125"), std::string::npos) << text;
+  EXPECT_NE(text.find("strided row load"), std::string::npos) << text;
+  EXPECT_NE(text.find("128 distinct bytes spread over 32 32-byte sectors"),
+            std::string::npos)
+      << text;
+}
+
+TEST(CoalescingLintTest, UnitStrideLoadIsClean) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(4096, "dense_input");
+  device.memory().fill(buffer, 1.0f);
+  AnalysisSession session(device, spec);
+
+  device.launch("dense_reader", {1, 1}, {32, 1}, test_config(),
+                [&](gpusim::BlockContext& ctx) {
+                  (void)ctx.global_load(strided_access(
+                      buffer, 1, 0, KSUM_ACCESS_SITE("dense row load")));
+                });
+
+  EXPECT_TRUE(session.coalescing().diagnostics().empty());
+}
+
+TEST(CoalescingLintTest, SweepThatFillsSectorsIsReplayInfoNotError) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(4096, "swept_input");
+  device.memory().fill(buffer, 1.0f);
+  AnalysisSession session(device, spec);
+
+  device.launch(
+      "sweeping_reader", {1, 1}, {32, 1}, test_config(),
+      [&](gpusim::BlockContext& ctx) {
+        // Each request reads every other word (half of each sector); the
+        // two-phase sweep consumes the touched sectors completely, like the
+        // staged partial-V gather in the fused kernel.
+        const gpusim::SiteId site = KSUM_ACCESS_SITE("two-phase sweep load");
+        (void)ctx.global_load(strided_access(buffer, 2, 0, site));
+        (void)ctx.global_load(strided_access(buffer, 2, 1, site));
+      });
+
+  const Diagnostics findings = session.coalescing().diagnostics();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+  EXPECT_NE(findings[0].message.find("replay factor 2.000"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(CoalescingLintTest, AnnotatedStridedLoadIsSuppressedToInfo) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(32 * 128, "annotated_input");
+  device.memory().fill(buffer, 1.0f);
+  AnalysisSession session(device, spec);
+
+  device.launch(
+      "annotated_reader", {1, 1}, {32, 1}, test_config(),
+      [&](gpusim::BlockContext& ctx) {
+        (void)ctx.global_load(strided_access(
+            buffer, 32, 0,
+            KSUM_ACCESS_SITE_ANNOTATED(
+                "reviewed strided load",
+                ::ksum::gpusim::kSiteAllowUncoalesced,
+                "one scalar per row by construction")));
+      });
+
+  const Diagnostics findings = session.coalescing().diagnostics();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+  EXPECT_NE(
+      findings[0].message.find("suppressed: one scalar per row"),
+      std::string::npos)
+      << findings[0].message;
+}
+
+TEST(CoalescingLintTest, ImperfectStoreIsInfoOnly) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(32 * 128, "store_output");
+  AnalysisSession session(device, spec);
+
+  device.launch("strided_writer", {1, 1}, {32, 1}, test_config(),
+                [&](gpusim::BlockContext& ctx) {
+                  std::array<float, 32> values{};
+                  ctx.global_store(
+                      strided_access(buffer, 32, 0,
+                                     KSUM_ACCESS_SITE("strided row store")),
+                      values);
+                });
+
+  const Diagnostics findings = session.coalescing().diagnostics();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kInfo);
+}
+
+}  // namespace
+}  // namespace ksum::analysis

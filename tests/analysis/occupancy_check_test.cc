@@ -1,0 +1,91 @@
+// Negative case for the occupancy / register-budget checker: an oversized
+// microtile must be rejected against the architectural register cap, a
+// declared budget below the model estimate must be flagged as a silent
+// spill, and the paper's actual configuration must pass at 2 CTAs/SM.
+#include "analysis/occupancy_check.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "config/device_spec.h"
+#include "gpukernels/tile_geometry.h"
+#include "gpusim/device.h"
+
+namespace ksum::analysis {
+namespace {
+
+TEST(OccupancyCheckTest, OversizedMicrotileBreaksTheRegisterBudget) {
+  const auto spec = config::DeviceSpec::gtx970();
+  TileResourceModel model;
+  model.micro = 16;  // 256 accumulators + 32 operands + 16 bookkeeping
+  ASSERT_EQ(model.estimated_regs(), 304);
+
+  const Diagnostics findings = check_tile_resources(
+      spec, gpukernels::gemm_launch_config(false), model, "gemm_16x16");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  const std::string text = findings[0].to_string();
+  EXPECT_NE(text.find("gemm_16x16"), std::string::npos) << text;
+  EXPECT_NE(text.find("304 registers per thread"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("255-register architectural cap"), std::string::npos)
+      << text;
+}
+
+TEST(OccupancyCheckTest, DeclaringFewerRegistersThanTheModelIsASilentSpill) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::LaunchConfig cfg = gpukernels::gemm_launch_config(false);
+  cfg.regs_per_thread = 64;  // below the 8×8 model's 96-register estimate
+
+  const Diagnostics findings =
+      check_tile_resources(spec, cfg, TileResourceModel{}, "gemm_spilling");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("silently spill"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(OccupancyCheckTest, PaperConfigurationPassesAtTwoCtasPerSm) {
+  const auto spec = config::DeviceSpec::gtx970();
+  for (const bool fused : {false, true}) {
+    const auto cfg = gpukernels::gemm_launch_config(fused);
+    EXPECT_TRUE(check_tile_resources(spec, cfg, TileResourceModel{},
+                                     fused ? "fused_ksum" : "gemm_cudac")
+                    .empty());
+    EXPECT_EQ(gpusim::compute_occupancy(spec, cfg).blocks_per_sm, 2);
+  }
+}
+
+TEST(OccupancyCheckTest, TileFamilyLaunchBelowTwoCtasIsReported) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  // An over-provisioned fused_ksum: 160 registers per thread only fits one
+  // 256-thread CTA in the 64K register file.
+  gpusim::LaunchConfig cfg = gpukernels::gemm_launch_config(true);
+  cfg.regs_per_thread = 160;
+  device.launch("fused_ksum", {1, 1}, {16, 16}, cfg,
+                [](gpusim::BlockContext&) {});
+
+  bool saw = false;
+  for (const auto& d : session.occupancy().diagnostics()) {
+    if (d.severity == Severity::kError) {
+      saw = true;
+      EXPECT_NE(d.message.find("exactly 2 CTAs/SM"), std::string::npos)
+          << d.message;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(OccupancyCheckTest, FusedKnnMayTradeRegistersWithinTheEnvelope) {
+  EXPECT_TRUE(is_tile_family("fused_knn"));
+  EXPECT_FALSE(expects_exact_two_ctas("fused_knn"));
+  EXPECT_TRUE(expects_exact_two_ctas("fused_ksum"));
+  EXPECT_TRUE(expects_exact_two_ctas("gemm_cudac"));
+  EXPECT_FALSE(is_tile_family("norms_a"));
+}
+
+}  // namespace
+}  // namespace ksum::analysis

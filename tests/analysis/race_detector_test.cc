@@ -1,0 +1,206 @@
+// Negative and positive cases for the barrier-epoch race detector: each
+// racy tile program must produce exactly the expected diagnostic, and the
+// same program with correct synchronisation must produce none.
+#include "analysis/race_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "config/device_spec.h"
+#include "gpusim/access_site.h"
+#include "gpusim/device.h"
+
+namespace ksum::analysis {
+namespace {
+
+gpusim::LaunchConfig test_config(int threads) {
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = threads;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 4096;
+  return cfg;
+}
+
+gpusim::SharedWarpAccess warp_rows(int warp, gpusim::SiteId site) {
+  gpusim::SharedWarpAccess access;
+  access.site = site;
+  access.warp = warp;
+  for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    access.set_lane(lane, static_cast<gpusim::SharedAddr>(lane * 4));
+  }
+  return access;
+}
+
+Diagnostics race_errors(const Diagnostics& all) {
+  Diagnostics out;
+  for (const auto& d : all) {
+    if (d.analyzer == "race" && d.severity == Severity::kError) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+TEST(RaceDetectorTest, CrossWarpStoreThenLoadWithoutBarrierIsReported) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch("racy_smem", {1, 1}, {64, 1}, test_config(64),
+                [](gpusim::BlockContext& ctx) {
+                  const auto store = warp_rows(
+                      0, KSUM_ACCESS_SITE("racy producer store"));
+                  std::array<float, 32> ones{};
+                  ones.fill(1.0f);
+                  ctx.smem().store_warp(store, ones);
+                  // Warp 1 reads the words warp 0 just wrote — no barrier.
+                  const auto load =
+                      warp_rows(1, KSUM_ACCESS_SITE("racy consumer load"));
+                  (void)ctx.smem().load_warp(load);
+                });
+
+  const Diagnostics errors = race_errors(session.finish());
+  ASSERT_EQ(errors.size(), 1u);
+  const std::string text = errors[0].to_string();
+  EXPECT_NE(text.find("intra-CTA load/store hazard on shared"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("racy consumer load"), std::string::npos) << text;
+  EXPECT_NE(text.find("racy producer store"), std::string::npos) << text;
+  EXPECT_NE(text.find("barrier epoch 0"), std::string::npos) << text;
+}
+
+TEST(RaceDetectorTest, BarrierBetweenStoreAndLoadClearsTheHazard) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch("synced_smem", {1, 1}, {64, 1}, test_config(64),
+                [](gpusim::BlockContext& ctx) {
+                  const auto store = warp_rows(
+                      0, KSUM_ACCESS_SITE("synced producer store"));
+                  std::array<float, 32> ones{};
+                  ones.fill(1.0f);
+                  ctx.smem().store_warp(store, ones);
+                  ctx.barrier();
+                  const auto load = warp_rows(
+                      1, KSUM_ACCESS_SITE("synced consumer load"));
+                  (void)ctx.smem().load_warp(load);
+                });
+
+  EXPECT_TRUE(race_errors(session.finish()).empty());
+}
+
+TEST(RaceDetectorTest, CrossWarpWriteWriteIsReported) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch("waw_smem", {1, 1}, {64, 1}, test_config(64),
+                [](gpusim::BlockContext& ctx) {
+                  std::array<float, 32> ones{};
+                  ones.fill(1.0f);
+                  ctx.smem().store_warp(
+                      warp_rows(0, KSUM_ACCESS_SITE("waw first store")),
+                      ones);
+                  ctx.smem().store_warp(
+                      warp_rows(1, KSUM_ACCESS_SITE("waw second store")),
+                      ones);
+                });
+
+  const Diagnostics errors = race_errors(session.finish());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(
+      errors[0].to_string().find("intra-CTA write-write hazard on shared"),
+      std::string::npos)
+      << errors[0].to_string();
+}
+
+TEST(RaceDetectorTest, InterCtaNonAtomicGlobalWriteWriteIsReported) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(4096, "shared_output");
+  AnalysisSession session(device, spec);
+
+  device.launch("inter_cta_ww", {2, 1}, {32, 1}, test_config(32),
+                [&](gpusim::BlockContext& ctx) {
+                  gpusim::GlobalWarpAccess access;
+                  access.site =
+                      KSUM_ACCESS_SITE("inter-CTA colliding store");
+                  access.active_mask = 1;  // one lane, same word in each CTA
+                  access.set_lane(0, buffer.addr_of_float(0));
+                  std::array<float, 32> values{};
+                  values[0] = static_cast<float>(ctx.bx());
+                  ctx.global_store(access, values);
+                });
+
+  const Diagnostics errors = race_errors(session.finish());
+  ASSERT_EQ(errors.size(), 1u);
+  const std::string text = errors[0].to_string();
+  EXPECT_NE(text.find("inter-CTA write-write hazard on global"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("inter-CTA colliding store"), std::string::npos)
+      << text;
+}
+
+TEST(RaceDetectorTest, AtomicAccumulationAcrossCtasIsExempt) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  const auto buffer = device.memory().allocate(4096, "atomic_output");
+  device.memory().fill(buffer, 0.0f);
+  AnalysisSession session(device, spec);
+
+  device.launch("inter_cta_atomic", {2, 1}, {32, 1}, test_config(32),
+                [&](gpusim::BlockContext& ctx) {
+                  gpusim::GlobalWarpAccess access;
+                  access.site = KSUM_ACCESS_SITE("atomic accumulate");
+                  access.active_mask = 1;
+                  access.set_lane(0, buffer.addr_of_float(0));
+                  std::array<float, 32> values{};
+                  values[0] = 1.0f;
+                  ctx.global_atomic_add(access, values);
+                });
+
+  EXPECT_TRUE(race_errors(session.finish()).empty());
+}
+
+TEST(RaceDetectorTest, AnnotatedSiteDowngradesToSuppressedInfo) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, 1 << 20);
+  AnalysisSession session(device, spec);
+
+  device.launch(
+      "benign_smem", {1, 1}, {64, 1}, test_config(64),
+      [](gpusim::BlockContext& ctx) {
+        std::array<float, 32> ones{};
+        ones.fill(1.0f);
+        ctx.smem().store_warp(
+            warp_rows(0, KSUM_ACCESS_SITE_ANNOTATED(
+                             "reviewed benign store",
+                             ::ksum::gpusim::kSiteAllowRace,
+                             "idempotent flag write; all threads store the "
+                             "same value")),
+            ones);
+        ctx.smem().store_warp(
+            warp_rows(1, KSUM_ACCESS_SITE("second benign store")), ones);
+      });
+
+  const Diagnostics all = session.finish();
+  EXPECT_TRUE(race_errors(all).empty());
+  bool saw_suppressed = false;
+  for (const auto& d : all) {
+    if (d.analyzer == "race" && d.severity == Severity::kInfo) {
+      saw_suppressed = true;
+      EXPECT_NE(d.message.find("suppressed: idempotent flag write"),
+                std::string::npos)
+          << d.message;
+    }
+  }
+  EXPECT_TRUE(saw_suppressed);
+}
+
+}  // namespace
+}  // namespace ksum::analysis

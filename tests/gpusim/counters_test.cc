@@ -50,10 +50,12 @@ TEST(CountersTest, PlusEqualsSumsEveryField) {
 
   std::array<std::uint64_t, kWords> raw{};
   for (std::size_t i = 0; i < kWords; ++i) raw[i] = i + 1;
+  // static_cast<void*> because Counters' field initialisers make its default
+  // constructor non-trivial; the static_assert above proves the memcpy legal.
   Counters a;
-  std::memcpy(&a, raw.data(), sizeof(a));
+  std::memcpy(static_cast<void*>(&a), raw.data(), sizeof(a));
   Counters b;
-  std::memcpy(&b, raw.data(), sizeof(b));
+  std::memcpy(static_cast<void*>(&b), raw.data(), sizeof(b));
 
   a += b;
   std::array<std::uint64_t, kWords> out{};
