@@ -47,5 +47,6 @@ int main() {
     }
   }
   bench::emit(t, "ablation_l1_cache");
+  bench::write_bench_json("ablation_l1_cache", {});
   return 0;
 }

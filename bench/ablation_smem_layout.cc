@@ -31,5 +31,6 @@ int main() {
            str_format("%.2fx", naive.seconds / fig5.seconds)});
   }
   bench::emit(t, "ablation_smem_layout");
+  bench::write_bench_json("ablation_smem_layout", {});
   return 0;
 }

@@ -73,5 +73,6 @@ int main() {
            c.note});
   }
   bench::emit(t, "ablation_tile_size");
+  bench::write_bench_json("ablation_tile_size", {});
   return 0;
 }

@@ -81,5 +81,6 @@ int main() {
     }
     bench::emit(t, "ablation_fused_norms");
   }
+  bench::write_bench_json("ablation_tiling", {});
   return 0;
 }

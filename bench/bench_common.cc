@@ -2,11 +2,52 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "common/csv.h"
+#include "common/error.h"
+#include "profile/profile_json.h"
 
 namespace ksum::bench {
+
+namespace {
+
+struct CapturedTable {
+  std::string name;
+  std::string csv;
+};
+
+// Tables emit()ed so far, in order, for write_bench_json().
+std::vector<CapturedTable>& captured_tables() {
+  static std::vector<CapturedTable> tables;
+  return tables;
+}
+
+profile::Json point_json(const report::SweepPoint& point) {
+  profile::Json j = profile::Json::object();
+  j.set("m", static_cast<std::uint64_t>(point.m));
+  j.set("n", static_cast<std::uint64_t>(point.n));
+  j.set("k", static_cast<std::uint64_t>(point.k));
+  profile::Json pipelines = profile::Json::object();
+  const std::pair<const char*, const analytic::PipelineEstimate*> entries[] =
+      {{"fused", &point.fused},
+       {"cuda_unfused", &point.cuda_unfused},
+       {"cublas_unfused", &point.cublas_unfused},
+       {"fused_projected", &point.fused_projected}};
+  for (const auto& [name, estimate] : entries) {
+    profile::Json pipe = profile::Json::object();
+    pipe.set("seconds", estimate->seconds);
+    pipe.set("energy_j", profile::energy_breakdown_json(estimate->energy));
+    pipe.set("l2_transactions", estimate->l2_transactions());
+    pipe.set("dram_transactions", estimate->dram_transactions());
+    pipelines.set(name, std::move(pipe));
+  }
+  j.set("pipelines", std::move(pipelines));
+  return j;
+}
+
+}  // namespace
 
 std::vector<workload::ProblemSpec> bench_specs() {
   const char* fast = std::getenv("KSUM_BENCH_FAST");
@@ -26,6 +67,14 @@ const std::vector<report::SweepPoint>& bench_sweep(
 void emit(const Table& table, const std::string& csv_name) {
   table.print(std::cout);
   std::cout << std::endl;
+
+  std::string csv_text;
+  for (const auto& row : table.export_rows()) {
+    csv_text += CsvWriter::to_line(row);
+    csv_text += '\n';
+  }
+  captured_tables().push_back({csv_name, csv_text});
+
   const char* dir = std::getenv("KSUM_CSV_DIR");
   if (dir == nullptr) return;
   std::filesystem::create_directories(dir);
@@ -33,6 +82,42 @@ void emit(const Table& table, const std::string& csv_name) {
   for (const auto& row : table.export_rows()) {
     writer.write_row(row);
   }
+}
+
+std::string write_bench_json(const std::string& name,
+                             const std::vector<report::SweepPoint>& points) {
+  profile::Json record = profile::Json::object();
+  record.set("schema", "ksum-bench-v1");
+  record.set("bench", name);
+
+  profile::Json point_array = profile::Json::array();
+  for (const report::SweepPoint& point : points) {
+    point_array.push_back(point_json(point));
+  }
+  record.set("points", std::move(point_array));
+
+  profile::Json table_array = profile::Json::array();
+  for (const CapturedTable& table : captured_tables()) {
+    profile::Json t = profile::Json::object();
+    t.set("name", table.name);
+    t.set("csv", table.csv);
+    table_array.push_back(std::move(t));
+  }
+  record.set("tables", std::move(table_array));
+
+  // Never publish a record the schema validator would reject.
+  profile::validate_bench_json(record);
+
+  const char* dir = std::getenv("KSUM_BENCH_JSON_DIR");
+  std::string path = dir != nullptr ? std::string(dir) : std::string(".");
+  std::filesystem::create_directories(path);
+  path += "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary);
+  KSUM_REQUIRE(static_cast<bool>(out),
+               "cannot open " + path + " for writing");
+  out << record.dump();
+  KSUM_REQUIRE(static_cast<bool>(out), "write to " + path + " failed");
+  return path;
 }
 
 }  // namespace ksum::bench

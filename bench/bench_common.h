@@ -1,10 +1,14 @@
 // Shared plumbing for the reproduction harness binaries.
 //
 // Every figure/table binary sweeps the analytic pipeline model over the
-// paper's grid and prints the paper-style table. Environment knobs:
-//   KSUM_BENCH_FAST=1  — use the three-M table grid instead of the full
-//                        ten-M figure grid (used by CI-style smoke runs).
-//   KSUM_CSV_DIR=path  — additionally mirror each table as CSV rows there.
+// paper's grid, prints the paper-style table, and drops a machine-readable
+// "ksum-bench-v1" record (BENCH_<name>.json) so CI can archive the
+// performance trajectory run over run. Environment knobs:
+//   KSUM_BENCH_FAST=1       — use the three-M table grid instead of the full
+//                             ten-M figure grid (used by CI-style smoke runs).
+//   KSUM_CSV_DIR=path       — additionally mirror each table as CSV rows.
+//   KSUM_BENCH_JSON_DIR=path— where write_bench_json() puts BENCH_<name>.json
+//                             (default: the working directory).
 #pragma once
 
 #include <string>
@@ -22,8 +26,16 @@ std::vector<workload::ProblemSpec> bench_specs();
 const std::vector<report::SweepPoint>& bench_sweep(
     analytic::PipelineModel& model);
 
-/// Prints the table to stdout and mirrors it to KSUM_CSV_DIR/<name>.csv
-/// when that variable is set.
+/// Prints the table to stdout, mirrors it to KSUM_CSV_DIR/<name>.csv when
+/// that variable is set, and records it for write_bench_json().
 void emit(const Table& table, const std::string& csv_name);
+
+/// Writes BENCH_<name>.json — a "ksum-bench-v1" record carrying the sweep
+/// points (per-pipeline seconds, energy breakdown, L2/DRAM traffic) and
+/// every table emit()ed so far (as CSV text). The record is validated
+/// against the schema before it is written; pass an empty point list for
+/// benches that only produce tables. Returns the path written.
+std::string write_bench_json(const std::string& name,
+                             const std::vector<report::SweepPoint>& points);
 
 }  // namespace ksum::bench

@@ -205,5 +205,6 @@ int main() {
       unrecovered);
   const bool pass = atomic_cov >= 0.9 && clean_flagged == 0 && unrecovered == 0;
   std::printf("fault campaign: %s\n", pass ? "PASS" : "FAIL");
+  bench::write_bench_json("fault_campaign", {});
   return pass ? 0 : 1;
 }

@@ -8,5 +8,6 @@ int main() {
   const auto& points = bench::bench_sweep(model);
   bench::emit(report::fig1_energy_breakdown_cublas(points),
               "fig1_energy_breakdown_cublas");
+  bench::write_bench_json("fig1_energy_breakdown_cublas", points);
   return 0;
 }

@@ -7,5 +7,6 @@ int main() {
   analytic::PipelineModel model;
   const auto& points = bench::bench_sweep(model);
   bench::emit(report::fig2_l2_mpki(points), "fig2_l2_mpki");
+  bench::write_bench_json("fig2_l2_mpki", points);
   return 0;
 }

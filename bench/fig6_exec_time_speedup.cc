@@ -8,5 +8,6 @@ int main() {
   analytic::PipelineModel model;
   const auto& points = bench::bench_sweep(model);
   bench::emit(report::fig6_execution_time(points), "fig6_exec_time_speedup");
+  bench::write_bench_json("fig6_exec_time_speedup", points);
   return 0;
 }

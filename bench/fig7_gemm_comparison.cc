@@ -7,5 +7,6 @@ int main() {
   analytic::PipelineModel model;
   bench::emit(report::fig7_gemm_comparison(model, bench::bench_specs()),
               "fig7_gemm_comparison");
+  bench::write_bench_json("fig7_gemm_comparison", {});
   return 0;
 }

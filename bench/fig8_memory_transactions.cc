@@ -10,5 +10,6 @@ int main() {
   bench::emit(report::fig8a_l2_transactions(points), "fig8a_l2_transactions");
   bench::emit(report::fig8b_dram_transactions(points),
               "fig8b_dram_transactions");
+  bench::write_bench_json("fig8_memory_transactions", points);
   return 0;
 }

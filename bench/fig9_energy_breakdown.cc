@@ -7,5 +7,6 @@ int main() {
   analytic::PipelineModel model;
   const auto& points = bench::bench_sweep(model);
   bench::emit(report::fig9_energy_breakdown(points), "fig9_energy_breakdown");
+  bench::write_bench_json("fig9_energy_breakdown", points);
   return 0;
 }

@@ -40,5 +40,6 @@ int main() {
     }
   }
   bench::emit(t, "knn_fused_vs_unfused");
+  bench::write_bench_json("knn_fused_vs_unfused", {});
   return 0;
 }

@@ -40,5 +40,6 @@ int main() {
     }
   }
   bench::emit(t, "roofline_table");
+  bench::write_bench_json("roofline_table", {});
   return 0;
 }

@@ -50,5 +50,6 @@ int main() {
                            fused.energy.total() / unfused.energy.total())});
   }
   bench::emit(t2, "sensitivity_static_power");
+  bench::write_bench_json("sensitivity_bandwidth", {});
   return 0;
 }

@@ -7,5 +7,6 @@ int main() {
   using namespace ksum;
   bench::emit(report::table1_device_config(config::DeviceSpec::gtx970()),
               "table1_device_config");
+  bench::write_bench_json("table1_device_config", {});
   return 0;
 }

@@ -9,5 +9,6 @@ int main() {
   const auto& points = bench::bench_sweep(model);
   bench::emit(report::table2_flop_efficiency(points),
               "table2_flop_efficiency");
+  bench::write_bench_json("table2_flop_efficiency", points);
   return 0;
 }

@@ -7,5 +7,6 @@ int main() {
   analytic::PipelineModel model;
   const auto& points = bench::bench_sweep(model);
   bench::emit(report::table3_energy_savings(points), "table3_energy_savings");
+  bench::write_bench_json("table3_energy_savings", points);
   return 0;
 }

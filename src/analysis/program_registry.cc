@@ -263,4 +263,6 @@ std::size_t registry_device_bytes() {
   return std::size_t{64} << 20;
 }
 
+RegistryShape registry_shape() { return {kM, kN, kK}; }
+
 }  // namespace ksum::analysis

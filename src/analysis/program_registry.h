@@ -35,4 +35,10 @@ const RegisteredProgram* find_program(const std::string& name);
 /// Device heap size sufficient for every registered program.
 std::size_t registry_device_bytes();
 
+/// The fixed problem size every registered program runs at.
+struct RegistryShape {
+  std::size_t m = 0, n = 0, k = 0;
+};
+RegistryShape registry_shape();
+
 }  // namespace ksum::analysis

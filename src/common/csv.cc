@@ -9,11 +9,16 @@ CsvWriter::CsvWriter(const std::string& path) : out_(path) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  out_ << to_line(cells) << '\n';
+}
+
+std::string CsvWriter::to_line(const std::vector<std::string>& cells) {
+  std::string line;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i != 0) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i != 0) line += ',';
+    line += escape(cells[i]);
   }
-  out_ << '\n';
+  return line;
 }
 
 std::string CsvWriter::escape(const std::string& cell) {

@@ -15,6 +15,9 @@ class CsvWriter {
 
   void write_row(const std::vector<std::string>& cells);
 
+  /// One escaped CSV line (no trailing newline) — for in-memory use.
+  static std::string to_line(const std::vector<std::string>& cells);
+
  private:
   static std::string escape(const std::string& cell);
   std::ofstream out_;

@@ -24,6 +24,7 @@ gpusim::LaunchResult run_partial_reduce(gpusim::Device& device,
   cfg.smem_bytes_per_block = 0;
 
   auto program = [&](gpusim::BlockContext& ctx) {
+    ctx.phase("reduction");
     const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
     for (int warp = 0; warp < 4; ++warp) {
       std::array<float, 32> sums{};
@@ -96,6 +97,7 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
 
     // Prologue: stage the segments this CTA needs. With fused norms the
     // vecα/vecβ loads disappear — the main loop produces them below.
+    ctx.phase("prologue");
     if (!options.fuse_norms) {
       load_vector_segment(ctx, ws.norm_a, row_base, map.norm_a);
       load_vector_segment(ctx, ws.norm_b, col_base, map.norm_b);
@@ -110,6 +112,7 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
     run_gemm_mainloop(ctx, src_a, src_b, ws.k, options.mainloop, map, acc,
                       options.fuse_norms ? &a_norms : nullptr,
                       options.fuse_norms ? &b_norms : nullptr);
+    ctx.phase("epilogue");
 
     if (options.fuse_norms) {
       // Each loader thread owns one complete track norm; one conflict-
@@ -219,6 +222,7 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
       }
     }
     ctx.barrier();
+    ctx.phase("reduction");
 
     // Intra-CTA reduction (line 20): half the block, one thread per row.
     std::array<std::array<float, 32>, 4> partials{};

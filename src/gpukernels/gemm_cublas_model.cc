@@ -70,6 +70,7 @@ gpusim::LaunchResult run_gemm_cublas_model(gpusim::Device& device,
 
     // Panel reads: each row (A) / column (B) of the panel is K contiguous
     // floats; every sector touched exactly once.
+    ctx.phase("prologue");
     for (std::size_t r = 0; r < kTileM; ++r) {
       touch_panel(ctx, a, (row_base + r) * k, k);
     }
@@ -78,6 +79,7 @@ gpusim::LaunchResult run_gemm_cublas_model(gpusim::Device& device,
     }
 
     // The FMA work of the tile (one warp instruction per 32 lane-FMAs).
+    ctx.phase("mainloop");
     ctx.count_fma(static_cast<std::uint64_t>(kTileM) * kTileN * k);
     // Shared-memory traffic of a tuned kernel: 16 conflict-free operand
     // reads per warp per rank-1 step, plus the tile staging stores.
@@ -87,6 +89,7 @@ gpusim::LaunchResult run_gemm_cublas_model(gpusim::Device& device,
 
     // C tile write-back, coalesced float4 stores of the host-computed
     // values.
+    ctx.phase("epilogue");
     for (int warp = 0; warp < kWarps; ++warp) {
       for (int u = 0; u < kMicro; ++u) {
         for (int piece = 0; piece < 2; ++piece) {

@@ -65,6 +65,7 @@ gpusim::LaunchResult run_gemm_cudac(gpusim::Device& device,
       map.b0 = kTileBytes;  // pack A0/B0 into the halved allocation
     }
     run_gemm_mainloop(ctx, src_a, src_b, k, options.mainloop, map, acc);
+    ctx.phase("epilogue");
     store_submatrix_c(ctx, c, n, acc);
   };
 

@@ -87,9 +87,11 @@ void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
   if (config.double_buffer) {
     // Algorithm 2: prologue load, then each iteration prefetches tile i+1
     // into the other buffer while computing tile i, one barrier apiece.
+    ctx.phase("prologue");
     load_tile(ctx, a, 0, smem.a0, config.layout, /*warp_base=*/0, a_norms);
     load_tile(ctx, b, 0, smem.b0, config.layout, /*warp_base=*/4, b_norms);
     ctx.barrier();
+    ctx.phase("mainloop");
     for (std::size_t i = 0; i < iters; ++i) {
       const bool even = (i % 2 == 0);
       const gpusim::SharedAddr a_cur = even ? smem.a0 : smem.a1;
@@ -107,7 +109,9 @@ void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
     }
   } else {
     // Single-buffered ablation: load/compute strictly alternate and every
-    // iteration pays two barriers.
+    // iteration pays two barriers. The tile loads are part of the steady
+    // state here, so the whole loop is the main loop phase.
+    ctx.phase("mainloop");
     for (std::size_t i = 0; i < iters; ++i) {
       load_tile(ctx, a, i * kTileK, smem.a0, config.layout, 0, a_norms);
       load_tile(ctx, b, i * kTileK, smem.b0, config.layout, 4, b_norms);

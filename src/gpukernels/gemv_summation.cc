@@ -29,11 +29,13 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
 
   auto program = [&](gpusim::BlockContext& ctx) {
     // Stage W into shared memory, 128 floats per segment.
+    ctx.phase("prologue");
     for (std::size_t seg = 0; seg < ws.n / 128; ++seg) {
       load_vector_segment(ctx, ws.w, seg * 128,
                           static_cast<gpusim::SharedAddr>(seg * 128 * 4));
     }
     ctx.barrier();
+    ctx.phase("mainloop");
 
     const std::size_t row_base =
         static_cast<std::size_t>(ctx.bx()) * kGemvRowsPerCta;
@@ -94,6 +96,7 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
         ctx.global_store(v_access, out);
       }
     }
+    ctx.phase("reduction");
     add_block_checksum(ctx, checksum, static_cast<std::size_t>(ctx.bx()),
                        cta_sum, cta_abs);
   };

@@ -25,6 +25,7 @@ gpusim::LaunchResult run_kernel_eval(gpusim::Device& device,
   cfg.smem_bytes_per_block = 0;
 
   auto program = [&](gpusim::BlockContext& ctx) {
+    ctx.phase("mainloop");
     const std::size_t row_base =
         static_cast<std::size_t>(ctx.bx()) * kRowsPerCta;
     const std::size_t chunks = ws.n / 128;

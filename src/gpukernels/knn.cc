@@ -90,6 +90,7 @@ gpusim::LaunchResult run_knn_merge(gpusim::Device& device,
   cfg.smem_bytes_per_block = 0;
 
   auto program = [&](gpusim::BlockContext& ctx) {
+    ctx.phase("reduction");
     const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
     for (int warp = 0; warp < 4; ++warp) {
       std::vector<CandidateList> lists(32, CandidateList(k_nn));
@@ -208,6 +209,7 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
     const std::size_t row_base = static_cast<std::size_t>(ctx.by()) * kTileM;
     const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
 
+    ctx.phase("prologue");
     load_vector_segment(ctx, ws.norm_a, row_base, map.norm_a);
     load_vector_segment(ctx, ws.norm_b, col_base, map.norm_b);
 
@@ -215,6 +217,7 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
     TileSource src_b{ws.b, col_base, ws.k};
     BlockAccumulators acc = make_accumulators();
     run_gemm_mainloop(ctx, src_a, src_b, ws.k, config, map, acc);
+    ctx.phase("epilogue");
 
     // Per-thread local top-k over the microtile (still "in registers").
     std::vector<CandidateList> locals(
@@ -252,6 +255,7 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
     // Intra-CTA merge through the tile-buffer scratch: one round per local
     // rank; round r stages every thread's r-th candidate (dist in A0/A1,
     // index in B0/B1) and one merger thread per row folds 16 candidates.
+    ctx.phase("reduction");
     std::vector<CandidateList> rows(kTileM, CandidateList(k_nn));
     for (std::size_t round = 0; round < local_k; ++round) {
       ctx.barrier();
@@ -366,6 +370,7 @@ gpusim::LaunchResult run_knn_select(gpusim::Device& device,
   cfg.smem_bytes_per_block = 0;
 
   auto program = [&](gpusim::BlockContext& ctx) {
+    ctx.phase("mainloop");
     const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
     // One warp owns 32 rows; for each row its lanes scan the N columns
     // coalesced, keep lane-local lists, then merge via shuffles.

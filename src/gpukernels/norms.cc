@@ -27,6 +27,7 @@ gpusim::LaunchResult run_norms(gpusim::Device& device,
   cfg.smem_bytes_per_block = 0;
 
   auto program = [&](gpusim::BlockContext& ctx) {
+    ctx.phase("mainloop");
     const std::size_t base =
         static_cast<std::size_t>(ctx.bx()) * kNormThreads;
     for (int warp = 0; warp < kNormThreads / 32; ++warp) {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "gpusim/address.h"
+#include "gpusim/counters.h"
 #include "gpusim/occupancy.h"
 
 namespace ksum::gpusim {
@@ -56,6 +57,16 @@ struct LaunchObservation {
   Occupancy occupancy;
 };
 
+/// A kernel phase marker (BlockContext::phase). `phase` is the static string
+/// the kernel passed ("prologue", "mainloop", "epilogue", "reduction");
+/// `counters` is a read-only view of the launch counters at the instant the
+/// marker fired, so a profiler can attribute counter deltas between markers
+/// to the phase that just ended. Markers count nothing themselves.
+struct PhaseObservation {
+  const char* phase = "";
+  const Counters& counters;
+};
+
 /// Interface the Device drives. CTAs execute sequentially, so callbacks for
 /// one CTA never interleave with another's; `on_barrier` reports the new
 /// barrier epoch (epochs restart at 0 for each CTA).
@@ -71,6 +82,8 @@ class AccessObserver {
     (void)by;
   }
   virtual void on_barrier(int new_epoch) { (void)new_epoch; }
+  /// A phase marker executed inside the launch (see PhaseObservation).
+  virtual void on_phase(const PhaseObservation& marker) { (void)marker; }
   virtual void on_shared_access(const SharedAccessEvent& event) {
     (void)event;
   }
@@ -78,7 +91,11 @@ class AccessObserver {
     (void)event;
   }
   virtual void on_cta_end() {}
-  virtual void on_launch_end() {}
+  /// End of the launch, with the final per-launch event counts (the same
+  /// counters Device::launch folds into its cumulative totals).
+  virtual void on_launch_end(const Counters& launch_counters) {
+    (void)launch_counters;
+  }
 };
 
 }  // namespace ksum::gpusim

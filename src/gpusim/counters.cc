@@ -1,42 +1,52 @@
 #include "gpusim/counters.h"
 
+#include <array>
+#include <cstring>
 #include <sstream>
+#include <type_traits>
 
 #include "common/string_util.h"
 
 namespace ksum::gpusim {
+namespace {
+
+// Counters is a pure bag of uint64_t event counts (the unit tests pin this
+// with static_asserts), so element-wise arithmetic can run over the raw
+// words instead of a hand-maintained field list that silently rots when a
+// counter is added.
+constexpr std::size_t kWords = sizeof(Counters) / sizeof(std::uint64_t);
+static_assert(std::is_trivially_copyable_v<Counters>);
+static_assert(sizeof(Counters) % sizeof(std::uint64_t) == 0,
+              "Counters must stay a pure array of 64-bit counts");
+
+template <typename Op>
+Counters& combine(Counters& lhs, const Counters& rhs, Op op) {
+  std::array<std::uint64_t, kWords> a{}, b{};
+  std::memcpy(a.data(), &lhs, sizeof(lhs));
+  std::memcpy(b.data(), &rhs, sizeof(rhs));
+  for (std::size_t i = 0; i < kWords; ++i) a[i] = op(a[i], b[i]);
+  std::memcpy(static_cast<void*>(&lhs), a.data(), sizeof(lhs));
+  return lhs;
+}
+
+}  // namespace
 
 Counters& Counters::operator+=(const Counters& other) {
-  fma_ops += other.fma_ops;
-  alu_ops += other.alu_ops;
-  sfu_ops += other.sfu_ops;
-  warp_instructions += other.warp_instructions;
-  smem_load_requests += other.smem_load_requests;
-  smem_store_requests += other.smem_store_requests;
-  smem_load_transactions += other.smem_load_transactions;
-  smem_store_transactions += other.smem_store_transactions;
-  smem_bank_conflicts += other.smem_bank_conflicts;
-  global_load_requests += other.global_load_requests;
-  global_store_requests += other.global_store_requests;
-  atomic_requests += other.atomic_requests;
-  l1_read_transactions += other.l1_read_transactions;
-  l1_read_hits += other.l1_read_hits;
-  l1_read_misses += other.l1_read_misses;
-  l2_read_transactions += other.l2_read_transactions;
-  l2_write_transactions += other.l2_write_transactions;
-  l2_read_hits += other.l2_read_hits;
-  l2_read_misses += other.l2_read_misses;
-  dram_read_transactions += other.dram_read_transactions;
-  dram_write_transactions += other.dram_write_transactions;
-  barriers += other.barriers;
-  ctas_launched += other.ctas_launched;
-  kernel_launches += other.kernel_launches;
-  faults_smem_bitflips += other.faults_smem_bitflips;
-  faults_global_bitflips += other.faults_global_bitflips;
-  faults_tile_corruptions += other.faults_tile_corruptions;
-  faults_atomics_dropped += other.faults_atomics_dropped;
-  faults_atomics_doubled += other.faults_atomics_doubled;
-  return *this;
+  return combine(*this, other,
+                 [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+Counters& Counters::operator-=(const Counters& other) {
+  // Counters are monotone within a launch, so a snapshot delta never
+  // underflows; the subtraction saturates at zero anyway so a misuse shows
+  // up as a zero delta instead of a 2^64-ish garbage count.
+  return combine(*this, other, [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : 0;
+  });
+}
+
+bool operator==(const Counters& lhs, const Counters& rhs) {
+  return std::memcmp(&lhs, &rhs, sizeof(Counters)) == 0;
 }
 
 double Counters::l2_mpki() const {

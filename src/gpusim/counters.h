@@ -67,6 +67,19 @@ struct Counters {
     return lhs;
   }
 
+  /// Element-wise difference, saturating at zero. The profiler subtracts
+  /// launch-counter snapshots taken at phase markers to attribute events to
+  /// the kernel phase that generated them.
+  Counters& operator-=(const Counters& other);
+  friend Counters operator-(Counters lhs, const Counters& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  /// Bit-exact equality over every counter field (the determinism tests
+  /// assert observed runs match unobserved ones through this).
+  friend bool operator==(const Counters& lhs, const Counters& rhs);
+
   std::uint64_t l2_total_transactions() const {
     return l2_read_transactions + l2_write_transactions;
   }

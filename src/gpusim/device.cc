@@ -175,6 +175,12 @@ float BlockContext::filter_fault(FaultSite site, float value) {
   return out;
 }
 
+void BlockContext::phase(const char* name) {
+  AccessObserver* observer = device_.observer_;
+  if (observer == nullptr) return;
+  observer->on_phase({name, counters_});
+}
+
 void BlockContext::barrier() {
   counters_.barriers += 1;
   counters_.warp_instructions +=
@@ -294,7 +300,7 @@ LaunchResult Device::launch(const std::string& name, GridDim grid,
     }
   }
 
-  if (observer_ != nullptr) observer_->on_launch_end();
+  if (observer_ != nullptr) observer_->on_launch_end(launch_counters_);
 
   LaunchResult result{name, grid, block, config, occ, launch_counters_};
   counters_ += launch_counters_;

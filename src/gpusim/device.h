@@ -88,6 +88,13 @@ class BlockContext {
   /// ordered iff their epochs differ.
   int barrier_epoch() const { return barrier_epoch_; }
 
+  /// Phase marker: declares that subsequent events belong to kernel phase
+  /// `name` ("prologue", "mainloop", "epilogue", "reduction") until the next
+  /// marker. Pure observation — it counts nothing and is a no-op without an
+  /// attached observer, so marked and unmarked runs are bit-identical.
+  /// `name` must have static storage duration.
+  void phase(const char* name);
+
   // --- Arithmetic accounting (per active lane) ------------------------------
   void count_fma(std::uint64_t lane_ops);
   void count_alu(std::uint64_t lane_ops);
@@ -147,6 +154,11 @@ class Device {
   /// Cumulative counters across all launches.
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = Counters{}; }
+
+  /// Snapshot of the launch currently in flight (zeroed at every launch
+  /// boundary). Profilers read this between phase markers; outside a launch
+  /// it holds the counts of the last launch/flush.
+  const Counters& in_flight_counters() const { return launch_counters_; }
 
   /// Attaches (or detaches, with nullptr) a fault injector. The memory and
   /// atomic datapaths consult it for every stored word and atomic request;

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/timer.h"
+#include "workload/padding.h"
 
 namespace ksum::pipelines {
 
@@ -27,6 +28,7 @@ SolveResult solve(const workload::Instance& instance,
                   const RunOptions& options) {
   Timer timer;
   SolveResult out;
+  std::optional<workload::Instance> pad_storage;
   switch (backend) {
     case Backend::kCpuDirect:
       out.v = core::solve_direct(instance, params);
@@ -51,6 +53,15 @@ SolveResult solve(const workload::Instance& instance,
         run_options.checks.enabled = true;
       }
 
+      // Ragged shapes embed into the tile geometry by exact zero-padding
+      // (workload/padding.h): the first M entries of V are bit-identical to
+      // an aligned run's, so the caller-visible result just truncates. The
+      // report (and its ABFT verdicts) describes the padded run.
+      const bool padded = !workload::is_tile_aligned(instance.spec);
+      const workload::Instance& run_instance =
+          padded ? pad_storage.emplace(workload::pad_instance(instance))
+                 : instance;
+
       // Every attempt re-seeds the injector's per-site RNG streams, so a
       // retry draws an independent fault pattern (and a fault-free replay
       // of attempt 0 is reproducible by construction).
@@ -60,7 +71,7 @@ SolveResult solve(const workload::Instance& instance,
           run_options.fault_injector->begin_attempt(attempt_id);
         }
         ++attempt_id;
-        return run_pipeline(sol, instance, params, run_options);
+        return run_pipeline(sol, run_instance, params, run_options);
       };
 
       PipelineReport report = run_once(solution);
@@ -93,7 +104,15 @@ SolveResult solve(const workload::Instance& instance,
         }
         out.recovery.gave_up = report.robustness.fault_detected();
       }
-      out.v = std::move(report.result);
+      if (padded) {
+        // Keep only the caller's M rows of the padded V.
+        out.v = Vector(instance.spec.m);
+        for (std::size_t i = 0; i < instance.spec.m; ++i) {
+          out.v[i] = report.result[i];
+        }
+      } else {
+        out.v = std::move(report.result);
+      }
       out.report = std::move(report);
       break;
     }

@@ -33,8 +33,10 @@ struct SolveResult {
   robust::RecoveryReport recovery;
 };
 
-/// Evaluates V_i = Σ_j K(α_i, β_j)·W_j with the chosen backend. The
-/// simulated backends require M, N multiples of 128 and K a multiple of 8.
+/// Evaluates V_i = Σ_j K(α_i, β_j)·W_j with the chosen backend. Shapes that
+/// are not tile-aligned (M, N multiples of 128, K a multiple of 8) run on
+/// the simulated backends via exact zero-padding (workload/padding.h); the
+/// returned V is truncated back to length M.
 ///
 /// When `options.recovery.enabled`, the simulated backends run under the
 /// detect→retry→fallback policy (robust/recovery.h): the ABFT checks are

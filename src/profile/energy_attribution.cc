@@ -1,0 +1,57 @@
+#include "profile/energy_attribution.h"
+
+namespace ksum::profile {
+
+double EnergyAttribution::attributed_total() const {
+  double total = aggregate.compute_j + aggregate.static_j + residual.total();
+  for (const auto& site : sites) total += site.total();
+  return total;
+}
+
+EnergyAttribution attribute_energy(const config::EnergySpec& spec,
+                                   const LaunchProfile& profile,
+                                   double seconds) {
+  EnergyAttribution out;
+  out.aggregate = gpusim::compute_energy(
+      spec, gpusim::CostInputs::from_counters(profile.counters), seconds);
+
+  // Denominators come from the counters (the quantities the aggregate model
+  // actually priced), not from the observed sums — black-box counter bumps
+  // (count_smem_transactions) have no observer events, and their share must
+  // land in the residual, not be smeared over the observed sites.
+  const gpusim::Counters& c = profile.counters;
+  const double smem_denom = static_cast<double>(c.smem_total_transactions());
+  const double cache_denom = static_cast<double>(
+      c.l1_read_transactions + c.l2_total_transactions());
+
+  double assigned_smem = 0, assigned_l2 = 0, assigned_dram = 0;
+  out.sites.reserve(profile.sites.size());
+  for (const auto& traffic : profile.sites) {
+    SiteEnergy site;
+    site.site = traffic.site;
+    if (smem_denom > 0) {
+      site.smem_j = out.aggregate.smem_j *
+                    static_cast<double>(traffic.smem_transactions) /
+                    smem_denom;
+    }
+    if (cache_denom > 0) {
+      const double weight = traffic.weighted_sectors() / cache_denom;
+      site.l2_j = out.aggregate.l2_j * weight;
+      site.dram_j = out.aggregate.dram_j * weight;
+    }
+    assigned_smem += site.smem_j;
+    assigned_l2 += site.l2_j;
+    assigned_dram += site.dram_j;
+    out.sites.push_back(site);
+  }
+
+  // Residuals by subtraction, so the decomposition recomposes to the
+  // aggregate exactly (up to float round-off) whatever the weights were.
+  out.residual.site = 0;
+  out.residual.smem_j = out.aggregate.smem_j - assigned_smem;
+  out.residual.l2_j = out.aggregate.l2_j - assigned_l2;
+  out.residual.dram_j = out.aggregate.dram_j - assigned_dram;
+  return out;
+}
+
+}  // namespace ksum::profile

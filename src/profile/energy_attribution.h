@@ -1,0 +1,60 @@
+// Per-access-site energy attribution.
+//
+// The aggregate energy model (gpusim/energy.h) prices a launch's counter
+// totals; this module folds the same per-access costs over the observed
+// per-site traffic so each static access site gets its share of the memory
+// energy. The method is proportional with exact residuals:
+//
+//   smem_j  split ∝ per-site shared-memory transactions,
+//   l2_j    split ∝ per-site sectors (atomic sectors weighted 2× — the L2
+//           read-modify-writes them),
+//   dram_j  split ∝ the same sector weights (DRAM traffic is L2 fill and
+//           writeback of those sectors),
+//
+// with the unassigned remainder — traffic from black-box counter bumps
+// (count_smem_transactions) or float imprecision — in an explicit residual
+// bucket, and compute_j / static_j kept as launch-wide pseudo-buckets (they
+// have no per-site meaning). By construction
+//
+//   Σ site.total() + residual.total() + compute_j + static_j
+//     == compute_energy(spec, counters, seconds).total()
+//
+// to floating-point round-off; the acceptance tests pin this at 1e-9
+// relative tolerance.
+#pragma once
+
+#include <vector>
+
+#include "config/energy_spec.h"
+#include "gpusim/energy.h"
+#include "profile/launch_profiler.h"
+
+namespace ksum::profile {
+
+struct SiteEnergy {
+  gpusim::SiteId site = 0;
+  double smem_j = 0;
+  double l2_j = 0;
+  double dram_j = 0;
+  double total() const { return smem_j + l2_j + dram_j; }
+};
+
+struct EnergyAttribution {
+  /// The launch-wide model output the sites are a decomposition of.
+  gpusim::EnergyBreakdown aggregate;
+  /// One entry per observed site, launch-profile order.
+  std::vector<SiteEnergy> sites;
+  /// Memory energy not attributable to any observed request (site = the
+  /// untagged sentinel 0 in the reports).
+  SiteEnergy residual;
+
+  /// Sites + residual + the launch-wide compute/static buckets; equals
+  /// aggregate.total() by construction.
+  double attributed_total() const;
+};
+
+EnergyAttribution attribute_energy(const config::EnergySpec& spec,
+                                   const LaunchProfile& profile,
+                                   double seconds);
+
+}  // namespace ksum::profile

@@ -1,0 +1,137 @@
+// Kernel-launch profiler built on the AccessObserver stream.
+//
+// A LaunchProfiler attaches to a Device for its lifetime and materialises one
+// LaunchProfile per kernel launch: the launch structure, the final event
+// counters, per-phase counter slices (delta-attributed between the
+// BlockContext::phase markers the kernels carry), and per-access-site traffic
+// aggregated from the observed request stream. Observation is strictly
+// passive — the simulator's results, counters, timing, and energy are
+// bit-identical with and without a profiler attached (the determinism tests
+// pin this).
+//
+// Raw profiles carry events only. finalize_profile() folds in the analytic
+// timing model and the per-site energy attribution, which need configuration
+// (device/timing/energy specs and per-kernel shape hints) the observer
+// stream does not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/timing_spec.h"
+#include "gpusim/access_observer.h"
+#include "gpusim/counters.h"
+#include "gpusim/device.h"
+#include "gpusim/timing.h"
+
+namespace ksum::profile {
+
+/// Counter slice of one kernel phase: every event that fired while the phase
+/// was the active marker, summed across CTAs (CTAs execute sequentially, so
+/// each CTA's "mainloop" delta lands in the same named slice).
+struct PhaseSlice {
+  std::string phase;
+  gpusim::Counters counters;
+};
+
+/// Aggregate traffic of one static access site within one launch.
+struct SiteTraffic {
+  gpusim::SiteId site = 0;
+
+  // Global-memory side (sector = 32 bytes, the L2 transaction unit).
+  std::uint64_t global_load_requests = 0;
+  std::uint64_t global_store_requests = 0;
+  std::uint64_t atomic_requests = 0;
+  std::uint64_t global_sectors = 0;        // achieved, as serviced
+  std::uint64_t global_ideal_sectors = 0;  // if the touched bytes were packed
+
+  // Shared-memory side.
+  std::uint64_t smem_requests = 0;
+  std::uint64_t smem_transactions = 0;        // after replay expansion
+  std::uint64_t smem_ideal_transactions = 0;
+
+  std::uint64_t global_requests() const {
+    return global_load_requests + global_store_requests + atomic_requests;
+  }
+  /// Sector traffic weighted for energy attribution: an atomic request's
+  /// sectors are read-modify-written at the L2, so they count twice.
+  double weighted_sectors() const;
+
+ private:
+  friend class LaunchProfiler;
+  std::uint64_t atomic_sectors_ = 0;  // subset of global_sectors from atomics
+};
+
+/// Everything observed about one kernel launch, plus the modelled timing
+/// filled in by finalize_profile().
+struct LaunchProfile {
+  gpusim::LaunchObservation launch;
+  gpusim::Counters counters;        // final per-launch counts
+  std::vector<PhaseSlice> phases;   // order of first marker appearance
+  std::vector<SiteTraffic> sites;   // order of first access appearance
+
+  // Filled by finalize_profile(); zero in raw profiles.
+  gpusim::TimingBreakdown timing;
+  double seconds = 0;
+
+  const PhaseSlice* find_phase(const std::string& name) const;
+  const SiteTraffic* find_site(gpusim::SiteId site) const;
+};
+
+/// RAII observer: attaches to `device` on construction (which must not
+/// already have an observer) and detaches on destruction.
+class LaunchProfiler : public gpusim::AccessObserver {
+ public:
+  explicit LaunchProfiler(gpusim::Device& device);
+  ~LaunchProfiler() override;
+
+  LaunchProfiler(const LaunchProfiler&) = delete;
+  LaunchProfiler& operator=(const LaunchProfiler&) = delete;
+
+  /// Completed launches, in execution order.
+  const std::vector<LaunchProfile>& launches() const { return launches_; }
+  std::vector<LaunchProfile> take_launches() { return std::move(launches_); }
+
+  // AccessObserver interface.
+  void on_launch_begin(const gpusim::LaunchObservation& launch) override;
+  void on_phase(const gpusim::PhaseObservation& marker) override;
+  void on_shared_access(const gpusim::SharedAccessEvent& event) override;
+  void on_global_access(const gpusim::GlobalAccessEvent& event) override;
+  void on_launch_end(const gpusim::Counters& launch_counters) override;
+
+ private:
+  /// Adds `upto - last_snapshot_` to the slice of the phase currently in
+  /// effect and advances the snapshot.
+  void flush_phase(const gpusim::Counters& upto);
+  SiteTraffic& site_slot(gpusim::SiteId site);
+
+  gpusim::Device& device_;
+  std::vector<LaunchProfile> launches_;
+  LaunchProfile current_;
+  bool in_launch_ = false;
+  gpusim::Counters last_snapshot_;
+  /// Phase the events since last_snapshot_ belong to. Kernels without
+  /// markers profile as a single "kernel" slice.
+  std::string active_phase_ = "kernel";
+};
+
+/// Per-kernel inputs the timing model needs beyond observed events. Derived
+/// from the kernel name by default_timing_hints(): the GEMM-structured
+/// kernels (fused_ksum, gemm_cudac, gemm_cublas, fused_knn) get K/8 mainloop
+/// iterations and their code grade; everything else takes the streaming path.
+struct TimingHints {
+  double mainloop_iters = 0;
+  config::KernelGrade grade = config::KernelGrade::cuda_c();
+  bool overlapped_memory = true;
+};
+
+TimingHints default_timing_hints(const std::string& kernel_name,
+                                 std::size_t k_total);
+
+/// Fills `profile.timing`/`profile.seconds` from the analytic timing model.
+void finalize_profile(const config::DeviceSpec& device,
+                      const config::TimingSpec& timing,
+                      const TimingHints& hints, LaunchProfile& profile);
+
+}  // namespace ksum::profile

@@ -1,0 +1,345 @@
+#include "profile/profile_json.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "gpusim/access_site.h"
+
+namespace ksum::profile {
+
+ProgramProfile build_program_profile(const std::string& program,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t k,
+                                     const config::DeviceSpec& device,
+                                     const config::TimingSpec& timing,
+                                     const config::EnergySpec& energy,
+                                     std::vector<LaunchProfile> launches) {
+  ProgramProfile out;
+  out.program = program;
+  out.m = m;
+  out.n = n;
+  out.k = k;
+  out.device = device;
+  out.launches = std::move(launches);
+  for (auto& launch : out.launches) {
+    finalize_profile(device, timing,
+                     default_timing_hints(launch.launch.kernel_name, k),
+                     launch);
+    out.energies.push_back(attribute_energy(energy, launch, launch.seconds));
+    out.total_seconds += launch.seconds;
+    out.total_counters += launch.counters;
+  }
+  out.total_energy = gpusim::compute_energy(
+      energy, gpusim::CostInputs::from_counters(out.total_counters),
+      out.total_seconds);
+  return out;
+}
+
+Json counters_to_json(const gpusim::Counters& c) {
+  // One member per counter; the assert ties this list to the struct so a
+  // new counter cannot be added without extending the schema here.
+  static_assert(sizeof(gpusim::Counters) == 29 * sizeof(std::uint64_t),
+                "Counters changed: update counters_to_json and the "
+                "ksum-prof-v1 schema docs");
+  Json j = Json::object();
+  j.set("fma_ops", c.fma_ops);
+  j.set("alu_ops", c.alu_ops);
+  j.set("sfu_ops", c.sfu_ops);
+  j.set("warp_instructions", c.warp_instructions);
+  j.set("smem_load_requests", c.smem_load_requests);
+  j.set("smem_store_requests", c.smem_store_requests);
+  j.set("smem_load_transactions", c.smem_load_transactions);
+  j.set("smem_store_transactions", c.smem_store_transactions);
+  j.set("smem_bank_conflicts", c.smem_bank_conflicts);
+  j.set("global_load_requests", c.global_load_requests);
+  j.set("global_store_requests", c.global_store_requests);
+  j.set("atomic_requests", c.atomic_requests);
+  j.set("l1_read_transactions", c.l1_read_transactions);
+  j.set("l1_read_hits", c.l1_read_hits);
+  j.set("l1_read_misses", c.l1_read_misses);
+  j.set("l2_read_transactions", c.l2_read_transactions);
+  j.set("l2_write_transactions", c.l2_write_transactions);
+  j.set("l2_read_hits", c.l2_read_hits);
+  j.set("l2_read_misses", c.l2_read_misses);
+  j.set("dram_read_transactions", c.dram_read_transactions);
+  j.set("dram_write_transactions", c.dram_write_transactions);
+  j.set("barriers", c.barriers);
+  j.set("ctas_launched", c.ctas_launched);
+  j.set("kernel_launches", c.kernel_launches);
+  j.set("faults_smem_bitflips", c.faults_smem_bitflips);
+  j.set("faults_global_bitflips", c.faults_global_bitflips);
+  j.set("faults_tile_corruptions", c.faults_tile_corruptions);
+  j.set("faults_atomics_dropped", c.faults_atomics_dropped);
+  j.set("faults_atomics_doubled", c.faults_atomics_doubled);
+  return j;
+}
+
+Json energy_breakdown_json(const gpusim::EnergyBreakdown& e) {
+  Json j = Json::object();
+  j.set("compute", e.compute_j);
+  j.set("smem", e.smem_j);
+  j.set("l2", e.l2_j);
+  j.set("dram", e.dram_j);
+  j.set("static", e.static_j);
+  j.set("total", e.total());
+  return j;
+}
+
+namespace {
+
+Json launch_json(const LaunchProfile& launch,
+                 const EnergyAttribution& energy) {
+  Json j = Json::object();
+  j.set("kernel", launch.launch.kernel_name);
+  Json grid = Json::array();
+  grid.push_back(launch.launch.grid_x);
+  grid.push_back(launch.launch.grid_y);
+  j.set("grid", std::move(grid));
+  j.set("block_threads", launch.launch.block_threads);
+  j.set("occupancy_blocks_per_sm", launch.launch.occupancy.blocks_per_sm);
+  j.set("seconds", launch.seconds);
+  j.set("bound", launch.timing.bound);
+  j.set("counters", counters_to_json(launch.counters));
+
+  Json phases = Json::array();
+  const double total_wi =
+      static_cast<double>(launch.counters.warp_instructions);
+  for (const auto& slice : launch.phases) {
+    Json p = Json::object();
+    p.set("phase", slice.phase);
+    // Phase wall time is apportioned by warp-instruction share — the
+    // functional simulator has no intra-launch clock, and issue slots are
+    // the one resource every phase consumes (see docs/PROFILING.md).
+    const double share =
+        total_wi > 0
+            ? static_cast<double>(slice.counters.warp_instructions) / total_wi
+            : 0.0;
+    p.set("seconds", launch.seconds * share);
+    p.set("counters", counters_to_json(slice.counters));
+    phases.push_back(std::move(p));
+  }
+  j.set("phases", std::move(phases));
+
+  Json sites = Json::array();
+  const auto& registry = gpusim::SiteRegistry::instance();
+  for (std::size_t i = 0; i < launch.sites.size(); ++i) {
+    const SiteTraffic& traffic = launch.sites[i];
+    const gpusim::AccessSite& info = registry.site(traffic.site);
+    Json s = Json::object();
+    s.set("site", traffic.site);
+    s.set("location", info.location());
+    s.set("label", info.label);
+    s.set("global_requests", traffic.global_requests());
+    s.set("atomic_requests", traffic.atomic_requests);
+    s.set("sectors", traffic.global_sectors);
+    s.set("ideal_sectors", traffic.global_ideal_sectors);
+    s.set("smem_requests", traffic.smem_requests);
+    s.set("smem_transactions", traffic.smem_transactions);
+    s.set("smem_ideal_transactions", traffic.smem_ideal_transactions);
+    const SiteEnergy& se = energy.sites[i];
+    Json ej = Json::object();
+    ej.set("smem", se.smem_j);
+    ej.set("l2", se.l2_j);
+    ej.set("dram", se.dram_j);
+    ej.set("total", se.total());
+    s.set("energy_j", std::move(ej));
+    sites.push_back(std::move(s));
+  }
+  j.set("sites", std::move(sites));
+
+  Json launch_energy = energy_breakdown_json(energy.aggregate);
+  Json residual = Json::object();
+  residual.set("smem", energy.residual.smem_j);
+  residual.set("l2", energy.residual.l2_j);
+  residual.set("dram", energy.residual.dram_j);
+  launch_energy.set("residual", std::move(residual));
+  j.set("energy_j", std::move(launch_energy));
+  return j;
+}
+
+}  // namespace
+
+Json profile_to_json(const ProgramProfile& profile,
+                     const std::string& timestamp) {
+  KSUM_CHECK(profile.launches.size() == profile.energies.size());
+  Json j = Json::object();
+  j.set("schema", "ksum-prof-v1");
+  j.set("program", profile.program);
+  Json shape = Json::object();
+  shape.set("m", profile.m);
+  shape.set("n", profile.n);
+  shape.set("k", profile.k);
+  j.set("shape", std::move(shape));
+  Json device = Json::object();
+  device.set("name", "gtx970");
+  device.set("num_sms", profile.device.num_sms);
+  device.set("core_clock_ghz", profile.device.core_clock_ghz);
+  device.set("dram_bandwidth_gb_s", profile.device.dram_bandwidth_gb_s);
+  j.set("device", std::move(device));
+  Json launches = Json::array();
+  for (std::size_t i = 0; i < profile.launches.size(); ++i) {
+    launches.push_back(launch_json(profile.launches[i], profile.energies[i]));
+  }
+  j.set("launches", std::move(launches));
+  Json totals = Json::object();
+  totals.set("seconds", profile.total_seconds);
+  totals.set("counters", counters_to_json(profile.total_counters));
+  totals.set("energy_j", energy_breakdown_json(profile.total_energy));
+  j.set("totals", std::move(totals));
+  if (!timestamp.empty()) j.set("timestamp", timestamp);
+  return j;
+}
+
+namespace {
+
+const Json& require_member(const Json& obj, const char* key,
+                           Json::Type type, const char* where) {
+  KSUM_REQUIRE(obj.is_object(), std::string(where) + " must be an object");
+  const Json* member = obj.find(key);
+  KSUM_REQUIRE(member != nullptr, std::string(where) + " is missing \"" +
+                                      key + "\"");
+  KSUM_REQUIRE(member->type() == type, std::string(where) + "." + key +
+                                           " has the wrong type");
+  return *member;
+}
+
+double require_number(const Json& obj, const char* key, const char* where) {
+  return require_member(obj, key, Json::Type::kNumber, where).as_double();
+}
+
+bool close_rel(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+void validate_energy_object(const Json& energy, const char* where) {
+  double sum = 0;
+  for (const char* key : {"compute", "smem", "l2", "dram", "static"}) {
+    sum += require_number(energy, key, where);
+  }
+  const double total = require_number(energy, "total", where);
+  KSUM_REQUIRE(close_rel(sum, total, 1e-9),
+               std::string(where) +
+                   ".total does not equal the sum of its components");
+}
+
+void validate_launch(const Json& launch) {
+  require_member(launch, "kernel", Json::Type::kString, "launch");
+  const Json& grid = require_member(launch, "grid", Json::Type::kArray,
+                                    "launch");
+  KSUM_REQUIRE(grid.size() == 2, "launch.grid must be [x, y]");
+  require_number(launch, "block_threads", "launch");
+  require_number(launch, "seconds", "launch");
+  require_member(launch, "counters", Json::Type::kObject, "launch");
+  const Json& energy = require_member(launch, "energy_j",
+                                      Json::Type::kObject, "launch");
+  validate_energy_object(energy, "launch.energy_j");
+  const Json& residual = require_member(energy, "residual",
+                                        Json::Type::kObject,
+                                        "launch.energy_j");
+
+  // The attribution acceptance check: per-site energies + residual +
+  // compute/static pseudo-buckets must recompose the aggregate total.
+  double attributed = require_number(energy, "compute", "launch.energy_j") +
+                      require_number(energy, "static", "launch.energy_j");
+  for (const char* key : {"smem", "l2", "dram"}) {
+    attributed += require_number(residual, key, "launch.energy_j.residual");
+  }
+  const Json& sites = require_member(launch, "sites", Json::Type::kArray,
+                                     "launch");
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const Json& site = sites.at(i);
+    require_number(site, "site", "site");
+    require_member(site, "location", Json::Type::kString, "site");
+    const Json& site_energy = require_member(site, "energy_j",
+                                             Json::Type::kObject, "site");
+    const double site_total = require_number(site_energy, "total", "site");
+    KSUM_REQUIRE(
+        close_rel(site_total,
+                  require_number(site_energy, "smem", "site.energy_j") +
+                      require_number(site_energy, "l2", "site.energy_j") +
+                      require_number(site_energy, "dram", "site.energy_j"),
+                  1e-9),
+        "site.energy_j.total does not equal the sum of its components");
+    attributed += site_total;
+  }
+  KSUM_REQUIRE(
+      close_rel(attributed, require_number(energy, "total", "launch"), 1e-9),
+      "per-site energies do not recompose launch.energy_j.total");
+
+  const Json& phases = require_member(launch, "phases", Json::Type::kArray,
+                                      "launch");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    require_member(phases.at(i), "phase", Json::Type::kString, "phase");
+    require_number(phases.at(i), "seconds", "phase");
+    require_member(phases.at(i), "counters", Json::Type::kObject, "phase");
+  }
+}
+
+}  // namespace
+
+void validate_profile_json(const Json& record) {
+  const Json& schema = require_member(record, "schema", Json::Type::kString,
+                                      "record");
+  KSUM_REQUIRE(schema.as_string() == "ksum-prof-v1",
+               "unknown profile schema \"" + schema.as_string() + "\"");
+  require_member(record, "program", Json::Type::kString, "record");
+  const Json& shape = require_member(record, "shape", Json::Type::kObject,
+                                     "record");
+  for (const char* key : {"m", "n", "k"}) {
+    KSUM_REQUIRE(require_number(shape, key, "shape") > 0,
+                 "shape dimensions must be positive");
+  }
+  require_member(record, "device", Json::Type::kObject, "record");
+  const Json& launches = require_member(record, "launches",
+                                        Json::Type::kArray, "record");
+  KSUM_REQUIRE(launches.size() > 0, "record has no launches");
+  for (std::size_t i = 0; i < launches.size(); ++i) {
+    validate_launch(launches.at(i));
+  }
+  const Json& totals = require_member(record, "totals", Json::Type::kObject,
+                                      "record");
+  require_number(totals, "seconds", "totals");
+  require_member(totals, "counters", Json::Type::kObject, "totals");
+  validate_energy_object(
+      require_member(totals, "energy_j", Json::Type::kObject, "totals"),
+      "totals.energy_j");
+}
+
+void validate_bench_json(const Json& record) {
+  const Json& schema = require_member(record, "schema", Json::Type::kString,
+                                      "record");
+  KSUM_REQUIRE(schema.as_string() == "ksum-bench-v1",
+               "unknown bench schema \"" + schema.as_string() + "\"");
+  require_member(record, "bench", Json::Type::kString, "record");
+  const Json& points = require_member(record, "points", Json::Type::kArray,
+                                      "record");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Json& point = points.at(i);
+    for (const char* key : {"m", "n", "k"}) {
+      KSUM_REQUIRE(require_number(point, key, "point") > 0,
+                   "point dimensions must be positive");
+    }
+    const Json& pipelines = require_member(point, "pipelines",
+                                           Json::Type::kObject, "point");
+    KSUM_REQUIRE(pipelines.size() > 0, "point has no pipelines");
+    for (const auto& member : pipelines.members()) {
+      const Json& pipe = member.second;
+      KSUM_REQUIRE(require_number(pipe, "seconds", "pipeline") >= 0,
+                   "pipeline seconds must be non-negative");
+      validate_energy_object(
+          require_member(pipe, "energy_j", Json::Type::kObject, "pipeline"),
+          "pipeline.energy_j");
+      require_number(pipe, "l2_transactions", "pipeline");
+      require_number(pipe, "dram_transactions", "pipeline");
+    }
+  }
+  const Json& tables = require_member(record, "tables", Json::Type::kArray,
+                                      "record");
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    require_member(tables.at(i), "name", Json::Type::kString, "table");
+    require_member(tables.at(i), "csv", Json::Type::kString, "table");
+  }
+}
+
+}  // namespace ksum::profile

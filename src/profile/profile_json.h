@@ -1,0 +1,92 @@
+// The ksum-prof record: a profiled program run and its stable JSON schema.
+//
+// Schema "ksum-prof-v1" (all energies in joules, all times in seconds):
+//
+//   {
+//     "schema": "ksum-prof-v1",
+//     "program": "<registry name or pipeline label>",
+//     "shape": {"m": M, "n": N, "k": K},
+//     "device": {"name": "gtx970", "num_sms": .., "core_clock_ghz": ..,
+//                "dram_bandwidth_gb_s": ..},
+//     "launches": [ {
+//         "kernel": "...", "grid": [x, y], "block_threads": T,
+//         "occupancy_blocks_per_sm": B,
+//         "seconds": t, "bound": "dram|compute|smem|l2",
+//         "counters": { <every Counters field by name> },
+//         "phases":  [ {"phase": "...", "seconds": t,
+//                       "counters": {...}} ],
+//         "sites":   [ {"site": id, "location": "file:line", "label": "...",
+//                       "global_requests": .., "sectors": ..,
+//                       "ideal_sectors": .., "smem_transactions": ..,
+//                       "energy_j": {"smem":..,"l2":..,"dram":..,"total":..}}],
+//         "energy_j": {"compute":..,"smem":..,"l2":..,"dram":..,"static":..,
+//                      "total":.., "residual":{"smem":..,"l2":..,"dram":..}}
+//     } ],
+//     "totals": {"seconds": .., "counters": {...},
+//                "energy_j": {"compute":..,..,"total":..}},
+//     "timestamp": "<optional, set by the CLI; excluded from determinism
+//                    comparisons>"
+//   }
+//
+// validate_profile_json() is the schema's executable definition: it checks
+// structure and that every launch's per-site energies (+ residual + the
+// compute/static pseudo-buckets) recompose the aggregate within 1e-9
+// relative tolerance. validate_bench_json() does the same for the
+// "ksum-bench-v1" records bench/ emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/device_spec.h"
+#include "config/energy_spec.h"
+#include "config/timing_spec.h"
+#include "profile/energy_attribution.h"
+#include "profile/json.h"
+#include "profile/launch_profiler.h"
+
+namespace ksum::profile {
+
+/// A fully finalized profiled run: timing, per-launch energy attribution,
+/// and totals over raw LaunchProfiles.
+struct ProgramProfile {
+  std::string program;
+  std::size_t m = 0, n = 0, k = 0;
+  config::DeviceSpec device;
+  std::vector<LaunchProfile> launches;
+  std::vector<EnergyAttribution> energies;  // parallel to launches
+  double total_seconds = 0;
+  gpusim::Counters total_counters;
+  gpusim::EnergyBreakdown total_energy;
+};
+
+/// Finalizes raw profiler output: per-launch timing (hints derived from the
+/// kernel name and `k`), per-launch energy attribution, and totals.
+ProgramProfile build_program_profile(const std::string& program,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t k,
+                                     const config::DeviceSpec& device,
+                                     const config::TimingSpec& timing,
+                                     const config::EnergySpec& energy,
+                                     std::vector<LaunchProfile> launches);
+
+/// Serialises to the ksum-prof-v1 schema. `timestamp` is emitted verbatim
+/// when non-empty (the determinism tests compare records with it stripped).
+Json profile_to_json(const ProgramProfile& profile,
+                     const std::string& timestamp = "");
+
+/// Serialises one Counters bag as a flat JSON object, one member per
+/// counter. The field list is pinned against the struct size, so adding a
+/// counter without extending the schema fails to compile.
+Json counters_to_json(const gpusim::Counters& c);
+
+/// Serializes an EnergyBreakdown as the schema's energy object (per-bucket
+/// joules plus "total"); shared by the profile and bench records.
+Json energy_breakdown_json(const gpusim::EnergyBreakdown& energy);
+
+/// Throws ksum::Error describing the first violation; returns normally on a
+/// well-formed record.
+void validate_profile_json(const Json& record);
+void validate_bench_json(const Json& record);
+
+}  // namespace ksum::profile

@@ -1,0 +1,107 @@
+#include "profile/trace_export.h"
+
+namespace ksum::profile {
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kKernelRow = 1;  // tid of the kernel track
+constexpr int kPhaseRow = 2;   // tid of the phase track
+
+Json complete_event(const std::string& name, int tid, double ts_us,
+                    double dur_us) {
+  Json e = Json::object();
+  e.set("name", name);
+  e.set("ph", "X");
+  e.set("pid", kPid);
+  e.set("tid", tid);
+  e.set("ts", ts_us);
+  e.set("dur", dur_us);
+  return e;
+}
+
+Json counter_event(const std::string& name, double ts_us, Json args) {
+  Json e = Json::object();
+  e.set("name", name);
+  e.set("ph", "C");
+  e.set("pid", kPid);
+  e.set("tid", 0);
+  e.set("ts", ts_us);
+  e.set("args", std::move(args));
+  return e;
+}
+
+Json thread_name_event(int tid, const char* name) {
+  Json e = Json::object();
+  e.set("name", "thread_name");
+  e.set("ph", "M");
+  e.set("pid", kPid);
+  e.set("tid", tid);
+  Json args = Json::object();
+  args.set("name", name);
+  e.set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+Json trace_events_json(const ProgramProfile& profile) {
+  Json events = Json::array();
+  events.push_back(thread_name_event(kKernelRow, "kernels"));
+  events.push_back(thread_name_event(kPhaseRow, "phases"));
+
+  double clock_us = 0;
+  for (std::size_t i = 0; i < profile.launches.size(); ++i) {
+    const LaunchProfile& launch = profile.launches[i];
+    const double dur_us = launch.seconds * 1e6;
+
+    Json kernel = complete_event(launch.launch.kernel_name, kKernelRow,
+                                 clock_us, dur_us);
+    Json args = Json::object();
+    args.set("grid_x", launch.launch.grid_x);
+    args.set("grid_y", launch.launch.grid_y);
+    args.set("block_threads", launch.launch.block_threads);
+    args.set("bound", launch.timing.bound);
+    args.set("energy_j", profile.energies[i].aggregate.total());
+    kernel.set("args", std::move(args));
+    events.push_back(std::move(kernel));
+
+    Json traffic = Json::object();
+    traffic.set("l2_transactions",
+                launch.counters.l2_total_transactions());
+    traffic.set("dram_transactions",
+                launch.counters.dram_total_transactions());
+    events.push_back(counter_event("memory traffic", clock_us,
+                                   std::move(traffic)));
+
+    const double total_wi =
+        static_cast<double>(launch.counters.warp_instructions);
+    double phase_clock_us = clock_us;
+    for (const auto& slice : launch.phases) {
+      const double share =
+          total_wi > 0
+              ? static_cast<double>(slice.counters.warp_instructions) /
+                    total_wi
+              : 0.0;
+      const double phase_dur_us = dur_us * share;
+      Json phase = complete_event(slice.phase, kPhaseRow, phase_clock_us,
+                                  phase_dur_us);
+      Json phase_args = Json::object();
+      phase_args.set("warp_instructions", slice.counters.warp_instructions);
+      phase_args.set("smem_transactions",
+                     slice.counters.smem_total_transactions());
+      phase_args.set("l2_transactions",
+                     slice.counters.l2_total_transactions());
+      phase.set("args", std::move(phase_args));
+      events.push_back(std::move(phase));
+      phase_clock_us += phase_dur_us;
+    }
+    clock_us += dur_us;
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+}  // namespace ksum::profile

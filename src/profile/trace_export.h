@@ -1,0 +1,20 @@
+// Chrome trace_event export of a profiled run.
+//
+// Produces the JSON object format chrome://tracing, Perfetto, and speedscope
+// load: complete ("X") events with microsecond timestamps. Launches lay out
+// back-to-back on a modelled timeline (row "kernels"); each launch's phase
+// slices nest underneath on row "phases", with wall time apportioned by
+// warp-instruction share (the same rule the ksum-prof record uses). Counter
+// ("C") events alongside chart the DRAM/L2 traffic per launch, so the
+// memory-bound story of the paper is visible directly in the viewer.
+#pragma once
+
+#include "profile/json.h"
+#include "profile/profile_json.h"
+
+namespace ksum::profile {
+
+/// Builds the {"traceEvents": [...], "displayTimeUnit": "ms"} document.
+Json trace_events_json(const ProgramProfile& profile);
+
+}  // namespace ksum::profile

@@ -82,9 +82,9 @@ pipelines::RunOptions options_from_flags(const FlagParser& flags) {
 }
 
 void declare_problem_flags(FlagParser& flags) {
-  flags.declare("m", "source point count (multiple of 128)")
-      .declare("n", "target point count (multiple of 128)")
-      .declare("k", "geometric dimension (multiple of 8)")
+  flags.declare("m", "source point count (ragged sizes are zero-padded)")
+      .declare("n", "target point count (ragged sizes are zero-padded)")
+      .declare("k", "geometric dimension (ragged sizes are zero-padded)")
       .declare("h", "kernel bandwidth")
       .declare("seed", "workload seed")
       .declare("dist",
@@ -147,11 +147,8 @@ int cmd_solve(int argc, const char* const* argv) {
     return 0;
   }
 
-  const auto spec = spec_from_flags(flags);
-  const auto params = params_from_flags(flags, spec);
-  auto options = options_from_flags(flags);
-  const auto plan = robustness_from_flags(flags, options);
-  const auto instance = workload::make_instance(spec);
+  KSUM_REQUIRE(flags.positional().empty(),
+               "solve takes no positional arguments\n" + flags.usage());
 
   const std::string name = flags.get_string("solution", "fused");
   pipelines::Backend backend;
@@ -168,6 +165,30 @@ int cmd_solve(int argc, const char* const* argv) {
   } else {
     throw Error("unknown --solution: " + name);
   }
+
+  const bool simulated = backend == pipelines::Backend::kSimFused ||
+                         backend == pipelines::Backend::kSimCudaUnfused ||
+                         backend == pipelines::Backend::kSimCublasUnfused;
+  KSUM_REQUIRE(!flags.get_bool("fuse-norms") ||
+                   backend == pipelines::Backend::kSimFused,
+               "conflicting flags: --fuse-norms only applies to "
+               "--solution=fused");
+  KSUM_REQUIRE(!flags.get_bool("staged-reduction") ||
+                   backend == pipelines::Backend::kSimFused,
+               "conflicting flags: --staged-reduction only applies to "
+               "--solution=fused");
+  KSUM_REQUIRE(simulated || !flags.get_bool("robust"),
+               "conflicting flags: --robust needs a simulated backend "
+               "(--solution=" + name + " runs on the host)");
+  KSUM_REQUIRE(simulated || flags.get_double("fault-rate", 0.0) == 0.0,
+               "conflicting flags: --fault-rate needs a simulated backend "
+               "(--solution=" + name + " runs on the host)");
+
+  const auto spec = spec_from_flags(flags);
+  const auto params = params_from_flags(flags, spec);
+  auto options = options_from_flags(flags);
+  const auto plan = robustness_from_flags(flags, options);
+  const auto instance = workload::make_instance(spec);
 
   const auto result = pipelines::solve(instance, params, backend, options);
   std::printf("%s on %s\n", pipelines::to_string(backend).c_str(),
@@ -215,9 +236,17 @@ int cmd_knn(int argc, const char* const* argv) {
     return 0;
   }
 
+  KSUM_REQUIRE(flags.positional().empty(),
+               "knn takes no positional arguments\n" + flags.usage());
+  KSUM_REQUIRE(!flags.get_bool("robust") &&
+                   flags.get_double("fault-rate", 0.0) == 0.0,
+               "conflicting flags: the kNN pipelines have no ABFT fork; "
+               "--robust/--fault-rate apply to solve only");
+
   const auto spec = spec_from_flags(flags);
   const auto instance = workload::make_instance(spec);
   const std::size_t k_nn = flags.get_size("neighbors", 8);
+  KSUM_REQUIRE(k_nn >= 1 && k_nn <= 16, "--neighbors must be in [1, 16]");
   const auto solution = flags.get_bool("unfused")
                             ? pipelines::KnnSolution::kUnfused
                             : pipelines::KnnSolution::kFused;

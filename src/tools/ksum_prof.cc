@@ -1,0 +1,252 @@
+// ksum-prof — launch profiler over the registered tile programs.
+//
+//   ksum-prof <program> [--layout=fig5|naive] [--json] [--json-out=FILE]
+//                       [--trace=FILE] [--top-sites=N] [--verbose]
+//   ksum-prof --list
+//
+// Runs the named program (see ksum-lint --list / ksum-prof --list) with a
+// LaunchProfiler attached and reports, per kernel launch: modelled time and
+// the binding resource, phase slices (prologue / mainloop / epilogue /
+// reduction), per-access-site traffic, and the per-site energy attribution.
+//
+//   --json           print the ksum-prof-v1 record to stdout instead of the
+//                    human-readable report
+//   --json-out=FILE  write the record to FILE (keeps the human report)
+//   --trace=FILE     write a Chrome trace_event file (chrome://tracing,
+//                    Perfetto)
+//   --top-sites=N    show the N highest-energy access sites per launch
+//                    (default 5, human report only — conflicts with --json)
+//
+// Every emitted record is validated against the schema before it is
+// written; a validation failure is an internal error.
+//
+// Exit codes: 0 success; 2 invalid input or usage, including conflicting or
+// malformed flags (ksum::Error); 3 internal bug (ksum::InternalError).
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <string>
+
+#include "analysis/program_registry.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "config/device_spec.h"
+#include "config/energy_spec.h"
+#include "config/timing_spec.h"
+#include "gpusim/access_site.h"
+#include "profile/energy_attribution.h"
+#include "profile/launch_profiler.h"
+#include "profile/profile_json.h"
+#include "profile/trace_export.h"
+
+namespace {
+
+using namespace ksum;
+
+std::string iso_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out << text;
+  KSUM_CHECK_MSG(static_cast<bool>(out), "write to " + path + " failed");
+}
+
+void print_human_report(const profile::ProgramProfile& prof,
+                        std::size_t top_sites, bool verbose) {
+  auto& registry = gpusim::SiteRegistry::instance();
+  std::printf("%s (%zux%zu, K=%zu): %zu launch(es), %.3f ms modelled, "
+              "%.4f J\n",
+              prof.program.c_str(), prof.m, prof.n, prof.k,
+              prof.launches.size(), prof.total_seconds * 1e3,
+              prof.total_energy.total());
+  for (std::size_t i = 0; i < prof.launches.size(); ++i) {
+    const profile::LaunchProfile& launch = prof.launches[i];
+    const profile::EnergyAttribution& energy = prof.energies[i];
+    std::printf("\n[%zu] %s  grid %dx%d, %d threads/block, %d blocks/SM\n",
+                i, launch.launch.kernel_name.c_str(), launch.launch.grid_x,
+                launch.launch.grid_y, launch.launch.block_threads,
+                launch.launch.occupancy.blocks_per_sm);
+    std::printf("    %.3f ms (%s-bound)  dram %llu txn  l2 %llu txn  "
+                "energy %.4f J\n",
+                launch.seconds * 1e3, launch.timing.bound.c_str(),
+                static_cast<unsigned long long>(
+                    launch.counters.dram_total_transactions()),
+                static_cast<unsigned long long>(
+                    launch.counters.l2_total_transactions()),
+                energy.aggregate.total());
+    for (const auto& slice : launch.phases) {
+      const double share =
+          launch.counters.warp_instructions > 0
+              ? static_cast<double>(slice.counters.warp_instructions) /
+                    static_cast<double>(launch.counters.warp_instructions)
+              : 0.0;
+      std::printf("    phase %-10s %5.1f%% instr  smem %8llu  l2 %8llu  "
+                  "dram %8llu\n",
+                  slice.phase.c_str(), 100.0 * share,
+                  static_cast<unsigned long long>(
+                      slice.counters.smem_total_transactions()),
+                  static_cast<unsigned long long>(
+                      slice.counters.l2_total_transactions()),
+                  static_cast<unsigned long long>(
+                      slice.counters.dram_total_transactions()));
+    }
+
+    // Top sites by attributed energy.
+    std::vector<std::size_t> order(launch.sites.size());
+    for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return energy.sites[a].total() > energy.sites[b].total();
+    });
+    const std::size_t shown = std::min(top_sites, order.size());
+    for (std::size_t s = 0; s < shown; ++s) {
+      const profile::SiteTraffic& traffic = launch.sites[order[s]];
+      const profile::SiteEnergy& se = energy.sites[order[s]];
+      const auto& site = registry.site(traffic.site);
+      std::printf("    site  %-44s %.3e J  %llu sectors\n",
+                  (site.location() + " " + site.label).c_str(), se.total(),
+                  static_cast<unsigned long long>(traffic.global_sectors));
+      if (verbose) {
+        std::printf("          loads %llu stores %llu atomics %llu  smem "
+                    "txn %llu\n",
+                    static_cast<unsigned long long>(
+                        traffic.global_load_requests),
+                    static_cast<unsigned long long>(
+                        traffic.global_store_requests),
+                    static_cast<unsigned long long>(traffic.atomic_requests),
+                    static_cast<unsigned long long>(
+                        traffic.smem_transactions));
+      }
+    }
+    if (energy.residual.total() > 0) {
+      std::printf("    site  %-44s %.3e J\n", "<unattributed residual>",
+                  energy.residual.total());
+    }
+  }
+}
+
+int cmd_prof(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.declare("layout", "shared-memory tile layout: fig5 (default), naive");
+  flags.declare("json", "print the ksum-prof-v1 record to stdout", false);
+  flags.declare("json-out", "write the ksum-prof-v1 record to a file");
+  flags.declare("trace", "write a Chrome trace_event file");
+  flags.declare("top-sites",
+                "number of highest-energy sites to print (default 5)");
+  flags.declare("list", "list profilable programs and exit", false);
+  flags.declare("verbose", "per-site request breakdowns", false);
+  flags.declare("help", "show this help", false);
+  flags.parse(argc, argv);
+
+  const std::string usage =
+      "usage: ksum-prof <program> [flags]\n       ksum-prof --list\n" +
+      flags.usage();
+  if (flags.get_bool("help")) {
+    std::printf("%s", usage.c_str());
+    return 0;
+  }
+  if (flags.get_bool("list")) {
+    KSUM_REQUIRE(flags.positional().empty(),
+                 "--list takes no program argument\n" + usage);
+    for (const auto& program : analysis::registered_programs()) {
+      std::printf("%-26s %s\n", program.name.c_str(),
+                  program.description.c_str());
+    }
+    return 0;
+  }
+
+  KSUM_REQUIRE(flags.positional().size() == 1,
+               "expected exactly one program name\n" + usage);
+  KSUM_REQUIRE(!(flags.get_bool("json") && flags.has("top-sites")),
+               "conflicting flags: --top-sites shapes the human report, "
+               "which --json suppresses\n" + usage);
+  KSUM_REQUIRE(!(flags.get_bool("json") && flags.has("json-out")),
+               "conflicting flags: use --json (stdout) or --json-out=FILE, "
+               "not both\n" + usage);
+  const long long top_sites_arg = flags.get_int("top-sites", 5);
+  KSUM_REQUIRE(top_sites_arg >= 1 && top_sites_arg <= 1000,
+               "--top-sites must be in [1, 1000]");
+
+  const std::string name = flags.positional()[0];
+  const auto* program = analysis::find_program(name);
+  if (program == nullptr) {
+    throw Error("unknown program: " + name + " (try --list)");
+  }
+
+  analysis::ProgramOptions options;
+  const std::string layout = flags.get_string("layout", "fig5");
+  if (layout == "naive") {
+    options.layout = gpukernels::TileLayout::kNaive;
+  } else if (layout != "fig5") {
+    throw Error("unknown --layout: " + layout);
+  }
+
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, analysis::registry_device_bytes());
+  std::vector<profile::LaunchProfile> raw;
+  {
+    profile::LaunchProfiler profiler(device);
+    program->run(device, options);
+    raw = profiler.take_launches();
+  }
+  const auto shape = analysis::registry_shape();
+  const profile::ProgramProfile prof = profile::build_program_profile(
+      name, shape.m, shape.n, shape.k, spec, config::TimingSpec::gtx970(),
+      config::EnergySpec::gtx970_mcpat(), std::move(raw));
+
+  const profile::Json record =
+      profile::profile_to_json(prof, iso_timestamp());
+  // Self-check: never emit a record the schema validator would reject.
+  try {
+    profile::validate_profile_json(record);
+  } catch (const Error& e) {
+    throw InternalError(std::string("emitted record failed validation: ") +
+                        e.what());
+  }
+
+  if (flags.has("trace")) {
+    const std::string path = flags.get_string("trace", "");
+    KSUM_REQUIRE(!path.empty(), "--trace needs a file path");
+    write_file(path, profile::trace_events_json(prof).dump());
+    std::fprintf(stderr, "ksum-prof: wrote trace to %s\n", path.c_str());
+  }
+  if (flags.has("json-out")) {
+    const std::string path = flags.get_string("json-out", "");
+    KSUM_REQUIRE(!path.empty(), "--json-out needs a file path");
+    write_file(path, record.dump());
+    std::fprintf(stderr, "ksum-prof: wrote record to %s\n", path.c_str());
+  }
+
+  if (flags.get_bool("json")) {
+    std::printf("%s", record.dump().c_str());
+  } else {
+    print_human_report(prof, static_cast<std::size_t>(top_sites_arg),
+                       flags.get_bool("verbose"));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return cmd_prof(argc, argv);
+  } catch (const ksum::InternalError& e) {
+    std::fprintf(stderr, "ksum-prof: internal error: %s\n", e.what());
+    return 3;
+  } catch (const ksum::Error& e) {
+    std::fprintf(stderr, "ksum-prof: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ksum-prof: %s\n", e.what());
+    return 3;
+  }
+}

@@ -1,0 +1,53 @@
+#include "workload/padding.h"
+
+#include "common/error.h"
+
+namespace ksum::workload {
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  KSUM_DCHECK(align > 0);
+  return (v + align - 1) / align * align;
+}
+
+bool is_tile_aligned(const ProblemSpec& spec, std::size_t mn_align,
+                     std::size_t k_align) {
+  return spec.m % mn_align == 0 && spec.n % mn_align == 0 &&
+         spec.k % k_align == 0;
+}
+
+Instance pad_instance(const Instance& instance, std::size_t mn_align,
+                      std::size_t k_align) {
+  const ProblemSpec& spec = instance.spec;
+  KSUM_REQUIRE(spec.m > 0 && spec.n > 0 && spec.k > 0,
+               "cannot pad an empty instance");
+  KSUM_REQUIRE(instance.a.rows() == spec.m && instance.a.cols() == spec.k &&
+                   instance.b.rows() == spec.k && instance.b.cols() == spec.n,
+               "instance matrices do not match the spec");
+
+  Instance out;
+  out.spec = spec;
+  out.spec.m = round_up(spec.m, mn_align);
+  out.spec.n = round_up(spec.n, mn_align);
+  out.spec.k = round_up(spec.k, k_align);
+
+  // Fresh zero-initialised storage; copy the original block in. Padded
+  // coordinates, points, and weights all stay exactly 0.0f.
+  out.a = Matrix(out.spec.m, out.spec.k, instance.a.layout());
+  for (std::size_t r = 0; r < spec.m; ++r) {
+    for (std::size_t c = 0; c < spec.k; ++c) {
+      out.a.at(r, c) = instance.a.at(r, c);
+    }
+  }
+  out.b = Matrix(out.spec.k, out.spec.n, instance.b.layout());
+  for (std::size_t r = 0; r < spec.k; ++r) {
+    for (std::size_t c = 0; c < spec.n; ++c) {
+      out.b.at(r, c) = instance.b.at(r, c);
+    }
+  }
+  out.w = Vector(out.spec.n);
+  out.w.fill(0.0f);
+  for (std::size_t j = 0; j < spec.n; ++j) out.w[j] = instance.w[j];
+  return out;
+}
+
+}  // namespace ksum::workload

@@ -1,0 +1,39 @@
+// Zero-padding of instances to the simulated kernels' tile geometry.
+//
+// The tile programs require M and N to be multiples of 128 and K a multiple
+// of 8 (one 128×128 submatrixC per CTA, rank-8 updates). Ragged shapes are
+// handled by embedding the instance in the next aligned size in a way that
+// provably does not change the first M entries of V:
+//
+//   K → pad both point sets with zero coordinates: every pairwise dot
+//       product and squared norm — hence every distance and kernel value —
+//       is unchanged.
+//   N → append target points at the origin with weight 0: their kernel
+//       values are finite and multiply a zero weight, contributing nothing.
+//   M → append source points at the origin: their V entries are computed
+//       but discarded (callers truncate the result to the original M).
+//
+// The padding is exact in float arithmetic, not an approximation: the added
+// products are identical zeros, and IEEE addition of +0.0f terms leaves
+// every partial sum bit-identical.
+#pragma once
+
+#include "workload/point_generators.h"
+
+namespace ksum::workload {
+
+/// Smallest multiple of `align` that is >= `v` (align > 0).
+std::size_t round_up(std::size_t v, std::size_t align);
+
+/// True when `spec` already satisfies the simulated-kernel alignment
+/// (M, N multiples of `mn_align`; K of `k_align`).
+bool is_tile_aligned(const ProblemSpec& spec, std::size_t mn_align = 128,
+                     std::size_t k_align = 8);
+
+/// Returns `instance` embedded in the aligned shape as described above.
+/// The spec's distribution/seed/bandwidth carry over; m/n/k become the
+/// padded sizes. Aligned instances are returned as a plain copy.
+Instance pad_instance(const Instance& instance, std::size_t mn_align = 128,
+                      std::size_t k_align = 8);
+
+}  // namespace ksum::workload

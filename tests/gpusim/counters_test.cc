@@ -67,6 +67,62 @@ TEST(CountersTest, PlusEqualsSumsEveryField) {
   }
 }
 
+// Same exhaustive word-by-word check for operator-=: the profiler's phase
+// deltas (snapshot subtraction) must cover every field too.
+TEST(CountersTest, MinusEqualsSubtractsEveryField) {
+  constexpr std::size_t kWords = sizeof(Counters) / sizeof(std::uint64_t);
+  std::array<std::uint64_t, kWords> big{}, small{};
+  for (std::size_t i = 0; i < kWords; ++i) {
+    big[i] = 10 * (i + 1);
+    small[i] = i + 1;
+  }
+  Counters a, b;
+  std::memcpy(static_cast<void*>(&a), big.data(), sizeof(a));
+  std::memcpy(static_cast<void*>(&b), small.data(), sizeof(b));
+
+  a -= b;
+  std::array<std::uint64_t, kWords> out{};
+  std::memcpy(out.data(), &a, sizeof(a));
+  for (std::size_t i = 0; i < kWords; ++i) {
+    EXPECT_EQ(out[i], 9 * (i + 1))
+        << "64-bit word " << i << " of Counters is not subtracted by "
+        << "operator-= (newly added field missing from counters.cc?)";
+  }
+}
+
+TEST(CountersTest, SubtractionSaturatesAtZero) {
+  Counters a, b;
+  a.fma_ops = 3;
+  b.fma_ops = 5;
+  b.barriers = 1;
+  const Counters c = a - b;
+  EXPECT_EQ(c.fma_ops, 0u);
+  EXPECT_EQ(c.barriers, 0u);
+}
+
+TEST(CountersTest, EqualityComparesEveryField) {
+  constexpr std::size_t kWords = sizeof(Counters) / sizeof(std::uint64_t);
+  std::array<std::uint64_t, kWords> raw{};
+  for (std::size_t i = 0; i < kWords; ++i) raw[i] = i + 1;
+  Counters a, b;
+  std::memcpy(static_cast<void*>(&a), raw.data(), sizeof(a));
+  std::memcpy(static_cast<void*>(&b), raw.data(), sizeof(b));
+  EXPECT_TRUE(a == b);
+
+  // Perturbing any single word must break equality.
+  for (std::size_t i = 0; i < kWords; ++i) {
+    Counters c = b;
+    std::uint64_t word = 0;
+    std::memcpy(&word, reinterpret_cast<const char*>(&c) + i * sizeof(word),
+                sizeof(word));
+    ++word;
+    std::memcpy(reinterpret_cast<char*>(&c) + i * sizeof(word), &word,
+                sizeof(word));
+    EXPECT_FALSE(a == c) << "64-bit word " << i
+                         << " of Counters is ignored by operator==";
+  }
+}
+
 TEST(CountersTest, FaultTotalsAndToString) {
   Counters c;
   EXPECT_EQ(c.faults_injected_total(), 0u);

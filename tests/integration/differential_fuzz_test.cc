@@ -1,0 +1,135 @@
+// Differential fuzzing across the solver backends on seeded random shapes,
+// deliberately including sizes that are not multiples of the 128×128 tile
+// or the rank-8 mainloop step (the padding path in pipelines::solve).
+//
+// Tolerance: the simulated kernels and the host oracle evaluate the same
+// float32 expression in different association orders, so results agree to
+// accumulation round-off, not bit-exactly. We bound max_rel_diff with a
+// 1e-2 absolute floor (entries below the floor are compared absolutely) at
+// 5e-3 — the repo-wide bound for non-cancelling workloads, a few hundred
+// float32 ULPs at these summation lengths (documented in docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "blas/vector_ops.h"
+#include "core/exact.h"
+#include "pipelines/solver.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+using pipelines::Backend;
+
+struct FuzzCase {
+  std::size_t m, n, k;
+  std::uint64_t seed;
+};
+
+// Full cross of the ragged/aligned extremes: 6 × 6 × 4 = 144 seeded combos
+// (well past the 50 the test plan requires); each gets its own seed.
+std::vector<FuzzCase> fuzz_cases() {
+  const std::size_t ms[] = {1, 7, 127, 129, 200, 1000};
+  const std::size_t ns[] = {1, 7, 127, 129, 200, 1000};
+  const std::size_t ks[] = {1, 8, 9, 250};
+  std::vector<FuzzCase> cases;
+  std::uint64_t seed = 1000;
+  for (std::size_t m : ms) {
+    for (std::size_t n : ns) {
+      for (std::size_t k : ks) {
+        cases.push_back({m, n, k, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+double diff(const Vector& a, const Vector& b) {
+  return blas::max_rel_diff(a.span(), b.span(), 1e-2);
+}
+
+constexpr double kTol = 5e-3;
+
+TEST(DifferentialFuzzTest, BackendsAgreeOnSeededRandomShapes) {
+  const auto cases = fuzz_cases();
+  ASSERT_GE(cases.size(), 50u);
+  std::size_t index = 0;
+  for (const FuzzCase& c : cases) {
+    workload::ProblemSpec spec;
+    spec.m = c.m;
+    spec.n = c.n;
+    spec.k = c.k;
+    spec.seed = c.seed;
+    spec.bandwidth = 0.9f;
+    const auto instance = workload::make_instance(spec);
+    const auto params = core::params_from_spec(spec);
+    const std::string what = spec.to_string();
+
+    const auto oracle = pipelines::solve(instance, params,
+                                         Backend::kCpuDirect);
+    ASSERT_EQ(oracle.v.size(), c.m) << what;
+
+    const auto fused = pipelines::solve(instance, params,
+                                        Backend::kSimFused);
+    ASSERT_EQ(fused.v.size(), c.m) << what;
+    EXPECT_LT(diff(fused.v, oracle.v), kTol) << "fused on " << what;
+
+    // Alternate the unfused pipelines so every combo checks fused vs one
+    // unfused vs the host oracle while the suite stays well under budget.
+    const Backend unfused = index % 2 == 0 ? Backend::kSimCudaUnfused
+                                           : Backend::kSimCublasUnfused;
+    const auto baseline = pipelines::solve(instance, params, unfused);
+    EXPECT_LT(diff(baseline.v, oracle.v), kTol)
+        << to_string(unfused) << " on " << what;
+    EXPECT_LT(diff(fused.v, baseline.v), kTol)
+        << "fused vs " << to_string(unfused) << " on " << what;
+    ++index;
+  }
+}
+
+TEST(DifferentialFuzzTest, RobustForkMatchesAndStaysQuiet) {
+  // Every 4th combo re-runs fused with the ABFT checks + recovery policy
+  // enabled on a fault-free device: the checksum fork must not perturb the
+  // result and must raise no false positives (ragged shapes included — the
+  // checks audit the padded run).
+  const auto cases = fuzz_cases();
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < cases.size(); i += 4) {
+    const FuzzCase& c = cases[i];
+    workload::ProblemSpec spec;
+    spec.m = c.m;
+    spec.n = c.n;
+    spec.k = c.k;
+    spec.seed = c.seed;
+    spec.bandwidth = 0.9f;
+    const auto instance = workload::make_instance(spec);
+    const auto params = core::params_from_spec(spec);
+    const std::string what = spec.to_string();
+
+    const auto plain = pipelines::solve(instance, params, Backend::kSimFused);
+
+    pipelines::RunOptions robust;
+    robust.recovery.enabled = true;  // forces the checks on, as the CLI does
+    const auto checked =
+        pipelines::solve(instance, params, Backend::kSimFused, robust);
+
+    ASSERT_TRUE(checked.report.has_value()) << what;
+    EXPECT_TRUE(checked.report->robustness.checks_enabled) << what;
+    EXPECT_FALSE(checked.report->robustness.fault_detected())
+        << "false positive on fault-free " << what;
+    EXPECT_EQ(checked.recovery.attempts, 1) << what;  // clean first try
+
+    ASSERT_EQ(checked.v.size(), plain.v.size()) << what;
+    for (std::size_t j = 0; j < plain.v.size(); ++j) {
+      EXPECT_EQ(checked.v[j], plain.v[j])
+          << "checksum fork perturbed V[" << j << "] on " << what;
+    }
+    ++covered;
+  }
+  EXPECT_GE(covered, 30u);
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,109 @@
+// Observation must be free: attaching a LaunchProfiler changes neither the
+// numerical results nor a single event counter, and two same-seed profiled
+// runs serialise to byte-identical records (modulo the timestamp field,
+// which the emitters keep optional for exactly this reason).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+
+#include "analysis/program_registry.h"
+#include "config/device_spec.h"
+#include "core/exact.h"
+#include "gpukernels/device_workspace.h"
+#include "gpukernels/fused_ksum.h"
+#include "gpukernels/norms.h"
+#include "gpusim/counters.h"
+#include "gpusim/device.h"
+#include "profile/launch_profiler.h"
+#include "profile/profile_json.h"
+#include "workload/point_generators.h"
+
+namespace ksum::profile {
+namespace {
+
+struct RunOutput {
+  Vector result;
+  gpusim::Counters counters;
+  std::vector<LaunchProfile> launches;
+};
+
+RunOutput run_fused(bool with_profiler) {
+  workload::ProblemSpec spec;
+  spec.m = 256;
+  spec.n = 256;
+  spec.k = 16;
+  spec.seed = 3;
+  const auto instance = workload::make_instance(spec);
+
+  gpusim::Device device(config::DeviceSpec::gtx970(),
+                        analysis::registry_device_bytes());
+  auto ws = gpukernels::allocate_workspace(device, spec.m, spec.n, spec.k,
+                                           /*with_intermediate=*/false);
+  gpukernels::upload_instance(device, ws, instance);
+
+  std::optional<LaunchProfiler> profiler;
+  if (with_profiler) profiler.emplace(device);
+
+  gpukernels::run_norms_a(device, ws);
+  gpukernels::run_norms_b(device, ws);
+  gpukernels::run_fused_ksum(device, ws, core::params_from_spec(spec), {});
+
+  RunOutput out;
+  out.result = gpukernels::download_result(device, ws);
+  out.counters = device.counters();
+  if (profiler) out.launches = profiler->take_launches();
+  return out;
+}
+
+TEST(DeterminismTest, ProfilerAttachedRunIsBitIdentical) {
+  const RunOutput plain = run_fused(/*with_profiler=*/false);
+  const RunOutput profiled = run_fused(/*with_profiler=*/true);
+
+  EXPECT_TRUE(plain.counters == profiled.counters)
+      << "attaching the profiler changed the event counters:\n"
+      << plain.counters.to_string() << "\nvs\n"
+      << profiled.counters.to_string();
+
+  ASSERT_EQ(plain.result.size(), profiled.result.size());
+  EXPECT_EQ(std::memcmp(plain.result.data(), profiled.result.data(),
+                        plain.result.size() * sizeof(float)),
+            0)
+      << "attaching the profiler changed the numerical result";
+}
+
+TEST(DeterminismTest, ProfilerSeesTheSameCountersTheDeviceKeeps) {
+  const RunOutput profiled = run_fused(/*with_profiler=*/true);
+  gpusim::Counters observed;
+  for (const LaunchProfile& launch : profiled.launches) {
+    observed += launch.counters;
+  }
+  EXPECT_TRUE(observed == profiled.counters)
+      << "per-launch profiles do not sum to the device's cumulative "
+         "counters";
+}
+
+TEST(DeterminismTest, SameSeedRunsEmitIdenticalRecords) {
+  auto record_for = [](const std::string& name) {
+    const auto* program = analysis::find_program(name);
+    EXPECT_NE(program, nullptr);
+    gpusim::Device device(config::DeviceSpec::gtx970(),
+                          analysis::registry_device_bytes());
+    LaunchProfiler profiler(device);
+    program->run(device, analysis::ProgramOptions{});
+    const auto shape = analysis::registry_shape();
+    const ProgramProfile profile = build_program_profile(
+        name, shape.m, shape.n, shape.k, config::DeviceSpec::gtx970(),
+        config::TimingSpec::gtx970(), config::EnergySpec::gtx970_mcpat(),
+        profiler.take_launches());
+    // Timestamp omitted — the one field two identical runs may disagree on.
+    return profile_to_json(profile).dump();
+  };
+
+  for (const char* name : {"fused_ksum", "unfused_ksum", "fused_knn"}) {
+    EXPECT_EQ(record_for(name), record_for(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ksum::profile

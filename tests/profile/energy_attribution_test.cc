@@ -1,0 +1,118 @@
+// Per-site energy attribution must be a true decomposition: sites plus the
+// explicit residual plus the launch-wide compute/static buckets recompose
+// the aggregate energy-model output exactly (1e-9 relative, the acceptance
+// bound), for every registered program.
+#include "profile/energy_attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/program_registry.h"
+#include "config/device_spec.h"
+#include "gpusim/device.h"
+#include "profile/launch_profiler.h"
+
+namespace ksum::profile {
+namespace {
+
+std::vector<LaunchProfile> finalized_launches(const std::string& name) {
+  const auto* program = analysis::find_program(name);
+  EXPECT_NE(program, nullptr) << name;
+  gpusim::Device device(config::DeviceSpec::gtx970(),
+                        analysis::registry_device_bytes());
+  LaunchProfiler profiler(device);
+  program->run(device, analysis::ProgramOptions{});
+  auto launches = profiler.take_launches();
+  const auto k = analysis::registry_shape().k;
+  for (LaunchProfile& launch : launches) {
+    finalize_profile(config::DeviceSpec::gtx970(),
+                     config::TimingSpec::gtx970(),
+                     default_timing_hints(launch.launch.kernel_name, k),
+                     launch);
+  }
+  return launches;
+}
+
+double rel_err(double a, double b) {
+  return std::abs(a - b) / std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+TEST(EnergyAttributionTest, RecomposesTheAggregateForEveryProgram) {
+  const auto spec = config::EnergySpec::gtx970_mcpat();
+  for (const auto& program : analysis::registered_programs()) {
+    for (const LaunchProfile& launch : finalized_launches(program.name)) {
+      const EnergyAttribution energy =
+          attribute_energy(spec, launch, launch.seconds);
+      EXPECT_GT(energy.aggregate.total(), 0.0) << program.name;
+      EXPECT_LT(rel_err(energy.attributed_total(), energy.aggregate.total()),
+                1e-9)
+          << program.name << " / " << launch.launch.kernel_name
+          << ": attributed " << energy.attributed_total() << " vs aggregate "
+          << energy.aggregate.total();
+    }
+  }
+}
+
+TEST(EnergyAttributionTest, SitesAndResidualAreNonNegative) {
+  const auto spec = config::EnergySpec::gtx970_mcpat();
+  for (const LaunchProfile& launch : finalized_launches("fused_ksum")) {
+    const EnergyAttribution energy =
+        attribute_energy(spec, launch, launch.seconds);
+    ASSERT_EQ(energy.sites.size(), launch.sites.size());
+    for (const SiteEnergy& site : energy.sites) {
+      EXPECT_GE(site.smem_j, 0.0);
+      EXPECT_GE(site.l2_j, 0.0);
+      EXPECT_GE(site.dram_j, 0.0);
+    }
+    EXPECT_GE(energy.residual.total(), -1e-18);
+  }
+}
+
+TEST(EnergyAttributionTest, AtomicTrafficDrawsMoreL2EnergyPerSector) {
+  // The fused kernel's atomic reduction site read-modify-writes its sectors
+  // at the L2, so its energy per achieved sector must exceed that of a
+  // plain load site with the same sector count share.
+  const auto spec = config::EnergySpec::gtx970_mcpat();
+  const auto launches = finalized_launches("fused_ksum");
+  const LaunchProfile& fused = launches.back();
+  const EnergyAttribution energy =
+      attribute_energy(spec, fused, fused.seconds);
+
+  double atomic_per_sector = 0, load_per_sector = 0;
+  for (std::size_t i = 0; i < fused.sites.size(); ++i) {
+    const SiteTraffic& traffic = fused.sites[i];
+    if (traffic.global_sectors == 0) continue;
+    const double per_sector =
+        (energy.sites[i].l2_j + energy.sites[i].dram_j) /
+        static_cast<double>(traffic.global_sectors);
+    if (traffic.atomic_requests > 0) {
+      atomic_per_sector = per_sector;
+    } else if (traffic.global_load_requests > 0 && load_per_sector == 0) {
+      load_per_sector = per_sector;
+    }
+  }
+  ASSERT_GT(atomic_per_sector, 0.0);
+  ASSERT_GT(load_per_sector, 0.0);
+  EXPECT_NEAR(atomic_per_sector / load_per_sector, 2.0, 1e-6);
+}
+
+TEST(EnergyAttributionTest, UnobservedLaunchIsAllResidual) {
+  // A profile with counters but no observed sites (nothing was tagged)
+  // must park the whole memory energy in the residual, not lose it.
+  LaunchProfile launch;
+  launch.counters.smem_load_transactions = 100;
+  launch.counters.l2_read_transactions = 50;
+  launch.counters.dram_read_transactions = 25;
+  launch.counters.warp_instructions = 10;
+  const auto spec = config::EnergySpec::gtx970_mcpat();
+  const EnergyAttribution energy =
+      attribute_energy(spec, launch, /*seconds=*/1e-6);
+  EXPECT_TRUE(energy.sites.empty());
+  EXPECT_GT(energy.residual.total(), 0.0);
+  EXPECT_LT(rel_err(energy.attributed_total(), energy.aggregate.total()),
+            1e-9);
+}
+
+}  // namespace
+}  // namespace ksum::profile

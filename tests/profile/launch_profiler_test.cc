@@ -1,0 +1,132 @@
+// The LaunchProfiler materialises per-launch phase slices and per-site
+// traffic from the observer stream alone. These tests pin its accounting
+// identities: phase slices partition the launch counters, and per-site
+// request totals partition the global-memory counters.
+#include "profile/launch_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/program_registry.h"
+#include "common/error.h"
+#include "config/device_spec.h"
+#include "gpusim/device.h"
+
+namespace ksum::profile {
+namespace {
+
+std::vector<LaunchProfile> profile_program(const std::string& name) {
+  const auto* program = analysis::find_program(name);
+  EXPECT_NE(program, nullptr) << name;
+  gpusim::Device device(config::DeviceSpec::gtx970(),
+                        analysis::registry_device_bytes());
+  LaunchProfiler profiler(device);
+  program->run(device, analysis::ProgramOptions{});
+  return profiler.take_launches();
+}
+
+TEST(LaunchProfilerTest, PhaseSlicesPartitionTheLaunchCounters) {
+  for (const std::string name : {"fused_ksum", "unfused_ksum", "norms"}) {
+    const auto launches = profile_program(name);
+    ASSERT_FALSE(launches.empty()) << name;
+    for (const LaunchProfile& launch : launches) {
+      ASSERT_FALSE(launch.phases.empty()) << launch.launch.kernel_name;
+      gpusim::Counters sum;
+      for (const PhaseSlice& slice : launch.phases) sum += slice.counters;
+      // The launch pre-count (kernel_launches = 1, set before any event
+      // fires) belongs to no phase; everything else must land in a slice.
+      gpusim::Counters expected = launch.counters;
+      expected.kernel_launches -= 1;
+      EXPECT_TRUE(sum == expected)
+          << launch.launch.kernel_name << ": phase slices sum to\n"
+          << sum.to_string() << "\nbut the launch counted\n"
+          << expected.to_string();
+    }
+  }
+}
+
+TEST(LaunchProfilerTest, FusedKernelCarriesThePaperPhases) {
+  const auto launches = profile_program("fused_ksum");
+  ASSERT_EQ(launches.size(), 3u);  // norms_a, norms_b, fused_ksum
+  const LaunchProfile& fused = launches.back();
+  EXPECT_EQ(fused.launch.kernel_name, "fused_ksum");
+  for (const char* phase :
+       {"prologue", "mainloop", "epilogue", "reduction"}) {
+    const PhaseSlice* slice = fused.find_phase(phase);
+    ASSERT_NE(slice, nullptr) << phase;
+    EXPECT_GT(slice->counters.warp_instructions, 0u) << phase;
+  }
+  // The rank-8 mainloop dominates the instruction stream.
+  const PhaseSlice* mainloop = fused.find_phase("mainloop");
+  EXPECT_GT(mainloop->counters.warp_instructions,
+            fused.counters.warp_instructions / 2);
+  EXPECT_EQ(fused.find_phase("no-such-phase"), nullptr);
+}
+
+TEST(LaunchProfilerTest, SiteTrafficPartitionsTheGlobalCounters) {
+  const auto launches = profile_program("fused_ksum");
+  for (const LaunchProfile& launch : launches) {
+    std::uint64_t loads = 0, stores = 0, atomics = 0;
+    for (const SiteTraffic& site : launch.sites) {
+      loads += site.global_load_requests;
+      stores += site.global_store_requests;
+      atomics += site.atomic_requests;
+    }
+    EXPECT_EQ(loads, launch.counters.global_load_requests)
+        << launch.launch.kernel_name;
+    EXPECT_EQ(stores, launch.counters.global_store_requests)
+        << launch.launch.kernel_name;
+    EXPECT_EQ(atomics, launch.counters.atomic_requests)
+        << launch.launch.kernel_name;
+  }
+}
+
+TEST(LaunchProfilerTest, AtomicSitesWeightSectorsTwice) {
+  const auto launches = profile_program("fused_ksum");
+  const LaunchProfile& fused = launches.back();
+  bool saw_atomic_site = false;
+  for (const SiteTraffic& site : fused.sites) {
+    if (site.atomic_requests == 0) {
+      EXPECT_EQ(site.weighted_sectors(),
+                static_cast<double>(site.global_sectors));
+      continue;
+    }
+    saw_atomic_site = true;
+    // Atomic sectors are L2 read-modify-writes: weighted twice.
+    EXPECT_GT(site.weighted_sectors(),
+              static_cast<double>(site.global_sectors));
+  }
+  EXPECT_TRUE(saw_atomic_site)
+      << "fused_ksum's inter-CTA reduction should hit an atomic site";
+}
+
+TEST(LaunchProfilerTest, RawProfilesCarryNoTiming) {
+  const auto launches = profile_program("norms");
+  ASSERT_FALSE(launches.empty());
+  EXPECT_EQ(launches[0].seconds, 0.0);
+
+  LaunchProfile finalized = launches[0];
+  finalize_profile(config::DeviceSpec::gtx970(), config::TimingSpec::gtx970(),
+                   default_timing_hints(finalized.launch.kernel_name, 16),
+                   finalized);
+  EXPECT_GT(finalized.seconds, 0.0);
+  EXPECT_FALSE(finalized.timing.bound.empty());
+}
+
+TEST(LaunchProfilerTest, RefusesToStackOnAnotherObserver) {
+  gpusim::Device device(config::DeviceSpec::gtx970(),
+                        analysis::registry_device_bytes());
+  LaunchProfiler first(device);
+  EXPECT_THROW(LaunchProfiler second(device), Error);
+}
+
+TEST(LaunchProfilerTest, TimingHintsFollowTheKernelName) {
+  const TimingHints fused = default_timing_hints("fused_ksum", 64);
+  EXPECT_DOUBLE_EQ(fused.mainloop_iters, 8.0);  // K/8 rank-8 steps
+  const TimingHints cublas = default_timing_hints("gemm_cublas", 64);
+  EXPECT_DOUBLE_EQ(cublas.mainloop_iters, 8.0);
+  const TimingHints streaming = default_timing_hints("norms_a", 64);
+  EXPECT_DOUBLE_EQ(streaming.mainloop_iters, 0.0);
+}
+
+}  // namespace
+}  // namespace ksum::profile

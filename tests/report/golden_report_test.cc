@@ -1,0 +1,74 @@
+// Golden snapshots of the headline report output (Table II, Table III,
+// Fig. 9) on the deterministic Table-II grid. Any formatting or model drift
+// shows up as a byte diff against tests/report/golden/*.txt.
+//
+// To regenerate after an intentional change:
+//   KSUM_UPDATE_GOLDEN=1 ./tests/report_tests \
+//       --gtest_filter='GoldenReportTest.*'
+// and commit the rewritten files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report/paper_report.h"
+
+#ifndef KSUM_GOLDEN_DIR
+#error "KSUM_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace ksum::report {
+namespace {
+
+const std::vector<SweepPoint>& golden_points() {
+  static analytic::PipelineModel model;
+  static const std::vector<SweepPoint> points =
+      evaluate_sweep(model, workload::paper_table_sweep());
+  return points;
+}
+
+std::string render(const Table& table) {
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(KSUM_GOLDEN_DIR) + "/" + name + ".txt";
+  const char* update = std::getenv("KSUM_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with KSUM_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << name << " drifted from its golden snapshot; if the change is "
+      << "intentional, regenerate with KSUM_UPDATE_GOLDEN=1";
+}
+
+TEST(GoldenReportTest, Table2FlopEfficiency) {
+  check_golden("table2_flop_efficiency",
+               render(table2_flop_efficiency(golden_points())));
+}
+
+TEST(GoldenReportTest, Table3EnergySavings) {
+  check_golden("table3_energy_savings",
+               render(table3_energy_savings(golden_points())));
+}
+
+TEST(GoldenReportTest, Fig9EnergyBreakdown) {
+  check_golden("fig9_energy_breakdown",
+               render(fig9_energy_breakdown(golden_points())));
+}
+
+}  // namespace
+}  // namespace ksum::report
