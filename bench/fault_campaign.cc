@@ -16,7 +16,11 @@
 //      colsum audit pass.
 //
 // Environment: KSUM_BENCH_FAST=1 shrinks the trial counts; KSUM_CSV_DIR
-// mirrors each table as CSV.
+// mirrors each table as CSV; KSUM_BENCH_THREADS sets the worker count for
+// the detection-coverage trials (default: hardware concurrency). Each trial
+// seeds its own FaultPlan and builds private Devices inside run_pipeline,
+// so trials run on the exec::ThreadPool and are folded into the table in
+// submission order — the printed rows are identical for any thread count.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,6 +30,7 @@
 #include "blas/vector_ops.h"
 #include "common/string_util.h"
 #include "core/exact.h"
+#include "exec/batch_engine.h"
 #include "pipelines/solver.h"
 #include "robust/fault_plan.h"
 
@@ -57,6 +62,23 @@ workload::Instance make_campaign_instance() {
 double rel_error(const Vector& v, const Vector& oracle) {
   return blas::max_rel_diff(v.span(), oracle.span(), 1e-3);
 }
+
+int bench_threads() {
+  const char* env = std::getenv("KSUM_BENCH_THREADS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n >= 1 && n <= exec::ThreadPool::kMaxThreads) return n;
+  }
+  return exec::ThreadPool::hardware_threads();
+}
+
+// What one detection-coverage trial observed; the fold into counters
+// happens on the main thread, in trial order.
+struct TrialOutcome {
+  bool injected = false;
+  bool flagged = false;
+  bool harmed = false;
+};
 
 }  // namespace
 
@@ -91,41 +113,49 @@ int main() {
   coverage.header({"site", "pipeline", "rate", "faulty runs", "detected",
                    "coverage", "harmful", "silent harm", "false pos"});
 
+  exec::ThreadPool pool(bench_threads());
   int atomic_faulty = 0, atomic_detected = 0;
   int clean_flagged = 0;
   for (const SiteSetup& setup : sites) {
     for (double scale : rate_scales) {
       const double rate = setup.base_rate * scale;
+      // Trials are seeded by trial index (never worker id) and share nothing
+      // mutable, so any pool size yields the same outcomes.
+      const auto outcomes = exec::map_ordered(
+          pool, std::size_t(trials), [&](std::size_t trial) {
+            robust::FaultPlan plan(robust::FaultPlanConfig::single_site(
+                std::uint64_t(trial) + 1, setup.site, rate));
+            pipelines::RunOptions options;
+            options.checks.enabled = true;
+            options.fault_injector = &plan;
+            const auto report = pipelines::run_pipeline(
+                setup.solution, instance, params, options);
+            TrialOutcome out;
+            out.injected = plan.total_injected() > 0;
+            out.flagged = report.robustness.fault_detected();
+            out.harmed = rel_error(report.result, oracle) > kHarmTol;
+            return out;
+          });
       int faulty = 0, detected = 0, harmful = 0, silent_harm = 0;
       int false_pos = 0;
-      for (int trial = 0; trial < trials; ++trial) {
-        robust::FaultPlan plan(robust::FaultPlanConfig::single_site(
-            std::uint64_t(trial) + 1, setup.site, rate));
-        pipelines::RunOptions options;
-        options.checks.enabled = true;
-        options.fault_injector = &plan;
-        const auto report = pipelines::run_pipeline(setup.solution, instance,
-                                                    params, options);
-        const bool injected = plan.total_injected() > 0;
-        const bool flagged = report.robustness.fault_detected();
-        const bool harmed = rel_error(report.result, oracle) > kHarmTol;
-        if (injected) {
+      for (const TrialOutcome& out : outcomes) {
+        if (out.injected) {
           ++faulty;
-          if (flagged) ++detected;
-          if (harmed) {
+          if (out.flagged) ++detected;
+          if (out.harmed) {
             ++harmful;
-            if (!flagged) ++silent_harm;
+            if (!out.flagged) ++silent_harm;
           }
-        } else if (flagged) {
+        } else if (out.flagged) {
           ++false_pos;
           ++clean_flagged;
         }
         const bool atomic_site =
             setup.site == gpusim::FaultSite::kAtomicDrop ||
             setup.site == gpusim::FaultSite::kAtomicDouble;
-        if (atomic_site && injected) {
+        if (atomic_site && out.injected) {
           ++atomic_faulty;
-          if (flagged) ++atomic_detected;
+          if (out.flagged) ++atomic_detected;
         }
       }
       coverage.row(

@@ -1,0 +1,42 @@
+// Deterministic fan-out/fan-in over a ThreadPool.
+//
+// map_ordered() is the aggregation primitive every batched surface uses
+// (pipelines::solve_many, the batched profiler, the parallel test drivers):
+// it runs one task per submission index and materialises the results in a
+// vector slot keyed by that index. Workers never share mutable state — each
+// writes only its own slot — so the returned vector is byte-identical for
+// any pool size, which is the whole determinism contract
+// (docs/PARALLELISM.md).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace ksum::exec {
+
+/// Runs fn(i) for every i in [0, count) on the pool and returns the results
+/// in submission order. fn must be invocable concurrently from multiple
+/// threads; an exception from any index aborts the call (the lowest failing
+/// index's exception is rethrown after the batch drains).
+template <typename Fn>
+auto map_ordered(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results(count);
+  pool.parallel_for(count,
+                    [&](std::size_t index) { results[index] = fn(index); });
+  return results;
+}
+
+/// Convenience overload: a throwaway pool of `threads` workers.
+template <typename Fn>
+auto map_ordered(int threads, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  ThreadPool pool(threads);
+  return map_ordered(pool, count, std::forward<Fn>(fn));
+}
+
+}  // namespace ksum::exec

@@ -1,0 +1,94 @@
+#include "exec/thread_pool.h"
+
+#include "common/error.h"
+
+namespace ksum::exec {
+
+ThreadPool::ThreadPool(int threads) {
+  KSUM_REQUIRE(threads >= 1 && threads <= kMaxThreads,
+               "thread count must be in [1, " + std::to_string(kMaxThreads) +
+                   "], got " + std::to_string(threads));
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  KSUM_CHECK_MSG(body_ == nullptr,
+                 "ThreadPool::parallel_for re-entered from a pool body");
+  body_ = &body;
+  count_ = count;
+  next_.store(0, std::memory_order_relaxed);
+  workers_active_ = workers_.size();
+  error_ = nullptr;
+  error_index_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+  body_ = nullptr;
+  const std::exception_ptr error = error_;
+  error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (body_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      body = body_;
+      count = count_;
+    }
+
+    // Claim indices until the job drains. Failures are recorded keyed by
+    // index so the rethrow is scheduling-independent; remaining indices
+    // still run (per-request isolation — one bad request cannot starve the
+    // rest of the batch).
+    for (;;) {
+      const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      try {
+        (*body)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error_ == nullptr || index < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = index;
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ksum::exec

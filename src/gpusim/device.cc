@@ -245,6 +245,17 @@ Device::Device(config::DeviceSpec spec, std::size_t memory_capacity_bytes)
   }
 }
 
+void Device::set_access_observer(AccessObserver* observer) {
+  if (launch_in_flight_.load(std::memory_order_acquire) &&
+      std::this_thread::get_id() != launch_thread_) {
+    throw Error(
+        "AccessObserver attached while a launch is in flight on another "
+        "thread; a Device is single-threaded — give each worker its own "
+        "device (docs/PARALLELISM.md)");
+  }
+  observer_ = observer;
+}
+
 void Device::read_global_sector(GlobalAddr sector, int sm_index) {
   if (!l1s_.empty()) {
     if (l1s_[static_cast<std::size_t>(sm_index)].read_sector(sector)) {
@@ -267,7 +278,21 @@ LaunchResult Device::launch(const std::string& name, GridDim grid,
   KSUM_REQUIRE(grid.x > 0 && grid.y > 0, "grid must be non-empty");
   KSUM_REQUIRE(block.count() == config.threads_per_block,
                "block dim does not match launch config thread count");
+  KSUM_REQUIRE(!launch_in_flight_.load(std::memory_order_acquire),
+               "Device::launch re-entered while a launch is in flight");
   const Occupancy occ = compute_occupancy(spec_, config);
+
+  // Publish the in-flight window for the observer attach guard (the thread
+  // id must be visible before the flag — release/acquire pairing with
+  // set_access_observer). The RAII guard keeps the flag honest when a tile
+  // program throws.
+  launch_thread_ = std::this_thread::get_id();
+  launch_in_flight_.store(true, std::memory_order_release);
+  struct InFlightGuard {
+    std::atomic<bool>& flag;
+    ~InFlightGuard() { flag.store(false, std::memory_order_release); }
+  } in_flight_guard{launch_in_flight_};
+  AccessObserver* const observer_at_begin = observer_;
 
   launch_counters_ = Counters{};
   launch_counters_.kernel_launches = 1;
@@ -300,6 +325,11 @@ LaunchResult Device::launch(const std::string& name, GridDim grid,
     }
   }
 
+  if (observer_ != observer_at_begin) {
+    throw Error("AccessObserver changed mid-launch of '" + name +
+                "': attach observers only between launches "
+                "(docs/PARALLELISM.md)");
+  }
   if (observer_ != nullptr) observer_->on_launch_end(launch_counters_);
 
   LaunchResult result{name, grid, block, config, occ, launch_counters_};

@@ -10,8 +10,10 @@
 // *timing*, which is modelled separately in timing.h from the counted events.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/device_spec.h"
@@ -171,7 +173,15 @@ class Device {
   /// launch then reports its structure and every serviced memory request —
   /// see access_observer.h. The observer must outlive the device or be
   /// detached first; it never changes functional results or counters.
-  void set_access_observer(AccessObserver* observer) { observer_ = observer; }
+  ///
+  /// Thread-safety contract (docs/PARALLELISM.md): a Device is single-
+  /// threaded — the batch engine gives every worker its own. Attaching an
+  /// observer while a launch is in flight on another thread throws
+  /// ksum::Error immediately, and Device::launch throws at the launch
+  /// boundary if the attached observer changed mid-launch (even from the
+  /// launching thread), so a torn observation stream can never pass
+  /// silently.
+  void set_access_observer(AccessObserver* observer);
   AccessObserver* access_observer() const { return observer_; }
 
   /// Runs `program` for every CTA of `grid`. Validates `config` against the
@@ -206,6 +216,12 @@ class Device {
   Coalescer coalescer_;
   FaultInjector* injector_ = nullptr;   // optional, not owned
   AccessObserver* observer_ = nullptr;  // optional, not owned
+
+  // Guard state for the observer attach contract: the launching thread is
+  // recorded before launch_in_flight_ is published (release) so a foreign
+  // set_access_observer (acquire) reads a consistent pair.
+  std::atomic<bool> launch_in_flight_{false};
+  std::thread::id launch_thread_;
 };
 
 }  // namespace ksum::gpusim

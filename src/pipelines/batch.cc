@@ -1,0 +1,164 @@
+#include "pipelines/batch.h"
+
+#include <istream>
+#include <memory>
+
+#include "blas/vector_ops.h"
+#include "common/error.h"
+#include "core/exact.h"
+#include "exec/batch_engine.h"
+#include "robust/fault_plan.h"
+#include "workload/point_generators.h"
+
+namespace ksum::pipelines {
+
+namespace {
+
+// splitmix-style spread of the submission index, so index-derived fault
+// seeds are far apart in the seed space (and never collide with the small
+// literal seeds campaigns use).
+std::uint64_t derived_fault_seed(std::size_t index) {
+  std::uint64_t z = (static_cast<std::uint64_t>(index) + 1) *
+                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+BatchResult run_request(const BatchRequest& request, std::size_t index,
+                        double verify_tolerance) {
+  BatchResult out;
+  out.index = index;
+  try {
+    const workload::Instance instance = workload::make_instance(request.spec);
+
+    RunOptions options = request.options;
+    std::unique_ptr<robust::FaultPlan> plan;
+    if (request.fault_rate > 0) {
+      KSUM_REQUIRE(request.fault_rate <= 1.0,
+                   "batch request fault rate must be in [0, 1]");
+      const std::uint64_t seed = request.fault_seed != 0
+                                     ? request.fault_seed
+                                     : derived_fault_seed(index);
+      plan = std::make_unique<robust::FaultPlan>(
+          robust::FaultPlanConfig::uniform(seed, request.fault_rate));
+      options.fault_injector = plan.get();
+    }
+
+    out.solve = solve(instance, request.params, request.backend, options);
+    out.ok = !out.solve.recovery.gave_up;
+
+    if (request.verify) {
+      const SolveResult oracle =
+          solve(instance, request.params, Backend::kCpuDirect);
+      out.oracle_rel_error =
+          blas::max_rel_diff(out.solve.v.span(), oracle.v.span(), 1e-2);
+      out.verified = out.oracle_rel_error < verify_tolerance;
+      out.ok = out.ok && out.verified;
+    }
+  } catch (const InternalError&) {
+    throw;  // a bug, not a bad request — abort the batch loudly
+  } catch (const Error& e) {
+    out.error = e.what();
+    out.ok = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BatchResult> solve_many(const std::vector<BatchRequest>& requests,
+                                    const BatchOptions& options) {
+  for (const BatchRequest& request : requests) {
+    KSUM_REQUIRE(request.options.fault_injector == nullptr,
+                 "batch requests must not carry a fault injector; set "
+                 "fault_rate/fault_seed and solve_many builds a per-request "
+                 "plan");
+  }
+  exec::ThreadPool pool(options.threads);
+  return exec::map_ordered(pool, requests.size(), [&](std::size_t index) {
+    return run_request(requests[index], index, options.verify_tolerance);
+  });
+}
+
+std::vector<BatchRequest> parse_batch_csv(std::istream& in,
+                                          const BatchRequest& base) {
+  std::vector<BatchRequest> requests;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim whitespace and skip blanks / comments.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    std::string row = line.substr(first, last - first + 1);
+    if (row[0] == '#') continue;
+
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = row.find(',', start);
+      fields.push_back(row.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    // A header row ("m,n,k,...") is recognised by its non-numeric first
+    // field and skipped, but only as the first data-carrying line.
+    if (requests.empty() &&
+        fields[0].find_first_not_of(" \t0123456789") != std::string::npos) {
+      continue;
+    }
+    KSUM_REQUIRE(fields.size() >= 3 && fields.size() <= 5,
+                 "batch CSV line " + std::to_string(line_no) +
+                     ": expected m,n,k[,seed[,h]], got '" + row + "'");
+
+    BatchRequest request = base;
+    auto parse_size = [&](const std::string& text, const char* what) {
+      try {
+        const long long v = std::stoll(text);
+        KSUM_REQUIRE(v >= 1, "batch CSV line " + std::to_string(line_no) +
+                                 ": " + what + " must be >= 1");
+        return static_cast<std::size_t>(v);
+      } catch (const Error&) {
+        throw;
+      } catch (const std::exception&) {
+        throw Error("batch CSV line " + std::to_string(line_no) +
+                    ": malformed " + what + " '" + text + "'");
+      }
+    };
+    request.spec.m = parse_size(fields[0], "m");
+    request.spec.n = parse_size(fields[1], "n");
+    request.spec.k = parse_size(fields[2], "k");
+    if (fields.size() >= 4) {
+      try {
+        request.spec.seed = std::stoull(fields[3]);
+      } catch (const std::exception&) {
+        throw Error("batch CSV line " + std::to_string(line_no) +
+                    ": malformed seed '" + fields[3] + "'");
+      }
+    }
+    if (fields.size() >= 5) {
+      try {
+        request.spec.bandwidth = std::stof(fields[4]);
+      } catch (const std::exception&) {
+        throw Error("batch CSV line " + std::to_string(line_no) +
+                    ": malformed bandwidth '" + fields[4] + "'");
+      }
+      KSUM_REQUIRE(request.spec.bandwidth > 0,
+                   "batch CSV line " + std::to_string(line_no) +
+                       ": bandwidth must be positive");
+    }
+    // Kernel params follow the per-line spec (bandwidth feeds the kernel)
+    // while keeping the batch-wide kernel type.
+    const core::KernelType type = base.params.type;
+    request.params = core::params_from_spec(request.spec);
+    request.params.type = type;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace ksum::pipelines

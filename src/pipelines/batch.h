@@ -1,0 +1,82 @@
+// Batched kernel summation: many independent requests through one call.
+//
+// solve_many() is the traffic-serving front door the ROADMAP asks for: each
+// BatchRequest is a complete problem (spec + kernel params + backend +
+// per-request robustness settings), executed by pipelines::solve on its own
+// private simulated Device — run_pipeline constructs the Device from
+// options.device per call, so workers share no simulator state. Requests run
+// concurrently on an exec::ThreadPool, and results are aggregated in
+// submission order, so the returned vector (numerics, Counters, energy
+// records, recovery reports) is byte-identical for any thread count
+// (docs/PARALLELISM.md spells out the contract; the thread-invariance tests
+// pin it).
+//
+// Fault injection is per request: a request with fault_rate > 0 gets its own
+// robust::FaultPlan whose RNG streams are seeded from the request's
+// fault_seed — or, when that is 0, derived deterministically from the
+// request's submission index — never from the worker that happens to run it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pipelines/solver.h"
+#include "workload/problem_spec.h"
+
+namespace ksum::pipelines {
+
+struct BatchRequest {
+  workload::ProblemSpec spec;
+  core::KernelParams params;
+  Backend backend = Backend::kSimFused;
+  /// Per-request run options. `options.fault_injector` must be null — the
+  /// batch engine owns injector construction (see fault_rate/fault_seed);
+  /// solve_many throws ksum::Error otherwise.
+  RunOptions options;
+  /// Per-opportunity injection probability on every fault site (0 = off).
+  double fault_rate = 0;
+  /// Seed for this request's private FaultPlan; 0 derives a seed from the
+  /// submission index so every request draws an independent, reproducible
+  /// fault stream regardless of worker scheduling.
+  std::uint64_t fault_seed = 0;
+  /// Cross-check the result against the double-precision host oracle.
+  bool verify = false;
+};
+
+struct BatchResult {
+  std::size_t index = 0;  // submission index of the request
+  SolveResult solve;
+  /// max_rel_diff vs the host oracle; only meaningful when verify was set.
+  double oracle_rel_error = 0;
+  bool verified = false;  // verify ran and the error was within tolerance
+  /// ok = no unrecovered fault and (when verify) within tolerance.
+  bool ok = true;
+  /// Non-empty when the request itself failed with ksum::Error (bad spec,
+  /// conflicting options). The rest of the batch still runs.
+  std::string error;
+};
+
+struct BatchOptions {
+  /// Worker threads, in [1, exec::ThreadPool::kMaxThreads].
+  int threads = 1;
+  /// Verification tolerance (max_rel_diff with a 1e-2 absolute floor).
+  double verify_tolerance = 5e-3;
+};
+
+/// Runs every request (concurrently when options.threads > 1) and returns
+/// one BatchResult per request, in submission order.
+std::vector<BatchResult> solve_many(const std::vector<BatchRequest>& requests,
+                                    const BatchOptions& options = {});
+
+/// Parses the ksum-cli --batch CSV: one request per line, columns
+/// `m,n,k[,seed[,h]]`, '#' comments and an optional `m,n,k,...` header line
+/// skipped. Every parsed request starts from `base` (flags shared by the
+/// whole batch: backend, kernel type, robustness, layout...) with the
+/// per-line shape fields overriding base.spec. Throws ksum::Error on
+/// malformed rows.
+std::vector<BatchRequest> parse_batch_csv(std::istream& in,
+                                          const BatchRequest& base);
+
+}  // namespace ksum::pipelines

@@ -87,8 +87,27 @@ Json energy_breakdown_json(const gpusim::EnergyBreakdown& e) {
 
 namespace {
 
+/// Maps process-global SiteIds (assigned in lazy intern order, which depends
+/// on what ran earlier in the process — and, in batched profiling, on worker
+/// scheduling) to record-local ids dense in order of first appearance, so a
+/// record is a pure function of the profiled program. Built per record
+/// across its launches in order.
+class RecordSiteIds {
+ public:
+  std::uint64_t id_for(gpusim::SiteId site) {
+    for (std::size_t i = 0; i < seen_.size(); ++i) {
+      if (seen_[i] == site) return i + 1;  // 0 stays the untagged sentinel
+    }
+    seen_.push_back(site);
+    return seen_.size();
+  }
+
+ private:
+  std::vector<gpusim::SiteId> seen_;
+};
+
 Json launch_json(const LaunchProfile& launch,
-                 const EnergyAttribution& energy) {
+                 const EnergyAttribution& energy, RecordSiteIds& site_ids) {
   Json j = Json::object();
   j.set("kernel", launch.launch.kernel_name);
   Json grid = Json::array();
@@ -126,7 +145,8 @@ Json launch_json(const LaunchProfile& launch,
     const SiteTraffic& traffic = launch.sites[i];
     const gpusim::AccessSite& info = registry.site(traffic.site);
     Json s = Json::object();
-    s.set("site", traffic.site);
+    s.set("site", traffic.site == 0 ? std::uint64_t{0}
+                                    : site_ids.id_for(traffic.site));
     s.set("location", info.location());
     s.set("label", info.label);
     s.set("global_requests", traffic.global_requests());
@@ -177,8 +197,10 @@ Json profile_to_json(const ProgramProfile& profile,
   device.set("dram_bandwidth_gb_s", profile.device.dram_bandwidth_gb_s);
   j.set("device", std::move(device));
   Json launches = Json::array();
+  RecordSiteIds site_ids;
   for (std::size_t i = 0; i < profile.launches.size(); ++i) {
-    launches.push_back(launch_json(profile.launches[i], profile.energies[i]));
+    launches.push_back(
+        launch_json(profile.launches[i], profile.energies[i], site_ids));
   }
   j.set("launches", std::move(launches));
   Json totals = Json::object();
@@ -304,6 +326,54 @@ void validate_profile_json(const Json& record) {
   validate_energy_object(
       require_member(totals, "energy_j", Json::Type::kObject, "totals"),
       "totals.energy_j");
+}
+
+Json batch_profiles_to_json(const std::vector<Json>& programs,
+                            const std::string& timestamp) {
+  Json record = Json::object();
+  record.set("schema", "ksum-prof-batch-v1");
+  double total_seconds = 0;
+  double total_energy = 0;
+  Json array = Json::array();
+  for (const Json& program : programs) {
+    const Json& totals = program.at("totals");
+    total_seconds += totals.at("seconds").as_double();
+    total_energy += totals.at("energy_j").at("total").as_double();
+    array.push_back(program);
+  }
+  record.set("programs", std::move(array));
+  Json totals = Json::object();
+  totals.set("seconds", total_seconds);
+  totals.set("energy_j_total", total_energy);
+  record.set("totals", std::move(totals));
+  if (!timestamp.empty()) record.set("timestamp", timestamp);
+  return record;
+}
+
+void validate_profile_batch_json(const Json& record) {
+  const Json& schema = require_member(record, "schema", Json::Type::kString,
+                                      "record");
+  KSUM_REQUIRE(schema.as_string() == "ksum-prof-batch-v1",
+               "unknown batch schema \"" + schema.as_string() + "\"");
+  const Json& programs = require_member(record, "programs",
+                                        Json::Type::kArray, "record");
+  KSUM_REQUIRE(programs.size() > 0, "batch record has no programs");
+  double seconds = 0;
+  double energy = 0;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    validate_profile_json(programs.at(i));
+    const Json& totals = programs.at(i).at("totals");
+    seconds += totals.at("seconds").as_double();
+    energy += totals.at("energy_j").at("total").as_double();
+  }
+  const Json& totals = require_member(record, "totals", Json::Type::kObject,
+                                      "record");
+  KSUM_REQUIRE(close_rel(require_number(totals, "seconds", "totals"),
+                         seconds, 1e-9),
+               "batch totals.seconds does not recompose the programs");
+  KSUM_REQUIRE(close_rel(require_number(totals, "energy_j_total", "totals"),
+                         energy, 1e-9),
+               "batch totals.energy_j_total does not recompose the programs");
 }
 
 void validate_bench_json(const Json& record) {

@@ -84,9 +84,21 @@ Json counters_to_json(const gpusim::Counters& c);
 /// joules plus "total"); shared by the profile and bench records.
 Json energy_breakdown_json(const gpusim::EnergyBreakdown& energy);
 
+/// Merges per-program ksum-prof-v1 records into one "ksum-prof-batch-v1"
+/// record: {"schema", "programs": [<ksum-prof-v1>...], "totals": {"seconds",
+/// "energy_j_total"}}. Programs appear in the order given (submission order
+/// in the batched profiler), and neither the worker count nor — unless
+/// `timestamp` is non-empty — any clock reading is embedded, so same-seed
+/// batches serialise byte-identically for any thread count.
+Json batch_profiles_to_json(const std::vector<Json>& programs,
+                            const std::string& timestamp = "");
+
 /// Throws ksum::Error describing the first violation; returns normally on a
 /// well-formed record.
 void validate_profile_json(const Json& record);
+/// Validates a ksum-prof-batch-v1 record: every embedded program record must
+/// validate, and the batch totals must recompose the per-program totals.
+void validate_profile_batch_json(const Json& record);
 void validate_bench_json(const Json& record);
 
 }  // namespace ksum::profile

@@ -1,21 +1,33 @@
 // ksum-cli — command-line driver for the kernel-summation library.
 //
 //   ksum-cli solve  --m=2048 --n=1024 --k=32 [--solution=fused] [--verify]
+//   ksum-cli solve  --batch=requests.csv --threads=8 [--verify] [--robust]
 //   ksum-cli knn    --m=1024 --n=1024 --k=16 --neighbors=8 [--unfused]
 //   ksum-cli sweep  [--fast]                # every paper table/figure
 //   ksum-cli info                           # the simulated device
 //
 // Run any subcommand with --help for its flags.
 //
+// Batch mode: --batch=FILE reads one request per CSV line (m,n,k[,seed[,h]];
+// '#' comments and a header line allowed), runs them on --threads workers
+// (each request on its own simulated device), and prints one summary line
+// per request in submission order — the report is byte-identical for any
+// --threads value. The remaining solve flags (solution, kernel, robustness,
+// layout...) apply to every request in the batch.
+//
 // Exit codes: 0 success; 1 verification failure or unrecovered fault;
 // 2 invalid input or usage (ksum::Error); 3 internal bug (ksum::InternalError).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "blas/vector_ops.h"
 #include "common/flags.h"
+#include "common/timer.h"
 #include "core/knn_exact.h"
+#include "exec/thread_pool.h"
+#include "pipelines/batch.h"
 #include "pipelines/knn_pipeline.h"
 #include "pipelines/solver.h"
 #include "report/paper_report.h"
@@ -132,6 +144,94 @@ std::unique_ptr<robust::FaultPlan> robustness_from_flags(
   return plan;
 }
 
+/// Runs a --batch CSV through pipelines::solve_many and prints the
+/// submission-ordered summary. Everything printed to stdout is a pure
+/// function of the requests, so the report is byte-identical for any
+/// --threads value (wall-clock goes to stderr).
+int run_batch(const FlagParser& flags, pipelines::Backend backend,
+              const pipelines::RunOptions& options) {
+  pipelines::BatchRequest base;
+  base.spec = spec_from_flags(flags);
+  base.params = params_from_flags(flags, base.spec);
+  base.backend = backend;
+  base.options = options;
+  base.fault_rate = flags.get_double("fault-rate", 0.0);
+  KSUM_REQUIRE(base.fault_rate >= 0.0 && base.fault_rate <= 1.0,
+               "fault rate must be in [0, 1]");
+  if (flags.get_bool("robust")) {
+    base.options.checks.enabled = true;
+    base.options.recovery.enabled = true;
+  }
+  base.verify = flags.get_bool("verify");
+
+  const std::string path = flags.get_string("batch", "");
+  KSUM_REQUIRE(!path.empty(), "--batch needs a file path");
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open batch file: " + path);
+  auto requests = pipelines::parse_batch_csv(in, base);
+  KSUM_REQUIRE(!requests.empty(), "batch file has no requests: " + path);
+  if (flags.has("fault-seed")) {
+    // An explicit base seed still gives every request an independent
+    // stream, offset by its submission index (replayable end to end).
+    const auto seed = std::uint64_t(flags.get_int("fault-seed", 1));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      requests[i].fault_seed = seed + i;
+    }
+  }
+
+  pipelines::BatchOptions batch_options;
+  batch_options.threads = int(flags.get_int("threads", 1));
+
+  Timer timer;
+  const auto results = pipelines::solve_many(requests, batch_options);
+  const double wall = timer.seconds();
+
+  std::printf("batch of %zu request(s), %s backend\n", results.size(),
+              pipelines::to_string(backend).c_str());
+  double total_seconds = 0, total_energy = 0;
+  std::size_t failed = 0, errored = 0;
+  for (const auto& r : results) {
+    const auto& spec = requests[r.index].spec;
+    if (!r.error.empty()) {
+      std::printf("[%3zu] %zux%zu K=%zu seed=%llu  ERROR: %s\n", r.index,
+                  spec.m, spec.n, spec.k,
+                  static_cast<unsigned long long>(spec.seed),
+                  r.error.c_str());
+      ++errored;
+      continue;
+    }
+    std::string status = r.ok ? "ok" : "FAILED";
+    if (r.solve.recovery.faults_detected > 0) {
+      status += r.solve.recovery.gave_up ? " (gave up)" : " (recovered)";
+    }
+    if (r.solve.report) {
+      std::printf("[%3zu] %zux%zu K=%zu seed=%llu  %.3f ms  %.4f J",
+                  r.index, spec.m, spec.n, spec.k,
+                  static_cast<unsigned long long>(spec.seed),
+                  r.solve.report->seconds * 1e3,
+                  r.solve.report->energy.total());
+      total_seconds += r.solve.report->seconds;
+      total_energy += r.solve.report->energy.total();
+    } else {
+      std::printf("[%3zu] %zux%zu K=%zu seed=%llu  (host)", r.index, spec.m,
+                  spec.n, spec.k,
+                  static_cast<unsigned long long>(spec.seed));
+    }
+    if (requests[r.index].verify) {
+      std::printf("  err=%.2e", r.oracle_rel_error);
+    }
+    std::printf("  %s\n", status.c_str());
+    if (!r.ok) ++failed;
+  }
+  std::printf("totals: %.3f ms modelled, %.4f J, %zu/%zu ok\n",
+              total_seconds * 1e3, total_energy,
+              results.size() - failed - errored, results.size());
+  std::fprintf(stderr, "ksum-cli: batch wall-clock %.3f s on %d thread(s)\n",
+               wall, batch_options.threads);
+  if (errored > 0) return 2;
+  return failed > 0 ? 1 : 0;
+}
+
 int cmd_solve(int argc, const char* const* argv) {
   FlagParser flags;
   declare_problem_flags(flags);
@@ -139,7 +239,12 @@ int cmd_solve(int argc, const char* const* argv) {
       .declare("solution",
                "fused | cuda-unfused | cublas-unfused | cpu-direct | "
                "cpu-expansion")
-      .declare("verify", "cross-check against the host oracle", false);
+      .declare("verify", "cross-check against the host oracle", false)
+      .declare("batch",
+               "CSV file of batch requests (m,n,k[,seed[,h]] per line), run "
+               "concurrently with deterministic submission-order output")
+      .declare("threads",
+               "worker threads for --batch execution (default 1)");
   flags.parse(argc, argv, 2);
   if (flags.get_bool("help")) {
     std::printf("ksum-cli solve — run one kernel summation\n%s",
@@ -166,6 +271,17 @@ int cmd_solve(int argc, const char* const* argv) {
     throw Error("unknown --solution: " + name);
   }
 
+  // --threads is validated before any conflict checks so `--threads=0` is
+  // always the usage error the contract promises (exit 2).
+  const long long threads = flags.get_int("threads", 1);
+  KSUM_REQUIRE(threads >= 1 && threads <= exec::ThreadPool::kMaxThreads,
+               "--threads must be in [1, " +
+                   std::to_string(exec::ThreadPool::kMaxThreads) + "], got " +
+                   std::to_string(threads));
+  KSUM_REQUIRE(!flags.has("threads") || flags.has("batch"),
+               "conflicting flags: --threads drives --batch execution; give "
+               "--batch=FILE too");
+
   const bool simulated = backend == pipelines::Backend::kSimFused ||
                          backend == pipelines::Backend::kSimCudaUnfused ||
                          backend == pipelines::Backend::kSimCublasUnfused;
@@ -183,6 +299,10 @@ int cmd_solve(int argc, const char* const* argv) {
   KSUM_REQUIRE(simulated || flags.get_double("fault-rate", 0.0) == 0.0,
                "conflicting flags: --fault-rate needs a simulated backend "
                "(--solution=" + name + " runs on the host)");
+
+  if (flags.has("batch")) {
+    return run_batch(flags, backend, options_from_flags(flags));
+  }
 
   const auto spec = spec_from_flags(flags);
   const auto params = params_from_flags(flags, spec);

@@ -2,6 +2,7 @@
 //
 //   ksum-prof <program> [--layout=fig5|naive] [--json] [--json-out=FILE]
 //                       [--trace=FILE] [--top-sites=N] [--verbose]
+//   ksum-prof --batch=<p1,p2,...|all> [--threads=N] [--json|--json-out=FILE]
 //   ksum-prof --list
 //
 // Runs the named program (see ksum-lint --list / ksum-prof --list) with a
@@ -16,6 +17,12 @@
 //                    Perfetto)
 //   --top-sites=N    show the N highest-energy access sites per launch
 //                    (default 5, human report only — conflicts with --json)
+//   --batch=LIST     profile several programs (comma-separated names, or
+//                    "all") concurrently, each on its own device + profiler,
+//                    and merge the records into one ksum-prof-batch-v1
+//                    document in list order — byte-identical for any
+//                    --threads value
+//   --threads=N      worker threads for --batch (default 1)
 //
 // Every emitted record is validated against the schema before it is
 // written; a validation failure is an internal error.
@@ -34,6 +41,8 @@
 #include "config/device_spec.h"
 #include "config/energy_spec.h"
 #include "config/timing_spec.h"
+#include "exec/batch_engine.h"
+#include "exec/thread_pool.h"
 #include "gpusim/access_site.h"
 #include "profile/energy_attribution.h"
 #include "profile/launch_profiler.h"
@@ -133,6 +142,116 @@ void print_human_report(const profile::ProgramProfile& prof,
   }
 }
 
+/// Runs one registered program on a fresh device with a profiler attached
+/// and returns its finalized, schema-validated ksum-prof-v1 record (no
+/// timestamp — callers add one only where determinism does not matter).
+profile::Json profile_program_record(const analysis::RegisteredProgram& program,
+                                     const analysis::ProgramOptions& options) {
+  const auto spec = config::DeviceSpec::gtx970();
+  gpusim::Device device(spec, analysis::registry_device_bytes());
+  std::vector<profile::LaunchProfile> raw;
+  {
+    profile::LaunchProfiler profiler(device);
+    program.run(device, options);
+    raw = profiler.take_launches();
+  }
+  const auto shape = analysis::registry_shape();
+  const profile::ProgramProfile prof = profile::build_program_profile(
+      program.name, shape.m, shape.n, shape.k, spec,
+      config::TimingSpec::gtx970(), config::EnergySpec::gtx970_mcpat(),
+      std::move(raw));
+  const profile::Json record = profile::profile_to_json(prof);
+  try {
+    profile::validate_profile_json(record);
+  } catch (const Error& e) {
+    throw InternalError(std::string("emitted record failed validation: ") +
+                        e.what());
+  }
+  return record;
+}
+
+/// The --batch path: profiles every named program concurrently (each worker
+/// builds its own device/profiler) and merges the records in list order.
+int run_batch_prof(const FlagParser& flags,
+                   const analysis::ProgramOptions& options,
+                   const std::string& usage) {
+  KSUM_REQUIRE(flags.positional().empty(),
+               "--batch takes no positional program\n" + usage);
+  KSUM_REQUIRE(!flags.has("trace"),
+               "conflicting flags: --trace profiles a single program");
+  KSUM_REQUIRE(!(flags.get_bool("json") && flags.has("json-out")),
+               "conflicting flags: use --json (stdout) or --json-out=FILE, "
+               "not both\n" + usage);
+
+  std::vector<const analysis::RegisteredProgram*> programs;
+  const std::string list = flags.get_string("batch", "");
+  if (list == "all") {
+    for (const auto& program : analysis::registered_programs()) {
+      programs.push_back(&program);
+    }
+  } else {
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string name =
+          list.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!name.empty()) {
+        const auto* program = analysis::find_program(name);
+        if (program == nullptr) {
+          throw Error("unknown program: " + name + " (try --list)");
+        }
+        programs.push_back(program);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    KSUM_REQUIRE(!programs.empty(), "--batch names no programs\n" + usage);
+  }
+
+  exec::ThreadPool pool(static_cast<int>(flags.get_int("threads", 1)));
+  const std::vector<profile::Json> records =
+      exec::map_ordered(pool, programs.size(), [&](std::size_t index) {
+        return profile_program_record(*programs[index], options);
+      });
+
+  // Inner records stay timestamp-free so the merged document is a pure
+  // function of (program list, layout) — byte-identical across --threads.
+  const profile::Json merged = profile::batch_profiles_to_json(records);
+  try {
+    profile::validate_profile_batch_json(merged);
+  } catch (const Error& e) {
+    throw InternalError(std::string("merged batch record failed "
+                                    "validation: ") + e.what());
+  }
+
+  if (flags.has("json-out")) {
+    const std::string path = flags.get_string("json-out", "");
+    KSUM_REQUIRE(!path.empty(), "--json-out needs a file path");
+    write_file(path, merged.dump());
+    std::fprintf(stderr, "ksum-prof: wrote batch record to %s\n",
+                 path.c_str());
+  }
+  if (flags.get_bool("json")) {
+    std::printf("%s", merged.dump().c_str());
+    return 0;
+  }
+  std::printf("batch of %zu program(s)\n", records.size());
+  for (const profile::Json& record : records) {
+    const profile::Json& totals = record.at("totals");
+    std::printf("  %-26s %2zu launch(es)  %8.3f ms  %.4f J\n",
+                record.at("program").as_string().c_str(),
+                record.at("launches").size(),
+                totals.at("seconds").as_double() * 1e3,
+                totals.at("energy_j").at("total").as_double());
+  }
+  const profile::Json& totals = merged.at("totals");
+  std::printf("totals: %.3f ms modelled, %.4f J\n",
+              totals.at("seconds").as_double() * 1e3,
+              totals.at("energy_j_total").as_double());
+  return 0;
+}
+
 int cmd_prof(int argc, const char* const* argv) {
   FlagParser flags;
   flags.declare("layout", "shared-memory tile layout: fig5 (default), naive");
@@ -143,11 +262,17 @@ int cmd_prof(int argc, const char* const* argv) {
                 "number of highest-energy sites to print (default 5)");
   flags.declare("list", "list profilable programs and exit", false);
   flags.declare("verbose", "per-site request breakdowns", false);
+  flags.declare("batch",
+                "profile a comma-separated program list (or \"all\") "
+                "concurrently and merge the records in list order");
+  flags.declare("threads", "worker threads for --batch (default 1)");
   flags.declare("help", "show this help", false);
   flags.parse(argc, argv);
 
   const std::string usage =
-      "usage: ksum-prof <program> [flags]\n       ksum-prof --list\n" +
+      "usage: ksum-prof <program> [flags]\n"
+      "       ksum-prof --batch=<p1,p2,...|all> [--threads=N]\n"
+      "       ksum-prof --list\n" +
       flags.usage();
   if (flags.get_bool("help")) {
     std::printf("%s", usage.c_str());
@@ -161,6 +286,29 @@ int cmd_prof(int argc, const char* const* argv) {
                   program.description.c_str());
     }
     return 0;
+  }
+
+  // --threads is range-checked before any other validation so
+  // `--threads=0` is always the usage error the contract promises.
+  const long long threads = flags.get_int("threads", 1);
+  KSUM_REQUIRE(threads >= 1 && threads <= exec::ThreadPool::kMaxThreads,
+               "--threads must be in [1, " +
+                   std::to_string(exec::ThreadPool::kMaxThreads) + "], got " +
+                   std::to_string(threads));
+  KSUM_REQUIRE(!flags.has("threads") || flags.has("batch"),
+               "conflicting flags: --threads drives --batch execution; give "
+               "--batch too");
+
+  analysis::ProgramOptions options;
+  const std::string layout = flags.get_string("layout", "fig5");
+  if (layout == "naive") {
+    options.layout = gpukernels::TileLayout::kNaive;
+  } else if (layout != "fig5") {
+    throw Error("unknown --layout: " + layout);
+  }
+
+  if (flags.has("batch")) {
+    return run_batch_prof(flags, options, usage);
   }
 
   KSUM_REQUIRE(flags.positional().size() == 1,
@@ -179,14 +327,6 @@ int cmd_prof(int argc, const char* const* argv) {
   const auto* program = analysis::find_program(name);
   if (program == nullptr) {
     throw Error("unknown program: " + name + " (try --list)");
-  }
-
-  analysis::ProgramOptions options;
-  const std::string layout = flags.get_string("layout", "fig5");
-  if (layout == "naive") {
-    options.layout = gpukernels::TileLayout::kNaive;
-  } else if (layout != "fig5") {
-    throw Error("unknown --layout: " + layout);
   }
 
   const auto spec = config::DeviceSpec::gtx970();

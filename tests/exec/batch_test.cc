@@ -1,0 +1,214 @@
+// pipelines::solve_many contract tests: batched results are bit-identical
+// to sequential pipelines::solve calls, per-request failures are captured
+// without sinking the batch, injector-carrying requests are rejected, and
+// the --batch CSV parser handles headers, comments, optional columns, and
+// malformed rows. Thread-count invariance has its own suite
+// (thread_invariance_test.cc).
+#include "pipelines/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/exact.h"
+#include "robust/fault_plan.h"
+
+namespace ksum::pipelines {
+namespace {
+
+BatchRequest make_request(std::size_t m, std::size_t n, std::size_t k,
+                          std::uint64_t seed) {
+  BatchRequest request;
+  request.spec.m = m;
+  request.spec.n = n;
+  request.spec.k = k;
+  request.spec.seed = seed;
+  request.params = core::params_from_spec(request.spec);
+  return request;
+}
+
+void expect_bit_identical(const SolveResult& got, const SolveResult& want,
+                          const std::string& what) {
+  ASSERT_EQ(got.v.size(), want.v.size()) << what;
+  EXPECT_EQ(std::memcmp(got.v.data(), want.v.data(),
+                        want.v.size() * sizeof(float)),
+            0)
+      << what << ": batched V differs from sequential solve";
+  ASSERT_EQ(got.report.has_value(), want.report.has_value()) << what;
+  if (want.report) {
+    EXPECT_TRUE(got.report->total == want.report->total)
+        << what << ": counters differ";
+    EXPECT_EQ(got.report->seconds, want.report->seconds) << what;
+    EXPECT_EQ(got.report->energy.total(), want.report->energy.total())
+        << what;
+  }
+  EXPECT_EQ(got.recovery.attempts, want.recovery.attempts) << what;
+  EXPECT_EQ(got.recovery.faults_detected, want.recovery.faults_detected)
+      << what;
+}
+
+TEST(BatchTest, MatchesSequentialSolveBitIdentically) {
+  std::vector<BatchRequest> requests = {
+      make_request(129, 200, 9, 7),
+      make_request(127, 127, 8, 11),
+      make_request(200, 129, 16, 13),
+  };
+  requests[1].backend = Backend::kSimCublasUnfused;
+
+  BatchOptions options;
+  options.threads = 4;
+  const auto results = solve_many(requests, options);
+  ASSERT_EQ(results.size(), requests.size());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto instance = workload::make_instance(requests[i].spec);
+    const auto want = solve(instance, requests[i].params,
+                            requests[i].backend, requests[i].options);
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    expect_bit_identical(results[i].solve, want,
+                         "request " + std::to_string(i));
+  }
+}
+
+TEST(BatchTest, VerifyChecksAgainstTheHostOracle) {
+  std::vector<BatchRequest> requests = {make_request(128, 128, 8, 3)};
+  requests[0].verify = true;
+  const auto results = solve_many(requests);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].verified);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_LT(results[0].oracle_rel_error, 5e-3);
+  EXPECT_GT(results[0].oracle_rel_error, 0.0);
+}
+
+TEST(BatchTest, BadRequestIsCapturedWithoutSinkingTheBatch) {
+  std::vector<BatchRequest> requests = {
+      make_request(64, 64, 8, 1),
+      make_request(0, 64, 8, 2),  // m=0: make_instance rejects it
+      make_request(64, 64, 8, 3),
+  };
+  BatchOptions options;
+  options.threads = 2;
+  const auto results = solve_many(requests, options);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("dimensions must be positive"),
+            std::string::npos)
+      << results[1].error;
+  EXPECT_TRUE(results[2].ok) << results[2].error;
+  EXPECT_EQ(results[2].solve.v.size(), 64u);
+}
+
+TEST(BatchTest, RejectsRequestsCarryingTheirOwnInjector) {
+  robust::FaultPlan plan(robust::FaultPlanConfig::uniform(1, 1e-6));
+  std::vector<BatchRequest> requests = {make_request(64, 64, 8, 1)};
+  requests[0].options.fault_injector = &plan;
+  EXPECT_THROW(solve_many(requests), Error);
+}
+
+TEST(BatchTest, RejectsBadThreadCounts) {
+  const std::vector<BatchRequest> requests = {make_request(64, 64, 8, 1)};
+  BatchOptions options;
+  options.threads = 0;
+  EXPECT_THROW(solve_many(requests, options), Error);
+  options.threads = -4;
+  EXPECT_THROW(solve_many(requests, options), Error);
+}
+
+TEST(BatchTest, ExplicitFaultSeedPinsTheInjectionStream) {
+  // Two identical requests with the same explicit fault_seed draw the same
+  // fault stream and must land on bit-identical outcomes, regardless of
+  // which worker runs which.
+  std::vector<BatchRequest> requests = {
+      make_request(256, 256, 16, 5),
+      make_request(256, 256, 16, 5),
+  };
+  for (auto& r : requests) {
+    r.fault_rate = 2.5e-2;
+    r.fault_seed = 1234;
+    r.options.recovery.enabled = true;
+  }
+  BatchOptions options;
+  options.threads = 2;
+  const auto results = solve_many(requests, options);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_TRUE(r.error.empty()) << r.error;
+  expect_bit_identical(results[1].solve, results[0].solve,
+                       "same-seed faulty twins");
+}
+
+TEST(BatchTest, DerivedFaultSeedsAreReproducibleRunToRun) {
+  // fault_seed=0 derives the seed from the submission index, so rerunning
+  // the same batch — at any thread count — replays the same faults.
+  std::vector<BatchRequest> requests = {
+      make_request(256, 256, 16, 5),
+      make_request(256, 256, 16, 5),
+  };
+  for (auto& r : requests) {
+    r.fault_rate = 2.5e-2;
+    r.options.recovery.enabled = true;
+  }
+  BatchOptions two;
+  two.threads = 2;
+  const auto first = solve_many(requests, two);
+  BatchOptions one;
+  one.threads = 1;
+  const auto second = solve_many(requests, one);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].error.empty()) << first[i].error;
+    expect_bit_identical(second[i].solve, first[i].solve,
+                         "replayed request " + std::to_string(i));
+  }
+}
+
+TEST(BatchTest, ParsesCsvWithHeaderCommentsAndOptionalColumns) {
+  const BatchRequest base = make_request(1, 1, 1, 42);
+  std::istringstream in(
+      "# shapes for the smoke batch\n"
+      "m,n,k,seed,h\n"
+      "\n"
+      "128,256,8\n"
+      "129, 200, 9, 77\n"
+      "64,64,8,5,0.5\n");
+  const auto requests = parse_batch_csv(in, base);
+  ASSERT_EQ(requests.size(), 3u);
+
+  EXPECT_EQ(requests[0].spec.m, 128u);
+  EXPECT_EQ(requests[0].spec.n, 256u);
+  EXPECT_EQ(requests[0].spec.k, 8u);
+  EXPECT_EQ(requests[0].spec.seed, 42u);  // inherited from base
+
+  EXPECT_EQ(requests[1].spec.m, 129u);
+  EXPECT_EQ(requests[1].spec.seed, 77u);
+
+  EXPECT_EQ(requests[2].spec.seed, 5u);
+  EXPECT_FLOAT_EQ(requests[2].spec.bandwidth, 0.5f);
+}
+
+TEST(BatchTest, CsvRejectsMalformedRows) {
+  const BatchRequest base = make_request(1, 1, 1, 42);
+  const std::vector<std::string> bad = {
+      "128,256\n",              // too few columns
+      "128,256,8,1,0.5,9\n",    // too many columns
+      // A non-numeric first field only passes as a header on the first
+      // data-carrying line; after a real row it is malformed.
+      "128,128,8\nabc,256,8\n",
+      "128,256,8,1,-2.0\n",     // non-positive bandwidth
+      "0,256,8\n",              // zero dimension
+  };
+  for (const std::string& text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(parse_batch_csv(in, base), Error) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ksum::pipelines

@@ -1,0 +1,96 @@
+// Device observer-attachment guard: AccessObserver hooks may only be
+// (re)attached while no launch is in flight. A foreign thread calling
+// set_access_observer mid-launch gets a ksum::Error immediately; the
+// launching thread swapping the observer mid-launch makes the launch itself
+// throw. Both failure modes would otherwise silently split the event stream
+// across observers.
+#include <gtest/gtest.h>
+
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "config/device_spec.h"
+#include "gpusim/access_observer.h"
+#include "gpusim/device.h"
+
+namespace ksum::gpusim {
+namespace {
+
+LaunchConfig small_config() {
+  LaunchConfig cfg;
+  cfg.threads_per_block = 32;
+  cfg.regs_per_thread = 32;
+  cfg.smem_bytes_per_block = 1024;
+  return cfg;
+}
+
+class NullObserver : public AccessObserver {};
+
+TEST(DeviceGuardTest, ObserverAttachOutsideLaunchIsFine) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  NullObserver observer;
+  device.set_access_observer(&observer);
+  device.launch("probe", {1, 1}, {32, 1}, small_config(),
+                [](BlockContext&) {});
+  device.set_access_observer(nullptr);
+}
+
+TEST(DeviceGuardTest, ForeignThreadAttachMidLaunchThrows) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  NullObserver observer;
+  std::string foreign_error;
+  bool foreign_threw = false;
+  device.launch("probe", {1, 1}, {32, 1}, small_config(),
+                [&](BlockContext&) {
+                  // The launch is in flight on this thread; another thread
+                  // trying to attach must be rejected loudly.
+                  std::thread attacker([&] {
+                    try {
+                      device.set_access_observer(&observer);
+                    } catch (const Error& e) {
+                      foreign_threw = true;
+                      foreign_error = e.what();
+                    }
+                  });
+                  attacker.join();
+                });
+  EXPECT_TRUE(foreign_threw)
+      << "foreign-thread set_access_observer mid-launch did not throw";
+  EXPECT_NE(foreign_error.find("launch is in flight"), std::string::npos)
+      << foreign_error;
+  // The guard must have cleared: attaching after the launch works.
+  device.set_access_observer(&observer);
+  device.set_access_observer(nullptr);
+}
+
+TEST(DeviceGuardTest, SameThreadObserverSwapMidLaunchFailsTheLaunch) {
+  Device device(config::DeviceSpec::gtx970(), 1 << 20);
+  NullObserver observer;
+  bool threw = false;
+  std::string message;
+  try {
+    device.launch("probe", {2, 1}, {32, 1}, small_config(),
+                  [&](BlockContext&) {
+                    // Same thread, so the attach itself is admitted (it is
+                    // how re-entrant tooling could behave) — but the launch
+                    // must notice the swap and fail rather than emit a
+                    // stream half-seen by each observer.
+                    device.set_access_observer(&observer);
+                  });
+  } catch (const Error& e) {
+    threw = true;
+    message = e.what();
+  }
+  EXPECT_TRUE(threw) << "mid-launch observer swap went unnoticed";
+  EXPECT_NE(message.find("mid-launch"), std::string::npos) << message;
+  // Guard cleared despite the throw: a fresh launch still runs.
+  device.set_access_observer(nullptr);
+  const auto result = device.launch("again", {1, 1}, {32, 1}, small_config(),
+                                    [](BlockContext&) {});
+  EXPECT_EQ(result.counters.ctas_launched, 1u);
+}
+
+}  // namespace
+}  // namespace ksum::gpusim

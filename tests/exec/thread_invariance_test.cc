@@ -1,0 +1,165 @@
+// The determinism contract of docs/PARALLELISM.md, pinned: running the same
+// batch on 1, 2, and 8 worker threads must produce byte-identical outputs —
+// numerics, counters, energy records, recovery traces, rendered summary
+// rows, and merged ksum-prof-batch-v1 profiler records. Only wall-clock may
+// change with the worker count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/program_registry.h"
+#include "common/string_util.h"
+#include "config/device_spec.h"
+#include "config/energy_spec.h"
+#include "config/timing_spec.h"
+#include "core/exact.h"
+#include "exec/batch_engine.h"
+#include "gpusim/device.h"
+#include "pipelines/batch.h"
+#include "profile/launch_profiler.h"
+#include "profile/profile_json.h"
+
+namespace ksum {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+std::vector<pipelines::BatchRequest> invariance_batch() {
+  // Mixed shapes (aligned + ragged), backends, a verified request, and a
+  // faulty robust request — every aggregation path the engine has.
+  std::vector<pipelines::BatchRequest> requests;
+  const std::size_t shapes[][3] = {
+      {128, 128, 8}, {129, 200, 9}, {127, 127, 8}, {200, 64, 16},
+  };
+  std::uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    pipelines::BatchRequest r;
+    r.spec.m = s[0];
+    r.spec.n = s[1];
+    r.spec.k = s[2];
+    r.spec.seed = seed++;
+    r.params = core::params_from_spec(r.spec);
+    requests.push_back(r);
+  }
+  requests[1].backend = pipelines::Backend::kSimCublasUnfused;
+  requests[2].verify = true;
+  requests[3].fault_rate = 2.5e-2;
+  requests[3].options.recovery.enabled = true;
+  return requests;
+}
+
+// The CLI's per-request summary row, reproduced here so the "golden table"
+// representation of a batch is pinned thread-invariant too.
+std::string summary_row(const pipelines::BatchResult& r,
+                        const pipelines::BatchRequest& req) {
+  double energy = 0;
+  if (r.solve.report) energy = r.solve.report->energy.total();
+  double seconds = 0;
+  if (r.solve.report) seconds = r.solve.report->seconds;
+  return str_format(
+      "[%3zu] %zux%zu K=%zu seed=%llu %.6f ms %.6f J err=%.3e %s%s", r.index,
+      req.spec.m, req.spec.n, req.spec.k,
+      static_cast<unsigned long long>(req.spec.seed), seconds * 1e3, energy,
+      r.oracle_rel_error, r.ok ? "ok" : "FAIL",
+      r.error.empty() ? "" : (" " + r.error).c_str());
+}
+
+struct BatchSnapshot {
+  std::vector<std::vector<float>> v;
+  std::vector<std::string> rows;
+  std::vector<int> attempts;
+  std::vector<int> faults_detected;
+  std::vector<bool> ok;
+  std::vector<std::string> errors;
+  std::vector<std::string> counters;
+};
+
+BatchSnapshot snapshot(const std::vector<pipelines::BatchRequest>& requests,
+                       int threads) {
+  pipelines::BatchOptions options;
+  options.threads = threads;
+  const auto results = pipelines::solve_many(requests, options);
+  BatchSnapshot snap;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    snap.v.emplace_back(r.solve.v.data(), r.solve.v.data() + r.solve.v.size());
+    snap.rows.push_back(summary_row(r, requests[i]));
+    snap.attempts.push_back(r.solve.recovery.attempts);
+    snap.faults_detected.push_back(r.solve.recovery.faults_detected);
+    snap.ok.push_back(r.ok);
+    snap.errors.push_back(r.error);
+    snap.counters.push_back(
+        r.solve.report ? r.solve.report->total.to_string() : std::string());
+  }
+  return snap;
+}
+
+TEST(ThreadInvarianceTest, BatchResultsAreByteIdenticalAcrossPoolSizes) {
+  const auto requests = invariance_batch();
+  const BatchSnapshot baseline = snapshot(requests, 1);
+  ASSERT_EQ(baseline.v.size(), requests.size());
+
+  for (int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    const BatchSnapshot got = snapshot(requests, threads);
+    ASSERT_EQ(got.v.size(), baseline.v.size()) << threads << " threads";
+    for (std::size_t i = 0; i < baseline.v.size(); ++i) {
+      const std::string what =
+          std::to_string(threads) + " threads, request " + std::to_string(i);
+      ASSERT_EQ(got.v[i].size(), baseline.v[i].size()) << what;
+      EXPECT_EQ(std::memcmp(got.v[i].data(), baseline.v[i].data(),
+                            baseline.v[i].size() * sizeof(float)),
+                0)
+          << what << ": V bits differ";
+      EXPECT_EQ(got.rows[i], baseline.rows[i]) << what;
+      EXPECT_EQ(got.attempts[i], baseline.attempts[i]) << what;
+      EXPECT_EQ(got.faults_detected[i], baseline.faults_detected[i]) << what;
+      EXPECT_EQ(got.ok[i], baseline.ok[i]) << what;
+      EXPECT_EQ(got.errors[i], baseline.errors[i]) << what;
+      EXPECT_EQ(got.counters[i], baseline.counters[i]) << what;
+    }
+  }
+}
+
+// Mirrors ksum-prof --batch: one fresh device + profiler per program, merged
+// in registry order.
+std::string batch_profile_dump(int threads) {
+  const auto& programs = analysis::registered_programs();
+  exec::ThreadPool pool(threads);
+  const auto records = exec::map_ordered(
+      pool, programs.size(), [&](std::size_t index) {
+        const auto spec = config::DeviceSpec::gtx970();
+        gpusim::Device device(spec, analysis::registry_device_bytes());
+        std::vector<profile::LaunchProfile> raw;
+        {
+          profile::LaunchProfiler profiler(device);
+          programs[index].run(device, analysis::ProgramOptions{});
+          raw = profiler.take_launches();
+        }
+        const auto shape = analysis::registry_shape();
+        const profile::ProgramProfile prof = profile::build_program_profile(
+            programs[index].name, shape.m, shape.n, shape.k, spec,
+            config::TimingSpec::gtx970(), config::EnergySpec::gtx970_mcpat(),
+            std::move(raw));
+        return profile::profile_to_json(prof);
+      });
+  const profile::Json merged = profile::batch_profiles_to_json(records);
+  profile::validate_profile_batch_json(merged);
+  return merged.dump();
+}
+
+TEST(ThreadInvarianceTest, ProfilerBatchRecordsAreByteIdentical) {
+  const std::string baseline = batch_profile_dump(1);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_NE(baseline.find("ksum-prof-batch-v1"), std::string::npos);
+  for (int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    EXPECT_EQ(batch_profile_dump(threads), baseline)
+        << "merged profiler record changed at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace ksum

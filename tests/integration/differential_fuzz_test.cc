@@ -8,13 +8,23 @@
 // 1e-2 absolute floor (entries below the floor are compared absolutely) at
 // 5e-3 — the repo-wide bound for non-cancelling workloads, a few hundred
 // float32 ULPs at these summation lengths (documented in docs/TESTING.md).
+//
+// The combos are embarrassingly parallel (each worker's pipelines build
+// private Devices), so they run on the exec::ThreadPool: workers only
+// compute per-case records into their own slot (exec::map_ordered), and all
+// gtest assertions happen on the main thread afterwards, in submission
+// order. KSUM_TEST_THREADS overrides the worker count (default: hardware
+// concurrency) — results are identical for any value, only wall-clock
+// changes. This suite is also the TSan job's main workload.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdlib>
 #include <vector>
 
 #include "blas/vector_ops.h"
 #include "core/exact.h"
+#include "exec/batch_engine.h"
 #include "pipelines/solver.h"
 #include "workload/point_generators.h"
 
@@ -22,6 +32,15 @@ namespace ksum {
 namespace {
 
 using pipelines::Backend;
+
+int test_threads() {
+  const char* env = std::getenv("KSUM_TEST_THREADS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n >= 1 && n <= exec::ThreadPool::kMaxThreads) return n;
+  }
+  return exec::ThreadPool::hardware_threads();
+}
 
 struct FuzzCase {
   std::size_t m, n, k;
@@ -52,42 +71,81 @@ double diff(const Vector& a, const Vector& b) {
 
 constexpr double kTol = 5e-3;
 
+// Everything a worker measures for one combo; gtest never runs off the main
+// thread, so the workers fill these and the assertions replay them in order.
+struct AgreeOutcome {
+  std::string what;
+  std::string unfused_name;
+  std::size_t oracle_size = 0;
+  std::size_t fused_size = 0;
+  double fused_vs_oracle = 0;
+  double unfused_vs_oracle = 0;
+  double fused_vs_unfused = 0;
+};
+
 TEST(DifferentialFuzzTest, BackendsAgreeOnSeededRandomShapes) {
   const auto cases = fuzz_cases();
   ASSERT_GE(cases.size(), 50u);
-  std::size_t index = 0;
-  for (const FuzzCase& c : cases) {
-    workload::ProblemSpec spec;
-    spec.m = c.m;
-    spec.n = c.n;
-    spec.k = c.k;
-    spec.seed = c.seed;
-    spec.bandwidth = 0.9f;
-    const auto instance = workload::make_instance(spec);
-    const auto params = core::params_from_spec(spec);
-    const std::string what = spec.to_string();
+  exec::ThreadPool pool(test_threads());
+  const auto outcomes = exec::map_ordered(
+      pool, cases.size(), [&](std::size_t index) {
+        const FuzzCase& c = cases[index];
+        workload::ProblemSpec spec;
+        spec.m = c.m;
+        spec.n = c.n;
+        spec.k = c.k;
+        spec.seed = c.seed;
+        spec.bandwidth = 0.9f;
+        const auto instance = workload::make_instance(spec);
+        const auto params = core::params_from_spec(spec);
 
-    const auto oracle = pipelines::solve(instance, params,
-                                         Backend::kCpuDirect);
-    ASSERT_EQ(oracle.v.size(), c.m) << what;
+        AgreeOutcome out;
+        out.what = spec.to_string();
 
-    const auto fused = pipelines::solve(instance, params,
-                                        Backend::kSimFused);
-    ASSERT_EQ(fused.v.size(), c.m) << what;
-    EXPECT_LT(diff(fused.v, oracle.v), kTol) << "fused on " << what;
+        const auto oracle = pipelines::solve(instance, params,
+                                             Backend::kCpuDirect);
+        out.oracle_size = oracle.v.size();
 
-    // Alternate the unfused pipelines so every combo checks fused vs one
-    // unfused vs the host oracle while the suite stays well under budget.
-    const Backend unfused = index % 2 == 0 ? Backend::kSimCudaUnfused
-                                           : Backend::kSimCublasUnfused;
-    const auto baseline = pipelines::solve(instance, params, unfused);
-    EXPECT_LT(diff(baseline.v, oracle.v), kTol)
-        << to_string(unfused) << " on " << what;
-    EXPECT_LT(diff(fused.v, baseline.v), kTol)
-        << "fused vs " << to_string(unfused) << " on " << what;
-    ++index;
+        const auto fused = pipelines::solve(instance, params,
+                                            Backend::kSimFused);
+        out.fused_size = fused.v.size();
+        out.fused_vs_oracle = diff(fused.v, oracle.v);
+
+        // Alternate the unfused pipelines so every combo checks fused vs one
+        // unfused vs the host oracle while the suite stays well under budget.
+        const Backend unfused = index % 2 == 0 ? Backend::kSimCudaUnfused
+                                               : Backend::kSimCublasUnfused;
+        const auto baseline = pipelines::solve(instance, params, unfused);
+        out.unfused_name = to_string(unfused);
+        out.unfused_vs_oracle = diff(baseline.v, oracle.v);
+        out.fused_vs_unfused = diff(fused.v, baseline.v);
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), cases.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const AgreeOutcome& out = outcomes[i];
+    ASSERT_EQ(out.oracle_size, cases[i].m) << out.what;
+    ASSERT_EQ(out.fused_size, cases[i].m) << out.what;
+    EXPECT_LT(out.fused_vs_oracle, kTol) << "fused on " << out.what;
+    EXPECT_LT(out.unfused_vs_oracle, kTol)
+        << out.unfused_name << " on " << out.what;
+    EXPECT_LT(out.fused_vs_unfused, kTol)
+        << "fused vs " << out.unfused_name << " on " << out.what;
   }
 }
+
+struct RobustOutcome {
+  std::string what;
+  bool has_report = false;
+  bool checks_enabled = false;
+  bool fault_detected = false;
+  int attempts = 0;
+  bool sizes_match = false;
+  // -1 when the checksum fork left every element bit-identical, else the
+  // first perturbed index.
+  std::ptrdiff_t first_mismatch = -1;
+};
 
 TEST(DifferentialFuzzTest, RobustForkMatchesAndStaysQuiet) {
   // Every 4th combo re-runs fused with the ABFT checks + recovery policy
@@ -95,40 +153,64 @@ TEST(DifferentialFuzzTest, RobustForkMatchesAndStaysQuiet) {
   // result and must raise no false positives (ragged shapes included — the
   // checks audit the padded run).
   const auto cases = fuzz_cases();
-  std::size_t covered = 0;
-  for (std::size_t i = 0; i < cases.size(); i += 4) {
-    const FuzzCase& c = cases[i];
-    workload::ProblemSpec spec;
-    spec.m = c.m;
-    spec.n = c.n;
-    spec.k = c.k;
-    spec.seed = c.seed;
-    spec.bandwidth = 0.9f;
-    const auto instance = workload::make_instance(spec);
-    const auto params = core::params_from_spec(spec);
-    const std::string what = spec.to_string();
+  std::vector<FuzzCase> picked;
+  for (std::size_t i = 0; i < cases.size(); i += 4) picked.push_back(cases[i]);
+  ASSERT_GE(picked.size(), 30u);
 
-    const auto plain = pipelines::solve(instance, params, Backend::kSimFused);
+  exec::ThreadPool pool(test_threads());
+  const auto outcomes = exec::map_ordered(
+      pool, picked.size(), [&](std::size_t index) {
+        const FuzzCase& c = picked[index];
+        workload::ProblemSpec spec;
+        spec.m = c.m;
+        spec.n = c.n;
+        spec.k = c.k;
+        spec.seed = c.seed;
+        spec.bandwidth = 0.9f;
+        const auto instance = workload::make_instance(spec);
+        const auto params = core::params_from_spec(spec);
 
-    pipelines::RunOptions robust;
-    robust.recovery.enabled = true;  // forces the checks on, as the CLI does
-    const auto checked =
-        pipelines::solve(instance, params, Backend::kSimFused, robust);
+        RobustOutcome out;
+        out.what = spec.to_string();
 
-    ASSERT_TRUE(checked.report.has_value()) << what;
-    EXPECT_TRUE(checked.report->robustness.checks_enabled) << what;
-    EXPECT_FALSE(checked.report->robustness.fault_detected())
-        << "false positive on fault-free " << what;
-    EXPECT_EQ(checked.recovery.attempts, 1) << what;  // clean first try
+        const auto plain =
+            pipelines::solve(instance, params, Backend::kSimFused);
 
-    ASSERT_EQ(checked.v.size(), plain.v.size()) << what;
-    for (std::size_t j = 0; j < plain.v.size(); ++j) {
-      EXPECT_EQ(checked.v[j], plain.v[j])
-          << "checksum fork perturbed V[" << j << "] on " << what;
-    }
-    ++covered;
+        pipelines::RunOptions robust;
+        robust.recovery.enabled = true;  // forces checks on, as the CLI does
+        const auto checked =
+            pipelines::solve(instance, params, Backend::kSimFused, robust);
+
+        out.has_report = checked.report.has_value();
+        if (out.has_report) {
+          out.checks_enabled = checked.report->robustness.checks_enabled;
+          out.fault_detected = checked.report->robustness.fault_detected();
+        }
+        out.attempts = checked.recovery.attempts;
+        out.sizes_match = checked.v.size() == plain.v.size();
+        if (out.sizes_match) {
+          for (std::size_t j = 0; j < plain.v.size(); ++j) {
+            if (checked.v[j] != plain.v[j]) {
+              out.first_mismatch = static_cast<std::ptrdiff_t>(j);
+              break;
+            }
+          }
+        }
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), picked.size());
+  for (const RobustOutcome& out : outcomes) {
+    ASSERT_TRUE(out.has_report) << out.what;
+    EXPECT_TRUE(out.checks_enabled) << out.what;
+    EXPECT_FALSE(out.fault_detected)
+        << "false positive on fault-free " << out.what;
+    EXPECT_EQ(out.attempts, 1) << out.what;  // clean first try
+    ASSERT_TRUE(out.sizes_match) << out.what;
+    EXPECT_EQ(out.first_mismatch, -1)
+        << "checksum fork perturbed V[" << out.first_mismatch << "] on "
+        << out.what;
   }
-  EXPECT_GE(covered, 30u);
 }
 
 }  // namespace
