@@ -1,76 +1,71 @@
-// Design-space table behind the paper's §III-A tile-size discussion: for
-// each candidate (submatrixC, microtileC) blocking, the register/shared
-// memory footprint, the resulting CTA occupancy, and the input data volume
-// per FLOP. The paper's choice — 128×128 tiles with 8×8 microtiles — is the
-// configuration that reaches 2 CTAs/SM while minimising input reloads;
-// this bench shows its neighbours, including the 4×4-microtile variant the
-// paper explicitly rejects ("occupancy is still two thread blocks per SM
-// due to the device limit of 2048 threads per SM").
+// Design-space table behind the paper's §III-A tile-size discussion — now
+// measured, not hand-modelled: every (submatrixC, microtileC) candidate at
+// the paper's 8-deep k-tiles goes through the autotuner's full pass
+// (structural rules, named resource budgets, occupancy, bank-conflict lint,
+// then an actual simulated run of the fused pipeline re-modelled at the
+// ablation shape). The paper's choice — 128×128 tiles with 8×8 microtiles —
+// is the configuration that reaches 2 CTAs/SM while minimising input
+// reloads; the rows show its neighbours, including the 4×4-microtile
+// variant the paper explicitly rejects ("occupancy is still two thread
+// blocks per SM due to the device limit of 2048 threads per SM").
 #include "bench_common.h"
 #include "common/string_util.h"
-#include "gpusim/occupancy.h"
+#include "tune/tuner.h"
 
 int main() {
   using namespace ksum;
-  const auto device = config::DeviceSpec::gtx970();
 
-  struct TileConfig {
-    int tile_m, tile_n;   // submatrixC
-    int micro;            // microtileC is micro×micro
-    const char* note;
-  };
-  const TileConfig configs[] = {
-      {64, 64, 4, ""},
-      {128, 64, 8, ""},
-      {64, 128, 8, ""},
-      {128, 128, 8, "the paper's choice"},
-      {128, 128, 4, "rejected: 1024 threads, same occupancy"},
-      {256, 128, 8, "rejected: exceeds the register file"},
-  };
+  tune::TuneRequest request;
+  request.m = 131072;
+  request.n = 1024;
+  request.k = 64;
+  request.backend = pipelines::Backend::kSimFused;
+  tune::TuneOptions options;
+  options.threads = 8;
+  const auto report = tune::tune(request, options);
 
-  Table t("Design space — submatrixC / microtileC blocking (K=64, N=1024, "
-          "M=131072)");
+  Table t("Design space — submatrixC / microtileC blocking, measured "
+          "through the autotuner (K=64, N=1024, M=131072, tileK=8)");
   t.header({"tile", "micro", "threads", "regs/thr", "smem", "CTAs/SM",
-            "limiter", "input bytes/flop", "note"});
-  const double m = 131072, n = 1024, k = 64;
-  for (const auto& c : configs) {
-    const int threads = (c.tile_m / c.micro) * (c.tile_n / c.micro);
-    // Accumulators + two operand vectors + bookkeeping, the §III-A budget
-    // (the 8×8 kernel carries double-buffer pointers and wider address
-    // arithmetic; a 4×4 inner kernel is leaner).
-    const int regs =
-        c.micro * c.micro + 2 * c.micro + (c.micro >= 8 ? 48 : 8);
-    const std::uint32_t smem =
-        std::uint32_t(2 * (c.tile_m * 8 + 8 * c.tile_n) * 4);
-
-    std::string occupancy = "n/a";
-    std::string limiter = "launch impossible";
-    if (threads <= device.max_threads_per_block) {
-      try {
-        gpusim::LaunchConfig cfg;
-        cfg.threads_per_block = threads;
-        cfg.regs_per_thread = regs;
-        cfg.smem_bytes_per_block = smem;
-        const auto occ = gpusim::compute_occupancy(device, cfg);
-        occupancy = str_format("%d", occ.blocks_per_sm);
-        limiter = gpusim::to_string(occ.limiter);
-      } catch (const Error&) {
-        // keep the "impossible" marker
-      }
-    } else {
-      limiter = "threads per block";
-    }
-
-    // A is reloaded N/tile_n times, B M/tile_m times (§III-A's argument for
-    // coarse tiles).
+            "limiter", "input bytes/flop", "proxy time", "modelled time",
+            "note"});
+  const double m = double(request.m), n = double(request.n),
+               k = double(request.k);
+  for (const auto& meas : report.measurements) {
+    const auto& g = meas.verdict.geometry;
+    if (g.tile_k != 8) continue;  // §III-A fixes the k-depth at 8
+    // A is reloaded N/tile_n times, B M/tile_m times (§III-A's argument
+    // for coarse tiles).
     const double input_bytes =
-        4.0 * (m * k * (n / c.tile_n) + k * n * (m / c.tile_m));
+        4.0 * (m * k * (n / g.tile_n) + k * n * (m / g.tile_m));
     const double flops = 2.0 * m * n * k;
-    t.row({str_format("%dx%d", c.tile_m, c.tile_n),
-           str_format("%dx%d", c.micro, c.micro), str_format("%d", threads),
-           str_format("%d", regs), str_format("%uKB", smem / 1024),
-           occupancy, limiter, str_format("%.3f", input_bytes / flops),
-           c.note});
+    std::string note;
+    if (g.is_paper()) {
+      note = "the paper's choice";
+    } else if (g == report.best) {
+      note = "tuner's pick";
+    } else if (!meas.verdict.viable) {
+      note = meas.verdict.reasons.front();
+    }
+    t.row({str_format("%dx%d", g.tile_m, g.tile_n),
+           str_format("%dx%d", g.micro, g.micro),
+           str_format("%d", g.threads()),
+           meas.verdict.regs_per_thread > 0
+               ? str_format("%d", meas.verdict.regs_per_thread)
+               : "-",
+           meas.verdict.smem_bytes > 0
+               ? str_format("%uKB", meas.verdict.smem_bytes / 1024)
+               : "-",
+           meas.verdict.blocks_per_sm > 0
+               ? str_format("%d", meas.verdict.blocks_per_sm)
+               : "-",
+           meas.verdict.limiter.empty() ? "-" : meas.verdict.limiter,
+           str_format("%.3f", input_bytes / flops),
+           meas.executed ? str_format("%.3f ms", meas.proxy_seconds * 1e3)
+                         : "-",
+           meas.executed ? str_format("%.3f ms", meas.scaled_seconds * 1e3)
+                         : "-",
+           note});
   }
   bench::emit(t, "ablation_tile_size");
   bench::write_bench_json("ablation_tile_size", {});

@@ -6,7 +6,8 @@ namespace ksum::gpukernels {
 
 Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
                              std::size_t n, std::size_t k,
-                             bool with_intermediate, bool with_checksums) {
+                             bool with_intermediate, bool with_checksums,
+                             std::size_t checksum_block_rows) {
   Workspace ws;
   ws.m = m;
   ws.n = n;
@@ -22,8 +23,11 @@ Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
     ws.c = mem.allocate(m * n * 4, "C");
   }
   if (with_checksums) {
-    KSUM_REQUIRE(m % 128 == 0, "M must be a multiple of 128");
-    ws.vsum_check = mem.allocate(2 * (m / 128) * 4, "vsumCheck");
+    KSUM_REQUIRE(checksum_block_rows > 0 && m % checksum_block_rows == 0,
+                 "M must be a multiple of " +
+                     std::to_string(checksum_block_rows));
+    ws.vsum_check =
+        mem.allocate(2 * (m / checksum_block_rows) * 4, "vsumCheck");
     if (with_intermediate) {
       ws.colsum_check = mem.allocate(2 * n * 4, "colsumCheck");
     }

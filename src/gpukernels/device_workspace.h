@@ -18,7 +18,7 @@ struct Workspace {
   gpusim::DeviceBuffer c;       // M×N intermediate (unfused pipelines only)
 
   // ABFT sinks (allocated only with checksums on; see robust/abft.h).
-  gpusim::DeviceBuffer vsum_check;    // 2·(M/128): [block Σ | block Σ|·|]
+  gpusim::DeviceBuffer vsum_check;    // 2·(M/block_rows): [block Σ | Σ|·|]
   gpusim::DeviceBuffer colsum_check;  // 2·N: [col Σ of C | col Σ|·|] —
                                       // only with the intermediate
 };
@@ -27,11 +27,14 @@ struct Workspace {
 /// unfused pipelines stream through DRAM (the fused pipeline never needs it).
 /// `with_checksums` adds the ABFT sink buffers (vsum_check always,
 /// colsum_check only alongside the intermediate); both are zeroed by
-/// upload_instance.
+/// upload_instance. `checksum_block_rows` is the row-block granularity of
+/// the vsum cells — the producing kernel's CTA row height (the geometry's
+/// tile_m for the fused kernel, 128 for the GEMV).
 Workspace allocate_workspace(gpusim::Device& device, std::size_t m,
                              std::size_t n, std::size_t k,
                              bool with_intermediate,
-                             bool with_checksums = false);
+                             bool with_checksums = false,
+                             std::size_t checksum_block_rows = 128);
 
 /// Uploads A, B and W (host→device staging; not counted as device traffic,
 /// matching the paper's measurements which exclude PCIe transfers).

@@ -10,23 +10,25 @@ namespace ksum::gpukernels {
 namespace {
 
 // Second pass of the non-atomic ablation: V[row] = Σ_bx staged[row][bx].
-// One CTA of 128 threads reduces 128 rows (M is guaranteed a multiple of
-// 128 by the tile geometry).
+// One CTA of tile_m threads reduces tile_m rows (M is guaranteed a multiple
+// of tile_m by the tile geometry).
 gpusim::LaunchResult run_partial_reduce(gpusim::Device& device,
                                         const gpusim::DeviceBuffer& staged,
                                         const gpusim::DeviceBuffer& v,
-                                        std::size_t m, std::size_t grid_x) {
-  gpusim::GridDim grid{static_cast<int>(m / 128), 1};
-  gpusim::BlockDim block{128, 1};
+                                        std::size_t m, std::size_t grid_x,
+                                        int tile_m) {
+  const std::size_t rows = static_cast<std::size_t>(tile_m);
+  gpusim::GridDim grid{static_cast<int>(m / rows), 1};
+  gpusim::BlockDim block{tile_m, 1};
   gpusim::LaunchConfig cfg;
-  cfg.threads_per_block = 128;
+  cfg.threads_per_block = tile_m;
   cfg.regs_per_thread = 32;
   cfg.smem_bytes_per_block = 0;
 
   auto program = [&](gpusim::BlockContext& ctx) {
     ctx.phase("reduction");
-    const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * 128;
-    for (int warp = 0; warp < 4; ++warp) {
+    const std::size_t row_base = static_cast<std::size_t>(ctx.bx()) * rows;
+    for (int warp = 0; warp < tile_m / 32; ++warp) {
       std::array<float, 32> sums{};
       for (std::size_t j = 0; j < grid_x; ++j) {
         gpusim::GlobalWarpAccess access;
@@ -69,12 +71,11 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
   KSUM_REQUIRE(core::is_radial(params.type) ||
                    params.type == core::KernelType::kPolynomial2,
                "unsupported kernel type");
-  const GemmGrid geom = gemm_grid(ws.m, ws.n, ws.k);
-  gpusim::LaunchConfig cfg = gemm_launch_config(/*fused=*/true);
-  if (!options.mainloop.double_buffer) {
-    cfg.smem_bytes_per_block =
-        2 * kTileBytes + 3 * kTileM * 4;  // halved tile buffers
-  }
+  const TileGeometry& g = options.mainloop.geometry;
+  g.validate();
+  const GemmGrid geom = gemm_grid(g, ws.m, ws.n, ws.k);
+  const gpusim::LaunchConfig cfg = gemm_launch_config(
+      g, /*fused=*/true, options.mainloop.double_buffer);
 
   // Staging buffer for the non-atomic ablation: one partial V column per
   // CTA column, laid out row major (m × grid.x).
@@ -85,30 +86,32 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
   }
 
   auto program = [&](gpusim::BlockContext& ctx) {
-    SmemMap map{};
-    if (!options.mainloop.double_buffer) {
-      map.b0 = kTileBytes;
-      map.norm_a = 2 * kTileBytes;
-      map.norm_b = 2 * kTileBytes + kTileM * 4;
-      map.weights = 2 * kTileBytes + 2 * kTileM * 4;
-    }
-    const std::size_t row_base = static_cast<std::size_t>(ctx.by()) * kTileM;
-    const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
+    const SmemMap map = make_smem_map(g, options.mainloop.double_buffer);
+    const std::size_t row_base =
+        static_cast<std::size_t>(ctx.by()) *
+        static_cast<std::size_t>(g.tile_m);
+    const std::size_t col_base =
+        static_cast<std::size_t>(ctx.bx()) *
+        static_cast<std::size_t>(g.tile_n);
+    const std::size_t micro2 = static_cast<std::size_t>(g.micro * g.micro);
+    const int half_cols = g.block_x / 2;
+    const int row_chunks = g.tile_m / 32;
 
     // Prologue: stage the segments this CTA needs. With fused norms the
     // vecα/vecβ loads disappear — the main loop produces them below.
     ctx.phase("prologue");
     if (!options.fuse_norms) {
-      load_vector_segment(ctx, ws.norm_a, row_base, map.norm_a);
-      load_vector_segment(ctx, ws.norm_b, col_base, map.norm_b);
+      load_vector_segment(ctx, g, ws.norm_a, row_base, map.norm_a, g.tile_m);
+      load_vector_segment(ctx, g, ws.norm_b, col_base, map.norm_b, g.tile_n);
     }
-    load_vector_segment(ctx, ws.w, col_base, map.weights);
+    load_vector_segment(ctx, g, ws.w, col_base, map.weights, g.tile_n);
 
     // GEMM portion (Algorithm 2 lines 5–13).
     TileSource src_a{ws.a, row_base, ws.k};
     TileSource src_b{ws.b, col_base, ws.k};
-    BlockAccumulators acc = make_accumulators();
-    TrackNormAccumulators a_norms{}, b_norms{};
+    BlockAccumulators acc = make_accumulators(g);
+    TrackNormAccumulators a_norms(static_cast<std::size_t>(g.tile_m), 0.0f);
+    TrackNormAccumulators b_norms(static_cast<std::size_t>(g.tile_n), 0.0f);
     run_gemm_mainloop(ctx, src_a, src_b, ws.k, options.mainloop, map, acc,
                       options.fuse_norms ? &a_norms : nullptr,
                       options.fuse_norms ? &b_norms : nullptr);
@@ -116,25 +119,28 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
 
     if (options.fuse_norms) {
       // Each loader thread owns one complete track norm; one conflict-
-      // checked scalar store per warp half scatters them into the segment
+      // checked scalar store per warp chunk scatters them into the segment
       // regions the evaluation phase reads.
       for (int half = 0; half < 2; ++half) {
         const gpusim::SharedAddr base = half == 0 ? map.norm_a : map.norm_b;
+        const int rows = half == 0 ? g.tile_m : g.tile_n;
+        const int microtiles = rows / g.micro;
         const TrackNormAccumulators& norms = half == 0 ? a_norms : b_norms;
-        for (int warp = 0; warp < 4; ++warp) {
+        for (int chunk = 0; chunk < rows / 32; ++chunk) {
           gpusim::SharedWarpAccess store;
           store.site = KSUM_ACCESS_SITE_ANNOTATED(
               "fused norm scatter store",
               ::ksum::gpusim::kSiteAllowBankConflicts,
               "tracks of one warp span 4 distinct 128B rows; one-off "
               "scatter after the main loop (8 stores per launch)");
-          store.warp = half * 4 + warp;
+          store.warp =
+              half * g.loader_warps() + chunk % g.loader_warps();
           std::array<float, 32> values{};
           for (int lane = 0; lane < 32; ++lane) {
             const TrackAssignment ta = track_of_loader(
-                options.mainloop.layout, warp * 32 + lane);
+                options.mainloop.layout, g, microtiles, chunk * 32 + lane);
             const std::size_t track =
-                static_cast<std::size_t>(kMicro * ta.microtile + ta.track);
+                static_cast<std::size_t>(g.micro * ta.microtile + ta.track);
             store.set_lane(lane, base + static_cast<gpusim::SharedAddr>(
                                             track * 4));
             values[static_cast<std::size_t>(lane)] = norms[track];
@@ -148,22 +154,22 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
     // Kernel evaluation + intra-thread weighted row reduction
     // (lines 14–16), with everything still "in registers".
     // The reduction scratch T reuses the tileA buffers: threads with
-    // tx < 8 write T0 (= sharedA0), the rest T1 (= sharedA1).
+    // tx < block_x/2 write T0 (= sharedA0), the rest T1 (= sharedA1).
     float cta_sum = 0.0f;   // ABFT fork: Σ of this CTA's γ values
     float cta_abs = 0.0f;   // and Σ of their magnitudes (tolerance scale)
-    for (int warp = 0; warp < kWarps; ++warp) {
-      const auto na = load_segment_operands(ctx, map.norm_a, warp, true);
-      const auto nb = load_segment_operands(ctx, map.norm_b, warp, false);
-      const auto wv = load_segment_operands(ctx, map.weights, warp, false);
+    for (int warp = 0; warp < g.warps(); ++warp) {
+      const auto na = load_segment_operands(ctx, g, map.norm_a, warp, true);
+      const auto nb = load_segment_operands(ctx, g, map.norm_b, warp, false);
+      const auto wv = load_segment_operands(ctx, g, map.weights, warp, false);
 
-      std::array<std::array<float, 8>, 32> gamma{};
+      OperandLanes gamma{};
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t tid = static_cast<std::size_t>(warp * 32 + lane);
-        const float* microtile = acc.data() + tid * 64;
-        for (int u = 0; u < kMicro; ++u) {
+        const float* microtile = acc.data() + tid * micro2;
+        for (int u = 0; u < g.micro; ++u) {
           float sum = 0.0f;
-          for (int t = 0; t < kMicro; ++t) {
-            const float dot = microtile[u * kMicro + t];
+          for (int t = 0; t < g.micro; ++t) {
+            const float dot = microtile[u * g.micro + t];
             const float d2 =
                 na[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
                     u)] +
@@ -178,27 +184,29 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
               sum;
         }
       }
-      ctx.count_fma(64 * 32 * 2);  // distance assembly (add + FMA)
-      ctx.count_sfu(64 * 32);      // kernel evaluation (exp et al.)
-      ctx.count_fma(64 * 32);      // weighted row sums
+      const auto micro2_lanes =
+          static_cast<std::uint64_t>(g.micro * g.micro * 32);
+      ctx.count_fma(micro2_lanes * 2);  // distance assembly
+      ctx.count_sfu(micro2_lanes);      // kernel evaluation
+      ctx.count_fma(micro2_lanes);      // weighted row sums
 
       if (options.checksum.valid()) {
         // Fork the ABFT second path while γ is still in registers — before
         // the scratch scatter, the CTA reduction, and the atomicAdd, so any
         // divergence downstream of this point is detectable.
         for (int lane = 0; lane < 32; ++lane) {
-          for (int u = 0; u < kMicro; ++u) {
-            const float g = gamma[static_cast<std::size_t>(lane)]
-                                 [static_cast<std::size_t>(u)];
-            cta_sum += g;
-            cta_abs += std::fabs(g);
+          for (int u = 0; u < g.micro; ++u) {
+            const float gval = gamma[static_cast<std::size_t>(lane)]
+                                    [static_cast<std::size_t>(u)];
+            cta_sum += gval;
+            cta_abs += std::fabs(gval);
           }
         }
-        ctx.count_alu(32 * kMicro * 2);
+        ctx.count_alu(static_cast<std::uint64_t>(32 * g.micro * 2));
       }
 
       // Scatter γ into the reduction scratch.
-      for (int u = 0; u < kMicro; ++u) {
+      for (int u = 0; u < g.micro; ++u) {
         gpusim::SharedWarpAccess store;
         store.site = KSUM_ACCESS_SITE_ANNOTATED(
             "fused reduction scratch scatter store",
@@ -209,11 +217,14 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
         std::array<float, 32> values{};
         for (int lane = 0; lane < 32; ++lane) {
           const int tid = warp * 32 + lane;
-          const int tx = thread_tx(tid);
-          const gpusim::SharedAddr t_base = tx < 8 ? map.a0 : map.a1;
-          const int row = kMicro * thread_ty(tid) + u;
-          store.set_lane(lane, t_base + static_cast<gpusim::SharedAddr>(
-                                            (row * 8 + tx % 8) * 4));
+          const int tx = thread_tx(tid, g);
+          const gpusim::SharedAddr t_base =
+              tx < half_cols ? map.a0 : map.a1;
+          const int row = g.micro * thread_ty(tid, g) + u;
+          store.set_lane(lane,
+                         t_base + static_cast<gpusim::SharedAddr>(
+                                      (row * half_cols + tx % half_cols) *
+                                      4));
           values[static_cast<std::size_t>(lane)] =
               gamma[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
                   u)];
@@ -224,24 +235,27 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
     ctx.barrier();
     ctx.phase("reduction");
 
-    // Intra-CTA reduction (line 20): half the block, one thread per row.
-    std::array<std::array<float, 32>, 4> partials{};
-    for (int warp = 0; warp < 4; ++warp) {
+    // Intra-CTA reduction (line 20): warp chunks of rows, one thread per
+    // row.
+    std::vector<std::array<float, 32>> partials(
+        static_cast<std::size_t>(row_chunks));
+    for (int chunk = 0; chunk < row_chunks; ++chunk) {
       std::array<float, 32> sums{};
       for (int half = 0; half < 2; ++half) {
         const gpusim::SharedAddr t_base = half == 0 ? map.a0 : map.a1;
-        for (int j = 0; j < 8; ++j) {
+        for (int j = 0; j < half_cols; ++j) {
           gpusim::SharedWarpAccess access;
           access.site = KSUM_ACCESS_SITE_ANNOTATED(
               "fused reduction scratch gather load",
               ::ksum::gpusim::kSiteAllowBankConflicts,
               "row-per-thread gather strides 32B per lane (8 distinct "
               "128B rows); epilogue traffic, dwarfed by the main loop");
-          access.warp = warp;
+          access.warp = chunk % g.warps();
           for (int lane = 0; lane < 32; ++lane) {
-            const int row = warp * 32 + lane;
-            access.set_lane(lane, t_base + static_cast<gpusim::SharedAddr>(
-                                               (row * 8 + j) * 4));
+            const int row = chunk * 32 + lane;
+            access.set_lane(lane,
+                            t_base + static_cast<gpusim::SharedAddr>(
+                                         (row * half_cols + j) * 4));
           }
           const auto vals = ctx.smem().load_warp(access);
           for (int lane = 0; lane < 32; ++lane) {
@@ -251,20 +265,20 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
           ctx.count_alu(32);
         }
       }
-      partials[static_cast<std::size_t>(warp)] = sums;
+      partials[static_cast<std::size_t>(chunk)] = sums;
     }
 
     // Inter-CTA reduction (line 21): atomicAdd into subV, or the staged
     // two-pass ablation.
-    for (int warp = 0; warp < 4; ++warp) {
+    for (int chunk = 0; chunk < row_chunks; ++chunk) {
       gpusim::GlobalWarpAccess access;
       access.site = options.atomic_reduction
                         ? KSUM_ACCESS_SITE("subV atomicAdd")
                         : KSUM_ACCESS_SITE("staged partial-V store");
-      access.warp = warp;
+      access.warp = chunk % g.warps();
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t row =
-            row_base + static_cast<std::size_t>(warp * 32 + lane);
+            row_base + static_cast<std::size_t>(chunk * 32 + lane);
         if (options.atomic_reduction) {
           access.set_lane(lane, ws.v.addr_of_float(row));
         } else {
@@ -276,9 +290,9 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
       }
       if (options.atomic_reduction) {
         ctx.global_atomic_add(access,
-                              partials[static_cast<std::size_t>(warp)]);
+                              partials[static_cast<std::size_t>(chunk)]);
       } else {
-        ctx.global_store(access, partials[static_cast<std::size_t>(warp)]);
+        ctx.global_store(access, partials[static_cast<std::size_t>(chunk)]);
       }
     }
 
@@ -287,11 +301,12 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
   };
 
   FusedResult result;
-  result.main = device.launch("fused_ksum", geom.grid, gemm_block_dim(), cfg,
-                              program);
+  result.main = device.launch("fused_ksum", geom.grid, gemm_block_dim(g),
+                              cfg, program);
   if (!options.atomic_reduction) {
     result.extra.push_back(run_partial_reduce(
-        device, staged, ws.v, ws.m, static_cast<std::size_t>(geom.grid.x)));
+        device, staged, ws.v, ws.m, static_cast<std::size_t>(geom.grid.x),
+        g.tile_m));
   }
   return result;
 }

@@ -8,13 +8,16 @@ namespace ksum::gpukernels {
 
 void store_submatrix_c(gpusim::BlockContext& ctx,
                        const gpusim::DeviceBuffer& c, std::size_t n,
-                       const BlockAccumulators& acc) {
-  const std::size_t row_base = static_cast<std::size_t>(ctx.by()) * kTileM;
-  const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
-  for (int warp = 0; warp < kWarps; ++warp) {
-    // Each thread writes its microtile row u as two float4 stores.
-    for (int u = 0; u < kMicro; ++u) {
-      for (int piece = 0; piece < 2; ++piece) {
+                       const BlockAccumulators& acc, const TileGeometry& g) {
+  const std::size_t row_base =
+      static_cast<std::size_t>(ctx.by()) * static_cast<std::size_t>(g.tile_m);
+  const std::size_t col_base =
+      static_cast<std::size_t>(ctx.bx()) * static_cast<std::size_t>(g.tile_n);
+  const std::size_t micro2 = static_cast<std::size_t>(g.micro * g.micro);
+  for (int warp = 0; warp < g.warps(); ++warp) {
+    // Each thread writes its microtile row u as micro/4 float4 stores.
+    for (int u = 0; u < g.micro; ++u) {
+      for (int piece = 0; piece < g.micro / 4; ++piece) {
         gpusim::GlobalWarpAccess access;
         access.width_bytes = 16;
         access.site = KSUM_ACCESS_SITE("C submatrix store (float4)");
@@ -23,16 +26,18 @@ void store_submatrix_c(gpusim::BlockContext& ctx,
         for (int lane = 0; lane < 32; ++lane) {
           const int tid = warp * 32 + lane;
           const std::size_t row =
-              row_base + static_cast<std::size_t>(kMicro * thread_ty(tid) + u);
+              row_base +
+              static_cast<std::size_t>(g.micro * thread_ty(tid, g) + u);
           const std::size_t col =
-              col_base + static_cast<std::size_t>(kMicro * thread_tx(tid) +
+              col_base + static_cast<std::size_t>(g.micro *
+                                                      thread_tx(tid, g) +
                                                   piece * 4);
           access.set_lane(lane, c.addr_of_float(row * n + col));
           const float* microtile =
-              acc.data() + static_cast<std::size_t>(tid) * 64;
+              acc.data() + static_cast<std::size_t>(tid) * micro2;
           for (int w = 0; w < 4; ++w) {
             values[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
-                w)] = microtile[u * kMicro + piece * 4 + w];
+                w)] = microtile[u * g.micro + piece * 4 + w];
           }
         }
         ctx.global_store_vec4(access, values);
@@ -49,27 +54,27 @@ gpusim::LaunchResult run_gemm_cudac(gpusim::Device& device,
                                     std::size_t m, std::size_t n,
                                     std::size_t k,
                                     const GemmOptions& options) {
-  const GemmGrid geom = gemm_grid(m, n, k);
-  gpusim::LaunchConfig cfg = gemm_launch_config(/*fused=*/false);
-  if (!options.mainloop.double_buffer) {
-    cfg.smem_bytes_per_block = 2 * kTileBytes;  // single A and B buffer
-  }
-  const SmemMap smem{};  // single-buffer path only uses a0/b0 offsets
+  const TileGeometry& g = options.mainloop.geometry;
+  g.validate();
+  const GemmGrid geom = gemm_grid(g, m, n, k);
+  const gpusim::LaunchConfig cfg = gemm_launch_config(
+      g, /*fused=*/false, options.mainloop.double_buffer);
+  const SmemMap smem = make_smem_map(g, options.mainloop.double_buffer);
 
   auto program = [&](gpusim::BlockContext& ctx) {
-    TileSource src_a{a, static_cast<std::size_t>(ctx.by()) * kTileM, k};
-    TileSource src_b{b, static_cast<std::size_t>(ctx.bx()) * kTileN, k};
-    BlockAccumulators acc = make_accumulators();
-    SmemMap map = smem;
-    if (!options.mainloop.double_buffer) {
-      map.b0 = kTileBytes;  // pack A0/B0 into the halved allocation
-    }
-    run_gemm_mainloop(ctx, src_a, src_b, k, options.mainloop, map, acc);
+    TileSource src_a{
+        a, static_cast<std::size_t>(ctx.by()) *
+               static_cast<std::size_t>(g.tile_m), k};
+    TileSource src_b{
+        b, static_cast<std::size_t>(ctx.bx()) *
+               static_cast<std::size_t>(g.tile_n), k};
+    BlockAccumulators acc = make_accumulators(g);
+    run_gemm_mainloop(ctx, src_a, src_b, k, options.mainloop, smem, acc);
     ctx.phase("epilogue");
-    store_submatrix_c(ctx, c, n, acc);
+    store_submatrix_c(ctx, c, n, acc, g);
   };
 
-  return device.launch("gemm_cudac", geom.grid, gemm_block_dim(), cfg,
+  return device.launch("gemm_cudac", geom.grid, gemm_block_dim(g), cfg,
                        program);
 }
 

@@ -14,7 +14,7 @@ struct GemmOptions {
 };
 
 /// Launches the GEMM writing C (M×N, row major) to `c`. Requires
-/// M, N multiples of 128 and K a multiple of 8.
+/// M, N multiples of the geometry's tile edges and K of its tile_k.
 gpusim::LaunchResult run_gemm_cudac(gpusim::Device& device,
                                     const gpusim::DeviceBuffer& a,
                                     const gpusim::DeviceBuffer& b,
@@ -23,10 +23,11 @@ gpusim::LaunchResult run_gemm_cudac(gpusim::Device& device,
                                     std::size_t k,
                                     const GemmOptions& options = {});
 
-/// Writes each thread's 8×8 microtile of `acc` to the row-major M×N matrix
-/// at `c` with coalesced float4 stores (shared with tests).
+/// Writes each thread's micro×micro microtile of `acc` to the row-major
+/// M×N matrix at `c` with coalesced float4 stores (shared with tests).
 void store_submatrix_c(gpusim::BlockContext& ctx,
                        const gpusim::DeviceBuffer& c, std::size_t n,
-                       const BlockAccumulators& acc);
+                       const BlockAccumulators& acc,
+                       const TileGeometry& geometry = TileGeometry{});
 
 }  // namespace ksum::gpukernels

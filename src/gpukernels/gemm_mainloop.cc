@@ -6,23 +6,26 @@
 namespace ksum::gpukernels {
 namespace {
 
-// One rank-8 update: every warp reads its A/B operands for step k through
-// the bank model and feeds the 64 per-thread FMAs.
+// One rank-tileK update: every warp reads its A/B operands for step k
+// through the bank model and feeds the micro² per-thread FMAs.
 void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
                       gpusim::SharedAddr a_base, gpusim::SharedAddr b_base,
                       int k, BlockAccumulators& acc) {
-  for (int warp = 0; warp < kWarps; ++warp) {
-    std::array<std::array<float, 8>, 32> a_ops{};
-    std::array<std::array<float, 8>, 32> b_ops{};
+  const TileGeometry& g = config.geometry;
+  const std::size_t micro2 = static_cast<std::size_t>(g.micro * g.micro);
+  for (int warp = 0; warp < g.warps(); ++warp) {
+    OperandLanes a_ops{};
+    OperandLanes b_ops{};
 
-    for (int u = 0; u < kMicro; ++u) {
+    for (int u = 0; u < g.micro; ++u) {
       gpusim::SharedWarpAccess access;
       access.site = KSUM_ACCESS_SITE("mainloop A operand load");
       access.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const int tid = warp * 32 + lane;
-        access.set_lane(lane, a_base + operand_offset(config.layout,
-                                                      thread_ty(tid), u, k));
+        access.set_lane(lane,
+                        a_base + operand_offset(config.layout, g, g.block_y,
+                                                thread_ty(tid, g), u, k));
       }
       const auto vals = ctx.smem().load_warp(access);
       for (int lane = 0; lane < 32; ++lane) {
@@ -30,14 +33,15 @@ void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
             vals[static_cast<std::size_t>(lane)];
       }
     }
-    for (int t = 0; t < kMicro; ++t) {
+    for (int t = 0; t < g.micro; ++t) {
       gpusim::SharedWarpAccess access;
       access.site = KSUM_ACCESS_SITE("mainloop B operand load");
       access.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const int tid = warp * 32 + lane;
-        access.set_lane(lane, b_base + operand_offset(config.layout,
-                                                      thread_tx(tid), t, k));
+        access.set_lane(lane,
+                        b_base + operand_offset(config.layout, g, g.block_x,
+                                                thread_tx(tid, g), t, k));
       }
       const auto vals = ctx.smem().load_warp(access);
       for (int lane = 0; lane < 32; ++lane) {
@@ -48,18 +52,18 @@ void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
 
     for (int lane = 0; lane < 32; ++lane) {
       const std::size_t tid = static_cast<std::size_t>(warp * 32 + lane);
-      float* microtile = acc.data() + tid * 64;
-      for (int u = 0; u < kMicro; ++u) {
+      float* microtile = acc.data() + tid * micro2;
+      for (int u = 0; u < g.micro; ++u) {
         const float aval =
             a_ops[static_cast<std::size_t>(lane)][static_cast<std::size_t>(u)];
-        for (int t = 0; t < kMicro; ++t) {
-          microtile[u * kMicro + t] +=
+        for (int t = 0; t < g.micro; ++t) {
+          microtile[u * g.micro + t] +=
               aval * b_ops[static_cast<std::size_t>(lane)]
                           [static_cast<std::size_t>(t)];
         }
       }
     }
-    ctx.count_fma(64 * 32);
+    ctx.count_fma(static_cast<std::uint64_t>(g.micro * g.micro * 32));
     ctx.count_alu(32);  // loop/address bookkeeping of the steady state
   }
 }
@@ -67,12 +71,37 @@ void rank_update_step(gpusim::BlockContext& ctx, const MainloopConfig& config,
 void compute_tile(gpusim::BlockContext& ctx, const MainloopConfig& config,
                   gpusim::SharedAddr a_base, gpusim::SharedAddr b_base,
                   BlockAccumulators& acc) {
-  for (int k = 0; k < kTileK; ++k) {
+  for (int k = 0; k < config.geometry.tile_k; ++k) {
     rank_update_step(ctx, config, a_base, b_base, k, acc);
   }
 }
 
 }  // namespace
+
+SmemMap make_smem_map(const TileGeometry& g, bool double_buffer) {
+  SmemMap m;
+  const auto ta = static_cast<gpusim::SharedAddr>(g.tile_a_bytes());
+  const auto tb = static_cast<gpusim::SharedAddr>(g.tile_b_bytes());
+  m.a0 = 0;
+  if (double_buffer) {
+    m.a1 = ta;
+    m.b0 = 2 * ta;
+    m.b1 = 2 * ta + tb;
+    m.norm_a = 2 * ta + 2 * tb;
+  } else {
+    // A1 aliases B0: the fused epilogue only uses it as reduction scratch,
+    // after the main loop has consumed the tiles.
+    m.a1 = ta;
+    m.b0 = ta;
+    m.b1 = ta + tb;  // unused in single-buffer mode
+    m.norm_a = ta + tb;
+  }
+  m.norm_b =
+      m.norm_a + static_cast<gpusim::SharedAddr>(g.tile_m) * 4;
+  m.weights =
+      m.norm_b + static_cast<gpusim::SharedAddr>(g.tile_n) * 4;
+  return m;
+}
 
 void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
                        const TileSource& b, std::size_t k_total,
@@ -80,16 +109,22 @@ void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
                        BlockAccumulators& acc,
                        TrackNormAccumulators* a_norms,
                        TrackNormAccumulators* b_norms) {
-  KSUM_REQUIRE(k_total % kTileK == 0, "K must be a multiple of 8");
-  KSUM_CHECK(acc.size() == static_cast<std::size_t>(kThreads) * 64);
-  const std::size_t iters = k_total / kTileK;
+  const TileGeometry& g = config.geometry;
+  KSUM_REQUIRE(k_total % static_cast<std::size_t>(g.tile_k) == 0,
+               "K must be a multiple of " + std::to_string(g.tile_k));
+  KSUM_CHECK(acc.size() == static_cast<std::size_t>(g.threads()) *
+                               static_cast<std::size_t>(g.micro * g.micro));
+  const std::size_t iters = k_total / static_cast<std::size_t>(g.tile_k);
+  const int lw = g.loader_warps();
 
   if (config.double_buffer) {
     // Algorithm 2: prologue load, then each iteration prefetches tile i+1
     // into the other buffer while computing tile i, one barrier apiece.
     ctx.phase("prologue");
-    load_tile(ctx, a, 0, smem.a0, config.layout, /*warp_base=*/0, a_norms);
-    load_tile(ctx, b, 0, smem.b0, config.layout, /*warp_base=*/4, b_norms);
+    load_tile(ctx, g, a, 0, smem.a0, config.layout, /*warp_base=*/0,
+              g.tile_m, a_norms);
+    load_tile(ctx, g, b, 0, smem.b0, config.layout, /*warp_base=*/lw,
+              g.tile_n, b_norms);
     ctx.barrier();
     ctx.phase("mainloop");
     for (std::size_t i = 0; i < iters; ++i) {
@@ -99,10 +134,10 @@ void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
       if (i + 1 < iters) {
         const gpusim::SharedAddr a_next = even ? smem.a1 : smem.a0;
         const gpusim::SharedAddr b_next = even ? smem.b1 : smem.b0;
-        load_tile(ctx, a, (i + 1) * kTileK, a_next, config.layout, 0,
-                  a_norms);
-        load_tile(ctx, b, (i + 1) * kTileK, b_next, config.layout, 4,
-                  b_norms);
+        load_tile(ctx, g, a, (i + 1) * static_cast<std::size_t>(g.tile_k),
+                  a_next, config.layout, 0, g.tile_m, a_norms);
+        load_tile(ctx, g, b, (i + 1) * static_cast<std::size_t>(g.tile_k),
+                  b_next, config.layout, lw, g.tile_n, b_norms);
       }
       compute_tile(ctx, config, a_cur, b_cur, acc);
       ctx.barrier();
@@ -113,8 +148,10 @@ void run_gemm_mainloop(gpusim::BlockContext& ctx, const TileSource& a,
     // state here, so the whole loop is the main loop phase.
     ctx.phase("mainloop");
     for (std::size_t i = 0; i < iters; ++i) {
-      load_tile(ctx, a, i * kTileK, smem.a0, config.layout, 0, a_norms);
-      load_tile(ctx, b, i * kTileK, smem.b0, config.layout, 4, b_norms);
+      load_tile(ctx, g, a, i * static_cast<std::size_t>(g.tile_k), smem.a0,
+                config.layout, 0, g.tile_m, a_norms);
+      load_tile(ctx, g, b, i * static_cast<std::size_t>(g.tile_k), smem.b0,
+                config.layout, lw, g.tile_n, b_norms);
       ctx.barrier();
       compute_tile(ctx, config, smem.a0, smem.b0, acc);
       ctx.barrier();

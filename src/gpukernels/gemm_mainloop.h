@@ -1,8 +1,8 @@
-// The shared rank-8-update main loop (Algorithm 2 lines 5–13), used by both
-// the standalone CUDA-C GEMM and the fused kernel summation.
+// The shared rank-tileK-update main loop (Algorithm 2 lines 5–13), used by
+// both the standalone CUDA-C GEMM and the fused kernel summation.
 //
-// Functional execution keeps each thread's 8×8 microtileC in
-// BlockAccumulators (the stand-in for the 64 accumulator registers);
+// Functional execution keeps each thread's micro×micro microtileC in
+// BlockAccumulators (the stand-in for the accumulator registers);
 // operand fetches go through the shared-memory bank model so conflicts are
 // counted, and tile loads go through the coalescer/L2.
 #pragma once
@@ -21,6 +21,9 @@ struct MainloopConfig {
   /// buffers and each iteration needs a single barrier. The single-buffered
   /// ablation needs two barriers per iteration and halves the smem budget.
   bool double_buffer = true;
+  /// Runtime blocking. Defaults to the paper's 128×128/16×16/8×8 operating
+  /// point; the autotuner (src/tune/) substitutes validated alternatives.
+  TileGeometry geometry;
 };
 
 /// Byte offsets of the shared-memory regions within the CTA allocation.
@@ -35,20 +38,34 @@ struct SmemMap {
   gpusim::SharedAddr weights = 4 * kTileBytes + 2 * kTileM * 4;
 };
 
-/// Per-CTA accumulator state: acc[tid][u*8 + t] is element (u, t) of thread
-/// tid's microtileC.
+/// Lays the regions out for an arbitrary geometry. Double-buffered:
+/// A0|A1|B0|B1|extras. Single-buffered: A0|B0|extras with A1 aliasing B0
+/// (the fused epilogue's scratch halves reuse A0/A1 after the main loop is
+/// done with the tiles). The default-constructed SmemMap equals
+/// make_smem_map(TileGeometry{}, true).
+SmemMap make_smem_map(const TileGeometry& g, bool double_buffer);
+
+/// Per-CTA accumulator state: acc[tid][u*micro + t] is element (u, t) of
+/// thread tid's microtileC.
 using BlockAccumulators = std::vector<float>;
 
-inline BlockAccumulators make_accumulators() {
-  return BlockAccumulators(static_cast<std::size_t>(kThreads) * 64, 0.0f);
+inline BlockAccumulators make_accumulators(
+    const TileGeometry& g = TileGeometry{}) {
+  return BlockAccumulators(static_cast<std::size_t>(g.threads()) *
+                               static_cast<std::size_t>(g.micro * g.micro),
+                           0.0f);
 }
 
 /// Thread coordinates used throughout the kernels.
-inline int thread_tx(int tid) { return tid % kBlockX; }
-inline int thread_ty(int tid) { return tid / kBlockX; }
+inline int thread_tx(int tid, const TileGeometry& g = TileGeometry{}) {
+  return tid % g.block_x;
+}
+inline int thread_ty(int tid, const TileGeometry& g = TileGeometry{}) {
+  return tid / g.block_x;
+}
 
 /// Runs the full main loop over K: loads each (tileA_i, tileB_i) pair and
-/// applies the rank-8 updates. On return `acc` holds subC = subA × subB.
+/// applies the rank-tileK updates. On return `acc` holds subC = subA×subB.
 /// When the norm accumulators are non-null, every loaded element's square
 /// is folded into its track's slot (the fuse-norms extension): after the
 /// loop `a_norms[r]` is ‖α_{origin+r}‖² and `b_norms[c]` is ‖β_{origin+c}‖².

@@ -31,8 +31,8 @@ gpusim::LaunchResult run_gemv_summation(gpusim::Device& device,
     // Stage W into shared memory, 128 floats per segment.
     ctx.phase("prologue");
     for (std::size_t seg = 0; seg < ws.n / 128; ++seg) {
-      load_vector_segment(ctx, ws.w, seg * 128,
-                          static_cast<gpusim::SharedAddr>(seg * 128 * 4));
+      load_vector_segment(ctx, TileGeometry{}, ws.w, seg * 128,
+                          static_cast<gpusim::SharedAddr>(seg * 128 * 4), 128);
     }
     ctx.barrier();
     ctx.phase("mainloop");

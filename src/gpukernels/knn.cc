@@ -178,6 +178,11 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
                           std::size_t k_nn, KnnResult& out,
                           const MainloopConfig& config) {
   validate_knn_args(ws, k_nn);
+  // The merge rounds below hard-code the 16×16 thread block and the 16 KB
+  // scratch split; the kNN kernels are pinned to the paper geometry.
+  KSUM_REQUIRE(config.geometry.is_paper(),
+               "the kNN kernels are pinned to the paper tile geometry");
+  const TileGeometry& tg = config.geometry;
   const GemmGrid geom = gemm_grid(ws.m, ws.n, ws.k);
   const std::size_t grid_x = static_cast<std::size_t>(geom.grid.x);
 
@@ -210,8 +215,8 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
     const std::size_t col_base = static_cast<std::size_t>(ctx.bx()) * kTileN;
 
     ctx.phase("prologue");
-    load_vector_segment(ctx, ws.norm_a, row_base, map.norm_a);
-    load_vector_segment(ctx, ws.norm_b, col_base, map.norm_b);
+    load_vector_segment(ctx, tg, ws.norm_a, row_base, map.norm_a, kTileM);
+    load_vector_segment(ctx, tg, ws.norm_b, col_base, map.norm_b, kTileN);
 
     TileSource src_a{ws.a, row_base, ws.k};
     TileSource src_b{ws.b, col_base, ws.k};
@@ -224,8 +229,8 @@ KnnLaunches run_fused_knn(gpusim::Device& device, const Workspace& ws,
         static_cast<std::size_t>(kThreads) * kMicro,
         CandidateList(local_k));
     for (int warp = 0; warp < kWarps; ++warp) {
-      const auto na = load_segment_operands(ctx, map.norm_a, warp, true);
-      const auto nb = load_segment_operands(ctx, map.norm_b, warp, false);
+      const auto na = load_segment_operands(ctx, tg, map.norm_a, warp, true);
+      const auto nb = load_segment_operands(ctx, tg, map.norm_b, warp, false);
       for (int lane = 0; lane < 32; ++lane) {
         const std::size_t tid = static_cast<std::size_t>(warp * 32 + lane);
         const int tx = thread_tx(static_cast<int>(tid));

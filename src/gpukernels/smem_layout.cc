@@ -4,43 +4,53 @@
 
 namespace ksum::gpukernels {
 
-TrackAssignment track_of_loader(TileLayout layout, int loader_index) {
-  KSUM_DCHECK(loader_index >= 0 && loader_index < kTileM);
+TrackAssignment track_of_loader(TileLayout layout, const TileGeometry& g,
+                                int microtiles, int loader_index) {
+  KSUM_DCHECK(loader_index >= 0 && loader_index < microtiles * g.micro);
   if (layout == TileLayout::kNaive) {
-    return {loader_index / kMicro, loader_index % kMicro};
+    return {loader_index / g.micro, loader_index % g.micro};
   }
-  const int warp = loader_index / 32;
+  const int chunk = loader_index / 32;
   const int lane = loader_index % 32;
-  // Warp w picks two tracks (2w, 2w+1) from every microtile: lane l works on
-  // microtile ⌊l/2⌋, track 2w + (l mod 2). Across the four loader warps all
-  // 16 microtiles × 8 tracks are covered exactly once.
-  return {lane / 2, 2 * warp + (lane % 2)};
+  // With b = 32/microtiles banks (and tracks) per microtile per chunk,
+  // chunk c picks tracks {b·c … b·c+b-1} from every microtile: lane l works
+  // on microtile ⌊l/b⌋, track b·c + (l mod b). Across the half's chunks all
+  // microtiles × micro tracks are covered exactly once. The paper's 16
+  // microtiles give b = 2: warp w takes tracks {2w, 2w+1}.
+  const int b = 32 / microtiles;
+  return {lane / b, b * chunk + (lane % b)};
 }
 
-gpusim::SharedAddr fig5_offset(int microtile, int track, int k) {
-  KSUM_DCHECK(microtile >= 0 && microtile < 16);
-  KSUM_DCHECK(track >= 0 && track < kMicro);
-  KSUM_DCHECK(k >= 0 && k < kTileK);
-  const int bank = 2 * microtile + (track & 1);
-  const int row = 8 * (track >> 1) + k;
+gpusim::SharedAddr fig5_offset(const TileGeometry& g, int microtiles,
+                               int microtile, int track, int k) {
+  KSUM_DCHECK(microtile >= 0 && microtile < microtiles);
+  KSUM_DCHECK(track >= 0 && track < g.micro);
+  KSUM_DCHECK(k >= 0 && k < g.tile_k);
+  const int b = 32 / microtiles;
+  const int bank = b * microtile + (track % b);
+  const int row = g.tile_k * (track / b) + k;
   return static_cast<gpusim::SharedAddr>((row * 32 + bank) * 4);
 }
 
-gpusim::SharedAddr naive_offset(int microtile, int track, int k) {
-  KSUM_DCHECK(microtile >= 0 && microtile < 16);
-  KSUM_DCHECK(track >= 0 && track < kMicro);
-  KSUM_DCHECK(k >= 0 && k < kTileK);
+gpusim::SharedAddr naive_offset(const TileGeometry& g,
+                                [[maybe_unused]] int microtiles,
+                                int microtile, int track, int k) {
+  KSUM_DCHECK(microtile >= 0 && microtile < microtiles);
+  KSUM_DCHECK(track >= 0 && track < g.micro);
+  KSUM_DCHECK(k >= 0 && k < g.tile_k);
   // Track τ stacked vertically in bank τ mod 32.
-  const int tau = microtile * kMicro + track;
+  const int tau = microtile * g.micro + track;
   const int bank = tau % 32;
-  const int row = 8 * (tau / 32) + k;
+  const int row = g.tile_k * (tau / 32) + k;
   return static_cast<gpusim::SharedAddr>((row * 32 + bank) * 4);
 }
 
-gpusim::SharedAddr tile_offset(TileLayout layout, int microtile, int track,
+gpusim::SharedAddr tile_offset(TileLayout layout, const TileGeometry& g,
+                               int microtiles, int microtile, int track,
                                int k) {
-  return layout == TileLayout::kFig5 ? fig5_offset(microtile, track, k)
-                                     : naive_offset(microtile, track, k);
+  return layout == TileLayout::kFig5
+             ? fig5_offset(g, microtiles, microtile, track, k)
+             : naive_offset(g, microtiles, microtile, track, k);
 }
 
 }  // namespace ksum::gpukernels

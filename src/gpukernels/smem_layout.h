@@ -1,22 +1,25 @@
 // The Fig.-5 shared-memory data/thread mapping.
 //
-// A tile (tileA 128×8 or tileB 8×128) is split into 16 microtiles of 8×8;
-// each microtile into 8 *tracks* of 8 elements (for tileB a track is one
-// column's 8 K-values; for tileA one row's 8 K-values — both are 32
-// contiguous, 32-byte-aligned bytes in global memory). Each of the 128
-// loader threads fetches exactly one track (two float4 loads) and scatters
-// it into shared memory reshaped 8×8 → 32×2:
+// A tile (tileA tileM×tileK or tileB tileK×tileN) is split into microtiles
+// of micro×micro; each microtile into `micro` *tracks* of tileK elements
+// (for tileB a track is one column's K-values; for tileA one row's — both
+// are contiguous, 16-byte-aligned bytes in global memory). Each loader
+// thread fetches exactly one track (tileK/4 float4 loads) and scatters it
+// into shared memory reshaped across the 32 banks. With b = 32/microtiles
+// banks per microtile:
 //
-//   element (k, track t) of microtile m  →  bank 2m + (t & 1),
-//                                            row  8·(t >> 1) + k
+//   element (k, track t) of microtile m  →  bank b·m + (t mod b),
+//                                            row  tileK·⌊t/b⌋ + k
 //
-// Properties (proved by tests/gpukernels/smem_layout_test.cc):
-//   * stores: warp w lane l writes bank l, row 8w+k — 32 distinct banks,
-//     one row → conflict-free;
-//   * compute loads: at main-loop step k every warp reads operand u of a
-//     single microtile per access — ≤2 banks, one row, duplicate lanes
-//     broadcast → conflict-free;
-//   * 16 microtiles spread across all 32 banks, the paper's stated goal.
+// For the paper's geometry (16 microtiles, b = 2) this is exactly Fig. 5:
+// bank 2m + (t & 1), row 8·(t >> 1) + k. Properties (proved by
+// tests/gpukernels/smem_layout_test.cc):
+//   * stores: warp chunk c lane l writes bank l — 32 distinct banks, one
+//     row → conflict-free;
+//   * compute loads: at main-loop step k every warp reads operand u of
+//     ≤ 32/block microtiles per access — few banks, one row, duplicate
+//     lanes broadcast → conflict-free;
+//   * the microtiles spread across all 32 banks, the paper's stated goal.
 //
 // The *naive* layout is the paper's "intuitive" scheme (each thread drops
 // its whole track into a single bank, tracks in linear order). Its stores
@@ -31,33 +34,61 @@ namespace ksum::gpukernels {
 
 enum class TileLayout { kFig5, kNaive };
 
-/// Which track a loader thread owns. `loader_index` is the thread's index
-/// within its 128-thread loading half (warp = loader_index/32 ∈ 0..3).
-/// Fig.5: warp w takes tracks {2w, 2w+1} of every microtile. Naive: thread
-/// i takes track i in linear order.
+/// Which track a loader thread owns. `loader_index` is the thread's virtual
+/// index within its tile-loading half (chunk = loader_index/32); a half
+/// covers `microtiles`·micro tracks. Fig.5: chunk c takes tracks
+/// {b·c … b·c+b-1} of every microtile (b = 32/microtiles). Naive: thread i
+/// takes track i in linear order.
 struct TrackAssignment {
-  int microtile;  // 0..15
-  int track;      // 0..7
+  int microtile;  // 0..microtiles-1
+  int track;      // 0..micro-1
 };
 
-TrackAssignment track_of_loader(TileLayout layout, int loader_index);
+TrackAssignment track_of_loader(TileLayout layout, const TileGeometry& g,
+                                int microtiles, int loader_index);
 
 /// Byte offset (within a tile buffer) where element `k` of track `t` of
 /// microtile `m` lives under the Fig.-5 layout.
-gpusim::SharedAddr fig5_offset(int microtile, int track, int k);
+gpusim::SharedAddr fig5_offset(const TileGeometry& g, int microtiles,
+                               int microtile, int track, int k);
 
-/// Naive layout: track τ = 8m+t lives entirely in bank τ mod 32, rows
-/// 8·⌊τ/32⌋ … +7.
-gpusim::SharedAddr naive_offset(int microtile, int track, int k);
+/// Naive layout: track τ = micro·m+t lives entirely in bank τ mod 32, rows
+/// tileK·⌊τ/32⌋ … +tileK-1.
+gpusim::SharedAddr naive_offset(const TileGeometry& g, int microtiles,
+                                int microtile, int track, int k);
 
-gpusim::SharedAddr tile_offset(TileLayout layout, int microtile, int track,
+gpusim::SharedAddr tile_offset(TileLayout layout, const TileGeometry& g,
+                               int microtiles, int microtile, int track,
                                int k);
 
 /// Offsets of the operand words the compute phase reads at main-loop step k:
-/// operand u (0..7) of microtile `mt` — for tileA mt = ty, for tileB mt = tx.
+/// operand u (0..micro-1) of microtile `mt` — for tileA mt = ty (microtiles
+/// = block_y), for tileB mt = tx (microtiles = block_x).
+inline gpusim::SharedAddr operand_offset(TileLayout layout,
+                                         const TileGeometry& g,
+                                         int microtiles, int mt, int u,
+                                         int k) {
+  return tile_offset(layout, g, microtiles, mt, u, k);
+}
+
+// Paper-geometry conveniences (the shapes the original constants encoded);
+// kept for the layout tests and the analysis examples.
+inline TrackAssignment track_of_loader(TileLayout layout, int loader_index) {
+  return track_of_loader(layout, TileGeometry{}, 16, loader_index);
+}
+inline gpusim::SharedAddr fig5_offset(int microtile, int track, int k) {
+  return fig5_offset(TileGeometry{}, 16, microtile, track, k);
+}
+inline gpusim::SharedAddr naive_offset(int microtile, int track, int k) {
+  return naive_offset(TileGeometry{}, 16, microtile, track, k);
+}
+inline gpusim::SharedAddr tile_offset(TileLayout layout, int microtile,
+                                      int track, int k) {
+  return tile_offset(layout, TileGeometry{}, 16, microtile, track, k);
+}
 inline gpusim::SharedAddr operand_offset(TileLayout layout, int mt, int u,
                                          int k) {
-  return tile_offset(layout, mt, u, k);
+  return tile_offset(layout, TileGeometry{}, 16, mt, u, k);
 }
 
 }  // namespace ksum::gpukernels

@@ -1,0 +1,91 @@
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::gpukernels {
+
+std::string TileGeometry::to_string() const {
+  return std::to_string(tile_m) + "x" + std::to_string(tile_n) + "x" +
+         std::to_string(tile_k) + "/" + std::to_string(block_x) + "x" +
+         std::to_string(block_y) + "/" + std::to_string(micro);
+}
+
+std::vector<std::string> TileGeometry::structural_violations() const {
+  std::vector<std::string> out;
+  const auto bad = [&](const std::string& rule) { out.push_back(rule); };
+
+  if (tile_m <= 0 || tile_n <= 0 || tile_k <= 0 || block_x <= 0 ||
+      block_y <= 0 || micro <= 0) {
+    bad("all geometry fields must be positive");
+    return out;  // everything below divides by them
+  }
+  // Each thread owns one micro×micro microtile of submatrixC.
+  if (tile_m != block_y * micro) {
+    bad("tile_m must equal block_y*micro (one microtile row per thread)");
+  }
+  if (tile_n != block_x * micro) {
+    bad("tile_n must equal block_x*micro (one microtile column per thread)");
+  }
+  // Whole warps, and an even warp count so the CTA splits into a tileA
+  // loading half and a tileB loading half.
+  if (threads() % 64 != 0) {
+    bad("block_x*block_y must be a multiple of 64 (two warp-aligned "
+        "loading halves)");
+  }
+  // The loaders move whole warps of tracks and the reduction walks V in
+  // 32-row warp chunks.
+  if (tile_m % 32 != 0) bad("tile_m must be a multiple of 32");
+  if (tile_n % 32 != 0) bad("tile_n must be a multiple of 32");
+  // The Fig.-5 bank striping needs the microtile count of each tile to
+  // divide the 32 banks.
+  if (block_x > 32 || 32 % block_x != 0) {
+    bad("block_x must divide 32 (bank striping of the tileB microtiles)");
+  }
+  if (block_y > 32 || 32 % block_y != 0) {
+    bad("block_y must divide 32 (bank striping of the tileA microtiles)");
+  }
+  // Track striping: a loader warp covers 32/microtiles tracks of every
+  // microtile per chunk, so the track count must be chunk-complete.
+  if (block_x <= 32 && 32 % block_x == 0 && micro % (32 / block_x) != 0) {
+    bad("micro must be a multiple of 32/block_x (track striping of tileB)");
+  }
+  if (block_y <= 32 && 32 % block_y == 0 && micro % (32 / block_y) != 0) {
+    bad("micro must be a multiple of 32/block_y (track striping of tileA)");
+  }
+  // float4 vector width of the track loads and C stores.
+  if (tile_k % 4 != 0) bad("tile_k must be a multiple of 4 (float4 tracks)");
+  if (micro % 4 != 0) bad("micro must be a multiple of 4 (float4 C stores)");
+  if (tile_k > kMaxTileK) {
+    bad("tile_k exceeds kMaxTileK=" + std::to_string(kMaxTileK));
+  }
+  if (micro > kMaxMicro) {
+    bad("micro exceeds kMaxMicro=" + std::to_string(kMaxMicro));
+  }
+  // The fused epilogue's reduction scratch (tile_m rows × block_x/2 columns
+  // per half) reuses the tileA buffers — each half must fit in one buffer,
+  // and the halves themselves need an even block_x.
+  if (block_x % 2 != 0) {
+    bad("block_x must be even (two reduction-scratch halves)");
+  } else {
+    if (block_x / 2 > tile_k) {
+      bad("reduction scratch exceeds the tileA buffer: block_x/2 must not "
+          "exceed tile_k");
+    }
+    if (tile_m * (block_x / 2) > tile_n * tile_k) {
+      bad("reduction scratch exceeds the tileB buffer: tile_m*block_x/2 "
+          "must not exceed tile_n*tile_k");
+    }
+  }
+  // The second pass of the non-atomic ablation launches tile_m-thread CTAs.
+  if (tile_m > 1024) {
+    bad("tile_m must not exceed 1024 (partial-reduce block size)");
+  }
+  return out;
+}
+
+void TileGeometry::validate() const {
+  const auto violations = structural_violations();
+  KSUM_REQUIRE(violations.empty(),
+               "invalid tile geometry " + to_string() + ": " +
+                   (violations.empty() ? std::string() : violations.front()));
+}
+
+}  // namespace ksum::gpukernels

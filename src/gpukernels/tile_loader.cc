@@ -5,30 +5,38 @@
 
 namespace ksum::gpukernels {
 
-void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
-               std::size_t k0, gpusim::SharedAddr smem_base,
-               TileLayout layout, int warp_base,
+void load_tile(gpusim::BlockContext& ctx, const TileGeometry& geom,
+               const TileSource& src, std::size_t k0,
+               gpusim::SharedAddr smem_base, TileLayout layout,
+               int warp_base, int tile_rows,
                TrackNormAccumulators* norms) {
-  KSUM_DCHECK(k0 % kTileK == 0);
-  KSUM_DCHECK(src.leading % kTileK == 0);
+  KSUM_DCHECK(k0 % static_cast<std::size_t>(geom.tile_k) == 0);
+  KSUM_DCHECK(src.leading % static_cast<std::size_t>(geom.tile_k) == 0);
+  KSUM_DCHECK(tile_rows % 32 == 0);
 
-  for (int loader_warp = 0; loader_warp < 4; ++loader_warp) {
-    // Per-lane track assignment and staging registers for the 8 elements.
+  const int microtiles = tile_rows / geom.micro;
+  const int chunks = tile_rows / 32;
+  const int pieces = geom.tile_k / 4;
+  for (int chunk = 0; chunk < chunks; ++chunk) {
+    // The half's warps walk the chunks round-robin; with the paper's tiles
+    // each of the 4 warps owns exactly one chunk.
+    const int warp = warp_base + chunk % geom.loader_warps();
+    // Per-lane track assignment and staging registers for the elements.
     std::array<TrackAssignment, 32> tracks;
-    std::array<std::array<float, 8>, 32> staged{};
+    std::array<std::array<float, kMaxTileK>, 32> staged{};
 
-    // Two float4 global loads cover the track's 8 elements.
-    for (int piece = 0; piece < 2; ++piece) {
+    // tileK/4 float4 global loads cover the track's elements.
+    for (int piece = 0; piece < pieces; ++piece) {
       gpusim::GlobalWarpAccess access;
       access.width_bytes = 16;
       access.site = KSUM_ACCESS_SITE("tile track fetch (float4 piece)");
-      access.warp = warp_base + loader_warp;
+      access.warp = warp;
       for (int lane = 0; lane < 32; ++lane) {
         const TrackAssignment ta =
-            track_of_loader(layout, loader_warp * 32 + lane);
+            track_of_loader(layout, geom, microtiles, chunk * 32 + lane);
         tracks[static_cast<std::size_t>(lane)] = ta;
         const std::size_t track_index =
-            src.origin + static_cast<std::size_t>(kMicro * ta.microtile +
+            src.origin + static_cast<std::size_t>(geom.micro * ta.microtile +
                                                   ta.track);
         const std::size_t float_index =
             track_index * src.leading + k0 + static_cast<std::size_t>(piece) * 4;
@@ -47,35 +55,36 @@ void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
         }
       }
     }
-    // Address arithmetic for the loads/stores of this warp.
+    // Address arithmetic for the loads/stores of this warp chunk.
     ctx.count_alu(32 * 4);
 
     if (norms != nullptr) {
       for (int lane = 0; lane < 32; ++lane) {
         const TrackAssignment ta = tracks[static_cast<std::size_t>(lane)];
         float& acc =
-            (*norms)[static_cast<std::size_t>(kMicro * ta.microtile +
+            (*norms)[static_cast<std::size_t>(geom.micro * ta.microtile +
                                               ta.track)];
-        for (int k = 0; k < kTileK; ++k) {
+        for (int k = 0; k < geom.tile_k; ++k) {
           const float v =
               staged[static_cast<std::size_t>(lane)][static_cast<std::size_t>(
                   k)];
           acc += v * v;
         }
       }
-      ctx.count_fma(32 * kTileK);
+      ctx.count_fma(static_cast<std::uint64_t>(32 * geom.tile_k));
     }
 
-    // Eight conflict-free scalar stores scatter the track into the layout.
-    for (int k = 0; k < kTileK; ++k) {
+    // tileK conflict-free scalar stores scatter the track into the layout.
+    for (int k = 0; k < geom.tile_k; ++k) {
       gpusim::SharedWarpAccess store;
       store.site = KSUM_ACCESS_SITE("tile track scatter store");
-      store.warp = warp_base + loader_warp;
+      store.warp = warp;
       std::array<float, 32> values{};
       for (int lane = 0; lane < 32; ++lane) {
         const TrackAssignment ta = tracks[static_cast<std::size_t>(lane)];
-        store.set_lane(lane, smem_base +
-                                 tile_offset(layout, ta.microtile, ta.track, k));
+        store.set_lane(lane,
+                       smem_base + tile_offset(layout, geom, microtiles,
+                                               ta.microtile, ta.track, k));
         values[static_cast<std::size_t>(lane)] =
             staged[static_cast<std::size_t>(lane)][static_cast<std::size_t>(k)];
       }
@@ -84,16 +93,17 @@ void load_tile(gpusim::BlockContext& ctx, const TileSource& src,
   }
 }
 
-std::array<std::array<float, 8>, 32> load_segment_operands(
-    gpusim::BlockContext& ctx, gpusim::SharedAddr base, int warp,
-    bool by_row) {
-  std::array<std::array<float, 8>, 32> out{};
-  for (int e = 0; e < kMicro; ++e) {
+OperandLanes load_segment_operands(gpusim::BlockContext& ctx,
+                                   const TileGeometry& geom,
+                                   gpusim::SharedAddr base, int warp,
+                                   bool by_row) {
+  OperandLanes out{};
+  for (int e = 0; e < geom.micro; ++e) {
     gpusim::SharedWarpAccess access;
     // By-row reads touch one 128B row per request (conflict-free); by-column
-    // reads span 16 tx values × 32B = 512B = 4 rows — a degree-4 replay the
-    // fused epilogues accept because the segment is consumed once per tile,
-    // not once per K-iteration.
+    // reads span the tx values × micro·4B — several rows, a bounded replay
+    // the fused epilogues accept because the segment is consumed once per
+    // tile, not once per K-iteration.
     access.site =
         by_row ? KSUM_ACCESS_SITE("segment operand load (by row)")
                : KSUM_ACCESS_SITE_ANNOTATED(
@@ -104,9 +114,9 @@ std::array<std::array<float, 8>, 32> load_segment_operands(
     access.warp = warp;
     for (int lane = 0; lane < 32; ++lane) {
       const int tid = warp * 32 + lane;
-      const int tx = tid % kBlockX;
-      const int ty = tid / kBlockX;
-      const int idx = kMicro * (by_row ? ty : tx) + e;
+      const int tx = tid % geom.block_x;
+      const int ty = tid / geom.block_x;
+      const int idx = geom.micro * (by_row ? ty : tx) + e;
       access.set_lane(lane,
                       base + static_cast<gpusim::SharedAddr>(idx * 4));
     }
@@ -119,16 +129,20 @@ std::array<std::array<float, 8>, 32> load_segment_operands(
   return out;
 }
 
-void load_vector_segment(gpusim::BlockContext& ctx,
+void load_vector_segment(gpusim::BlockContext& ctx, const TileGeometry& geom,
                          const gpusim::DeviceBuffer& buffer,
-                         std::size_t origin, gpusim::SharedAddr smem_base) {
-  for (int warp = 0; warp < 4; ++warp) {
+                         std::size_t origin, gpusim::SharedAddr smem_base,
+                         int count) {
+  KSUM_DCHECK(count % 32 == 0);
+  const int chunks = count / 32;
+  for (int chunk = 0; chunk < chunks; ++chunk) {
+    const int warp = chunk % geom.warps();
     gpusim::GlobalWarpAccess access;
     access.site = KSUM_ACCESS_SITE("vector segment load");
     access.warp = warp;
     for (int lane = 0; lane < 32; ++lane) {
       access.set_lane(lane, buffer.addr_of_float(
-                                origin + static_cast<std::size_t>(warp * 32 +
+                                origin + static_cast<std::size_t>(chunk * 32 +
                                                                   lane)));
     }
     const auto values = ctx.global_load(access);
@@ -137,7 +151,7 @@ void load_vector_segment(gpusim::BlockContext& ctx,
     store.warp = warp;
     for (int lane = 0; lane < 32; ++lane) {
       store.set_lane(lane, smem_base + static_cast<gpusim::SharedAddr>(
-                                           (warp * 32 + lane) * 4));
+                                           (chunk * 32 + lane) * 4));
     }
     ctx.smem().store_warp(store, values);
   }

@@ -14,12 +14,14 @@ namespace {
 using gpukernels::Workspace;
 
 // Memory the pipeline needs on the simulated device, with headroom for the
-// non-atomic ablation's staging buffer.
+// non-atomic ablation's staging buffer (one partial-V column per CTA
+// column, tile_n wide each).
 std::size_t required_device_bytes(std::size_t m, std::size_t n, std::size_t k,
-                                  bool with_intermediate) {
+                                  bool with_intermediate,
+                                  std::size_t tile_n) {
   const std::size_t base = (m * k + k * n + 2 * m + 2 * n + m) * 4;
   const std::size_t inter = with_intermediate ? m * n * 4 : 0;
-  const std::size_t staging = (m * (n / 128) + m) * 4;
+  const std::size_t staging = (m * (n / tile_n) + m) * 4;
   return base + inter + staging + (1u << 20);
 }
 
@@ -78,19 +80,29 @@ PipelineReport run_pipeline(Solution solution,
                "problem dimensions must be nonzero");
   core::validate(params);
   const bool unfused = solution != Solution::kFused;
+  const gpukernels::TileGeometry& geometry = options.mainloop.geometry;
+  // The fused kernel emits one checksum cell per CTA row (tile_m rows);
+  // the unfused pipelines' GEMV keeps its own 128-row CTAs.
+  const std::size_t checksum_block_rows =
+      solution == Solution::kFused
+          ? static_cast<std::size_t>(geometry.tile_m)
+          : 128;
 
-  gpusim::Device device(options.device,
-                        required_device_bytes(m, n, k, unfused));
+  gpusim::Device device(
+      options.device,
+      required_device_bytes(m, n, k, unfused,
+                            static_cast<std::size_t>(geometry.tile_n)));
   device.set_fault_injector(options.fault_injector);
   Workspace ws = gpukernels::allocate_workspace(device, m, n, k, unfused,
-                                                options.checks.enabled);
+                                                options.checks.enabled,
+                                                checksum_block_rows);
   gpukernels::upload_instance(device, ws, instance);
 
   gpukernels::ChecksumSink vsink;
   if (options.checks.enabled) {
     vsink.enabled = true;
     vsink.buffer = ws.vsum_check;
-    vsink.blocks = m / 128;
+    vsink.blocks = m / checksum_block_rows;
   }
 
   PipelineReport report;
@@ -124,7 +136,7 @@ PipelineReport run_pipeline(Solution solution,
     fopts.checksum = vsink;
     const auto fused = gpukernels::run_fused_ksum(device, ws, params, fopts);
     report.kernels.push_back(make_report(
-        options, fused.main, double(k) / gpukernels::kTileK, cuda_grade,
+        options, fused.main, double(k) / geometry.tile_k, cuda_grade,
         2.0 * mn * double(k) + 8.0 * mn, options.mainloop.double_buffer));
     for (const auto& extra : fused.extra) {
       report.kernels.push_back(
@@ -139,7 +151,7 @@ PipelineReport run_pipeline(Solution solution,
           options,
           gpukernels::run_gemm_cudac(device, ws.a, ws.b, ws.c, m, n, k,
                                      gopts),
-          double(k) / gpukernels::kTileK, cuda_grade, gemm_flops,
+          double(k) / geometry.tile_k, cuda_grade, gemm_flops,
           options.mainloop.double_buffer));
     } else {
       report.kernels.push_back(make_report(
@@ -189,7 +201,7 @@ PipelineReport run_pipeline(Solution solution,
   report.result = gpukernels::download_result(device, ws);
 
   if (options.checks.enabled) {
-    std::vector<float> block_checksums(2 * (m / 128));
+    std::vector<float> block_checksums(2 * (m / checksum_block_rows));
     device.memory().download(ws.vsum_check, block_checksums);
     std::vector<float> colsums;
     if (ws.colsum_check.valid() && options.checks.gemm_colsum) {
@@ -198,7 +210,7 @@ PipelineReport run_pipeline(Solution solution,
     }
     report.robustness = robust::evaluate_checks(
         options.checks, instance, params, report.result.span(),
-        block_checksums, colsums);
+        block_checksums, colsums, checksum_block_rows);
   }
   return report;
 }

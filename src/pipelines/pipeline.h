@@ -9,6 +9,7 @@
 // timing / energy report the benches consume.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,17 @@ namespace ksum::pipelines {
 enum class Solution { kFused, kCudaUnfused, kCublasUnfused };
 
 std::string to_string(Solution solution);
+
+/// Supplies a tile geometry for a (M, N, K, solution) problem. Implemented
+/// by the autotuner's TuningCache (src/tune/) — declared here so the solver
+/// can consult it without the pipelines depending on the tuner. Returning
+/// nullopt keeps the options' (usually the paper's default) geometry.
+struct TileGeometryResolver {
+  virtual ~TileGeometryResolver() = default;
+  virtual std::optional<gpukernels::TileGeometry> resolve(
+      std::size_t m, std::size_t n, std::size_t k,
+      Solution solution) const = 0;
+};
 
 /// One kernel launch inside a pipeline, with its modelled time and the
 /// inputs the energy model needs.
@@ -82,6 +94,10 @@ struct RunOptions {
   /// (robust/fault_plan.h provides the deterministic implementation). Not
   /// owned; must outlive the call. nullptr = fault-free execution.
   gpusim::FaultInjector* fault_injector = nullptr;
+  /// Optional per-problem tile-geometry source consulted by solve() before
+  /// padding (the tuning cache implements this). Not owned; must outlive
+  /// the call. nullptr = use `mainloop.geometry` as-is.
+  const TileGeometryResolver* geometry_resolver = nullptr;
 };
 
 /// Runs `solution` on `instance` functionally and returns the full report.

@@ -1,6 +1,7 @@
 #include "pipelines/solver.h"
 
 #include <cstdint>
+#include <numeric>
 
 #include "common/timer.h"
 #include "workload/padding.h"
@@ -53,13 +54,38 @@ SolveResult solve(const workload::Instance& instance,
         run_options.checks.enabled = true;
       }
 
+      // Let the tuning cache (or any other resolver) pick a per-problem
+      // tile geometry before padding, so the alignment below matches the
+      // geometry that actually runs.
+      if (options.geometry_resolver != nullptr) {
+        const auto chosen = options.geometry_resolver->resolve(
+            instance.spec.m, instance.spec.n, instance.spec.k, solution);
+        if (chosen.has_value()) {
+          run_options.mainloop.geometry = *chosen;
+        }
+      }
+
       // Ragged shapes embed into the tile geometry by exact zero-padding
       // (workload/padding.h): the first M entries of V are bit-identical to
       // an aligned run's, so the caller-visible result just truncates. The
-      // report (and its ABFT verdicts) describes the padded run.
-      const bool padded = !workload::is_tile_aligned(instance.spec);
+      // report (and its ABFT verdicts) describes the padded run. The
+      // non-tile kernels (norms, GEMV, eval) keep 128-row CTAs, so M and N
+      // align to lcm(tile edge, 128) and K to lcm(tile_k, 8).
+      const gpukernels::TileGeometry& geometry =
+          run_options.mainloop.geometry;
+      const std::size_t m_align =
+          std::lcm(static_cast<std::size_t>(geometry.tile_m),
+                   std::size_t{128});
+      const std::size_t n_align =
+          std::lcm(static_cast<std::size_t>(geometry.tile_n),
+                   std::size_t{128});
+      const std::size_t k_align =
+          std::lcm(static_cast<std::size_t>(geometry.tile_k), std::size_t{8});
+      const bool padded = !workload::is_shape_aligned(instance.spec, m_align,
+                                                      n_align, k_align);
       const workload::Instance& run_instance =
-          padded ? pad_storage.emplace(workload::pad_instance(instance))
+          padded ? pad_storage.emplace(workload::pad_instance(
+                       instance, m_align, n_align, k_align))
                  : instance;
 
       // Every attempt re-seeds the injector's per-site RNG streams, so a

@@ -9,8 +9,6 @@
 namespace ksum::robust {
 namespace {
 
-constexpr std::size_t kBlockRows = 128;  // row-block granularity of V
-
 /// Floor added to every tolerance scale so near-zero sums cannot trip a
 /// check on pure rounding noise.
 constexpr double kScaleFloor = 1e-20;
@@ -101,17 +99,17 @@ CheckResult check_kernel_bound(std::span<const float> v,
 
 CheckResult check_block_checksums(std::span<const float> v,
                                   std::span<const float> checksums,
-                                  double rel_tol) {
+                                  double rel_tol, std::size_t block_rows) {
   CheckResult result;
   result.name = "block-checksum";
   result.threshold = rel_tol;
   const std::size_t blocks = checksums.size() / 2;
-  KSUM_CHECK_MSG(blocks * kBlockRows == v.size(),
+  KSUM_CHECK_MSG(block_rows > 0 && blocks * block_rows == v.size(),
                  "checksum cells do not cover V");
   for (std::size_t b = 0; b < blocks; ++b) {
     double block_sum = 0;
-    for (std::size_t r = 0; r < kBlockRows; ++r) {
-      block_sum += static_cast<double>(v[b * kBlockRows + r]);
+    for (std::size_t r = 0; r < block_rows; ++r) {
+      block_sum += static_cast<double>(v[b * block_rows + r]);
     }
     const double checksum = static_cast<double>(checksums[b]);
     const double abs_mass =
@@ -170,7 +168,8 @@ RobustnessReport evaluate_checks(const CheckConfig& config,
                                  const core::KernelParams& params,
                                  std::span<const float> v,
                                  std::span<const float> block_checksums,
-                                 std::span<const float> gemm_colsums) {
+                                 std::span<const float> gemm_colsums,
+                                 std::size_t checksum_block_rows) {
   RobustnessReport report;
   report.checks_enabled = config.enabled;
   if (!config.enabled) return report;
@@ -178,8 +177,8 @@ RobustnessReport evaluate_checks(const CheckConfig& config,
   report.checks.push_back(check_kernel_bound(v, instance.w.span(), params,
                                              config.bound_slack));
   if (!block_checksums.empty()) {
-    report.checks.push_back(
-        check_block_checksums(v, block_checksums, config.rel_tol));
+    report.checks.push_back(check_block_checksums(
+        v, block_checksums, config.rel_tol, checksum_block_rows));
   }
   if (!gemm_colsums.empty()) {
     report.checks.push_back(

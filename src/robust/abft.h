@@ -86,10 +86,12 @@ CheckResult check_kernel_bound(std::span<const float> v,
 /// `checksums` holds 2·blocks floats: [0, blocks) the signed per-block
 /// sums accumulated through the second atomic path, [blocks, 2·blocks) the
 /// absolute sums used as the tolerance scale. Block b covers V rows
-/// [128·b, 128·(b+1)).
+/// [block_rows·b, block_rows·(b+1)) — one CTA row of the producing kernel
+/// (128 for the paper geometry's fused kernel and for the GEMV).
 CheckResult check_block_checksums(std::span<const float> v,
                                   std::span<const float> checksums,
-                                  double rel_tol);
+                                  double rel_tol,
+                                  std::size_t block_rows = 128);
 
 /// `colsums` holds 2·N floats measured from C = AᵀB before the eval pass:
 /// [0, N) signed column sums, [N, 2N) absolute column sums. The reference
@@ -105,6 +107,7 @@ RobustnessReport evaluate_checks(const CheckConfig& config,
                                  const core::KernelParams& params,
                                  std::span<const float> v,
                                  std::span<const float> block_checksums,
-                                 std::span<const float> gemm_colsums);
+                                 std::span<const float> gemm_colsums,
+                                 std::size_t checksum_block_rows = 128);
 
 }  // namespace ksum::robust

@@ -33,6 +33,8 @@
 #include "report/paper_report.h"
 #include "report/pipeline_printer.h"
 #include "robust/fault_plan.h"
+#include "tune/tile_search.h"
+#include "tune/tuning_cache.h"
 #include "workload/weights.h"
 
 namespace {
@@ -144,6 +146,75 @@ std::unique_ptr<robust::FaultPlan> robustness_from_flags(
   return plan;
 }
 
+/// Parses --tile=MxNxK into a full geometry: the block is the tile divided
+/// by the first micro-tile edge in {8, 4, 16, 12} that yields a
+/// structurally valid decomposition. Throws ksum::Error (exit 2) when the
+/// string is malformed or no decomposition exists.
+gpukernels::TileGeometry tile_from_spec(const std::string& value) {
+  int tile_m = 0, tile_n = 0, tile_k = 0;
+  char trailing = 0;
+  const int matched = std::sscanf(value.c_str(), "%dx%dx%d%c", &tile_m,
+                                  &tile_n, &tile_k, &trailing);
+  KSUM_REQUIRE(matched == 3 && tile_m > 0 && tile_n > 0 && tile_k > 0,
+               "--tile must be MxNxK (e.g. 128x128x8) or 'auto', got: " +
+                   value);
+  for (const int micro : {8, 4, 16, 12}) {
+    if (tile_m % micro != 0 || tile_n % micro != 0) continue;
+    gpukernels::TileGeometry g;
+    g.tile_m = tile_m;
+    g.tile_n = tile_n;
+    g.tile_k = tile_k;
+    g.block_x = tile_n / micro;
+    g.block_y = tile_m / micro;
+    g.micro = micro;
+    if (g.structurally_valid()) return g;
+  }
+  throw Error("--tile=" + value +
+              " has no structurally valid micro-tile decomposition");
+}
+
+std::string join_reasons(const std::vector<std::string>& reasons) {
+  std::string out;
+  for (const auto& r : reasons) {
+    if (!out.empty()) out += "; ";
+    out += r;
+  }
+  return out;
+}
+
+/// Applies --tile to `options` for one (m, n, k, backend) problem. Returns
+/// false (exit 1) after printing the named budget violations when an
+/// explicit geometry is rejected by the resource checks. `cache` must
+/// outlive the solve when --tile=auto attaches it as the resolver.
+bool apply_tile_flag(const std::string& tile, std::size_t m, std::size_t n,
+                     std::size_t k, pipelines::Backend backend,
+                     tune::TuningCache& cache,
+                     pipelines::RunOptions& options) {
+  if (tile == "auto") {
+    tune::TuneOptions tune_options;
+    tune_options.device = options.device;
+    tune_options.layout = options.mainloop.layout;
+    const auto entry = cache.get_or_tune(m, n, k, backend, tune_options);
+    options.mainloop.geometry = entry.geometry;
+    std::printf("tile geometry: %s (autotuned)\n",
+                entry.geometry.to_string().c_str());
+    return true;
+  }
+  const auto geometry = tile_from_spec(tile);
+  const auto verdict =
+      tune::evaluate_candidate(options.device, geometry,
+                               options.mainloop.layout);
+  if (!verdict.viable) {
+    std::fprintf(stderr, "ksum-cli: tile geometry %s rejected: %s\n",
+                 geometry.to_string().c_str(),
+                 join_reasons(verdict.reasons).c_str());
+    return false;
+  }
+  options.mainloop.geometry = geometry;
+  std::printf("tile geometry: %s\n", geometry.to_string().c_str());
+  return true;
+}
+
 /// Runs a --batch CSV through pipelines::solve_many and prints the
 /// submission-ordered summary. Everything printed to stdout is a pure
 /// function of the requests, so the report is byte-identical for any
@@ -164,12 +235,40 @@ int run_batch(const FlagParser& flags, pipelines::Backend backend,
   }
   base.verify = flags.get_bool("verify");
 
+  // --tile applies to the whole batch: a fixed geometry is vetted once and
+  // copied into every request; 'auto' attaches the tuning cache as the
+  // solver's geometry resolver and pre-tunes each shape, so duplicate
+  // shapes tune exactly once and the per-request output stays a pure
+  // function of the submission order.
+  const std::string tile = flags.get_string("tile", "");
+  tune::TuningCache tile_cache;  // outlives solve_many below
+  if (!tile.empty() && tile != "auto") {
+    if (!apply_tile_flag(tile, base.spec.m, base.spec.n, base.spec.k, backend,
+                         tile_cache, base.options)) {
+      return 1;
+    }
+  } else if (tile == "auto") {
+    base.options.geometry_resolver = &tile_cache;
+  }
+
   const std::string path = flags.get_string("batch", "");
   KSUM_REQUIRE(!path.empty(), "--batch needs a file path");
   std::ifstream in(path);
   if (!in) throw Error("cannot open batch file: " + path);
   auto requests = pipelines::parse_batch_csv(in, base);
   KSUM_REQUIRE(!requests.empty(), "batch file has no requests: " + path);
+
+  if (tile == "auto") {
+    tune::TuneOptions tune_options;
+    tune_options.device = base.options.device;
+    tune_options.layout = base.options.mainloop.layout;
+    for (const auto& r : requests) {
+      tile_cache.get_or_tune(r.spec.m, r.spec.n, r.spec.k, backend,
+                             tune_options);
+    }
+    std::printf("tile geometry: autotuned per shape (%zu cache entries)\n",
+                tile_cache.size());
+  }
   if (flags.has("fault-seed")) {
     // An explicit base seed still gives every request an independent
     // stream, offset by its submission index (replayable end to end).
@@ -244,7 +343,10 @@ int cmd_solve(int argc, const char* const* argv) {
                "CSV file of batch requests (m,n,k[,seed[,h]] per line), run "
                "concurrently with deterministic submission-order output")
       .declare("threads",
-               "worker threads for --batch execution (default 1)");
+               "worker threads for --batch execution (default 1)")
+      .declare("tile",
+               "tile geometry MxNxK (e.g. 128x128x8), or 'auto' to pick via "
+               "the runtime autotuner");
   flags.parse(argc, argv, 2);
   if (flags.get_bool("help")) {
     std::printf("ksum-cli solve — run one kernel summation\n%s",
@@ -299,6 +401,9 @@ int cmd_solve(int argc, const char* const* argv) {
   KSUM_REQUIRE(simulated || flags.get_double("fault-rate", 0.0) == 0.0,
                "conflicting flags: --fault-rate needs a simulated backend "
                "(--solution=" + name + " runs on the host)");
+  KSUM_REQUIRE(simulated || flags.get_string("tile", "").empty(),
+               "conflicting flags: --tile needs a simulated backend "
+               "(--solution=" + name + " runs on the host)");
 
   if (flags.has("batch")) {
     return run_batch(flags, backend, options_from_flags(flags));
@@ -309,6 +414,13 @@ int cmd_solve(int argc, const char* const* argv) {
   auto options = options_from_flags(flags);
   const auto plan = robustness_from_flags(flags, options);
   const auto instance = workload::make_instance(spec);
+
+  tune::TuningCache tile_cache;
+  const std::string tile = flags.get_string("tile", "");
+  if (!tile.empty() && !apply_tile_flag(tile, spec.m, spec.n, spec.k, backend,
+                                        tile_cache, options)) {
+    return 1;
+  }
 
   const auto result = pipelines::solve(instance, params, backend, options);
   std::printf("%s on %s\n", pipelines::to_string(backend).c_str(),

@@ -1,0 +1,155 @@
+#include "tune/tile_search.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "gpusim/occupancy.h"
+
+namespace ksum::tune {
+
+using gpukernels::TileGeometry;
+using gpukernels::TileLayout;
+
+std::vector<TileGeometry> enumerate_candidates() {
+  static constexpr std::array<int, 3> kBlockEdges = {8, 16, 32};
+  static constexpr std::array<int, 2> kMicros = {4, 8};
+  static constexpr std::array<int, 3> kTileKs = {4, 8, 16};
+
+  std::vector<TileGeometry> out;
+  for (const int block_y : kBlockEdges) {
+    for (const int block_x : kBlockEdges) {
+      for (const int micro : kMicros) {
+        for (const int tile_k : kTileKs) {
+          TileGeometry g;
+          g.block_x = block_x;
+          g.block_y = block_y;
+          g.micro = micro;
+          g.tile_k = tile_k;
+          g.tile_m = block_y * micro;
+          g.tile_n = block_x * micro;
+          out.push_back(g);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t count_layout_conflicts(const TileGeometry& g,
+                                     TileLayout layout) {
+  KSUM_REQUIRE(g.structurally_valid(),
+               "conflict lint needs a structurally valid geometry, got " +
+                   g.to_string());
+  std::uint64_t conflicts = 0;
+  // One staging pass per operand tile: tileA has block_y microtiles of
+  // tile_m rows, tileB has block_x microtiles of tile_n rows.
+  for (const int tile_rows : {g.tile_m, g.tile_n}) {
+    const int microtiles = tile_rows / g.micro;
+    for (int chunk = 0; chunk < tile_rows / 32; ++chunk) {
+      for (int k = 0; k < g.tile_k; ++k) {
+        // The 32 lanes of one scatter store; replays beyond the first
+        // transaction are conflicts (distinct words in the same bank).
+        std::array<std::set<std::uint32_t>, 32> words_per_bank;
+        for (int lane = 0; lane < 32; ++lane) {
+          const auto ta = gpukernels::track_of_loader(layout, g, microtiles,
+                                                      chunk * 32 + lane);
+          const std::uint32_t word =
+              gpukernels::tile_offset(layout, g, microtiles, ta.microtile,
+                                      ta.track, k) /
+              4;
+          words_per_bank[word % 32].insert(word);
+        }
+        std::size_t replays = 1;
+        for (const auto& words : words_per_bank) {
+          replays = std::max(replays, words.size());
+        }
+        conflicts += replays - 1;
+      }
+    }
+  }
+  return conflicts;
+}
+
+CandidateVerdict evaluate_candidate(const config::DeviceSpec& spec,
+                                    const TileGeometry& g,
+                                    TileLayout layout) {
+  CandidateVerdict v;
+  v.geometry = g;
+  v.reasons = g.structural_violations();
+  if (!v.reasons.empty()) return v;
+
+  v.regs_per_thread = g.regs_per_thread();
+  v.smem_bytes = g.smem_bytes(/*fused=*/true, /*double_buffer=*/true);
+
+  // Named resource budgets — §III-A's arithmetic against Table I. The
+  // sentences name the budget so CLI/test consumers can tell them apart.
+  if (g.threads() > spec.max_threads_per_block) {
+    v.reasons.push_back(str_format(
+        "threads-per-block budget exceeded: %d threads > %d per block",
+        g.threads(), spec.max_threads_per_block));
+  }
+  if (v.regs_per_thread > spec.max_registers_per_thread) {
+    v.reasons.push_back(str_format(
+        "register budget exceeded: %d regs/thread > the architectural cap "
+        "of %d",
+        v.regs_per_thread, spec.max_registers_per_thread));
+  }
+  if (g.threads() * v.regs_per_thread > spec.registers_per_sm) {
+    v.reasons.push_back(str_format(
+        "register-file budget exceeded: %d threads x %d regs = %d > %d "
+        "registers per SM",
+        g.threads(), v.regs_per_thread, g.threads() * v.regs_per_thread,
+        spec.registers_per_sm));
+  }
+  if (v.smem_bytes > spec.smem_per_block_limit) {
+    v.reasons.push_back(str_format(
+        "shared-memory budget exceeded: %u bytes > the %zu-byte per-block "
+        "limit",
+        v.smem_bytes, spec.smem_per_block_limit));
+  }
+  if (!v.reasons.empty()) return v;
+
+  gpusim::LaunchConfig cfg;
+  cfg.threads_per_block = g.threads();
+  cfg.regs_per_thread = v.regs_per_thread;
+  cfg.smem_bytes_per_block = v.smem_bytes;
+  try {
+    const auto occ = gpusim::compute_occupancy(spec, cfg);
+    v.blocks_per_sm = occ.blocks_per_sm;
+    v.limiter = gpusim::to_string(occ.limiter);
+  } catch (const Error& e) {
+    v.reasons.push_back(std::string("occupancy: ") + e.what());
+    return v;
+  }
+  if (v.blocks_per_sm < 1) {
+    v.reasons.push_back("occupancy budget exceeded: 0 CTAs fit on an SM");
+    return v;
+  }
+
+  v.bank_conflicts = count_layout_conflicts(g, layout);
+  if (v.bank_conflicts > 0) {
+    v.reasons.push_back(str_format(
+        "shared-memory layout lint: %llu bank conflicts per staged tile "
+        "pair in the %s layout",
+        static_cast<unsigned long long>(v.bank_conflicts),
+        layout == TileLayout::kFig5 ? "fig5" : "naive"));
+    return v;
+  }
+
+  v.viable = true;
+  return v;
+}
+
+std::vector<CandidateVerdict> evaluate_candidates(
+    const config::DeviceSpec& spec, TileLayout layout) {
+  std::vector<CandidateVerdict> out;
+  for (const auto& g : enumerate_candidates()) {
+    out.push_back(evaluate_candidate(spec, g, layout));
+  }
+  return out;
+}
+
+}  // namespace ksum::tune

@@ -1,0 +1,65 @@
+// Tile-geometry search space and pruning for the runtime autotuner.
+//
+// The tuner walks a small deterministic grid of (blockX, blockY, microtile,
+// tileK) combinations, keeps the structurally valid ones (TileGeometry's own
+// derivation rules), and then prunes against the paper's §III-A resource
+// arithmetic: the architectural register cap, the register file, the
+// per-block shared-memory limit, the thread-slot budget, and the occupancy
+// calculator. Rejection reasons are full sentences that *name the violated
+// budget* — the CLI surfaces them verbatim, and the negative tests match on
+// the budget names. A final analytic lint walks the generalized Fig.-5 /
+// naive layout functions through the bank model arithmetic and counts the
+// conflicts one K-tile load would cost, so degenerate layouts lose before
+// any simulated execution is spent on them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/device_spec.h"
+#include "gpukernels/smem_layout.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::tune {
+
+/// One candidate after structural + resource + layout vetting.
+struct CandidateVerdict {
+  gpukernels::TileGeometry geometry;
+  bool viable = false;
+  /// Empty when viable; otherwise every violated constraint, structural
+  /// rules first, then the named resource budgets.
+  std::vector<std::string> reasons;
+  int regs_per_thread = 0;
+  std::uint32_t smem_bytes = 0;     // fused, double-buffered footprint
+  int blocks_per_sm = 0;            // 0 when the config cannot launch
+  std::string limiter;              // occupancy limiter when launchable
+  /// Analytic smem bank conflicts for one full (tileA + tileB) staging pass
+  /// in the candidate's layout (0 for every valid Fig.-5 geometry).
+  std::uint64_t bank_conflicts = 0;
+};
+
+/// The deterministic candidate grid: blockX, blockY ∈ {8, 16, 32} ×
+/// micro ∈ {4, 8} × tileK ∈ {4, 8, 16}, with tileM = blockY·micro and
+/// tileN = blockX·micro. Includes structurally invalid combinations (the
+/// `list` CLI shows why they fall); enumeration order is fixed.
+std::vector<gpukernels::TileGeometry> enumerate_candidates();
+
+/// Counts the shared-memory bank conflicts of staging one complete tileA +
+/// tileB pair through `layout`'s scatter stores (replays beyond the first
+/// transaction of each warp request, summed over every store).
+std::uint64_t count_layout_conflicts(const gpukernels::TileGeometry& g,
+                                     gpukernels::TileLayout layout);
+
+/// Vets one candidate: structural rules, named resource budgets, occupancy,
+/// and the bank-conflict lint. Pure function of its inputs.
+CandidateVerdict evaluate_candidate(
+    const config::DeviceSpec& spec, const gpukernels::TileGeometry& g,
+    gpukernels::TileLayout layout = gpukernels::TileLayout::kFig5);
+
+/// enumerate_candidates() pushed through evaluate_candidate().
+std::vector<CandidateVerdict> evaluate_candidates(
+    const config::DeviceSpec& spec,
+    gpukernels::TileLayout layout = gpukernels::TileLayout::kFig5);
+
+}  // namespace ksum::tune

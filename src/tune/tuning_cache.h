@@ -1,0 +1,102 @@
+// Deterministic memoization of tuner winners, and the TileGeometryResolver
+// the solver consults.
+//
+// The cache maps (M, N, K, solution) to the geometry the tuner picked.
+// resolve() is a pure lookup (a miss keeps the caller's default geometry);
+// get_or_tune() runs the full tuner on a miss and memoizes the winner, so a
+// batch of identical shapes tunes exactly once. All entry points are
+// thread-safe, and the serialised form — schema "ksum-tune-cache-v1" — is a
+// pure function of the entries: keys serialise in sorted order, values carry
+// no clocks or host state, so the same tuning decisions always produce a
+// byte-identical cache file (the golden tests pin this).
+//
+//   {
+//     "schema": "ksum-tune-cache-v1",
+//     "entries": [ {
+//         "m":…, "n":…, "k":…, "solution": "Fused",
+//         "tile_m":…, "tile_n":…, "tile_k":…, "block_x":…, "block_y":…,
+//         "micro":…, "scaled_seconds":…, "proxy_seconds":… } ]
+//   }
+//
+// validate_tune_cache_json() enforces the determinism contract: entries must
+// be strictly sorted by (m, n, k, solution) with no duplicates, and every
+// geometry must be structurally valid.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "pipelines/pipeline.h"
+#include "profile/json.h"
+#include "tune/tuner.h"
+
+namespace ksum::tune {
+
+/// The pipeline a backend runs (host backends are rejected — they have no
+/// tile geometry to tune).
+pipelines::Solution solution_of(pipelines::Backend backend);
+
+class TuningCache : public pipelines::TileGeometryResolver {
+ public:
+  struct Entry {
+    gpukernels::TileGeometry geometry;
+    double scaled_seconds = 0;
+    double proxy_seconds = 0;
+  };
+
+  TuningCache() = default;
+  TuningCache(const TuningCache&) = delete;
+  TuningCache& operator=(const TuningCache&) = delete;
+
+  /// Pure lookup; nullopt on a miss (the solver keeps its default).
+  std::optional<gpukernels::TileGeometry> resolve(
+      std::size_t m, std::size_t n, std::size_t k,
+      pipelines::Solution solution) const override;
+
+  /// Lookup returning the full entry; nullopt on a miss.
+  std::optional<Entry> find(std::size_t m, std::size_t n, std::size_t k,
+                            pipelines::Solution solution) const;
+
+  /// Inserts (or replaces) an entry.
+  void insert(std::size_t m, std::size_t n, std::size_t k,
+              pipelines::Solution solution, Entry entry);
+
+  /// Memoized tuning: returns the cached winner or runs tune() and caches
+  /// it. The tuner runs outside the cache lock; concurrent misses on the
+  /// same key tune redundantly but deterministically agree.
+  Entry get_or_tune(std::size_t m, std::size_t n, std::size_t k,
+                    pipelines::Backend backend,
+                    const TuneOptions& options = {});
+
+  std::size_t size() const;
+
+  /// Serialises to ksum-tune-cache-v1 (validated before returning).
+  profile::Json to_json() const;
+  /// Replaces the contents from a validated record.
+  void load_json(const profile::Json& record);
+
+  /// File round-trip (dump() text; load validates).
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  struct Key {
+    std::size_t m = 0, n = 0, k = 0;
+    int solution = 0;
+    bool operator<(const Key& o) const {
+      if (m != o.m) return m < o.m;
+      if (n != o.n) return n < o.n;
+      if (k != o.k) return k < o.k;
+      return solution < o.solution;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+};
+
+/// Throws ksum::Error describing the first violation.
+void validate_tune_cache_json(const profile::Json& record);
+
+}  // namespace ksum::tune

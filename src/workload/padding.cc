@@ -11,12 +11,22 @@ std::size_t round_up(std::size_t v, std::size_t align) {
 
 bool is_tile_aligned(const ProblemSpec& spec, std::size_t mn_align,
                      std::size_t k_align) {
-  return spec.m % mn_align == 0 && spec.n % mn_align == 0 &&
+  return is_shape_aligned(spec, mn_align, mn_align, k_align);
+}
+
+bool is_shape_aligned(const ProblemSpec& spec, std::size_t m_align,
+                      std::size_t n_align, std::size_t k_align) {
+  return spec.m % m_align == 0 && spec.n % n_align == 0 &&
          spec.k % k_align == 0;
 }
 
 Instance pad_instance(const Instance& instance, std::size_t mn_align,
                       std::size_t k_align) {
+  return pad_instance(instance, mn_align, mn_align, k_align);
+}
+
+Instance pad_instance(const Instance& instance, std::size_t m_align,
+                      std::size_t n_align, std::size_t k_align) {
   const ProblemSpec& spec = instance.spec;
   KSUM_REQUIRE(spec.m > 0 && spec.n > 0 && spec.k > 0,
                "cannot pad an empty instance");
@@ -26,8 +36,8 @@ Instance pad_instance(const Instance& instance, std::size_t mn_align,
 
   Instance out;
   out.spec = spec;
-  out.spec.m = round_up(spec.m, mn_align);
-  out.spec.n = round_up(spec.n, mn_align);
+  out.spec.m = round_up(spec.m, m_align);
+  out.spec.n = round_up(spec.n, n_align);
   out.spec.k = round_up(spec.k, k_align);
 
   // Fresh zero-initialised storage; copy the original block in. Padded

@@ -30,10 +30,20 @@ std::size_t round_up(std::size_t v, std::size_t align);
 bool is_tile_aligned(const ProblemSpec& spec, std::size_t mn_align = 128,
                      std::size_t k_align = 8);
 
+/// Separate M/N alignments, for tile geometries whose two edges differ (the
+/// non-tile kernels keep their own 128-row CTAs, so a geometry-aware caller
+/// passes lcm(tile edge, 128)).
+bool is_shape_aligned(const ProblemSpec& spec, std::size_t m_align,
+                      std::size_t n_align, std::size_t k_align);
+
 /// Returns `instance` embedded in the aligned shape as described above.
 /// The spec's distribution/seed/bandwidth carry over; m/n/k become the
 /// padded sizes. Aligned instances are returned as a plain copy.
 Instance pad_instance(const Instance& instance, std::size_t mn_align = 128,
                       std::size_t k_align = 8);
+
+/// Separate M/N alignment variant (see is_shape_aligned).
+Instance pad_instance(const Instance& instance, std::size_t m_align,
+                      std::size_t n_align, std::size_t k_align);
 
 }  // namespace ksum::workload

@@ -37,7 +37,7 @@ TEST_P(TileLoaderTest, LoadsEveryElementToItsLayoutSlot) {
   device_.launch(
       "loader", {1, 1}, {16, 16}, cfg, [&](gpusim::BlockContext& ctx) {
         TileSource src{buffer_, 0, kK};
-        load_tile(ctx, src, k0, 0, layout, 0);
+        load_tile(ctx, TileGeometry{}, src, k0, 0, layout, 0, kTileM);
         // Verify every element landed where the layout function says.
         for (int m = 0; m < 16; ++m) {
           for (int t = 0; t < 8; ++t) {
@@ -63,7 +63,7 @@ TEST_P(TileLoaderTest, CountsArePredicted) {
   const auto result = device_.launch(
       "loader", {1, 1}, {16, 16}, cfg, [&](gpusim::BlockContext& ctx) {
         TileSource src{buffer_, 0, kK};
-        load_tile(ctx, src, 0, 0, layout, 0);
+        load_tile(ctx, TileGeometry{}, src, 0, 0, layout, 0, kTileM);
       });
   const auto& c = result.counters;
   // 4 warps × 2 float4 loads.
@@ -96,7 +96,7 @@ TEST(VectorSegmentTest, LoadsAndCounts) {
   cfg.smem_bytes_per_block = 1024;
   const auto result = device.launch(
       "segment", {1, 1}, {16, 16}, cfg, [&](gpusim::BlockContext& ctx) {
-        load_vector_segment(ctx, buf, 128, 0);
+        load_vector_segment(ctx, TileGeometry{}, buf, 128, 0, 128);
         for (int i = 0; i < 128; ++i) {
           EXPECT_EQ(ctx.smem().peek(gpusim::SharedAddr(i * 4)),
                     float(128 + i));

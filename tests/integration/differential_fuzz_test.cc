@@ -23,9 +23,13 @@
 #include <vector>
 
 #include "blas/vector_ops.h"
+#include "common/rng.h"
+#include "config/device_spec.h"
 #include "core/exact.h"
 #include "exec/batch_engine.h"
 #include "pipelines/solver.h"
+#include "tune/tile_search.h"
+#include "tune/tuning_cache.h"
 #include "workload/point_generators.h"
 
 namespace ksum {
@@ -211,6 +215,115 @@ TEST(DifferentialFuzzTest, RobustForkMatchesAndStaysQuiet) {
         << "checksum fork perturbed V[" << out.first_mismatch << "] on "
         << out.what;
   }
+}
+
+struct GeometryOutcome {
+  std::string what;
+  std::string geometry;
+  std::size_t fused_size = 0;
+  double fused_vs_oracle = 0;
+};
+
+TEST(DifferentialFuzzTest, FusedMatchesOracleUnderRandomTunedGeometries) {
+  // Every 3rd combo re-runs fused with a seeded-random tile geometry drawn
+  // from the autotuner's viable set (the 24 survivors of the GTX 970
+  // budgets), so the fuzz surface covers the whole launchable design space,
+  // not just the paper default — including the lcm padding each non-128
+  // tile forces.
+  std::vector<gpukernels::TileGeometry> viable;
+  for (const auto& verdict :
+       tune::evaluate_candidates(config::DeviceSpec::gtx970())) {
+    if (verdict.viable) viable.push_back(verdict.geometry);
+  }
+  ASSERT_GE(viable.size(), 10u);
+
+  const auto cases = fuzz_cases();
+  std::vector<FuzzCase> picked;
+  for (std::size_t i = 0; i < cases.size(); i += 3) picked.push_back(cases[i]);
+  ASSERT_GE(picked.size(), 40u);
+
+  exec::ThreadPool pool(test_threads());
+  const auto outcomes = exec::map_ordered(
+      pool, picked.size(), [&](std::size_t index) {
+        const FuzzCase& c = picked[index];
+        workload::ProblemSpec spec;
+        spec.m = c.m;
+        spec.n = c.n;
+        spec.k = c.k;
+        spec.seed = c.seed;
+        spec.bandwidth = 0.9f;
+        const auto instance = workload::make_instance(spec);
+        const auto params = core::params_from_spec(spec);
+
+        // Per-case seeded draw keeps the geometry a pure function of the
+        // case, independent of worker scheduling.
+        Rng rng(c.seed * 7919 + 13);
+        const auto& geometry = viable[rng.next_below(viable.size())];
+
+        GeometryOutcome out;
+        out.what = spec.to_string();
+        out.geometry = geometry.to_string();
+
+        const auto oracle =
+            pipelines::solve(instance, params, Backend::kCpuDirect);
+        pipelines::RunOptions options;
+        options.mainloop.geometry = geometry;
+        const auto fused =
+            pipelines::solve(instance, params, Backend::kSimFused, options);
+        out.fused_size = fused.v.size();
+        out.fused_vs_oracle = diff(fused.v, oracle.v);
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), picked.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const GeometryOutcome& out = outcomes[i];
+    ASSERT_EQ(out.fused_size, picked[i].m)
+        << out.what << " @ " << out.geometry;
+    EXPECT_LT(out.fused_vs_oracle, kTol)
+        << "fused @ " << out.geometry << " on " << out.what;
+  }
+}
+
+TEST(DifferentialFuzzTest, TuningCacheReplayIsThreadCountInvariant) {
+  // The tuner's survivors execute on the thread pool, but the winner — and
+  // therefore the serialised cache — must be a pure function of the
+  // requests: replaying the same shapes at 1, 2, and 8 tuner threads has to
+  // produce byte-identical cache JSON (the same contract solve_many's
+  // deterministic aggregation pins for batch results).
+  struct Shape {
+    std::size_t m, n, k;
+  };
+  const std::vector<Shape> shapes = {{200, 200, 8}, {129, 127, 9}};
+
+  std::vector<std::string> dumps;
+  for (const int threads : {1, 2, 8}) {
+    tune::TuningCache cache;
+    tune::TuneOptions options;
+    options.threads = threads;
+    for (const Shape& s : shapes) {
+      const auto entry = cache.get_or_tune(s.m, s.n, s.k,
+                                           Backend::kSimFused, options);
+      EXPECT_TRUE(entry.geometry.structurally_valid());
+    }
+    // Memoization: re-tuning the first shape must be a pure lookup that
+    // agrees with the stored winner and adds no entry.
+    const auto again = cache.get_or_tune(shapes[0].m, shapes[0].n, shapes[0].k,
+                                         Backend::kSimFused, options);
+    EXPECT_EQ(cache.size(), shapes.size());
+    const auto resolved =
+        cache.resolve(shapes[0].m, shapes[0].n, shapes[0].k,
+                      pipelines::Solution::kFused);
+    ASSERT_TRUE(resolved.has_value());
+    EXPECT_EQ(*resolved, again.geometry);
+    EXPECT_FALSE(cache.resolve(1, 2, 3, pipelines::Solution::kFused)
+                     .has_value());
+    dumps.push_back(cache.to_json().dump());
+  }
+
+  ASSERT_EQ(dumps.size(), 3u);
+  EXPECT_EQ(dumps[0], dumps[1]) << "1-thread vs 2-thread cache diverged";
+  EXPECT_EQ(dumps[0], dumps[2]) << "1-thread vs 8-thread cache diverged";
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// Golden snapshots of the autotuner's serialised records: the vetted
+// candidate grid (`ksum-tune prune --json`), a full tune record
+// (`ksum-tune best --json`), and the ksum-tune-cache-v1 cache file. The
+// tuner is a pure function of (shape, backend, options) and the records
+// carry no clocks or host state, so any byte diff is a real behaviour
+// change — a new candidate, a different winner, a drifted model.
+//
+// To regenerate after an intentional change:
+//   KSUM_UPDATE_GOLDEN=1 ./tests/tune_tests --gtest_filter='GoldenTuneTest.*'
+// and commit the rewritten files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/device_spec.h"
+#include "pipelines/solver.h"
+#include "tune/tile_search.h"
+#include "tune/tune_json.h"
+#include "tune/tuning_cache.h"
+
+#ifndef KSUM_GOLDEN_DIR
+#error "KSUM_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace ksum {
+namespace {
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path =
+      std::string(KSUM_GOLDEN_DIR) + "/" + name + ".json";
+  const char* update = std::getenv("KSUM_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with KSUM_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << name << " drifted from its golden snapshot; if the change is "
+      << "intentional, regenerate with KSUM_UPDATE_GOLDEN=1";
+}
+
+tune::TuneOptions options() {
+  tune::TuneOptions o;
+  o.threads = 4;  // the records must not depend on this
+  return o;
+}
+
+TEST(GoldenTuneTest, PruneGridJson) {
+  const auto grid = tune::evaluate_candidates(config::DeviceSpec::gtx970());
+  check_golden("tune_prune_grid",
+               tune::tune_grid_record("prune", grid).dump());
+}
+
+TEST(GoldenTuneTest, BestRecordJson) {
+  tune::TuneRequest request;
+  request.m = 256;
+  request.n = 256;
+  request.k = 8;
+  request.backend = pipelines::Backend::kSimFused;
+  const auto report = tune::tune(request, options());
+  check_golden("tune_best_record",
+               tune::tune_record("best", {report}).dump());
+}
+
+TEST(GoldenTuneTest, CacheFileJson) {
+  tune::TuningCache cache;
+  cache.get_or_tune(256, 256, 8, pipelines::Backend::kSimFused, options());
+  cache.get_or_tune(200, 200, 16, pipelines::Backend::kSimFused, options());
+  check_golden("tune_cache", cache.to_json().dump());
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,118 @@
+// The autotuner's search space and pruning: the fixed candidate grid, the
+// structural closure rules, the named resource budgets, and the analytic
+// bank-conflict lint.
+#include "tune/tile_search.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "config/device_spec.h"
+#include "gpukernels/smem_layout.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum {
+namespace {
+
+using gpukernels::TileGeometry;
+using gpukernels::TileLayout;
+
+TEST(TileSearchTest, GridIsFixedAndDeterministic) {
+  const auto grid = tune::enumerate_candidates();
+  // blockX, blockY ∈ {8, 16, 32} × micro ∈ {4, 8} × tileK ∈ {4, 8, 16}.
+  EXPECT_EQ(grid.size(), 54u);
+  const auto again = tune::enumerate_candidates();
+  ASSERT_EQ(again.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i], again[i]) << "enumeration order changed at " << i;
+  }
+  bool has_paper = false;
+  for (const auto& g : grid) has_paper = has_paper || g.is_paper();
+  EXPECT_TRUE(has_paper) << "the paper geometry must be in the grid";
+}
+
+TEST(TileSearchTest, PaperGeometryIsViableOnGtx970) {
+  const auto verdict =
+      tune::evaluate_candidate(config::DeviceSpec::gtx970(), TileGeometry{});
+  EXPECT_TRUE(verdict.viable);
+  EXPECT_TRUE(verdict.reasons.empty());
+  EXPECT_EQ(verdict.regs_per_thread, 128);
+  EXPECT_EQ(verdict.blocks_per_sm, 2);  // the paper's 2 CTAs/SM claim
+  EXPECT_EQ(verdict.bank_conflicts, 0u);
+}
+
+TEST(TileSearchTest, ReasonsNameTheViolatedBudget) {
+  // 32×32 threads at 8×8 microtiles: 1024 threads × 128 regs = 131072
+  // registers — past the 65536-register file. (tileK = 16 keeps the
+  // reduction-scratch closure rules satisfied so only budgets fire.)
+  TileGeometry g;
+  g.block_x = 32;
+  g.block_y = 32;
+  g.micro = 8;
+  g.tile_m = g.block_y * g.micro;  // 256
+  g.tile_n = g.block_x * g.micro;  // 256
+  g.tile_k = 16;
+  ASSERT_TRUE(g.structurally_valid());
+  const auto verdict =
+      tune::evaluate_candidate(config::DeviceSpec::gtx970(), g);
+  EXPECT_FALSE(verdict.viable);
+  ASSERT_FALSE(verdict.reasons.empty());
+  bool names_registers = false;
+  for (const auto& reason : verdict.reasons) {
+    names_registers =
+        names_registers || reason.find("register-file budget") != std::string::npos;
+  }
+  EXPECT_TRUE(names_registers)
+      << "first reason: " << verdict.reasons.front();
+}
+
+TEST(TileSearchTest, StructurallyInvalidCandidatesCarryTheRuleText) {
+  TileGeometry g;
+  g.micro = 12;  // 12 does not divide the 128-row tile
+  const auto verdict =
+      tune::evaluate_candidate(config::DeviceSpec::gtx970(), g);
+  EXPECT_FALSE(verdict.viable);
+  ASSERT_FALSE(verdict.reasons.empty());
+  EXPECT_EQ(verdict.reasons, g.structural_violations());
+}
+
+TEST(TileSearchTest, VerdictInvariantsHoldAcrossTheGrid) {
+  const auto verdicts =
+      tune::evaluate_candidates(config::DeviceSpec::gtx970());
+  ASSERT_EQ(verdicts.size(), 54u);
+  std::size_t viable = 0;
+  for (const auto& v : verdicts) {
+    EXPECT_EQ(v.viable, v.reasons.empty()) << v.geometry.to_string();
+    if (v.viable) {
+      ++viable;
+      EXPECT_TRUE(v.geometry.structurally_valid());
+      EXPECT_GT(v.blocks_per_sm, 0) << v.geometry.to_string();
+      EXPECT_EQ(v.bank_conflicts, 0u)
+          << "a viable Fig.-5 geometry must stage conflict-free: "
+          << v.geometry.to_string();
+    }
+  }
+  EXPECT_GE(viable, 10u);
+  EXPECT_LT(viable, verdicts.size());  // pruning must reject something
+}
+
+TEST(TileSearchTest, StagingIsConflictFreeInBothLayouts) {
+  // Both layouts scatter one warp's stores across 32 distinct banks
+  // (smem_layout.h — the naive layout pays in compute *loads*, which the
+  // simulator charges at run time, not in staging). The lint's job is to
+  // prove this holds for every candidate the tuner is about to execute.
+  const TileGeometry paper;
+  EXPECT_EQ(tune::count_layout_conflicts(paper, TileLayout::kFig5), 0u);
+  EXPECT_EQ(tune::count_layout_conflicts(paper, TileLayout::kNaive), 0u);
+  EXPECT_THROW(tune::count_layout_conflicts(
+                   [] {
+                     TileGeometry g;
+                     g.micro = 12;  // structurally invalid
+                     return g;
+                   }(),
+                   TileLayout::kFig5),
+               Error)
+      << "the lint refuses geometries the kernels cannot execute";
+}
+
+}  // namespace
+}  // namespace ksum

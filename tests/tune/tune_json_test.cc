@@ -1,0 +1,127 @@
+// ksum-tune-v1 records and their executable schema: the grid and tune
+// record assemblers must produce records their own validator accepts, and
+// the validator must reject records whose winner or viability bookkeeping
+// does not recompose from the measurements.
+#include "tune/tune_json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "config/device_spec.h"
+#include "tune/tile_search.h"
+#include "tune/tuner.h"
+
+namespace ksum {
+namespace {
+
+const std::vector<tune::CandidateVerdict>& grid() {
+  static const auto kGrid =
+      tune::evaluate_candidates(config::DeviceSpec::gtx970());
+  return kGrid;
+}
+
+const tune::TuneReport& report() {
+  static const tune::TuneReport kReport = [] {
+    tune::TuneRequest request;
+    request.m = 256;
+    request.n = 256;
+    request.k = 8;
+    tune::TuneOptions options;
+    options.threads = 4;
+    return tune::tune(request, options);
+  }();
+  return kReport;
+}
+
+TEST(TuneJsonTest, GridRecordValidates) {
+  const auto record = tune::tune_grid_record("prune", grid());
+  tune::validate_tune_json(record);  // must not throw
+  EXPECT_EQ(record.at("schema").as_string(), "ksum-tune-v1");
+  EXPECT_EQ(record.at("command").as_string(), "prune");
+  EXPECT_EQ(record.at("candidates").size(), grid().size());
+  EXPECT_THROW(tune::tune_grid_record("best", grid()), Error)
+      << "the verdict form only serialises list/prune";
+}
+
+TEST(TuneJsonTest, TuneRecordValidates) {
+  const auto record = tune::tune_record("best", {report()});
+  tune::validate_tune_json(record);
+  EXPECT_EQ(record.at("command").as_string(), "best");
+  const auto& t = record.at("tunes").at(std::size_t{0});
+  EXPECT_EQ(t.at("shape").at("m").as_double(), 256);
+  EXPECT_EQ(t.at("best").at("geometry").as_string(),
+            report().best.to_string());
+  EXPECT_THROW(tune::tune_record("list", {report()}), Error);
+}
+
+TEST(TuneJsonTest, ValidatorRejectsViabilityLies) {
+  // Flip one candidate's "viable" flag without touching its reasons: the
+  // reasons-iff-not-viable invariant must catch it.
+  auto record = tune::tune_grid_record("prune", grid());
+  const std::string text = record.dump();
+  std::size_t flipped = std::string::npos;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text.compare(i, 15, "\"viable\": false") == 0) {
+      flipped = i;
+      break;
+    }
+  }
+  ASSERT_NE(flipped, std::string::npos);
+  std::string tampered = text;
+  tampered.replace(flipped, 15, "\"viable\": true ");
+  EXPECT_THROW(tune::validate_tune_json(profile::Json::parse(tampered)),
+               Error);
+}
+
+TEST(TuneJsonTest, ValidatorRejectsAWrongWinner) {
+  // The winner-recomposition checks: a "best" whose modelled time or
+  // geometry does not recompose from the record's own measurements is
+  // rejected.
+  {
+    auto record = tune::tune_record("best", {report()});
+    auto t0 = record.at("tunes").at(std::size_t{0});
+    t0.set("best_scaled_seconds",
+           profile::Json(t0.at("best_scaled_seconds").as_double() * 2.0));
+    auto tunes = profile::Json::array();
+    tunes.push_back(t0);
+    record.set("tunes", tunes);
+    EXPECT_THROW(tune::validate_tune_json(record), Error);
+  }
+  {
+    // Point the best geometry at an executed loser.
+    auto record = tune::tune_record("best", {report()});
+    auto t0 = record.at("tunes").at(std::size_t{0});
+    const std::string best = t0.at("best").at("geometry").as_string();
+    const auto& candidates = t0.at("candidates");
+    auto fake_best = t0.at("best");
+    bool found = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const auto& c = candidates.at(i);
+      if (!c.at("executed").as_bool() ||
+          c.at("geometry").as_string() == best) {
+        continue;
+      }
+      for (const char* field : {"geometry", "tile_m", "tile_n", "tile_k",
+                                "block_x", "block_y", "micro"}) {
+        fake_best.set(field, c.at(field));
+      }
+      found = true;
+      break;
+    }
+    ASSERT_TRUE(found);
+    t0.set("best", fake_best);
+    auto tunes = profile::Json::array();
+    tunes.push_back(t0);
+    record.set("tunes", tunes);
+    EXPECT_THROW(tune::validate_tune_json(record), Error);
+  }
+}
+
+TEST(TuneJsonTest, ValidatorRejectsTheWrongSchemaTag) {
+  auto record = tune::tune_grid_record("list", grid());
+  record.set("schema", profile::Json("ksum-tune-v0"));
+  EXPECT_THROW(tune::validate_tune_json(record), Error);
+}
+
+}  // namespace
+}  // namespace ksum
