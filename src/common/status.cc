@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace ksum {
+
+namespace {
+
+constexpr struct {
+  StatusCode code;
+  const char* name;
+} kSpellings[] = {
+    {StatusCode::kOk, "ok"},
+    {StatusCode::kInvalid, "invalid"},
+    {StatusCode::kTimeout, "timeout"},
+    {StatusCode::kOverloaded, "overloaded"},
+    {StatusCode::kFaultUnrecovered, "fault_unrecovered"},
+    {StatusCode::kInternal, "internal"},
+};
+
+}  // namespace
+
+const char* to_string(StatusCode code) {
+  for (const auto& entry : kSpellings) {
+    if (entry.code == code) return entry.name;
+  }
+  return "internal";  // unreachable for valid enum values
+}
+
+std::optional<StatusCode> parse_status_code(std::string_view text) {
+  for (const auto& entry : kSpellings) {
+    if (text == entry.name) return entry.code;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ksum

@@ -1,0 +1,45 @@
+// Structured error taxonomy shared by every request-shaped surface.
+//
+// A StatusCode classifies the *outcome* of one request — a batch row, a
+// serve reply, a CLI summary line — into the six buckets docs/SERVING.md
+// specifies. The contract: every reply carries exactly one code, the code is
+// a pure function of the request (given its seeds), and callers branch on
+// the code instead of parsing error strings.
+//
+//   kOk               — result produced and trustworthy (possibly after
+//                       recovery or a degraded fallback; those are flagged
+//                       separately, the code stays ok).
+//   kInvalid          — the request itself was malformed or violated
+//                       admission bounds (ksum::Error class of failures).
+//   kTimeout          — the request's deadline expired (in the queue or
+//                       mid-execution via cooperative cancellation).
+//   kOverloaded       — shed at admission: the bounded queue was full.
+//   kFaultUnrecovered — every detect→retry→fallback attempt was still
+//                       flagged by the ABFT checks and degradation was off.
+//   kInternal         — a bug (ksum::InternalError or a foreign exception):
+//                       the result, if any, must not be trusted.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ksum {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,
+  kTimeout,
+  kOverloaded,
+  kFaultUnrecovered,
+  kInternal,
+};
+
+/// Wire/report spelling: "ok", "invalid", "timeout", "overloaded",
+/// "fault_unrecovered", "internal".
+const char* to_string(StatusCode code);
+
+/// Inverse of to_string; nullopt for unknown spellings.
+std::optional<StatusCode> parse_status_code(std::string_view text);
+
+}  // namespace ksum

@@ -1,0 +1,92 @@
+// Cooperative cancellation for long-running work.
+//
+// A CancelToken is a tiny shared flag + optional wall-clock deadline that
+// request owners arm and workers poll. Cancellation is *cooperative*: the
+// simulated pipelines check the token between kernel launches (see
+// pipelines::run_pipeline) and the ThreadPool checks it between index
+// claims, so an expired request stops burning simulated cycles at the next
+// boundary and — crucially — before any result is written back. Checks are
+// two relaxed atomic loads plus one steady_clock read when a deadline is
+// armed, cheap enough to sit on the launch path.
+//
+// check() throws Cancelled, which is deliberately neither ksum::Error
+// (invalid input) nor ksum::InternalError (a bug): callers that own a
+// deadline catch it and classify the request StatusCode::kTimeout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ksum::exec {
+
+/// Thrown by CancelToken::check() (and by ThreadPool::parallel_for when a
+/// job is abandoned mid-drain). Carries the reason ("cancelled" or
+/// "deadline expired").
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Manual cancellation (sticky until reset()).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline; the token reads cancelled once
+  /// steady_clock::now() passes it.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  /// True when cancel() was called or the armed deadline passed.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != kNoDeadline &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >=
+               deadline;
+  }
+
+  /// Throws Cancelled when cancelled(); workers call this at every
+  /// cooperative checkpoint.
+  void check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      throw Cancelled("ksum: request cancelled");
+    }
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >=
+            deadline) {
+      throw Cancelled("ksum: request deadline expired");
+    }
+  }
+
+  /// Disarms flag and deadline (serve workers reuse one token per request).
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace ksum::exec

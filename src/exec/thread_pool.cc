@@ -29,12 +29,14 @@ int ThreadPool::hardware_threads() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const CancelToken* cancel) {
   if (count == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
   KSUM_CHECK_MSG(body_ == nullptr,
                  "ThreadPool::parallel_for re-entered from a pool body");
   body_ = &body;
+  cancel_ = cancel;
   count_ = count;
   next_.store(0, std::memory_order_relaxed);
   workers_active_ = workers_.size();
@@ -44,16 +46,25 @@ void ThreadPool::parallel_for(std::size_t count,
   work_cv_.notify_all();
   done_cv_.wait(lock, [this] { return workers_active_ == 0; });
   body_ = nullptr;
+  cancel_ = nullptr;
   const std::exception_ptr error = error_;
   error_ = nullptr;
+  // Indices never claimed (cursor short of count) mean the job was
+  // abandoned by the cancel hook below.
+  const bool abandoned =
+      cancel != nullptr && next_.load(std::memory_order_relaxed) < count_;
   lock.unlock();
   if (error) std::rethrow_exception(error);
+  if (abandoned) {
+    throw Cancelled("ksum: parallel_for cancelled before every index ran");
+  }
 }
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* body = nullptr;
+    const CancelToken* cancel = nullptr;
     std::size_t count = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -63,14 +74,17 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen_generation = generation_;
       body = body_;
+      cancel = cancel_;
       count = count_;
     }
 
     // Claim indices until the job drains. Failures are recorded keyed by
     // index so the rethrow is scheduling-independent; remaining indices
     // still run (per-request isolation — one bad request cannot starve the
-    // rest of the batch).
+    // rest of the batch). A cancelled token stops further claims — the
+    // cursor stays short of count, which parallel_for reports as Cancelled.
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) break;
       const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) break;
       try {

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.h"
+
 namespace ksum::exec {
 
 class ThreadPool {
@@ -43,8 +45,18 @@ class ThreadPool {
   /// blocks until all indices completed. Serial-reentrant only: must be
   /// called from outside the pool (never from a body). If one or more
   /// bodies threw, rethrows the exception of the lowest failing index.
+  ///
+  /// `cancel` (optional, not owned) is the cooperative-cancellation hook:
+  /// workers poll it before claiming each index and stop claiming once it
+  /// reads cancelled, so no *new* body starts after cancellation (bodies
+  /// already in flight run to completion — cancellation inside a body is the
+  /// body's own job, e.g. via RunOptions::cancel). A job abandoned this way
+  /// throws exec::Cancelled after the drain; per-index exceptions recorded
+  /// before the cancellation still win (lowest index first), so error
+  /// reporting stays scheduling-independent.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
   /// Hard upper bound on the worker count (flag validation uses the same
   /// constant, so --threads errors match the pool's contract).
@@ -66,6 +78,7 @@ class ThreadPool {
   // Current job, published under mutex_ and identified by generation_ so a
   // worker never re-enters a job it already finished.
   const std::function<void(std::size_t)>* body_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
   std::size_t workers_active_ = 0;

@@ -344,4 +344,16 @@ Counters Device::flush_l2() {
   return launch_counters_;
 }
 
+void Device::reset() {
+  KSUM_REQUIRE(!launch_in_flight_.load(std::memory_order_acquire),
+               "Device::reset while a launch is in flight");
+  counters_ = Counters{};
+  launch_counters_ = Counters{};
+  l2_.reset();
+  for (auto& l1 : l1s_) l1.reset();
+  memory_.reset();
+  injector_ = nullptr;
+  observer_ = nullptr;
+}
+
 }  // namespace ksum::gpusim

@@ -196,6 +196,15 @@ class Device {
   /// charged their final writeback, like a real measurement window would.
   Counters flush_l2();
 
+  /// Returns the device to its just-constructed state without reallocating
+  /// the arena: counters zeroed, caches dropped (no writeback traffic),
+  /// allocator rewound, injector/observer detached. This is the warm-device
+  /// path the serving layer uses to reuse one per-worker Device across
+  /// requests (docs/SERVING.md) — a reset+rerun is bit-identical to a run
+  /// on a freshly constructed Device. Throws ksum::Error if a launch is in
+  /// flight.
+  void reset();
+
  private:
   friend class BlockContext;
 

@@ -53,6 +53,13 @@ class GlobalMemory {
   std::size_t bytes_allocated() const { return next_; }
   std::size_t capacity() const { return arena_.size() * 4; }
 
+  /// Rewinds the bump allocator, invalidating every DeviceBuffer handed out
+  /// so far (the warm-device reuse path; Device::reset calls this). The
+  /// arena contents are *not* scrubbed — every pipeline buffer is uploaded
+  /// or filled before first read (see gpukernels::upload_instance), so
+  /// reuse stays bit-deterministic without a 512 MB memset per request.
+  void reset() { next_ = 0; }
+
  private:
   void check_range(GlobalAddr addr, std::size_t bytes) const;
 

@@ -47,6 +47,9 @@ BatchResult run_request(const BatchRequest& request, std::size_t index,
 
     out.solve = solve(instance, request.params, request.backend, options);
     out.ok = !out.solve.recovery.gave_up;
+    if (out.solve.recovery.gave_up) {
+      out.status = StatusCode::kFaultUnrecovered;
+    }
 
     if (request.verify) {
       const SolveResult oracle =
@@ -54,13 +57,24 @@ BatchResult run_request(const BatchRequest& request, std::size_t index,
       out.oracle_rel_error =
           blas::max_rel_diff(out.solve.v.span(), oracle.v.span(), 1e-2);
       out.verified = out.oracle_rel_error < verify_tolerance;
+      if (!out.verified && out.status == StatusCode::kOk) {
+        // Wrong answer with nothing flagged: silent corruption, which is
+        // our bug (or an injected fault the checks missed), not the
+        // caller's — classed internal, never invalid.
+        out.status = StatusCode::kInternal;
+      }
       out.ok = out.ok && out.verified;
     }
   } catch (const InternalError&) {
     throw;  // a bug, not a bad request — abort the batch loudly
+  } catch (const exec::Cancelled& e) {
+    out.error = e.what();
+    out.ok = false;
+    out.status = StatusCode::kTimeout;
   } catch (const Error& e) {
     out.error = e.what();
     out.ok = false;
+    out.status = StatusCode::kInvalid;
   }
   return out;
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "pipelines/solver.h"
 #include "workload/problem_spec.h"
 
@@ -53,6 +54,13 @@ struct BatchResult {
   bool verified = false;  // verify ran and the error was within tolerance
   /// ok = no unrecovered fault and (when verify) within tolerance.
   bool ok = true;
+  /// Structured outcome class (common/status.h): callers branch on this
+  /// instead of parsing `error`. kInvalid = the request itself was bad
+  /// (ksum::Error), kTimeout = its cancel token fired mid-run,
+  /// kFaultUnrecovered = every recovery attempt stayed flagged, kInternal =
+  /// the result verified wrong without a detected fault (silent
+  /// corruption). `ok` remains `status == kOk`.
+  StatusCode status = StatusCode::kOk;
   /// Non-empty when the request itself failed with ksum::Error (bad spec,
   /// conflicting options). The rest of the batch still runs.
   std::string error;

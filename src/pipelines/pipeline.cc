@@ -13,18 +13,6 @@ namespace {
 
 using gpukernels::Workspace;
 
-// Memory the pipeline needs on the simulated device, with headroom for the
-// non-atomic ablation's staging buffer (one partial-V column per CTA
-// column, tile_n wide each).
-std::size_t required_device_bytes(std::size_t m, std::size_t n, std::size_t k,
-                                  bool with_intermediate,
-                                  std::size_t tile_n) {
-  const std::size_t base = (m * k + k * n + 2 * m + 2 * n + m) * 4;
-  const std::size_t inter = with_intermediate ? m * n * 4 : 0;
-  const std::size_t staging = (m * (n / tile_n) + m) * 4;
-  return base + inter + staging + (1u << 20);
-}
-
 KernelReport make_report(const RunOptions& options,
                          const gpusim::LaunchResult& launch,
                          double mainloop_iters,
@@ -60,6 +48,18 @@ std::string to_string(Solution solution) {
   return "unknown";
 }
 
+// Memory the pipeline needs on the simulated device, with headroom for the
+// non-atomic ablation's staging buffer (one partial-V column per CTA
+// column, tile_n wide each).
+std::size_t required_device_bytes(std::size_t m, std::size_t n, std::size_t k,
+                                  bool with_intermediate,
+                                  std::size_t tile_n) {
+  const std::size_t base = (m * k + k * n + 2 * m + 2 * n + m) * 4;
+  const std::size_t inter = with_intermediate ? m * n * 4 : 0;
+  const std::size_t staging = (m * (n / tile_n) + m) * 4;
+  return base + inter + staging + (1u << 20);
+}
+
 double pipeline_useful_flops(std::size_t m, std::size_t n, std::size_t k) {
   const double mn = double(m) * double(n);
   // 2MNK for the GEMM, 6 flops per element for the distance assembly and
@@ -88,11 +88,39 @@ PipelineReport run_pipeline(Solution solution,
           ? static_cast<std::size_t>(geometry.tile_m)
           : 128;
 
-  gpusim::Device device(
-      options.device,
-      required_device_bytes(m, n, k, unfused,
-                            static_cast<std::size_t>(geometry.tile_n)));
+  // Cooperative checkpoint polled between kernel launches: an expired
+  // deadline or explicit cancel aborts here — before the next launch, and
+  // in particular before the result download below, so a cancelled request
+  // never writes output.
+  const auto checkpoint = [&options] {
+    if (options.cancel != nullptr) options.cancel->check();
+  };
+  checkpoint();
+
+  // Run on the caller's warm device when it is big enough (reset() makes
+  // the run bit-identical to a fresh construction); otherwise build a
+  // per-run device as always.
+  const std::size_t arena_bytes = required_device_bytes(
+      m, n, k, unfused, static_cast<std::size_t>(geometry.tile_n));
+  std::optional<gpusim::Device> fresh_device;
+  gpusim::Device* device_ptr = options.warm_device;
+  if (device_ptr != nullptr &&
+      device_ptr->memory().capacity() >= arena_bytes) {
+    device_ptr->reset();
+  } else {
+    device_ptr = &fresh_device.emplace(options.device, arena_bytes);
+  }
+  gpusim::Device& device = *device_ptr;
   device.set_fault_injector(options.fault_injector);
+  // A warm device outlives this call but the injector does not — detach on
+  // every exit path (including Cancelled) so no dangling pointer survives.
+  struct InjectorGuard {
+    gpusim::Device& device;
+    bool warm;
+    ~InjectorGuard() {
+      if (warm) device.set_fault_injector(nullptr);
+    }
+  } injector_guard{device, !fresh_device.has_value()};
   Workspace ws = gpukernels::allocate_workspace(device, m, n, k, unfused,
                                                 options.checks.enabled,
                                                 checksum_block_rows);
@@ -128,6 +156,7 @@ PipelineReport run_pipeline(Solution solution,
                     cuda_grade, 2.0 * double(n) * double(k)));
   }
 
+  checkpoint();
   if (solution == Solution::kFused) {
     gpukernels::FusedOptions fopts;
     fopts.mainloop = options.mainloop;
@@ -168,14 +197,19 @@ PipelineReport run_pipeline(Solution solution,
           make_report(options, gpukernels::run_abft_colsum(device, ws), 0,
                       cuda_grade, 0.0));
     }
+    checkpoint();
     report.kernels.push_back(
         make_report(options, gpukernels::run_kernel_eval(device, ws, params),
                     0, cuda_grade, 6.0 * mn));
+    checkpoint();
     report.kernels.push_back(
         make_report(options,
                     gpukernels::run_gemv_summation(device, ws, vsink), 0,
                     cuda_grade, 2.0 * mn));
   }
+
+  // Last checkpoint before any result leaves the device.
+  checkpoint();
 
   // Final writeback of dirty intermediates / results.
   const gpusim::Counters writeback = device.flush_l2();

@@ -16,6 +16,7 @@
 #include "config/energy_spec.h"
 #include "config/timing_spec.h"
 #include "core/exact.h"
+#include "exec/cancel.h"
 #include "gpukernels/fused_ksum.h"
 #include "gpukernels/gemm_cudac.h"
 #include "gpusim/energy.h"
@@ -98,6 +99,18 @@ struct RunOptions {
   /// padding (the tuning cache implements this). Not owned; must outlive
   /// the call. nullptr = use `mainloop.geometry` as-is.
   const TileGeometryResolver* geometry_resolver = nullptr;
+  /// Optional cooperative-cancellation token (exec/cancel.h). The pipeline
+  /// polls it between kernel launches and before the result writeback;
+  /// once it reads cancelled, run_pipeline throws exec::Cancelled without
+  /// downloading V — a cancelled request never writes output. Not owned.
+  const exec::CancelToken* cancel = nullptr;
+  /// Optional pre-constructed device to run on (the serving layer's warm
+  /// per-worker Devices). Used when its arena is large enough for the
+  /// problem — it is reset() first, so the run is bit-identical to one on a
+  /// fresh Device — otherwise a fresh Device is built as usual. The spec
+  /// the device was constructed with must equal `device`. Not owned; the
+  /// fault injector is detached from it again before run_pipeline returns.
+  gpusim::Device* warm_device = nullptr;
 };
 
 /// Runs `solution` on `instance` functionally and returns the full report.
@@ -109,5 +122,12 @@ PipelineReport run_pipeline(Solution solution,
 /// FLOP accounting used for Table II (GEMM + eval + GEMV work, the
 /// flop_count_sp style of nvprof).
 double pipeline_useful_flops(std::size_t m, std::size_t n, std::size_t k);
+
+/// Device-arena bytes run_pipeline allocates for an (m, n, k) problem
+/// (`with_intermediate` = unfused pipelines that materialise C). Exposed so
+/// the serving layer can size warm per-worker Devices for its admission
+/// bounds up front.
+std::size_t required_device_bytes(std::size_t m, std::size_t n, std::size_t k,
+                                  bool with_intermediate, std::size_t tile_n);
 
 }  // namespace ksum::pipelines

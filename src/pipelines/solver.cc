@@ -93,6 +93,9 @@ SolveResult solve(const workload::Instance& instance,
       // of attempt 0 is reproducible by construction).
       std::uint64_t attempt_id = 0;
       auto run_once = [&](Solution sol) {
+        // A deadline that expires mid-recovery stops the retry loop here,
+        // before the next attempt burns another full pipeline run.
+        if (run_options.cancel != nullptr) run_options.cancel->check();
         if (run_options.fault_injector != nullptr) {
           run_options.fault_injector->begin_attempt(attempt_id);
         }

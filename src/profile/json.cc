@@ -175,6 +175,49 @@ std::string Json::dump() const {
   return out;
 }
 
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
+void Json::dump_compact_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      out += json_number(number_);
+      return;
+    case Type::kString:
+      escape_to(out, string_);
+      return;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out += ',';
+        items_[i].dump_compact_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) out += ',';
+        escape_to(out, members_[i].first);
+        out += ':';
+        members_[i].second.dump_compact_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
 namespace {
 
 class Parser {

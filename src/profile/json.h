@@ -83,11 +83,17 @@ class Json {
   /// as integers when exactly integral, %.17g otherwise (round-trip safe).
   std::string dump() const;
 
+  /// Single-line serialisation (no whitespace, no trailing newline) for
+  /// newline-delimited protocols (the ksum-serve wire format). Same number
+  /// and escaping rules as dump(), so both forms parse back identically.
+  std::string dump_compact() const;
+
   /// Strict parser; throws ksum::Error with byte offset on malformed input.
   static Json parse(std::string_view text);
 
  private:
   void dump_to(std::string& out, int indent) const;
+  void dump_compact_to(std::string& out) const;
 
   Type type_ = Type::kNull;
   bool bool_ = false;

@@ -1,0 +1,80 @@
+// Bounded admission queue — the server's load-shedding point.
+//
+// Intake threads try_push(); a full queue rejects immediately (kShed) so the
+// client gets an `overloaded` reply instead of unbounded buffering and
+// deadline blowouts. Workers block in pop() until an item arrives or the
+// queue is closed *and* empty — close() lets already-admitted requests drain
+// (graceful SIGTERM semantics) while new arrivals are refused with kClosed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ksum::serve {
+
+enum class PushResult { kAccepted, kShed, kClosed };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    KSUM_REQUIRE(capacity >= 1, "admission queue capacity must be >= 1");
+  }
+
+  /// Non-blocking admission: full → kShed, closed → kClosed.
+  PushResult try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kShed;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Blocks until an item is available (returned) or the queue is closed and
+  /// fully drained (nullopt — the worker's signal to exit).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission; queued items still drain through pop(). Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ksum::serve

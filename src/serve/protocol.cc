@@ -1,0 +1,202 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/error.h"
+#include "profile/json.h"
+
+namespace ksum::serve {
+
+namespace {
+
+using profile::Json;
+
+// FNV-1a, 64-bit. Used both for V digests (over float bit patterns) and for
+// deriving a fault seed from a request id.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a64_byte(std::uint64_t h, unsigned char byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+std::uint64_t fnv1a64_string(std::string_view text) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : text) {
+    h = fnv1a64_byte(h, static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+pipelines::Backend parse_backend(const std::string& name) {
+  using pipelines::Backend;
+  if (name == "sim-fused") return Backend::kSimFused;
+  if (name == "sim-cuda-unfused") return Backend::kSimCudaUnfused;
+  if (name == "sim-cublas-unfused") return Backend::kSimCublasUnfused;
+  if (name == "cpu-direct") return Backend::kCpuDirect;
+  if (name == "cpu-expansion") return Backend::kCpuExpansion;
+  throw Error("serve: unknown backend '" + name + "'");
+}
+
+// Field accessors over the parsed request object, with type errors rewritten
+// to name the field (the parser's own messages only carry byte offsets).
+double number_field(const Json& doc, std::string_view key, double fallback) {
+  const Json* value = doc.find(key);
+  if (value == nullptr) return fallback;
+  KSUM_REQUIRE(value->is_number(),
+               "serve: field '" + std::string(key) + "' must be a number");
+  return value->as_double();
+}
+
+std::size_t size_field(const Json& doc, std::string_view key) {
+  const Json* value = doc.find(key);
+  KSUM_REQUIRE(value != nullptr,
+               "serve: solve request missing '" + std::string(key) + "'");
+  KSUM_REQUIRE(value->is_number(),
+               "serve: field '" + std::string(key) + "' must be a number");
+  const double v = value->as_double();
+  KSUM_REQUIRE(v >= 1 && v == double(std::uint64_t(v)),
+               "serve: field '" + std::string(key) +
+                   "' must be a positive integer");
+  return static_cast<std::size_t>(v);
+}
+
+bool bool_field(const Json& doc, std::string_view key, bool fallback) {
+  const Json* value = doc.find(key);
+  if (value == nullptr) return fallback;
+  KSUM_REQUIRE(value->is_bool(),
+               "serve: field '" + std::string(key) + "' must be a boolean");
+  return value->as_bool();
+}
+
+}  // namespace
+
+ServeRequest parse_request(const std::string& line) {
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const Error& e) {
+    throw Error(std::string("serve: malformed request JSON: ") + e.what());
+  }
+  KSUM_REQUIRE(doc.is_object(), "serve: request must be a JSON object");
+
+  ServeRequest request;
+  if (const Json* id = doc.find("id"); id != nullptr) {
+    if (id->is_string()) {
+      request.id = id->as_string();
+    } else if (id->is_number()) {
+      request.id = profile::json_number(id->as_double());
+    } else {
+      throw Error("serve: field 'id' must be a string or number");
+    }
+  }
+
+  std::string op = "solve";
+  if (const Json* op_field = doc.find("op"); op_field != nullptr) {
+    KSUM_REQUIRE(op_field->is_string(), "serve: field 'op' must be a string");
+    op = op_field->as_string();
+  }
+  if (op == "health") {
+    request.op = Op::kHealth;
+    return request;
+  }
+  if (op == "stats") {
+    request.op = Op::kStats;
+    return request;
+  }
+  KSUM_REQUIRE(op == "solve", "serve: unknown op '" + op + "'");
+  request.op = Op::kSolve;
+
+  request.spec.m = size_field(doc, "m");
+  request.spec.n = size_field(doc, "n");
+  request.spec.k = size_field(doc, "k");
+  request.spec.seed =
+      static_cast<std::uint64_t>(number_field(doc, "seed", 42));
+  const double h = number_field(doc, "h", 1.0);
+  KSUM_REQUIRE(h > 0, "serve: field 'h' must be positive");
+  request.spec.bandwidth = static_cast<float>(h);
+
+  if (const Json* backend = doc.find("backend"); backend != nullptr) {
+    KSUM_REQUIRE(backend->is_string(),
+                 "serve: field 'backend' must be a string");
+    request.backend = parse_backend(backend->as_string());
+  }
+  request.robust = bool_field(doc, "robust", true);
+  request.verify = bool_field(doc, "verify", false);
+  request.deadline_ms = number_field(doc, "deadline_ms", -1);
+  request.fault_rate = number_field(doc, "fault_rate", 0);
+  KSUM_REQUIRE(request.fault_rate >= 0 && request.fault_rate <= 1,
+               "serve: field 'fault_rate' must be in [0, 1]");
+  request.fault_seed =
+      static_cast<std::uint64_t>(number_field(doc, "fault_seed", 0));
+  return request;
+}
+
+std::uint64_t effective_fault_seed(const ServeRequest& request) {
+  if (request.fault_seed != 0) return request.fault_seed;
+  const std::uint64_t derived = fnv1a64_string(request.id);
+  return derived != 0 ? derived : 1;
+}
+
+std::uint64_t attempt_fault_seed(std::uint64_t base, int attempt) {
+  // splitmix64 finalizer: spreads (base, attempt) into far-apart seeds so
+  // every retry draws an independent, reproducible fault pattern.
+  std::uint64_t z =
+      base + (static_cast<std::uint64_t>(attempt) + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z != 0 ? z : 1;
+}
+
+std::string digest_hex(std::span<const float> values) {
+  std::uint64_t h = kFnvOffset;
+  for (const float v : values) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+    h = fnv1a64_byte(h, static_cast<unsigned char>(bits & 0xff));
+    h = fnv1a64_byte(h, static_cast<unsigned char>((bits >> 8) & 0xff));
+    h = fnv1a64_byte(h, static_cast<unsigned char>((bits >> 16) & 0xff));
+    h = fnv1a64_byte(h, static_cast<unsigned char>((bits >> 24) & 0xff));
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buffer);
+}
+
+std::string error_reply(const std::string& id, StatusCode status,
+                        const std::string& message) {
+  Json reply = Json::object();
+  reply.set("id", id);
+  reply.set("status", to_string(status));
+  if (!message.empty()) reply.set("error", message);
+  return reply.dump_compact();
+}
+
+std::string solve_reply(const std::string& id, const ServeRequest& request,
+                        const SolveReplyInfo& info,
+                        std::span<const float> v) {
+  Json reply = Json::object();
+  reply.set("id", id);
+  reply.set("status", to_string(StatusCode::kOk));
+  reply.set("m", std::uint64_t(request.spec.m));
+  reply.set("n", std::uint64_t(request.spec.n));
+  reply.set("k", std::uint64_t(request.spec.k));
+  reply.set("backend", pipelines::to_string(info.backend));
+  reply.set("serve_attempts", info.serve_attempts);
+  reply.set("solver_attempts", info.solver_attempts);
+  reply.set("faults_detected", info.faults_detected);
+  reply.set("fallback_used", info.fallback_used);
+  reply.set("degraded", info.degraded);
+  reply.set("modelled_ms", info.modelled_seconds * 1e3);
+  reply.set("energy_j", info.energy_joules);
+  reply.set("digest", digest_hex(v));
+  if (info.verified || info.oracle_rel_error != 0) {
+    reply.set("oracle_rel_error", info.oracle_rel_error);
+    reply.set("verified", info.verified);
+  }
+  return reply.dump_compact();
+}
+
+}  // namespace ksum::serve

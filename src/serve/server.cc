@@ -1,0 +1,360 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "blas/vector_ops.h"
+#include "common/error.h"
+#include "core/exact.h"
+#include "robust/fault_plan.h"
+#include "workload/point_generators.h"
+
+namespace ksum::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+// Conservative upper bound on the arena run_pipeline will ask for after the
+// solver's padding: dimensions rounded past any lcm(tile edge, 128)
+// alignment in the candidate set, staging sized for the smallest tile_n.
+std::size_t conservative_arena_bytes(const workload::ProblemSpec& spec) {
+  return pipelines::required_device_bytes(
+      align_up(spec.m, 256), align_up(spec.n, 256), align_up(spec.k, 64),
+      /*with_intermediate=*/true, /*tile_n=*/32);
+}
+
+bool spec_equal(const workload::ProblemSpec& a,
+                const workload::ProblemSpec& b) {
+  return a.m == b.m && a.n == b.n && a.k == b.k &&
+         a.bandwidth == b.bandwidth && a.distribution == b.distribution &&
+         a.seed == b.seed;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options,
+               std::function<void(const std::string&)> sink)
+    : options_(options),
+      sink_(std::move(sink)),
+      queue_(options.queue_capacity),
+      pool_(options.workers) {
+  KSUM_REQUIRE(options_.workers >= 1, "server needs at least one worker");
+  KSUM_REQUIRE(options_.max_attempts >= 1,
+               "server max_attempts must be >= 1");
+  KSUM_REQUIRE(options_.default_deadline_ms >= 0 &&
+                   options_.backoff_base_ms >= 0,
+               "server deadline/backoff must be >= 0");
+  KSUM_REQUIRE(options_.run.fault_injector == nullptr &&
+                   options_.run.cancel == nullptr &&
+                   options_.run.warm_device == nullptr,
+               "server base run options must not carry an injector, cancel "
+               "token, or warm device — those are per-request");
+}
+
+Server::~Server() { drain(); }
+
+void Server::start() {
+  KSUM_REQUIRE(!started_.exchange(true), "Server::start called twice");
+  runner_ = std::thread([this] {
+    // Worker bodies swallow every per-request failure, so parallel_for only
+    // throws on a bug in the loops themselves; surface it without taking
+    // down the process.
+    try {
+      pool_.parallel_for(static_cast<std::size_t>(options_.workers),
+                         [this](std::size_t w) { worker_loop(w); });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ksum-serve: worker pool failed: %s\n", e.what());
+    }
+  });
+}
+
+void Server::drain() {
+  queue_.close();
+  if (started_.load() && !drained_.exchange(true)) {
+    runner_.join();
+  }
+}
+
+bool Server::draining() const { return queue_.closed(); }
+
+void Server::reply(const std::string& line) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_(line);
+}
+
+profile::Json Server::stats_json() const {
+  return stats_.to_json(options_.workers, options_.queue_capacity,
+                        queue_.depth());
+}
+
+std::string Server::health_line(const std::string& id) const {
+  profile::Json j = profile::Json::object();
+  j.set("id", id);
+  j.set("status", to_string(StatusCode::kOk));
+  j.set("op", "health");
+  j.set("state", draining() ? "draining" : "serving");
+  j.set("workers", options_.workers);
+  j.set("queue_depth", std::uint64_t(queue_.depth()));
+  j.set("in_flight", stats_.in_flight());
+  return j.dump_compact();
+}
+
+void Server::handle_line(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return;
+  if (line[first] == '#') return;  // trace-file comments
+  stats_.record_received();
+
+  ServeRequest request;
+  try {
+    request = parse_request(line);
+  } catch (const Error& e) {
+    // The id may be unparseable too; reply with an empty id so the client
+    // can at least count invalids.
+    stats_.record_status(StatusCode::kInvalid);
+    reply(error_reply("", StatusCode::kInvalid, e.what()));
+    return;
+  }
+  if (request.id.empty()) {
+    request.id =
+        "auto-" + std::to_string(auto_id_.fetch_add(1) + 1);
+  }
+
+  // Control-plane ops answer at intake — they must stay responsive while
+  // the queue is full or draining.
+  if (request.op == Op::kHealth) {
+    reply(health_line(request.id));
+    return;
+  }
+  if (request.op == Op::kStats) {
+    profile::Json j = profile::Json::object();
+    j.set("id", request.id);
+    j.set("status", to_string(StatusCode::kOk));
+    j.set("op", "stats");
+    j.set("stats", stats_json());
+    reply(j.dump_compact());
+    return;
+  }
+
+  // Admission bounds are enforced before the queue so an oversized request
+  // can never reach (or exhaust) a worker's device.
+  if (request.spec.m > options_.max_m || request.spec.n > options_.max_n ||
+      request.spec.k > options_.max_k) {
+    stats_.record_status(StatusCode::kInvalid);
+    reply(error_reply(request.id, StatusCode::kInvalid,
+                      "shape exceeds admission bounds (max " +
+                          std::to_string(options_.max_m) + "x" +
+                          std::to_string(options_.max_n) + " K=" +
+                          std::to_string(options_.max_k) + ")"));
+    return;
+  }
+
+  Pending item;
+  item.request = std::move(request);
+  item.enqueued = Clock::now();
+  const double deadline_ms = item.request.deadline_ms >= 0
+                                 ? item.request.deadline_ms
+                                 : options_.default_deadline_ms;
+  item.deadline =
+      deadline_ms > 0
+          ? item.enqueued + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    deadline_ms))
+          : Clock::time_point::max();
+
+  const std::string id = item.request.id;
+  switch (queue_.try_push(std::move(item))) {
+    case PushResult::kAccepted:
+      stats_.record_accepted();
+      return;
+    case PushResult::kShed:
+      stats_.record_status(StatusCode::kOverloaded);
+      reply(error_reply(id, StatusCode::kOverloaded,
+                        "admission queue full"));
+      return;
+    case PushResult::kClosed:
+      stats_.record_status(StatusCode::kOverloaded);
+      reply(error_reply(id, StatusCode::kOverloaded, "server draining"));
+      return;
+  }
+}
+
+void Server::worker_loop(std::size_t worker) {
+  (void)worker;
+  WorkerContext ctx;
+  while (auto item = queue_.pop()) {
+    stats_.enter_flight();
+    try {
+      run_solve(ctx, *item);
+    } catch (const std::exception& e) {
+      // run_solve already classifies everything it expects; this is the
+      // last-resort belt so one poisoned request can never kill the loop.
+      stats_.record_status(StatusCode::kInternal);
+      reply(error_reply(item->request.id, StatusCode::kInternal, e.what()));
+    } catch (...) {
+      stats_.record_status(StatusCode::kInternal);
+      reply(error_reply(item->request.id, StatusCode::kInternal,
+                        "unknown exception"));
+    }
+    stats_.leave_flight();
+  }
+}
+
+const workload::Instance& Server::instance_for(
+    WorkerContext& ctx, const workload::ProblemSpec& spec) {
+  if (!ctx.cached_spec.has_value() || !spec_equal(*ctx.cached_spec, spec)) {
+    ctx.cached_instance = workload::make_instance(spec);
+    ctx.cached_spec = spec;
+  }
+  return *ctx.cached_instance;
+}
+
+gpusim::Device* Server::warm_device_for(WorkerContext& ctx,
+                                        const workload::ProblemSpec& spec) {
+  const std::size_t needed = conservative_arena_bytes(spec);
+  if (!ctx.device.has_value() || ctx.device->memory().capacity() < needed) {
+    ctx.device.reset();
+    ctx.device.emplace(options_.run.device, needed);
+  }
+  return &*ctx.device;
+}
+
+void Server::run_solve(WorkerContext& ctx, const Pending& item) {
+  const ServeRequest& request = item.request;
+
+  exec::CancelToken token;
+  if (item.deadline != Clock::time_point::max()) {
+    token.set_deadline(item.deadline);
+  }
+
+  SolveReplyInfo info;
+  info.backend = request.backend;
+  std::string out_line;
+  try {
+    const workload::Instance& instance = instance_for(ctx, request.spec);
+    const core::KernelParams params = core::params_from_spec(request.spec);
+
+    pipelines::RunOptions run = options_.run;
+    run.cancel = &token;
+    if (request.robust) {
+      run.checks.enabled = true;
+      run.recovery.enabled = true;
+    }
+
+    const bool simulated = request.backend != pipelines::Backend::kCpuDirect &&
+                           request.backend != pipelines::Backend::kCpuExpansion;
+    if (simulated) {
+      run.warm_device = warm_device_for(ctx, request.spec);
+      if (options_.autotune) {
+        tune::TuneOptions tune_options;
+        tune_options.device = run.device;
+        tune_options.timing = run.timing;
+        tune_options.layout = run.mainloop.layout;
+        tuning_cache_.get_or_tune(request.spec.m, request.spec.n,
+                                  request.spec.k, request.backend,
+                                  tune_options);
+        run.geometry_resolver = &tuning_cache_;
+      }
+    }
+
+    const std::uint64_t base_seed = effective_fault_seed(request);
+    pipelines::SolveResult result;
+    bool flagged = false;
+    for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+      token.check();
+      if (attempt > 0) {
+        stats_.record_retry();
+        ++info.serve_attempts;
+        if (options_.backoff_base_ms > 0) {
+          const double ms = options_.backoff_base_ms *
+                            double(std::uint64_t(1) << (attempt - 1));
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ms));
+        }
+      }
+      std::unique_ptr<robust::FaultPlan> plan;
+      if (request.fault_rate > 0 && simulated) {
+        plan = std::make_unique<robust::FaultPlan>(
+            robust::FaultPlanConfig::uniform(
+                attempt_fault_seed(base_seed, attempt), request.fault_rate));
+        run.fault_injector = plan.get();
+      }
+      result = pipelines::solve(instance, params, request.backend, run);
+      run.fault_injector = nullptr;
+      info.solver_attempts += result.recovery.attempts;
+      info.faults_detected += result.recovery.faults_detected;
+      info.fallback_used = info.fallback_used || result.recovery.fallback_used;
+      flagged = result.recovery.gave_up;
+      if (!flagged) break;
+    }
+    stats_.record_faults_detected(info.faults_detected);
+
+    if (flagged) {
+      if (!options_.degrade_to_host) {
+        stats_.record_status(StatusCode::kFaultUnrecovered);
+        reply(error_reply(request.id, StatusCode::kFaultUnrecovered,
+                          "every recovery attempt stayed flagged"));
+        stats_.record_wall_seconds(
+            std::chrono::duration<double>(Clock::now() - item.enqueued)
+                .count());
+        return;
+      }
+      // Degraded fallback: the fault-free host expansion path. Slower and
+      // without the simulator's report, but the reply stays trustworthy.
+      token.check();
+      pipelines::RunOptions host_run = options_.run;
+      host_run.cancel = &token;
+      result = pipelines::solve(instance, params,
+                                pipelines::Backend::kCpuExpansion, host_run);
+      info.backend = pipelines::Backend::kCpuExpansion;
+      info.degraded = true;
+      stats_.record_degraded();
+    }
+
+    if (request.verify) {
+      const pipelines::SolveResult oracle = pipelines::solve(
+          instance, params, pipelines::Backend::kCpuDirect);
+      info.oracle_rel_error =
+          blas::max_rel_diff(result.v.span(), oracle.v.span(), 1e-2);
+      info.verified = info.oracle_rel_error < 5e-3;
+      if (!info.verified) {
+        // Wrong answer with nothing flagged: silent corruption — never
+        // report the result as ok.
+        stats_.record_status(StatusCode::kInternal);
+        reply(error_reply(request.id, StatusCode::kInternal,
+                          "result failed oracle verification"));
+        stats_.record_wall_seconds(
+            std::chrono::duration<double>(Clock::now() - item.enqueued)
+                .count());
+        return;
+      }
+    }
+
+    if (result.report.has_value()) {
+      info.modelled_seconds = result.report->seconds;
+      info.energy_joules = result.report->energy.total();
+      stats_.record_modelled_seconds(result.report->seconds);
+    }
+    out_line = solve_reply(request.id, request, info, result.v.span());
+    stats_.record_status(StatusCode::kOk);
+  } catch (const exec::Cancelled& e) {
+    stats_.record_status(StatusCode::kTimeout);
+    out_line = error_reply(request.id, StatusCode::kTimeout, e.what());
+  } catch (const InternalError& e) {
+    stats_.record_status(StatusCode::kInternal);
+    out_line = error_reply(request.id, StatusCode::kInternal, e.what());
+  } catch (const Error& e) {
+    stats_.record_status(StatusCode::kInvalid);
+    out_line = error_reply(request.id, StatusCode::kInvalid, e.what());
+  }
+  stats_.record_wall_seconds(
+      std::chrono::duration<double>(Clock::now() - item.enqueued).count());
+  reply(out_line);
+}
+
+}  // namespace ksum::serve

@@ -1,0 +1,153 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ksum::serve {
+
+namespace {
+
+using profile::Json;
+
+LatencySummary summarise(std::vector<double> sample) {
+  LatencySummary out;
+  out.count = sample.size();
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = [&](double p) {
+    const std::size_t r = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * double(sample.size())));
+    return sample[r == 0 ? 0 : r - 1];
+  };
+  out.p50 = rank(50);
+  out.p90 = rank(90);
+  out.p99 = rank(99);
+  out.max = sample.back();
+  return out;
+}
+
+Json summary_to_json(const LatencySummary& summary) {
+  Json j = Json::object();
+  j.set("count", std::uint64_t(summary.count));
+  j.set("p50", summary.p50 * 1e3);
+  j.set("p90", summary.p90 * 1e3);
+  j.set("p99", summary.p99 * 1e3);
+  j.set("max", summary.max * 1e3);
+  return j;
+}
+
+void validate_summary(const Json& j, const char* which) {
+  for (const char* key : {"count", "p50", "p90", "p99", "max"}) {
+    KSUM_REQUIRE(j.has(key) && j.at(key).is_number(),
+                 std::string("ksum-serve-v1: latency_ms.") + which +
+                     " missing numeric '" + key + "'");
+  }
+  KSUM_REQUIRE(j.at("p50").as_double() <= j.at("p99").as_double() &&
+                   j.at("p99").as_double() <= j.at("max").as_double(),
+               std::string("ksum-serve-v1: latency_ms.") + which +
+                   " percentiles out of order");
+}
+
+}  // namespace
+
+double percentile(std::vector<double> sample, double p) {
+  KSUM_REQUIRE(p >= 0 && p <= 100, "percentile p must be in [0, 100]");
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  const std::size_t r = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * double(sample.size())));
+  return sample[r == 0 ? 0 : r - 1];
+}
+
+LatencySummary ServeStats::modelled_summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summarise(modelled_seconds_);
+}
+
+LatencySummary ServeStats::wall_summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summarise(wall_seconds_);
+}
+
+Json ServeStats::to_json(int workers, std::size_t queue_capacity,
+                         std::size_t queue_depth) const {
+  Json record = Json::object();
+  record.set("schema", "ksum-serve-v1");
+  record.set("workers", workers);
+  record.set("queue_capacity", std::uint64_t(queue_capacity));
+  record.set("queue_depth", std::uint64_t(queue_depth));
+  record.set("in_flight", in_flight());
+
+  Json counters = Json::object();
+  counters.set("received", received());
+  counters.set("accepted", accepted());
+  counters.set("completed", completed());
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalid, StatusCode::kTimeout,
+        StatusCode::kOverloaded, StatusCode::kFaultUnrecovered,
+        StatusCode::kInternal}) {
+    counters.set(to_string(code), by_status(code));
+  }
+  // "shed" is the operator-facing alias for overloaded replies; retries are
+  // serve-level re-submissions past the first attempt.
+  counters.set("shed", by_status(StatusCode::kOverloaded));
+  counters.set("retries", retries());
+  counters.set("degraded", degraded());
+  counters.set("faults_detected", faults_detected());
+  record.set("counters", std::move(counters));
+
+  Json latency = Json::object();
+  latency.set("modelled", summary_to_json(modelled_summary()));
+  latency.set("wall", summary_to_json(wall_summary()));
+  record.set("latency_ms", std::move(latency));
+
+  validate_serve_json(record);
+  return record;
+}
+
+void validate_serve_json(const Json& record) {
+  KSUM_REQUIRE(record.is_object(), "ksum-serve-v1: record must be an object");
+  KSUM_REQUIRE(record.has("schema") && record.at("schema").is_string() &&
+                   record.at("schema").as_string() == "ksum-serve-v1",
+               "ksum-serve-v1: missing schema tag");
+  for (const char* key : {"workers", "queue_capacity", "queue_depth",
+                          "in_flight"}) {
+    KSUM_REQUIRE(record.has(key) && record.at(key).is_number(),
+                 std::string("ksum-serve-v1: missing numeric '") + key + "'");
+  }
+
+  KSUM_REQUIRE(record.has("counters") && record.at("counters").is_object(),
+               "ksum-serve-v1: missing counters object");
+  const Json& counters = record.at("counters");
+  for (const char* key :
+       {"received", "accepted", "completed", "ok", "invalid", "timeout",
+        "overloaded", "fault_unrecovered", "internal", "shed", "retries",
+        "degraded", "faults_detected"}) {
+    KSUM_REQUIRE(counters.has(key) && counters.at(key).is_number(),
+                 std::string("ksum-serve-v1: counters missing '") + key +
+                     "'");
+  }
+  KSUM_REQUIRE(counters.at("shed").as_double() ==
+                   counters.at("overloaded").as_double(),
+               "ksum-serve-v1: shed must equal overloaded");
+  double by_status_total = 0;
+  for (const char* key : {"ok", "invalid", "timeout", "overloaded",
+                          "fault_unrecovered", "internal"}) {
+    by_status_total += counters.at(key).as_double();
+  }
+  KSUM_REQUIRE(by_status_total == counters.at("completed").as_double(),
+               "ksum-serve-v1: per-status counts must sum to completed");
+
+  KSUM_REQUIRE(record.has("latency_ms") &&
+                   record.at("latency_ms").is_object(),
+               "ksum-serve-v1: missing latency_ms object");
+  const Json& latency = record.at("latency_ms");
+  KSUM_REQUIRE(latency.has("modelled") && latency.has("wall"),
+               "ksum-serve-v1: latency_ms needs modelled and wall");
+  validate_summary(latency.at("modelled"), "modelled");
+  validate_summary(latency.at("wall"), "wall");
+}
+
+}  // namespace ksum::serve

@@ -1,0 +1,100 @@
+// Server observability: shed/retry/degrade counters, per-status totals, and
+// latency percentiles, exported as the ksum-serve-v1 JSON record.
+//
+// Two latency distributions are tracked deliberately:
+//   modelled — the pipeline's simulated seconds for ok replies. A pure
+//              function of the request stream, so its percentiles are
+//              byte-stable across runs and CI-gateable (bench_compare.py).
+//   wall     — host enqueue→reply time for every completed request. Real
+//              clock, machine-dependent; reported for operators, never
+//              gated.
+// Percentiles use the nearest-rank method on the sorted sample.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "profile/json.h"
+
+namespace ksum::serve {
+
+/// Nearest-rank percentile (p in [0, 100]) of an unsorted sample; 0 when
+/// the sample is empty.
+double percentile(std::vector<double> sample, double p);
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+class ServeStats {
+ public:
+  void record_received() { received_.fetch_add(1, std::memory_order_relaxed); }
+  void record_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void record_status(StatusCode code) {
+    by_status_[static_cast<std::size_t>(code)].fetch_add(
+        1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void record_degraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  void record_faults_detected(int n) {
+    faults_detected_.fetch_add(static_cast<std::uint64_t>(n < 0 ? 0 : n),
+                               std::memory_order_relaxed);
+  }
+  void record_modelled_seconds(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    modelled_seconds_.push_back(seconds);
+  }
+  void record_wall_seconds(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wall_seconds_.push_back(seconds);
+  }
+  void enter_flight() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void leave_flight() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::uint64_t received() const { return received_.load(); }
+  std::uint64_t accepted() const { return accepted_.load(); }
+  std::uint64_t completed() const { return completed_.load(); }
+  std::uint64_t by_status(StatusCode code) const {
+    return by_status_[static_cast<std::size_t>(code)].load();
+  }
+  std::uint64_t retries() const { return retries_.load(); }
+  std::uint64_t degraded() const { return degraded_.load(); }
+  std::uint64_t faults_detected() const { return faults_detected_.load(); }
+  std::uint64_t in_flight() const { return in_flight_.load(); }
+
+  LatencySummary modelled_summary() const;
+  LatencySummary wall_summary() const;
+
+  /// The ksum-serve-v1 record (validated before returning). `workers` and
+  /// `queue_capacity` describe the server configuration; `queue_depth` /
+  /// `in_flight` are the gauges at snapshot time.
+  profile::Json to_json(int workers, std::size_t queue_capacity,
+                        std::size_t queue_depth) const;
+
+ private:
+  static constexpr std::size_t kStatusCount = 6;
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> by_status_[kStatusCount] = {};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> faults_detected_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  mutable std::mutex mutex_;
+  std::vector<double> modelled_seconds_;
+  std::vector<double> wall_seconds_;
+};
+
+/// Throws ksum::Error unless `record` is a well-formed ksum-serve-v1
+/// document (schema tag, counters object with every status spelling,
+/// latency_ms.modelled/.wall summaries with consistent ordering).
+void validate_serve_json(const profile::Json& record);
+
+}  // namespace ksum::serve

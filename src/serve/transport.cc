@@ -1,0 +1,189 @@
+#include "serve/transport.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <memory>
+
+#include "common/error.h"
+
+namespace ksum::serve {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void handle_signal(int) { g_shutdown.store(true); }
+
+// One connected client's read side: accumulates bytes into lines and feeds
+// the server. Replies go through the ReplyHub, never through this class.
+class Connection {
+ public:
+  Connection(int fd, Server& server, ReplyHub& hub)
+      : fd_(fd), server_(server), hub_(hub) {
+    hub_.add(fd_);
+  }
+  ~Connection() {
+    hub_.remove(fd_);
+    ::close(fd_);
+  }
+
+  int fd() const { return fd_; }
+
+  /// Pumps readable bytes into handle_line; false once the peer closed.
+  bool pump() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      // Flush a final unterminated line before treating EOF as close.
+      if (n == 0 && !buffer_.empty()) {
+        server_.handle_line(buffer_);
+        buffer_.clear();
+      }
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer_.find('\n', start);
+      if (nl == std::string::npos) break;
+      server_.handle_line(buffer_.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buffer_.erase(0, start);
+    return true;
+  }
+
+ private:
+  const int fd_;
+  Server& server_;
+  ReplyHub& hub_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool shutdown_requested() { return g_shutdown.load(); }
+
+void request_shutdown() { g_shutdown.store(true); }
+
+void ReplyHub::deliver(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const int fd : fds_) {
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) break;  // client went away; drop its copy
+      off += static_cast<std::size_t>(n);
+    }
+  }
+}
+
+void ReplyHub::add(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fds_.push_back(fd);
+}
+
+void ReplyHub::remove(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+}
+
+std::size_t run_stdio(Server& server, std::istream& in) {
+  server.start();
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    server.handle_line(line);
+  }
+  server.drain();
+  return lines;
+}
+
+void run_unix_socket(Server& server, ReplyHub& hub, const std::string& path) {
+  KSUM_REQUIRE(path.size() < sizeof(sockaddr_un{}.sun_path),
+               "unix socket path too long: " + path);
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  KSUM_REQUIRE(listener >= 0, std::string("socket(): ") + strerror(errno));
+
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = strerror(errno);
+    ::close(listener);
+    throw Error("ksum-serve: bind(" + path + "): " + message);
+  }
+  if (::listen(listener, 16) != 0) {
+    const std::string message = strerror(errno);
+    ::close(listener);
+    ::unlink(path.c_str());
+    throw Error("ksum-serve: listen(" + path + "): " + message);
+  }
+
+  server.start();
+  std::vector<std::unique_ptr<Connection>> connections;
+  while (!shutdown_requested()) {
+    // Poll the listener plus every open connection with a short timeout so
+    // the shutdown flag is observed within ~100 ms.
+    std::vector<pollfd> fds;
+    fds.push_back({listener, POLLIN, 0});
+    for (const auto& connection : connections) {
+      fds.push_back({connection->fd(), POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) {
+        connections.push_back(
+            std::make_unique<Connection>(fd, server, hub));
+      }
+    }
+    for (std::size_t i = connections.size(); i-- > 0;) {
+      const short revents = fds[i + 1].revents;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!connections[i]->pump()) {
+          connections.erase(connections.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+  }
+
+  ::close(listener);
+  // Drain before dropping connections: in-flight replies still reach the
+  // clients that are waiting for them.
+  server.drain();
+  connections.clear();
+  ::unlink(path.c_str());
+}
+
+}  // namespace ksum::serve

@@ -1,0 +1,65 @@
+// Transports that feed request lines into a Server and write its replies.
+//
+//   run_stdio       — reads newline-delimited requests from an istream until
+//                     EOF, then drains. The caller's reply sink (given to
+//                     the Server) writes wherever it likes — ksum-serve
+//                     points it at stdout with a flush per line.
+//   run_unix_socket — AF_UNIX stream listener; each connection speaks the
+//                     same line protocol. The Server's sink must be the
+//                     ReplyHub's deliver(): replies fan out to every live
+//                     connection (clients correlate by id; a single client
+//                     is the common shape). Accept/read loops poll with a
+//                     short timeout so install_signal_handlers()'s SIGTERM/
+//                     SIGINT flag is honoured promptly: the listener stops,
+//                     buffered lines finish, and the server drains.
+//
+// Both return after the server has fully drained (every admitted request
+// answered).
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace ksum::serve {
+
+/// Installs SIGTERM/SIGINT handlers that set the shutdown flag the socket
+/// transport polls. Safe to call once per process.
+void install_signal_handlers();
+
+/// True once SIGTERM/SIGINT was received (or request_shutdown() called).
+bool shutdown_requested();
+
+/// Programmatic equivalent of receiving SIGTERM (tests).
+void request_shutdown();
+
+/// Fans reply lines out to the socket transport's live connections. Build
+/// the Server with `sink = [&hub](const std::string& l) { hub.deliver(l); }`
+/// and hand the same hub to run_unix_socket.
+class ReplyHub {
+ public:
+  /// Writes line + '\n' to every registered connection (best effort — a
+  /// vanished client just drops its copy).
+  void deliver(const std::string& line);
+
+  void add(int fd);
+  void remove(int fd);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> fds_;
+};
+
+/// Serves until EOF on `in`, then drains. Returns the number of request
+/// lines consumed.
+std::size_t run_stdio(Server& server, std::istream& in);
+
+/// Binds `path` (unlinking a stale socket file first), serves until
+/// shutdown_requested(), then drains and removes the socket file. Throws
+/// ksum::Error when the socket cannot be created or bound.
+void run_unix_socket(Server& server, ReplyHub& hub, const std::string& path);
+
+}  // namespace ksum::serve

@@ -292,14 +292,14 @@ int run_batch(const FlagParser& flags, pipelines::Backend backend,
   for (const auto& r : results) {
     const auto& spec = requests[r.index].spec;
     if (!r.error.empty()) {
-      std::printf("[%3zu] %zux%zu K=%zu seed=%llu  ERROR: %s\n", r.index,
-                  spec.m, spec.n, spec.k,
+      std::printf("[%3zu] %zux%zu K=%zu seed=%llu  status=%s  ERROR: %s\n",
+                  r.index, spec.m, spec.n, spec.k,
                   static_cast<unsigned long long>(spec.seed),
-                  r.error.c_str());
+                  to_string(r.status), r.error.c_str());
       ++errored;
       continue;
     }
-    std::string status = r.ok ? "ok" : "FAILED";
+    std::string status = std::string("status=") + to_string(r.status);
     if (r.solve.recovery.faults_detected > 0) {
       status += r.solve.recovery.gave_up ? " (gave up)" : " (recovered)";
     }

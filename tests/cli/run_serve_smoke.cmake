@@ -1,0 +1,46 @@
+# Drives a stdin-fed daemon run and asserts on exit code and output.
+#
+#   cmake -DCMD="<prog> <args...>" -DINPUT_FILE=<trace.jsonl>
+#         -DEXPECT_RC=<n> [-DEXPECT_OUTPUTS=<substr>|<substr>|...]
+#         [-DFORBID_OUTPUTS=<substr>|...] -P run_serve_smoke.cmake
+#
+# Like expect_exit.cmake, but the command reads the trace file on stdin
+# (ksum-serve --stdio drains at EOF) and multiple literal substrings can be
+# required at once, '|'-separated — a full protocol smoke in one process.
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+execute_process(
+  COMMAND ${cmd_list}
+  INPUT_FILE ${INPUT_FILE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc STREQUAL "${EXPECT_RC}")
+  message(FATAL_ERROR
+    "expected exit code ${EXPECT_RC}, got ${rc}\n--- command: ${CMD}\n"
+    "--- stdout:\n${out}\n--- stderr:\n${err}")
+endif()
+
+if(DEFINED EXPECT_OUTPUTS)
+  string(REPLACE "|" ";" expect_list "${EXPECT_OUTPUTS}")
+  foreach(needle IN LISTS expect_list)
+    string(FIND "${out}${err}" "${needle}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR
+        "output does not contain \"${needle}\"\n--- command: ${CMD}\n"
+        "--- stdout:\n${out}\n--- stderr:\n${err}")
+    endif()
+  endforeach()
+endif()
+
+if(DEFINED FORBID_OUTPUTS)
+  string(REPLACE "|" ";" forbid_list "${FORBID_OUTPUTS}")
+  foreach(needle IN LISTS forbid_list)
+    string(FIND "${out}${err}" "${needle}" found)
+    if(NOT found EQUAL -1)
+      message(FATAL_ERROR
+        "output must not contain \"${needle}\"\n--- command: ${CMD}\n"
+        "--- stdout:\n${out}\n--- stderr:\n${err}")
+    endif()
+  endforeach()
+endif()

@@ -70,6 +70,7 @@ TEST(BatchTest, MatchesSequentialSolveBitIdentically) {
                             requests[i].backend, requests[i].options);
     EXPECT_EQ(results[i].index, i);
     EXPECT_TRUE(results[i].ok) << results[i].error;
+    EXPECT_EQ(results[i].status, StatusCode::kOk);
     EXPECT_TRUE(results[i].error.empty()) << results[i].error;
     expect_bit_identical(results[i].solve, want,
                          "request " + std::to_string(i));
@@ -99,6 +100,8 @@ TEST(BatchTest, BadRequestIsCapturedWithoutSinkingTheBatch) {
   ASSERT_EQ(results.size(), 3u);
   EXPECT_TRUE(results[0].ok);
   EXPECT_FALSE(results[1].ok);
+  // Validation failures carry the taxonomy code callers can branch on.
+  EXPECT_EQ(results[1].status, StatusCode::kInvalid);
   EXPECT_NE(results[1].error.find("dimensions must be positive"),
             std::string::npos)
       << results[1].error;

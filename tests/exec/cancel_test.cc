@@ -1,0 +1,182 @@
+// Cooperative cancellation: CancelToken semantics, the ThreadPool's
+// claim-loop hook, and the pipeline-level guarantee that a cancelled
+// request never writes output.
+#include <atomic>
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "exec/cancel.h"
+#include "exec/thread_pool.h"
+#include "pipelines/solver.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+TEST(CancelToken, StartsClear) {
+  exec::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, CancelSetsFlagAndCheckThrows) {
+  exec::CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), exec::Cancelled);
+}
+
+TEST(CancelToken, ExpiredDeadlineCancels) {
+  exec::CancelToken token;
+  token.set_deadline_after(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), exec::Cancelled);
+}
+
+TEST(CancelToken, FutureDeadlineStaysClear) {
+  exec::CancelToken token;
+  token.set_deadline_after(std::chrono::hours(24));
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ResetClearsBothFlagAndDeadline) {
+  exec::CancelToken token;
+  token.cancel();
+  token.set_deadline_after(std::chrono::nanoseconds(-1));
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, CancelledIsNotAnErrorOrInternalError) {
+  // The taxonomy depends on the three exception classes staying disjoint.
+  try {
+    throw exec::Cancelled("test");
+  } catch (const Error&) {
+    FAIL() << "Cancelled must not be a ksum::Error";
+  } catch (const InternalError&) {
+    FAIL() << "Cancelled must not be a ksum::InternalError";
+  } catch (const exec::Cancelled&) {
+    SUCCEED();
+  }
+}
+
+TEST(ThreadPoolCancel, PreCancelledRunsNoBody) {
+  exec::ThreadPool pool(4);
+  exec::CancelToken token;
+  token.cancel();
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(
+          100, [&](std::size_t) { executed.fetch_add(1); }, &token),
+      exec::Cancelled);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPoolCancel, CancelMidJobStopsFurtherClaims) {
+  // One worker → deterministic: index 0 runs, cancels, and no later index
+  // is ever claimed.
+  exec::ThreadPool pool(1);
+  exec::CancelToken token;
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(
+                   50,
+                   [&](std::size_t) {
+                     executed.fetch_add(1);
+                     token.cancel();
+                   },
+                   &token),
+               exec::Cancelled);
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(ThreadPoolCancel, NullTokenRunsEverything) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  pool.parallel_for(64, [&](std::size_t) { executed.fetch_add(1); });
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolCancel, BodyErrorWinsOverCancellation) {
+  exec::ThreadPool pool(1);
+  exec::CancelToken token;
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [&](std::size_t index) {
+                     token.cancel();
+                     if (index == 0) throw Error("boom");
+                   },
+                   &token),
+               Error);
+}
+
+TEST(ThreadPoolCancel, CompletedJobWithTokenDoesNotThrow) {
+  exec::ThreadPool pool(2);
+  exec::CancelToken token;  // never cancelled
+  std::atomic<int> executed{0};
+  EXPECT_NO_THROW(pool.parallel_for(
+      16, [&](std::size_t) { executed.fetch_add(1); }, &token));
+  EXPECT_EQ(executed.load(), 16);
+}
+
+// The satellite guarantee: a cancelled request never writes output — the
+// pipeline throws before the result download, so no Vector ever reaches the
+// caller.
+TEST(PipelineCancel, CancelledTokenAbortsBeforeOutput) {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  const auto instance = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+
+  pipelines::RunOptions options;
+  exec::CancelToken token;
+  token.cancel();
+  options.cancel = &token;
+  EXPECT_THROW(pipelines::run_pipeline(pipelines::Solution::kFused, instance,
+                                       params, options),
+               exec::Cancelled);
+}
+
+TEST(PipelineCancel, ExpiredDeadlineAbortsSolve) {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  const auto instance = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+
+  pipelines::RunOptions options;
+  exec::CancelToken token;
+  token.set_deadline_after(std::chrono::nanoseconds(-1));
+  options.cancel = &token;
+  EXPECT_THROW(pipelines::solve(instance, params,
+                                pipelines::Backend::kSimCublasUnfused,
+                                options),
+               exec::Cancelled);
+}
+
+TEST(PipelineCancel, UncancelledTokenMatchesTokenFreeRun) {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  const auto instance = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+
+  const auto baseline = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                                instance, params, {});
+  pipelines::RunOptions options;
+  exec::CancelToken token;
+  options.cancel = &token;
+  const auto watched = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                               instance, params, options);
+  ASSERT_EQ(baseline.result.size(), watched.result.size());
+  for (std::size_t i = 0; i < baseline.result.size(); ++i) {
+    EXPECT_EQ(baseline.result[i], watched.result[i]) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,92 @@
+// Warm-device reuse: run_pipeline on a reset() pre-constructed Device must
+// be bit-identical to a fresh-device run — the serving layer's per-worker
+// warm devices rely on this.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.h"
+#include "pipelines/pipeline.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+workload::Instance small_instance(std::uint64_t seed = 7) {
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  spec.seed = seed;
+  return workload::make_instance(spec);
+}
+
+void expect_bit_identical(const pipelines::PipelineReport& a,
+                          const pipelines::PipelineReport& b) {
+  ASSERT_EQ(a.result.size(), b.result.size());
+  for (std::size_t i = 0; i < a.result.size(); ++i) {
+    EXPECT_EQ(a.result[i], b.result[i]) << "V diverges at " << i;
+  }
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.total.dram_read_transactions, b.total.dram_read_transactions);
+  EXPECT_EQ(a.total.dram_write_transactions, b.total.dram_write_transactions);
+  EXPECT_EQ(a.total.l2_read_transactions, b.total.l2_read_transactions);
+}
+
+TEST(WarmDevice, ReusedDeviceMatchesFreshRun) {
+  const auto instance = small_instance();
+  const auto params = core::params_from_spec(instance.spec);
+
+  const auto fresh = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                             instance, params, {});
+
+  pipelines::RunOptions options;
+  const std::size_t arena = pipelines::required_device_bytes(
+      256, 256, 64, /*with_intermediate=*/true, /*tile_n=*/32);
+  gpusim::Device warm(options.device, arena);
+  options.warm_device = &warm;
+
+  // Dirty the device with an unrelated run, then reuse it: reset() must
+  // erase every trace of the first problem.
+  const auto dirty = small_instance(/*seed=*/99);
+  (void)pipelines::run_pipeline(pipelines::Solution::kCublasUnfused, dirty,
+                                core::params_from_spec(dirty.spec), options);
+  const auto reused = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                              instance, params, options);
+  expect_bit_identical(fresh, reused);
+}
+
+TEST(WarmDevice, TooSmallWarmDeviceFallsBackToFresh) {
+  const auto instance = small_instance();
+  const auto params = core::params_from_spec(instance.spec);
+
+  pipelines::RunOptions options;
+  gpusim::Device tiny(options.device, 1u << 12);  // far too small
+  options.warm_device = &tiny;
+  const auto via_fallback = pipelines::run_pipeline(
+      pipelines::Solution::kFused, instance, params, options);
+
+  const auto fresh = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                             instance, params, {});
+  expect_bit_identical(fresh, via_fallback);
+}
+
+TEST(WarmDevice, RepeatedReuseStaysStable) {
+  const auto instance = small_instance();
+  const auto params = core::params_from_spec(instance.spec);
+
+  pipelines::RunOptions options;
+  const std::size_t arena = pipelines::required_device_bytes(
+      256, 256, 64, true, 32);
+  gpusim::Device warm(options.device, arena);
+  options.warm_device = &warm;
+
+  const auto first = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                             instance, params, options);
+  for (int round = 0; round < 3; ++round) {
+    const auto again = pipelines::run_pipeline(pipelines::Solution::kFused,
+                                               instance, params, options);
+    expect_bit_identical(first, again);
+  }
+}
+
+}  // namespace
+}  // namespace ksum

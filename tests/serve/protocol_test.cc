@@ -1,0 +1,161 @@
+// Wire-protocol grammar: request parsing, reply building, digests, and the
+// status taxonomy spellings.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/status.h"
+#include "profile/json.h"
+#include "serve/protocol.h"
+
+namespace ksum {
+namespace {
+
+using serve::Op;
+using serve::ServeRequest;
+
+TEST(StatusCode, SpellingsRoundTrip) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalid, StatusCode::kTimeout,
+        StatusCode::kOverloaded, StatusCode::kFaultUnrecovered,
+        StatusCode::kInternal}) {
+    const auto parsed = parse_status_code(to_string(code));
+    ASSERT_TRUE(parsed.has_value()) << to_string(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_status_code("bogus").has_value());
+  EXPECT_FALSE(parse_status_code("").has_value());
+}
+
+TEST(ParseRequest, SolveDefaults) {
+  const ServeRequest r = serve::parse_request(
+      R"({"op":"solve","id":"r1","m":256,"n":128,"k":8})");
+  EXPECT_EQ(r.op, Op::kSolve);
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.spec.m, 256u);
+  EXPECT_EQ(r.spec.n, 128u);
+  EXPECT_EQ(r.spec.k, 8u);
+  EXPECT_EQ(r.spec.seed, 42u);
+  EXPECT_EQ(r.backend, pipelines::Backend::kSimFused);
+  EXPECT_TRUE(r.robust);
+  EXPECT_FALSE(r.verify);
+  EXPECT_LT(r.deadline_ms, 0);  // server default
+  EXPECT_EQ(r.fault_rate, 0.0);
+}
+
+TEST(ParseRequest, AllFields) {
+  const ServeRequest r = serve::parse_request(
+      R"({"op":"solve","id":7,"m":64,"n":64,"k":16,"seed":9,"h":0.5,)"
+      R"("backend":"sim-cublas-unfused","robust":false,"verify":true,)"
+      R"("deadline_ms":25,"fault_rate":0.5,"fault_seed":11})");
+  EXPECT_EQ(r.id, "7");  // numeric ids are normalised to their JSON text
+  EXPECT_EQ(r.spec.seed, 9u);
+  EXPECT_FLOAT_EQ(r.spec.bandwidth, 0.5f);
+  EXPECT_EQ(r.backend, pipelines::Backend::kSimCublasUnfused);
+  EXPECT_FALSE(r.robust);
+  EXPECT_TRUE(r.verify);
+  EXPECT_EQ(r.deadline_ms, 25.0);
+  EXPECT_EQ(r.fault_rate, 0.5);
+  EXPECT_EQ(r.fault_seed, 11u);
+}
+
+TEST(ParseRequest, HealthAndStatsIgnoreShape) {
+  EXPECT_EQ(serve::parse_request(R"({"op":"health"})").op, Op::kHealth);
+  EXPECT_EQ(serve::parse_request(R"({"op":"stats","id":"s"})").op,
+            Op::kStats);
+}
+
+TEST(ParseRequest, DefaultOpIsSolve) {
+  const ServeRequest r =
+      serve::parse_request(R"({"m":64,"n":64,"k":8})");
+  EXPECT_EQ(r.op, Op::kSolve);
+  EXPECT_TRUE(r.id.empty());
+}
+
+TEST(ParseRequest, Rejections) {
+  // Malformed JSON, wrong root, unknown op/backend, missing or bad fields:
+  // all ksum::Error → the server's `invalid` bucket.
+  EXPECT_THROW(serve::parse_request("not json"), Error);
+  EXPECT_THROW(serve::parse_request("[1,2]"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"op":"fry"})"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":64,"n":64})"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":0,"n":64,"k":8})"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":1.5,"n":64,"k":8})"), Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"backend":"gpu"})"),
+      Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"fault_rate":1.5})"),
+      Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":64,"n":64,"k":8,"h":0})"),
+               Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":64,"n":64,"k":8,"id":true})"),
+               Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"robust":"yes"})"),
+      Error);
+}
+
+TEST(EffectiveFaultSeed, ExplicitWinsDerivedIsStable) {
+  ServeRequest r;
+  r.id = "req-1";
+  r.fault_seed = 123;
+  EXPECT_EQ(serve::effective_fault_seed(r), 123u);
+  r.fault_seed = 0;
+  const std::uint64_t derived = serve::effective_fault_seed(r);
+  EXPECT_NE(derived, 0u);
+  EXPECT_EQ(derived, serve::effective_fault_seed(r));  // pure function
+  ServeRequest other = r;
+  other.id = "req-2";
+  EXPECT_NE(serve::effective_fault_seed(other), derived);
+}
+
+TEST(Digest, SensitiveToEveryBit) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  const std::string base = serve::digest_hex(v);
+  EXPECT_EQ(base.size(), 16u);
+  EXPECT_EQ(base, serve::digest_hex(v));
+  v[1] = std::nextafter(2.0f, 3.0f);  // one ulp
+  EXPECT_NE(base, serve::digest_hex(v));
+  EXPECT_NE(serve::digest_hex(std::vector<float>{}),
+            serve::digest_hex(std::vector<float>{0.0f}));
+}
+
+TEST(Replies, ErrorReplyParsesBack) {
+  const std::string line =
+      serve::error_reply("r9", StatusCode::kOverloaded, "queue full");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto doc = profile::Json::parse(line);
+  EXPECT_EQ(doc.at("id").as_string(), "r9");
+  EXPECT_EQ(doc.at("status").as_string(), "overloaded");
+  EXPECT_EQ(doc.at("error").as_string(), "queue full");
+}
+
+TEST(Replies, SolveReplyCarriesPayload) {
+  ServeRequest request;
+  request.id = "r1";
+  request.spec.m = 64;
+  request.spec.n = 32;
+  request.spec.k = 8;
+  serve::SolveReplyInfo info;
+  info.serve_attempts = 2;
+  info.solver_attempts = 4;
+  info.faults_detected = 3;
+  info.degraded = true;
+  info.backend = pipelines::Backend::kCpuExpansion;
+  const std::vector<float> v = {1.5f, -2.25f};
+  const std::string line = serve::solve_reply("r1", request, info, v);
+  const auto doc = profile::Json::parse(line);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_EQ(doc.at("m").as_double(), 64);
+  EXPECT_EQ(doc.at("backend").as_string(), "cpu-expansion");
+  EXPECT_EQ(doc.at("serve_attempts").as_double(), 2);
+  EXPECT_EQ(doc.at("solver_attempts").as_double(), 4);
+  EXPECT_EQ(doc.at("faults_detected").as_double(), 3);
+  EXPECT_TRUE(doc.at("degraded").as_bool());
+  EXPECT_EQ(doc.at("digest").as_string(), serve::digest_hex(v));
+}
+
+}  // namespace
+}  // namespace ksum

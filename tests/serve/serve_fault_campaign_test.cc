@@ -1,0 +1,192 @@
+// Serve-mode fault campaign: a seeded per-request FaultPlan trace run at
+// 1, 2, and 8 workers must produce byte-identical reply sets, and every
+// reply must match a single-thread oracle that replays the serve-level
+// attempt loop via the public attempt_fault_seed contract.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "profile/json.h"
+#include "robust/fault_plan.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+using profile::Json;
+
+struct TraceEntry {
+  std::string id;
+  std::size_t m, n, k;
+  double fault_rate;
+  std::uint64_t fault_seed;
+};
+
+// Mixed shapes (aligned and ragged), explicit per-request fault seeds, a
+// mostly-light fault mix plus one heavy request that should defeat recovery.
+std::vector<TraceEntry> campaign_trace() {
+  return {
+      {"t00", 128, 128, 8, 0.0, 1},    {"t01", 256, 128, 8, 0.0, 2},
+      {"t02", 100, 90, 8, 0.0, 3},     {"t03", 128, 256, 16, 0.0, 4},
+      {"t04", 128, 128, 8, 0.01, 11},  {"t05", 256, 128, 8, 0.01, 12},
+      {"t06", 100, 90, 8, 0.02, 13},   {"t07", 128, 256, 16, 0.01, 14},
+      {"t08", 128, 128, 8, 0.05, 21},  {"t09", 256, 256, 8, 0.02, 22},
+      {"t10", 128, 128, 8, 0.5, 5},    {"t11", 100, 90, 8, 0.01, 32},
+  };
+}
+
+std::string trace_line(const TraceEntry& e) {
+  Json j = Json::object();
+  j.set("op", "solve");
+  j.set("id", e.id);
+  j.set("m", std::uint64_t(e.m));
+  j.set("n", std::uint64_t(e.n));
+  j.set("k", std::uint64_t(e.k));
+  if (e.fault_rate > 0) {
+    j.set("fault_rate", e.fault_rate);
+    j.set("fault_seed", e.fault_seed);
+  }
+  return j.dump_compact();
+}
+
+serve::ServerOptions campaign_options(int workers) {
+  serve::ServerOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = 64;  // >= trace size: nothing sheds
+  opts.max_attempts = 2;
+  opts.degrade_to_host = false;  // unrecovered requests must say so
+  return opts;
+}
+
+struct CampaignRun {
+  std::vector<std::string> replies;  // sorted
+  std::uint64_t ok = 0, unrecovered = 0, retries = 0;
+};
+
+CampaignRun run_campaign(int workers) {
+  auto lines = std::make_shared<std::vector<std::string>>();
+  auto mutex = std::make_shared<std::mutex>();
+  serve::Server server(campaign_options(workers),
+                       [lines, mutex](const std::string& line) {
+                         std::lock_guard<std::mutex> lock(*mutex);
+                         lines->push_back(line);
+                       });
+  server.start();
+  for (const auto& entry : campaign_trace()) {
+    server.handle_line(trace_line(entry));
+  }
+  server.drain();
+
+  CampaignRun run;
+  run.replies = *lines;
+  std::sort(run.replies.begin(), run.replies.end());
+  run.ok = server.stats().by_status(StatusCode::kOk);
+  run.unrecovered = server.stats().by_status(StatusCode::kFaultUnrecovered);
+  run.retries = server.stats().retries();
+  return run;
+}
+
+struct Expected {
+  StatusCode status = StatusCode::kOk;
+  std::string digest;  // only for ok
+};
+
+// Single-thread oracle: replays the server's attempt loop for one request —
+// same robust run options, same per-attempt fault-plan seeds — without any
+// Server machinery. The serving contract is that the daemon's reply is a
+// pure function of the request, so this must predict it exactly.
+Expected oracle_outcome(const TraceEntry& e, int max_attempts) {
+  workload::ProblemSpec spec;
+  spec.m = e.m;
+  spec.n = e.n;
+  spec.k = e.k;
+  const auto instance = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+
+  pipelines::RunOptions run;
+  run.checks.enabled = true;
+  run.recovery.enabled = true;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::unique_ptr<robust::FaultPlan> plan;
+    if (e.fault_rate > 0) {
+      plan = std::make_unique<robust::FaultPlan>(
+          robust::FaultPlanConfig::uniform(
+              serve::attempt_fault_seed(e.fault_seed, attempt),
+              e.fault_rate));
+      run.fault_injector = plan.get();
+    }
+    const auto result = pipelines::solve(
+        instance, params, pipelines::Backend::kSimFused, run);
+    run.fault_injector = nullptr;
+    if (!result.recovery.gave_up) {
+      return {StatusCode::kOk, serve::digest_hex(result.v.span())};
+    }
+  }
+  return {StatusCode::kFaultUnrecovered, ""};
+}
+
+TEST(ServeFaultCampaign, RepliesAreByteIdenticalAcrossWorkerCounts) {
+  const CampaignRun one = run_campaign(1);
+  const CampaignRun two = run_campaign(2);
+  const CampaignRun eight = run_campaign(8);
+
+  ASSERT_EQ(one.replies.size(), campaign_trace().size());
+  EXPECT_EQ(one.replies, two.replies);
+  EXPECT_EQ(one.replies, eight.replies);
+
+  // The counters are part of the determinism contract too: retries and
+  // per-status totals depend only on the request stream.
+  EXPECT_EQ(one.ok, two.ok);
+  EXPECT_EQ(one.ok, eight.ok);
+  EXPECT_EQ(one.unrecovered, two.unrecovered);
+  EXPECT_EQ(one.unrecovered, eight.unrecovered);
+  EXPECT_EQ(one.retries, two.retries);
+  EXPECT_EQ(one.retries, eight.retries);
+  EXPECT_EQ(one.ok + one.unrecovered, campaign_trace().size());
+}
+
+TEST(ServeFaultCampaign, OraclePredictsEveryReply) {
+  const auto trace = campaign_trace();
+  const CampaignRun run = run_campaign(2);
+  ASSERT_EQ(run.replies.size(), trace.size());
+
+  std::map<std::string, Json> by_id;
+  for (const auto& line : run.replies) {
+    Json doc = Json::parse(line);
+    by_id.emplace(doc.at("id").as_string(), std::move(doc));
+  }
+
+  std::uint64_t predicted_unrecovered = 0;
+  for (const auto& entry : trace) {
+    SCOPED_TRACE(entry.id);
+    const Expected expected = oracle_outcome(entry, /*max_attempts=*/2);
+    const auto it = by_id.find(entry.id);
+    ASSERT_NE(it, by_id.end());
+    const Json& reply = it->second;
+    EXPECT_EQ(reply.at("status").as_string(), to_string(expected.status));
+    if (expected.status == StatusCode::kOk) {
+      EXPECT_EQ(reply.at("digest").as_string(), expected.digest);
+    } else {
+      ++predicted_unrecovered;
+      EXPECT_FALSE(reply.has("digest"));
+    }
+  }
+  // Correct fault_unrecovered accounting: the daemon's counter equals the
+  // oracle's prediction, and t10 — engineered to keep every attempt
+  // flagged — proves the unrecovered path is actually exercised.
+  EXPECT_EQ(run.unrecovered, predicted_unrecovered);
+  EXPECT_EQ(by_id.at("t10").at("status").as_string(),
+            to_string(StatusCode::kFaultUnrecovered));
+}
+
+}  // namespace
+}  // namespace ksum

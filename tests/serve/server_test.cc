@@ -1,0 +1,292 @@
+// Server control plane: admission, deadlines, shedding, degradation,
+// warm-device reply identity, and the ksum-serve-v1 stats record.
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "profile/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+using profile::Json;
+
+// Collects reply lines; the server serialises sink calls, the mutex makes
+// reads from the test thread race-free too.
+struct SinkLog {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+
+  void operator()(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex);
+    lines.push_back(line);
+  }
+  std::vector<std::string> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return lines;
+  }
+};
+
+struct Harness {
+  serve::ServerOptions options;
+  std::shared_ptr<SinkLog> log = std::make_shared<SinkLog>();
+  std::unique_ptr<serve::Server> server;
+
+  explicit Harness(serve::ServerOptions opts) : options(opts) {
+    auto log_copy = log;
+    server = std::make_unique<serve::Server>(
+        options,
+        [log_copy](const std::string& line) { (*log_copy)(line); });
+  }
+};
+
+std::string solve_line(const std::string& id, std::size_t m, std::size_t n,
+                       std::size_t k, const std::string& extra = "") {
+  return std::string("{\"op\":\"solve\",\"id\":\"") + id +
+         "\",\"m\":" + std::to_string(m) + ",\"n\":" + std::to_string(n) +
+         ",\"k\":" + std::to_string(k) + extra + "}";
+}
+
+// Finds the reply whose id matches; fails the test when absent.
+Json reply_for(const std::vector<std::string>& lines, const std::string& id) {
+  for (const auto& line : lines) {
+    const Json doc = Json::parse(line);
+    if (doc.has("id") && doc.at("id").is_string() &&
+        doc.at("id").as_string() == id) {
+      return doc;
+    }
+  }
+  ADD_FAILURE() << "no reply for id " << id;
+  return Json::object();
+}
+
+TEST(Server, SolveReplyMatchesSingleShotSolve) {
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(solve_line("r1", 128, 128, 8, ",\"robust\":false"));
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  const Json reply = reply_for(lines, "r1");
+  EXPECT_EQ(reply.at("status").as_string(), "ok");
+
+  // Single-shot oracle: the same request through the library directly.
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  const auto instance = workload::make_instance(spec);
+  const auto result = pipelines::solve(
+      instance, core::params_from_spec(spec), pipelines::Backend::kSimFused);
+  EXPECT_EQ(reply.at("digest").as_string(),
+            serve::digest_hex(result.v.span()));
+  ASSERT_TRUE(result.report.has_value());
+  EXPECT_EQ(reply.at("modelled_ms").as_double(),
+            result.report->seconds * 1e3);
+  EXPECT_FALSE(reply.at("degraded").as_bool());
+  EXPECT_EQ(reply.at("serve_attempts").as_double(), 1);
+}
+
+TEST(Server, WarmDeviceRepliesAreByteIdentical) {
+  serve::ServerOptions opts;
+  opts.workers = 1;  // same worker serves both → second run is warm
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(solve_line("a", 128, 128, 8));
+  h.server->handle_line(solve_line("b", 256, 128, 8));  // grows the device
+  h.server->handle_line(solve_line("c", 128, 128, 8));  // warm re-run of "a"
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  ASSERT_EQ(lines.size(), 3u);
+  // Byte-identical apart from the echoed id: rewrite "a" → "c" and compare
+  // the raw reply lines.
+  std::string first = lines[0];
+  const std::string needle = "\"id\":\"a\"";
+  const std::size_t pos = first.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  first.replace(pos, needle.size(), "\"id\":\"c\"");
+  EXPECT_EQ(first, lines[2]);
+}
+
+TEST(Server, HealthStatsAndTaxonomyAtIntake) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_m = 512;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(R"({"op":"health","id":"h"})");
+  h.server->handle_line("garbage");
+  h.server->handle_line(solve_line("big", 4096, 128, 8));  // beyond max_m
+  h.server->handle_line("");              // ignored
+  h.server->handle_line("# a comment");   // ignored
+  h.server->handle_line(R"({"op":"stats","id":"s"})");
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  ASSERT_EQ(lines.size(), 4u);
+  const Json health = reply_for(lines, "h");
+  EXPECT_EQ(health.at("op").as_string(), "health");
+  EXPECT_EQ(health.at("state").as_string(), "serving");
+  EXPECT_EQ(health.at("workers").as_double(), 1);
+
+  const Json bad = Json::parse(lines[1]);
+  EXPECT_EQ(bad.at("status").as_string(), "invalid");
+  EXPECT_EQ(bad.at("id").as_string(), "");
+
+  const Json big = reply_for(lines, "big");
+  EXPECT_EQ(big.at("status").as_string(), "invalid");
+
+  const Json stats = reply_for(lines, "s");
+  const Json& record = stats.at("stats");
+  EXPECT_NO_THROW(serve::validate_serve_json(record));
+  EXPECT_EQ(record.at("counters").at("invalid").as_double(), 2);
+  EXPECT_EQ(record.at("counters").at("received").as_double(), 4);
+}
+
+TEST(Server, TinyDeadlineTimesOutWithoutOutput) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(
+      solve_line("t", 128, 128, 8, ",\"deadline_ms\":0.000001"));
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  const Json reply = reply_for(lines, "t");
+  EXPECT_EQ(reply.at("status").as_string(), "timeout");
+  EXPECT_FALSE(reply.has("digest"));  // a cancelled request has no output
+  EXPECT_EQ(h.server->stats().by_status(StatusCode::kTimeout), 1u);
+}
+
+TEST(Server, PausedBurstShedsDeterministically) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  Harness h(opts);
+  // No start() yet: the queue fills synchronously, so exactly
+  // burst - capacity requests shed, regardless of machine speed.
+  for (int i = 0; i < 5; ++i) {
+    h.server->handle_line(solve_line("q" + std::to_string(i), 128, 128, 8));
+  }
+  EXPECT_EQ(h.log->snapshot().size(), 3u);  // 3 overloaded replies already
+  for (const auto& line : h.log->snapshot()) {
+    EXPECT_EQ(Json::parse(line).at("status").as_string(), "overloaded");
+  }
+  EXPECT_EQ(h.server->stats().by_status(StatusCode::kOverloaded), 3u);
+
+  h.server->start();
+  h.server->drain();
+  EXPECT_EQ(h.log->snapshot().size(), 5u);
+  EXPECT_EQ(h.server->stats().by_status(StatusCode::kOk), 2u);
+
+  // After drain, new solves are refused as overloaded (draining), but
+  // health still answers and reports the draining state.
+  h.server->handle_line(solve_line("late", 128, 128, 8));
+  h.server->handle_line(R"({"op":"health","id":"h2"})");
+  const auto lines = h.log->snapshot();
+  EXPECT_EQ(reply_for(lines, "late").at("status").as_string(), "overloaded");
+  EXPECT_EQ(reply_for(lines, "h2").at("state").as_string(), "draining");
+}
+
+TEST(Server, UnrecoverableFaultsDegradeToHostByDefault) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_attempts = 2;
+  Harness h(opts);
+  h.server->start();
+  // fault_rate=0.5 with this seed keeps every attempt flagged (verified
+  // deterministic), so the request lands in the degraded host path.
+  h.server->handle_line(solve_line(
+      "d", 128, 128, 8, ",\"fault_rate\":0.5,\"fault_seed\":5"));
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  const Json reply = reply_for(lines, "d");
+  ASSERT_EQ(reply.at("status").as_string(), "ok");
+  EXPECT_TRUE(reply.at("degraded").as_bool());
+  EXPECT_EQ(reply.at("backend").as_string(), "cpu-expansion");
+  EXPECT_EQ(h.server->stats().degraded(), 1u);
+  EXPECT_EQ(h.server->stats().retries(), 1u);  // max_attempts - 1
+
+  // The degraded digest is the host expansion result for this instance.
+  workload::ProblemSpec spec;
+  spec.m = 128;
+  spec.n = 128;
+  spec.k = 8;
+  const auto instance = workload::make_instance(spec);
+  const auto host = pipelines::solve(instance, core::params_from_spec(spec),
+                                     pipelines::Backend::kCpuExpansion);
+  EXPECT_EQ(reply.at("digest").as_string(),
+            serve::digest_hex(host.v.span()));
+}
+
+TEST(Server, NoDegradeReportsFaultUnrecovered) {
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_attempts = 2;
+  opts.degrade_to_host = false;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(solve_line(
+      "u", 128, 128, 8, ",\"fault_rate\":0.5,\"fault_seed\":5"));
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(reply_for(lines, "u").at("status").as_string(),
+            "fault_unrecovered");
+  EXPECT_EQ(h.server->stats().by_status(StatusCode::kFaultUnrecovered), 1u);
+  EXPECT_EQ(h.server->stats().degraded(), 0u);
+}
+
+TEST(Server, StatsRecordStaysConsistent) {
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(solve_line("x", 128, 128, 8));
+  h.server->handle_line("broken json");
+  h.server->handle_line(
+      solve_line("y", 128, 128, 8, ",\"deadline_ms\":0.000001"));
+  h.server->drain();
+
+  const Json record = h.server->stats_json();
+  EXPECT_NO_THROW(serve::validate_serve_json(record));
+  const Json& counters = record.at("counters");
+  EXPECT_EQ(counters.at("completed").as_double(), 3);
+  EXPECT_EQ(counters.at("ok").as_double(), 1);
+  EXPECT_EQ(counters.at("invalid").as_double(), 1);
+  EXPECT_EQ(counters.at("timeout").as_double(), 1);
+  // One ok reply → one modelled-latency sample; wall samples cover the two
+  // requests that reached a worker.
+  EXPECT_EQ(record.at("latency_ms").at("modelled").at("count").as_double(),
+            1);
+  EXPECT_EQ(record.at("latency_ms").at("wall").at("count").as_double(), 2);
+}
+
+TEST(ServeStats, PercentilesUseNearestRank) {
+  std::vector<double> sample;
+  for (int i = 1; i <= 100; ++i) sample.push_back(double(i));
+  EXPECT_EQ(serve::percentile(sample, 50), 50);
+  EXPECT_EQ(serve::percentile(sample, 99), 99);
+  EXPECT_EQ(serve::percentile(sample, 100), 100);
+  EXPECT_EQ(serve::percentile({5.0}, 50), 5.0);
+  EXPECT_EQ(serve::percentile({}, 99), 0.0);
+}
+
+}  // namespace
+}  // namespace ksum

@@ -13,6 +13,10 @@ Schemas understood (see src/profile/profile_json.h and bench/bench_common.cc):
   ksum-prof-v1         totals.{seconds, energy_j.total} and per-launch seconds
   ksum-prof-batch-v1   totals.{seconds, energy_j_total} plus every embedded
                        ksum-prof-v1 program record
+  ksum-serve-v1        latency_ms.modelled.{p50, p99} only — the modelled
+                       serving latencies are deterministic; wall-clock
+                       latencies and gauge fields are reported by the bench
+                       but never gated
 
 A metric regresses when current > baseline * (1 + tolerance); lower is
 always better for the tracked quantities. Records present only on one side
@@ -62,6 +66,13 @@ def prof_v1_metrics(record, out, prefix):
             out[f"{prefix}/launch[{i}:{kernel}]/energy_j"] = energy
 
 
+def serve_v1_metrics(record, out, prefix):
+    modelled = record.get("latency_ms", {}).get("modelled", {})
+    for key in ("p50", "p99"):
+        if key in modelled:
+            out[f"{prefix}/latency_ms/modelled/{key}"] = modelled[key]
+
+
 def extract_metrics(record, out, prefix=""):
     schema = record.get("schema", "")
     if schema == "ksum-bench-v1":
@@ -77,6 +88,8 @@ def extract_metrics(record, out, prefix=""):
         for program in record.get("programs", []):
             name = program.get("program", "?")
             prof_v1_metrics(program, out, f"{prefix}/{name}")
+    elif schema == "ksum-serve-v1":
+        serve_v1_metrics(record, out, prefix or "serve")
     else:
         print(f"note: {prefix}: unknown schema '{schema}', skipped")
 
