@@ -1,7 +1,9 @@
 #include "serve/protocol.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/error.h"
 #include "profile/json.h"
@@ -49,6 +51,15 @@ double number_field(const Json& doc, std::string_view key, double fallback) {
   return value->as_double();
 }
 
+// Exclusive upper bound for a double that can be cast to uint64_t: 2^64.
+// The double→integer conversion itself is UB when the value is out of range
+// (or NaN), so every bound check below must run on the double first.
+constexpr double kU64Bound = 18446744073709551616.0;
+
+bool is_u64_representable(double v) {
+  return v >= 0 && v < kU64Bound && std::trunc(v) == v;
+}
+
 std::size_t size_field(const Json& doc, std::string_view key) {
   const Json* value = doc.find(key);
   KSUM_REQUIRE(value != nullptr,
@@ -56,10 +67,24 @@ std::size_t size_field(const Json& doc, std::string_view key) {
   KSUM_REQUIRE(value->is_number(),
                "serve: field '" + std::string(key) + "' must be a number");
   const double v = value->as_double();
-  KSUM_REQUIRE(v >= 1 && v == double(std::uint64_t(v)),
+  KSUM_REQUIRE(v >= 1 && is_u64_representable(v) &&
+                   v <= double(std::numeric_limits<std::size_t>::max()),
                "serve: field '" + std::string(key) +
                    "' must be a positive integer");
   return static_cast<std::size_t>(v);
+}
+
+std::uint64_t u64_field(const Json& doc, std::string_view key,
+                        std::uint64_t fallback) {
+  const Json* value = doc.find(key);
+  if (value == nullptr) return fallback;
+  KSUM_REQUIRE(value->is_number(),
+               "serve: field '" + std::string(key) + "' must be a number");
+  const double v = value->as_double();
+  KSUM_REQUIRE(is_u64_representable(v),
+               "serve: field '" + std::string(key) +
+                   "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(v);
 }
 
 bool bool_field(const Json& doc, std::string_view key, bool fallback) {
@@ -111,8 +136,7 @@ ServeRequest parse_request(const std::string& line) {
   request.spec.m = size_field(doc, "m");
   request.spec.n = size_field(doc, "n");
   request.spec.k = size_field(doc, "k");
-  request.spec.seed =
-      static_cast<std::uint64_t>(number_field(doc, "seed", 42));
+  request.spec.seed = u64_field(doc, "seed", 42);
   const double h = number_field(doc, "h", 1.0);
   KSUM_REQUIRE(h > 0, "serve: field 'h' must be positive");
   request.spec.bandwidth = static_cast<float>(h);
@@ -128,8 +152,7 @@ ServeRequest parse_request(const std::string& line) {
   request.fault_rate = number_field(doc, "fault_rate", 0);
   KSUM_REQUIRE(request.fault_rate >= 0 && request.fault_rate <= 1,
                "serve: field 'fault_rate' must be in [0, 1]");
-  request.fault_seed =
-      static_cast<std::uint64_t>(number_field(doc, "fault_seed", 0));
+  request.fault_seed = u64_field(doc, "fault_seed", 0);
   return request;
 }
 

@@ -132,12 +132,18 @@ void Server::handle_line(const std::string& line) {
     return;
   }
   if (request.op == Op::kStats) {
-    profile::Json j = profile::Json::object();
-    j.set("id", request.id);
-    j.set("status", to_string(StatusCode::kOk));
-    j.set("op", "stats");
-    j.set("stats", stats_json());
-    reply(j.dump_compact());
+    // A stats reply must never kill the daemon: to_json validates its own
+    // record and throws on any inconsistency it cannot repair.
+    try {
+      profile::Json j = profile::Json::object();
+      j.set("id", request.id);
+      j.set("status", to_string(StatusCode::kOk));
+      j.set("op", "stats");
+      j.set("stats", stats_json());
+      reply(j.dump_compact());
+    } catch (const Error& e) {
+      reply(error_reply(request.id, StatusCode::kInternal, e.what()));
+    }
     return;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/error.h"
 
@@ -83,16 +84,30 @@ Json ServeStats::to_json(int workers, std::size_t queue_capacity,
   Json counters = Json::object();
   counters.set("received", received());
   counters.set("accepted", accepted());
-  counters.set("completed", completed());
-  for (const StatusCode code :
-       {StatusCode::kOk, StatusCode::kInvalid, StatusCode::kTimeout,
-        StatusCode::kOverloaded, StatusCode::kFaultUnrecovered,
-        StatusCode::kInternal}) {
-    counters.set(to_string(code), by_status(code));
+  // record_status bumps the per-status cell and completed_ as two separate
+  // relaxed increments, so a concurrent snapshot can catch them mid-update.
+  // Load each status cell once and report completed as their sum: the
+  // emitted record is then self-consistent by construction, which the
+  // schema validator requires.
+  constexpr StatusCode kAllStatuses[] = {
+      StatusCode::kOk,         StatusCode::kInvalid,
+      StatusCode::kTimeout,    StatusCode::kOverloaded,
+      StatusCode::kFaultUnrecovered, StatusCode::kInternal};
+  std::uint64_t snapshot[std::size(kAllStatuses)] = {};
+  std::uint64_t status_total = 0;
+  for (std::size_t i = 0; i < std::size(kAllStatuses); ++i) {
+    snapshot[i] = by_status(kAllStatuses[i]);
+    status_total += snapshot[i];
+  }
+  counters.set("completed", status_total);
+  std::uint64_t overloaded = 0;
+  for (std::size_t i = 0; i < std::size(kAllStatuses); ++i) {
+    counters.set(to_string(kAllStatuses[i]), snapshot[i]);
+    if (kAllStatuses[i] == StatusCode::kOverloaded) overloaded = snapshot[i];
   }
   // "shed" is the operator-facing alias for overloaded replies; retries are
   // serve-level re-submissions past the first attempt.
-  counters.set("shed", by_status(StatusCode::kOverloaded));
+  counters.set("shed", overloaded);
   counters.set("retries", retries());
   counters.set("degraded", degraded());
   counters.set("faults_detected", faults_detected());

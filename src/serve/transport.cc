@@ -42,9 +42,14 @@ class Connection {
   bool pump() {
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n <= 0) {
+    if (n < 0) {
+      // SIGTERM/SIGINT handlers are installed without SA_RESTART, so an
+      // interrupted recv is routine — keep the connection and re-poll.
+      return errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    if (n == 0) {
       // Flush a final unterminated line before treating EOF as close.
-      if (n == 0 && !buffer_.empty()) {
+      if (!buffer_.empty()) {
         server_.handle_line(buffer_);
         buffer_.clear();
       }
@@ -82,6 +87,8 @@ void install_signal_handlers() {
 bool shutdown_requested() { return g_shutdown.load(); }
 
 void request_shutdown() { g_shutdown.store(true); }
+
+void reset_shutdown() { g_shutdown.store(false); }
 
 void ReplyHub::deliver(const std::string& line) {
   std::string framed = line;
@@ -160,6 +167,10 @@ void run_unix_socket(Server& server, ReplyHub& hub, const std::string& path) {
     }
     if (ready == 0) continue;
 
+    // Only the connections that were actually polled have a pollfd slot:
+    // fds[i + 1] pairs with connections[i] for i < polled. A connection
+    // accepted below lands past `polled` and waits for the next poll round.
+    const std::size_t polled = connections.size();
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listener, nullptr, nullptr);
       if (fd >= 0) {
@@ -167,7 +178,7 @@ void run_unix_socket(Server& server, ReplyHub& hub, const std::string& path) {
             std::make_unique<Connection>(fd, server, hub));
       }
     }
-    for (std::size_t i = connections.size(); i-- > 0;) {
+    for (std::size_t i = polled; i-- > 0;) {
       const short revents = fds[i + 1].revents;
       if (revents & (POLLIN | POLLHUP | POLLERR)) {
         if (!connections[i]->pump()) {

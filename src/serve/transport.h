@@ -36,6 +36,10 @@ bool shutdown_requested();
 /// Programmatic equivalent of receiving SIGTERM (tests).
 void request_shutdown();
 
+/// Clears the shutdown flag so a test can drive run_unix_socket again in
+/// the same process. Never call while a transport loop is running.
+void reset_shutdown();
+
 /// Fans reply lines out to the socket transport's live connections. Build
 /// the Server with `sink = [&hub](const std::string& l) { hub.deliver(l); }`
 /// and hand the same hub to run_unix_socket.

@@ -97,6 +97,31 @@ TEST(ParseRequest, Rejections) {
       Error);
 }
 
+TEST(ParseRequest, RejectsUnrepresentableNumbers) {
+  // Values outside uint64 range (or negative, or fractional) must be
+  // rejected by the range check before any double→integer cast runs —
+  // the cast itself is UB on out-of-range input.
+  EXPECT_THROW(serve::parse_request(R"({"m":1e300,"n":64,"k":8})"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":-64,"n":64,"k":8})"), Error);
+  EXPECT_THROW(serve::parse_request(R"({"m":1.9e19,"n":64,"k":8})"), Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"seed":-1})"), Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"seed":1e300})"), Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"seed":1.5})"), Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"fault_seed":-2})"),
+      Error);
+  EXPECT_THROW(
+      serve::parse_request(R"({"m":64,"n":64,"k":8,"fault_seed":1e300})"),
+      Error);
+  // Boundary sanity: a large-but-representable integer still parses.
+  const ServeRequest ok = serve::parse_request(
+      R"({"m":64,"n":64,"k":8,"seed":9007199254740992})");  // 2^53
+  EXPECT_EQ(ok.spec.seed, 9007199254740992ull);
+}
+
 TEST(EffectiveFaultSeed, ExplicitWinsDerivedIsStable) {
   ServeRequest r;
   r.id = "req-1";

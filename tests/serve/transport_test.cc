@@ -1,0 +1,181 @@
+// Socket transport integration: real AF_UNIX connections through
+// run_unix_socket. Regression focus: accepting a connection while others
+// are live must not index pollfd slots that were never polled (the drain
+// loop walks the pre-accept snapshot only), and replies fan out to every
+// connection that is open when the reply is produced.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "profile/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+
+namespace ksum {
+namespace {
+
+using profile::Json;
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/ksum-transport-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// Connects to the daemon's socket, retrying while the listener binds.
+int connect_client(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      // Bound receive so a missing reply fails the test instead of hanging.
+      timeval timeout = {};
+      timeout.tv_sec = 30;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+void send_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads one newline-terminated line; empty string on timeout/close.
+std::string read_line(int fd, std::string& carry) {
+  while (true) {
+    const std::size_t nl = carry.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = carry.substr(0, nl);
+      carry.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return "";
+    carry.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// Reads lines until one parses with the given id (replies fan out to every
+// connection, so a client may see its neighbours' replies first).
+Json read_reply_for(int fd, std::string& carry, const std::string& id) {
+  for (int i = 0; i < 256; ++i) {
+    const std::string line = read_line(fd, carry);
+    if (line.empty()) break;
+    const Json doc = Json::parse(line);
+    if (doc.has("id") && doc.at("id").is_string() &&
+        doc.at("id").as_string() == id) {
+      return doc;
+    }
+  }
+  ADD_FAILURE() << "no reply for id " << id;
+  return Json::object();
+}
+
+TEST(ServeTransport, AcceptWhileServingThenDrain) {
+  serve::reset_shutdown();
+  const std::string path = test_socket_path("accept");
+
+  serve::ReplyHub hub;
+  serve::ServerOptions options;
+  options.workers = 2;
+  serve::Server server(options,
+                       [&hub](const std::string& line) { hub.deliver(line); });
+  std::thread transport(
+      [&] { serve::run_unix_socket(server, hub, path); });
+
+  const int a = connect_client(path);
+  ASSERT_GE(a, 0);
+  std::string carry_a;
+  send_line(a, R"({"op":"health","id":"h1"})");
+  const Json health = read_reply_for(a, carry_a, "h1");
+  EXPECT_EQ(health.at("state").as_string(), "serving");
+
+  // Second connection arrives while the first is live: with the old
+  // indexing this accept read one pollfd past the end on every loop turn.
+  const int b = connect_client(path);
+  ASSERT_GE(b, 0);
+  std::string carry_b;
+  send_line(b, R"({"op":"solve","id":"s1","m":64,"n":32,"k":8})");
+  const Json solve_b = read_reply_for(b, carry_b, "s1");
+  EXPECT_EQ(solve_b.at("status").as_string(), "ok");
+
+  // The first connection still works after the accept, and an identical
+  // request digests identically (replies are a pure function of requests).
+  send_line(a, R"({"op":"solve","id":"s2","m":64,"n":32,"k":8})");
+  const Json solve_a = read_reply_for(a, carry_a, "s2");
+  EXPECT_EQ(solve_a.at("status").as_string(), "ok");
+  EXPECT_EQ(solve_a.at("digest").as_string(),
+            solve_b.at("digest").as_string());
+
+  ::close(a);
+  ::close(b);
+  serve::request_shutdown();
+  transport.join();
+  serve::reset_shutdown();
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);  // socket file removed
+}
+
+TEST(ServeTransport, ManyConnectionsInterleaved) {
+  serve::reset_shutdown();
+  const std::string path = test_socket_path("many");
+
+  serve::ReplyHub hub;
+  serve::ServerOptions options;
+  options.workers = 2;
+  serve::Server server(options,
+                       [&hub](const std::string& line) { hub.deliver(line); });
+  std::thread transport(
+      [&] { serve::run_unix_socket(server, hub, path); });
+
+  // Each round opens a fresh connection while all previous ones stay open
+  // and mid-conversation, churning the accept/drain bookkeeping.
+  std::vector<int> fds;
+  std::vector<std::string> carries;
+  std::string digest;
+  for (int round = 0; round < 5; ++round) {
+    const int fd = connect_client(path);
+    ASSERT_GE(fd, 0);
+    fds.push_back(fd);
+    carries.emplace_back();
+    const std::string id = "r" + std::to_string(round);
+    send_line(fd, "{\"op\":\"solve\",\"id\":\"" + id +
+                      "\",\"m\":48,\"n\":48,\"k\":8}");
+    const Json reply = read_reply_for(fd, carries.back(), id);
+    ASSERT_EQ(reply.at("status").as_string(), "ok");
+    if (round == 0) {
+      digest = reply.at("digest").as_string();
+    } else {
+      EXPECT_EQ(reply.at("digest").as_string(), digest);
+    }
+  }
+  for (const int fd : fds) ::close(fd);
+  serve::request_shutdown();
+  transport.join();
+  serve::reset_shutdown();
+}
+
+}  // namespace
+}  // namespace ksum
