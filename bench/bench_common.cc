@@ -86,15 +86,20 @@ void emit(const Table& table, const std::string& csv_name) {
 
 std::string write_bench_json(const std::string& name,
                              const std::vector<report::SweepPoint>& points) {
-  profile::Json record = profile::Json::object();
-  record.set("schema", "ksum-bench-v1");
-  record.set("bench", name);
-
   profile::Json point_array = profile::Json::array();
   for (const report::SweepPoint& point : points) {
     point_array.push_back(point_json(point));
   }
-  record.set("points", std::move(point_array));
+  return write_bench_json_points(name, std::move(point_array));
+}
+
+std::string write_bench_json_points(const std::string& name,
+                                    profile::Json points) {
+  KSUM_REQUIRE(points.is_array(), "bench points must be a JSON array");
+  profile::Json record = profile::Json::object();
+  record.set("schema", "ksum-bench-v1");
+  record.set("bench", name);
+  record.set("points", std::move(points));
 
   profile::Json table_array = profile::Json::array();
   for (const CapturedTable& table : captured_tables()) {

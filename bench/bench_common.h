@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "profile/json.h"
 #include "report/paper_report.h"
 
 namespace ksum::bench {
@@ -37,5 +38,14 @@ void emit(const Table& table, const std::string& csv_name);
 /// benches that only produce tables. Returns the path written.
 std::string write_bench_json(const std::string& name,
                              const std::vector<report::SweepPoint>& points);
+
+/// Same record, but with a caller-built points array — for benches that
+/// measure the simulated pipelines directly (e.g. bench/shard_scaling)
+/// instead of evaluating the analytic sweep. Each element must carry the
+/// schema's point shape: {"m", "n", "k", "pipelines": {<name>: {"seconds",
+/// "energy_j", "l2_transactions", "dram_transactions"}}}; the record is
+/// validated before it is written.
+std::string write_bench_json_points(const std::string& name,
+                                    profile::Json points);
 
 }  // namespace ksum::bench

@@ -1,6 +1,6 @@
 // Fault-injection campaign for the ABFT subsystem (docs/ROBUSTNESS.md).
 //
-// Three experiments on a fixed 512×512×16 Gaussian problem:
+// Four experiments on a fixed 512×512×16 Gaussian problem:
 //
 //   1. Detection coverage — for every fault site, sweep the injection rate
 //      and run many independently-seeded trials without recovery, counting
@@ -14,6 +14,10 @@
 //   3. Overhead — checks on vs off with no injector attached: the modelled
 //      time and energy cost of the second atomic path and (unfused) the
 //      colsum audit pass.
+//   4. Shard-level localization — the request split over 4 shards with a
+//      fault in exactly one: detection stays on that shard, only it is
+//      re-dispatched, and the recovered merge is bit-identical to the
+//      unsharded run (docs/SHARDING.md).
 //
 // Environment: KSUM_BENCH_FAST=1 shrinks the trial counts; KSUM_CSV_DIR
 // mirrors each table as CSV; KSUM_BENCH_THREADS sets the worker count for
@@ -23,6 +27,7 @@
 // submission order — the printed rows are identical for any thread count.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -33,6 +38,7 @@
 #include "exec/batch_engine.h"
 #include "pipelines/solver.h"
 #include "robust/fault_plan.h"
+#include "shard/types.h"
 
 namespace {
 
@@ -224,6 +230,71 @@ int main() {
   }
   bench::emit(overhead, "fault_campaign_overhead");
 
+  // ---- 4. Shard-level fault localization ---------------------------------
+  // The request splits over 4 shards; exactly one (shard 2, dispatch 0)
+  // gets a faulty device. Detection must localize there, only that shard
+  // may be re-dispatched, and the recovered merge must reproduce the
+  // unsharded run bit for bit. Every printed field is a pure function of
+  // the injector factory, so the table is identical for any worker count.
+  Table shard_table(
+      "Fault campaign — shard-level localization (4 shards, fault in s2)");
+  shard_table.header(
+      {"shard", "rows", "dispatches", "attempts", "faults", "verdict"});
+  bool shard_ok = true;
+  {
+    const auto unsharded =
+        pipelines::solve(instance, params, pipelines::Backend::kSimFused);
+    pipelines::RunOptions options;
+    options.shards.count = 4;
+    options.shards.axis = shard::ShardAxis::kM;
+    options.shards.workers = bench_threads();
+    // Rate 0.5 rather than 1.0: dropping every atomicAdd would zero the
+    // checksum path too and pass the check; 0.5 decorrelates the paths.
+    options.shards.injector_factory =
+        [](std::size_t s, int d) -> std::shared_ptr<gpusim::FaultInjector> {
+      if (s != 2 || d != 0) return nullptr;
+      return std::make_shared<robust::FaultPlan>(
+          robust::FaultPlanConfig::single_site(
+              shard::shard_fault_seed(/*base=*/2024, s, d),
+              gpusim::FaultSite::kAtomicDrop, 0.5));
+    };
+    options.recovery.enabled = true;
+    options.recovery.max_retries = 0;  // force the re-dispatch path
+    options.recovery.fallback_to_unfused = false;
+    const auto run = pipelines::solve(instance, params,
+                                      pipelines::Backend::kSimFused, options);
+    const bool bit_identical =
+        run.v.size() == unsharded.v.size() &&
+        std::memcmp(run.v.data(), unsharded.v.data(),
+                    run.v.size() * sizeof(float)) == 0;
+    if (!run.shards.has_value()) {
+      shard_ok = false;
+    } else {
+      for (const auto& slice : run.shards->slices) {
+        const bool faulty_shard = slice.index == 2;
+        const bool localized =
+            faulty_shard
+                ? slice.dispatches == 2 && slice.recovery.faults_detected > 0 &&
+                      !slice.recovery.gave_up
+                : slice.dispatches == 1 && slice.recovery.faults_detected == 0;
+        shard_ok = shard_ok && localized;
+        shard_table.row(
+            {str_format("s%zu", slice.index),
+             str_format("[%zu, %zu)", slice.begin, slice.end),
+             str_format("%d", slice.dispatches),
+             str_format("%d", slice.recovery.attempts),
+             str_format("%d", slice.recovery.faults_detected),
+             localized ? (faulty_shard ? "recovered elsewhere" : "clean")
+                       : "UNEXPECTED"});
+      }
+    }
+    shard_ok = shard_ok && bit_identical && !run.recovery.gave_up;
+    std::printf("shard fault localization: %s (merge %s unsharded run)\n",
+                shard_ok ? "PASS" : "FAIL",
+                bit_identical ? "bit-identical to" : "DIVERGED from");
+  }
+  bench::emit(shard_table, "fault_campaign_shard");
+
   // ---- Acceptance summary -------------------------------------------------
   const double atomic_cov =
       atomic_faulty > 0 ? double(atomic_detected) / double(atomic_faulty)
@@ -233,7 +304,8 @@ int main() {
       "runs: %d, unrecovered detected faults: %d\n",
       atomic_detected, atomic_faulty, atomic_cov * 100.0, clean_flagged,
       unrecovered);
-  const bool pass = atomic_cov >= 0.9 && clean_flagged == 0 && unrecovered == 0;
+  const bool pass = atomic_cov >= 0.9 && clean_flagged == 0 &&
+                    unrecovered == 0 && shard_ok;
   std::printf("fault campaign: %s\n", pass ? "PASS" : "FAIL");
   bench::write_bench_json("fault_campaign", {});
   return pass ? 0 : 1;

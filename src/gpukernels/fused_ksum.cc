@@ -307,6 +307,7 @@ FusedResult run_fused_ksum(gpusim::Device& device, const Workspace& ws,
     result.extra.push_back(run_partial_reduce(
         device, staged, ws.v, ws.m, static_cast<std::size_t>(geom.grid.x),
         g.tile_m));
+    result.staged = staged;
   }
   return result;
 }

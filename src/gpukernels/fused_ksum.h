@@ -46,6 +46,11 @@ struct FusedOptions {
 struct FusedResult {
   gpusim::LaunchResult main;                 // the fused kernel itself
   std::vector<gpusim::LaunchResult> extra;   // second pass when non-atomic
+  /// The (M × grid.x) staging buffer of the non-atomic two-pass scheme
+  /// (invalid handle under atomic reduction). Still resident on the device
+  /// when run_fused_ksum returns; the sharding layer downloads it to replay
+  /// the partial-reduce fold across shards (src/shard/merge.h).
+  gpusim::DeviceBuffer staged;
 };
 
 /// Runs the fused kernel. V must be zeroed beforehand (the pipelines use a

@@ -8,6 +8,7 @@
 #include "core/exact.h"
 #include "exec/batch_engine.h"
 #include "robust/fault_plan.h"
+#include "shard/types.h"
 #include "workload/point_generators.h"
 
 namespace ksum::pipelines {
@@ -40,9 +41,23 @@ BatchResult run_request(const BatchRequest& request, std::size_t index,
       const std::uint64_t seed = request.fault_seed != 0
                                      ? request.fault_seed
                                      : derived_fault_seed(index);
-      plan = std::make_unique<robust::FaultPlan>(
-          robust::FaultPlanConfig::uniform(seed, request.fault_rate));
-      options.fault_injector = plan.get();
+      if (options.shards.enabled()) {
+        // A sharded request rejects a plain injector (one stream cannot say
+        // which device a fault lives on): derive an independent plan per
+        // (shard, dispatch) from this request's seed instead.
+        const double rate = request.fault_rate;
+        options.shards.injector_factory =
+            [seed, rate](std::size_t s, int d)
+            -> std::shared_ptr<gpusim::FaultInjector> {
+          return std::make_shared<robust::FaultPlan>(
+              robust::FaultPlanConfig::uniform(
+                  shard::shard_fault_seed(seed, s, d), rate));
+        };
+      } else {
+        plan = std::make_unique<robust::FaultPlan>(
+            robust::FaultPlanConfig::uniform(seed, request.fault_rate));
+        options.fault_injector = plan.get();
+      }
     }
 
     out.solve = solve(instance, request.params, request.backend, options);

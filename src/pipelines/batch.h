@@ -15,6 +15,9 @@
 // robust::FaultPlan whose RNG streams are seeded from the request's
 // fault_seed — or, when that is 0, derived deterministically from the
 // request's submission index — never from the worker that happens to run it.
+// A request that is itself sharded (options.shards.count != 1) routes the
+// same seed through shard::shard_fault_seed into a per-(shard, dispatch)
+// injector factory, since sharded runs reject a plain injector.
 #pragma once
 
 #include <cstdint>

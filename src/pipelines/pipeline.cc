@@ -171,6 +171,15 @@ PipelineReport run_pipeline(Solution solution,
       report.kernels.push_back(
           make_report(options, extra, 0, cuda_grade, 0.0));
     }
+    if (options.capture_staged_partials != nullptr && fused.staged.valid()) {
+      // Shard-merge capture: export the per-column-CTA partial V values so
+      // the host can replay the partial-reduce fold across shards.
+      shard::StagedPartials& sink = *options.capture_staged_partials;
+      sink.rows = m;
+      sink.cols = static_cast<std::size_t>(fused.main.grid.x);
+      sink.data.assign(sink.rows * sink.cols, 0.0f);
+      device.memory().download(fused.staged, sink.data);
+    }
   } else {
     const double gemm_flops = 2.0 * mn * double(k);
     if (solution == Solution::kCudaUnfused) {

@@ -24,6 +24,7 @@
 #include "gpusim/timing.h"
 #include "robust/abft.h"
 #include "robust/recovery.h"
+#include "shard/types.h"
 #include "workload/point_generators.h"
 
 namespace ksum::pipelines {
@@ -111,6 +112,18 @@ struct RunOptions {
   /// the device was constructed with must equal `device`. Not owned; the
   /// fault injector is detached from it again before run_pipeline returns.
   gpusim::Device* warm_device = nullptr;
+  /// Multi-device sharding (src/shard/). `shards.count == 1` (default) runs
+  /// unsharded; anything else makes solve() hand the request to the shard
+  /// runner, which splits it per docs/SHARDING.md and merges the per-shard
+  /// results bit-identically to the single-device run. Sharded runs reject
+  /// a plain `fault_injector` — use `shards.injector_factory`.
+  shard::ShardSpec shards;
+  /// When non-null and the fused solution runs with atomic_reduction ==
+  /// false, run_pipeline downloads the kernel's staging buffer (one partial
+  /// V value per (row, column-CTA)) into this sink after the run. This is
+  /// the capture hook the shard merge layer replays the device reduction
+  /// from; plain callers leave it null. Not owned.
+  shard::StagedPartials* capture_staged_partials = nullptr;
 };
 
 /// Runs `solution` on `instance` functionally and returns the full report.

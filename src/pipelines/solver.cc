@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <numeric>
 
+#include "common/error.h"
+
 #include "common/timer.h"
+#include "shard/runner.h"
 #include "workload/padding.h"
 
 namespace ksum::pipelines {
@@ -32,10 +35,12 @@ SolveResult solve(const workload::Instance& instance,
   std::optional<workload::Instance> pad_storage;
   switch (backend) {
     case Backend::kCpuDirect:
-      out.v = core::solve_direct(instance, params);
-      break;
     case Backend::kCpuExpansion:
-      out.v = core::solve_expansion(instance, params);
+      KSUM_REQUIRE(!options.shards.enabled(),
+                   "sharding applies to the simulated backends only");
+      out.v = backend == Backend::kCpuDirect
+                  ? core::solve_direct(instance, params)
+                  : core::solve_expansion(instance, params);
       break;
     case Backend::kSimFused:
     case Backend::kSimCudaUnfused:
@@ -63,6 +68,16 @@ SolveResult solve(const workload::Instance& instance,
         if (chosen.has_value()) {
           run_options.mainloop.geometry = *chosen;
         }
+      }
+
+      // Sharded execution splits the request across several warm devices
+      // and merges the results bit-identically to the single-device run —
+      // the geometry above is resolved for the *full* shape first, so the
+      // shard planner cuts on the same CTA-block boundaries the unsharded
+      // run pads to (docs/SHARDING.md).
+      if (run_options.shards.enabled()) {
+        out = shard::run_sharded(instance, params, backend, run_options);
+        break;
       }
 
       // Ragged shapes embed into the tile geometry by exact zero-padding

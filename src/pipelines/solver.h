@@ -30,7 +30,13 @@ struct SolveResult {
   double host_seconds = 0;
   /// What the detect→retry→fallback policy did (attempts=1, nothing
   /// detected, when recovery was off or the first run came back clean).
+  /// For sharded runs, `attempts` is the total pipeline executions across
+  /// all shards and dispatches and `gave_up` means at least one shard
+  /// exhausted every dispatch still flagged.
   robust::RecoveryReport recovery;
+  /// Present when the run was sharded (options.shards.count != 1): the
+  /// plan the runner executed and what happened to each shard.
+  std::optional<shard::ShardReport> shards;
 };
 
 /// Evaluates V_i = Σ_j K(α_i, β_j)·W_j with the chosen backend. Shapes that

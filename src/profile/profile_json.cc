@@ -1,5 +1,6 @@
 #include "profile/profile_json.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -348,6 +349,94 @@ Json batch_profiles_to_json(const std::vector<Json>& programs,
   record.set("totals", std::move(totals));
   if (!timestamp.empty()) record.set("timestamp", timestamp);
   return record;
+}
+
+Json shard_profiles_to_json(const std::string& axis, std::size_t m,
+                            std::size_t n, std::size_t k,
+                            const std::vector<ShardProfileEntry>& shards,
+                            const std::string& timestamp) {
+  KSUM_REQUIRE(axis == "m" || axis == "n",
+               "shard record axis must be \"m\" or \"n\", got \"" + axis +
+                   "\"");
+  Json record = Json::object();
+  record.set("schema", "ksum-prof-shard-v1");
+  record.set("axis", axis);
+  Json shape = Json::object();
+  shape.set("m", std::uint64_t(m));
+  shape.set("n", std::uint64_t(n));
+  shape.set("k", std::uint64_t(k));
+  record.set("shape", std::move(shape));
+  double max_seconds = 0;
+  double total_energy = 0;
+  Json array = Json::array();
+  for (const ShardProfileEntry& shard : shards) {
+    const Json& totals = shard.profile.at("totals");
+    max_seconds = std::max(max_seconds, totals.at("seconds").as_double());
+    total_energy += totals.at("energy_j").at("total").as_double();
+    Json entry = Json::object();
+    entry.set("index", std::uint64_t(shard.index));
+    entry.set("begin", std::uint64_t(shard.begin));
+    entry.set("end", std::uint64_t(shard.end));
+    entry.set("profile", shard.profile);
+    array.push_back(std::move(entry));
+  }
+  record.set("shards", std::move(array));
+  Json totals = Json::object();
+  totals.set("seconds", max_seconds);
+  totals.set("energy_j_total", total_energy);
+  record.set("totals", std::move(totals));
+  if (!timestamp.empty()) record.set("timestamp", timestamp);
+  return record;
+}
+
+void validate_profile_shard_json(const Json& record) {
+  const Json& schema = require_member(record, "schema", Json::Type::kString,
+                                      "record");
+  KSUM_REQUIRE(schema.as_string() == "ksum-prof-shard-v1",
+               "unknown shard schema \"" + schema.as_string() + "\"");
+  const Json& axis = require_member(record, "axis", Json::Type::kString,
+                                    "record");
+  KSUM_REQUIRE(axis.as_string() == "m" || axis.as_string() == "n",
+               "shard record axis must be \"m\" or \"n\"");
+  const Json& shape = require_member(record, "shape", Json::Type::kObject,
+                                     "record");
+  for (const char* key : {"m", "n", "k"}) {
+    KSUM_REQUIRE(require_number(shape, key, "shape") > 0,
+                 "shape dimensions must be positive");
+  }
+  const double dim = shape.at(axis.as_string()).as_double();
+  const Json& shards = require_member(record, "shards", Json::Type::kArray,
+                                      "record");
+  KSUM_REQUIRE(shards.size() > 0, "shard record has no shards");
+  double max_seconds = 0;
+  double energy = 0;
+  double cursor = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const Json& shard = shards.at(i);
+    KSUM_REQUIRE(require_number(shard, "index", "shard") == double(i),
+                 "shard indexes must ascend from 0");
+    const double begin = require_number(shard, "begin", "shard");
+    const double end = require_number(shard, "end", "shard");
+    KSUM_REQUIRE(begin == cursor && end > begin,
+                 "shard ranges must tile the axis contiguously");
+    cursor = end;
+    const Json& profile = require_member(shard, "profile",
+                                         Json::Type::kObject, "shard");
+    validate_profile_json(profile);
+    const Json& totals = profile.at("totals");
+    max_seconds = std::max(max_seconds, totals.at("seconds").as_double());
+    energy += totals.at("energy_j").at("total").as_double();
+  }
+  KSUM_REQUIRE(cursor == dim,
+               "shard ranges must cover the whole axis dimension");
+  const Json& totals = require_member(record, "totals", Json::Type::kObject,
+                                      "record");
+  KSUM_REQUIRE(close_rel(require_number(totals, "seconds", "totals"),
+                         max_seconds, 1e-9),
+               "shard totals.seconds does not recompose the shards");
+  KSUM_REQUIRE(close_rel(require_number(totals, "energy_j_total", "totals"),
+                         energy, 1e-9),
+               "shard totals.energy_j_total does not recompose the shards");
 }
 
 void validate_profile_batch_json(const Json& record) {

@@ -93,9 +93,43 @@ Json energy_breakdown_json(const gpusim::EnergyBreakdown& energy);
 Json batch_profiles_to_json(const std::vector<Json>& programs,
                             const std::string& timestamp = "");
 
+/// One shard of a sharded profiling run: its index, half-open element range
+/// along the shard axis, and the embedded (timestamp-free) ksum-prof-v1
+/// record of that shard's kernels.
+struct ShardProfileEntry {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  Json profile;
+};
+
+/// Merges per-shard ksum-prof-v1 records into one "ksum-prof-shard-v1"
+/// record:
+///
+///   {"schema": "ksum-prof-shard-v1", "axis": "m"|"n",
+///    "shape": {"m": M, "n": N, "k": K},
+///    "shards": [{"index": i, "begin": b, "end": e,
+///                "profile": <ksum-prof-v1>} ...],
+///    "totals": {"seconds": .., "energy_j_total": ..}}
+///
+/// totals.seconds is the max over shards (each shard runs on its own
+/// device, concurrently — matching the sharded pipeline report's modelled
+/// wall time); totals.energy_j_total is the sum. Shards appear in index
+/// order and no clock reading is embedded unless `timestamp` is non-empty,
+/// so the record is a pure function of (shape, axis, shard plan).
+Json shard_profiles_to_json(const std::string& axis, std::size_t m,
+                            std::size_t n, std::size_t k,
+                            const std::vector<ShardProfileEntry>& shards,
+                            const std::string& timestamp = "");
+
 /// Throws ksum::Error describing the first violation; returns normally on a
 /// well-formed record.
 void validate_profile_json(const Json& record);
+/// Validates a ksum-prof-shard-v1 record: the axis must be "m" or "n", the
+/// shard ranges must tile [0, shape.<axis>) contiguously in index order,
+/// every embedded profile must validate as ksum-prof-v1, and the totals
+/// must recompose (max of seconds, sum of energy).
+void validate_profile_shard_json(const Json& record);
 /// Validates a ksum-prof-batch-v1 record: every embedded program record must
 /// validate, and the batch totals must recompose the per-program totals.
 void validate_profile_batch_json(const Json& record);

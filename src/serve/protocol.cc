@@ -214,6 +214,7 @@ std::string solve_reply(const std::string& id, const ServeRequest& request,
   reply.set("degraded", info.degraded);
   reply.set("modelled_ms", info.modelled_seconds * 1e3);
   reply.set("energy_j", info.energy_joules);
+  if (info.shards > 1) reply.set("shards", std::uint64_t(info.shards));
   reply.set("digest", digest_hex(v));
   if (info.verified || info.oracle_rel_error != 0) {
     reply.set("oracle_rel_error", info.oracle_rel_error);

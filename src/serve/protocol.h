@@ -92,6 +92,10 @@ struct SolveReplyInfo {
   double energy_joules = 0;     // 0 for host backends
   double oracle_rel_error = 0;  // only with verify
   bool verified = false;
+  /// Shards the request was split into at admission (docs/SHARDING.md).
+  /// The reply emits a `shards` field only when > 1, so single-device
+  /// replies are byte-identical to the pre-sharding protocol.
+  std::size_t shards = 1;
 };
 
 std::string solve_reply(const std::string& id, const ServeRequest& request,

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "core/exact.h"
 #include "robust/fault_plan.h"
+#include "shard/plan.h"
 #include "workload/point_generators.h"
 
 namespace ksum::serve {
@@ -148,20 +149,74 @@ void Server::handle_line(const std::string& line) {
   }
 
   // Admission bounds are enforced before the queue so an oversized request
-  // can never reach (or exhaust) a worker's device.
-  if (request.spec.m > options_.max_m || request.spec.n > options_.max_n ||
-      request.spec.k > options_.max_k) {
-    stats_.record_status(StatusCode::kInvalid);
-    reply(error_reply(request.id, StatusCode::kInvalid,
-                      "shape exceeds admission bounds (max " +
-                          std::to_string(options_.max_m) + "x" +
-                          std::to_string(options_.max_n) + " K=" +
-                          std::to_string(options_.max_k) + ")"));
-    return;
+  // can never reach (or exhaust) a worker's device. With max_shards > 1 a
+  // shape oversized on exactly one of M or N may instead be split across
+  // per-device shards (docs/SHARDING.md): the merged reply is bit-identical
+  // to what one big device would have produced, so routing through the
+  // planner is invisible to the client apart from the `shards` field.
+  std::size_t shard_count = 1;
+  shard::ShardAxis shard_axis = shard::ShardAxis::kM;
+  const bool m_over = request.spec.m > options_.max_m;
+  const bool n_over = request.spec.n > options_.max_n;
+  if (m_over || n_over || request.spec.k > options_.max_k) {
+    std::string bounds = "admission bounds (max ";
+    bounds += std::to_string(options_.max_m);
+    bounds += 'x';
+    bounds += std::to_string(options_.max_n);
+    bounds += " K=";
+    bounds += std::to_string(options_.max_k);
+    bounds += ')';
+    const bool simulated =
+        request.backend != pipelines::Backend::kCpuDirect &&
+        request.backend != pipelines::Backend::kCpuExpansion;
+    std::string refusal;
+    if (request.spec.k > options_.max_k) {
+      // K is the reduction depth — both shard axes replicate it whole.
+      refusal = "K exceeds ";
+      refusal += bounds;
+      refusal += " and does not shard";
+    } else if (m_over && n_over) {
+      refusal = "shape exceeds ";
+      refusal += bounds;
+      refusal += " on both M and N";
+    } else if (options_.max_shards <= 1) {
+      refusal = "shape exceeds ";
+      refusal += bounds;
+    } else if (!simulated) {
+      refusal = "shape exceeds ";
+      refusal += bounds;
+      refusal += " and host backends do not shard";
+    } else if (n_over && request.backend != pipelines::Backend::kSimFused) {
+      refusal = "shape exceeds ";
+      refusal += bounds;
+      refusal += " on N and N-axis sharding requires the fused backend";
+    } else {
+      const std::size_t dim = m_over ? request.spec.m : request.spec.n;
+      const std::size_t limit = m_over ? options_.max_m : options_.max_n;
+      const std::size_t needed =
+          shard::min_shards_for_limit(dim, /*align=*/128, limit);
+      if (needed == 0 || needed > options_.max_shards) {
+        refusal = "shape exceeds ";
+        refusal += bounds;
+        refusal += " even split across ";
+        refusal += std::to_string(options_.max_shards);
+        refusal += " shard(s)";
+      } else {
+        shard_count = needed;
+        shard_axis = m_over ? shard::ShardAxis::kM : shard::ShardAxis::kN;
+      }
+    }
+    if (!refusal.empty()) {
+      stats_.record_status(StatusCode::kInvalid);
+      reply(error_reply(request.id, StatusCode::kInvalid, refusal));
+      return;
+    }
   }
 
   Pending item;
   item.request = std::move(request);
+  item.shard_count = shard_count;
+  item.shard_axis = shard_axis;
   item.enqueued = Clock::now();
   const double deadline_ms = item.request.deadline_ms >= 0
                                  ? item.request.deadline_ms
@@ -254,8 +309,18 @@ void Server::run_solve(WorkerContext& ctx, const Pending& item) {
 
     const bool simulated = request.backend != pipelines::Backend::kCpuDirect &&
                            request.backend != pipelines::Backend::kCpuExpansion;
-    if (simulated) {
+    const bool sharded = item.shard_count > 1;
+    if (sharded) {
+      // Admission routed this oversized shape through the shard planner:
+      // each shard builds its own device sized to its slice, so the
+      // worker's warm device (capped by the admission bounds) is not used.
+      run.shards.count = item.shard_count;
+      run.shards.axis = item.shard_axis;
+    }
+    if (simulated && !sharded) {
       run.warm_device = warm_device_for(ctx, request.spec);
+    }
+    if (simulated) {
       if (options_.autotune) {
         tune::TuneOptions tune_options;
         tune_options.device = run.device;
@@ -285,13 +350,29 @@ void Server::run_solve(WorkerContext& ctx, const Pending& item) {
       }
       std::unique_ptr<robust::FaultPlan> plan;
       if (request.fault_rate > 0 && simulated) {
-        plan = std::make_unique<robust::FaultPlan>(
-            robust::FaultPlanConfig::uniform(
-                attempt_fault_seed(base_seed, attempt), request.fault_rate));
-        run.fault_injector = plan.get();
+        if (sharded) {
+          // One injector cannot say which device a fault lives on; derive
+          // an independent, reproducible plan per (shard, dispatch) from
+          // this attempt's seed instead.
+          const std::uint64_t seed = attempt_fault_seed(base_seed, attempt);
+          const double rate = request.fault_rate;
+          run.shards.injector_factory =
+              [seed, rate](std::size_t s, int d)
+              -> std::shared_ptr<gpusim::FaultInjector> {
+            return std::make_shared<robust::FaultPlan>(
+                robust::FaultPlanConfig::uniform(
+                    shard::shard_fault_seed(seed, s, d), rate));
+          };
+        } else {
+          plan = std::make_unique<robust::FaultPlan>(
+              robust::FaultPlanConfig::uniform(
+                  attempt_fault_seed(base_seed, attempt), request.fault_rate));
+          run.fault_injector = plan.get();
+        }
       }
       result = pipelines::solve(instance, params, request.backend, run);
       run.fault_injector = nullptr;
+      if (result.shards.has_value()) info.shards = result.shards->count();
       info.solver_attempts += result.recovery.attempts;
       info.faults_detected += result.recovery.faults_detected;
       info.fallback_used = info.fallback_used || result.recovery.fallback_used;

@@ -67,6 +67,12 @@ struct ServerOptions {
   std::size_t max_m = 4096;
   std::size_t max_n = 4096;
   std::size_t max_k = 256;
+  /// How many per-device shards admission may split an oversized M or N
+  /// into before shedding (docs/SHARDING.md). 1 keeps the PR 6 behaviour:
+  /// every oversized shape is refused as invalid. K never shards, host
+  /// backends never shard, and a shape oversized on both M and N is always
+  /// refused.
+  std::size_t max_shards = 1;
   /// Base run options (device/timing/energy specs, layout) copied into
   /// every request. fault_injector/cancel/warm_device must be null — the
   /// server owns those per request.
@@ -113,6 +119,9 @@ class Server {
     std::chrono::steady_clock::time_point enqueued;
     // steady_clock::time_point::max() = no deadline.
     std::chrono::steady_clock::time_point deadline;
+    // Shard routing decided at admission (1 = ordinary single-device run).
+    std::size_t shard_count = 1;
+    shard::ShardAxis shard_axis = shard::ShardAxis::kM;
   };
 
   /// Per-worker warm state. The device is grown (never shrunk) to fit the

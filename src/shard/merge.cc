@@ -1,0 +1,93 @@
+#include "shard/merge.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace ksum::shard {
+
+ShardPiece merge_pair(ShardAxis axis, const ShardPiece& left,
+                      const ShardPiece& right) {
+  KSUM_REQUIRE(left.end == right.begin,
+               "merge_pair: pieces are not adjacent");
+  ShardPiece out;
+  out.index = left.index;
+  out.begin = left.begin;
+  out.end = right.end;
+  if (axis == ShardAxis::kM) {
+    KSUM_REQUIRE(left.rows.size() == left.end - left.begin &&
+                     right.rows.size() == right.end - right.begin,
+                 "merge_pair: piece row counts do not match their ranges");
+    out.rows.reserve(left.rows.size() + right.rows.size());
+    out.rows.insert(out.rows.end(), left.rows.begin(), left.rows.end());
+    out.rows.insert(out.rows.end(), right.rows.begin(), right.rows.end());
+    return out;
+  }
+  KSUM_REQUIRE(axis == ShardAxis::kN, "merge_pair: unresolved shard axis");
+  KSUM_REQUIRE(left.staged_rows == right.staged_rows && left.staged_rows > 0,
+               "merge_pair: staged row counts differ between shards");
+  KSUM_REQUIRE(
+      left.staged.size() == left.staged_rows * left.staged_cols &&
+          right.staged.size() == right.staged_rows * right.staged_cols,
+      "merge_pair: staged matrix sizes do not match their shapes");
+  out.staged_rows = left.staged_rows;
+  out.staged_cols = left.staged_cols + right.staged_cols;
+  out.staged.resize(out.staged_rows * out.staged_cols);
+  for (std::size_t row = 0; row < out.staged_rows; ++row) {
+    float* dst = out.staged.data() + row * out.staged_cols;
+    const float* lsrc = left.staged.data() + row * left.staged_cols;
+    const float* rsrc = right.staged.data() + row * right.staged_cols;
+    std::copy(lsrc, lsrc + left.staged_cols, dst);
+    std::copy(rsrc, rsrc + right.staged_cols, dst + left.staged_cols);
+  }
+  return out;
+}
+
+ShardPiece merge_tree(ShardAxis axis, std::vector<ShardPiece> pieces) {
+  KSUM_REQUIRE(!pieces.empty(), "merge_tree: no pieces");
+  for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+    KSUM_REQUIRE(pieces[i].index + 1 == pieces[i + 1].index &&
+                     pieces[i].end == pieces[i + 1].begin,
+                 "merge_tree: pieces must be index-sorted and contiguous");
+  }
+  while (pieces.size() > 1) {
+    std::vector<ShardPiece> next;
+    next.reserve((pieces.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < pieces.size(); i += 2) {
+      next.push_back(merge_pair(axis, pieces[i], pieces[i + 1]));
+    }
+    if (pieces.size() % 2 == 1) {
+      next.push_back(std::move(pieces.back()));
+    }
+    pieces = std::move(next);
+  }
+  return std::move(pieces.front());
+}
+
+Vector finalize_merge(ShardAxis axis, const ShardPiece& root, std::size_t m) {
+  Vector v(m);
+  if (axis == ShardAxis::kM) {
+    KSUM_REQUIRE(root.rows.size() == m,
+                 "finalize_merge: merged rows do not cover V");
+    for (std::size_t i = 0; i < m; ++i) v[i] = root.rows[i];
+    return v;
+  }
+  KSUM_REQUIRE(axis == ShardAxis::kN, "finalize_merge: unresolved axis");
+  KSUM_REQUIRE(root.staged_rows >= m && root.staged_cols > 0,
+               "finalize_merge: staged matrix does not cover V");
+  // Replay of gpukernels::run_partial_reduce: per row, a scalar
+  // accumulator starting at 0.0f folded over the column-CTA partials in
+  // ascending global index — the identical float additions in the
+  // identical order, hence bit-identical to the single-device second pass.
+  for (std::size_t row = 0; row < m; ++row) {
+    const float* partials = root.staged.data() + row * root.staged_cols;
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < root.staged_cols; ++j) {
+      sum += partials[j];
+    }
+    v[row] = sum;
+  }
+  return v;
+}
+
+}  // namespace ksum::shard

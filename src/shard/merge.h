@@ -1,0 +1,61 @@
+// Deterministic merge of per-shard results (docs/SHARDING.md §Merge).
+//
+// Pieces are merged pairwise in a fixed binary tree over the shard *index*
+// order — never completion order — so the merged result is a pure function
+// of the shard results, independent of worker count and scheduling:
+//
+//   round 0:  (0,1) (2,3) (4,5) ...
+//   round 1:  (01,23) (45,67) ...          (odd piece carried unmerged)
+//
+// Both merge kinds are associative over adjacent ranges, so the tree shape
+// cannot change the bits — pinned by the property tests anyway:
+//
+//   kM — pieces hold disjoint V row ranges; merging is concatenation.
+//   kN — pieces hold columns of the fused kernel's staging matrix (one
+//        partial V value per (row, column-CTA)); merging concatenates the
+//        column ranges per row. finalize() then replays the device's own
+//        partial-reduce fold — ascending column-CTA index, accumulator
+//        starting from 0.0f, exactly run_partial_reduce's loop — so the
+//        final V is bit-identical to the single-device run (whose atomic
+//        reduction applies the same ascending-bx fold under the simulator's
+//        sequential CTA execution).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "shard/types.h"
+
+namespace ksum::shard {
+
+/// One shard's mergeable payload, covering [begin, end) of the shard axis.
+struct ShardPiece {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// kM: the shard's V rows (already truncated to end - begin entries).
+  std::vector<float> rows;
+  /// kN: the shard's staging matrix, row-major staged_rows × staged_cols.
+  /// staged_rows is the padded M (identical across shards); staged_cols the
+  /// shard's column-CTA count.
+  std::vector<float> staged;
+  std::size_t staged_rows = 0;
+  std::size_t staged_cols = 0;
+};
+
+/// Merges two adjacent pieces (left.end == right.begin). Throws ksum::Error
+/// on non-adjacent or shape-inconsistent pieces.
+ShardPiece merge_pair(ShardAxis axis, const ShardPiece& left,
+                      const ShardPiece& right);
+
+/// Folds `pieces` (sorted by index, contiguous ranges) with the fixed
+/// binary tree above and returns the single root piece.
+ShardPiece merge_tree(ShardAxis axis, std::vector<ShardPiece> pieces);
+
+/// Turns the root piece into the final V of length `m`: kM moves the
+/// concatenated rows out; kN replays the device partial-reduce fold over
+/// the assembled staging matrix.
+Vector finalize_merge(ShardAxis axis, const ShardPiece& root, std::size_t m);
+
+}  // namespace ksum::shard

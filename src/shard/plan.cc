@@ -1,0 +1,139 @@
+#include "shard/plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "workload/padding.h"
+
+namespace ksum::shard {
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::string to_string(ShardAxis axis) {
+  switch (axis) {
+    case ShardAxis::kAuto:
+      return "auto";
+    case ShardAxis::kM:
+      return "m";
+    case ShardAxis::kN:
+      return "n";
+  }
+  return "unknown";
+}
+
+double replicated_bytes(ShardAxis axis, std::size_t m, std::size_t n,
+                        std::size_t k, std::size_t tile_n,
+                        std::size_t count) {
+  if (count <= 1) return 0.0;
+  const double extra = double(count - 1);
+  if (axis == ShardAxis::kM) {
+    // Every additional M shard re-reads B (k×n), its norms (n) and W (n).
+    return extra * 4.0 * (double(k) * double(n) + 2.0 * double(n));
+  }
+  // Every additional N shard re-reads A (m×k) and its norms (m); on top,
+  // the staged (non-atomic) reduction writes and re-reads one partial per
+  // (row, column-CTA) instead of the unsharded run's single atomic per
+  // (row, column-CTA) — charge the staging round trip once.
+  return extra * 4.0 * (double(m) * double(k) + double(m)) +
+         2.0 * 4.0 * double(m) * double(ceil_div(n, tile_n));
+}
+
+ShardPlan plan_shards(std::size_t m, std::size_t n, std::size_t k,
+                      const pipelines::RunOptions& options,
+                      pipelines::Solution solution) {
+  KSUM_REQUIRE(m > 0 && n > 0 && k > 0,
+               "shard planning needs nonzero problem dimensions");
+  const ShardSpec& spec = options.shards;
+  const gpukernels::TileGeometry& geometry = options.mainloop.geometry;
+  const std::size_t tile_n = static_cast<std::size_t>(geometry.tile_n);
+  const std::size_t m_align =
+      std::lcm(static_cast<std::size_t>(geometry.tile_m), std::size_t{128});
+  const std::size_t n_align = std::lcm(tile_n, std::size_t{128});
+  const std::size_t k_align =
+      std::lcm(static_cast<std::size_t>(geometry.tile_k), std::size_t{8});
+
+  ShardAxis axis = spec.axis;
+  if (axis == ShardAxis::kAuto) {
+    // M (concatenation merge, any backend) is the default; prefer N only
+    // when the fused backend can replay its staged reduction and the
+    // analytic model says the replicated-operand traffic is lower.
+    axis = ShardAxis::kM;
+    if (solution == pipelines::Solution::kFused) {
+      const std::size_t probe = spec.count == 0 ? 2 : spec.count;
+      if (replicated_bytes(ShardAxis::kN, m, n, k, tile_n, probe) <
+          replicated_bytes(ShardAxis::kM, m, n, k, tile_n, probe)) {
+        axis = ShardAxis::kN;
+      }
+    }
+  } else if (axis == ShardAxis::kN) {
+    KSUM_REQUIRE(solution == pipelines::Solution::kFused,
+                 "target-axis (N) sharding requires the fused backend — the "
+                 "unfused pipelines have no staged reduction to replay");
+  }
+
+  const std::size_t dim = axis == ShardAxis::kM ? m : n;
+  const std::size_t align = axis == ShardAxis::kM ? m_align : n_align;
+  const std::size_t blocks = ceil_div(dim, align);
+
+  std::size_t count = 0;
+  if (spec.count == 0) {
+    // Auto: smallest count whose largest (padded) shard fits the budget.
+    const std::size_t budget = spec.max_device_bytes != 0
+                                   ? spec.max_device_bytes
+                                   : (std::size_t{512} << 20);
+    const bool unfused = solution != pipelines::Solution::kFused;
+    for (std::size_t c = 1; c <= blocks && count == 0; ++c) {
+      const std::size_t largest = ceil_div(blocks, c) * align;
+      const std::size_t sm = axis == ShardAxis::kM
+                                 ? largest
+                                 : workload::round_up(m, m_align);
+      const std::size_t sn = axis == ShardAxis::kM
+                                 ? workload::round_up(n, n_align)
+                                 : largest;
+      if (pipelines::required_device_bytes(
+              sm, sn, workload::round_up(k, k_align), unfused, tile_n) <=
+          budget) {
+        count = c;
+      }
+    }
+    KSUM_REQUIRE(count != 0,
+                 "auto shard count: even a single-CTA-block shard exceeds "
+                 "the per-device budget");
+  } else {
+    count = std::min(spec.count, blocks);
+  }
+
+  ShardPlan plan;
+  plan.axis = axis;
+  plan.align = align;
+  plan.ranges.reserve(count);
+  // Even block partition: the first (blocks % count) shards take one extra
+  // block; the last shard absorbs the ragged element tail.
+  std::size_t start_block = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t nblocks = blocks / count + (i < blocks % count ? 1 : 0);
+    ShardRange range;
+    range.begin = start_block * align;
+    range.end = std::min(dim, (start_block + nblocks) * align);
+    plan.ranges.push_back(range);
+    start_block += nblocks;
+  }
+  return plan;
+}
+
+std::size_t min_shards_for_limit(std::size_t dim, std::size_t align,
+                                 std::size_t limit) {
+  if (dim == 0 || align == 0) return 0;
+  const std::size_t blocks = ceil_div(dim, align);
+  for (std::size_t c = 1; c <= blocks; ++c) {
+    const std::size_t largest = std::min(dim, ceil_div(blocks, c) * align);
+    if (largest <= limit) return c;
+  }
+  return 0;
+}
+
+}  // namespace ksum::shard

@@ -1,0 +1,41 @@
+// Master/worker execution of a sharded solve (docs/SHARDING.md §Runner).
+//
+// The runner materialises the shard plan, slices the instance, and drives
+// the shards through an exec::ThreadPool via a task queue: workers pull
+// (shard, dispatch) tasks with next_task, run each shard as an ordinary
+// pipelines::solve on their own warm Device, and report completion with
+// task_done. A shard whose own recovery gave up (every retry and fallback
+// still flagged by the ABFT checks) is re-dispatched — handed back to the
+// queue with the failing worker banned, so the retry preferentially lands
+// on a different worker/device (straggler and sticky-fault tolerance); the
+// failing worker may only reclaim it when it is the only worker. After all
+// shards complete, the per-shard results are merged with the fixed-order
+// tree of shard/merge.h, so the output is bit-identical for every worker
+// count and completion order.
+#pragma once
+
+#include "pipelines/solver.h"
+#include "shard/plan.h"
+#include "shard/types.h"
+
+namespace ksum::shard {
+
+/// Executes `instance` sharded per `options.shards` and returns a
+/// SolveResult whose V is bit-identical to the unsharded run of the same
+/// options; `result.shards` carries the per-shard report. Called by
+/// pipelines::solve — `options.mainloop.geometry` must already be the
+/// resolved geometry of the full problem, and `backend` must be one of the
+/// simulated backends. Throws ksum::Error when `options.fault_injector` is
+/// set (sharded runs take ShardSpec::injector_factory).
+pipelines::SolveResult run_sharded(const workload::Instance& instance,
+                                   const core::KernelParams& params,
+                                   pipelines::Backend backend,
+                                   const pipelines::RunOptions& options);
+
+/// Copies the sub-instance covering `range` of `axis` out of `instance`:
+/// kM slices rows of A (B and W are replicated), kN slices columns of B and
+/// the matching W entries (A is replicated). Exposed for tests.
+workload::Instance slice_instance(const workload::Instance& instance,
+                                  ShardAxis axis, const ShardRange& range);
+
+}  // namespace ksum::shard

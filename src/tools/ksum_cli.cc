@@ -1,6 +1,7 @@
 // ksum-cli — command-line driver for the kernel-summation library.
 //
 //   ksum-cli solve  --m=2048 --n=1024 --k=32 [--solution=fused] [--verify]
+//   ksum-cli solve  --m=4096 --n=1024 --k=32 --shards=4 [--shard-axis=m|n]
 //   ksum-cli solve  --batch=requests.csv --threads=8 [--verify] [--robust]
 //   ksum-cli knn    --m=1024 --n=1024 --k=16 --neighbors=8 [--unfused]
 //   ksum-cli sweep  [--fast]                # every paper table/figure
@@ -33,6 +34,7 @@
 #include "report/paper_report.h"
 #include "report/pipeline_printer.h"
 #include "robust/fault_plan.h"
+#include "shard/types.h"
 #include "tune/tile_search.h"
 #include "tune/tuning_cache.h"
 #include "workload/weights.h"
@@ -125,25 +127,101 @@ void declare_problem_flags(FlagParser& flags) {
       .declare("help", "show this help", false);
 }
 
+/// Applies --shards/--shard-axis to `options`. `--shards=N` splits the run
+/// over N warm devices; 'auto' picks the smallest count whose per-shard
+/// arena fits the device budget. Throws ksum::Error (exit 2) for the flag
+/// conflicts sharding cannot honour: host backends have no devices to
+/// shard over, and the N-axis staged-partial merge is a fused-kernel
+/// contract (docs/SHARDING.md).
+void shards_from_flags(const FlagParser& flags, bool simulated,
+                       pipelines::Backend backend,
+                       pipelines::RunOptions& options) {
+  const std::string shards = flags.get_string("shards", "");
+  const std::string axis = flags.get_string("shard-axis", "auto");
+  KSUM_REQUIRE(axis == "m" || axis == "n" || axis == "auto",
+               "--shard-axis must be m, n or auto, got: " + axis);
+  if (shards.empty()) {
+    KSUM_REQUIRE(!flags.has("shard-axis"),
+                 "conflicting flags: --shard-axis qualifies --shards; give "
+                 "--shards=N|auto too");
+    return;
+  }
+  KSUM_REQUIRE(simulated,
+               "conflicting flags: --shards needs a simulated backend "
+               "(each shard runs on its own simulated device)");
+  KSUM_REQUIRE(axis != "n" || backend == pipelines::Backend::kSimFused,
+               "conflicting flags: --shard-axis=n needs --solution=fused "
+               "(the staged-partial merge replays the fused kernel's "
+               "reduction)");
+  if (shards == "auto") {
+    options.shards.count = 0;
+  } else {
+    long long count = 0;
+    try {
+      count = std::stoll(shards);
+    } catch (const std::exception&) {
+      throw Error("--shards must be a positive integer or 'auto', got: " +
+                  shards);
+    }
+    KSUM_REQUIRE(count >= 1,
+                 "--shards must be a positive integer or 'auto', got: " +
+                     shards);
+    options.shards.count = std::size_t(count);
+  }
+  if (axis == "m") {
+    options.shards.axis = shard::ShardAxis::kM;
+  } else if (axis == "n") {
+    options.shards.axis = shard::ShardAxis::kN;
+  }
+}
+
 /// Builds the fault injector requested by --fault-rate/--fault-seed (null
 /// when injection is off) and flips on checks/recovery for --robust. The
 /// returned plan owns the injector `options` points at — keep it alive
-/// through the solve.
+/// through the solve. Sharded runs reject a plain injector (one stream
+/// cannot say which device a fault lives on), so when options.shards is
+/// enabled the seed feeds a per-(shard, dispatch) factory instead.
 std::unique_ptr<robust::FaultPlan> robustness_from_flags(
     const FlagParser& flags, pipelines::RunOptions& options) {
   std::unique_ptr<robust::FaultPlan> plan;
   const double rate = flags.get_double("fault-rate", 0.0);
   KSUM_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault rate must be in [0, 1]");
   if (rate > 0.0) {
-    plan = std::make_unique<robust::FaultPlan>(robust::FaultPlanConfig::uniform(
-        std::uint64_t(flags.get_int("fault-seed", 1)), rate));
-    options.fault_injector = plan.get();
+    const auto seed = std::uint64_t(flags.get_int("fault-seed", 1));
+    if (options.shards.enabled()) {
+      options.shards.injector_factory =
+          [seed, rate](std::size_t s, int d)
+          -> std::shared_ptr<gpusim::FaultInjector> {
+        return std::make_shared<robust::FaultPlan>(
+            robust::FaultPlanConfig::uniform(
+                shard::shard_fault_seed(seed, s, d), rate));
+      };
+    } else {
+      plan = std::make_unique<robust::FaultPlan>(
+          robust::FaultPlanConfig::uniform(seed, rate));
+      options.fault_injector = plan.get();
+    }
   }
   if (flags.get_bool("robust")) {
     options.checks.enabled = true;
     options.recovery.enabled = true;
   }
   return plan;
+}
+
+/// Prints the executed shard plan and per-shard outcomes — pure function of
+/// the request (worker scheduling never changes it).
+void print_shard_report(const shard::ShardReport& report) {
+  std::printf("sharding: axis=%s shards=%zu workers=%d attempts=%d\n",
+              shard::to_string(report.axis).c_str(), report.count(),
+              report.workers, report.total_attempts());
+  for (const auto& s : report.slices) {
+    std::printf("  shard %zu [%zu, %zu)  dispatches=%d attempts=%d "
+                "faults=%d%s\n",
+                s.index, s.begin, s.end, s.dispatches, s.recovery.attempts,
+                s.recovery.faults_detected,
+                s.recovery.gave_up ? "  GAVE UP" : "");
+  }
 }
 
 /// Parses --tile=MxNxK into a full geometry: the block is the tile divided
@@ -303,6 +381,10 @@ int run_batch(const FlagParser& flags, pipelines::Backend backend,
     if (r.solve.recovery.faults_detected > 0) {
       status += r.solve.recovery.gave_up ? " (gave up)" : " (recovered)";
     }
+    if (r.solve.shards.has_value()) {
+      status += " shards=";
+      status += std::to_string(r.solve.shards->count());
+    }
     if (r.solve.report) {
       std::printf("[%3zu] %zux%zu K=%zu seed=%llu  %.3f ms  %.4f J",
                   r.index, spec.m, spec.n, spec.k,
@@ -346,7 +428,12 @@ int cmd_solve(int argc, const char* const* argv) {
                "worker threads for --batch execution (default 1)")
       .declare("tile",
                "tile geometry MxNxK (e.g. 128x128x8), or 'auto' to pick via "
-               "the runtime autotuner");
+               "the runtime autotuner")
+      .declare("shards",
+               "split the run across N warm devices with a bit-identical "
+               "merge, or 'auto' to fit each shard into the device arena")
+      .declare("shard-axis",
+               "axis to split for --shards: m | n | auto (planner picks)");
   flags.parse(argc, argv, 2);
   if (flags.get_bool("help")) {
     std::printf("ksum-cli solve — run one kernel summation\n%s",
@@ -405,13 +492,15 @@ int cmd_solve(int argc, const char* const* argv) {
                "conflicting flags: --tile needs a simulated backend "
                "(--solution=" + name + " runs on the host)");
 
+  auto options = options_from_flags(flags);
+  shards_from_flags(flags, simulated, backend, options);
+
   if (flags.has("batch")) {
-    return run_batch(flags, backend, options_from_flags(flags));
+    return run_batch(flags, backend, options);
   }
 
   const auto spec = spec_from_flags(flags);
   const auto params = params_from_flags(flags, spec);
-  auto options = options_from_flags(flags);
   const auto plan = robustness_from_flags(flags, options);
   const auto instance = workload::make_instance(spec);
 
@@ -435,6 +524,9 @@ int cmd_solve(int argc, const char* const* argv) {
     std::printf("robustness: %s\n",
                 result.report->robustness.to_string().c_str());
     std::printf("recovery  : %s\n", result.recovery.to_string().c_str());
+  }
+  if (result.shards.has_value()) {
+    print_shard_report(*result.shards);
   }
   if (plan) {
     std::printf("%s\n", plan->to_string().c_str());

@@ -3,6 +3,7 @@
 //   ksum-prof <program> [--layout=fig5|naive] [--json] [--json-out=FILE]
 //                       [--trace=FILE] [--top-sites=N] [--verbose]
 //   ksum-prof --batch=<p1,p2,...|all> [--threads=N] [--json|--json-out=FILE]
+//   ksum-prof --shards=N [--shard-axis=m|n] [--json|--json-out=FILE]
 //   ksum-prof --list
 //
 // Runs the named program (see ksum-lint --list / ksum-prof --list) with a
@@ -23,6 +24,11 @@
 //                    document in list order — byte-identical for any
 //                    --threads value
 //   --threads=N      worker threads for --batch (default 1)
+//   --shards=N       profile the sharded fused pipeline (1024×1024, K=16):
+//                    each shard of the plan runs its slice on its own fresh
+//                    device, and the per-shard records merge into one
+//                    ksum-prof-shard-v1 document (docs/SHARDING.md)
+//   --shard-axis=A   axis for --shards: m | n | auto (planner picks)
 //
 // Every emitted record is validated against the schema before it is
 // written; a validation failure is an internal error.
@@ -41,13 +47,22 @@
 #include "config/device_spec.h"
 #include "config/energy_spec.h"
 #include "config/timing_spec.h"
+#include "core/exact.h"
 #include "exec/batch_engine.h"
 #include "exec/thread_pool.h"
+#include "gpukernels/device_workspace.h"
+#include "gpukernels/fused_ksum.h"
+#include "gpukernels/norms.h"
 #include "gpusim/access_site.h"
+#include "pipelines/pipeline.h"
 #include "profile/energy_attribution.h"
 #include "profile/launch_profiler.h"
 #include "profile/profile_json.h"
 #include "profile/trace_export.h"
+#include "shard/plan.h"
+#include "shard/runner.h"
+#include "workload/padding.h"
+#include "workload/point_generators.h"
 
 namespace {
 
@@ -252,6 +267,148 @@ int run_batch_prof(const FlagParser& flags,
   return 0;
 }
 
+/// The --shards path: profiles the sharded fused kernel-summation pipeline
+/// at a fixed 1024×1024, K=16 problem. Each shard of the plan runs its
+/// slice on its own fresh device with a profiler attached — the same kernel
+/// stream the shard runner executes (its warm devices reset() away attached
+/// observers, which is why this mode builds per-shard fresh devices), with
+/// N-axis shards running the staged reduction the merge contract requires.
+/// The per-shard ksum-prof-v1 records merge into one ksum-prof-shard-v1
+/// document (profile/profile_json.h), validated before it is written.
+int run_shard_prof(const FlagParser& flags, const std::string& layout_name,
+                   const analysis::ProgramOptions& options,
+                   const std::string& usage) {
+  KSUM_REQUIRE(flags.positional().empty(),
+               "--shards takes no positional program (it profiles the "
+               "sharded fused pipeline)\n" + usage);
+  KSUM_REQUIRE(!flags.has("batch"),
+               "conflicting flags: --shards and --batch are separate modes");
+  KSUM_REQUIRE(!flags.has("trace"),
+               "conflicting flags: --trace profiles a single program");
+  KSUM_REQUIRE(!flags.has("top-sites"),
+               "conflicting flags: --top-sites shapes the single-program "
+               "human report");
+  KSUM_REQUIRE(!(flags.get_bool("json") && flags.has("json-out")),
+               "conflicting flags: use --json (stdout) or --json-out=FILE, "
+               "not both\n" + usage);
+
+  const long long count = flags.get_int("shards", 0);
+  KSUM_REQUIRE(count >= 1 && count <= 64,
+               "--shards must be in [1, 64], got " + std::to_string(count));
+  const std::string axis_name = flags.get_string("shard-axis", "auto");
+  shard::ShardAxis axis = shard::ShardAxis::kAuto;
+  if (axis_name == "m") {
+    axis = shard::ShardAxis::kM;
+  } else if (axis_name == "n") {
+    axis = shard::ShardAxis::kN;
+  } else {
+    KSUM_REQUIRE(axis_name == "auto",
+                 "--shard-axis must be m, n or auto, got: " + axis_name);
+  }
+
+  // Fixed shape: 8 CTA-aligned blocks on either axis, so splits up to 8-way
+  // are exercisable on both. The record stays a pure function of
+  // (count, axis, layout).
+  workload::ProblemSpec spec;
+  spec.m = 1024;
+  spec.n = 1024;
+  spec.k = 16;
+  spec.bandwidth = 0.8f;
+  spec.seed = 7;
+  const workload::Instance instance = workload::make_instance(spec);
+  const core::KernelParams params = core::params_from_spec(spec);
+
+  pipelines::RunOptions run;
+  run.mainloop.layout = options.layout;
+  run.shards.count = static_cast<std::size_t>(count);
+  run.shards.axis = axis;
+  const shard::ShardPlan plan = shard::plan_shards(
+      spec.m, spec.n, spec.k, run, pipelines::Solution::kFused);
+
+  const auto device_spec = config::DeviceSpec::gtx970();
+  const auto& geometry = run.mainloop.geometry;
+  std::vector<profile::ShardProfileEntry> entries;
+  entries.reserve(plan.count());
+  for (std::size_t i = 0; i < plan.count(); ++i) {
+    const workload::Instance slice =
+        shard::slice_instance(instance, plan.axis, plan.ranges[i]);
+    const std::size_t arena = pipelines::required_device_bytes(
+        workload::round_up(slice.spec.m, 128),
+        workload::round_up(slice.spec.n, 128),
+        workload::round_up(slice.spec.k, 8),
+        /*with_intermediate=*/false,
+        static_cast<std::size_t>(geometry.tile_n));
+    gpusim::Device device(device_spec, arena);
+    std::vector<profile::LaunchProfile> raw;
+    {
+      profile::LaunchProfiler profiler(device);
+      gpukernels::Workspace ws = gpukernels::allocate_workspace(
+          device, slice.spec.m, slice.spec.n, slice.spec.k,
+          /*with_intermediate=*/false);
+      gpukernels::upload_instance(device, ws, slice);
+      gpukernels::run_norms_a(device, ws);
+      gpukernels::run_norms_b(device, ws);
+      gpukernels::FusedOptions fopts;
+      fopts.mainloop.layout = options.layout;
+      // N-axis shards run the staged (non-atomic) reduction — the merge
+      // replays its fold — so their profile shows the real kernel stream,
+      // second reduction pass included.
+      fopts.atomic_reduction = plan.axis != shard::ShardAxis::kN;
+      gpukernels::run_fused_ksum(device, ws, params, fopts);
+      raw = profiler.take_launches();
+    }
+    const profile::ProgramProfile prof = profile::build_program_profile(
+        "fused_ksum", slice.spec.m, slice.spec.n, slice.spec.k, device_spec,
+        config::TimingSpec::gtx970(), config::EnergySpec::gtx970_mcpat(),
+        std::move(raw));
+    profile::ShardProfileEntry entry;
+    entry.index = i;
+    entry.begin = plan.ranges[i].begin;
+    entry.end = plan.ranges[i].end;
+    entry.profile = profile::profile_to_json(prof);
+    entries.push_back(std::move(entry));
+  }
+
+  const profile::Json record = profile::shard_profiles_to_json(
+      shard::to_string(plan.axis), spec.m, spec.n, spec.k, entries);
+  try {
+    profile::validate_profile_shard_json(record);
+  } catch (const Error& e) {
+    throw InternalError(std::string("emitted shard record failed "
+                                    "validation: ") + e.what());
+  }
+
+  if (flags.has("json-out")) {
+    const std::string path = flags.get_string("json-out", "");
+    KSUM_REQUIRE(!path.empty(), "--json-out needs a file path");
+    write_file(path, record.dump());
+    std::fprintf(stderr, "ksum-prof: wrote shard record to %s\n",
+                 path.c_str());
+  }
+  if (flags.get_bool("json")) {
+    std::printf("%s", record.dump().c_str());
+    return 0;
+  }
+  std::printf("sharded fused pipeline %zux%zu K=%zu, axis=%s, %zu "
+              "shard(s), %s layout\n",
+              spec.m, spec.n, spec.k, shard::to_string(plan.axis).c_str(),
+              plan.count(), layout_name.c_str());
+  for (const profile::ShardProfileEntry& entry : entries) {
+    const profile::Json& totals = entry.profile.at("totals");
+    std::printf("  shard %zu [%4zu, %4zu)  %zu launch(es)  %8.3f ms  "
+                "%.4f J\n",
+                entry.index, entry.begin, entry.end,
+                entry.profile.at("launches").size(),
+                totals.at("seconds").as_double() * 1e3,
+                totals.at("energy_j").at("total").as_double());
+  }
+  const profile::Json& totals = record.at("totals");
+  std::printf("totals: %.3f ms modelled (max over shards), %.4f J\n",
+              totals.at("seconds").as_double() * 1e3,
+              totals.at("energy_j_total").as_double());
+  return 0;
+}
+
 int cmd_prof(int argc, const char* const* argv) {
   FlagParser flags;
   flags.declare("layout", "shared-memory tile layout: fig5 (default), naive");
@@ -266,6 +423,12 @@ int cmd_prof(int argc, const char* const* argv) {
                 "profile a comma-separated program list (or \"all\") "
                 "concurrently and merge the records in list order");
   flags.declare("threads", "worker threads for --batch (default 1)");
+  flags.declare("shards",
+                "profile the sharded fused pipeline with N shards, one "
+                "fresh device per shard, merged into a ksum-prof-shard-v1 "
+                "record");
+  flags.declare("shard-axis",
+                "axis for --shards: m | n | auto (planner picks)");
   flags.declare("help", "show this help", false);
   flags.parse(argc, argv);
 
@@ -307,6 +470,12 @@ int cmd_prof(int argc, const char* const* argv) {
     throw Error("unknown --layout: " + layout);
   }
 
+  KSUM_REQUIRE(!flags.has("shard-axis") || flags.has("shards"),
+               "conflicting flags: --shard-axis qualifies --shards; give "
+               "--shards=N too");
+  if (flags.has("shards")) {
+    return run_shard_prof(flags, layout, options, usage);
+  }
   if (flags.has("batch")) {
     return run_batch_prof(flags, options, usage);
   }

@@ -25,6 +25,9 @@
 //                      fallback when every attempt stays flagged
 //   --autotune         resolve tile geometries through a shared TuningCache
 //   --max-m/--max-n/--max-k   admission bounds on request shapes
+//   --max-shards=N     split a request oversized on one of M or N across up
+//                      to N per-device shards instead of refusing it
+//                      (default 1 = shed; docs/SHARDING.md)
 //   --stats-json=FILE  write the final ksum-serve-v1 record on exit
 //
 // Exit codes: 0 clean drain; 2 invalid usage (ksum::Error); 3 internal bug.
@@ -63,6 +66,9 @@ int cmd_serve(int argc, const char* const* argv) {
       .declare("max-m", "admission bound on m (default 4096)")
       .declare("max-n", "admission bound on n (default 4096)")
       .declare("max-k", "admission bound on k (default 256)")
+      .declare("max-shards",
+               "split an oversized M or N across up to N per-device shards "
+               "instead of refusing (default 1 = shed)")
       .declare("stats-json",
                "write the final ksum-serve-v1 record to FILE on exit")
       .declare("help", "show this help", false);
@@ -93,6 +99,8 @@ int cmd_serve(int argc, const char* const* argv) {
   options.max_m = flags.get_size("max-m", 4096);
   options.max_n = flags.get_size("max-n", 4096);
   options.max_k = flags.get_size("max-k", 256);
+  options.max_shards = flags.get_size("max-shards", 1);
+  KSUM_REQUIRE(options.max_shards >= 1, "--max-shards must be >= 1");
 
   profile::Json final_stats;
   if (stdio) {

@@ -18,8 +18,11 @@
 // changes. This suite is also the TSan job's main workload.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstddef>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <vector>
 
 #include "blas/vector_ops.h"
@@ -28,6 +31,7 @@
 #include "core/exact.h"
 #include "exec/batch_engine.h"
 #include "pipelines/solver.h"
+#include "shard/types.h"
 #include "tune/tile_search.h"
 #include "tune/tuning_cache.h"
 #include "workload/point_generators.h"
@@ -282,6 +286,91 @@ TEST(DifferentialFuzzTest, FusedMatchesOracleUnderRandomTunedGeometries) {
         << out.what << " @ " << out.geometry;
     EXPECT_LT(out.fused_vs_oracle, kTol)
         << "fused @ " << out.geometry << " on " << out.what;
+  }
+}
+
+struct ShardOutcome {
+  std::string what;
+  std::size_t shard_count = 0;
+  // One entry per worker count {1, 2, 8}.
+  std::array<bool, 3> byte_identical{};
+  std::array<bool, 3> counters_match{};
+};
+
+TEST(DifferentialFuzzTest, ShardedRunsMatchUnshardedByteForByte) {
+  // Every 4th combo re-runs fused through the shard layer (counts cycling
+  // 2/3/8, axes alternating M/N) at 1, 2, and 8 workers. The contract is
+  // stronger than the cross-backend tolerance above: sharding the SAME
+  // backend must reproduce the unsharded bytes exactly, and the merged
+  // event-counter totals must not depend on the worker count
+  // (docs/SHARDING.md §Determinism).
+  const auto cases = fuzz_cases();
+  std::vector<FuzzCase> picked;
+  for (std::size_t i = 0; i < cases.size(); i += 4) picked.push_back(cases[i]);
+  ASSERT_GE(picked.size(), 30u);
+
+  const std::size_t shard_counts[] = {2, 3, 8};
+  const int worker_counts[] = {1, 2, 8};
+
+  exec::ThreadPool pool(test_threads());
+  const auto outcomes = exec::map_ordered(
+      pool, picked.size(), [&](std::size_t index) {
+        const FuzzCase& c = picked[index];
+        workload::ProblemSpec spec;
+        spec.m = c.m;
+        spec.n = c.n;
+        spec.k = c.k;
+        spec.seed = c.seed;
+        spec.bandwidth = 0.9f;
+        const auto instance = workload::make_instance(spec);
+        const auto params = core::params_from_spec(spec);
+
+        ShardOutcome out;
+        out.shard_count = shard_counts[index % 3];
+        const shard::ShardAxis axis = index % 2 == 0 ? shard::ShardAxis::kM
+                                                     : shard::ShardAxis::kN;
+        out.what = spec.to_string();
+        out.what += " shards=";
+        out.what += std::to_string(out.shard_count);
+        out.what += " axis=";
+        out.what += shard::to_string(axis);
+
+        const auto oracle =
+            pipelines::solve(instance, params, Backend::kSimFused);
+
+        std::optional<gpusim::Counters> reference_total;
+        for (std::size_t w = 0; w < 3; ++w) {
+          pipelines::RunOptions options;
+          options.shards.count = out.shard_count;
+          options.shards.axis = axis;
+          options.shards.workers = worker_counts[w];
+          const auto sharded =
+              pipelines::solve(instance, params, Backend::kSimFused, options);
+          out.byte_identical[w] =
+              sharded.v.size() == oracle.v.size() &&
+              std::memcmp(sharded.v.data(), oracle.v.data(),
+                          oracle.v.size() * sizeof(float)) == 0;
+          if (!sharded.report.has_value()) continue;
+          if (!reference_total.has_value()) {
+            reference_total = sharded.report->total;
+            out.counters_match[w] = true;
+          } else {
+            out.counters_match[w] =
+                *reference_total == sharded.report->total;
+          }
+        }
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), picked.size());
+  for (const ShardOutcome& out : outcomes) {
+    for (std::size_t w = 0; w < 3; ++w) {
+      EXPECT_TRUE(out.byte_identical[w])
+          << out.what << " diverged from the unsharded run at workers="
+          << (w == 0 ? 1 : (w == 1 ? 2 : 8));
+      EXPECT_TRUE(out.counters_match[w])
+          << out.what << " merged counters changed with the worker count";
+    }
   }
 }
 

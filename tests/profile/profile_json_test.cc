@@ -151,6 +151,65 @@ TEST(ProfileJsonTest, ValidatorRejectsMutatedRecords) {
       Error);
 }
 
+// ksum-prof-shard-v1: per-shard ksum-prof-v1 records wrapped with the shard
+// plan's ranges. Two shards tiling a 512-row axis are enough to exercise
+// the contiguity, recomposition and embedded-record checks.
+Json shard_record() {
+  const Json profile = profile_to_json(profiled("fused_ksum"));
+  std::vector<ShardProfileEntry> shards;
+  shards.push_back({0, 0, 256, profile});
+  shards.push_back({1, 256, 512, profile});
+  return shard_profiles_to_json("m", 512, 256, 16, shards);
+}
+
+TEST(ShardProfileJsonTest, EmittedRecordValidatesAndReparses) {
+  const Json record = shard_record();
+  EXPECT_NO_THROW(validate_profile_shard_json(record));
+  EXPECT_FALSE(record.has("timestamp"));
+  EXPECT_EQ(record.at("axis").as_string(), "m");
+  EXPECT_EQ(record.at("shards").size(), 2u);
+
+  const Json back = Json::parse(record.dump());
+  EXPECT_NO_THROW(validate_profile_shard_json(back));
+  EXPECT_EQ(back.dump(), record.dump());
+}
+
+TEST(ShardProfileJsonTest, BuilderRejectsBogusAxis) {
+  EXPECT_THROW(shard_profiles_to_json("k", 512, 256, 16, {}), Error);
+}
+
+TEST(ShardProfileJsonTest, ValidatorRejectsMutatedRecords) {
+  const Json record = shard_record();
+
+  EXPECT_THROW(validate_profile_shard_json(replaced(
+                   record, {"schema"}, 0, Json("ksum-prof-shard-v0"))),
+               Error);
+  EXPECT_THROW(validate_profile_shard_json(replaced(record, {"axis"}, 0,
+                                                    Json("k"))),
+               Error);
+  EXPECT_THROW(validate_profile_shard_json(without(record, "shards")),
+               Error);
+  // A gap between shard 0 and shard 1 breaks the contiguous tiling.
+  EXPECT_THROW(validate_profile_shard_json(replaced(
+                   record, {"shards", "1", "begin"}, 0, Json(300))),
+               Error);
+  // The last shard stopping short of the axis dimension breaks coverage.
+  EXPECT_THROW(validate_profile_shard_json(replaced(
+                   record, {"shards", "1", "end"}, 0, Json(480))),
+               Error);
+  // Indexes must ascend from 0 in array order.
+  EXPECT_THROW(validate_profile_shard_json(replaced(
+                   record, {"shards", "0", "index"}, 0, Json(1))),
+               Error);
+  // Totals must recompose from the embedded per-shard totals.
+  const double energy =
+      record.at("totals").at("energy_j_total").as_double();
+  EXPECT_THROW(validate_profile_shard_json(replaced(
+                   record, {"totals", "energy_j_total"}, 0,
+                   Json(energy + 1.0))),
+               Error);
+}
+
 TEST(ProfileJsonTest, CountersRoundTripEveryField) {
   gpusim::Counters c;
   c.fma_ops = 1;

@@ -49,9 +49,17 @@ struct Harness {
 
 std::string solve_line(const std::string& id, std::size_t m, std::size_t n,
                        std::size_t k, const std::string& extra = "") {
-  return std::string("{\"op\":\"solve\",\"id\":\"") + id +
-         "\",\"m\":" + std::to_string(m) + ",\"n\":" + std::to_string(n) +
-         ",\"k\":" + std::to_string(k) + extra + "}";
+  std::string line = "{\"op\":\"solve\",\"id\":\"";
+  line += id;
+  line += "\",\"m\":";
+  line += std::to_string(m);
+  line += ",\"n\":";
+  line += std::to_string(n);
+  line += ",\"k\":";
+  line += std::to_string(k);
+  line += extra;
+  line += '}';
+  return line;
 }
 
 // Finds the reply whose id matches; fails the test when absent.
@@ -179,7 +187,9 @@ TEST(Server, PausedBurstShedsDeterministically) {
   // No start() yet: the queue fills synchronously, so exactly
   // burst - capacity requests shed, regardless of machine speed.
   for (int i = 0; i < 5; ++i) {
-    h.server->handle_line(solve_line("q" + std::to_string(i), 128, 128, 8));
+    std::string id = "q";
+    id += std::to_string(i);
+    h.server->handle_line(solve_line(id, 128, 128, 8));
   }
   EXPECT_EQ(h.log->snapshot().size(), 3u);  // 3 overloaded replies already
   for (const auto& line : h.log->snapshot()) {
@@ -276,6 +286,121 @@ TEST(Server, StatsRecordStaysConsistent) {
   EXPECT_EQ(record.at("latency_ms").at("modelled").at("count").as_double(),
             1);
   EXPECT_EQ(record.at("latency_ms").at("wall").at("count").as_double(), 2);
+}
+
+TEST(Server, OversizedShapeShardsWhenAllowed) {
+  // max_shards turns the PR 6 "invalid" path into shard routing: a shape
+  // over max_m comes back ok, carries the shards field, and its digest is
+  // exactly the digest of a direct (unbounded) solve — sharding is
+  // bit-invisible (docs/SHARDING.md).
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  opts.max_m = 512;
+  opts.max_shards = 4;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(solve_line("wide", 1000, 128, 8));
+  h.server->drain();
+
+  const Json reply = reply_for(h.log->snapshot(), "wide");
+  ASSERT_EQ(reply.at("status").as_string(), "ok");
+  EXPECT_EQ(reply.at("shards").as_double(), 2);  // ceil(8 blocks / 4) * 128
+
+  workload::ProblemSpec spec;
+  spec.m = 1000;
+  spec.n = 128;
+  spec.k = 8;
+  const auto instance = workload::make_instance(spec);
+  const auto direct = pipelines::solve(
+      instance, core::params_from_spec(spec), pipelines::Backend::kSimFused);
+  EXPECT_EQ(reply.at("digest").as_string(),
+            serve::digest_hex(direct.v.span()));
+}
+
+TEST(Server, InBoundsRepliesOmitShardsField) {
+  // The shards field only appears on sharded replies, so in-bounds traffic
+  // is byte-identical to the pre-sharding protocol (the goldens in
+  // tests/cli/serve_smoke.jsonl pin this too).
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_shards = 4;
+  Harness h(opts);
+  h.server->start();
+  h.server->handle_line(solve_line("small", 128, 128, 8));
+  h.server->drain();
+  const Json reply = reply_for(h.log->snapshot(), "small");
+  EXPECT_EQ(reply.at("status").as_string(), "ok");
+  EXPECT_FALSE(reply.has("shards"));
+}
+
+TEST(Server, ShedVsShardBoundary) {
+  // Exactly at the admission boundary: a shape needing <= max_shards
+  // shards is admitted, one shard past it is shed — and the shapes that
+  // never shard (K oversized, both axes oversized, host backend, N axis on
+  // an unfused backend) stay invalid whatever max_shards says.
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_m = 256;   // 2 blocks
+  opts.max_n = 256;
+  opts.max_shards = 2;
+  Harness h(opts);
+  h.server->start();
+  // 512 rows = 4 blocks → 2 shards of 256: admitted.
+  h.server->handle_line(solve_line("fits", 512, 128, 8));
+  // 640 rows = 5 blocks → needs 3 shards: shed.
+  h.server->handle_line(solve_line("past", 640, 128, 8));
+  // K never shards.
+  h.server->handle_line(solve_line("deep", 128, 128, 512));
+  // Oversized on both axes never shards.
+  h.server->handle_line(solve_line("both", 512, 512, 8));
+  // Host backends never shard.
+  h.server->handle_line(
+      solve_line("host", 512, 128, 8, ",\"backend\":\"cpu-direct\""));
+  // N-axis sharding requires the fused backend.
+  h.server->handle_line(
+      solve_line("ncol", 128, 512, 8, ",\"backend\":\"sim-cublas-unfused\""));
+  // N-axis on the fused backend shards fine.
+  h.server->handle_line(solve_line("nok", 128, 512, 8));
+  h.server->drain();
+
+  const auto lines = h.log->snapshot();
+  EXPECT_EQ(reply_for(lines, "fits").at("status").as_string(), "ok");
+  EXPECT_EQ(reply_for(lines, "fits").at("shards").as_double(), 2);
+  EXPECT_EQ(reply_for(lines, "past").at("status").as_string(), "invalid");
+  EXPECT_EQ(reply_for(lines, "deep").at("status").as_string(), "invalid");
+  EXPECT_EQ(reply_for(lines, "both").at("status").as_string(), "invalid");
+  EXPECT_EQ(reply_for(lines, "host").at("status").as_string(), "invalid");
+  EXPECT_EQ(reply_for(lines, "ncol").at("status").as_string(), "invalid");
+  EXPECT_EQ(reply_for(lines, "nok").at("status").as_string(), "ok");
+  EXPECT_EQ(reply_for(lines, "nok").at("shards").as_double(), 2);
+}
+
+TEST(Server, ShardedRequestWithFaultsStillRecovers) {
+  // fault_rate on a sharded request routes through the per-(shard,
+  // dispatch) injector factory instead of a single plan; the reply must
+  // still be ok and reproducible.
+  serve::ServerOptions opts;
+  opts.workers = 2;
+  opts.max_m = 256;
+  opts.max_shards = 4;
+  Harness h(opts);
+  h.server->start();
+  const std::string line = solve_line(
+      "faulty", 600, 128, 8, ",\"fault_rate\":0.005,\"fault_seed\":11");
+  h.server->handle_line(line);
+  h.server->drain();
+  const Json reply = reply_for(h.log->snapshot(), "faulty");
+  ASSERT_EQ(reply.at("status").as_string(), "ok");
+  EXPECT_EQ(reply.at("shards").as_double(), 3);  // 5 blocks over 2-block cap
+
+  // Same request again on a fresh server: byte-identical reply.
+  Harness h2(opts);
+  h2.server->start();
+  h2.server->handle_line(line);
+  h2.server->drain();
+  const auto lines2 = h2.log->snapshot();
+  ASSERT_EQ(lines2.size(), 1u);
+  EXPECT_EQ(lines2[0], h.log->snapshot()[0]);
 }
 
 TEST(ServeStats, PercentilesUseNearestRank) {

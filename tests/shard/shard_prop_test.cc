@@ -1,0 +1,207 @@
+// Property tests of the shard layer (tests/common/prop.h): shard-count
+// invariance over random shapes (including ragged last shards), merge
+// associativity under the fixed tree order, and slice fidelity.
+#include <cstring>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/prop.h"
+#include "pipelines/solver.h"
+#include "shard/merge.h"
+#include "shard/runner.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+using pipelines::Backend;
+using pipelines::RunOptions;
+using shard::ShardAxis;
+using shard::ShardPiece;
+
+struct ShardCase {
+  workload::Instance instance;
+  std::size_t count = 1;
+  ShardAxis axis = ShardAxis::kM;
+  int workers = 1;
+};
+
+ShardCase make_shard_case(prop::Gen& gen, std::size_t scale) {
+  ShardCase c;
+  workload::ProblemSpec spec;
+  // Scale bounds the shape; ragged sizes are the common case by design.
+  spec.m = gen.size_in(1, std::max<std::size_t>(scale, 1));
+  spec.n = gen.size_in(1, std::max<std::size_t>(scale, 1));
+  spec.k = gen.size_in(1, 24);
+  spec.seed = gen.next_u64();
+  c.instance = workload::make_instance(spec);
+  c.count = gen.size_in(1, 8);
+  c.axis = gen.int_in(0, 1) == 0 ? ShardAxis::kM : ShardAxis::kN;
+  c.workers = gen.int_in(1, 4);
+  return c;
+}
+
+// Shard-count invariance: any admissible (count, axis, workers) produces
+// exactly the bytes of the unsharded run.
+TEST(ShardPropTest, ShardCountInvariance) {
+  prop::Config config;
+  config.iterations = 8;
+  config.max_scale = 512;
+  const core::KernelParams params;
+  prop::check(
+      "shard-count-invariance", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        return make_shard_case(gen, scale);
+      },
+      [&](const ShardCase& c) {
+        const pipelines::SolveResult oracle = pipelines::solve(
+            c.instance, params, Backend::kSimFused, RunOptions{});
+        RunOptions options;
+        options.shards.count = c.count;
+        options.shards.axis = c.axis;
+        options.shards.workers = c.workers;
+        const pipelines::SolveResult sharded =
+            pipelines::solve(c.instance, params, Backend::kSimFused, options);
+        if (oracle.v.size() != sharded.v.size()) return false;
+        return std::memcmp(oracle.v.data(), sharded.v.data(),
+                           oracle.v.size() * sizeof(float)) == 0;
+      });
+}
+
+struct MergeCase {
+  ShardAxis axis = ShardAxis::kM;
+  std::vector<ShardPiece> pieces;
+  std::size_t total = 0;       // elements along the axis
+  std::size_t staged_rows = 0; // kN only
+};
+
+MergeCase make_merge_case(prop::Gen& gen, std::size_t scale) {
+  MergeCase c;
+  c.axis = gen.int_in(0, 1) == 0 ? ShardAxis::kM : ShardAxis::kN;
+  const std::size_t pieces = gen.size_in(1, 8);
+  c.staged_rows = gen.size_in(1, 16);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    ShardPiece p;
+    p.index = i;
+    p.begin = begin;
+    p.end = begin + gen.size_in(1, std::max<std::size_t>(scale / 8, 1));
+    if (c.axis == ShardAxis::kM) {
+      p.rows.resize(p.end - p.begin);
+      for (float& v : p.rows) v = gen.float_in(-4.0f, 4.0f);
+    } else {
+      p.staged_rows = c.staged_rows;
+      p.staged_cols = p.end - p.begin;
+      p.staged.resize(p.staged_rows * p.staged_cols);
+      for (float& v : p.staged) v = gen.float_in(-4.0f, 4.0f);
+    }
+    begin = p.end;
+    c.pieces.push_back(std::move(p));
+  }
+  c.total = begin;
+  return c;
+}
+
+// Tree-merge associativity: the fixed binary tree and a plain left fold
+// assemble the same bytes (concatenation is associative; the only float
+// arithmetic happens in finalize, after assembly).
+TEST(ShardPropTest, TreeMergeMatchesLeftFold) {
+  prop::Config config;
+  config.iterations = 12;
+  config.max_scale = 256;
+  prop::check(
+      "tree-merge-associativity", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        return make_merge_case(gen, scale);
+      },
+      [](const MergeCase& c) {
+        const ShardPiece tree = shard::merge_tree(c.axis, c.pieces);
+        ShardPiece fold = c.pieces.front();
+        for (std::size_t i = 1; i < c.pieces.size(); ++i) {
+          fold = shard::merge_pair(c.axis, fold, c.pieces[i]);
+        }
+        if (c.axis == ShardAxis::kM) {
+          return tree.rows == fold.rows;
+        }
+        const std::size_t rows =
+            c.axis == ShardAxis::kN ? c.staged_rows : 0;
+        const Vector a = shard::finalize_merge(c.axis, tree, rows);
+        const Vector b = shard::finalize_merge(c.axis, fold, rows);
+        return tree.staged == fold.staged &&
+               std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+      });
+}
+
+struct SliceCase {
+  workload::Instance instance;
+  ShardAxis axis = ShardAxis::kM;
+  shard::ShardRange range;
+};
+
+SliceCase make_slice_case(prop::Gen& gen, std::size_t scale) {
+  SliceCase c;
+  workload::ProblemSpec spec;
+  spec.m = gen.size_in(2, std::max<std::size_t>(scale, 2));
+  spec.n = gen.size_in(2, std::max<std::size_t>(scale, 2));
+  spec.k = gen.size_in(1, 16);
+  spec.seed = gen.next_u64();
+  c.instance = workload::make_instance(spec);
+  c.axis = gen.int_in(0, 1) == 0 ? ShardAxis::kM : ShardAxis::kN;
+  const std::size_t dim =
+      c.axis == ShardAxis::kM ? spec.m : spec.n;
+  c.range.begin = gen.size_in(0, dim - 1);
+  c.range.end = gen.size_in(c.range.begin + 1, dim);
+  return c;
+}
+
+// slice_instance copies exactly the rows/columns of its range.
+TEST(ShardPropTest, SliceInstanceFidelity) {
+  prop::Config config;
+  config.iterations = 12;
+  config.max_scale = 256;
+  prop::check(
+      "slice-instance-fidelity", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        return make_slice_case(gen, scale);
+      },
+      [](const SliceCase& c) {
+        const workload::Instance slice =
+            shard::slice_instance(c.instance, c.axis, c.range);
+        const std::size_t k = c.instance.spec.k;
+        if (c.axis == ShardAxis::kM) {
+          if (slice.spec.m != c.range.size() ||
+              slice.spec.n != c.instance.spec.n) {
+            return false;
+          }
+          for (std::size_t r = 0; r < slice.spec.m; ++r) {
+            for (std::size_t d = 0; d < k; ++d) {
+              if (slice.a.at(r, d) != c.instance.a.at(c.range.begin + r, d)) {
+                return false;
+              }
+            }
+          }
+          return std::memcmp(slice.b.data(), c.instance.b.data(),
+                             k * c.instance.spec.n * sizeof(float)) == 0 &&
+                 std::memcmp(slice.w.data(), c.instance.w.data(),
+                             c.instance.spec.n * sizeof(float)) == 0;
+        }
+        if (slice.spec.n != c.range.size() ||
+            slice.spec.m != c.instance.spec.m) {
+          return false;
+        }
+        for (std::size_t j = 0; j < slice.spec.n; ++j) {
+          if (slice.w[j] != c.instance.w[c.range.begin + j]) return false;
+          for (std::size_t d = 0; d < k; ++d) {
+            if (slice.b.at(d, j) != c.instance.b.at(d, c.range.begin + j)) {
+              return false;
+            }
+          }
+        }
+        return std::memcmp(slice.a.data(), c.instance.a.data(),
+                           c.instance.spec.m * k * sizeof(float)) == 0;
+      });
+}
+
+}  // namespace
+}  // namespace ksum
