@@ -49,10 +49,22 @@ Diagnostics check_tile_resources(const config::DeviceSpec& spec,
 bool is_tile_family(const std::string& kernel_name);
 
 /// True for the tile-family kernels that run at the paper's 128-register
-/// budget, which §IV pins at exactly 2 CTAs/SM. The fused kNN kernel is
-/// tile-family but spends 2·k_nn extra registers on its neighbour lists, a
-/// documented occupancy trade-off — it only has to stay within 1–2 CTAs/SM.
+/// budget, which §IV pins at exactly 2 CTAs/SM on the GTX 970. The fused
+/// kNN kernel is tile-family but spends 2·k_nn extra registers on its
+/// neighbour lists, a documented occupancy trade-off — it only has to stay
+/// within the tile-family occupancy band.
 bool expects_exact_two_ctas(const std::string& kernel_name);
+
+/// The CTAs/SM the paper's reference tile-family configuration (256
+/// threads, 128 registers per thread, the launch's own shared-memory
+/// footprint) achieves on `spec` — the profile-relative generalisation of
+/// the §IV "exactly 2 CTAs/SM" pin. On the paper's GTX 970 (and any device
+/// with a 64K-register file) this is 2; an architecture with a different
+/// register budget moves the expected operating point, and the lint holds
+/// kernels to *that* number. Returns 0 when the reference configuration
+/// cannot launch on the device at all.
+int expected_tile_family_ctas(const config::DeviceSpec& spec,
+                              std::uint32_t smem_bytes_per_block);
 
 /// Observer that applies check_tile_resources to every launch it sees and
 /// additionally enforces the 2-CTA/SM operating point for tile-family

@@ -43,6 +43,7 @@ void DeviceSpec::validate() const {
                "L2 lines must divide evenly into ways");
   KSUM_REQUIRE(core_clock_ghz > 0.0, "clock must be positive");
   KSUM_REQUIRE(dram_bandwidth_gb_s > 0.0, "bandwidth must be positive");
+  KSUM_REQUIRE(shard_arena_bytes > 0, "shard arena must be positive");
   if (cache_globals_in_l1) {
     KSUM_REQUIRE(l1_bytes % static_cast<std::size_t>(l2_line_bytes) == 0,
                  "L1 size must be whole lines");

@@ -40,6 +40,10 @@ struct DeviceSpec {
   int fma_lanes_per_sm = 128;              // CUDA cores per Maxwell SM
   double dram_bandwidth_gb_s = 196.0;      // achievable (224 GB/s spec)
   double l2_bandwidth_bytes_per_cycle = 512.0;
+  // Per-device arena the shard planner may fill when auto-fitting a shard
+  // count (conservative: well under the board's 4 GB so a planned shard
+  // always allocates; bigger boards raise it through their profile).
+  std::size_t shard_arena_bytes = std::size_t{512} << 20;
 
   /// Peak single-precision FLOP/s: lanes × 2 (FMA) × clock × SMs.
   double peak_sp_flops() const;

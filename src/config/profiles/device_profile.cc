@@ -1,0 +1,353 @@
+#include "config/profiles/device_profile.h"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ksum::config::profiles {
+
+using profile::Json;
+
+namespace {
+
+constexpr char kSchema[] = "ksum-device-profile-v1";
+
+void check(bool cond, const std::string& what) {
+  if (!cond) throw Error(std::string(kSchema) + ": " + what);
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Field readers: every field is required, typed, and (for the integer
+// fields) exactly integral — 13.5 SMs is a schema error, not a truncation.
+double read_double(const Json& obj, const char* key) {
+  return obj.at(key).as_double();
+}
+
+int read_int(const Json& obj, const char* key) {
+  const double v = read_double(obj, key);
+  check(v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+            v >= std::numeric_limits<int>::min() &&
+            v <= std::numeric_limits<int>::max(),
+        std::string(key) + " must be an integer");
+  return static_cast<int>(v);
+}
+
+std::size_t read_size(const Json& obj, const char* key) {
+  const double v = read_double(obj, key);
+  check(v >= 0 && v == static_cast<double>(static_cast<std::uint64_t>(v)),
+        std::string(key) + " must be a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+bool read_bool(const Json& obj, const char* key) {
+  return obj.at(key).as_bool();
+}
+
+void check_keys(const Json& obj, const char* what,
+                std::initializer_list<const char*> allowed) {
+  check(obj.is_object(), std::string(what) + " must be an object");
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool known = false;
+    for (const char* k : allowed) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    check(known, std::string(what) + " has unknown key \"" + key + "\"");
+  }
+}
+
+DeviceProfile parse_profile(const Json& record) {
+  check_keys(record, "record",
+             {"schema", "name", "description", "device", "timing", "energy"});
+  check(record.at("schema").as_string() == kSchema,
+        "schema must be " + std::string(kSchema));
+
+  DeviceProfile p;
+  p.name = record.at("name").as_string();
+  check(valid_name(p.name),
+        "name must be non-empty [A-Za-z0-9._-]: \"" + p.name + "\"");
+  p.description = record.at("description").as_string();
+
+  const Json& d = record.at("device");
+  check_keys(d, "device",
+             {"num_sms", "max_threads_per_block", "warp_size",
+              "max_threads_per_sm", "registers_per_sm",
+              "max_registers_per_thread", "smem_per_sm_bytes",
+              "smem_bank_width_bytes", "smem_num_banks",
+              "num_warp_schedulers", "l2_bytes", "max_blocks_per_sm",
+              "smem_per_block_limit", "l2_line_bytes", "l2_sector_bytes",
+              "l2_ways", "dram_transaction_bytes", "cache_globals_in_l1",
+              "l1_bytes", "l1_ways", "core_clock_ghz", "fma_lanes_per_sm",
+              "dram_bandwidth_gb_s", "l2_bandwidth_bytes_per_cycle",
+              "shard_arena_bytes"});
+  DeviceSpec& dev = p.device;
+  dev.num_sms = read_int(d, "num_sms");
+  dev.max_threads_per_block = read_int(d, "max_threads_per_block");
+  dev.warp_size = read_int(d, "warp_size");
+  dev.max_threads_per_sm = read_int(d, "max_threads_per_sm");
+  dev.registers_per_sm = read_int(d, "registers_per_sm");
+  dev.max_registers_per_thread = read_int(d, "max_registers_per_thread");
+  dev.smem_per_sm_bytes = read_size(d, "smem_per_sm_bytes");
+  dev.smem_bank_width_bytes = read_int(d, "smem_bank_width_bytes");
+  dev.smem_num_banks = read_int(d, "smem_num_banks");
+  dev.num_warp_schedulers = read_int(d, "num_warp_schedulers");
+  dev.l2_bytes = read_size(d, "l2_bytes");
+  dev.max_blocks_per_sm = read_int(d, "max_blocks_per_sm");
+  dev.smem_per_block_limit = read_size(d, "smem_per_block_limit");
+  dev.l2_line_bytes = read_int(d, "l2_line_bytes");
+  dev.l2_sector_bytes = read_int(d, "l2_sector_bytes");
+  dev.l2_ways = read_int(d, "l2_ways");
+  dev.dram_transaction_bytes = read_int(d, "dram_transaction_bytes");
+  dev.cache_globals_in_l1 = read_bool(d, "cache_globals_in_l1");
+  dev.l1_bytes = read_size(d, "l1_bytes");
+  dev.l1_ways = read_int(d, "l1_ways");
+  dev.core_clock_ghz = read_double(d, "core_clock_ghz");
+  dev.fma_lanes_per_sm = read_int(d, "fma_lanes_per_sm");
+  dev.dram_bandwidth_gb_s = read_double(d, "dram_bandwidth_gb_s");
+  dev.l2_bandwidth_bytes_per_cycle =
+      read_double(d, "l2_bandwidth_bytes_per_cycle");
+  dev.shard_arena_bytes = read_size(d, "shard_arena_bytes");
+
+  const Json& t = record.at("timing");
+  check_keys(t, "timing",
+             {"launch_overhead_cycles", "cta_dispatch_cycles",
+              "dram_efficiency"});
+  p.timing.launch_overhead_cycles = read_double(t, "launch_overhead_cycles");
+  p.timing.cta_dispatch_cycles = read_double(t, "cta_dispatch_cycles");
+  p.timing.dram_efficiency = read_double(t, "dram_efficiency");
+
+  const Json& e = record.at("energy");
+  check_keys(e, "energy",
+             {"fma_pj", "sfu_pj", "instruction_pj", "smem_access_pj",
+              "l1_access_pj", "l2_access_pj", "dram_access_pj",
+              "static_power_w"});
+  p.energy.fma_pj = read_double(e, "fma_pj");
+  p.energy.sfu_pj = read_double(e, "sfu_pj");
+  p.energy.instruction_pj = read_double(e, "instruction_pj");
+  p.energy.smem_access_pj = read_double(e, "smem_access_pj");
+  p.energy.l1_access_pj = read_double(e, "l1_access_pj");
+  p.energy.l2_access_pj = read_double(e, "l2_access_pj");
+  p.energy.dram_access_pj = read_double(e, "dram_access_pj");
+  p.energy.static_power_w = read_double(e, "static_power_w");
+
+  // Cross-field consistency comes from the specs' own rules — the schema
+  // accepts exactly the profiles that can run.
+  try {
+    p.validate();
+  } catch (const Error& err) {
+    throw Error(std::string(kSchema) + ": " + err.what());
+  }
+  return p;
+}
+
+}  // namespace
+
+void DeviceProfile::validate() const {
+  KSUM_REQUIRE(valid_name(name),
+               "profile name must be non-empty [A-Za-z0-9._-]");
+  device.validate();
+  timing.validate();
+  energy.validate();
+}
+
+DeviceProfile gtx970() {
+  DeviceProfile p;
+  p.name = "gtx970";
+  p.description =
+      "NVIDIA GTX 970 (Maxwell GM204, Table I of the paper): 13 SMs, "
+      "1.75 MB L2, 196 GB/s achievable DRAM at 1.05 GHz";
+  p.device = DeviceSpec::gtx970();
+  p.timing = TimingSpec::gtx970();
+  p.energy = EnergySpec::gtx970_mcpat();
+  p.validate();
+  return p;
+}
+
+DeviceProfile titanx_maxwell() {
+  DeviceProfile p;
+  p.name = "titanx-maxwell";
+  p.description =
+      "GM200-class big Maxwell (Titan X): 24 SMs, 3 MB L2, 296 GB/s "
+      "achievable DRAM at 1.0 GHz, same 28 nm energy table with the "
+      "bigger die's static power";
+  p.device = DeviceSpec::gtx970();  // same architecture generation...
+  p.device.num_sms = 24;            // ...bigger die
+  p.device.l2_bytes = std::size_t{3} * 1024 * 1024;
+  p.device.core_clock_ghz = 1.0;
+  p.device.dram_bandwidth_gb_s = 296.0;  // 336.5 GB/s spec, streaming share
+  p.device.l2_bandwidth_bytes_per_cycle = 768.0;
+  p.device.shard_arena_bytes = std::size_t{2} << 30;  // 12 GB board
+  p.timing = TimingSpec::gtx970();  // same launch/dispatch silicon
+  p.energy = EnergySpec::gtx970_mcpat();
+  p.energy.static_power_w = 14.0;  // 250 W TDP die vs the 970's 145 W
+  p.validate();
+  return p;
+}
+
+DeviceProfile modern() {
+  DeviceProfile p;
+  p.name = "modern";
+  p.description =
+      "Modern high-SM configuration (Ada-class): 128 SMs at 2.2 GHz, "
+      "48 MB L2, 900 GB/s achievable DRAM, 100 KB smem/SM with the 99 KB "
+      "opt-in per-block limit, 5 nm-class energy table";
+  DeviceSpec& d = p.device;
+  d.num_sms = 128;
+  d.max_threads_per_sm = 1536;
+  d.smem_per_sm_bytes = std::size_t{100} * 1024;
+  d.smem_per_block_limit = std::size_t{99} * 1024;
+  d.l2_bytes = std::size_t{48} * 1024 * 1024;
+  d.l1_bytes = std::size_t{128} * 1024;
+  d.core_clock_ghz = 2.2;
+  d.dram_bandwidth_gb_s = 900.0;  // 1008 GB/s spec, streaming share
+  d.l2_bandwidth_bytes_per_cycle = 4096.0;
+  d.shard_arena_bytes = std::size_t{8} << 30;  // 24 GB board
+  p.timing = TimingSpec::gtx970();
+  p.timing.launch_overhead_cycles = 11000.0;  // ~5 us at 2.2 GHz
+  EnergySpec& e = p.energy;
+  e.fma_pj = 4.0;  // 5 nm-class datapath, per the Lim-style re-scaling
+  e.sfu_pj = 15.0;
+  e.instruction_pj = 6.0;
+  e.smem_access_pj = 0.8;
+  e.l1_access_pj = 10.0;
+  e.l2_access_pj = 60.0;
+  e.dram_access_pj = 500.0;  // GDDR6X-class, ~15 pJ/B
+  e.static_power_w = 60.0;
+  p.validate();
+  return p;
+}
+
+const std::vector<std::string>& builtin_names() {
+  static const std::vector<std::string> names = {"gtx970", "titanx-maxwell",
+                                                 "modern"};
+  return names;
+}
+
+bool is_builtin(const std::string& name) {
+  for (const auto& n : builtin_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+DeviceProfile builtin(const std::string& name) {
+  if (name == "gtx970") return gtx970();
+  if (name == "titanx-maxwell") return titanx_maxwell();
+  if (name == "modern") return modern();
+  std::string names;
+  for (const auto& n : builtin_names()) {
+    if (!names.empty()) names += ", ";
+    names += n;
+  }
+  throw Error("unknown device profile: " + name + " (built-ins: " + names +
+              "; or pass a ksum-device-profile-v1 JSON file path)");
+}
+
+DeviceProfile resolve(const std::string& name_or_path) {
+  if (is_builtin(name_or_path)) return builtin(name_or_path);
+  // Not a built-in: only a path makes sense. Require it to look like one
+  // so a typo'd name gets the name error, not a file error.
+  if (name_or_path.find('/') == std::string::npos &&
+      name_or_path.find(".json") == std::string::npos) {
+    return builtin(name_or_path);  // throws, listing the built-ins
+  }
+  return load(name_or_path);
+}
+
+Json to_json(const DeviceProfile& p) {
+  p.validate();
+  Json record = Json::object();
+  record.set("schema", kSchema);
+  record.set("name", p.name);
+  record.set("description", p.description);
+
+  Json d = Json::object();
+  const DeviceSpec& dev = p.device;
+  d.set("num_sms", dev.num_sms);
+  d.set("max_threads_per_block", dev.max_threads_per_block);
+  d.set("warp_size", dev.warp_size);
+  d.set("max_threads_per_sm", dev.max_threads_per_sm);
+  d.set("registers_per_sm", dev.registers_per_sm);
+  d.set("max_registers_per_thread", dev.max_registers_per_thread);
+  d.set("smem_per_sm_bytes", static_cast<std::uint64_t>(dev.smem_per_sm_bytes));
+  d.set("smem_bank_width_bytes", dev.smem_bank_width_bytes);
+  d.set("smem_num_banks", dev.smem_num_banks);
+  d.set("num_warp_schedulers", dev.num_warp_schedulers);
+  d.set("l2_bytes", static_cast<std::uint64_t>(dev.l2_bytes));
+  d.set("max_blocks_per_sm", dev.max_blocks_per_sm);
+  d.set("smem_per_block_limit",
+        static_cast<std::uint64_t>(dev.smem_per_block_limit));
+  d.set("l2_line_bytes", dev.l2_line_bytes);
+  d.set("l2_sector_bytes", dev.l2_sector_bytes);
+  d.set("l2_ways", dev.l2_ways);
+  d.set("dram_transaction_bytes", dev.dram_transaction_bytes);
+  d.set("cache_globals_in_l1", dev.cache_globals_in_l1);
+  d.set("l1_bytes", static_cast<std::uint64_t>(dev.l1_bytes));
+  d.set("l1_ways", dev.l1_ways);
+  d.set("core_clock_ghz", dev.core_clock_ghz);
+  d.set("fma_lanes_per_sm", dev.fma_lanes_per_sm);
+  d.set("dram_bandwidth_gb_s", dev.dram_bandwidth_gb_s);
+  d.set("l2_bandwidth_bytes_per_cycle", dev.l2_bandwidth_bytes_per_cycle);
+  d.set("shard_arena_bytes", static_cast<std::uint64_t>(dev.shard_arena_bytes));
+  record.set("device", std::move(d));
+
+  Json t = Json::object();
+  t.set("launch_overhead_cycles", p.timing.launch_overhead_cycles);
+  t.set("cta_dispatch_cycles", p.timing.cta_dispatch_cycles);
+  t.set("dram_efficiency", p.timing.dram_efficiency);
+  record.set("timing", std::move(t));
+
+  Json e = Json::object();
+  e.set("fma_pj", p.energy.fma_pj);
+  e.set("sfu_pj", p.energy.sfu_pj);
+  e.set("instruction_pj", p.energy.instruction_pj);
+  e.set("smem_access_pj", p.energy.smem_access_pj);
+  e.set("l1_access_pj", p.energy.l1_access_pj);
+  e.set("l2_access_pj", p.energy.l2_access_pj);
+  e.set("dram_access_pj", p.energy.dram_access_pj);
+  e.set("static_power_w", p.energy.static_power_w);
+  record.set("energy", std::move(e));
+
+  validate_device_profile_json(record);
+  return record;
+}
+
+DeviceProfile from_json(const Json& record) { return parse_profile(record); }
+
+void validate_device_profile_json(const Json& record) {
+  (void)parse_profile(record);
+}
+
+void save(const DeviceProfile& p, const std::string& path) {
+  const auto record = to_json(p);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write device profile: " + path);
+  out << record.dump();
+  out.close();
+  if (!out) throw Error("failed writing device profile: " + path);
+}
+
+DeviceProfile load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open device profile: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(Json::parse(text.str()));
+}
+
+}  // namespace ksum::config::profiles

@@ -1,0 +1,267 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "config/timing_spec.h"
+#include "gpukernels/gemm_cublas_model.h"
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::model {
+
+using gpukernels::TileGeometry;
+
+std::array<double, kNumTargets> to_targets(const gpusim::CostInputs& c) {
+  return {c.fma_lane_ops,      c.alu_lane_ops,     c.sfu_lane_ops,
+          c.warp_instructions, c.smem_transactions, c.l1_transactions,
+          c.l2_transactions,   c.dram_transactions};
+}
+
+gpusim::CostInputs from_targets(const std::array<double, kNumTargets>& t) {
+  gpusim::CostInputs c;
+  c.fma_lane_ops = t[0];
+  c.alu_lane_ops = t[1];
+  c.sfu_lane_ops = t[2];
+  c.warp_instructions = t[3];
+  c.smem_transactions = t[4];
+  c.l1_transactions = t[5];
+  c.l2_transactions = t[6];
+  c.dram_transactions = t[7];
+  return c;
+}
+
+const ProfileModel* find_profile(const FittedTable& table,
+                                 const std::string& profile) {
+  for (const auto& p : table.profiles) {
+    if (p.profile == profile) return &p;
+  }
+  return nullptr;
+}
+
+const BackendModel* find_backend(const ProfileModel& profile,
+                                 pipelines::Backend backend) {
+  for (const auto& b : profile.backends) {
+    if (b.backend == backend) return &b;
+  }
+  return nullptr;
+}
+
+const BackendModel& require_backend(const std::string& profile,
+                                    pipelines::Backend backend) {
+  const ProfileModel* p = find_profile(fitted_table(), profile);
+  KSUM_REQUIRE(p != nullptr,
+               "no fitted cost model for profile '" + profile +
+                   "' — regenerate src/model/fitted_params.cc with "
+                   "`ksum-tune model-fit`, or rank with --rank=execute");
+  const BackendModel* b = find_backend(*p, backend);
+  KSUM_REQUIRE(b != nullptr,
+               "profile '" + profile + "' has no fitted cost model for " +
+                   pipelines::to_string(backend));
+  return *b;
+}
+
+std::array<double, kNumTargets> predict_rates(const TileCoefficients& tile,
+                                              const TileGeometry& geometry) {
+  const auto phi = tile_features(geometry);
+  std::array<double, kNumTargets> rates{};
+  for (std::size_t f = 0; f < kNumTargets; ++f) {
+    double r = 0;
+    for (std::size_t j = 0; j < kNumFeatures; ++j) r += tile.w[f][j] * phi[j];
+    rates[f] = std::max(0.0, r);
+  }
+  return rates;
+}
+
+namespace {
+
+// Mirrors the tuner's proxy shape (tune/tuner.h); duplicated as literal
+// values so the model library stays below the tune layer.
+constexpr std::size_t kProxyM = 512;
+constexpr std::size_t kProxyN = 512;
+constexpr std::size_t kProxyK = 16;
+
+std::size_t round_up(std::size_t value, std::size_t align) {
+  return ((value + align - 1) / align) * align;
+}
+
+}  // namespace
+
+double predict_scaled_seconds(const BackendModel& backend_model,
+                              const config::DeviceSpec& device,
+                              const config::TimingSpec& timing,
+                              const TileGeometry& geometry, std::size_t m,
+                              std::size_t n, std::size_t k) {
+  KSUM_REQUIRE(m > 0 && n > 0 && k > 0,
+               "cost model needs nonzero problem dimensions");
+  // Identical padding arithmetic to remodel_seconds, including the cuBLAS
+  // model's indifference to the candidate geometry.
+  const TileGeometry tile_geometry =
+      backend_model.backend == pipelines::Backend::kSimCublasUnfused
+          ? TileGeometry{}
+          : geometry;
+  const auto tm = static_cast<std::size_t>(tile_geometry.tile_m);
+  const auto tn = static_cast<std::size_t>(tile_geometry.tile_n);
+  const auto tk = static_cast<std::size_t>(tile_geometry.tile_k);
+  const std::size_t m_pad = round_up(m, std::lcm(tm, std::size_t{128}));
+  const std::size_t n_pad = round_up(n, std::lcm(tn, std::size_t{128}));
+  const std::size_t k_pad = round_up(k, std::lcm(tk, std::size_t{8}));
+  const double ctas_real = static_cast<double>((m_pad / tm) * (n_pad / tn));
+  const double mn_ratio =
+      (static_cast<double>(m_pad) * static_cast<double>(n_pad)) /
+      (static_cast<double>(kProxyM) * static_cast<double>(kProxyN));
+
+  // Tile kernel: predicted rates → counters at the real shape → the same
+  // roofline call the tuner makes. The launch resources are exactly what
+  // the kernels declare (tile_geometry.h / the cuBLAS model), and the
+  // amortisation depth is in paper-equivalent 8-deep iterations.
+  const bool fused = backend_model.backend == pipelines::Backend::kSimFused;
+  gpusim::LaunchShape shape;
+  shape.num_ctas = static_cast<std::size_t>(ctas_real);
+  shape.config =
+      backend_model.assembly_tile
+          ? gpukernels::cublas_gemm_launch_config()
+          : gpukernels::gemm_launch_config(tile_geometry, fused,
+                                           /*double_buffer=*/true);
+  shape.occupancy = gpusim::compute_occupancy(device, shape.config);
+  shape.mainloop_iters = static_cast<double>(k_pad) / 8.0;
+  shape.grade = backend_model.assembly_tile ? config::KernelGrade::assembly()
+                                            : config::KernelGrade::cuda_c();
+  shape.overlapped_memory = true;
+
+  const auto rates = predict_rates(backend_model.tile, tile_geometry);
+  std::array<double, kNumTargets> totals{};
+  const double scale = ctas_real * static_cast<double>(k_pad);
+  for (std::size_t f = 0; f < kNumTargets; ++f) totals[f] = rates[f] * scale;
+  double seconds =
+      gpusim::estimate_kernel_time(device, timing, from_targets(totals), shape)
+          .seconds(device);
+
+  // Geometry-independent kernels: baked proxy totals re-timed under this
+  // profile, scaled by the M·N ratio — remodel's common additive term.
+  for (const auto& fixed : backend_model.fixed) {
+    gpusim::LaunchShape fshape;
+    fshape.num_ctas = fixed.num_ctas;
+    fshape.config = fixed.config;
+    fshape.occupancy = gpusim::compute_occupancy(device, fixed.config);
+    fshape.mainloop_iters = 0;
+    fshape.grade = config::KernelGrade::cuda_c();
+    fshape.overlapped_memory = true;
+    seconds += gpusim::estimate_kernel_time(
+                   device, timing, from_targets(fixed.proxy_inputs), fshape)
+                   .seconds(device) *
+               mn_ratio;
+  }
+  return seconds;
+}
+
+TileCoefficients fit_tile_coefficients(const std::vector<FitRow>& rows) {
+  KSUM_REQUIRE(!rows.empty(), "cost-model fit needs at least one row");
+  const std::size_t n = rows.size();
+
+  // Design matrix with per-column RMS rescaling: the features span five
+  // orders of magnitude (1 vs micro²·threads), and the rescaled normal
+  // equations keep the 10×10 solve comfortably conditioned.
+  std::array<double, kNumFeatures> scale{};
+  for (const auto& row : rows) {
+    const auto phi = tile_features(row.geometry);
+    for (std::size_t j = 0; j < kNumFeatures; ++j) scale[j] += phi[j] * phi[j];
+  }
+  for (std::size_t j = 0; j < kNumFeatures; ++j) {
+    scale[j] = std::sqrt(scale[j] / static_cast<double>(n));
+    if (scale[j] == 0.0) scale[j] = 1.0;
+  }
+
+  // Normal equations A = Φ·diag(1/scale): G = AᵀA + λI, rhs per target.
+  std::array<std::array<double, kNumFeatures>, kNumFeatures> gram{};
+  std::array<std::array<double, kNumFeatures>, kNumTargets> rhs{};
+  for (const auto& row : rows) {
+    auto phi = tile_features(row.geometry);
+    for (std::size_t j = 0; j < kNumFeatures; ++j) phi[j] /= scale[j];
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      for (std::size_t j = 0; j < kNumFeatures; ++j) gram[i][j] += phi[i] * phi[j];
+    }
+    for (std::size_t f = 0; f < kNumTargets; ++f) {
+      for (std::size_t j = 0; j < kNumFeatures; ++j) {
+        rhs[f][j] += phi[j] * row.rates[f];
+      }
+    }
+  }
+  // Small enough to bias the near-exact closed forms by well under a part
+  // per million, big enough to pin the redundant columns.
+  const double lambda = 1e-6 * static_cast<double>(n);
+  for (std::size_t j = 0; j < kNumFeatures; ++j) gram[j][j] += lambda;
+
+  // One factorisation, kNumTargets back-substitutions: Gaussian elimination
+  // with partial pivoting on [G | rhsᵀ].
+  std::array<std::array<double, kNumFeatures + kNumTargets>, kNumFeatures>
+      aug{};
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    for (std::size_t j = 0; j < kNumFeatures; ++j) aug[i][j] = gram[i][j];
+    for (std::size_t f = 0; f < kNumTargets; ++f) {
+      aug[i][kNumFeatures + f] = rhs[f][i];
+    }
+  }
+  for (std::size_t col = 0; col < kNumFeatures; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < kNumFeatures; ++r) {
+      if (std::abs(aug[r][col]) > std::abs(aug[pivot][col])) pivot = r;
+    }
+    std::swap(aug[col], aug[pivot]);
+    KSUM_CHECK_MSG(aug[col][col] != 0.0,
+                   "cost-model normal equations are singular");
+    for (std::size_t r = 0; r < kNumFeatures; ++r) {
+      if (r == col) continue;
+      const double factor = aug[r][col] / aug[col][col];
+      for (std::size_t c = col; c < kNumFeatures + kNumTargets; ++c) {
+        aug[r][c] -= factor * aug[col][c];
+      }
+    }
+  }
+
+  TileCoefficients tile;
+  for (std::size_t f = 0; f < kNumTargets; ++f) {
+    for (std::size_t j = 0; j < kNumFeatures; ++j) {
+      tile.w[f][j] = aug[j][kNumFeatures + f] / aug[j][j] / scale[j];
+    }
+  }
+  return tile;
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  KSUM_REQUIRE(a.size() == b.size(),
+               "spearman needs equally sized vectors");
+  KSUM_REQUIRE(a.size() >= 2, "spearman needs at least two points");
+  const auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(v.size(), 0.0);
+    std::size_t i = 0;
+    while (i < order.size()) {
+      std::size_t j = i;
+      while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+      const double avg = 0.5 * (static_cast<double>(i) +
+                                static_cast<double>(j)) + 1.0;
+      for (std::size_t t = i; t <= j; ++t) rank[order[t]] = avg;
+      i = j + 1;
+    }
+    return rank;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0, var_a = 0, var_b = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    var_a += (ra[i] - mean) * (ra[i] - mean);
+    var_b += (rb[i] - mean) * (rb[i] - mean);
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace ksum::model

@@ -1,0 +1,128 @@
+// Counter-based cost model: rank the full candidate grid without running
+// the simulator.
+//
+// The autotuner's ground truth for a candidate is remodel_seconds — proxy
+// counters rescaled by the CTA × K ratio and pushed back through
+// gpusim::estimate_kernel_time at the real launch shape. This model
+// replaces only the expensive half of that pipeline (the proxy simulation
+// that produces the counters) with a linear per-event-rate fit:
+//
+//   rate_f(g) = w_f · φ(g)        (φ from model/features.h)
+//   counters_f = rate_f(g) · ctas_real · k_pad
+//
+// and then runs the exact same roofline evaluation the tuner runs, under
+// the active device profile. Non-tile kernels (norms, eval, GEMV) are
+// geometry-independent; their proxy event totals are baked per backend and
+// re-timed under the profile, scaled by the M·N ratio — the same common
+// additive term remodel_seconds charges them.
+//
+// The coefficients are fitted OFFLINE by `ksum-tune model-fit`, which runs
+// the 54-candidate grid through the simulator once per built-in profile
+// and solves a tiny ridge-regularised least-squares per counter field. The
+// result is checked in as the generated src/model/fitted_params.cc, so
+// ranking is deterministic, dependency-free, and identical on every
+// machine. `ksum-tune --rank=model` uses it to order the grid and
+// proxy-executes only the top-k; the ksum-model-v1 report pins the rank
+// fidelity (Spearman vs full execution) per profile in CI.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "config/device_spec.h"
+#include "config/timing_spec.h"
+#include "gpusim/occupancy.h"
+#include "gpusim/timing.h"
+#include "model/features.h"
+#include "pipelines/solver.h"
+
+namespace ksum::model {
+
+/// One row per gpusim::CostInputs field, in declaration order.
+inline constexpr std::size_t kNumTargets = 8;
+
+std::array<double, kNumTargets> to_targets(const gpusim::CostInputs& c);
+gpusim::CostInputs from_targets(const std::array<double, kNumTargets>& t);
+
+/// kNumTargets × kNumFeatures coefficient matrix for one tile kernel.
+struct TileCoefficients {
+  std::array<std::array<double, kNumFeatures>, kNumTargets> w{};
+};
+
+/// A geometry-independent kernel baked at proxy scale: its event totals and
+/// launch resources, re-timed under whichever profile asks.
+struct FixedKernelModel {
+  std::string name;
+  std::array<double, kNumTargets> proxy_inputs{};
+  std::size_t num_ctas = 0;
+  gpusim::LaunchConfig config;
+};
+
+/// The model for one simulated backend under one profile.
+struct BackendModel {
+  pipelines::Backend backend = pipelines::Backend::kSimFused;
+  TileCoefficients tile;
+  /// True for the cuBLAS GEMM model (assembly grade, paper geometry).
+  bool assembly_tile = false;
+  std::vector<FixedKernelModel> fixed;
+};
+
+struct ProfileModel {
+  std::string profile;
+  std::vector<BackendModel> backends;
+};
+
+struct FittedTable {
+  /// Provenance note rendered into the generated file.
+  std::string fitted_from;
+  std::vector<ProfileModel> profiles;
+};
+
+/// The baked table from the generated fitted_params.cc. Empty until
+/// `ksum-tune model-fit` has been run and its output checked in.
+const FittedTable& fitted_table();
+
+/// nullptr when the profile has no fitted model.
+const ProfileModel* find_profile(const FittedTable& table,
+                                 const std::string& profile);
+const BackendModel* find_backend(const ProfileModel& profile,
+                                 pipelines::Backend backend);
+
+/// Returns the fitted backend model for (profile, backend) from the baked
+/// table, throwing ksum::Error with a remediation hint (run model-fit)
+/// when the profile is not fitted.
+const BackendModel& require_backend(const std::string& profile,
+                                    pipelines::Backend backend);
+
+/// Predicted per-(CTA × K-element) rates for a candidate, clamped at zero.
+std::array<double, kNumTargets> predict_rates(
+    const TileCoefficients& tile, const gpukernels::TileGeometry& geometry);
+
+/// The model's stand-in for TuneMeasurement::scaled_seconds: identical
+/// padding, CTA, launch-shape and roofline arithmetic to remodel_seconds,
+/// with predicted counters in place of simulated ones.
+double predict_scaled_seconds(const BackendModel& backend_model,
+                              const config::DeviceSpec& device,
+                              const config::TimingSpec& timing,
+                              const gpukernels::TileGeometry& geometry,
+                              std::size_t m, std::size_t n, std::size_t k);
+
+/// One fit observation: a surviving geometry and its measured rates.
+struct FitRow {
+  gpukernels::TileGeometry geometry;
+  std::array<double, kNumTargets> rates{};
+};
+
+/// Ridge-regularised least squares (normal equations with column
+/// rescaling), one solve per counter field. Deterministic: plain double
+/// arithmetic in a fixed order. Throws ksum::Error when rows are empty.
+TileCoefficients fit_tile_coefficients(const std::vector<FitRow>& rows);
+
+/// Spearman rank correlation with average ranks for ties. Throws
+/// ksum::Error when the sizes differ or fewer than two points are given;
+/// returns 0 when either input is constant (no ordering to correlate).
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ksum::model

@@ -1,0 +1,49 @@
+// Feature map for the counter-based cost model.
+//
+// The model predicts each tile kernel's per-(CTA × K-element) event rates —
+// the same normalisation remodel_seconds uses when it rescales proxy
+// counters — as a linear function of the candidate geometry. The features
+// are the closed forms the kernels actually obey: total FMA lane-ops per
+// CTA per K-element are exactly micro²·threads (the rank-update does
+// micro² FMAs per lane), ALU bookkeeping tracks threads with a per-
+// iteration term that amortises over tile_k, operand smem traffic tracks
+// micro·threads, and the tile-load global traffic tracks the tile
+// perimeter tile_m + tile_n (bytes fetched per K-element). The remaining
+// terms give the fit room for prologue/epilogue and store traffic without
+// leaving the span the kernels live in, so the fitted model is near-exact
+// on the grid it was fitted from and interpolates sanely between
+// geometries.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "gpukernels/tile_geometry.h"
+
+namespace ksum::model {
+
+inline constexpr std::size_t kNumFeatures = 10;
+
+/// φ(g) — see the header comment for what each term captures.
+inline std::array<double, kNumFeatures> tile_features(
+    const gpukernels::TileGeometry& g) {
+  const double tm = static_cast<double>(g.tile_m);
+  const double tn = static_cast<double>(g.tile_n);
+  const double tk = static_cast<double>(g.tile_k);
+  const double micro = static_cast<double>(g.micro);
+  const double threads = static_cast<double>(g.threads());
+  return {
+      1.0,                      // constant per K-element overhead
+      1.0 / tk,                 // per-main-loop-iteration overhead
+      threads,                  // per-thread bookkeeping
+      threads / tk,             // per-thread per-iteration bookkeeping
+      micro * threads,          // operand smem loads (2·micro per lane)
+      micro * micro * threads,  // rank-update FMAs (exact)
+      tm + tn,                  // tile-load traffic per K-element
+      (tm + tn) / tk,           // tile-load issue per iteration
+      tm * tn / 16.0,           // epilogue/output terms per CTA
+      (tm + tn) * tk / 16.0,    // prologue staging per iteration
+  };
+}
+
+}  // namespace ksum::model

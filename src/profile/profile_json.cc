@@ -14,12 +14,14 @@ ProgramProfile build_program_profile(const std::string& program,
                                      const config::DeviceSpec& device,
                                      const config::TimingSpec& timing,
                                      const config::EnergySpec& energy,
-                                     std::vector<LaunchProfile> launches) {
+                                     std::vector<LaunchProfile> launches,
+                                     const std::string& device_name) {
   ProgramProfile out;
   out.program = program;
   out.m = m;
   out.n = n;
   out.k = k;
+  out.device_name = device_name;
   out.device = device;
   out.launches = std::move(launches);
   for (auto& launch : out.launches) {
@@ -192,7 +194,7 @@ Json profile_to_json(const ProgramProfile& profile,
   shape.set("k", profile.k);
   j.set("shape", std::move(shape));
   Json device = Json::object();
-  device.set("name", "gtx970");
+  device.set("name", profile.device_name);
   device.set("num_sms", profile.device.num_sms);
   device.set("core_clock_ghz", profile.device.core_clock_ghz);
   device.set("dram_bandwidth_gb_s", profile.device.dram_bandwidth_gb_s);

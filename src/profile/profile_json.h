@@ -6,8 +6,8 @@
 //     "schema": "ksum-prof-v1",
 //     "program": "<registry name or pipeline label>",
 //     "shape": {"m": M, "n": N, "k": K},
-//     "device": {"name": "gtx970", "num_sms": .., "core_clock_ghz": ..,
-//                "dram_bandwidth_gb_s": ..},
+//     "device": {"name": "<device profile, e.g. gtx970>", "num_sms": ..,
+//                "core_clock_ghz": .., "dram_bandwidth_gb_s": ..},
 //     "launches": [ {
 //         "kernel": "...", "grid": [x, y], "block_threads": T,
 //         "occupancy_blocks_per_sm": B,
@@ -52,6 +52,9 @@ namespace ksum::profile {
 struct ProgramProfile {
   std::string program;
   std::size_t m = 0, n = 0, k = 0;
+  /// Device-profile identity serialised as device.name (default: the
+  /// paper's machine, keeping pre-profile records byte-identical).
+  std::string device_name = "gtx970";
   config::DeviceSpec device;
   std::vector<LaunchProfile> launches;
   std::vector<EnergyAttribution> energies;  // parallel to launches
@@ -68,7 +71,9 @@ ProgramProfile build_program_profile(const std::string& program,
                                      const config::DeviceSpec& device,
                                      const config::TimingSpec& timing,
                                      const config::EnergySpec& energy,
-                                     std::vector<LaunchProfile> launches);
+                                     std::vector<LaunchProfile> launches,
+                                     const std::string& device_name =
+                                         "gtx970");
 
 /// Serialises to the ksum-prof-v1 schema. `timestamp` is emitted verbatim
 /// when non-empty (the determinism tests compare records with it stripped).

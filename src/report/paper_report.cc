@@ -73,7 +73,12 @@ Table fig2_l2_mpki(const std::vector<SweepPoint>& points) {
 }
 
 Table table1_device_config(const config::DeviceSpec& spec) {
-  Table t("Table I — simulated device configuration (GTX970)");
+  return table1_device_config(spec, "GTX970");
+}
+
+Table table1_device_config(const config::DeviceSpec& spec,
+                           const std::string& device_name) {
+  Table t("Table I — simulated device configuration (" + device_name + ")");
   t.header({"parameter", "value"});
   t.row({"Number of multiprocessors", str_format("%d", spec.num_sms)});
   t.row({"Maximum number of threads per block",

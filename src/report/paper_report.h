@@ -53,7 +53,11 @@ std::vector<SweepPoint> evaluate_sweep(
 // --- Figure/table renderers -------------------------------------------------
 Table fig1_energy_breakdown_cublas(const std::vector<SweepPoint>& points);
 Table fig2_l2_mpki(const std::vector<SweepPoint>& points);
+/// The one-arg form keeps the paper's "(GTX970)" title for the default
+/// device; pass the active profile's name for any other architecture.
 Table table1_device_config(const config::DeviceSpec& spec);
+Table table1_device_config(const config::DeviceSpec& spec,
+                           const std::string& device_name);
 Table fig6_execution_time(const std::vector<SweepPoint>& points);
 Table table2_flop_efficiency(const std::vector<SweepPoint>& points);
 Table fig7_gemm_comparison(analytic::PipelineModel& model,

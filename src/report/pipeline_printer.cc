@@ -27,16 +27,20 @@ std::vector<std::string> kernel_header() {
 
 }  // namespace
 
-Table pipeline_kernel_table(const pipelines::PipelineReport& report) {
+Table pipeline_kernel_table(const pipelines::PipelineReport& report,
+                            const config::DeviceSpec& device) {
   Table t(str_format("%s pipeline — M=%zu N=%zu K=%zu",
                      pipelines::to_string(report.solution).c_str(), report.m,
                      report.n, report.k));
   t.header(kernel_header());
-  const config::DeviceSpec device = config::DeviceSpec::gtx970();
   for (const auto& k : report.kernels) {
     t.row(kernel_row(k, device));
   }
   return t;
+}
+
+Table pipeline_kernel_table(const pipelines::PipelineReport& report) {
+  return pipeline_kernel_table(report, config::DeviceSpec::gtx970());
 }
 
 Table pipeline_summary_table(const pipelines::PipelineReport& report) {
@@ -69,16 +73,20 @@ Table pipeline_summary_table(const pipelines::PipelineReport& report) {
   return t;
 }
 
-Table knn_kernel_table(const pipelines::KnnReport& report) {
+Table knn_kernel_table(const pipelines::KnnReport& report,
+                       const config::DeviceSpec& device) {
   Table t(str_format("%s — M=%zu N=%zu K=%zu k=%zu",
                      pipelines::to_string(report.solution).c_str(), report.m,
                      report.n, report.k, report.k_nn));
   t.header(kernel_header());
-  const config::DeviceSpec device = config::DeviceSpec::gtx970();
   for (const auto& k : report.kernels) {
     t.row(kernel_row(k, device));
   }
   return t;
+}
+
+Table knn_kernel_table(const pipelines::KnnReport& report) {
+  return knn_kernel_table(report, config::DeviceSpec::gtx970());
 }
 
 }  // namespace ksum::report

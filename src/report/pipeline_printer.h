@@ -9,12 +9,18 @@
 namespace ksum::report {
 
 /// Per-kernel table: name, grid, occupancy, bound resource, time, key
-/// event counts.
+/// event counts. Kernel times are re-derived from the counters under
+/// `device` — pass the device the run simulated; the device-less overload
+/// assumes the paper's GTX 970.
+Table pipeline_kernel_table(const pipelines::PipelineReport& report,
+                            const config::DeviceSpec& device);
 Table pipeline_kernel_table(const pipelines::PipelineReport& report);
 
 /// One-table summary: totals, efficiency, energy breakdown.
 Table pipeline_summary_table(const pipelines::PipelineReport& report);
 
+Table knn_kernel_table(const pipelines::KnnReport& report,
+                       const config::DeviceSpec& device);
 Table knn_kernel_table(const pipelines::KnnReport& report);
 
 }  // namespace ksum::report

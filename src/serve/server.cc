@@ -55,6 +55,7 @@ Server::Server(const ServerOptions& options,
                    options_.run.warm_device == nullptr,
                "server base run options must not carry an injector, cancel "
                "token, or warm device — those are per-request");
+  tuning_cache_.set_profile(options_.profile);
 }
 
 Server::~Server() { drain(); }
@@ -325,6 +326,8 @@ void Server::run_solve(WorkerContext& ctx, const Pending& item) {
         tune::TuneOptions tune_options;
         tune_options.device = run.device;
         tune_options.timing = run.timing;
+        tune_options.energy = run.energy;
+        tune_options.profile = options_.profile;
         tune_options.layout = run.mainloop.layout;
         tuning_cache_.get_or_tune(request.spec.m, request.spec.n,
                                   request.spec.k, request.backend,

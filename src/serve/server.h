@@ -77,6 +77,10 @@ struct ServerOptions {
   /// every request. fault_injector/cancel/warm_device must be null — the
   /// server owns those per request.
   pipelines::RunOptions run;
+  /// Identity of the device profile `run`'s specs came from. Keys the
+  /// shared autotune cache, so entries tuned while serving one architecture
+  /// are never replayed when the daemon restarts on another.
+  std::string profile = "gtx970";
 };
 
 class Server {

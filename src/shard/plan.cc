@@ -81,10 +81,11 @@ ShardPlan plan_shards(std::size_t m, std::size_t n, std::size_t k,
 
   std::size_t count = 0;
   if (spec.count == 0) {
-    // Auto: smallest count whose largest (padded) shard fits the budget.
+    // Auto: smallest count whose largest (padded) shard fits the budget —
+    // the active profile's per-device arena unless the spec overrides it.
     const std::size_t budget = spec.max_device_bytes != 0
                                    ? spec.max_device_bytes
-                                   : (std::size_t{512} << 20);
+                                   : options.device.shard_arena_bytes;
     const bool unfused = solution != pipelines::Solution::kFused;
     for (std::size_t c = 1; c <= blocks && count == 0; ++c) {
       const std::size_t largest = ceil_div(blocks, c) * align;

@@ -63,7 +63,8 @@ struct ShardSpec {
   /// Results are bit-identical for every worker count.
   int workers = 0;
   /// Per-device arena budget consulted by auto shard counts. 0 = the
-  /// simulator's default device capacity (512 MiB).
+  /// active device profile's arena (DeviceSpec::shard_arena_bytes; 512 MiB
+  /// on the paper's gtx970).
   std::size_t max_device_bytes = 0;
   /// Total hand-outs allowed per shard: 1 initial dispatch plus
   /// re-dispatches after the shard's own recovery gave up. The re-dispatch

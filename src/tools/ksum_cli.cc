@@ -5,9 +5,17 @@
 //   ksum-cli solve  --batch=requests.csv --threads=8 [--verify] [--robust]
 //   ksum-cli knn    --m=1024 --n=1024 --k=16 --neighbors=8 [--unfused]
 //   ksum-cli sweep  [--fast]                # every paper table/figure
-//   ksum-cli info                           # the simulated device
+//   ksum-cli info   [--profile=P]           # the simulated device
+//   ksum-cli profile --list | --show=NAME | --validate=FILE
 //
 // Run any subcommand with --help for its flags.
+//
+// --profile selects the simulated architecture for solve/knn/info: a
+// built-in name (gtx970 | titanx-maxwell | modern) or a path to a
+// ksum-device-profile-v1 JSON file. The default is gtx970 — the paper's
+// machine — and running with --profile=gtx970 is bit-identical to running
+// with no flag at all. `sweep` always models the paper's GTX 970 (it
+// reproduces the paper's tables and figures).
 //
 // Batch mode: --batch=FILE reads one request per CSV line (m,n,k[,seed[,h]];
 // '#' comments and a header line allowed), runs them on --threads workers
@@ -26,6 +34,7 @@
 #include "blas/vector_ops.h"
 #include "common/flags.h"
 #include "common/timer.h"
+#include "config/profiles/device_profile.h"
 #include "core/knn_exact.h"
 #include "exec/thread_pool.h"
 #include "pipelines/batch.h"
@@ -85,8 +94,16 @@ core::KernelParams params_from_flags(const FlagParser& flags,
   return params;
 }
 
-pipelines::RunOptions options_from_flags(const FlagParser& flags) {
+config::profiles::DeviceProfile profile_from_flags(const FlagParser& flags) {
+  return config::profiles::resolve(flags.get_string("profile", "gtx970"));
+}
+
+pipelines::RunOptions options_from_flags(
+    const FlagParser& flags, const config::profiles::DeviceProfile& profile) {
   pipelines::RunOptions options;
+  options.device = profile.device;
+  options.timing = profile.timing;
+  options.energy = profile.energy;
   if (flags.get_string("layout", "fig5") == "naive") {
     options.mainloop.layout = gpukernels::TileLayout::kNaive;
   }
@@ -117,6 +134,9 @@ void declare_problem_flags(FlagParser& flags) {
                "compute squared norms inside the fused kernel "
                "(beyond-the-paper optimisation)", false)
       .declare("l1", "cache global loads in the per-SM L1 (-dlcm=ca)", false)
+      .declare("profile",
+               "device profile: gtx970 | titanx-maxwell | modern, or a "
+               "ksum-device-profile-v1 JSON file")
       .declare("fault-rate",
                "per-opportunity fault-injection probability on every site "
                "(0 = no injection)")
@@ -264,14 +284,26 @@ std::string join_reasons(const std::vector<std::string>& reasons) {
 /// false (exit 1) after printing the named budget violations when an
 /// explicit geometry is rejected by the resource checks. `cache` must
 /// outlive the solve when --tile=auto attaches it as the resolver.
+/// Tuner options matching a solve's RunOptions (same device state, same
+/// layout), keyed under the named profile so cached winners never leak
+/// across architectures.
+tune::TuneOptions tune_options_for(const pipelines::RunOptions& options,
+                                   const std::string& profile_name) {
+  tune::TuneOptions tune_options;
+  tune_options.device = options.device;
+  tune_options.timing = options.timing;
+  tune_options.energy = options.energy;
+  tune_options.layout = options.mainloop.layout;
+  tune_options.profile = profile_name;
+  return tune_options;
+}
+
 bool apply_tile_flag(const std::string& tile, std::size_t m, std::size_t n,
                      std::size_t k, pipelines::Backend backend,
-                     tune::TuningCache& cache,
+                     const std::string& profile_name, tune::TuningCache& cache,
                      pipelines::RunOptions& options) {
   if (tile == "auto") {
-    tune::TuneOptions tune_options;
-    tune_options.device = options.device;
-    tune_options.layout = options.mainloop.layout;
+    const auto tune_options = tune_options_for(options, profile_name);
     const auto entry = cache.get_or_tune(m, n, k, backend, tune_options);
     options.mainloop.geometry = entry.geometry;
     std::printf("tile geometry: %s (autotuned)\n",
@@ -298,6 +330,7 @@ bool apply_tile_flag(const std::string& tile, std::size_t m, std::size_t n,
 /// function of the requests, so the report is byte-identical for any
 /// --threads value (wall-clock goes to stderr).
 int run_batch(const FlagParser& flags, pipelines::Backend backend,
+              const std::string& profile_name,
               const pipelines::RunOptions& options) {
   pipelines::BatchRequest base;
   base.spec = spec_from_flags(flags);
@@ -320,9 +353,10 @@ int run_batch(const FlagParser& flags, pipelines::Backend backend,
   // function of the submission order.
   const std::string tile = flags.get_string("tile", "");
   tune::TuningCache tile_cache;  // outlives solve_many below
+  tile_cache.set_profile(profile_name);
   if (!tile.empty() && tile != "auto") {
     if (!apply_tile_flag(tile, base.spec.m, base.spec.n, base.spec.k, backend,
-                         tile_cache, base.options)) {
+                         profile_name, tile_cache, base.options)) {
       return 1;
     }
   } else if (tile == "auto") {
@@ -337,9 +371,7 @@ int run_batch(const FlagParser& flags, pipelines::Backend backend,
   KSUM_REQUIRE(!requests.empty(), "batch file has no requests: " + path);
 
   if (tile == "auto") {
-    tune::TuneOptions tune_options;
-    tune_options.device = base.options.device;
-    tune_options.layout = base.options.mainloop.layout;
+    const auto tune_options = tune_options_for(base.options, profile_name);
     for (const auto& r : requests) {
       tile_cache.get_or_tune(r.spec.m, r.spec.n, r.spec.k, backend,
                              tune_options);
@@ -492,11 +524,12 @@ int cmd_solve(int argc, const char* const* argv) {
                "conflicting flags: --tile needs a simulated backend "
                "(--solution=" + name + " runs on the host)");
 
-  auto options = options_from_flags(flags);
+  const auto profile = profile_from_flags(flags);
+  auto options = options_from_flags(flags, profile);
   shards_from_flags(flags, simulated, backend, options);
 
   if (flags.has("batch")) {
-    return run_batch(flags, backend, options);
+    return run_batch(flags, backend, profile.name, options);
   }
 
   const auto spec = spec_from_flags(flags);
@@ -505,9 +538,10 @@ int cmd_solve(int argc, const char* const* argv) {
   const auto instance = workload::make_instance(spec);
 
   tune::TuningCache tile_cache;
+  tile_cache.set_profile(profile.name);
   const std::string tile = flags.get_string("tile", "");
   if (!tile.empty() && !apply_tile_flag(tile, spec.m, spec.n, spec.k, backend,
-                                        tile_cache, options)) {
+                                        profile.name, tile_cache, options)) {
     return 1;
   }
 
@@ -515,7 +549,8 @@ int cmd_solve(int argc, const char* const* argv) {
   std::printf("%s on %s\n", pipelines::to_string(backend).c_str(),
               spec.to_string().c_str());
   if (result.report) {
-    report::pipeline_kernel_table(*result.report).print(std::cout);
+    report::pipeline_kernel_table(*result.report, options.device)
+        .print(std::cout);
     report::pipeline_summary_table(*result.report).print(std::cout);
   } else {
     std::printf("host time: %.3f s\n", result.host_seconds);
@@ -574,9 +609,11 @@ int cmd_knn(int argc, const char* const* argv) {
   const auto solution = flags.get_bool("unfused")
                             ? pipelines::KnnSolution::kUnfused
                             : pipelines::KnnSolution::kFused;
-  const auto report = pipelines::run_knn_pipeline(
-      solution, instance, k_nn, options_from_flags(flags));
-  report::knn_kernel_table(report).print(std::cout);
+  const auto profile = profile_from_flags(flags);
+  const auto knn_options = options_from_flags(flags, profile);
+  const auto report =
+      pipelines::run_knn_pipeline(solution, instance, k_nn, knn_options);
+  report::knn_kernel_table(report, knn_options.device).print(std::cout);
   std::printf("modelled time %.3f ms, energy %.4f J\n", report.seconds * 1e3,
               report.energy.total());
   if (flags.get_bool("verify")) {
@@ -622,9 +659,34 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
-int cmd_info() {
-  report::table1_device_config(config::DeviceSpec::gtx970()).print(std::cout);
-  const auto spec = config::DeviceSpec::gtx970();
+int cmd_info(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.declare("profile",
+                "device profile: gtx970 | titanx-maxwell | modern, or a "
+                "ksum-device-profile-v1 JSON file")
+      .declare("help", "show this help", false);
+  flags.parse(argc, argv, 2);
+  if (flags.get_bool("help")) {
+    std::printf("ksum-cli info — describe the simulated device\n%s",
+                flags.usage().c_str());
+    return 0;
+  }
+  KSUM_REQUIRE(flags.positional().empty(),
+               "info takes no positional arguments\n" + flags.usage());
+
+  const auto profile = profile_from_flags(flags);
+  // The paper device prints exactly the pre-profile report (so
+  // --profile=gtx970 is byte-identical to no flag); any other profile adds
+  // its identity line and titles the table with its own name.
+  if (profile.name == "gtx970") {
+    report::table1_device_config(profile.device).print(std::cout);
+  } else {
+    std::printf("profile: %s — %s\n", profile.name.c_str(),
+                profile.description.c_str());
+    report::table1_device_config(profile.device, profile.name)
+        .print(std::cout);
+  }
+  const auto& spec = profile.device;
   std::printf("peak SP throughput : %.2f TFLOP/s\n",
               spec.peak_sp_flops() / 1e12);
   std::printf("DRAM bandwidth     : %.0f GB/s (modelled achievable)\n",
@@ -632,11 +694,65 @@ int cmd_info() {
   return 0;
 }
 
+/// `ksum-cli profile` — list, dump, or validate device profiles. --show
+/// prints the canonical serialisation (what the shipped profiles/*.json
+/// files contain, byte for byte); --validate runs the executable schema
+/// plus the serialise→load→serialise fixpoint check on a file.
+int cmd_profile(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.declare("list", "list the built-in profiles", false)
+      .declare("show", "print a profile (built-in name or file) as JSON")
+      .declare("validate", "validate a ksum-device-profile-v1 file")
+      .declare("help", "show this help", false);
+  flags.parse(argc, argv, 2);
+  if (flags.get_bool("help")) {
+    std::printf("ksum-cli profile — inspect and validate device profiles\n%s",
+                flags.usage().c_str());
+    return 0;
+  }
+  KSUM_REQUIRE(flags.positional().empty(),
+               "profile takes no positional arguments\n" + flags.usage());
+  const int modes = (flags.get_bool("list") ? 1 : 0) +
+                    (flags.has("show") ? 1 : 0) +
+                    (flags.has("validate") ? 1 : 0);
+  KSUM_REQUIRE(modes == 1,
+               "profile needs exactly one of --list, --show, --validate\n" +
+                   flags.usage());
+
+  if (flags.get_bool("list")) {
+    for (const auto& name : config::profiles::builtin_names()) {
+      const auto p = config::profiles::builtin(name);
+      std::printf("%-15s %s\n", p.name.c_str(), p.description.c_str());
+    }
+    return 0;
+  }
+  if (flags.has("show")) {
+    const auto p = config::profiles::resolve(flags.get_string("show", ""));
+    std::printf("%s\n", config::profiles::to_json(p).dump().c_str());
+    return 0;
+  }
+  const std::string path = flags.get_string("validate", "");
+  const auto p = config::profiles::load(path);
+  // load() already validated the record; pin the round-trip contract too:
+  // serialising what we loaded must reproduce a fixpoint.
+  const std::string once = config::profiles::to_json(p).dump();
+  const std::string twice =
+      config::profiles::to_json(
+          config::profiles::from_json(profile::Json::parse(once)))
+          .dump();
+  KSUM_CHECK_MSG(once == twice,
+                 "profile serialisation is not a round-trip fixpoint: " +
+                     path);
+  std::printf("%s: ok (profile '%s', schema ksum-device-profile-v1)\n",
+              path.c_str(), p.name.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ksum-cli <solve|knn|sweep|info> [flags]\n"
+      "usage: ksum-cli <solve|knn|sweep|info|profile> [flags]\n"
       "       ksum-cli <subcommand> --help\n"
       "exit codes: 0 ok, 1 verification/recovery failure, 2 invalid input, "
       "3 internal error\n";
@@ -649,7 +765,8 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(argc, argv);
     if (cmd == "knn") return cmd_knn(argc, argv);
     if (cmd == "sweep") return cmd_sweep(argc, argv);
-    if (cmd == "info") return cmd_info();
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "profile") return cmd_profile(argc, argv);
     std::fputs(usage.c_str(), stderr);
     return 2;
   } catch (const ksum::InternalError& e) {

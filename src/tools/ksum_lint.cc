@@ -1,12 +1,18 @@
 // ksum-lint — static-analysis driver over the simulated kernels.
 //
-//   ksum-lint [--program=<name>] [--layout=fig5|naive] [--verbose]
+//   ksum-lint [--program=<name>] [--layout=fig5|naive] [--profile=P]
+//             [--verbose]
 //   ksum-lint --list
 //
 // Runs every registered tile program (or one selected with --program)
 // through the four analyzers — barrier-epoch race detection, shared-memory
 // bank-conflict lint, global-load coalescing lint, and the occupancy /
 // register-budget check — and prints source-attributed findings.
+// --profile selects the device the programs run (and are occupancy-checked)
+// on: a built-in name (gtx970 | titanx-maxwell | modern) or a
+// ksum-device-profile-v1 file. The occupancy pin is profile-relative — the
+// tile family must hit whatever the paper's 128-register configuration
+// achieves on that architecture.
 //
 // Exit codes: 0 clean; 1 findings (errors or warnings); 2 invalid input or
 // usage (ksum::Error); 3 internal bug (ksum::InternalError).
@@ -19,6 +25,7 @@
 #include "common/error.h"
 #include "common/flags.h"
 #include "config/device_spec.h"
+#include "config/profiles/device_profile.h"
 #include "gpusim/access_site.h"
 
 namespace {
@@ -67,8 +74,7 @@ struct LintTally {
 
 LintTally lint_program(const analysis::RegisteredProgram& program,
                        const analysis::ProgramOptions& options,
-                       bool verbose) {
-  const auto spec = config::DeviceSpec::gtx970();
+                       const config::DeviceSpec& spec, bool verbose) {
   gpusim::Device device(spec, analysis::registry_device_bytes());
   analysis::AnalysisSession session(device, spec);
   program.run(device, options);
@@ -97,6 +103,9 @@ int cmd_lint(int argc, const char* const* argv) {
   FlagParser flags;
   flags.declare("program", "lint only the named program (default: all)");
   flags.declare("layout", "shared-memory tile layout: fig5 (default), naive");
+  flags.declare("profile",
+                "device profile: gtx970 | titanx-maxwell | modern, or a "
+                "ksum-device-profile-v1 JSON file");
   flags.declare("list", "list registered programs and exit", false);
   flags.declare("verbose",
                 "print info-level findings and per-site statistics", false);
@@ -137,10 +146,12 @@ int cmd_lint(int argc, const char* const* argv) {
     }
   }
 
+  const auto dev =
+      config::profiles::resolve(flags.get_string("profile", "gtx970"));
   LintTally total;
   for (const auto* program : selected) {
-    const LintTally tally =
-        lint_program(*program, options, flags.get_bool("verbose"));
+    const LintTally tally = lint_program(*program, options, dev.device,
+                                         flags.get_bool("verbose"));
     total.errors += tally.errors;
     total.warnings += tally.warnings;
     total.infos += tally.infos;

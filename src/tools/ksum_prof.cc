@@ -29,6 +29,11 @@
 //                    device, and the per-shard records merge into one
 //                    ksum-prof-shard-v1 document (docs/SHARDING.md)
 //   --shard-axis=A   axis for --shards: m | n | auto (planner picks)
+//   --profile=P      device profile for every mode: a built-in name
+//                    (gtx970 | titanx-maxwell | modern) or a
+//                    ksum-device-profile-v1 file; the record's device.name
+//                    carries the identity. Default gtx970 is bit-identical
+//                    to the pre-profile records.
 //
 // Every emitted record is validated against the schema before it is
 // written; a validation failure is an internal error.
@@ -46,6 +51,7 @@
 #include "common/flags.h"
 #include "config/device_spec.h"
 #include "config/energy_spec.h"
+#include "config/profiles/device_profile.h"
 #include "config/timing_spec.h"
 #include "core/exact.h"
 #include "exec/batch_engine.h"
@@ -160,10 +166,11 @@ void print_human_report(const profile::ProgramProfile& prof,
 /// Runs one registered program on a fresh device with a profiler attached
 /// and returns its finalized, schema-validated ksum-prof-v1 record (no
 /// timestamp — callers add one only where determinism does not matter).
-profile::Json profile_program_record(const analysis::RegisteredProgram& program,
-                                     const analysis::ProgramOptions& options) {
-  const auto spec = config::DeviceSpec::gtx970();
-  gpusim::Device device(spec, analysis::registry_device_bytes());
+profile::Json profile_program_record(
+    const analysis::RegisteredProgram& program,
+    const analysis::ProgramOptions& options,
+    const config::profiles::DeviceProfile& dev) {
+  gpusim::Device device(dev.device, analysis::registry_device_bytes());
   std::vector<profile::LaunchProfile> raw;
   {
     profile::LaunchProfiler profiler(device);
@@ -172,9 +179,8 @@ profile::Json profile_program_record(const analysis::RegisteredProgram& program,
   }
   const auto shape = analysis::registry_shape();
   const profile::ProgramProfile prof = profile::build_program_profile(
-      program.name, shape.m, shape.n, shape.k, spec,
-      config::TimingSpec::gtx970(), config::EnergySpec::gtx970_mcpat(),
-      std::move(raw));
+      program.name, shape.m, shape.n, shape.k, dev.device, dev.timing,
+      dev.energy, std::move(raw), dev.name);
   const profile::Json record = profile::profile_to_json(prof);
   try {
     profile::validate_profile_json(record);
@@ -189,6 +195,7 @@ profile::Json profile_program_record(const analysis::RegisteredProgram& program,
 /// builds its own device/profiler) and merges the records in list order.
 int run_batch_prof(const FlagParser& flags,
                    const analysis::ProgramOptions& options,
+                   const config::profiles::DeviceProfile& dev,
                    const std::string& usage) {
   KSUM_REQUIRE(flags.positional().empty(),
                "--batch takes no positional program\n" + usage);
@@ -227,7 +234,7 @@ int run_batch_prof(const FlagParser& flags,
   exec::ThreadPool pool(static_cast<int>(flags.get_int("threads", 1)));
   const std::vector<profile::Json> records =
       exec::map_ordered(pool, programs.size(), [&](std::size_t index) {
-        return profile_program_record(*programs[index], options);
+        return profile_program_record(*programs[index], options, dev);
       });
 
   // Inner records stay timestamp-free so the merged document is a pure
@@ -277,6 +284,7 @@ int run_batch_prof(const FlagParser& flags,
 /// document (profile/profile_json.h), validated before it is written.
 int run_shard_prof(const FlagParser& flags, const std::string& layout_name,
                    const analysis::ProgramOptions& options,
+                   const config::profiles::DeviceProfile& dev,
                    const std::string& usage) {
   KSUM_REQUIRE(flags.positional().empty(),
                "--shards takes no positional program (it profiles the "
@@ -319,13 +327,16 @@ int run_shard_prof(const FlagParser& flags, const std::string& layout_name,
   const core::KernelParams params = core::params_from_spec(spec);
 
   pipelines::RunOptions run;
+  run.device = dev.device;
+  run.timing = dev.timing;
+  run.energy = dev.energy;
   run.mainloop.layout = options.layout;
   run.shards.count = static_cast<std::size_t>(count);
   run.shards.axis = axis;
   const shard::ShardPlan plan = shard::plan_shards(
       spec.m, spec.n, spec.k, run, pipelines::Solution::kFused);
 
-  const auto device_spec = config::DeviceSpec::gtx970();
+  const auto& device_spec = dev.device;
   const auto& geometry = run.mainloop.geometry;
   std::vector<profile::ShardProfileEntry> entries;
   entries.reserve(plan.count());
@@ -359,8 +370,7 @@ int run_shard_prof(const FlagParser& flags, const std::string& layout_name,
     }
     const profile::ProgramProfile prof = profile::build_program_profile(
         "fused_ksum", slice.spec.m, slice.spec.n, slice.spec.k, device_spec,
-        config::TimingSpec::gtx970(), config::EnergySpec::gtx970_mcpat(),
-        std::move(raw));
+        dev.timing, dev.energy, std::move(raw), dev.name);
     profile::ShardProfileEntry entry;
     entry.index = i;
     entry.begin = plan.ranges[i].begin;
@@ -429,6 +439,9 @@ int cmd_prof(int argc, const char* const* argv) {
                 "record");
   flags.declare("shard-axis",
                 "axis for --shards: m | n | auto (planner picks)");
+  flags.declare("profile",
+                "device profile: gtx970 | titanx-maxwell | modern, or a "
+                "ksum-device-profile-v1 JSON file");
   flags.declare("help", "show this help", false);
   flags.parse(argc, argv);
 
@@ -470,14 +483,17 @@ int cmd_prof(int argc, const char* const* argv) {
     throw Error("unknown --layout: " + layout);
   }
 
+  const auto dev =
+      config::profiles::resolve(flags.get_string("profile", "gtx970"));
+
   KSUM_REQUIRE(!flags.has("shard-axis") || flags.has("shards"),
                "conflicting flags: --shard-axis qualifies --shards; give "
                "--shards=N too");
   if (flags.has("shards")) {
-    return run_shard_prof(flags, layout, options, usage);
+    return run_shard_prof(flags, layout, options, dev, usage);
   }
   if (flags.has("batch")) {
-    return run_batch_prof(flags, options, usage);
+    return run_batch_prof(flags, options, dev, usage);
   }
 
   KSUM_REQUIRE(flags.positional().size() == 1,
@@ -498,8 +514,7 @@ int cmd_prof(int argc, const char* const* argv) {
     throw Error("unknown program: " + name + " (try --list)");
   }
 
-  const auto spec = config::DeviceSpec::gtx970();
-  gpusim::Device device(spec, analysis::registry_device_bytes());
+  gpusim::Device device(dev.device, analysis::registry_device_bytes());
   std::vector<profile::LaunchProfile> raw;
   {
     profile::LaunchProfiler profiler(device);
@@ -508,8 +523,8 @@ int cmd_prof(int argc, const char* const* argv) {
   }
   const auto shape = analysis::registry_shape();
   const profile::ProgramProfile prof = profile::build_program_profile(
-      name, shape.m, shape.n, shape.k, spec, config::TimingSpec::gtx970(),
-      config::EnergySpec::gtx970_mcpat(), std::move(raw));
+      name, shape.m, shape.n, shape.k, dev.device, dev.timing, dev.energy,
+      std::move(raw), dev.name);
 
   const profile::Json record =
       profile::profile_to_json(prof, iso_timestamp());

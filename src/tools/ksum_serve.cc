@@ -28,6 +28,9 @@
 //   --max-shards=N     split a request oversized on one of M or N across up
 //                      to N per-device shards instead of refusing it
 //                      (default 1 = shed; docs/SHARDING.md)
+//   --profile=P        device profile the warm devices simulate: a built-in
+//                      name (gtx970 | titanx-maxwell | modern) or a
+//                      ksum-device-profile-v1 file (docs/PROFILES.md)
 //   --stats-json=FILE  write the final ksum-serve-v1 record on exit
 //
 // Exit codes: 0 clean drain; 2 invalid usage (ksum::Error); 3 internal bug.
@@ -37,6 +40,7 @@
 
 #include "common/error.h"
 #include "common/flags.h"
+#include "config/profiles/device_profile.h"
 #include "serve/server.h"
 #include "serve/transport.h"
 
@@ -69,6 +73,9 @@ int cmd_serve(int argc, const char* const* argv) {
       .declare("max-shards",
                "split an oversized M or N across up to N per-device shards "
                "instead of refusing (default 1 = shed)")
+      .declare("profile",
+               "device profile: gtx970 | titanx-maxwell | modern, or a "
+               "ksum-device-profile-v1 JSON file")
       .declare("stats-json",
                "write the final ksum-serve-v1 record to FILE on exit")
       .declare("help", "show this help", false);
@@ -101,6 +108,12 @@ int cmd_serve(int argc, const char* const* argv) {
   options.max_k = flags.get_size("max-k", 256);
   options.max_shards = flags.get_size("max-shards", 1);
   KSUM_REQUIRE(options.max_shards >= 1, "--max-shards must be >= 1");
+  const auto dev =
+      config::profiles::resolve(flags.get_string("profile", "gtx970"));
+  options.run.device = dev.device;
+  options.run.timing = dev.timing;
+  options.run.energy = dev.energy;
+  options.profile = dev.name;
 
   profile::Json final_stats;
   if (stdio) {

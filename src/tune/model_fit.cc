@@ -1,0 +1,381 @@
+#include "tune/model_fit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/error.h"
+#include "core/exact.h"
+#include "exec/thread_pool.h"
+#include "pipelines/solver.h"
+#include "workload/point_generators.h"
+
+namespace ksum::tune {
+
+using gpukernels::TileGeometry;
+using profile::Json;
+
+namespace {
+
+workload::ProblemSpec proxy_spec() {
+  workload::ProblemSpec spec;
+  spec.m = kProxyM;
+  spec.n = kProxyN;
+  spec.k = kProxyK;
+  spec.seed = 42;
+  spec.bandwidth = 1.0f;
+  return spec;
+}
+
+std::size_t round_up(std::size_t value, std::size_t align) {
+  return ((value + align - 1) / align) * align;
+}
+
+/// The proxy report's single tile-structured kernel (mainloop_iters > 0).
+const pipelines::KernelReport& tile_kernel(
+    const pipelines::PipelineReport& report) {
+  const pipelines::KernelReport* found = nullptr;
+  for (const auto& kernel : report.kernels) {
+    if (kernel.shape.mainloop_iters > 0.0) {
+      KSUM_CHECK_MSG(found == nullptr,
+                     "proxy pipeline has more than one tile kernel");
+      found = &kernel;
+    }
+  }
+  KSUM_CHECK_MSG(found != nullptr, "proxy pipeline has no tile kernel");
+  return *found;
+}
+
+/// Counters normalised to per-(CTA × K-element) rates — the unit
+/// remodel_seconds rescales by.
+std::array<double, model::kNumTargets> measured_rates(
+    const pipelines::KernelReport& kernel, const TileGeometry& geometry) {
+  const std::size_t k_pad_proxy = round_up(
+      kProxyK, std::lcm(static_cast<std::size_t>(geometry.tile_k),
+                        std::size_t{8}));
+  const double denom = static_cast<double>(kernel.shape.num_ctas) *
+                       static_cast<double>(k_pad_proxy);
+  auto rates =
+      model::to_targets(gpusim::CostInputs::from_counters(kernel.counters));
+  for (auto& r : rates) r /= denom;
+  return rates;
+}
+
+pipelines::PipelineReport run_proxy(
+    const config::profiles::DeviceProfile& profile,
+    gpukernels::TileLayout layout, pipelines::Backend backend,
+    const TileGeometry& geometry, const workload::Instance& instance,
+    const core::KernelParams& params) {
+  pipelines::RunOptions run_options;
+  run_options.device = profile.device;
+  run_options.timing = profile.timing;
+  run_options.energy = profile.energy;
+  run_options.mainloop.layout = layout;
+  run_options.mainloop.geometry = geometry;
+  const auto result =
+      pipelines::solve(instance, params, backend, run_options);
+  KSUM_CHECK_MSG(result.report.has_value(),
+                 "simulated solve returned no report");
+  return *result.report;
+}
+
+model::BackendModel fit_backend_model(
+    const config::profiles::DeviceProfile& profile, int threads,
+    gpukernels::TileLayout layout, pipelines::Backend backend,
+    const workload::Instance& instance, const core::KernelParams& params) {
+  model::BackendModel bm;
+  bm.backend = backend;
+  bm.assembly_tile = backend == pipelines::Backend::kSimCublasUnfused;
+
+  // The paper geometry survives every profile's pruning; its run supplies
+  // the geometry-independent kernels (and, for the cuBLAS model, the only
+  // tile measurement that matters — that kernel ignores the candidate).
+  const TileGeometry paper;
+  const auto paper_report =
+      run_proxy(profile, layout, backend, paper, instance, params);
+  for (const auto& kernel : paper_report.kernels) {
+    if (kernel.shape.mainloop_iters > 0.0) continue;
+    model::FixedKernelModel fixed;
+    fixed.name = kernel.name;
+    fixed.proxy_inputs =
+        model::to_targets(gpusim::CostInputs::from_counters(kernel.counters));
+    fixed.num_ctas = kernel.shape.num_ctas;
+    fixed.config = kernel.shape.config;
+    bm.fixed.push_back(std::move(fixed));
+  }
+
+  if (bm.assembly_tile) {
+    // Geometry-independent tile kernel: constant rates, exactly.
+    const auto rates = measured_rates(tile_kernel(paper_report), paper);
+    for (std::size_t f = 0; f < model::kNumTargets; ++f) {
+      bm.tile.w[f][0] = rates[f];
+    }
+    return bm;
+  }
+
+  std::vector<TileGeometry> survivors;
+  for (const auto& verdict : evaluate_candidates(profile.device, layout)) {
+    if (verdict.viable) survivors.push_back(verdict.geometry);
+  }
+  KSUM_CHECK_MSG(!survivors.empty(), "no candidate survived pruning");
+
+  std::vector<model::FitRow> rows(survivors.size());
+  exec::ThreadPool pool(threads);
+  pool.parallel_for(survivors.size(), [&](std::size_t idx) {
+    const TileGeometry& geometry = survivors[idx];
+    const auto report =
+        run_proxy(profile, layout, backend, geometry, instance, params);
+    rows[idx].geometry = geometry;
+    rows[idx].rates = measured_rates(tile_kernel(report), geometry);
+  });
+  bm.tile = model::fit_tile_coefficients(rows);
+  return bm;
+}
+
+void append_double(std::string& out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+}
+
+void rank_positions(const std::vector<double>& seconds,
+                    const std::vector<TileGeometry>& geometries,
+                    std::vector<std::size_t>& positions) {
+  std::vector<std::size_t> order(seconds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     if (seconds[x] != seconds[y]) {
+                       return seconds[x] < seconds[y];
+                     }
+                     const TileGeometry& ga = geometries[x];
+                     const TileGeometry& gb = geometries[y];
+                     if (ga.is_paper() != gb.is_paper()) return ga.is_paper();
+                     return ga.to_string() < gb.to_string();
+                   });
+  positions.assign(order.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    positions[order[pos]] = pos + 1;
+  }
+}
+
+void check(bool cond, const std::string& what) {
+  if (!cond) throw Error("ksum-model-v1: " + what);
+}
+
+}  // namespace
+
+model::ProfileModel fit_profile_model(
+    const config::profiles::DeviceProfile& profile, int threads,
+    gpukernels::TileLayout layout) {
+  profile.validate();
+  model::ProfileModel pm;
+  pm.profile = profile.name;
+
+  const auto spec = proxy_spec();
+  const auto instance = workload::make_instance(spec);
+  const auto params = core::params_from_spec(spec);
+  for (const auto backend :
+       {pipelines::Backend::kSimFused, pipelines::Backend::kSimCudaUnfused,
+        pipelines::Backend::kSimCublasUnfused}) {
+    pm.backends.push_back(fit_backend_model(profile, threads, layout, backend,
+                                            instance, params));
+  }
+  return pm;
+}
+
+std::string render_fitted_params_cc(
+    const std::vector<model::ProfileModel>& profiles) {
+  std::string out;
+  out +=
+      "// GENERATED FILE — regenerate with `ksum-tune model-fit "
+      "--out=src/model/fitted_params.cc`.\n"
+      "//\n"
+      "// Per-profile counter-model coefficients fitted from the simulator\n"
+      "// on the proxy shape (tune/model_fit.h). Do not edit by hand.\n"
+      "#include \"model/cost_model.h\"\n"
+      "\n"
+      "namespace ksum::model {\n"
+      "\n"
+      "const FittedTable& fitted_table() {\n"
+      "  static const FittedTable table = [] {\n"
+      "    FittedTable t;\n"
+      "    t.fitted_from = \"ksum-tune model-fit (proxy 512x512x16)\";\n";
+  for (const auto& pm : profiles) {
+    out += "    {\n      ProfileModel p;\n      p.profile = \"" + pm.profile +
+           "\";\n";
+    for (const auto& bm : pm.backends) {
+      out += "      {\n        BackendModel b;\n";
+      out += "        b.backend = pipelines::Backend::";
+      switch (bm.backend) {
+        case pipelines::Backend::kSimFused:
+          out += "kSimFused";
+          break;
+        case pipelines::Backend::kSimCudaUnfused:
+          out += "kSimCudaUnfused";
+          break;
+        default:
+          out += "kSimCublasUnfused";
+          break;
+      }
+      out += ";\n";
+      out += std::string("        b.assembly_tile = ") +
+             (bm.assembly_tile ? "true" : "false") + ";\n";
+      out += "        b.tile.w = {{\n";
+      for (std::size_t f = 0; f < model::kNumTargets; ++f) {
+        out += "            {{";
+        for (std::size_t j = 0; j < model::kNumFeatures; ++j) {
+          if (j != 0) out += ", ";
+          append_double(out, bm.tile.w[f][j]);
+        }
+        out += "}},\n";
+      }
+      out += "        }};\n";
+      for (const auto& fixed : bm.fixed) {
+        out += "        b.fixed.push_back({\"" + fixed.name + "\", {{";
+        for (std::size_t f = 0; f < model::kNumTargets; ++f) {
+          if (f != 0) out += ", ";
+          append_double(out, fixed.proxy_inputs[f]);
+        }
+        out += "}}, " + std::to_string(fixed.num_ctas) + ", {" +
+               std::to_string(fixed.config.threads_per_block) + ", " +
+               std::to_string(fixed.config.regs_per_thread) + ", " +
+               std::to_string(fixed.config.smem_bytes_per_block) + "}});\n";
+      }
+      out += "        p.backends.push_back(std::move(b));\n      }\n";
+    }
+    out += "      t.profiles.push_back(std::move(p));\n    }\n";
+  }
+  out +=
+      "    return t;\n"
+      "  }();\n"
+      "  return table;\n"
+      "}\n"
+      "\n"
+      "}  // namespace ksum::model\n";
+  return out;
+}
+
+Json model_report(const config::profiles::DeviceProfile& profile,
+                  pipelines::Backend backend, std::size_t m, std::size_t n,
+                  std::size_t k, int threads) {
+  const model::BackendModel& backend_model =
+      model::require_backend(profile.name, backend);
+
+  TuneRequest request;
+  request.m = m;
+  request.n = n;
+  request.k = k;
+  request.backend = backend;
+  TuneOptions options;
+  options.threads = threads;
+  options.device = profile.device;
+  options.timing = profile.timing;
+  options.energy = profile.energy;
+  options.profile = profile.name;
+  const auto ground_truth = tune(request, options);
+
+  std::vector<TileGeometry> geometries;
+  std::vector<double> model_seconds;
+  std::vector<double> scaled_seconds;
+  for (const auto& meas : ground_truth.measurements) {
+    if (!meas.executed) continue;
+    geometries.push_back(meas.verdict.geometry);
+    scaled_seconds.push_back(meas.scaled_seconds);
+    model_seconds.push_back(model::predict_scaled_seconds(
+        backend_model, profile.device, profile.timing, meas.verdict.geometry,
+        m, n, k));
+  }
+
+  std::vector<std::size_t> model_rank, executed_rank;
+  rank_positions(model_seconds, geometries, model_rank);
+  rank_positions(scaled_seconds, geometries, executed_rank);
+
+  Json record = Json::object();
+  record.set("schema", "ksum-model-v1");
+  record.set("profile", profile.name);
+  record.set("backend", pipelines::to_string(backend));
+  Json shape = Json::object();
+  shape.set("m", static_cast<std::uint64_t>(m));
+  shape.set("n", static_cast<std::uint64_t>(n));
+  shape.set("k", static_cast<std::uint64_t>(k));
+  record.set("shape", std::move(shape));
+  record.set("spearman", model::spearman(model_seconds, scaled_seconds));
+  Json candidates = Json::array();
+  for (std::size_t i = 0; i < geometries.size(); ++i) {
+    Json c = Json::object();
+    const TileGeometry& g = geometries[i];
+    c.set("geometry", g.to_string());
+    c.set("tile_m", g.tile_m);
+    c.set("tile_n", g.tile_n);
+    c.set("tile_k", g.tile_k);
+    c.set("block_x", g.block_x);
+    c.set("block_y", g.block_y);
+    c.set("micro", g.micro);
+    c.set("model_seconds", model_seconds[i]);
+    c.set("scaled_seconds", scaled_seconds[i]);
+    c.set("model_rank", static_cast<std::uint64_t>(model_rank[i]));
+    c.set("executed_rank", static_cast<std::uint64_t>(executed_rank[i]));
+    candidates.push_back(std::move(c));
+  }
+  record.set("candidates", std::move(candidates));
+  validate_model_json(record);
+  return record;
+}
+
+void validate_model_json(const Json& record) {
+  check(record.is_object(), "record must be an object");
+  check(record.at("schema").as_string() == "ksum-model-v1",
+        "schema must be ksum-model-v1");
+  check(!record.at("profile").as_string().empty(),
+        "profile must be non-empty");
+  check(!record.at("backend").as_string().empty(),
+        "backend must be non-empty");
+  const auto& shape = record.at("shape");
+  check(shape.at("m").as_double() > 0 && shape.at("n").as_double() > 0 &&
+            shape.at("k").as_double() > 0,
+        "shape must be positive");
+  const auto& candidates = record.at("candidates");
+  check(candidates.is_array() && candidates.size() >= 2,
+        "a report needs at least two candidates");
+
+  std::vector<TileGeometry> geometries;
+  std::vector<double> model_seconds, scaled_seconds;
+  std::vector<std::size_t> model_rank, executed_rank;
+  for (const auto& c : candidates.items()) {
+    TileGeometry g;
+    g.tile_m = static_cast<int>(c.at("tile_m").as_double());
+    g.tile_n = static_cast<int>(c.at("tile_n").as_double());
+    g.tile_k = static_cast<int>(c.at("tile_k").as_double());
+    g.block_x = static_cast<int>(c.at("block_x").as_double());
+    g.block_y = static_cast<int>(c.at("block_y").as_double());
+    g.micro = static_cast<int>(c.at("micro").as_double());
+    check(g.structurally_valid() &&
+              g.to_string() == c.at("geometry").as_string(),
+          "candidate geometry does not recompose from its fields");
+    check(c.at("model_seconds").as_double() > 0 &&
+              c.at("scaled_seconds").as_double() > 0,
+          "candidate seconds must be positive");
+    geometries.push_back(g);
+    model_seconds.push_back(c.at("model_seconds").as_double());
+    scaled_seconds.push_back(c.at("scaled_seconds").as_double());
+    model_rank.push_back(
+        static_cast<std::size_t>(c.at("model_rank").as_double()));
+    executed_rank.push_back(
+        static_cast<std::size_t>(c.at("executed_rank").as_double()));
+  }
+
+  // Both rank permutations and the correlation must recompose from the
+  // candidates themselves.
+  std::vector<std::size_t> derived;
+  rank_positions(model_seconds, geometries, derived);
+  check(derived == model_rank, "model_rank does not recompose");
+  rank_positions(scaled_seconds, geometries, derived);
+  check(derived == executed_rank, "executed_rank does not recompose");
+  const double rho = model::spearman(model_seconds, scaled_seconds);
+  check(record.at("spearman").as_double() == rho,
+        "spearman does not recompose from the candidates");
+  check(rho >= -1.0 && rho <= 1.0, "spearman must be in [-1, 1]");
+}
+
+}  // namespace ksum::tune

@@ -1,0 +1,66 @@
+// Offline fitting and fidelity reporting for the counter-based cost model.
+//
+// `fit_profile_model` runs the full candidate grid through the simulator on
+// the proxy shape under one device profile and distils it into the
+// model::ProfileModel the ranker consumes: per-event-rate coefficients for
+// the backend's tile kernel (ridge least squares over the survivors) plus
+// the geometry-independent kernels baked at proxy scale. The result is
+// rendered into the generated src/model/fitted_params.cc by
+// `render_fitted_params_cc` — run `ksum-tune model-fit` after any change to
+// the kernels, the grid, or the built-in profiles, and check the file in.
+//
+// `model_report` is the fidelity instrument: it runs the exhaustive tuner
+// (ground truth) and the fitted model side by side on one shape and emits a
+// ksum-model-v1 record with both orderings and their Spearman rank
+// correlation. validate_model_json() is that schema's executable
+// definition — it recomputes the correlation and both rank permutations
+// from the record's own candidates, so a report that does not recompose is
+// rejected. CI pins one golden report per built-in profile and gates
+// Spearman ≥ 0.9.
+//
+//   {
+//     "schema": "ksum-model-v1",
+//     "profile": "gtx970", "backend": "sim-fused",
+//     "shape": {"m":…, "n":…, "k":…},
+//     "spearman": …,
+//     "candidates": [ {
+//         "geometry": "…", <geometry fields>,
+//         "model_seconds":…, "scaled_seconds":…,
+//         "model_rank":…, "executed_rank":… } ]
+//   }
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "config/profiles/device_profile.h"
+#include "model/cost_model.h"
+#include "profile/json.h"
+#include "tune/tuner.h"
+
+namespace ksum::tune {
+
+/// Fits every simulated backend's model for one profile. `threads` fans the
+/// proxy runs out like the tuner does; the result is byte-identical for any
+/// worker count.
+model::ProfileModel fit_profile_model(
+    const config::profiles::DeviceProfile& profile, int threads = 1,
+    gpukernels::TileLayout layout = gpukernels::TileLayout::kFig5);
+
+/// Renders the generated fitted_params.cc (full file text) for the given
+/// profile models, doubles in round-trip-safe %.17g.
+std::string render_fitted_params_cc(
+    const std::vector<model::ProfileModel>& profiles);
+
+/// Runs the exhaustive tuner and the baked fitted model side by side and
+/// assembles (and validates) a ksum-model-v1 record. Throws ksum::Error
+/// when the baked table has no model for the profile.
+profile::Json model_report(const config::profiles::DeviceProfile& profile,
+                           pipelines::Backend backend, std::size_t m,
+                           std::size_t n, std::size_t k, int threads = 1);
+
+/// Throws ksum::Error describing the first violation.
+void validate_model_json(const profile::Json& record);
+
+}  // namespace ksum::tune

@@ -54,18 +54,29 @@ std::size_t entry_size(const Json& e, const char* key) {
 
 }  // namespace
 
+void TuningCache::set_profile(std::string profile) {
+  KSUM_REQUIRE(!profile.empty(), "cache profile must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_ = std::move(profile);
+}
+
+std::string TuningCache::profile() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return profile_;
+}
+
 std::optional<gpukernels::TileGeometry> TuningCache::resolve(
     std::size_t m, std::size_t n, std::size_t k,
     pipelines::Solution solution) const {
-  const auto entry = find(m, n, k, solution);
+  const auto entry = find(m, n, k, solution, profile());
   if (!entry.has_value()) return std::nullopt;
   return entry->geometry;
 }
 
 std::optional<TuningCache::Entry> TuningCache::find(
     std::size_t m, std::size_t n, std::size_t k,
-    pipelines::Solution solution) const {
-  const Key key{m, n, k, static_cast<int>(solution)};
+    pipelines::Solution solution, const std::string& profile) const {
+  const Key key{m, n, k, static_cast<int>(solution), profile};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
@@ -73,9 +84,11 @@ std::optional<TuningCache::Entry> TuningCache::find(
 }
 
 void TuningCache::insert(std::size_t m, std::size_t n, std::size_t k,
-                         pipelines::Solution solution, Entry entry) {
+                         pipelines::Solution solution, Entry entry,
+                         const std::string& profile) {
   entry.geometry.validate();
-  const Key key{m, n, k, static_cast<int>(solution)};
+  KSUM_REQUIRE(!profile.empty(), "cache entry profile must be non-empty");
+  const Key key{m, n, k, static_cast<int>(solution), profile};
   std::lock_guard<std::mutex> lock(mutex_);
   entries_[key] = entry;
 }
@@ -85,7 +98,8 @@ TuningCache::Entry TuningCache::get_or_tune(std::size_t m, std::size_t n,
                                             pipelines::Backend backend,
                                             const TuneOptions& options) {
   const auto solution = solution_of(backend);
-  if (const auto hit = find(m, n, k, solution); hit.has_value()) {
+  if (const auto hit = find(m, n, k, solution, options.profile);
+      hit.has_value()) {
     return *hit;
   }
   // Tune outside the lock — a concurrent miss on the same key redoes the
@@ -100,7 +114,7 @@ TuningCache::Entry TuningCache::get_or_tune(std::size_t m, std::size_t n,
   entry.geometry = report.best;
   entry.scaled_seconds = report.best_scaled_seconds;
   entry.proxy_seconds = report.best_proxy_seconds;
-  insert(m, n, k, solution, entry);
+  insert(m, n, k, solution, entry, options.profile);
   return entry;
 }
 
@@ -124,6 +138,7 @@ Json TuningCache::to_json() const {
       e.set("k", static_cast<std::uint64_t>(key.k));
       e.set("solution",
             to_string(static_cast<pipelines::Solution>(key.solution)));
+      e.set("profile", key.profile);
       const auto& g = entry.geometry;
       e.set("tile_m", g.tile_m);
       e.set("tile_n", g.tile_n);
@@ -151,6 +166,7 @@ void TuningCache::load_json(const Json& record) {
     key.k = entry_size(e, "k");
     key.solution =
         static_cast<int>(solution_from_string(e.at("solution").as_string()));
+    key.profile = e.at("profile").as_string();
     Entry entry;
     entry.geometry.tile_m = static_cast<int>(e.at("tile_m").as_double());
     entry.geometry.tile_n = static_cast<int>(e.at("tile_n").as_double());
@@ -192,23 +208,27 @@ void validate_tune_cache_json(const Json& record) {
   bool have_prev = false;
   std::size_t pm = 0, pn = 0, pk = 0;
   int ps = 0;
+  std::string pp;
   for (const auto& e : entries.items()) {
     const std::size_t m = entry_size(e, "m");
     const std::size_t n = entry_size(e, "n");
     const std::size_t k = entry_size(e, "k");
     const int s =
         static_cast<int>(solution_from_string(e.at("solution").as_string()));
+    const std::string p = e.at("profile").as_string();
+    check(!p.empty(), "entry profile must be non-empty");
     if (have_prev) {
       const bool ascending =
-          std::tie(pm, pn, pk, ps) < std::tie(m, n, k, s);
+          std::tie(pm, pn, pk, ps, pp) < std::tie(m, n, k, s, p);
       check(ascending,
-            "entries must be strictly sorted by (m, n, k, solution)");
+            "entries must be strictly sorted by (m, n, k, solution, profile)");
     }
     have_prev = true;
     pm = m;
     pn = n;
     pk = k;
     ps = s;
+    pp = p;
 
     gpukernels::TileGeometry g;
     g.tile_m = static_cast<int>(e.at("tile_m").as_double());

@@ -28,6 +28,7 @@
 #include "blas/vector_ops.h"
 #include "common/rng.h"
 #include "config/device_spec.h"
+#include "config/profiles/device_profile.h"
 #include "core/exact.h"
 #include "exec/batch_engine.h"
 #include "pipelines/solver.h"
@@ -286,6 +287,90 @@ TEST(DifferentialFuzzTest, FusedMatchesOracleUnderRandomTunedGeometries) {
         << out.what << " @ " << out.geometry;
     EXPECT_LT(out.fused_vs_oracle, kTol)
         << "fused @ " << out.geometry << " on " << out.what;
+  }
+}
+
+struct ProfileOutcome {
+  std::string what;
+  std::size_t fused_size = 0;
+  double fused_vs_oracle = 0;
+  bool matches_gtx970 = true;
+  bool report_present = false;
+  double titanx_seconds = 0;
+  double gtx970_seconds = 0;
+};
+
+TEST(DifferentialFuzzTest, FusedMatchesOracleUnderNonDefaultProfile) {
+  // Every 4th combo (offset 2, so the subset differs from the robust leg)
+  // re-runs fused under the titanx-maxwell profile. The functional
+  // contract is architecture-independence: the simulated kernels compute
+  // the same float32 expression in the same order whatever the device
+  // geometry, so the result must stay within the oracle tolerance AND be
+  // byte-identical to the gtx970 run — only modelled time and energy may
+  // move with the profile.
+  const auto titanx = config::profiles::builtin("titanx-maxwell");
+  const auto cases = fuzz_cases();
+  std::vector<FuzzCase> picked;
+  for (std::size_t i = 2; i < cases.size(); i += 4) {
+    picked.push_back(cases[i]);
+  }
+  ASSERT_GE(picked.size(), 30u);
+
+  exec::ThreadPool pool(test_threads());
+  const auto outcomes = exec::map_ordered(
+      pool, picked.size(), [&](std::size_t index) {
+        const FuzzCase& c = picked[index];
+        workload::ProblemSpec spec;
+        spec.m = c.m;
+        spec.n = c.n;
+        spec.k = c.k;
+        spec.seed = c.seed;
+        spec.bandwidth = 0.9f;
+        const auto instance = workload::make_instance(spec);
+        const auto params = core::params_from_spec(spec);
+
+        ProfileOutcome out;
+        out.what = spec.to_string();
+
+        const auto oracle =
+            pipelines::solve(instance, params, Backend::kCpuDirect);
+        const auto reference =
+            pipelines::solve(instance, params, Backend::kSimFused);
+
+        pipelines::RunOptions options;
+        options.device = titanx.device;
+        options.timing = titanx.timing;
+        options.energy = titanx.energy;
+        const auto fused =
+            pipelines::solve(instance, params, Backend::kSimFused, options);
+        out.fused_size = fused.v.size();
+        out.fused_vs_oracle = diff(fused.v, oracle.v);
+        out.matches_gtx970 =
+            fused.v.size() == reference.v.size() &&
+            std::memcmp(fused.v.data(), reference.v.data(),
+                        reference.v.size() * sizeof(float)) == 0;
+        if (fused.report.has_value() && reference.report.has_value()) {
+          out.report_present = true;
+          out.titanx_seconds = fused.report->seconds;
+          out.gtx970_seconds = reference.report->seconds;
+        }
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), picked.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ProfileOutcome& out = outcomes[i];
+    ASSERT_EQ(out.fused_size, picked[i].m) << out.what;
+    EXPECT_LT(out.fused_vs_oracle, kTol)
+        << "fused@titanx-maxwell on " << out.what;
+    EXPECT_TRUE(out.matches_gtx970)
+        << out.what << ": changing the device profile perturbed the "
+        << "functional result";
+    ASSERT_TRUE(out.report_present) << out.what;
+    EXPECT_GT(out.titanx_seconds, 0) << out.what;
+    EXPECT_NE(out.titanx_seconds, out.gtx970_seconds)
+        << out.what << ": 24-SM timing identical to 13-SM timing — the "
+        << "profile did not reach the timing model";
   }
 }
 

@@ -1,0 +1,217 @@
+// The counter-based cost model: the baked fitted table covers every
+// built-in profile and simulated backend, the ridge fitter recovers
+// in-model data, spearman() handles its edge cases, the model's rank
+// fidelity clears the ≥ 0.9 gate on every built-in, and --rank=model is
+// thread-count invariant (it ranks with pure arithmetic before the pool).
+#include "model/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "config/profiles/device_profile.h"
+#include "tune/model_fit.h"
+#include "tune/tile_search.h"
+#include "tune/tune_json.h"
+#include "tune/tuner.h"
+
+namespace ksum {
+namespace {
+
+using pipelines::Backend;
+
+TEST(CostModelTest, FittedTableCoversEveryBuiltinAndBackend) {
+  const auto& table = model::fitted_table();
+  EXPECT_FALSE(table.fitted_from.empty());
+  const Backend simulated[] = {Backend::kSimFused, Backend::kSimCudaUnfused,
+                               Backend::kSimCublasUnfused};
+  for (const auto& name : config::profiles::builtin_names()) {
+    const auto* profile = model::find_profile(table, name);
+    ASSERT_NE(profile, nullptr) << "no fitted model for " << name
+                                << " — run ksum-tune model-fit";
+    for (const Backend backend : simulated) {
+      const auto* bm = model::find_backend(*profile, backend);
+      ASSERT_NE(bm, nullptr)
+          << name << "/" << to_string(backend) << " not fitted";
+      // Every backend times at least one geometry-independent kernel
+      // (norms/eval/GEMV) alongside the tile kernel.
+      EXPECT_FALSE(bm->fixed.empty()) << name << "/" << to_string(backend);
+    }
+  }
+  EXPECT_EQ(model::find_profile(table, "no-such-profile"), nullptr);
+}
+
+TEST(CostModelTest, RequireBackendThrowsWithRemediationHint) {
+  EXPECT_NO_THROW(model::require_backend("gtx970", Backend::kSimFused));
+  try {
+    model::require_backend("my-custom-part", Backend::kSimFused);
+    FAIL() << "expected ksum::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("model-fit"), std::string::npos)
+        << "error must tell the user how to fit the missing profile: "
+        << e.what();
+  }
+}
+
+TEST(CostModelTest, TargetsRoundTrip) {
+  gpusim::CostInputs inputs{};
+  auto targets = model::to_targets(inputs);
+  // Fill with distinct values and check the field order is stable.
+  for (std::size_t i = 0; i < model::kNumTargets; ++i) {
+    targets[i] = double(i + 1) * 3.5;
+  }
+  const auto back = model::to_targets(model::from_targets(targets));
+  for (std::size_t i = 0; i < model::kNumTargets; ++i) {
+    EXPECT_DOUBLE_EQ(back[i], targets[i]) << "target " << i;
+  }
+}
+
+TEST(CostModelTest, SpearmanEdgeCases) {
+  EXPECT_DOUBLE_EQ(model::spearman({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(model::spearman({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+  // Monotone transforms preserve the rank correlation exactly.
+  EXPECT_DOUBLE_EQ(model::spearman({1, 2, 3, 4}, {1, 4, 9, 16}), 1.0);
+  // A constant input has no ordering to correlate.
+  EXPECT_DOUBLE_EQ(model::spearman({1, 2, 3}, {5, 5, 5}), 0.0);
+  // Ties get average ranks: {1, 1, 2} vs {1, 2, 3} correlates positively
+  // but not perfectly.
+  const double tied = model::spearman({1, 1, 2}, {1, 2, 3});
+  EXPECT_GT(tied, 0.0);
+  EXPECT_LT(tied, 1.0);
+  EXPECT_THROW(model::spearman({1, 2}, {1, 2, 3}), Error);
+  EXPECT_THROW(model::spearman({1}, {2}), Error);
+  EXPECT_THROW(model::spearman({}, {}), Error);
+}
+
+TEST(CostModelTest, FitRecoversInModelData) {
+  // Generate training rows whose rates lie exactly in the model class (the
+  // baked gtx970 fused coefficients evaluated on the viable grid); the
+  // ridge refit must reproduce those predictions to high precision.
+  const auto& baked =
+      model::require_backend("gtx970", Backend::kSimFused);
+  std::vector<gpukernels::TileGeometry> viable;
+  for (const auto& verdict :
+       tune::evaluate_candidates(config::DeviceSpec::gtx970())) {
+    if (verdict.viable) viable.push_back(verdict.geometry);
+  }
+  ASSERT_GE(viable.size(), 10u);
+
+  std::vector<model::FitRow> rows;
+  for (const auto& geometry : viable) {
+    model::FitRow row;
+    row.geometry = geometry;
+    row.rates = model::predict_rates(baked.tile, geometry);
+    rows.push_back(row);
+  }
+  const auto refit = model::fit_tile_coefficients(rows);
+  for (const auto& row : rows) {
+    const auto predicted = model::predict_rates(refit, row.geometry);
+    for (std::size_t f = 0; f < model::kNumTargets; ++f) {
+      const double scale = std::max(1.0, std::abs(row.rates[f]));
+      EXPECT_NEAR(predicted[f], row.rates[f], 1e-3 * scale)
+          << row.geometry.to_string() << " target " << f;
+    }
+  }
+
+  EXPECT_THROW(model::fit_tile_coefficients({}), Error);
+}
+
+TEST(CostModelTest, PredictedSecondsArePositiveAndShapeMonotone) {
+  const auto& baked =
+      model::require_backend("gtx970", Backend::kSimFused);
+  const auto device = config::DeviceSpec::gtx970();
+  const auto timing = config::TimingSpec::gtx970();
+  gpukernels::TileGeometry paper;  // default-constructed = paper geometry
+  ASSERT_TRUE(paper.is_paper());
+  const double small = model::predict_scaled_seconds(baked, device, timing,
+                                                     paper, 512, 512, 16);
+  const double big = model::predict_scaled_seconds(baked, device, timing,
+                                                   paper, 2048, 2048, 16);
+  EXPECT_GT(small, 0);
+  EXPECT_GT(big, small) << "16× the work must cost more modelled time";
+}
+
+TEST(CostModelTest, RankFidelityClearsTheGateOnEveryBuiltin) {
+  // The acceptance gate: Spearman(model ranking, executed ranking) ≥ 0.9
+  // for the fused pipeline on every built-in profile. model_report runs
+  // the exhaustive tuner as ground truth and validates its own record.
+  for (const auto& name : config::profiles::builtin_names()) {
+    const auto profile = config::profiles::builtin(name);
+    const auto record = tune::model_report(profile, Backend::kSimFused,
+                                           1024, 1024, 8, /*threads=*/4);
+    EXPECT_EQ(record.at("schema").as_string(), "ksum-model-v1");
+    EXPECT_EQ(record.at("profile").as_string(), name);
+    EXPECT_GE(record.at("spearman").as_double(), 0.9)
+        << name << ": model ranking drifted from executed ranking";
+    EXPECT_NO_THROW(tune::validate_model_json(record)) << name;
+  }
+}
+
+TEST(CostModelTest, ModelRankIsThreadCountInvariant) {
+  // Under --rank=model the full-grid ordering is pure arithmetic computed
+  // before the thread pool spins up, so the serialised tune record must be
+  // byte-identical for any worker count.
+  tune::TuneRequest request;
+  request.m = 640;
+  request.n = 384;
+  request.k = 8;
+  request.backend = Backend::kSimFused;
+
+  std::vector<std::string> dumps;
+  for (const int threads : {1, 2, 8}) {
+    tune::TuneOptions options;
+    options.threads = threads;
+    options.rank = tune::RankMode::kModel;
+    options.top_k = 3;
+    const auto report = tune::tune(request, options);
+    EXPECT_EQ(report.rank, tune::RankMode::kModel);
+    EXPECT_EQ(report.executed_top_k, 3);
+    dumps.push_back(tune::tune_record("best", {report}).dump());
+  }
+  ASSERT_EQ(dumps.size(), 3u);
+  EXPECT_EQ(dumps[0], dumps[1]) << "1-thread vs 2-thread model rank diverged";
+  EXPECT_EQ(dumps[0], dumps[2]) << "1-thread vs 8-thread model rank diverged";
+}
+
+TEST(CostModelTest, ModelRankExecutesOnlyTopKAndAgreesWithExecuteWinner) {
+  tune::TuneRequest request;
+  request.m = 512;
+  request.n = 512;
+  request.k = 16;
+  request.backend = Backend::kSimFused;
+
+  tune::TuneOptions execute;
+  execute.threads = 4;
+  const auto truth = tune::tune(request, execute);
+
+  tune::TuneOptions ranked;
+  ranked.threads = 4;
+  ranked.rank = tune::RankMode::kModel;
+  ranked.top_k = 3;
+  const auto report = tune::tune(request, ranked);
+
+  std::size_t executed = 0, model_scored = 0;
+  for (const auto& m : report.measurements) {
+    if (m.executed) ++executed;
+    if (m.verdict.viable) {
+      EXPECT_GT(m.model_seconds, 0)
+          << m.verdict.geometry.to_string()
+          << " viable but never scored by the model";
+      ++model_scored;
+    }
+  }
+  EXPECT_EQ(executed, std::size_t(report.executed_top_k));
+  EXPECT_GE(model_scored, executed);
+  // A ≥ 0.9-fidelity model with top-k 3 must shortlist the true winner on
+  // the shape the grid was built around.
+  EXPECT_EQ(report.best, truth.best)
+      << "model shortlist missed the executed winner";
+}
+
+}  // namespace
+}  // namespace ksum

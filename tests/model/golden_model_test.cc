@@ -1,0 +1,69 @@
+// Golden snapshots of the ksum-model-v1 fidelity report, one per built-in
+// profile. The report pairs the exhaustive tuner's ordering with the baked
+// model's ordering on a fixed shape; both are pure functions of (profile,
+// shape, grid, coefficients), so any byte diff is a real drift — a changed
+// kernel, a regenerated fit, a new candidate.
+//
+// To regenerate after an intentional change (e.g. after re-running
+// `ksum-tune model-fit`):
+//   KSUM_UPDATE_GOLDEN=1 ./tests/model_tests --gtest_filter='GoldenModelTest.*'
+// and commit the rewritten files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "config/profiles/device_profile.h"
+#include "tune/model_fit.h"
+
+#ifndef KSUM_GOLDEN_DIR
+#error "KSUM_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace ksum {
+namespace {
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path =
+      std::string(KSUM_GOLDEN_DIR) + "/" + name + ".json";
+  const char* update = std::getenv("KSUM_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with KSUM_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << name << " drifted from its golden snapshot; if the change is "
+      << "intentional (e.g. a refreshed model-fit), regenerate with "
+      << "KSUM_UPDATE_GOLDEN=1";
+}
+
+void check_profile_report(const std::string& profile_name) {
+  const auto profile = config::profiles::builtin(profile_name);
+  // threads=4 must not leak into the record (the model rank is computed
+  // before the pool; the executed measurements aggregate by index).
+  const auto record = tune::model_report(profile,
+                                         pipelines::Backend::kSimFused,
+                                         512, 512, 16, /*threads=*/4);
+  check_golden("model_report_" + profile_name, record.dump());
+}
+
+TEST(GoldenModelTest, Gtx970ReportJson) { check_profile_report("gtx970"); }
+
+TEST(GoldenModelTest, TitanxMaxwellReportJson) {
+  check_profile_report("titanx-maxwell");
+}
+
+TEST(GoldenModelTest, ModernReportJson) { check_profile_report("modern"); }
+
+}  // namespace
+}  // namespace ksum

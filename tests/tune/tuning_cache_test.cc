@@ -81,6 +81,60 @@ TEST(TuningCacheTest, InsertFindResolve) {
   EXPECT_TRUE(cache.find(64, 64, 8, Solution::kFused)->geometry.is_paper());
 }
 
+TEST(TuningCacheTest, ProfileIsPartOfTheKey) {
+  // Regression for the multi-architecture cache: the same (m, n, k,
+  // solution) tuned under two profiles must be two distinct entries, and
+  // the resolver must only ever serve the active profile's winner — a
+  // geometry tuned for gtx970's 13 SMs must never reach a 128-SM part.
+  tune::TuningCache cache;
+  EXPECT_EQ(cache.profile(), "gtx970");
+
+  TileGeometry wide;
+  wide.tile_m = 64;
+  wide.tile_n = 128;
+  wide.tile_k = 8;
+  wide.block_x = 16;
+  wide.block_y = 8;
+  wide.micro = 8;
+
+  cache.insert(64, 64, 8, Solution::kFused,
+               entry_of(small_square(), 1e-3, 2e-3));  // default = gtx970
+  cache.insert(64, 64, 8, Solution::kFused, entry_of(wide, 3e-3, 4e-3),
+               "titanx-maxwell");
+  EXPECT_EQ(cache.size(), 2u);
+
+  const auto gtx = cache.find(64, 64, 8, Solution::kFused);
+  const auto titanx = cache.find(64, 64, 8, Solution::kFused,
+                                 "titanx-maxwell");
+  ASSERT_TRUE(gtx.has_value());
+  ASSERT_TRUE(titanx.has_value());
+  EXPECT_EQ(gtx->geometry, small_square());
+  EXPECT_EQ(titanx->geometry, wide);
+  EXPECT_FALSE(cache.find(64, 64, 8, Solution::kFused, "modern")
+                   .has_value());
+
+  // The TileGeometryResolver interface carries no profile of its own; it
+  // resolves against the cache's active profile.
+  EXPECT_EQ(*cache.resolve(64, 64, 8, Solution::kFused), small_square());
+  cache.set_profile("titanx-maxwell");
+  EXPECT_EQ(cache.profile(), "titanx-maxwell");
+  EXPECT_EQ(*cache.resolve(64, 64, 8, Solution::kFused), wide);
+  cache.set_profile("modern");
+  EXPECT_FALSE(cache.resolve(64, 64, 8, Solution::kFused).has_value());
+
+  // The profile survives serialisation: both entries round-trip and stay
+  // distinct.
+  const auto record = cache.to_json();
+  tune::validate_tune_cache_json(record);
+  tune::TuningCache loaded;
+  loaded.load_json(record);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.to_json().dump(), record.dump());
+  EXPECT_EQ(loaded.find(64, 64, 8, Solution::kFused, "titanx-maxwell")
+                ->geometry,
+            wide);
+}
+
 TEST(TuningCacheTest, SerialisationIsSortedAndRoundTrips) {
   tune::TuningCache cache;
   // Insert in descending key order; the record must come out ascending.

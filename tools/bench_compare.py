@@ -22,6 +22,14 @@ A metric regresses when current > baseline * (1 + tolerance); lower is
 always better for the tracked quantities. Records present only on one side
 are reported but do not fail the gate (benches come and go with PRs).
 
+Baselines are keyed by device profile: with --profile NAME every metric key
+is namespaced under the profile, and records that belong to a *different*
+built-in profile (by their embedded device name or a _<profile> filename
+suffix) are excluded — a gtx970 baseline can never be compared against a
+titanx-maxwell run, even if the artifact directories get mixed up. The CI
+bench-regression matrix passes the active profile and stores one artifact
+per profile.
+
 Exit codes: 0 clean (improvements allowed), 1 regression(s), 2 usage error.
 """
 
@@ -94,17 +102,46 @@ def extract_metrics(record, out, prefix=""):
         print(f"note: {prefix}: unknown schema '{schema}', skipped")
 
 
-def load_dir(path):
+# The built-in device profiles (src/config/profiles/) the CI matrix runs.
+BUILTIN_PROFILES = ("gtx970", "titanx-maxwell", "modern")
+
+
+def record_profile(record, stem):
+    """The profile a record was produced under, or None when unmarked.
+
+    ksum-prof-v1 records carry the device name; other records are matched
+    by the BENCH_<name>_<profile>.json naming convention. Unmarked records
+    (the analytic paper benches) belong to the default gtx970 profile.
+    """
+    device = record.get("device")
+    if isinstance(device, dict) and isinstance(device.get("name"), str):
+        return device["name"]
+    for profile in BUILTIN_PROFILES:
+        if stem.endswith("_" + profile):
+            return profile
+    return None
+
+
+def load_dir(path, profile=None):
     metrics = {}
     files = sorted(path.glob("BENCH_*.json"))
+    loaded = 0
     for f in files:
         try:
             record = json.loads(f.read_text())
         except (OSError, json.JSONDecodeError) as e:
             print(f"error: cannot read {f}: {e}", file=sys.stderr)
             sys.exit(2)
-        extract_metrics(record, metrics, f.stem)
-    return metrics, len(files)
+        if profile is not None:
+            marked = record_profile(record, f.stem) or "gtx970"
+            if marked != profile:
+                print(f"note: {f.name} belongs to profile '{marked}', "
+                      f"skipped in the {profile} comparison")
+                continue
+        prefix = f.stem if profile is None else f"{profile}/{f.stem}"
+        extract_metrics(record, metrics, prefix)
+        loaded += 1
+    return metrics, loaded
 
 
 def main():
@@ -114,6 +151,9 @@ def main():
     parser.add_argument("--current", required=True, type=Path)
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative increase (default 0.10 = 10%%)")
+    parser.add_argument("--profile", default=None,
+                        help="device profile this comparison is keyed under; "
+                             "records marked for another profile are skipped")
     args = parser.parse_args()
 
     for d in (args.baseline, args.current):
@@ -121,8 +161,8 @@ def main():
             print(f"error: {d} is not a directory", file=sys.stderr)
             return 2
 
-    baseline, n_base = load_dir(args.baseline)
-    current, n_cur = load_dir(args.current)
+    baseline, n_base = load_dir(args.baseline, args.profile)
+    current, n_cur = load_dir(args.current, args.profile)
     if n_base == 0:
         print("no baseline BENCH_*.json records: nothing to compare "
               "(seeding baseline)")
@@ -158,8 +198,9 @@ def main():
     for key, old, new, ratio in regressions:
         print(f"REGRESSED {ratio:+.1%}: {key}  {fmt(old)} -> {fmt(new)}")
 
-    print(f"\ncompared {compared} metrics across {n_cur} record file(s): "
-          f"{len(regressions)} regression(s), {len(improvements)} "
+    scope = f" [profile {args.profile}]" if args.profile else ""
+    print(f"\ncompared {compared} metrics across {n_cur} record file(s)"
+          f"{scope}: {len(regressions)} regression(s), {len(improvements)} "
           f"improvement(s), tolerance {args.tolerance:.0%}")
     return 1 if regressions else 0
 
