@@ -1,0 +1,237 @@
+// Treecode-vs-dense scaling study (docs/TREECODE.md).
+//
+// A clustered Gaussian-summation workload — sources and queries drawn from
+// 16 tight blobs in the unit square, the regime hierarchical summation
+// exists for — solved at M=2048, K=2, h=0.01, ε=1e-4 while N sweeps an
+// order of magnitude per point:
+//
+//   dense curve — the analytic pipeline model's fused estimate, the
+//                 O(M·N) wall every dense run pays regardless of geometry;
+//   tree curve  — pipelines::solve actually executes the treecode (near
+//                 blocks through the simulated fused tile kernel, far
+//                 boxes through the truncated series) and reports modelled
+//                 device seconds.
+//
+// The bench fails when the tree falls back dense at any point, when the
+// achieved error vs the exact host oracle exceeds ε (checked at the N
+// where the O(M·N) oracle is affordable), or when the largest point has
+// N ≥ 10^6 and the win is below the 5× the acceptance gate demands.
+//
+// Environment: KSUM_BENCH_FAST=1 drops the 10^6 point (CI smoke),
+// KSUM_CSV_DIR mirrors the table, KSUM_BENCH_JSON_DIR receives
+// BENCH_tree_scaling.json (schema ksum-bench-v1; pipelines "dense_model"
+// and "tree" per point).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analytic/pipeline_model.h"
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/exact.h"
+#include "core/kernels.h"
+#include "pipelines/solver.h"
+#include "profile/profile_json.h"
+#include "tree/types.h"
+#include "workload/padding.h"
+#include "workload/point_generators.h"
+
+namespace {
+
+using namespace ksum;
+
+constexpr std::size_t kM = 2048, kK = 2;
+constexpr double kEps = 1e-4;
+constexpr float kBandwidth = 0.01f;
+constexpr std::size_t kBlobs = 16;
+// Verify against the exact host oracle only where O(M·N) stays cheap.
+constexpr std::size_t kOracleMaxN = 10'000;
+constexpr double kMinWinAtMillion = 5.0;
+
+bool bench_fast() {
+  const char* fast = std::getenv("KSUM_BENCH_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+/// Deterministic uniform in [0, 1) — splitmix-style, so point i of blob c
+/// is a pure function of (stream, i).
+float unit_hash(std::uint64_t stream, std::uint64_t i) {
+  std::uint64_t x = stream * 0x9e3779b97f4a7c15ULL + i + 1;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<float>(x >> 40) / static_cast<float>(1ULL << 24);
+}
+
+/// Sources and queries drawn from the same 16 blob centers (σ ≈ 0.01,
+/// center separation ≫ h), so most box pairs are far at ε=1e-4. Weights
+/// keep the generator's distribution.
+workload::Instance make_clustered(std::size_t n) {
+  workload::ProblemSpec spec;
+  spec.m = kM;
+  spec.n = n;
+  spec.k = kK;
+  spec.bandwidth = kBandwidth;
+  spec.seed = 7;
+  workload::Instance instance = workload::make_instance(spec);
+  float centers[kBlobs][kK];
+  for (std::size_t c = 0; c < kBlobs; ++c) {
+    for (std::size_t d = 0; d < kK; ++d) {
+      centers[c][d] = 0.1f + 0.8f * unit_hash(c * kK + d, 0);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t c = j % kBlobs;
+    for (std::size_t d = 0; d < kK; ++d) {
+      instance.b.at(d, j) =
+          centers[c][d] + 0.02f * (unit_hash(100 + d, j) - 0.5f);
+    }
+  }
+  for (std::size_t i = 0; i < kM; ++i) {
+    const std::size_t c = i % kBlobs;
+    for (std::size_t d = 0; d < kK; ++d) {
+      instance.a.at(i, d) =
+          centers[c][d] + 0.02f * (unit_hash(200 + d, i) - 0.5f);
+    }
+  }
+  return instance;
+}
+
+struct PointResult {
+  std::size_t n = 0;
+  analytic::PipelineEstimate dense;
+  pipelines::SolveResult run;
+  double max_abs_err = -1;  // vs the host oracle; -1 = not checked
+  double err_allowed = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<std::size_t> grid = {10'000, 100'000};
+  if (!bench_fast()) grid.push_back(1'000'000);
+
+  pipelines::RunOptions model_options;
+  analytic::PipelineModel model(model_options);
+
+  std::vector<PointResult> points;
+  bool ok = true;
+  for (const std::size_t n : grid) {
+    const workload::Instance instance = make_clustered(n);
+    const core::KernelParams params = core::params_from_spec(instance.spec);
+
+    PointResult point;
+    point.n = n;
+    // The model wants CTA-aligned shapes; price the padded problem the
+    // dense fused kernel would actually launch.
+    point.dense = model.estimate(pipelines::Solution::kFused, kM,
+                                 workload::round_up(n, 128),
+                                 workload::round_up(kK, 8));
+
+    pipelines::RunOptions options;
+    options.tree.eps = kEps;
+    options.tree.box_leaf = 256;
+    options.tree.row_leaf = 128;
+    point.run = pipelines::solve(instance, params,
+                                 pipelines::Backend::kSimFused, options);
+    if (!point.run.tree.has_value() || !point.run.tree->used_tree) {
+      std::printf("tree_scaling: N=%zu fell back dense (%s)\n", n,
+                  point.run.tree.has_value()
+                      ? point.run.tree->fallback_reason.c_str()
+                      : "no tree report");
+      ok = false;
+    }
+
+    if (n <= kOracleMaxN) {
+      const pipelines::SolveResult oracle = pipelines::solve(
+          instance, params, pipelines::Backend::kCpuDirect);
+      double err = 0, slack = 0;
+      for (std::size_t i = 0; i < kM; ++i) {
+        const double o = static_cast<double>(oracle.v[i]);
+        err = std::max(err,
+                       std::abs(static_cast<double>(point.run.v[i]) - o));
+        slack = std::max(slack, 5e-3 * std::max(0.01, std::abs(o)));
+      }
+      point.max_abs_err = err;
+      // ε bounds the series truncation; float round-off rides on top,
+      // bounded by the repo-wide dense agreement tolerance (the ε
+      // contract, docs/TREECODE.md).
+      point.err_allowed = kEps + slack;
+      if (err > point.err_allowed) {
+        std::printf("tree_scaling: N=%zu error %.3e exceeds eps budget "
+                    "%.3e\n", n, err, point.err_allowed);
+        ok = false;
+      }
+    }
+    points.push_back(std::move(point));
+  }
+
+  Table table(str_format(
+      "Treecode scaling — clustered sources, M=%zu K=%zu h=%.2f eps=%g "
+      "(dense seconds are the analytic fused model; tree seconds are the "
+      "executed treecode)",
+      kM, kK, static_cast<double>(kBandwidth), kEps));
+  table.header({"N", "dense (ms)", "tree (ms)", "speedup", "near %",
+                "bound", "|err|inf"});
+  for (const PointResult& point : points) {
+    const double tree_seconds = point.run.report->seconds;
+    const tree::TreeReport& rep =
+        point.run.tree.has_value() ? *point.run.tree : tree::TreeReport{};
+    table.row({str_format("%zu", point.n),
+               str_format("%.3f", point.dense.seconds * 1e3),
+               str_format("%.3f", tree_seconds * 1e3),
+               str_format("%.2fx", point.dense.seconds / tree_seconds),
+               str_format("%.1f%%", 100.0 * rep.near_fraction(kM, point.n)),
+               str_format("%.2e", rep.bound_total),
+               point.max_abs_err < 0
+                   ? std::string("(modelled bound only)")
+                   : str_format("%.2e <= %.2e", point.max_abs_err,
+                                point.err_allowed)});
+  }
+  bench::emit(table, "tree_scaling");
+
+  // The acceptance gate: at N >= 10^6 the treecode must beat the dense
+  // fused model by at least 5x modelled seconds.
+  const PointResult& last = points.back();
+  const double last_win = last.dense.seconds / last.run.report->seconds;
+  if (last.n >= 1'000'000 && last_win < kMinWinAtMillion) {
+    std::printf("tree_scaling: N=%zu win %.2fx is below the %.0fx gate\n",
+                last.n, last_win, kMinWinAtMillion);
+    ok = false;
+  }
+
+  profile::Json point_array = profile::Json::array();
+  for (const PointResult& point : points) {
+    const pipelines::PipelineReport& rep = *point.run.report;
+    profile::Json pipelines_json = profile::Json::object();
+    profile::Json dense = profile::Json::object();
+    dense.set("seconds", point.dense.seconds);
+    dense.set("energy_j", profile::energy_breakdown_json(point.dense.energy));
+    dense.set("l2_transactions", point.dense.l2_transactions());
+    dense.set("dram_transactions", point.dense.dram_transactions());
+    pipelines_json.set("dense_model", std::move(dense));
+    profile::Json tree_json = profile::Json::object();
+    tree_json.set("seconds", rep.seconds);
+    tree_json.set("energy_j", profile::energy_breakdown_json(rep.energy));
+    tree_json.set("l2_transactions", rep.total.l2_total_transactions());
+    tree_json.set("dram_transactions", rep.total.dram_total_transactions());
+    pipelines_json.set("tree", std::move(tree_json));
+    profile::Json entry = profile::Json::object();
+    entry.set("m", static_cast<std::uint64_t>(kM));
+    entry.set("n", static_cast<std::uint64_t>(point.n));
+    entry.set("k", static_cast<std::uint64_t>(kK));
+    entry.set("pipelines", std::move(pipelines_json));
+    point_array.push_back(std::move(entry));
+  }
+  const std::string path =
+      bench::write_bench_json_points("tree_scaling", std::move(point_array));
+
+  std::printf("tree scaling: %s (largest point N=%zu, %.2fx vs the dense "
+              "model)\nwrote %s\n",
+              ok ? "PASS" : "FAIL", last.n, last_win, path.c_str());
+  return ok ? 0 : 1;
+}

@@ -25,6 +25,7 @@
 #include "robust/abft.h"
 #include "robust/recovery.h"
 #include "shard/types.h"
+#include "tree/types.h"
 #include "workload/point_generators.h"
 
 namespace ksum::pipelines {
@@ -118,6 +119,14 @@ struct RunOptions {
   /// results bit-identically to the single-device run. Sharded runs reject
   /// a plain `fault_injector` — use `shards.injector_factory`.
   shard::ShardSpec shards;
+  /// Treecode approximation (src/tree/, docs/TREECODE.md). `tree.eps > 0`
+  /// makes solve() route applicable fused-backend requests through the
+  /// hierarchical near/far evaluation with an ∞-norm truncation budget of
+  /// eps; inapplicable requests (no far pair at this shape, a
+  /// TreeMode::kAuto cost-model loss) fall back to the dense path
+  /// byte-identically, recorded in SolveResult::tree. Rejected next to
+  /// fault injection, non-Gaussian kernels and non-fused backends.
+  tree::TreeSpec tree;
   /// When non-null and the fused solution runs with atomic_reduction ==
   /// false, run_pipeline downloads the kernel's staging buffer (one partial
   /// V value per (row, column-CTA)) into this sink after the run. This is

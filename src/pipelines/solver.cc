@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <numeric>
+#include <utility>
 
 #include "common/error.h"
 
 #include "common/timer.h"
 #include "shard/runner.h"
+#include "tree/solve.h"
 #include "workload/padding.h"
 
 namespace ksum::pipelines {
@@ -33,6 +35,11 @@ SolveResult solve(const workload::Instance& instance,
   Timer timer;
   SolveResult out;
   std::optional<workload::Instance> pad_storage;
+  // Misused tree options fail fast for every backend (negative eps, host
+  // or non-fused backends, fault injection, non-Gaussian kernels).
+  if (options.tree.enabled()) {
+    tree::validate_options(options, params, backend);
+  }
   switch (backend) {
     case Backend::kCpuDirect:
     case Backend::kCpuExpansion:
@@ -70,6 +77,31 @@ SolveResult solve(const workload::Instance& instance,
         }
       }
 
+      // Treecode route (src/tree/): build the near/far plan and run the
+      // hierarchical evaluation when it applies. The fallback rules (no
+      // far-field pair at this eps/shape, an auto-mode cost-model loss,
+      // n-axis sharding) drop through to the dense code below with the
+      // tree options cleared, so the fallback run is byte-identical to an
+      // eps == 0 run; SolveResult::tree records which way it went.
+      std::optional<tree::TreeReport> dense_fallback_tree;
+      if (run_options.tree.enabled()) {
+        tree::TreeDecision decision =
+            tree::decide(instance, params, run_options);
+        if (decision.use_tree) {
+          out = tree::evaluate(instance, params, run_options,
+                               std::move(*decision.plan),
+                               decision.build_seconds);
+          break;
+        }
+        tree::TreeReport report;
+        report.eps = run_options.tree.eps;
+        report.used_tree = false;
+        report.fallback_reason = decision.fallback_reason;
+        report.build_seconds = decision.build_seconds;
+        dense_fallback_tree = std::move(report);
+        run_options.tree = tree::TreeSpec{};
+      }
+
       // Sharded execution splits the request across several warm devices
       // and merges the results bit-identically to the single-device run —
       // the geometry above is resolved for the *full* shape first, so the
@@ -77,6 +109,7 @@ SolveResult solve(const workload::Instance& instance,
       // run pads to (docs/SHARDING.md).
       if (run_options.shards.enabled()) {
         out = shard::run_sharded(instance, params, backend, run_options);
+        out.tree = std::move(dense_fallback_tree);
         break;
       }
 
@@ -158,6 +191,7 @@ SolveResult solve(const workload::Instance& instance,
         out.v = std::move(report.result);
       }
       out.report = std::move(report);
+      out.tree = std::move(dense_fallback_tree);
       break;
     }
   }

@@ -37,6 +37,10 @@ struct SolveResult {
   /// Present when the run was sharded (options.shards.count != 1): the
   /// plan the runner executed and what happened to each shard.
   std::optional<shard::ShardReport> shards;
+  /// Present when RunOptions::tree was enabled: what the treecode did —
+  /// including the dense fallbacks, where `used_tree` is false and
+  /// `fallback_reason` says why (docs/TREECODE.md).
+  std::optional<tree::TreeReport> tree;
 };
 
 /// Evaluates V_i = Σ_j K(α_i, β_j)·W_j with the chosen backend. Shapes that

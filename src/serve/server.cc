@@ -307,6 +307,13 @@ void Server::run_solve(WorkerContext& ctx, const Pending& item) {
       run.checks.enabled = true;
       run.recovery.enabled = true;
     }
+    if (run.tree.enabled() && (request.backend != pipelines::Backend::kSimFused ||
+                               request.fault_rate > 0)) {
+      // The daemon-wide treecode budget only applies where the ε contract
+      // holds: fused-backend requests without fault injection. Everything
+      // else runs the dense path it would have run without --tree-eps.
+      run.tree = tree::TreeSpec{};
+    }
 
     const bool simulated = request.backend != pipelines::Backend::kCpuDirect &&
                            request.backend != pipelines::Backend::kCpuExpansion;
@@ -399,6 +406,7 @@ void Server::run_solve(WorkerContext& ctx, const Pending& item) {
       token.check();
       pipelines::RunOptions host_run = options_.run;
       host_run.cancel = &token;
+      host_run.tree = tree::TreeSpec{};  // no fused near field on the host
       result = pipelines::solve(instance, params,
                                 pipelines::Backend::kCpuExpansion, host_run);
       info.backend = pipelines::Backend::kCpuExpansion;

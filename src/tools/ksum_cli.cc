@@ -31,6 +31,7 @@
 #include <iostream>
 #include <memory>
 
+#include "analytic/pipeline_model.h"
 #include "blas/vector_ops.h"
 #include "common/flags.h"
 #include "common/timer.h"
@@ -193,6 +194,66 @@ void shards_from_flags(const FlagParser& flags, bool simulated,
   } else if (axis == "n") {
     options.shards.axis = shard::ShardAxis::kN;
   }
+}
+
+/// TreeMode::kAuto dense cost: the analytic full-pipeline estimate of the
+/// dense fused run — the same numbers `ksum-cli sweep` and the bench
+/// binaries report — so the dense-vs-tree decision is consistent with what
+/// the repo publishes. The treecode takes the model through the
+/// tree::DenseCostModel interface because src/analytic links the pipelines
+/// (the dependency cannot point the other way).
+class AnalyticDenseCost : public tree::DenseCostModel {
+ public:
+  explicit AnalyticDenseCost(const pipelines::RunOptions& options)
+      : model_(options) {}
+  double dense_seconds(std::size_t m, std::size_t n,
+                       std::size_t k) const override {
+    return model_.estimate(pipelines::Solution::kFused, m, n, k).seconds;
+  }
+
+ private:
+  mutable analytic::PipelineModel model_;
+};
+
+/// Applies --tree-eps/--tree to `options`. Returns the cost-model adapter
+/// TreeMode::kAuto consults — keep it alive through the solve. Throws
+/// ksum::Error (exit 2) for the combinations the treecode cannot honour
+/// (docs/TREECODE.md): host and unfused backends have no fused tile kernel
+/// for the near field, and fault injection voids the ε guarantee.
+std::unique_ptr<tree::DenseCostModel> tree_from_flags(
+    const FlagParser& flags, pipelines::Backend backend,
+    pipelines::RunOptions& options) {
+  const std::string mode = flags.get_string("tree", "force");
+  KSUM_REQUIRE(mode == "force" || mode == "auto",
+               "--tree must be force or auto, got: " + mode);
+  if (!flags.has("tree-eps")) {
+    KSUM_REQUIRE(!flags.has("tree"),
+                 "conflicting flags: --tree qualifies --tree-eps; give "
+                 "--tree-eps=EPS too");
+    return nullptr;
+  }
+  const double eps = flags.get_double("tree-eps", 0.0);
+  KSUM_REQUIRE(eps >= 0.0,
+               "--tree-eps must be non-negative, got: " + std::to_string(eps));
+  KSUM_REQUIRE(backend == pipelines::Backend::kSimFused,
+               "conflicting flags: --tree-eps needs --solution=fused "
+               "(the near field runs through the fused tile kernel)");
+  KSUM_REQUIRE(flags.get_double("fault-rate", 0.0) == 0.0,
+               "conflicting flags: --tree-eps cannot run under --fault-rate "
+               "(an injected fault in a near-field block voids the eps "
+               "guarantee)");
+  options.tree.eps = eps;
+  options.tree.box_leaf = flags.get_size("tree-box-leaf", options.tree.box_leaf);
+  options.tree.row_leaf = flags.get_size("tree-row-leaf", options.tree.row_leaf);
+  KSUM_REQUIRE(options.tree.box_leaf >= 1 && options.tree.row_leaf >= 1,
+               "--tree-box-leaf and --tree-row-leaf must be positive");
+  if (mode == "auto") {
+    options.tree.mode = tree::TreeMode::kAuto;
+    auto model = std::make_unique<AnalyticDenseCost>(options);
+    options.tree.cost_model = model.get();
+    return model;
+  }
+  return nullptr;
 }
 
 /// Builds the fault injector requested by --fault-rate/--fault-seed (null
@@ -465,7 +526,17 @@ int cmd_solve(int argc, const char* const* argv) {
                "split the run across N warm devices with a bit-identical "
                "merge, or 'auto' to fit each shard into the device arena")
       .declare("shard-axis",
-               "axis to split for --shards: m | n | auto (planner picks)");
+               "axis to split for --shards: m | n | auto (planner picks)")
+      .declare("tree-eps",
+               "treecode max-abs error budget eps (docs/TREECODE.md); "
+               "0 = dense execution")
+      .declare("tree",
+               "treecode decision for --tree-eps: force | auto (the "
+               "analytic cost model picks dense when it is cheaper)")
+      .declare("tree-box-leaf",
+               "treecode box capacity for the weighted points (default 256)")
+      .declare("tree-row-leaf",
+               "treecode row-cluster capacity (default 128)");
   flags.parse(argc, argv, 2);
   if (flags.get_bool("help")) {
     std::printf("ksum-cli solve — run one kernel summation\n%s",
@@ -527,6 +598,7 @@ int cmd_solve(int argc, const char* const* argv) {
   const auto profile = profile_from_flags(flags);
   auto options = options_from_flags(flags, profile);
   shards_from_flags(flags, simulated, backend, options);
+  const auto dense_cost = tree_from_flags(flags, backend, options);
 
   if (flags.has("batch")) {
     return run_batch(flags, backend, profile.name, options);
@@ -562,6 +634,9 @@ int cmd_solve(int argc, const char* const* argv) {
   }
   if (result.shards.has_value()) {
     print_shard_report(*result.shards);
+  }
+  if (result.tree.has_value()) {
+    std::printf("%s\n", result.tree->to_string().c_str());
   }
   if (plan) {
     std::printf("%s\n", plan->to_string().c_str());

@@ -4,6 +4,8 @@
 //                       [--trace=FILE] [--top-sites=N] [--verbose]
 //   ksum-prof --batch=<p1,p2,...|all> [--threads=N] [--json|--json-out=FILE]
 //   ksum-prof --shards=N [--shard-axis=m|n] [--json|--json-out=FILE]
+//   ksum-prof --tree-eps=E [--tree-box-leaf=B] [--tree-row-leaf=R]
+//                          [--json|--json-out=FILE]
 //   ksum-prof --list
 //
 // Runs the named program (see ksum-lint --list / ksum-prof --list) with a
@@ -29,6 +31,13 @@
 //                    device, and the per-shard records merge into one
 //                    ksum-prof-shard-v1 document (docs/SHARDING.md)
 //   --shard-axis=A   axis for --shards: m | n | auto (planner picks)
+//   --tree-eps=E     profile the treecode interaction plan (512×2048, K=2,
+//                    h=0.05) at error budget E: near/far pair counts, the
+//                    analytic truncation bound, and modelled dense-vs-tree
+//                    seconds, emitted as a ksum-prof-tree-v1 record
+//                    (docs/TREECODE.md) — no kernels run
+//   --tree-box-leaf / --tree-row-leaf   leaf sizes for --tree-eps
+//                    (default 64/64)
 //   --profile=P      device profile for every mode: a built-in name
 //                    (gtx970 | titanx-maxwell | modern) or a
 //                    ksum-device-profile-v1 file; the record's device.name
@@ -67,6 +76,8 @@
 #include "profile/trace_export.h"
 #include "shard/plan.h"
 #include "shard/runner.h"
+#include "tree/cost.h"
+#include "tree/plan.h"
 #include "workload/padding.h"
 #include "workload/point_generators.h"
 
@@ -419,6 +430,134 @@ int run_shard_prof(const FlagParser& flags, const std::string& layout_name,
   return 0;
 }
 
+/// The --tree-eps path: builds the treecode interaction plan (docs/
+/// TREECODE.md) at a fixed far-field-friendly shape (512×2048, K=2,
+/// h=0.05) and prices both sides of the near/far split against the active
+/// device profile — no kernels run; the record is a pure function of
+/// (eps, leaf sizes, profile). Emitted as a ksum-prof-tree-v1 document:
+///
+///   {"schema":"ksum-prof-tree-v1", "shape":{...}, "eps":E,
+///    "device":{"name":...},
+///    "plan":{"row_clusters","boxes","near_pairs","far0_pairs",
+///            "far1_pairs","near_interactions","near_fraction",
+///            "budget","bound_total"},
+///    "model":{"dense_seconds","tree_seconds","speedup"}}
+int run_tree_prof(const FlagParser& flags,
+                  const config::profiles::DeviceProfile& dev,
+                  const std::string& usage) {
+  KSUM_REQUIRE(flags.positional().empty(),
+               "--tree-eps takes no positional program (it profiles the "
+               "treecode plan)\n" + usage);
+  KSUM_REQUIRE(!flags.has("batch"),
+               "conflicting flags: --tree-eps and --batch are separate "
+               "modes");
+  KSUM_REQUIRE(!flags.has("shards"),
+               "conflicting flags: --tree-eps and --shards are separate "
+               "modes");
+  KSUM_REQUIRE(!flags.has("trace"),
+               "conflicting flags: --trace profiles a single program");
+  KSUM_REQUIRE(!flags.has("top-sites"),
+               "conflicting flags: --top-sites shapes the single-program "
+               "human report");
+  KSUM_REQUIRE(!(flags.get_bool("json") && flags.has("json-out")),
+               "conflicting flags: use --json (stdout) or --json-out=FILE, "
+               "not both\n" + usage);
+
+  const double eps = flags.get_double("tree-eps", 0.0);
+  KSUM_REQUIRE(eps > 0.0,
+               "--tree-eps must be positive, got " + std::to_string(eps));
+  const long long box_leaf = flags.get_int("tree-box-leaf", 64);
+  const long long row_leaf = flags.get_int("tree-row-leaf", 64);
+  KSUM_REQUIRE(box_leaf >= 1 && row_leaf >= 1,
+               "--tree-box-leaf and --tree-row-leaf must be positive");
+
+  // Fixed far-field-friendly shape: low K and a bandwidth far below the
+  // box diameter, so the plan has a real near/far mix to price.
+  workload::ProblemSpec spec;
+  spec.m = 512;
+  spec.n = 2048;
+  spec.k = 2;
+  spec.bandwidth = 0.05f;
+  spec.seed = 7;
+  const workload::Instance instance = workload::make_instance(spec);
+  const core::KernelParams params = core::params_from_spec(spec);
+
+  tree::TreeSpec tspec;
+  tspec.eps = eps;
+  tspec.box_leaf = static_cast<std::size_t>(box_leaf);
+  tspec.row_leaf = static_cast<std::size_t>(row_leaf);
+  const tree::TreePlan plan = tree::build_plan(instance, params, tspec);
+
+  pipelines::RunOptions run;  // default tile geometry
+  const auto& geometry = run.mainloop.geometry;
+  const auto tile_m = static_cast<std::size_t>(geometry.tile_m);
+  const auto tile_n = static_cast<std::size_t>(geometry.tile_n);
+  const double dense_seconds = tree::dense_roofline_seconds(
+      spec.m, spec.n, spec.k, tile_m, tile_n, dev.device);
+  const double tree_seconds = tree::tree_seconds_estimate(
+      plan, spec.k, tile_m, tile_n, dev.device);
+  const double total_interactions =
+      static_cast<double>(spec.m) * static_cast<double>(spec.n);
+
+  profile::Json record = profile::Json::object();
+  record.set("schema", "ksum-prof-tree-v1");
+  record.set("shape", profile::Json::object()
+                          .set("m", static_cast<std::uint64_t>(spec.m))
+                          .set("n", static_cast<std::uint64_t>(spec.n))
+                          .set("k", static_cast<std::uint64_t>(spec.k)));
+  record.set("eps", eps);
+  record.set("device", profile::Json::object().set("name", dev.name));
+  record.set(
+      "plan",
+      profile::Json::object()
+          .set("row_clusters",
+               static_cast<std::uint64_t>(plan.rows.size()))
+          .set("boxes", static_cast<std::uint64_t>(plan.boxes.size()))
+          .set("near_pairs", static_cast<std::uint64_t>(plan.near_pairs))
+          .set("far0_pairs", static_cast<std::uint64_t>(plan.far0_pairs))
+          .set("far1_pairs", static_cast<std::uint64_t>(plan.far1_pairs))
+          .set("near_interactions", plan.near_interactions)
+          .set("near_fraction", plan.near_interactions / total_interactions)
+          .set("budget", plan.budget)
+          .set("bound_total", plan.bound_total));
+  record.set("model", profile::Json::object()
+                          .set("dense_seconds", dense_seconds)
+                          .set("tree_seconds", tree_seconds)
+                          .set("speedup", dense_seconds / tree_seconds));
+  // Self-check mirroring the other modes: the record must carry the plan
+  // invariant the docs promise (bound_total ≤ eps whenever a far pair
+  // exists).
+  if (plan.has_far_pair() && !(plan.bound_total <= eps)) {
+    throw InternalError("emitted tree record violates bound_total <= eps");
+  }
+
+  if (flags.has("json-out")) {
+    const std::string path = flags.get_string("json-out", "");
+    KSUM_REQUIRE(!path.empty(), "--json-out needs a file path");
+    write_file(path, record.dump());
+    std::fprintf(stderr, "ksum-prof: wrote tree record to %s\n",
+                 path.c_str());
+  }
+  if (flags.get_bool("json")) {
+    std::printf("%s", record.dump().c_str());
+    return 0;
+  }
+  std::printf("treecode plan %zux%zu K=%zu, eps=%g, %s profile\n", spec.m,
+              spec.n, spec.k, eps, dev.name.c_str());
+  std::printf("  %zu row cluster(s) x %zu box(es): %zu near, %zu far "
+              "order-0, %zu far order-1\n",
+              plan.rows.size(), plan.boxes.size(), plan.near_pairs,
+              plan.far0_pairs, plan.far1_pairs);
+  std::printf("  near fraction %.1f%% of %zux%zu interactions, analytic "
+              "bound %.3e (budget %.3e per unit weight)\n",
+              100.0 * plan.near_interactions / total_interactions, spec.m,
+              spec.n, plan.bound_total, plan.budget);
+  std::printf("  modelled: dense %.3f ms, tree %.3f ms (%.2fx)\n",
+              dense_seconds * 1e3, tree_seconds * 1e3,
+              dense_seconds / tree_seconds);
+  return 0;
+}
+
 int cmd_prof(int argc, const char* const* argv) {
   FlagParser flags;
   flags.declare("layout", "shared-memory tile layout: fig5 (default), naive");
@@ -439,6 +578,13 @@ int cmd_prof(int argc, const char* const* argv) {
                 "record");
   flags.declare("shard-axis",
                 "axis for --shards: m | n | auto (planner picks)");
+  flags.declare("tree-eps",
+                "profile the treecode interaction plan at error budget EPS "
+                "and emit a ksum-prof-tree-v1 record (docs/TREECODE.md)");
+  flags.declare("tree-box-leaf",
+                "source points per tree box for --tree-eps (default 64)");
+  flags.declare("tree-row-leaf",
+                "rows per cluster for --tree-eps (default 64)");
   flags.declare("profile",
                 "device profile: gtx970 | titanx-maxwell | modern, or a "
                 "ksum-device-profile-v1 JSON file");
@@ -489,6 +635,13 @@ int cmd_prof(int argc, const char* const* argv) {
   KSUM_REQUIRE(!flags.has("shard-axis") || flags.has("shards"),
                "conflicting flags: --shard-axis qualifies --shards; give "
                "--shards=N too");
+  KSUM_REQUIRE((!flags.has("tree-box-leaf") && !flags.has("tree-row-leaf")) ||
+                   flags.has("tree-eps"),
+               "conflicting flags: --tree-box-leaf/--tree-row-leaf qualify "
+               "--tree-eps; give --tree-eps=EPS too");
+  if (flags.has("tree-eps")) {
+    return run_tree_prof(flags, dev, usage);
+  }
   if (flags.has("shards")) {
     return run_shard_prof(flags, layout, options, dev, usage);
   }

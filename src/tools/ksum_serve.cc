@@ -28,6 +28,9 @@
 //   --max-shards=N     split a request oversized on one of M or N across up
 //                      to N per-device shards instead of refusing it
 //                      (default 1 = shed; docs/SHARDING.md)
+//   --tree-eps=E       daemon-wide treecode error budget (docs/TREECODE.md);
+//                      applies to fused fault-free requests, everything else
+//                      runs the dense path unchanged
 //   --profile=P        device profile the warm devices simulate: a built-in
 //                      name (gtx970 | titanx-maxwell | modern) or a
 //                      ksum-device-profile-v1 file (docs/PROFILES.md)
@@ -73,6 +76,9 @@ int cmd_serve(int argc, const char* const* argv) {
       .declare("max-shards",
                "split an oversized M or N across up to N per-device shards "
                "instead of refusing (default 1 = shed)")
+      .declare("tree-eps",
+               "daemon-wide treecode error budget for fused fault-free "
+               "requests; other requests run dense (docs/TREECODE.md)")
       .declare("profile",
                "device profile: gtx970 | titanx-maxwell | modern, or a "
                "ksum-device-profile-v1 JSON file")
@@ -108,6 +114,9 @@ int cmd_serve(int argc, const char* const* argv) {
   options.max_k = flags.get_size("max-k", 256);
   options.max_shards = flags.get_size("max-shards", 1);
   KSUM_REQUIRE(options.max_shards >= 1, "--max-shards must be >= 1");
+  options.run.tree.eps = flags.get_double("tree-eps", 0.0);
+  KSUM_REQUIRE(options.run.tree.eps >= 0.0,
+               "--tree-eps must be non-negative");
   const auto dev =
       config::profiles::resolve(flags.get_string("profile", "gtx970"));
   options.run.device = dev.device;

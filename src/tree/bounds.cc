@@ -1,0 +1,51 @@
+#include "tree/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ksum::tree {
+namespace {
+
+double gaussian(double d, double h) { return std::exp(-d * d / (2 * h * h)); }
+
+}  // namespace
+
+double gradient_envelope(double a, double h) {
+  KSUM_REQUIRE(h > 0, "tree bounds need a positive bandwidth");
+  a = std::max(a, 0.0);
+  // g(d) = (d/h²)·e^{−d²/2h²} increases to its peak at d = h and decreases
+  // beyond it, so the supremum over [a, ∞) is g(max-point) or g(a).
+  if (a <= h) return std::exp(-0.5) / h;
+  return (a / (h * h)) * gaussian(a, h);
+}
+
+double hessian_envelope(double a, double h) {
+  KSUM_REQUIRE(h > 0, "tree bounds need a positive bandwidth");
+  a = std::max(a, 0.0);
+  const double h2 = h * h;
+  // φ(d) = (e^{−d²/2h²}/h²)·max(1, |d²/h² − 1|). On [0, √2·h] the max term
+  // is 1 and φ decays, so the branch supremum is φ(a). Beyond √2·h the
+  // branch (d²/h² − 1)·e^{−d²/2h²}/h² peaks at d = √3·h with value
+  // 2e^{−3/2}/h².
+  const double at_a =
+      (gaussian(a, h) / h2) * std::max(1.0, std::abs(a * a / h2 - 1.0));
+  const double sqrt3h = std::sqrt(3.0) * h;
+  if (a <= sqrt3h) {
+    return std::max(at_a, 2.0 * std::exp(-1.5) / h2);
+  }
+  return at_a;
+}
+
+double order0_bound(double r, double center_dist, double h) {
+  const double a = std::max(0.0, center_dist - r);
+  return r * gradient_envelope(a, h);
+}
+
+double order1_bound(double r, double center_dist, double h) {
+  const double a = std::max(0.0, center_dist - r);
+  return 0.5 * r * r * hessian_envelope(a, h);
+}
+
+}  // namespace ksum::tree

@@ -1,0 +1,38 @@
+// Analytic truncation-error bounds for the Gaussian far-field series.
+//
+// For K(x, y) = exp(−‖x−y‖²/2h²) expanded about a box center c, the
+// order-p Taylor remainder over a box of radius r, seen from an evaluation
+// point whose distance to c is at least D, is bounded by the classical
+// derivative envelopes (docs/TREECODE.md derives both):
+//
+//   order 0:  |K(x,y) − K(x,c)|            ≤ r · G(max(0, D − r))
+//   order 1:  |K(x,y) − K(x,c)
+//               − ∇_y K(x,c)·(y−c)|        ≤ ½ r² · H(max(0, D − r))
+//
+// where G(a) = sup_{d≥a} (d/h²)·e^{−d²/2h²} is the gradient-norm envelope
+// and H(a) = sup_{d≥a} (e^{−d²/2h²}/h²)·max(1, |d²/h² − 1|) the Hessian
+// spectral-norm envelope. Both suprema are closed-form: G peaks at d = h,
+// H's large-d branch peaks at d = √3·h.
+//
+// These are per-unit-weight bounds: multiplied by a box's Σ|w| they bound
+// that box's contribution to the ∞-norm output error, which is how the
+// planner splits the user's ε across boxes (tree/plan.h).
+#pragma once
+
+namespace ksum::tree {
+
+/// sup over d ≥ a of ‖∇_y K‖ = (d/h²)·e^{−d²/2h²}.
+double gradient_envelope(double a, double h);
+
+/// sup over d ≥ a of ‖H_y K‖₂ = (e^{−d²/2h²}/h²)·max(1, |d²/h² − 1|).
+double hessian_envelope(double a, double h);
+
+/// Per-unit-weight remainder bound of the order-0 (monopole) approximation
+/// for a box of radius `r` whose center is at least `center_dist` away
+/// from the evaluation point.
+double order0_bound(double r, double center_dist, double h);
+
+/// Same for the order-1 (monopole + dipole) approximation.
+double order1_bound(double r, double center_dist, double h);
+
+}  // namespace ksum::tree

@@ -1,0 +1,117 @@
+#include "tree/cost.h"
+
+#include <algorithm>
+
+#include "workload/padding.h"
+
+namespace ksum::tree {
+namespace {
+
+// Flop accounting per (row, far box) term: 2K for the d² expansion, ~8 for
+// the exponential (the timing model's SFU convention), plus the series
+// combine; the dipole adds a K-length dot product and the 1/h² scale.
+constexpr double kOrder0FlopsPerK = 2.0;
+constexpr double kOrder0FlopsFixed = 10.0;
+constexpr double kOrder1FlopsPerK = 4.0;
+constexpr double kOrder1FlopsFixed = 14.0;
+
+}  // namespace
+
+double roofline_seconds(double flops, double bytes,
+                        const config::DeviceSpec& device) {
+  const double compute = flops / device.peak_sp_flops();
+  const double memory = bytes / (device.dram_bandwidth_gb_s * 1e9);
+  return std::max(compute, memory);
+}
+
+double far_field_flops(const TreePlan& plan) {
+  const double k = static_cast<double>(plan.column_part.order.empty()
+                                           ? 0
+                                           : plan.boxes.front().center.size());
+  double flops = 0;
+  for (std::size_t rc = 0; rc < plan.rows.size(); ++rc) {
+    const double rows = static_cast<double>(plan.rows[rc].range.size());
+    for (std::size_t bx = 0; bx < plan.boxes.size(); ++bx) {
+      switch (plan.at(rc, bx)) {
+        case PairKind::kNear:
+          break;
+        case PairKind::kFarOrder0:
+          flops += rows * (kOrder0FlopsPerK * k + kOrder0FlopsFixed);
+          break;
+        case PairKind::kFarOrder1:
+          flops += rows * (kOrder1FlopsPerK * k + kOrder1FlopsFixed);
+          break;
+      }
+    }
+  }
+  return flops;
+}
+
+double far_field_bytes(const TreePlan& plan) {
+  const double k = static_cast<double>(plan.column_part.order.empty()
+                                           ? 0
+                                           : plan.boxes.front().center.size());
+  double bytes = 0;
+  for (std::size_t rc = 0; rc < plan.rows.size(); ++rc) {
+    const double rows = static_cast<double>(plan.rows[rc].range.size());
+    for (std::size_t bx = 0; bx < plan.boxes.size(); ++bx) {
+      const PairKind kind = plan.at(rc, bx);
+      if (kind == PairKind::kNear) continue;
+      // Row coordinates stream once per pair; the box summary (center, and
+      // the moment for order 1) is a handful of doubles; the accumulator
+      // updates in registers and writes back once per pair.
+      bytes += rows * k * 4.0 + k * 8.0 + rows * 4.0;
+      if (kind == PairKind::kFarOrder1) bytes += k * 8.0;
+    }
+  }
+  return bytes;
+}
+
+double far_field_seconds(const TreePlan& plan,
+                         const config::DeviceSpec& device) {
+  return roofline_seconds(far_field_flops(plan), far_field_bytes(plan),
+                          device);
+}
+
+double dense_roofline_seconds(std::size_t m, std::size_t n, std::size_t k,
+                              std::size_t tile_m, std::size_t tile_n,
+                              const config::DeviceSpec& device) {
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  const double flops = 2.0 * dm * dn * dk + 8.0 * dm * dn;
+  // Tiled GEMM traffic: A re-read once per column-tile stripe, B once per
+  // row-tile stripe, plus the norms pass and the output.
+  const double stripes_a = dn / static_cast<double>(std::max<std::size_t>(
+                                    tile_n, 1));
+  const double stripes_b = dm / static_cast<double>(std::max<std::size_t>(
+                                    tile_m, 1));
+  const double bytes = 4.0 * (dm * dk * std::max(1.0, stripes_a) +
+                              dk * dn * std::max(1.0, stripes_b) +
+                              dm * dk + dk * dn + dm + dn);
+  return roofline_seconds(flops, bytes, device);
+}
+
+double tree_seconds_estimate(const TreePlan& plan, std::size_t k,
+                             std::size_t tile_m, std::size_t tile_n,
+                             const config::DeviceSpec& device) {
+  double seconds = far_field_seconds(plan, device);
+  // Each row cluster's near field runs as one padded fused sub-problem
+  // over its gathered columns.
+  for (std::size_t rc = 0; rc < plan.rows.size(); ++rc) {
+    std::size_t near_cols = 0;
+    for (std::size_t bx = 0; bx < plan.boxes.size(); ++bx) {
+      if (plan.at(rc, bx) == PairKind::kNear) {
+        near_cols += plan.boxes[bx].range.size();
+      }
+    }
+    if (near_cols == 0) continue;
+    const std::size_t rows =
+        workload::round_up(plan.rows[rc].range.size(), std::size_t{128});
+    const std::size_t cols = workload::round_up(near_cols, std::size_t{128});
+    seconds += dense_roofline_seconds(rows, cols, k, tile_m, tile_n, device);
+  }
+  return seconds;
+}
+
+}  // namespace ksum::tree

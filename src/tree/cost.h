@@ -1,0 +1,45 @@
+// Roofline cost model for the treecode (and the dense fallback estimate
+// TreeMode::kAuto compares against when no DenseCostModel is wired in).
+//
+// The far-field series runs on the host in this reproduction, but the
+// decision the cost model supports is architectural — would the modelled
+// device spend less time on the dense fused kernel or on the tree's
+// near-field sub-kernels plus the series? Both sides are therefore priced
+// against the active device profile's peak FLOP/s and DRAM bandwidth:
+// seconds = max(flops / peak, bytes / bandwidth). The dense side can also
+// be supplied by the full analytic pipeline model through
+// TreeSpec::cost_model (ksum-cli does this), which prices the real kernel
+// sequence instead of this envelope.
+#pragma once
+
+#include "config/device_spec.h"
+#include "tree/plan.h"
+
+namespace ksum::tree {
+
+/// max(flops / peak_sp_flops, bytes / dram_bandwidth).
+double roofline_seconds(double flops, double bytes,
+                        const config::DeviceSpec& device);
+
+/// Work of the far-field series evaluation: per (row, far box) the order-0
+/// term costs the d² expansion plus the exponential, the order-1 term adds
+/// the moment dot product.
+double far_field_flops(const TreePlan& plan);
+double far_field_bytes(const TreePlan& plan);
+double far_field_seconds(const TreePlan& plan,
+                         const config::DeviceSpec& device);
+
+/// Dense fused-pipeline envelope used when no DenseCostModel is supplied:
+/// GEMM + eval + GEMV flops against tiled operand re-reads.
+double dense_roofline_seconds(std::size_t m, std::size_t n, std::size_t k,
+                              std::size_t tile_m, std::size_t tile_n,
+                              const config::DeviceSpec& device);
+
+/// Predicted treecode seconds: the near pairs priced as padded fused
+/// sub-problems (one per row cluster) plus the far-field series. Host-side
+/// plan construction is excluded — it is not device work.
+double tree_seconds_estimate(const TreePlan& plan, std::size_t k,
+                             std::size_t tile_m, std::size_t tile_n,
+                             const config::DeviceSpec& device);
+
+}  // namespace ksum::tree

@@ -1,0 +1,151 @@
+#include "tree/partition.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ksum::tree {
+namespace {
+
+/// Accessor of coordinate `d` of point `p` for either storage side.
+struct ColumnCoords {
+  const Matrix* b;
+  float operator()(std::size_t point, std::size_t dim) const {
+    return b->at(dim, point);
+  }
+  std::size_t dims() const { return b->rows(); }
+};
+
+struct RowCoords {
+  const Matrix* a;
+  float operator()(std::size_t point, std::size_t dim) const {
+    return a->at(point, dim);
+  }
+  std::size_t dims() const { return a->cols(); }
+};
+
+/// Widest coordinate of the points in order[begin, end): the dimension with
+/// the largest max−min spread, ties broken toward the lowest index so the
+/// choice is deterministic.
+template <typename Coords>
+std::size_t widest_dim(const Coords& coords,
+                       const std::vector<std::size_t>& order,
+                       std::size_t begin, std::size_t end) {
+  std::size_t best_dim = 0;
+  float best_spread = -1.0f;
+  for (std::size_t d = 0; d < coords.dims(); ++d) {
+    float lo = coords(order[begin], d);
+    float hi = lo;
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const float v = coords(order[i], d);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const float spread = hi - lo;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_dim = d;
+    }
+  }
+  return best_dim;
+}
+
+template <typename Coords>
+Partition build(const Coords& coords, std::vector<std::size_t> order,
+                std::size_t leaf_target, std::size_t max_depth) {
+  KSUM_REQUIRE(leaf_target > 0, "tree leaf size must be positive");
+  Partition part;
+  part.order = std::move(order);
+  const std::size_t count = part.order.size();
+  if (count == 0) return part;
+
+  // Balanced midpoint splits keep every node within one point of its
+  // siblings, so the recursion depth is a pure function of count.
+  std::size_t depth = 0;
+  std::size_t widest = count;
+  while (widest > leaf_target && depth < max_depth) {
+    widest = (widest + 1) / 2;
+    ++depth;
+  }
+  part.depth = depth;
+
+  struct Node {
+    std::size_t begin, end, depth;
+  };
+  std::vector<Node> stack{{0, count, 0}};
+  while (!stack.empty()) {
+    const Node node = stack.back();
+    stack.pop_back();
+    if (node.depth == part.depth || node.end - node.begin <= 1) {
+      part.leaves.push_back({node.begin, node.end});
+      continue;
+    }
+    const std::size_t dim =
+        widest_dim(coords, part.order, node.begin, node.end);
+    // Stable sort: points with equal split coordinates keep their incoming
+    // (canonical) relative order, which the permutation-invariance contract
+    // relies on.
+    std::stable_sort(part.order.begin() + static_cast<std::ptrdiff_t>(
+                                              node.begin),
+                     part.order.begin() + static_cast<std::ptrdiff_t>(
+                                              node.end),
+                     [&](std::size_t x, std::size_t y) {
+                       return coords(x, dim) < coords(y, dim);
+                     });
+    const std::size_t mid = node.begin + (node.end - node.begin + 1) / 2;
+    // Push the right half first so the left half pops first and the leaf
+    // list comes out in ascending index order.
+    stack.push_back({mid, node.end, node.depth + 1});
+    stack.push_back({node.begin, mid, node.depth + 1});
+  }
+  // Depth-first with the left child popped first yields leaves already
+  // sorted by begin; assert rather than re-sort.
+  for (std::size_t i = 1; i < part.leaves.size(); ++i) {
+    KSUM_CHECK(part.leaves[i - 1].end == part.leaves[i].begin);
+  }
+  return part;
+}
+
+}  // namespace
+
+std::vector<std::size_t> canonical_column_order(const Matrix& b,
+                                                const Vector& w) {
+  const std::size_t n = b.cols();
+  const std::size_t k = b.rows();
+  KSUM_REQUIRE(w.size() == n, "weight vector must match the point count");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    for (std::size_t d = 0; d < k; ++d) {
+      const float a = b.at(d, x);
+      const float c = b.at(d, y);
+      if (a != c) return a < c;
+    }
+    // Same coordinates: order by the weight's bit pattern so the sort is a
+    // pure function of (coords, weight) multisets. NaN-free by workload
+    // construction, but bit comparison would stay deterministic anyway.
+    const auto wx = std::bit_cast<std::uint32_t>(w[x]);
+    const auto wy = std::bit_cast<std::uint32_t>(w[y]);
+    if (wx != wy) return wx < wy;
+    return x < y;  // fully identical points — order cannot matter
+  });
+  return order;
+}
+
+Partition partition_columns(const Matrix& b, const Vector& w,
+                            std::size_t leaf_target, std::size_t max_depth) {
+  return build(ColumnCoords{&b}, canonical_column_order(b, w), leaf_target,
+               max_depth);
+}
+
+Partition partition_rows(const Matrix& a, std::size_t leaf_target,
+                         std::size_t max_depth) {
+  std::vector<std::size_t> order(a.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return build(RowCoords{&a}, std::move(order), leaf_target, max_depth);
+}
+
+}  // namespace ksum::tree

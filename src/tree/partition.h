@@ -1,0 +1,58 @@
+// Deterministic fixed-depth median-split partitions of point sets.
+//
+// Both sides of the treecode use the same builder: the N weighted points
+// (columns of B) become boxes, the M output rows (rows of A) become row
+// clusters. A partition is a permutation of the point indices plus a list
+// of contiguous leaf ranges into it. Splits are balanced (the node is cut
+// at its midpoint along its widest coordinate), so every leaf sits at the
+// same depth — the "fixed-depth spatial boxes" of docs/TREECODE.md — and
+// the whole structure is a pure function of the point set:
+//
+//   * The weighted side starts from a canonical order (coordinates
+//     lexicographically, then weight bits) and every split is a stable
+//     sort, so the final leaf order — and therefore every accumulation and
+//     gather downstream — is invariant under permutation of the input
+//     points. That is what makes V bit-identical under source permutation.
+//   * The row side starts from the caller's row order (output rows must
+//     scatter back to their positions) and is deterministic but not
+//     permutation-canonical; it doesn't need to be.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace ksum::tree {
+
+struct LeafRange {
+  std::size_t begin = 0;  // range into Partition::order
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+struct Partition {
+  /// Permutation of [0, count): leaf-contiguous point indices.
+  std::vector<std::size_t> order;
+  std::vector<LeafRange> leaves;
+  std::size_t depth = 0;
+};
+
+/// Canonical order of the weighted points: sort column indices of `b`
+/// (K×N col-major) by coordinates lexicographically, tie-broken by the
+/// weight's bit pattern. Identical (coords, weight) pairs keep input order,
+/// which cannot affect any downstream float result.
+std::vector<std::size_t> canonical_column_order(const Matrix& b,
+                                                const Vector& w);
+
+/// Partition the columns of `b` (K×N col-major) into boxes of at most
+/// `leaf_target` points, starting from the canonical order above.
+Partition partition_columns(const Matrix& b, const Vector& w,
+                            std::size_t leaf_target, std::size_t max_depth);
+
+/// Partition the rows of `a` (M×K row-major) into clusters of at most
+/// `leaf_target` rows, starting from the identity order.
+Partition partition_rows(const Matrix& a, std::size_t leaf_target,
+                         std::size_t max_depth);
+
+}  // namespace ksum::tree

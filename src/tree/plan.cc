@@ -1,0 +1,154 @@
+#include "tree/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "tree/bounds.h"
+
+namespace ksum::tree {
+namespace {
+
+BoxSummary summarize_box(const Matrix& b, const Vector& w,
+                         const Partition& part, const LeafRange& range) {
+  const std::size_t k = b.rows();
+  BoxSummary box;
+  box.range = range;
+  box.center.assign(k, 0.0);
+  box.moment.assign(k, 0.0);
+  // All reductions walk the canonical order, so every statistic is a pure
+  // function of the point multiset (permutation invariance).
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const std::size_t j = part.order[i];
+    for (std::size_t d = 0; d < k; ++d) {
+      box.center[d] += static_cast<double>(b.at(d, j));
+    }
+  }
+  const double count = static_cast<double>(range.size());
+  for (std::size_t d = 0; d < k; ++d) box.center[d] /= count;
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const std::size_t j = part.order[i];
+    const double wj = static_cast<double>(w[j]);
+    box.weight_sum += wj;
+    box.weight_abs += std::abs(wj);
+    double dist2 = 0;
+    for (std::size_t d = 0; d < k; ++d) {
+      const double delta = static_cast<double>(b.at(d, j)) - box.center[d];
+      dist2 += delta * delta;
+      box.moment[d] += wj * delta;
+    }
+    box.radius = std::max(box.radius, std::sqrt(dist2));
+  }
+  return box;
+}
+
+RowCluster summarize_rows(const Matrix& a, const Partition& part,
+                          const LeafRange& range) {
+  const std::size_t k = a.cols();
+  RowCluster cluster;
+  cluster.range = range;
+  cluster.lo.assign(k, std::numeric_limits<double>::infinity());
+  cluster.hi.assign(k, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = range.begin; i < range.end; ++i) {
+    const std::size_t r = part.order[i];
+    for (std::size_t d = 0; d < k; ++d) {
+      const double v = static_cast<double>(a.at(r, d));
+      cluster.lo[d] = std::min(cluster.lo[d], v);
+      cluster.hi[d] = std::max(cluster.hi[d], v);
+    }
+  }
+  return cluster;
+}
+
+}  // namespace
+
+double aabb_distance(const std::vector<double>& lo,
+                     const std::vector<double>& hi,
+                     const std::vector<double>& c) {
+  double dist2 = 0;
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    const double clamped = std::clamp(c[d], lo[d], hi[d]);
+    const double delta = c[d] - clamped;
+    dist2 += delta * delta;
+  }
+  return std::sqrt(dist2);
+}
+
+TreePlan build_plan(const workload::Instance& instance,
+                    const core::KernelParams& params, const TreeSpec& spec) {
+  KSUM_REQUIRE(spec.eps > 0, "tree plan needs a positive eps");
+  KSUM_REQUIRE(params.type == core::KernelType::kGaussian,
+               "the treecode far-field bound covers the Gaussian kernel only");
+  core::validate(params);
+
+  TreePlan plan;
+  plan.spec = spec;
+  plan.params = params;
+  plan.column_part = partition_columns(instance.b, instance.w, spec.box_leaf,
+                                       spec.max_depth);
+  plan.row_part =
+      partition_rows(instance.a, spec.row_leaf, spec.max_depth);
+
+  plan.boxes.reserve(plan.column_part.leaves.size());
+  for (const LeafRange& range : plan.column_part.leaves) {
+    plan.boxes.push_back(
+        summarize_box(instance.b, instance.w, plan.column_part, range));
+    plan.weight_abs_total += plan.boxes.back().weight_abs;
+  }
+  plan.rows.reserve(plan.row_part.leaves.size());
+  for (const LeafRange& range : plan.row_part.leaves) {
+    plan.rows.push_back(summarize_rows(instance.a, plan.row_part, range));
+  }
+
+  plan.budget = plan.weight_abs_total > 0
+                    ? spec.eps / plan.weight_abs_total
+                    : std::numeric_limits<double>::infinity();
+
+  const double h = static_cast<double>(params.bandwidth);
+  plan.pairs.assign(plan.rows.size() * plan.boxes.size(), PairKind::kNear);
+  for (std::size_t rc = 0; rc < plan.rows.size(); ++rc) {
+    const RowCluster& rows = plan.rows[rc];
+    // Per-row-cluster budget sum: each output row's truncation error is the
+    // sum over its cluster's far boxes, so the ∞-norm guarantee is the max
+    // of these sums — not the total over all pairs.
+    double cluster_bound = 0;
+    for (std::size_t bx = 0; bx < plan.boxes.size(); ++bx) {
+      const BoxSummary& box = plan.boxes[bx];
+      const double dist = aabb_distance(rows.lo, rows.hi, box.center);
+      const double bound0 = order0_bound(box.radius, dist, h);
+      const double bound1 = order1_bound(box.radius, dist, h);
+      PairKind kind = PairKind::kNear;
+      double bound = 0;
+      // Cheapest sufficient order wins; a pair meeting neither bound stays
+      // near and runs dense.
+      if (bound0 <= plan.budget) {
+        kind = PairKind::kFarOrder0;
+        bound = bound0;
+      } else if (bound1 <= plan.budget) {
+        kind = PairKind::kFarOrder1;
+        bound = bound1;
+      }
+      plan.pairs[rc * plan.boxes.size() + bx] = kind;
+      switch (kind) {
+        case PairKind::kNear:
+          ++plan.near_pairs;
+          plan.near_interactions += static_cast<double>(rows.range.size()) *
+                                    static_cast<double>(box.range.size());
+          break;
+        case PairKind::kFarOrder0:
+          ++plan.far0_pairs;
+          cluster_bound += box.weight_abs * bound;
+          break;
+        case PairKind::kFarOrder1:
+          ++plan.far1_pairs;
+          cluster_bound += box.weight_abs * bound;
+          break;
+      }
+    }
+    plan.bound_total = std::max(plan.bound_total, cluster_bound);
+  }
+  return plan;
+}
+
+}  // namespace ksum::tree

@@ -1,0 +1,90 @@
+// The near/far splitter: turns an instance plus a TreeSpec into an
+// executable interaction plan.
+//
+// Every (row cluster, box) pair is classified independently:
+//
+//   * compute a lower bound D on the distance from any row in the cluster
+//     to the box center (point-to-AABB distance, exact for the cluster's
+//     bounding box);
+//   * a pair is far at order p when the per-unit-weight remainder bound
+//     (tree/bounds.h) is ≤ ε / Σ|w|_total — the per-box budget split that
+//     makes Σ_far Σ|w|_box · bound_box ≤ ε regardless of the weights;
+//   * the cheapest sufficient order wins (0 before 1); a pair that meets
+//     neither bound is near and runs through the fused tile kernel.
+//
+// The classification covers the full leaf×box grid — every weighted point
+// is accounted for in exactly one of {near gather, far series} per row
+// cluster, which the splitter tests assert (no dropped neighbors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/kernels.h"
+#include "tree/partition.h"
+#include "tree/types.h"
+#include "workload/point_generators.h"
+
+namespace ksum::tree {
+
+/// Per-box summary of the clustered weighted points, accumulated in double
+/// over the canonical order (partition.h) so it is a pure function of the
+/// point multiset.
+struct BoxSummary {
+  LeafRange range;             // canonical index range in the partition
+  std::vector<double> center;  // K — arithmetic mean of the box points
+  double radius = 0;           // max distance from a box point to center
+  double weight_sum = 0;       // Σ w   (order-0 series coefficient)
+  double weight_abs = 0;       // Σ |w| (error-budget mass)
+  std::vector<double> moment;  // K — Σ w·(y − c) (order-1 coefficient)
+};
+
+/// Axis-aligned bounding box of one row cluster.
+struct RowCluster {
+  LeafRange range;  // index range in the row partition
+  std::vector<double> lo, hi;  // K
+};
+
+enum class PairKind : unsigned char { kNear, kFarOrder0, kFarOrder1 };
+
+struct TreePlan {
+  TreeSpec spec;
+  core::KernelParams params;
+  Partition column_part;  // weighted points (columns of B), canonical
+  Partition row_part;     // output rows of A
+  std::vector<BoxSummary> boxes;
+  std::vector<RowCluster> rows;
+  double weight_abs_total = 0;
+  /// ε / Σ|w| — the per-unit-weight far threshold. +inf when all weights
+  /// are zero (every box is trivially far at order 0: it contributes 0).
+  double budget = 0;
+  /// rows.size() × boxes.size(), row-major.
+  std::vector<PairKind> pairs;
+
+  std::size_t near_pairs = 0;
+  std::size_t far0_pairs = 0;
+  std::size_t far1_pairs = 0;
+  /// Σ over near pairs of rows(cluster)·points(box).
+  double near_interactions = 0;
+  /// Max over row clusters of Σ_{far boxes} Σ|w|_box·bound — the analytic
+  /// ∞-norm truncation error of the plan; ≤ eps by construction.
+  double bound_total = 0;
+
+  PairKind at(std::size_t row_cluster, std::size_t box) const {
+    return pairs[row_cluster * boxes.size() + box];
+  }
+  bool has_far_pair() const { return far0_pairs + far1_pairs > 0; }
+};
+
+/// Builds the full plan. Requires a Gaussian kernel and eps > 0.
+TreePlan build_plan(const workload::Instance& instance,
+                    const core::KernelParams& params, const TreeSpec& spec);
+
+/// Distance from the AABB [lo, hi] to point c (0 when c is inside) — the
+/// lower bound D the classification uses. Exposed for the bound tests.
+double aabb_distance(const std::vector<double>& lo,
+                     const std::vector<double>& hi,
+                     const std::vector<double>& c);
+
+}  // namespace ksum::tree

@@ -18,7 +18,9 @@
 // changes. This suite is also the TSan job's main workload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
@@ -455,6 +457,139 @@ TEST(DifferentialFuzzTest, ShardedRunsMatchUnshardedByteForByte) {
           << (w == 0 ? 1 : (w == 1 ? 2 : 8));
       EXPECT_TRUE(out.counters_match[w])
           << out.what << " merged counters changed with the worker count";
+    }
+  }
+}
+
+struct TreeOutcome {
+  std::string what;
+  // One entry per ε in {1e-2, 1e-4, 1e-6}: the achieved ∞-norm error vs
+  // the host oracle and the float-round-off slack the dense paths already
+  // get (kTol against the 1e-2 floor — docs/TESTING.md).
+  std::array<bool, 3> has_report{};
+  std::array<double, 3> max_abs_err{};
+  double slack = 0;
+  // Determinism at the cycled ε: shard count 3 at 1/2/8 workers plus the
+  // explicit 1-shard run, all against the unsharded reference bytes.
+  std::array<bool, 4> byte_identical{};
+  // The cycled-ε run repeated under each built-in device profile: profiles
+  // move the timing/energy model only, so V — and with it the ε contract
+  // just asserted — must be byte-identical on all three.
+  std::array<bool, 3> profile_identical{};
+};
+
+TEST(DifferentialFuzzTest, TreecodeMeetsEpsAgainstTheOracle) {
+  // Every 4th combo (offset 1 — disjoint from the robust and profile legs)
+  // re-runs fused through the treecode at ε ∈ {1e-2, 1e-4, 1e-6}. The
+  // ε contract is |V_tree − V_oracle|∞ ≤ ε plus the repo-wide float slack;
+  // on shapes where every pair is near the solver falls back dense and the
+  // bound holds trivially. A small bandwidth (vs the dense legs' 0.9)
+  // and small boxes make real tree routes common, and high-K combos are
+  // skipped — in 250 dimensions nothing is ever far. Replies must also be
+  // byte-identical across worker counts {1, 2, 8} and shard counts {1, 3}.
+  const auto cases = fuzz_cases();
+  std::vector<FuzzCase> picked;
+  for (std::size_t i = 1; i < cases.size(); i += 4) {
+    if (cases[i].k <= 9) picked.push_back(cases[i]);
+  }
+  ASSERT_GE(picked.size(), 25u);
+
+  const double eps_ladder[] = {1e-2, 1e-4, 1e-6};
+  const int worker_counts[] = {1, 2, 8};
+
+  exec::ThreadPool pool(test_threads());
+  const auto outcomes = exec::map_ordered(
+      pool, picked.size(), [&](std::size_t index) {
+        const FuzzCase& c = picked[index];
+        workload::ProblemSpec spec;
+        spec.m = c.m;
+        spec.n = c.n;
+        spec.k = c.k;
+        spec.seed = c.seed;
+        spec.bandwidth = 0.05f;
+        const auto instance = workload::make_instance(spec);
+        const auto params = core::params_from_spec(spec);
+
+        TreeOutcome out;
+        out.what = spec.to_string();
+
+        const auto oracle =
+            pipelines::solve(instance, params, Backend::kCpuDirect);
+        for (std::size_t j = 0; j < oracle.v.size(); ++j) {
+          const double o = static_cast<double>(oracle.v[j]);
+          out.slack =
+              std::max(out.slack, kTol * std::max(1e-2, std::abs(o)));
+        }
+
+        const auto tree_options = [](double eps) {
+          pipelines::RunOptions options;
+          options.tree.eps = eps;
+          options.tree.box_leaf = 32;
+          options.tree.row_leaf = 64;
+          return options;
+        };
+
+        std::optional<pipelines::SolveResult> reference;
+        const std::size_t cycled = index % 3;
+        for (std::size_t e = 0; e < 3; ++e) {
+          const auto result = pipelines::solve(
+              instance, params, Backend::kSimFused, tree_options(eps_ladder[e]));
+          out.has_report[e] = result.tree.has_value();
+          for (std::size_t j = 0; j < result.v.size(); ++j) {
+            out.max_abs_err[e] = std::max(
+                out.max_abs_err[e],
+                std::abs(static_cast<double>(result.v[j]) -
+                         static_cast<double>(oracle.v[j])));
+          }
+          if (e == cycled) reference = result;
+        }
+
+        const auto identical = [&](const pipelines::SolveResult& run) {
+          return run.v.size() == reference->v.size() &&
+                 std::memcmp(run.v.data(), reference->v.data(),
+                             reference->v.size() * sizeof(float)) == 0;
+        };
+        for (std::size_t w = 0; w < 3; ++w) {
+          auto options = tree_options(eps_ladder[cycled]);
+          options.shards.count = 3;
+          options.shards.workers = worker_counts[w];
+          out.byte_identical[w] = identical(pipelines::solve(
+              instance, params, Backend::kSimFused, options));
+        }
+        out.byte_identical[3] = identical(pipelines::solve(
+            instance, params, Backend::kSimFused,
+            tree_options(eps_ladder[cycled])));
+        const char* profile_names[] = {"gtx970", "titanx-maxwell", "modern"};
+        for (std::size_t p = 0; p < 3; ++p) {
+          const auto dev = config::profiles::resolve(profile_names[p]);
+          auto options = tree_options(eps_ladder[cycled]);
+          options.device = dev.device;
+          options.timing = dev.timing;
+          options.energy = dev.energy;
+          out.profile_identical[p] = identical(pipelines::solve(
+              instance, params, Backend::kSimFused, options));
+        }
+        return out;
+      });
+
+  ASSERT_EQ(outcomes.size(), picked.size());
+  for (const TreeOutcome& out : outcomes) {
+    for (std::size_t e = 0; e < 3; ++e) {
+      const double eps = eps_ladder[e];
+      ASSERT_TRUE(out.has_report[e]) << out.what << " eps=" << eps;
+      EXPECT_LE(out.max_abs_err[e], eps + out.slack)
+          << out.what << " eps=" << eps;
+    }
+    for (std::size_t w = 0; w < 3; ++w) {
+      EXPECT_TRUE(out.byte_identical[w])
+          << out.what << " diverged at shards=3 workers=" << worker_counts[w];
+    }
+    EXPECT_TRUE(out.byte_identical[3])
+        << out.what << " diverged between two identical unsharded runs";
+    const char* profile_names[] = {"gtx970", "titanx-maxwell", "modern"};
+    for (std::size_t p = 0; p < 3; ++p) {
+      EXPECT_TRUE(out.profile_identical[p])
+          << out.what << " diverged under --profile=" << profile_names[p];
     }
   }
 }

@@ -1,0 +1,178 @@
+// The analytic Gaussian truncation bounds (src/tree/bounds.h). The whole
+// ε-guarantee stands on these two inequalities, so they are checked the
+// strong way: against dense sampling of the envelopes and against the
+// actual series remainder on randomly generated boxes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/prop.h"
+#include "tree/bounds.h"
+#include "tree/plan.h"
+
+namespace ksum {
+namespace {
+
+double gaussian(double d, double h) { return std::exp(-d * d / (2 * h * h)); }
+
+TEST(TreeBoundsTest, GradientEnvelopeDominatesTheGradientNorm) {
+  prop::Config config;
+  config.seed = 101;
+  config.iterations = 20;
+  struct Case {
+    double a, h;
+  };
+  prop::check(
+      "gradient-envelope", config,
+      [](prop::Gen& gen, std::size_t) {
+        return Case{static_cast<double>(gen.float_in(0.0f, 3.0f)),
+                    static_cast<double>(gen.float_in(0.01f, 2.0f))};
+      },
+      [](const Case& c) {
+        const double env = tree::gradient_envelope(c.a, c.h);
+        // Sample d ≥ a densely; g(d) = (d/h²)e^{−d²/2h²} must stay under.
+        for (int i = 0; i <= 400; ++i) {
+          const double d = c.a + i * 0.01 * std::max(c.h, 0.1);
+          const double g = (d / (c.h * c.h)) * gaussian(d, c.h);
+          if (g > env * (1 + 1e-12)) return false;
+        }
+        return true;
+      });
+}
+
+TEST(TreeBoundsTest, HessianEnvelopeDominatesTheHessianNorm) {
+  prop::Config config;
+  config.seed = 102;
+  config.iterations = 20;
+  struct Case {
+    double a, h;
+  };
+  prop::check(
+      "hessian-envelope", config,
+      [](prop::Gen& gen, std::size_t) {
+        return Case{static_cast<double>(gen.float_in(0.0f, 3.0f)),
+                    static_cast<double>(gen.float_in(0.01f, 2.0f))};
+      },
+      [](const Case& c) {
+        const double env = tree::hessian_envelope(c.a, c.h);
+        const double h2 = c.h * c.h;
+        for (int i = 0; i <= 400; ++i) {
+          const double d = c.a + i * 0.01 * std::max(c.h, 0.1);
+          const double phi = (gaussian(d, c.h) / h2) *
+                             std::max(1.0, std::abs(d * d / h2 - 1.0));
+          if (phi > env * (1 + 1e-12)) return false;
+        }
+        return true;
+      });
+}
+
+TEST(TreeBoundsTest, EnvelopesAreMonotoneInTheDistanceFloor) {
+  // Growing the exclusion radius can only shrink the supremum — the
+  // property that makes "further away ⇒ easier to approximate" sound.
+  for (const double h : {0.05, 0.3, 1.0}) {
+    double last_g = tree::gradient_envelope(0.0, h);
+    double last_phi = tree::hessian_envelope(0.0, h);
+    for (double a = 0.05; a < 4.0; a += 0.05) {
+      const double g = tree::gradient_envelope(a, h);
+      const double phi = tree::hessian_envelope(a, h);
+      EXPECT_LE(g, last_g * (1 + 1e-12)) << "h=" << h << " a=" << a;
+      EXPECT_LE(phi, last_phi * (1 + 1e-12)) << "h=" << h << " a=" << a;
+      last_g = g;
+      last_phi = phi;
+    }
+  }
+}
+
+// The property the solver actually relies on: for a random box of points
+// and a random evaluation point, the true remainder of the order-p series
+// is within the analytic bound (per unit weight).
+TEST(TreeBoundsTest, SeriesRemainderIsWithinTheAnalyticBound) {
+  prop::Config config;
+  config.seed = 103;
+  config.iterations = 15;
+  config.max_scale = 64;
+  struct Case {
+    std::vector<std::array<double, 3>> points;  // box points
+    std::array<double, 3> eval;                 // evaluation point
+    double h;
+  };
+  prop::check(
+      "series-remainder-bound", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        Case c;
+        c.h = static_cast<double>(gen.float_in(0.05f, 1.0f));
+        const std::size_t count = std::max<std::size_t>(1, scale / 4);
+        // A compact box somewhere in [0,1)³ …
+        std::array<double, 3> base;
+        for (auto& v : base) v = gen.float_in(0.0f, 1.0f);
+        const double spread = gen.float_in(0.01f, 0.2f);
+        for (std::size_t i = 0; i < count; ++i) {
+          std::array<double, 3> p;
+          for (std::size_t d = 0; d < 3; ++d) {
+            p[d] = base[d] +
+                   static_cast<double>(gen.float_in(-1.0f, 1.0f)) * spread;
+          }
+          c.points.push_back(p);
+        }
+        // … evaluated from anywhere, including right next to the box.
+        for (auto& v : c.eval) v = gen.float_in(-1.0f, 2.0f);
+        return c;
+      },
+      [](const Case& c) {
+        // Box summary in the same arithmetic the planner uses.
+        std::array<double, 3> center{0, 0, 0};
+        for (const auto& p : c.points) {
+          for (std::size_t d = 0; d < 3; ++d) center[d] += p[d];
+        }
+        for (auto& v : center) v /= static_cast<double>(c.points.size());
+        double radius = 0;
+        for (const auto& p : c.points) {
+          double dist2 = 0;
+          for (std::size_t d = 0; d < 3; ++d) {
+            dist2 += (p[d] - center[d]) * (p[d] - center[d]);
+          }
+          radius = std::max(radius, std::sqrt(dist2));
+        }
+        double center_dist2 = 0;
+        for (std::size_t d = 0; d < 3; ++d) {
+          center_dist2 += (c.eval[d] - center[d]) * (c.eval[d] - center[d]);
+        }
+        const double center_dist = std::sqrt(center_dist2);
+        const double g = gaussian(center_dist, c.h);
+        const double bound0 = tree::order0_bound(radius, center_dist, c.h);
+        const double bound1 = tree::order1_bound(radius, center_dist, c.h);
+
+        // Per-unit-weight worst case over the box points.
+        for (const auto& p : c.points) {
+          double d2 = 0;
+          double dot = 0;
+          for (std::size_t d = 0; d < 3; ++d) {
+            d2 += (c.eval[d] - p[d]) * (c.eval[d] - p[d]);
+            dot += (c.eval[d] - center[d]) * (p[d] - center[d]);
+          }
+          const double exact = gaussian(std::sqrt(d2), c.h);
+          const double order0 = g;
+          const double order1 = g + g * dot / (c.h * c.h);
+          if (std::abs(exact - order0) > bound0 * (1 + 1e-9) + 1e-15) {
+            return false;
+          }
+          if (std::abs(exact - order1) > bound1 * (1 + 1e-9) + 1e-15) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+TEST(TreeBoundsTest, AabbDistanceIsExactOnHandCases) {
+  const std::vector<double> lo = {0.0, 0.0};
+  const std::vector<double> hi = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(tree::aabb_distance(lo, hi, {0.5, 1.0}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(tree::aabb_distance(lo, hi, {2.0, 1.0}), 1.0);  // face
+  EXPECT_DOUBLE_EQ(tree::aabb_distance(lo, hi, {-3.0, -4.0}), 5.0);  // corner
+}
+
+}  // namespace
+}  // namespace ksum

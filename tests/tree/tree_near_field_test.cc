@@ -1,0 +1,234 @@
+// Near-field correctness of the near/far splitter: no weighted point is
+// ever dropped, neighbors straddling box boundaries stay accounted for,
+// and the dense-fallback rules are byte-exact. The kNN oracle
+// (core/knn_exact.h, the same machinery behind the fused kNN kernel)
+// audits the splitter from the outside: a query's true nearest neighbors
+// must either land in a near box or sit in a box whose independently
+// recomputed truncation bound fits the budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/exact.h"
+#include "core/knn_exact.h"
+#include "pipelines/solver.h"
+#include "tree/bounds.h"
+#include "tree/plan.h"
+#include "tree/solve.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+using pipelines::Backend;
+
+workload::Instance base_instance(std::size_t m, std::size_t n, std::size_t k,
+                                 std::uint64_t seed, float bandwidth) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = seed;
+  spec.bandwidth = bandwidth;
+  return workload::make_instance(spec);
+}
+
+tree::TreeSpec small_leaf_spec(double eps) {
+  tree::TreeSpec spec;
+  spec.eps = eps;
+  spec.box_leaf = 16;
+  spec.row_leaf = 32;
+  return spec;
+}
+
+/// inverse[original index] = canonical position in part.order.
+std::vector<std::size_t> inverse_order(const tree::Partition& part) {
+  std::vector<std::size_t> inverse(part.order.size());
+  for (std::size_t pos = 0; pos < part.order.size(); ++pos) {
+    inverse[part.order[pos]] = pos;
+  }
+  return inverse;
+}
+
+/// Leaf index owning canonical position `pos`.
+std::size_t leaf_of(const tree::Partition& part, std::size_t pos) {
+  for (std::size_t i = 0; i < part.leaves.size(); ++i) {
+    if (pos >= part.leaves[i].begin && pos < part.leaves[i].end) return i;
+  }
+  ADD_FAILURE() << "position " << pos << " not covered by any leaf";
+  return 0;
+}
+
+double max_abs_err(const Vector& v, const Vector& oracle) {
+  double worst = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(v[i]) -
+                                     static_cast<double>(oracle[i])));
+  }
+  return worst;
+}
+
+double float_slack(const Vector& oracle) {
+  double slack = 0;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    slack = std::max(
+        slack, 5e-3 * std::max(1e-2, std::abs(static_cast<double>(oracle[i]))));
+  }
+  return slack;
+}
+
+TEST(TreeNearFieldTest, EveryColumnClassifiedExactlyOncePerRowCluster) {
+  const auto instance = base_instance(200, 700, 3, 51, 0.08f);
+  const auto params = core::params_from_spec(instance.spec);
+  const auto plan =
+      tree::build_plan(instance, params, small_leaf_spec(1e-4));
+
+  // The pair grid covers the full cross product …
+  ASSERT_EQ(plan.pairs.size(), plan.rows.size() * plan.boxes.size());
+  EXPECT_EQ(plan.near_pairs + plan.far0_pairs + plan.far1_pairs,
+            plan.pairs.size());
+  // … and the boxes tile every weighted point exactly once.
+  std::vector<int> seen(instance.spec.n, 0);
+  for (const auto& box : plan.boxes) {
+    for (std::size_t pos = box.range.begin; pos < box.range.end; ++pos) {
+      seen[plan.column_part.order[pos]] += 1;
+    }
+  }
+  for (std::size_t j = 0; j < instance.spec.n; ++j) {
+    EXPECT_EQ(seen[j], 1) << "column " << j;
+  }
+}
+
+TEST(TreeNearFieldTest, KnnAuditNoNearNeighborIsMishandled) {
+  // Outside-in audit: for each query row, its true nearest neighbors
+  // (exact kNN) must be in a near box for that row's cluster, or in a box
+  // whose truncation bound — recomputed here from scratch — fits the
+  // per-unit budget. Either way no close neighbor's mass is dropped.
+  const auto instance = base_instance(128, 512, 2, 52, 0.06f);
+  const auto params = core::params_from_spec(instance.spec);
+  const auto plan =
+      tree::build_plan(instance, params, small_leaf_spec(1e-5));
+  ASSERT_TRUE(plan.has_far_pair()) << "shape too hostile — test is vacuous";
+
+  const auto col_inverse = inverse_order(plan.column_part);
+  const auto row_inverse = inverse_order(plan.row_part);
+  const auto knn = core::knn_exact(instance, 8);
+  const double h = static_cast<double>(params.bandwidth);
+
+  for (std::size_t r = 0; r < instance.spec.m; ++r) {
+    const std::size_t rc = leaf_of(plan.row_part, row_inverse[r]);
+    for (std::size_t rank = 0; rank < knn.k_nn; ++rank) {
+      const std::size_t j = knn.index(r, rank);
+      const std::size_t bx = leaf_of(plan.column_part, col_inverse[j]);
+      const tree::PairKind kind = plan.at(rc, bx);
+      if (kind == tree::PairKind::kNear) continue;
+      // Far box holding a true near neighbor: its analytic bound must
+      // still be within budget, independently of the planner's own math.
+      const auto& box = plan.boxes[bx];
+      const auto& cluster = plan.rows[rc];
+      const double dist =
+          tree::aabb_distance(cluster.lo, cluster.hi, box.center);
+      const double bound =
+          kind == tree::PairKind::kFarOrder0
+              ? tree::order0_bound(box.radius, dist, h)
+              : tree::order1_bound(box.radius, dist, h);
+      EXPECT_LE(bound, plan.budget * (1 + 1e-12))
+          << "row " << r << " neighbor " << j << " box " << bx;
+    }
+  }
+}
+
+TEST(TreeNearFieldTest, BoundaryStraddlingClustersStayWithinEps) {
+  // Adversarial geometry: tight blobs deliberately centered where the
+  // balanced median split will cut them in half, so physical neighbors end
+  // up in different boxes. The ε-guarantee must hold anyway.
+  auto instance = base_instance(128, 256, 2, 53, 0.05f);
+  for (std::size_t j = 0; j < 256; ++j) {
+    const float blob = (j % 2 == 0) ? 0.5f : -0.5f;  // two blobs around ±0.5
+    const float jitter = 0.02f * static_cast<float>((j * 37 % 64) - 32) / 32;
+    // x straddles the blob center (the likely split plane), y is jittered.
+    instance.b.at(0, j) = blob + jitter;
+    instance.b.at(1, j) = 0.3f * jitter + (j % 4 == 0 ? 0.01f : -0.01f);
+  }
+  for (std::size_t i = 0; i < 128; ++i) {
+    // Queries right on top of the blobs so the near field dominates.
+    instance.a.at(i, 0) = (i % 2 == 0) ? 0.5f : -0.5f;
+    instance.a.at(i, 1) = 0.0f;
+  }
+  const auto params = core::params_from_spec(instance.spec);
+  const auto oracle = pipelines::solve(instance, params, Backend::kCpuDirect);
+  for (const double eps : {1e-3, 1e-5}) {
+    pipelines::RunOptions options;
+    options.tree = small_leaf_spec(eps);
+    const auto result =
+        pipelines::solve(instance, params, Backend::kSimFused, options);
+    ASSERT_TRUE(result.tree.has_value());
+    EXPECT_LE(max_abs_err(result.v, oracle.v), eps + float_slack(oracle.v))
+        << "eps " << eps;
+  }
+}
+
+TEST(TreeNearFieldTest, ColinearPointsStayWithinEps) {
+  // Degenerate geometry: every weighted point on one line (zero spread in
+  // the other dimension), queries on the same line. Radius and AABB
+  // distances collapse to 1-D; the bound must still hold.
+  auto instance = base_instance(128, 256, 2, 54, 0.04f);
+  for (std::size_t j = 0; j < 256; ++j) {
+    instance.b.at(0, j) = -1.0f + 2.0f * static_cast<float>(j) / 255.0f;
+    instance.b.at(1, j) = 0.25f;
+  }
+  for (std::size_t i = 0; i < 128; ++i) {
+    instance.a.at(i, 0) = -1.0f + 2.0f * static_cast<float>(i) / 127.0f;
+    instance.a.at(i, 1) = 0.25f;
+  }
+  const auto params = core::params_from_spec(instance.spec);
+  const auto oracle = pipelines::solve(instance, params, Backend::kCpuDirect);
+  pipelines::RunOptions options;
+  options.tree = small_leaf_spec(1e-4);
+  const auto result =
+      pipelines::solve(instance, params, Backend::kSimFused, options);
+  ASSERT_TRUE(result.tree.has_value());
+  ASSERT_TRUE(result.tree->used_tree)
+      << "colinear spread should still admit far pairs";
+  EXPECT_LE(max_abs_err(result.v, oracle.v), 1e-4 + float_slack(oracle.v));
+}
+
+TEST(TreeNearFieldTest, EpsZeroIsByteIdenticalToPlainDense) {
+  const auto instance = base_instance(192, 384, 4, 55, 0.3f);
+  const auto params = core::params_from_spec(instance.spec);
+  const auto plain = pipelines::solve(instance, params, Backend::kSimFused);
+  pipelines::RunOptions options;
+  options.tree.eps = 0;  // disabled — the documented "exact mode"
+  const auto gated =
+      pipelines::solve(instance, params, Backend::kSimFused, options);
+  EXPECT_FALSE(gated.tree.has_value());
+  ASSERT_EQ(plain.v.size(), gated.v.size());
+  EXPECT_EQ(std::memcmp(plain.v.data(), gated.v.data(),
+                        plain.v.size() * sizeof(float)),
+            0);
+}
+
+TEST(TreeNearFieldTest, UntunableShapeFallsBackDenseByteIdentically) {
+  // High dimension + wide bandwidth: every pair is near, the plan has no
+  // far pair, and the run must be byte-identical to the dense path with a
+  // report explaining why.
+  const auto instance = base_instance(128, 256, 8, 56, 0.9f);
+  const auto params = core::params_from_spec(instance.spec);
+  const auto plain = pipelines::solve(instance, params, Backend::kSimFused);
+  pipelines::RunOptions options;
+  options.tree.eps = 1e-6;
+  const auto fallen =
+      pipelines::solve(instance, params, Backend::kSimFused, options);
+  ASSERT_TRUE(fallen.tree.has_value());
+  EXPECT_FALSE(fallen.tree->used_tree);
+  EXPECT_FALSE(fallen.tree->fallback_reason.empty());
+  ASSERT_EQ(plain.v.size(), fallen.v.size());
+  EXPECT_EQ(std::memcmp(plain.v.data(), fallen.v.data(),
+                        plain.v.size() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,206 @@
+// The deterministic median-split partitions under the treecode
+// (src/tree/partition.h): coverage, balance, and the canonical-order
+// contract that makes the whole evaluation invariant under permutation of
+// the weighted points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/prop.h"
+#include "common/rng.h"
+#include "tree/partition.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+workload::Instance uniform_instance(std::size_t m, std::size_t n,
+                                    std::size_t k, std::uint64_t seed) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = seed;
+  return workload::make_instance(spec);
+}
+
+bool is_permutation_of_iota(const std::vector<std::size_t>& order,
+                            std::size_t count) {
+  if (order.size() != count) return false;
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(TreePartitionTest, LeavesTileTheIndexRangeExactly) {
+  const auto instance = uniform_instance(64, 500, 3, 11);
+  const auto part = tree::partition_columns(instance.b, instance.w, 64, 24);
+  ASSERT_FALSE(part.leaves.empty());
+  EXPECT_EQ(part.leaves.front().begin, 0u);
+  EXPECT_EQ(part.leaves.back().end, 500u);
+  for (std::size_t i = 1; i < part.leaves.size(); ++i) {
+    EXPECT_EQ(part.leaves[i - 1].end, part.leaves[i].begin);
+  }
+  EXPECT_TRUE(is_permutation_of_iota(part.order, 500));
+}
+
+TEST(TreePartitionTest, BalancedSplitsPutEveryLeafAtTheSameDepth) {
+  // 500 points at leaf 64 needs 3 splits: 500 → 250 → 125 → 63/62.
+  const auto instance = uniform_instance(32, 500, 3, 12);
+  const auto part = tree::partition_columns(instance.b, instance.w, 64, 24);
+  EXPECT_EQ(part.depth, 3u);
+  EXPECT_EQ(part.leaves.size(), 8u);
+  for (const auto& leaf : part.leaves) {
+    EXPECT_GE(leaf.size(), 62u);
+    EXPECT_LE(leaf.size(), 63u);
+  }
+}
+
+TEST(TreePartitionTest, SmallSetsStaySingleLeaf) {
+  const auto instance = uniform_instance(16, 40, 2, 13);
+  const auto part = tree::partition_columns(instance.b, instance.w, 64, 24);
+  EXPECT_EQ(part.depth, 0u);
+  ASSERT_EQ(part.leaves.size(), 1u);
+  EXPECT_EQ(part.leaves[0].size(), 40u);
+}
+
+TEST(TreePartitionTest, MaxDepthCapsTheRecursion) {
+  const auto instance = uniform_instance(16, 512, 2, 14);
+  const auto part = tree::partition_columns(instance.b, instance.w, 1, 3);
+  EXPECT_EQ(part.depth, 3u);
+  EXPECT_EQ(part.leaves.size(), 8u);
+}
+
+TEST(TreePartitionTest, RowPartitionCoversAllRows) {
+  const auto instance = uniform_instance(300, 32, 4, 15);
+  const auto part = tree::partition_rows(instance.a, 128, 24);
+  EXPECT_TRUE(is_permutation_of_iota(part.order, 300));
+  EXPECT_EQ(part.leaves.size(), 4u);
+}
+
+TEST(TreePartitionTest, CanonicalOrderIsInvariantUnderColumnPermutation) {
+  // The canonical order must map permuted inputs to the SAME point
+  // sequence: order_perm[i] must name the same physical point as
+  // order_orig[i]. This is the root of the bit-identical-V-under-source-
+  // permutation guarantee, so it gets a property sweep, not one example.
+  prop::Config config;
+  config.seed = 77;
+  config.iterations = 8;
+  struct Case {
+    workload::Instance instance;
+    std::vector<std::size_t> perm;  // permuted column j holds original perm[j]
+  };
+  prop::check(
+      "canonical-order-permutation-invariance", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        Case c;
+        const std::size_t n = std::max<std::size_t>(2, scale);
+        c.instance = uniform_instance(8, n, gen.size_in(1, 4), gen.next_u64());
+        c.perm.resize(n);
+        std::iota(c.perm.begin(), c.perm.end(), std::size_t{0});
+        // Fisher–Yates off the harness generator.
+        for (std::size_t i = n - 1; i > 0; --i) {
+          std::swap(c.perm[i], c.perm[gen.size_in(0, i)]);
+        }
+        return c;
+      },
+      [](const Case& c) {
+        const std::size_t n = c.instance.spec.n;
+        const std::size_t k = c.instance.spec.k;
+        Matrix permuted_b(k, n, Layout::kColMajor);
+        Vector permuted_w(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t d = 0; d < k; ++d) {
+            permuted_b.at(d, j) = c.instance.b.at(d, c.perm[j]);
+          }
+          permuted_w[j] = c.instance.w[c.perm[j]];
+        }
+        const auto original =
+            tree::canonical_column_order(c.instance.b, c.instance.w);
+        const auto shuffled =
+            tree::canonical_column_order(permuted_b, permuted_w);
+        if (original.size() != shuffled.size()) return false;
+        // Same physical point at every canonical position.
+        for (std::size_t i = 0; i < original.size(); ++i) {
+          const std::size_t orig_point = original[i];
+          const std::size_t perm_point = c.perm[shuffled[i]];
+          if (orig_point == perm_point) continue;
+          // Distinct indices are fine only for fully identical points.
+          for (std::size_t d = 0; d < k; ++d) {
+            if (c.instance.b.at(d, orig_point) !=
+                c.instance.b.at(d, perm_point)) {
+              return false;
+            }
+          }
+          if (c.instance.w[orig_point] != c.instance.w[perm_point]) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+TEST(TreePartitionTest, ColumnPartitionIsInvariantUnderPermutationToo) {
+  // Same sweep one level up: the leaf-contiguous order after the median
+  // splits must also name the same point sequence for permuted inputs.
+  prop::Config config;
+  config.seed = 78;
+  config.iterations = 6;
+  config.max_scale = 200;
+  struct Case {
+    workload::Instance instance;
+    std::vector<std::size_t> perm;
+  };
+  prop::check(
+      "partition-permutation-invariance", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        Case c;
+        const std::size_t n = std::max<std::size_t>(2, scale);
+        c.instance = uniform_instance(8, n, 2, gen.next_u64());
+        c.perm.resize(n);
+        std::iota(c.perm.begin(), c.perm.end(), std::size_t{0});
+        for (std::size_t i = n - 1; i > 0; --i) {
+          std::swap(c.perm[i], c.perm[gen.size_in(0, i)]);
+        }
+        return c;
+      },
+      [](const Case& c) {
+        const std::size_t n = c.instance.spec.n;
+        const std::size_t k = c.instance.spec.k;
+        Matrix permuted_b(k, n, Layout::kColMajor);
+        Vector permuted_w(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t d = 0; d < k; ++d) {
+            permuted_b.at(d, j) = c.instance.b.at(d, c.perm[j]);
+          }
+          permuted_w[j] = c.instance.w[c.perm[j]];
+        }
+        const auto original =
+            tree::partition_columns(c.instance.b, c.instance.w, 16, 24);
+        const auto shuffled =
+            tree::partition_columns(permuted_b, permuted_w, 16, 24);
+        if (original.leaves.size() != shuffled.leaves.size()) return false;
+        for (std::size_t i = 0; i < original.order.size(); ++i) {
+          const std::size_t orig_point = original.order[i];
+          const std::size_t perm_point = c.perm[shuffled.order[i]];
+          for (std::size_t d = 0; d < k; ++d) {
+            if (c.instance.b.at(d, orig_point) !=
+                c.instance.b.at(d, perm_point)) {
+              return false;
+            }
+          }
+          if (c.instance.w[orig_point] != c.instance.w[perm_point]) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+}  // namespace
+}  // namespace ksum

@@ -1,0 +1,250 @@
+// Property and metamorphic tests of the treecode's user-facing contract
+// (docs/TREECODE.md, "the ε contract"), on the prop.h shrink harness:
+//
+//   * ε-monotonicity — tightening ε never increases the achieved error,
+//     and the far-pair set at the tighter ε is a subset of the looser one
+//     (the exact, float-free formulation);
+//   * source-permutation invariance — permuting the weighted points leaves
+//     V bit-identical (the canonical-order contract end to end);
+//   * duplication metamorphic — splitting every weighted point into two
+//     half-weight copies leaves V within ε of the original oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/prop.h"
+#include "core/exact.h"
+#include "pipelines/solver.h"
+#include "tree/plan.h"
+#include "workload/point_generators.h"
+
+namespace ksum {
+namespace {
+
+using pipelines::Backend;
+
+// Low geometric dimension and a bandwidth well under the box size, so the
+// plans genuinely mix near and far pairs (k=250-style shapes go all-near
+// and fall back dense — covered in tree_near_field_test.cc).
+workload::Instance favorable_instance(std::size_t m, std::size_t n,
+                                      std::uint64_t seed, float bandwidth,
+                                      std::size_t k = 2) {
+  workload::ProblemSpec spec;
+  spec.m = m;
+  spec.n = n;
+  spec.k = k;
+  spec.seed = seed;
+  spec.bandwidth = bandwidth;
+  return workload::make_instance(spec);
+}
+
+pipelines::RunOptions tree_options(double eps) {
+  pipelines::RunOptions options;
+  options.tree.eps = eps;
+  options.tree.box_leaf = 32;
+  options.tree.row_leaf = 64;
+  return options;
+}
+
+/// The achieved ∞-norm error vs the double-accumulated host oracle, with
+/// the repo-wide float-agreement slack subtracted out per entry: the part
+/// of the difference the ε budget owns is what exceeds the round-off
+/// allowance dense runs already get (docs/TESTING.md tolerance).
+double eps_owned_error(const Vector& v, const Vector& oracle) {
+  double worst = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double o = static_cast<double>(oracle[i]);
+    const double slack = 5e-3 * std::max(1e-2, std::abs(o));
+    const double err = std::abs(static_cast<double>(v[i]) - o) - slack;
+    worst = std::max(worst, err);
+  }
+  return worst;
+}
+
+TEST(TreePropTest, TighteningEpsShrinksTheFarSetExactly) {
+  prop::Config config;
+  config.seed = 301;
+  config.iterations = 6;
+  config.max_scale = 1024;
+  struct Case {
+    workload::Instance instance;
+    core::KernelParams params;
+    double eps_loose, eps_tight;
+  };
+  prop::check(
+      "far-set-monotonicity", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        Case c;
+        const std::size_t n = std::max<std::size_t>(64, scale);
+        c.instance = favorable_instance(gen.size_in(64, 256), n,
+                                        gen.next_u64(),
+                                        gen.float_in(0.03f, 0.1f));
+        c.params = core::params_from_spec(c.instance.spec);
+        c.eps_loose = gen.float_in(1e-3f, 1e-1f);
+        c.eps_tight =
+            c.eps_loose * static_cast<double>(gen.float_in(1e-4f, 0.5f));
+        return c;
+      },
+      [](const Case& c) {
+        tree::TreeSpec spec;
+        spec.box_leaf = 32;
+        spec.row_leaf = 64;
+        spec.eps = c.eps_loose;
+        const auto loose = tree::build_plan(c.instance, c.params, spec);
+        spec.eps = c.eps_tight;
+        const auto tight = tree::build_plan(c.instance, c.params, spec);
+        if (loose.rows.size() != tight.rows.size() ||
+            loose.boxes.size() != tight.boxes.size()) {
+          return false;
+        }
+        // Every pair far at the tighter ε must be far at the looser ε
+        // (possibly at a lower order), and the bound spend stays ≤ ε.
+        for (std::size_t rc = 0; rc < loose.rows.size(); ++rc) {
+          for (std::size_t bx = 0; bx < loose.boxes.size(); ++bx) {
+            const bool tight_far =
+                tight.at(rc, bx) != tree::PairKind::kNear;
+            const bool loose_far =
+                loose.at(rc, bx) != tree::PairKind::kNear;
+            if (tight_far && !loose_far) return false;
+          }
+        }
+        return loose.bound_total <= c.eps_loose &&
+               tight.bound_total <= c.eps_tight;
+      });
+}
+
+TEST(TreePropTest, TighteningEpsNeverIncreasesTheAchievedError) {
+  // The user-visible form of monotonicity, with the float round-off that
+  // rides on both runs allowed for: the ε-owned part of the error at the
+  // tighter budget must not exceed the looser budget's by more than noise.
+  const double eps_ladder[] = {1e-1, 1e-3, 1e-5};
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    const auto instance = favorable_instance(192, 1024, seed, 0.05f);
+    const auto params = core::params_from_spec(instance.spec);
+    const auto oracle =
+        pipelines::solve(instance, params, Backend::kCpuDirect);
+    double last_err = -1;
+    for (const double eps : eps_ladder) {
+      const auto result = pipelines::solve(instance, params,
+                                           Backend::kSimFused,
+                                           tree_options(eps));
+      ASSERT_TRUE(result.tree.has_value()) << "seed " << seed;
+      const double err = eps_owned_error(result.v, oracle.v);
+      EXPECT_LE(err, eps) << "seed " << seed << " eps " << eps;
+      if (last_err >= 0) {
+        EXPECT_LE(err, last_err + 1e-6)
+            << "seed " << seed << ": tightening eps to " << eps
+            << " increased the achieved error";
+      }
+      last_err = err;
+    }
+  }
+}
+
+TEST(TreePropTest, SourcePermutationLeavesVBitIdentical) {
+  prop::Config config;
+  config.seed = 302;
+  config.iterations = 5;
+  config.max_scale = 1024;
+  struct Case {
+    workload::Instance instance;
+    workload::Instance permuted;
+    core::KernelParams params;
+    double eps;
+  };
+  prop::check(
+      "source-permutation-bit-identity", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        Case c;
+        const std::size_t n = std::max<std::size_t>(64, scale);
+        c.instance = favorable_instance(gen.size_in(64, 192), n,
+                                        gen.next_u64(),
+                                        gen.float_in(0.03f, 0.1f));
+        c.params = core::params_from_spec(c.instance.spec);
+        c.eps = gen.float_in(1e-5f, 1e-2f);
+        // Permute the weighted points (columns of B with their weights).
+        std::vector<std::size_t> perm(n);
+        std::iota(perm.begin(), perm.end(), std::size_t{0});
+        for (std::size_t i = n - 1; i > 0; --i) {
+          std::swap(perm[i], perm[gen.size_in(0, i)]);
+        }
+        c.permuted = c.instance;
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t d = 0; d < c.instance.spec.k; ++d) {
+            c.permuted.b.at(d, j) = c.instance.b.at(d, perm[j]);
+          }
+          c.permuted.w[j] = c.instance.w[perm[j]];
+        }
+        return c;
+      },
+      [](const Case& c) {
+        const auto options = tree_options(c.eps);
+        const auto original = pipelines::solve(c.instance, c.params,
+                                               Backend::kSimFused, options);
+        const auto shuffled = pipelines::solve(c.permuted, c.params,
+                                               Backend::kSimFused, options);
+        if (!original.tree.has_value() || !original.tree->used_tree) {
+          // The property only binds tree-routed runs; dense fallbacks are
+          // order-sensitive by design. Favorable shapes should route.
+          return false;
+        }
+        return original.v.size() == shuffled.v.size() &&
+               std::memcmp(original.v.data(), shuffled.v.data(),
+                           original.v.size() * sizeof(float)) == 0;
+      });
+}
+
+TEST(TreePropTest, DuplicatedHalfWeightSourcesStayWithinEps) {
+  prop::Config config;
+  config.seed = 303;
+  config.iterations = 5;
+  config.max_scale = 512;
+  struct Case {
+    workload::Instance instance;
+    workload::Instance doubled;
+    core::KernelParams params;
+    double eps;
+  };
+  prop::check(
+      "duplication-metamorphic", config,
+      [](prop::Gen& gen, std::size_t scale) {
+        Case c;
+        const std::size_t n = std::max<std::size_t>(64, scale);
+        c.instance = favorable_instance(gen.size_in(64, 192), n,
+                                        gen.next_u64(),
+                                        gen.float_in(0.03f, 0.1f));
+        c.params = core::params_from_spec(c.instance.spec);
+        c.eps = gen.float_in(1e-4f, 1e-2f);
+        // Every weighted point appears twice at half weight: the exact sum
+        // is unchanged (w/2 + w/2 == w in float — halving a float is exact
+        // for these magnitudes).
+        c.doubled = c.instance;
+        c.doubled.spec.n = 2 * n;
+        c.doubled.b = Matrix(c.instance.spec.k, 2 * n, Layout::kColMajor);
+        c.doubled.w = Vector(2 * n);
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t copy = 0; copy < 2; ++copy) {
+            for (std::size_t d = 0; d < c.instance.spec.k; ++d) {
+              c.doubled.b.at(d, 2 * j + copy) = c.instance.b.at(d, j);
+            }
+            c.doubled.w[2 * j + copy] = c.instance.w[j] * 0.5f;
+          }
+        }
+        return c;
+      },
+      [](const Case& c) {
+        const auto oracle =
+            pipelines::solve(c.instance, c.params, Backend::kCpuDirect);
+        const auto doubled = pipelines::solve(c.doubled, c.params,
+                                              Backend::kSimFused,
+                                              tree_options(c.eps));
+        if (!doubled.tree.has_value()) return false;
+        return eps_owned_error(doubled.v, oracle.v) <= c.eps;
+      });
+}
+
+}  // namespace
+}  // namespace ksum

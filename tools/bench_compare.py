@@ -13,6 +13,9 @@ Schemas understood (see src/profile/profile_json.h and bench/bench_common.cc):
   ksum-prof-v1         totals.{seconds, energy_j.total} and per-launch seconds
   ksum-prof-batch-v1   totals.{seconds, energy_j_total} plus every embedded
                        ksum-prof-v1 program record
+  ksum-prof-tree-v1    model.{dense_seconds, tree_seconds} and the plan's
+                       near_interactions — the treecode planner's modelled
+                       split (src/tools/ksum_prof.cc)
   ksum-serve-v1        latency_ms.modelled.{p50, p99} only — the modelled
                        serving latencies are deterministic; wall-clock
                        latencies and gauge fields are reported by the bench
@@ -74,6 +77,16 @@ def prof_v1_metrics(record, out, prefix):
             out[f"{prefix}/launch[{i}:{kernel}]/energy_j"] = energy
 
 
+def prof_tree_v1_metrics(record, out, prefix):
+    model = record.get("model", {})
+    for key in ("dense_seconds", "tree_seconds"):
+        if key in model:
+            out[f"{prefix}/model/{key}"] = model[key]
+    near = record.get("plan", {}).get("near_interactions")
+    if near is not None:
+        out[f"{prefix}/plan/near_interactions"] = near
+
+
 def serve_v1_metrics(record, out, prefix):
     modelled = record.get("latency_ms", {}).get("modelled", {})
     for key in ("p50", "p99"):
@@ -96,6 +109,8 @@ def extract_metrics(record, out, prefix=""):
         for program in record.get("programs", []):
             name = program.get("program", "?")
             prof_v1_metrics(program, out, f"{prefix}/{name}")
+    elif schema == "ksum-prof-tree-v1":
+        prof_tree_v1_metrics(record, out, prefix or "tree")
     elif schema == "ksum-serve-v1":
         serve_v1_metrics(record, out, prefix or "serve")
     else:
